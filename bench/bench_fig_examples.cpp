@@ -1,0 +1,73 @@
+// Regenerates the paper's figure artifacts and checks the verdicts:
+//   Figure 1-3: outerVarUse — CCFG, PPS trace, one dangerous access (Task B),
+//               and the swapped variant where all accesses become safe.
+//   Figure 6-7: multipleUse — branch-forked PPS states, one dangerous access.
+// Exit code 0 iff every verdict matches the paper.
+#include <iostream>
+
+#include "src/analysis/pipeline.h"
+#include "src/ccfg/printer.h"
+#include "src/corpus/curated.h"
+
+namespace {
+
+int failures = 0;
+
+void expectEq(std::size_t got, std::size_t want, const std::string& what) {
+  if (got != want) {
+    std::cout << "MISMATCH: " << what << ": got " << got << ", paper says "
+              << want << '\n';
+    ++failures;
+  } else {
+    std::cout << "ok: " << what << " = " << got << '\n';
+  }
+}
+
+void runFigure(const std::string& name, std::size_t expected_warnings,
+               bool print_artifacts) {
+  const auto* prog = cuaf::corpus::findCurated(name);
+  if (prog == nullptr) {
+    std::cout << "missing curated program " << name << '\n';
+    ++failures;
+    return;
+  }
+  cuaf::AnalysisOptions opts;
+  opts.keep_artifacts = true;
+  opts.pps.record_trace = true;
+  cuaf::Pipeline pipeline(opts);
+  if (!pipeline.runSource(name, prog->source)) {
+    std::cout << pipeline.renderDiagnostics();
+    ++failures;
+    return;
+  }
+  const cuaf::ProcAnalysis& pa = pipeline.analysis().procs[0];
+  if (print_artifacts && pa.graph) {
+    std::cout << "---- " << name << " CCFG ----\n"
+              << cuaf::ccfg::printGraph(*pa.graph);
+    if (pa.pps_result) {
+      std::cout << "---- " << name << " PPS table ----\n"
+                << cuaf::pps::renderTrace(*pa.graph, *pa.pps_result);
+    }
+  }
+  expectEq(pipeline.analysis().warningCount(), expected_warnings,
+           name + " dangerous accesses");
+}
+
+}  // namespace
+
+int main(int argc, char**) {
+  bool verbose = argc <= 1;  // artifacts printed by default
+
+  std::cout << "=== Figure 1-3: outerVarUse ===\n";
+  runFigure("paper_fig1", 1, verbose);
+
+  std::cout << "\n=== Figure 1 variant: lines 14/15 swapped ===\n";
+  runFigure("paper_fig1_swapped", 0, false);
+
+  std::cout << "\n=== Figure 6-7: multipleUse ===\n";
+  runFigure("paper_fig6", 1, verbose);
+
+  std::cout << (failures == 0 ? "\nall figure verdicts match the paper\n"
+                              : "\nFIGURE VERDICT MISMATCHES\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Ablation: the PPS merge optimization (§III.C "Optimization").
+//
+// Sweeps the number of concurrently live sync handshakes and measures PPS
+// states generated and wall time with the merge on vs off. Prints a summary
+// table after the timed runs: merging keeps the state count polynomial where
+// the raw exploration tree grows combinatorially.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/analysis/pipeline.h"
+
+namespace {
+
+cuaf::pps::Result explore(const std::string& src, bool merge) {
+  cuaf::AnalysisOptions opts;
+  opts.keep_artifacts = true;
+  opts.pps.merge_equivalent = merge;
+  cuaf::Pipeline pipeline(opts);
+  if (!pipeline.runSource("bench.chpl", src)) std::abort();
+  const cuaf::ProcAnalysis& pa = pipeline.analysis().procs[0];
+  return pa.pps_result ? *pa.pps_result : cuaf::pps::Result{};
+}
+
+void BM_PpsMergeOn(benchmark::State& state) {
+  std::string src = cuaf::bench::handshakeProgram(static_cast<int>(state.range(0)));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    cuaf::pps::Result r = explore(src, true);
+    states = r.states_generated;
+    benchmark::DoNotOptimize(r.unsafe);
+  }
+  state.counters["pps_states"] = static_cast<double>(states);
+}
+
+void BM_PpsMergeOff(benchmark::State& state) {
+  std::string src = cuaf::bench::handshakeProgram(static_cast<int>(state.range(0)));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    cuaf::pps::Result r = explore(src, false);
+    states = r.states_generated;
+    benchmark::DoNotOptimize(r.unsafe);
+  }
+  state.counters["pps_states"] = static_cast<double>(states);
+}
+
+}  // namespace
+
+BENCHMARK(BM_PpsMergeOn)->DenseRange(1, 6);
+BENCHMARK(BM_PpsMergeOff)->DenseRange(1, 6);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::cout << "\n=== PPS states: merge optimization ablation ===\n";
+  std::cout << "tasks  merged  unmerged  ratio\n";
+  for (int tasks = 1; tasks <= 6; ++tasks) {
+    std::string src = cuaf::bench::handshakeProgram(tasks);
+    std::size_t on = explore(src, true).states_generated;
+    std::size_t off = explore(src, false).states_generated;
+    std::printf("%5d  %6zu  %8zu  %5.2fx\n", tasks, on, off,
+                on == 0 ? 0.0 : static_cast<double>(off) / static_cast<double>(on));
+  }
+  return 0;
+}

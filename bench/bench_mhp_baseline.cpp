@@ -1,0 +1,93 @@
+// Precision comparison against the sync-block-only MHP baseline (§VI).
+//
+// The paper argues that finish/sync-block-based approaches (X10, HJ) are
+// "heavily restrictive": they cannot accept point-to-point-synchronized
+// programs. This bench quantifies that on (a) handshake programs where the
+// PPS analysis proves everything safe and (b) a generated corpus slice.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/analysis/pipeline.h"
+#include "src/corpus/generator.h"
+
+namespace {
+
+struct Pair {
+  std::size_t checker = 0;
+  std::size_t baseline = 0;
+};
+
+Pair compare(const std::string& src) {
+  cuaf::Pipeline pipeline;
+  if (!pipeline.runSource("bench.chpl", src)) std::abort();
+  cuaf::DiagnosticEngine diags;
+  cuaf::AnalysisResult baseline =
+      cuaf::runMhpBaseline(*pipeline.module(), diags);
+  return Pair{pipeline.analysis().warningCount(), baseline.warningCount()};
+}
+
+void BM_CheckerOnHandshakes(benchmark::State& state) {
+  std::string src = cuaf::bench::handshakeProgram(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    cuaf::Pipeline pipeline;
+    if (!pipeline.runSource("bench.chpl", src)) std::abort();
+    benchmark::DoNotOptimize(pipeline.analysis().warningCount());
+  }
+}
+
+void BM_BaselineOnHandshakes(benchmark::State& state) {
+  std::string src = cuaf::bench::handshakeProgram(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    cuaf::Pipeline pipeline;
+    if (!pipeline.runSource("bench.chpl", src)) std::abort();
+    cuaf::DiagnosticEngine diags;
+    cuaf::AnalysisResult baseline =
+        cuaf::runMhpBaseline(*pipeline.module(), diags);
+    benchmark::DoNotOptimize(baseline.warningCount());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_CheckerOnHandshakes)->DenseRange(1, 5);
+BENCHMARK(BM_BaselineOnHandshakes)->DenseRange(1, 5);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::cout << "\n=== Precision: PPS analysis vs sync-block-only MHP baseline ===\n";
+  std::cout << "point-to-point handshake programs (all dynamically safe):\n";
+  std::cout << "tasks  checker-warnings  baseline-warnings\n";
+  for (int tasks = 1; tasks <= 5; ++tasks) {
+    Pair p = compare(cuaf::bench::handshakeProgram(tasks));
+    std::printf("%5d  %16zu  %17zu\n", tasks, p.checker, p.baseline);
+  }
+
+  std::cout << "\nfenced programs (both approaches accept):\n";
+  std::cout << "tasks  checker-warnings  baseline-warnings\n";
+  for (int tasks = 1; tasks <= 5; ++tasks) {
+    Pair p = compare(cuaf::bench::fencedProgram(tasks));
+    std::printf("%5d  %16zu  %17zu\n", tasks, p.checker, p.baseline);
+  }
+
+  std::cout << "\ngenerated corpus slice (1000 programs, dense begins):\n";
+  cuaf::corpus::GeneratorOptions gopts;
+  gopts.begin_pm = 500;
+  cuaf::corpus::ProgramGenerator gen(13, gopts);
+  Pair total;
+  for (int i = 0; i < 1000; ++i) {
+    Pair p = compare(gen.next().source);
+    total.checker += p.checker;
+    total.baseline += p.baseline;
+  }
+  std::printf("checker total:  %zu warnings\n", total.checker);
+  std::printf("baseline total: %zu warnings (%.2fx)\n", total.baseline,
+              total.checker == 0
+                  ? 0.0
+                  : static_cast<double>(total.baseline) /
+                        static_cast<double>(total.checker));
+  return 0;
+}

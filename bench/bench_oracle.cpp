@@ -1,0 +1,71 @@
+// Oracle cost & quality: schedules explored and wall time of the dynamic
+// use-after-free oracle vs program size, plus exhaustive-vs-budgeted
+// agreement (does a truncated DFS + heuristics still find every UAF the
+// exhaustive exploration finds on small programs?).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/analysis/pipeline.h"
+#include "src/runtime/explore.h"
+
+namespace {
+
+cuaf::rt::ExploreResult runOracle(const std::string& src,
+                                  cuaf::rt::ExploreOptions opts) {
+  cuaf::Pipeline pipeline;
+  if (!pipeline.runSource("bench.chpl", src)) std::abort();
+  return cuaf::rt::exploreAll(*pipeline.module(), *pipeline.program(), opts);
+}
+
+void BM_OracleUnsafe(benchmark::State& state) {
+  std::string src = cuaf::bench::unsafeProgram(static_cast<int>(state.range(0)));
+  cuaf::rt::ExploreOptions opts;
+  std::size_t schedules = 0;
+  for (auto _ : state) {
+    cuaf::rt::ExploreResult r = runOracle(src, opts);
+    schedules = r.schedules_run;
+    benchmark::DoNotOptimize(r.uaf_sites);
+  }
+  state.counters["schedules"] = static_cast<double>(schedules);
+}
+
+void BM_OracleHandshake(benchmark::State& state) {
+  std::string src = cuaf::bench::handshakeProgram(static_cast<int>(state.range(0)));
+  cuaf::rt::ExploreOptions opts;
+  std::size_t schedules = 0;
+  for (auto _ : state) {
+    cuaf::rt::ExploreResult r = runOracle(src, opts);
+    schedules = r.schedules_run;
+    benchmark::DoNotOptimize(r.uaf_sites);
+  }
+  state.counters["schedules"] = static_cast<double>(schedules);
+}
+
+}  // namespace
+
+BENCHMARK(BM_OracleUnsafe)->DenseRange(1, 4);
+BENCHMARK(BM_OracleHandshake)->DenseRange(1, 4);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::cout << "\n=== Oracle: budgeted vs exhaustive agreement ===\n";
+  std::cout << "tasks  uaf(exhaustive)  uaf(budget=50)  schedules(ex)  schedules(50)\n";
+  for (int tasks = 1; tasks <= 4; ++tasks) {
+    std::string src = cuaf::bench::unsafeProgram(tasks);
+    cuaf::rt::ExploreOptions full;
+    full.max_schedules = 100000;
+    cuaf::rt::ExploreOptions budget;
+    budget.max_schedules = 50;
+    budget.random_schedules = 16;
+    cuaf::rt::ExploreResult ex = runOracle(src, full);
+    cuaf::rt::ExploreResult bu = runOracle(src, budget);
+    std::printf("%5d  %15zu  %14zu  %13zu  %13zu\n", tasks,
+                ex.uaf_sites.size(), bu.uaf_sites.size(), ex.schedules_run,
+                bu.schedules_run);
+  }
+  return 0;
+}

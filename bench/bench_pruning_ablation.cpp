@@ -1,0 +1,92 @@
+// Ablation: CCFG pruning rules A-D (§III.A).
+//
+// Over fenced-task programs and a generated corpus slice, compares tasks
+// pruned, PPS states explored, and warnings with pruning on vs off.
+// Disabling pruning loses the sync-block reasoning, so it both explores more
+// states and reports strictly more (conservative) warnings.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/analysis/pipeline.h"
+#include "src/corpus/generator.h"
+
+namespace {
+
+struct Outcome {
+  std::size_t warnings = 0;
+  std::size_t pps_states = 0;
+  std::size_t pruned = 0;
+};
+
+Outcome analyze(const std::string& src, bool prune) {
+  cuaf::AnalysisOptions opts;
+  opts.build.prune = prune;
+  cuaf::Pipeline pipeline(opts);
+  if (!pipeline.runSource("bench.chpl", src)) std::abort();
+  Outcome o;
+  for (const cuaf::ProcAnalysis& pa : pipeline.analysis().procs) {
+    o.warnings += pa.warnings.size();
+    o.pps_states += pa.pps_states;
+    o.pruned += pa.pruned_tasks;
+  }
+  return o;
+}
+
+void BM_PruningOn(benchmark::State& state) {
+  std::string src = cuaf::bench::fencedProgram(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Outcome o = analyze(src, true);
+    benchmark::DoNotOptimize(o);
+  }
+}
+
+void BM_PruningOff(benchmark::State& state) {
+  std::string src = cuaf::bench::fencedProgram(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Outcome o = analyze(src, false);
+    benchmark::DoNotOptimize(o);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_PruningOn)->DenseRange(2, 10, 2);
+BENCHMARK(BM_PruningOff)->DenseRange(2, 10, 2);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::cout << "\n=== Pruning ablation: fenced-task programs ===\n";
+  std::cout << "tasks  pruned  warn(on)  warn(off)  pps(on)  pps(off)\n";
+  for (int tasks = 2; tasks <= 10; tasks += 2) {
+    std::string src = cuaf::bench::fencedProgram(tasks);
+    Outcome on = analyze(src, true);
+    Outcome off = analyze(src, false);
+    std::printf("%5d  %6zu  %8zu  %9zu  %7zu  %8zu\n", tasks, on.pruned,
+                on.warnings, off.warnings, on.pps_states, off.pps_states);
+  }
+
+  std::cout << "\n=== Pruning ablation: generated corpus (500 programs) ===\n";
+  cuaf::corpus::GeneratorOptions gopts;
+  gopts.begin_pm = 500;  // denser corpus for the ablation
+  cuaf::corpus::ProgramGenerator gen(7, gopts);
+  Outcome total_on, total_off;
+  for (int i = 0; i < 500; ++i) {
+    cuaf::corpus::GeneratedProgram p = gen.next();
+    Outcome on = analyze(p.source, true);
+    Outcome off = analyze(p.source, false);
+    total_on.warnings += on.warnings;
+    total_on.pps_states += on.pps_states;
+    total_on.pruned += on.pruned;
+    total_off.warnings += off.warnings;
+    total_off.pps_states += off.pps_states;
+  }
+  std::printf("with pruning:    %zu warnings, %zu PPS states, %zu tasks pruned\n",
+              total_on.warnings, total_on.pps_states, total_on.pruned);
+  std::printf("without pruning: %zu warnings, %zu PPS states\n",
+              total_off.warnings, total_off.pps_states);
+  return 0;
+}

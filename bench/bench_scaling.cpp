@@ -1,0 +1,55 @@
+// Scaling: end-to-end analysis cost (parse -> sema -> IR -> CCFG -> PPS) as
+// program size grows along three axes: number of tasks, accesses per task,
+// and branches in the parent strand.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/analysis/pipeline.h"
+
+namespace {
+
+void runFull(const std::string& src) {
+  cuaf::Pipeline pipeline;
+  if (!pipeline.runSource("bench.chpl", src)) std::abort();
+  benchmark::DoNotOptimize(pipeline.analysis().warningCount());
+}
+
+void BM_TasksHandshake(benchmark::State& state) {
+  std::string src = cuaf::bench::handshakeProgram(static_cast<int>(state.range(0)));
+  for (auto _ : state) runFull(src);
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_TasksUnsafe(benchmark::State& state) {
+  std::string src = cuaf::bench::unsafeProgram(static_cast<int>(state.range(0)));
+  for (auto _ : state) runFull(src);
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_AccessesPerTask(benchmark::State& state) {
+  std::string src = cuaf::bench::handshakeProgram(3, static_cast<int>(state.range(0)));
+  for (auto _ : state) runFull(src);
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_Branches(benchmark::State& state) {
+  std::string src = cuaf::bench::branchyProgram(static_cast<int>(state.range(0)));
+  for (auto _ : state) runFull(src);
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_FencedTasks(benchmark::State& state) {
+  std::string src = cuaf::bench::fencedProgram(static_cast<int>(state.range(0)));
+  for (auto _ : state) runFull(src);
+  state.SetComplexityN(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_TasksHandshake)->DenseRange(1, 6)->Complexity();
+BENCHMARK(BM_TasksUnsafe)->RangeMultiplier(2)->Range(1, 32)->Complexity();
+BENCHMARK(BM_AccessesPerTask)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+BENCHMARK(BM_Branches)->DenseRange(1, 8)->Complexity();
+BENCHMARK(BM_FencedTasks)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Shared helpers for the benchmark harnesses: parameterized mini-Chapel
+// program synthesis (N tasks, N sync variables, N branches, ...).
+#pragma once
+
+#include <string>
+
+namespace cuaf::bench {
+
+/// N begin tasks, each with a correct sync-variable handshake, parent waits
+/// for all of them at the end of the scope.
+inline std::string handshakeProgram(int tasks, int accesses_per_task = 2) {
+  std::string src = "proc p() {\n  var x: int = 0;\n";
+  for (int t = 0; t < tasks; ++t) {
+    src += "  var d" + std::to_string(t) + "$: sync bool;\n";
+    src += "  begin with (ref x) {\n";
+    for (int a = 0; a < accesses_per_task; ++a) {
+      src += "    x += " + std::to_string(t + a + 1) + ";\n";
+    }
+    src += "    d" + std::to_string(t) + "$ = true;\n  }\n";
+  }
+  for (int t = 0; t < tasks; ++t) {
+    src += "  d" + std::to_string(t) + "$;\n";
+  }
+  src += "  writeln(x);\n}\n";
+  return src;
+}
+
+/// N fire-and-forget tasks with no synchronization (all accesses unsafe).
+inline std::string unsafeProgram(int tasks, int accesses_per_task = 2) {
+  std::string src = "proc p() {\n  var x: int = 0;\n";
+  for (int t = 0; t < tasks; ++t) {
+    src += "  begin with (ref x) {\n";
+    for (int a = 0; a < accesses_per_task; ++a) {
+      src += "    x += " + std::to_string(t + a + 1) + ";\n";
+    }
+    src += "  }\n";
+  }
+  src += "}\n";
+  return src;
+}
+
+/// One synced task wrapped in N nested branches (PPS forks per branch).
+inline std::string branchyProgram(int branches) {
+  std::string src = "config const c = true;\nproc p() {\n  var x: int = 0;\n";
+  src += "  var d$: sync bool;\n";
+  src += "  begin with (ref x) { x += 1; d$ = true; }\n";
+  for (int b = 0; b < branches; ++b) {
+    src += "  if (c) { writeln(" + std::to_string(b) + "); } else { writeln(0); }\n";
+  }
+  src += "  d$;\n}\n";
+  return src;
+}
+
+/// Tasks fenced by a sync block (exercises pruning rules).
+inline std::string fencedProgram(int tasks) {
+  std::string src = "proc p() {\n  var x: int = 0;\n  sync {\n";
+  for (int t = 0; t < tasks; ++t) {
+    src += "    begin with (ref x) { x += " + std::to_string(t + 1) + "; }\n";
+  }
+  src += "  }\n  writeln(x);\n}\n";
+  return src;
+}
+
+}  // namespace cuaf::bench

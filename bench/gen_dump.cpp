@@ -1,0 +1,29 @@
+// Developer utility: dump generated corpus programs and their outcomes.
+//   gen_dump <count> [seed] [--only-warned]
+#include <cstdlib>
+#include <iostream>
+
+#include "src/corpus/generator.h"
+#include "src/corpus/runner.h"
+
+int main(int argc, char** argv) {
+  std::size_t count = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50;
+  std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20170529;
+  bool only_warned = argc > 3 && std::string(argv[3]) == "--only-warned";
+
+  cuaf::corpus::ProgramGenerator gen(seed, {});
+  cuaf::corpus::RunnerOptions run;
+  for (std::size_t i = 0; i < count; ++i) {
+    cuaf::corpus::GeneratedProgram p = gen.next();
+    cuaf::corpus::ProgramOutcome o =
+        cuaf::corpus::runProgram(p.name, p.source, run);
+    if (only_warned && o.warnings == 0) continue;
+    std::cout << "=== " << p.name << " parse_ok=" << o.parse_ok
+              << " begin=" << o.has_begin << " warnings=" << o.warnings
+              << " tp=" << o.true_positives
+              << " intended_unsafe=" << p.intended_unsafe_tasks
+              << " intended_fp=" << p.intended_fp_tasks << "\n";
+    if (only_warned || !o.parse_ok) std::cout << p.source << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces the paper's running example (Figures 1-3): the outerVarUse
+// procedure with tasks A, B, C. Prints the CCFG (Figure 2 artifact), the PPS
+// exploration trace (Figure 3 artifact) and the final verdicts, then shows
+// that swapping the two synchronization statements makes every access safe.
+#include <iostream>
+
+#include "src/analysis/pipeline.h"
+#include "src/ccfg/printer.h"
+#include "src/corpus/curated.h"
+
+namespace {
+
+void analyze(const std::string& name, const std::string& source) {
+  cuaf::AnalysisOptions opts;
+  opts.keep_artifacts = true;
+  opts.pps.record_trace = true;
+  cuaf::Pipeline pipeline(opts);
+  if (!pipeline.runSource(name, source)) {
+    std::cerr << pipeline.renderDiagnostics();
+    return;
+  }
+  for (const cuaf::ProcAnalysis& pa : pipeline.analysis().procs) {
+    std::cout << "==== " << name << " / proc " << pa.proc_name << " ====\n";
+    if (pa.graph) {
+      std::cout << "-- CCFG (paper Figure 2) --\n"
+                << cuaf::ccfg::printGraph(*pa.graph);
+    }
+    if (pa.graph && pa.pps_result) {
+      std::cout << "-- PPS exploration (paper Figure 3) --\n"
+                << cuaf::pps::renderTrace(*pa.graph, *pa.pps_result);
+    }
+    std::cout << "-- verdict --\n";
+    if (pa.warnings.empty()) {
+      std::cout << "all outer-variable accesses safe\n";
+    }
+    for (const cuaf::UafWarning& w : pa.warnings) {
+      std::cout << pipeline.sourceManager().render(w.access_loc) << ": "
+                << w.message() << '\n';
+    }
+    std::cout << '\n';
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto* fig1 = cuaf::corpus::findCurated("paper_fig1");
+  const auto* swapped = cuaf::corpus::findCurated("paper_fig1_swapped");
+  if (fig1 == nullptr || swapped == nullptr) {
+    std::cerr << "curated programs missing\n";
+    return 1;
+  }
+  analyze("fig1", fig1->source);
+  std::cout << "After swapping `doneA$ = true;` and `doneB$;` (paper: the "
+               "wait chain B -> A -> parent makes the access safe):\n\n";
+  analyze("fig1_swapped", swapped->source);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces the paper's conditional-branching example (Figures 6-7): the
+// multipleUse procedure where taking the IF branch spawns a task whose
+// access is potentially dangerous. The PPS table shows both the IF and ELSE
+// initial states, mirroring Figure 7.
+#include <iostream>
+
+#include "src/analysis/pipeline.h"
+#include "src/ccfg/printer.h"
+#include "src/corpus/curated.h"
+#include "src/runtime/explore.h"
+
+int main() {
+  const auto* fig6 = cuaf::corpus::findCurated("paper_fig6");
+  if (fig6 == nullptr) {
+    std::cerr << "curated program missing\n";
+    return 1;
+  }
+
+  cuaf::AnalysisOptions opts;
+  opts.keep_artifacts = true;
+  opts.pps.record_trace = true;
+  cuaf::Pipeline pipeline(opts);
+  if (!pipeline.runSource("fig6", fig6->source)) {
+    std::cerr << pipeline.renderDiagnostics();
+    return 1;
+  }
+
+  const cuaf::ProcAnalysis& pa = pipeline.analysis().procs[0];
+  std::cout << "-- CCFG (paper Figure 7, top) --\n";
+  if (pa.graph) std::cout << cuaf::ccfg::printGraph(*pa.graph);
+  std::cout << "-- PPS exploration (paper Figure 7, bottom) --\n";
+  if (pa.graph && pa.pps_result) {
+    std::cout << cuaf::pps::renderTrace(*pa.graph, *pa.pps_result);
+  }
+  std::cout << "-- static verdict --\n";
+  for (const cuaf::UafWarning& w : pa.warnings) {
+    std::cout << pipeline.sourceManager().render(w.access_loc) << ": "
+              << w.message() << '\n';
+  }
+
+  // Cross-check with the dynamic oracle: the warned access really does race
+  // with the parent's scope exit when the branch is taken.
+  cuaf::rt::ExploreResult oracle =
+      cuaf::rt::exploreAll(*pipeline.module(), *pipeline.program(), {});
+  std::cout << "-- dynamic oracle --\n"
+            << oracle.uaf_sites.size() << " use-after-free site(s) across "
+            << oracle.schedules_run << " schedules"
+            << (oracle.exhaustive ? " (exhaustive)" : "") << '\n';
+  for (const cuaf::rt::UafEvent& e : oracle.uaf_sites) {
+    std::cout << "  " << pipeline.sourceManager().render(e.loc)
+              << ": dynamic UAF\n";
+  }
+  return 0;
+}

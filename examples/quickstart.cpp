@@ -1,0 +1,62 @@
+// Quickstart: run the use-after-free checker on a mini-Chapel program.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "src/analysis/pipeline.h"
+
+int main() {
+  // A classic fire-and-forget bug: the begin task captures `x` by reference
+  // but never synchronizes with the enclosing scope, so the parent may
+  // deallocate `x` before the task reads it.
+  const std::string source = R"(proc main() {
+  var x: int = 10;
+  begin with (ref x) {
+    writeln(x);        // may run after main() exited!
+  }
+  writeln("main done");
+}
+)";
+
+  cuaf::Pipeline pipeline;
+  if (!pipeline.runSource("quickstart.chpl", source)) {
+    std::cerr << pipeline.renderDiagnostics();
+    return 1;
+  }
+
+  std::cout << "Analysis of quickstart.chpl:\n";
+  for (const cuaf::ProcAnalysis& proc : pipeline.analysis().procs) {
+    std::cout << "  proc " << proc.proc_name << ": "
+              << proc.warnings.size() << " warning(s), "
+              << proc.ccfg_tasks << " task(s), "
+              << proc.pps_states << " PPS state(s) explored\n";
+    for (const cuaf::UafWarning& w : proc.warnings) {
+      std::cout << "    "
+                << pipeline.sourceManager().render(w.access_loc) << ": "
+                << w.message() << '\n';
+    }
+  }
+
+  // Fixing the bug: add a sync-variable handshake.
+  const std::string fixed = R"(proc main() {
+  var x: int = 10;
+  var done$: sync bool;
+  begin with (ref x) {
+    writeln(x);
+    done$ = true;      // signal...
+  }
+  done$;               // ...and wait before leaving x's scope
+  writeln("main done");
+}
+)";
+  cuaf::Pipeline pipeline2;
+  if (!pipeline2.runSource("quickstart_fixed.chpl", fixed)) {
+    std::cerr << pipeline2.renderDiagnostics();
+    return 1;
+  }
+  std::cout << "After adding the sync handshake: "
+            << pipeline2.analysis().warningCount() << " warning(s)\n";
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "src/analysis/checker.h"
+
+#include <algorithm>
+
+namespace cuaf {
+
+namespace {
+
+UafWarning makeWarning(const ccfg::Graph& graph, const ccfg::OvUse& access) {
+  UafWarning w;
+  w.var_name = graph.varName(access.var);
+  w.access_loc = access.loc;
+  w.decl_loc = graph.varInfo(access.var).loc;
+  w.task_loc = graph.task(access.task).loc;
+  w.is_write = access.is_write;
+  return w;
+}
+
+void fillStats(ProcAnalysis& pa, const ccfg::Graph& graph) {
+  pa.ccfg_nodes = graph.nodeCount();
+  pa.ccfg_tasks = graph.taskCount();
+  pa.pruned_tasks = graph.stats().pruned_tasks;
+  pa.ov_accesses = graph.accessCount();
+}
+
+/// True if the lowered body contains a begin anywhere (needed because an
+/// unsupported-loop graph stops before walking the loop's begin tasks).
+bool irHasBegin(const ir::Stmt& stmt) {
+  if (stmt.kind == ir::StmtKind::Begin) return true;
+  for (const auto& s : stmt.body) {
+    if (irHasBegin(*s)) return true;
+  }
+  for (const auto& s : stmt.else_body) {
+    if (irHasBegin(*s)) return true;
+  }
+  return false;
+}
+
+void emitWarnings(const ProcAnalysis& pa, DiagnosticEngine& diags) {
+  for (const UafWarning& w : pa.warnings) {
+    diags.warning(w.access_loc, "uaf", w.message());
+  }
+}
+
+}  // namespace
+
+std::string UafWarning::message() const {
+  std::string out = "potential use-after-free: outer variable '";
+  out += var_name;
+  out += "' may be accessed after its scope has exited (";
+  out += is_write ? "write" : "read";
+  out += " in a begin task lacking synchronization with the variable's "
+         "parent scope)";
+  return out;
+}
+
+std::size_t AnalysisResult::warningCount() const {
+  std::size_t n = 0;
+  for (const ProcAnalysis& p : procs) n += p.warnings.size();
+  return n;
+}
+
+bool AnalysisResult::hasBegin() const {
+  return std::any_of(procs.begin(), procs.end(),
+                     [](const ProcAnalysis& p) { return p.has_begin; });
+}
+
+std::vector<const UafWarning*> AnalysisResult::allWarnings() const {
+  std::vector<const UafWarning*> out;
+  for (const ProcAnalysis& p : procs) {
+    for (const UafWarning& w : p.warnings) out.push_back(&w);
+  }
+  return out;
+}
+
+AnalysisResult UseAfterFreeChecker::run(const ir::Module& module,
+                                        DiagnosticEngine& diags) const {
+  AnalysisResult result;
+  const SemaModule& sema = *module.sema;
+
+  for (const auto& proc : module.procs) {
+    if (proc->is_nested) continue;  // analyzed via inlining at call sites
+
+    ProcAnalysis pa;
+    pa.proc = proc->id;
+    pa.proc_name = std::string(sema.interner().text(proc->name));
+
+    auto graph = ccfg::buildGraph(module, proc->id, diags, options_.build);
+    pa.has_begin = graph->taskCount() > 1 || irHasBegin(*proc->body);
+    fillStats(pa, *graph);
+
+    if (graph->unsupported()) {
+      pa.skipped_unsupported = true;
+      result.procs.push_back(std::move(pa));
+      continue;
+    }
+
+    if (pa.has_begin &&
+        (graph->accessCount() > 0 ||
+         (options_.pps.report_deadlocks && !graph->syncVars().empty()))) {
+      pps::Result pps_result = pps::explore(*graph, options_.pps);
+      pa.pps_states = pps_result.states_generated;
+      pa.pps_merged = pps_result.states_merged;
+      pa.deadlocks = pps_result.deadlock_count;
+      for (AccessId a : pps_result.unsafe) {
+        pa.warnings.push_back(makeWarning(*graph, graph->access(a)));
+      }
+      for (NodeId n : pps_result.deadlocked_nodes) {
+        const ccfg::Node& node = graph->node(n);
+        if (!node.sync) continue;
+        pa.deadlock_points.push_back(node.sync->loc);
+        diags.warning(node.sync->loc, "deadlock",
+                      "synchronization on '" + graph->varName(node.sync->var) +
+                          "' can never complete in at least one execution "
+                          "(potential deadlock point)");
+      }
+      if (options_.keep_artifacts) {
+        pa.pps_result = std::make_unique<pps::Result>(std::move(pps_result));
+      }
+    }
+    emitWarnings(pa, diags);
+    if (options_.keep_artifacts) pa.graph = std::move(graph);
+    result.procs.push_back(std::move(pa));
+  }
+  return result;
+}
+
+AnalysisResult runMhpBaseline(const ir::Module& module,
+                              DiagnosticEngine& diags) {
+  AnalysisResult result;
+  const SemaModule& sema = *module.sema;
+
+  for (const auto& proc : module.procs) {
+    if (proc->is_nested) continue;
+
+    ProcAnalysis pa;
+    pa.proc = proc->id;
+    pa.proc_name = std::string(sema.interner().text(proc->name));
+
+    // The baseline understands sync-block fencing (rules A–D and the
+    // synced-scope root rule run during construction) but not point-to-point
+    // synchronization: every access those rules cannot discharge is flagged.
+    auto graph = ccfg::buildGraph(module, proc->id, diags, ccfg::BuildOptions{});
+    pa.has_begin = graph->taskCount() > 1 || irHasBegin(*proc->body);
+    fillStats(pa, *graph);
+
+    if (graph->unsupported()) {
+      pa.skipped_unsupported = true;
+      result.procs.push_back(std::move(pa));
+      continue;
+    }
+    for (const ccfg::OvUse& a : graph->accesses()) {
+      if (!a.pre_safe) pa.warnings.push_back(makeWarning(*graph, a));
+    }
+    result.procs.push_back(std::move(pa));
+  }
+  return result;
+}
+
+}  // namespace cuaf

@@ -1,0 +1,97 @@
+// Public entry point: the use-after-free checker for begin-task outer
+// variables (the paper's compiler pass), plus the sync-block-only MHP
+// baseline used for precision comparisons.
+//
+// Typical use:
+//   cuaf::SourceManager sm;
+//   cuaf::StringInterner interner;
+//   cuaf::DiagnosticEngine diags;
+//   auto program = cuaf::parseString(sm, interner, diags, "t.chpl", source);
+//   auto sema = cuaf::analyze(*program, interner, diags);
+//   auto module = cuaf::ir::lower(*program, *sema, diags);
+//   cuaf::UseAfterFreeChecker checker;
+//   cuaf::AnalysisResult result = checker.run(*module, diags);
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ccfg/builder.h"
+#include "src/pps/pps.h"
+
+namespace cuaf {
+
+struct AnalysisOptions {
+  ccfg::BuildOptions build;
+  pps::Options pps;
+  /// Keep the built CCFGs and PPS results in the AnalysisResult (tools,
+  /// tests and benches want them; the corpus runner does not).
+  bool keep_artifacts = false;
+};
+
+/// One reported potentially-dangerous outer-variable access.
+struct UafWarning {
+  std::string var_name;
+  SourceLoc access_loc;
+  SourceLoc decl_loc;
+  SourceLoc task_loc;  ///< the begin statement of the accessing task
+  bool is_write = false;
+
+  /// Renders "potential use-after-free of 'x' ..." for user display.
+  [[nodiscard]] std::string message() const;
+};
+
+struct ProcAnalysis {
+  ProcId proc;
+  std::string proc_name;
+  bool has_begin = false;
+  bool skipped_unsupported = false;  ///< paper's loop limitation hit
+  std::vector<UafWarning> warnings;
+  /// Extension: sync operations stuck in at least one deadlocked PPS
+  /// (populated when AnalysisOptions::pps.report_deadlocks is set).
+  std::vector<SourceLoc> deadlock_points;
+
+  // Stats for benches.
+  std::size_t ccfg_nodes = 0;
+  std::size_t ccfg_tasks = 0;
+  std::size_t pruned_tasks = 0;
+  std::size_t ov_accesses = 0;
+  std::size_t pps_states = 0;
+  std::size_t pps_merged = 0;
+  std::size_t deadlocks = 0;
+
+  // Populated when AnalysisOptions::keep_artifacts is set.
+  std::unique_ptr<ccfg::Graph> graph;
+  std::unique_ptr<pps::Result> pps_result;
+};
+
+struct AnalysisResult {
+  std::vector<ProcAnalysis> procs;
+
+  [[nodiscard]] std::size_t warningCount() const;
+  [[nodiscard]] bool hasBegin() const;
+  [[nodiscard]] std::vector<const UafWarning*> allWarnings() const;
+};
+
+class UseAfterFreeChecker {
+ public:
+  explicit UseAfterFreeChecker(AnalysisOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Analyzes every top-level procedure of the module. Warnings are both
+  /// returned and emitted into `diags` with code "uaf".
+  AnalysisResult run(const ir::Module& module, DiagnosticEngine& diags) const;
+
+ private:
+  AnalysisOptions options_;
+};
+
+/// Sync-block-only MHP baseline (§VI): an outer-variable access is deemed
+/// safe only when pruning rules A–D (sync-block reasoning) cover it;
+/// point-to-point synchronization is ignored. Returns per-proc warnings in
+/// the same shape as the checker for head-to-head comparison.
+AnalysisResult runMhpBaseline(const ir::Module& module,
+                              DiagnosticEngine& diags);
+
+}  // namespace cuaf

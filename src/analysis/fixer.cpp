@@ -1,0 +1,348 @@
+#include "src/analysis/fixer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/analysis/pipeline.h"
+
+namespace cuaf {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Line-based source editing
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> splitLines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= source.size()) {
+    std::size_t nl = source.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < source.size()) lines.push_back(source.substr(start));
+      break;
+    }
+    lines.push_back(source.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string joinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string indentOf(const std::string& line) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  return line.substr(0, i);
+}
+
+/// Inserts `text` lines before 1-based line numbers; later insertions at the
+/// same line keep their relative order.
+std::string applyInsertions(
+    const std::string& source,
+    const std::multimap<std::uint32_t, std::string>& inserts) {
+  std::vector<std::string> lines = splitLines(source);
+  std::vector<std::string> out;
+  out.reserve(lines.size() + inserts.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    auto range = inserts.equal_range(static_cast<std::uint32_t>(i + 1));
+    for (auto it = range.first; it != range.second; ++it) {
+      out.push_back(it->second);
+    }
+    out.push_back(lines[i]);
+  }
+  // Insertions beyond the last line append.
+  auto range = inserts.equal_range(static_cast<std::uint32_t>(lines.size() + 1));
+  for (auto it = range.first; it != range.second; ++it) {
+    out.push_back(it->second);
+  }
+  return joinLines(out);
+}
+
+// ---------------------------------------------------------------------------
+// AST lookup
+// ---------------------------------------------------------------------------
+
+struct TaskSite {
+  const BeginStmt* begin = nullptr;
+  const ProcDecl* proc = nullptr;  ///< outermost enclosing procedure
+};
+
+void findBegins(const Stmt& stmt, const ProcDecl& proc,
+                std::map<std::pair<std::uint32_t, std::uint32_t>, TaskSite>& out) {
+  if (const auto* begin = stmt.as<BeginStmt>()) {
+    out[{begin->loc.line, begin->loc.column}] = TaskSite{begin, &proc};
+    findBegins(*begin->body, proc, out);
+    return;
+  }
+  switch (stmt.kind) {
+    case StmtKind::Block:
+      for (const auto& s : static_cast<const BlockStmt&>(stmt).stmts) {
+        findBegins(*s, proc, out);
+      }
+      break;
+    case StmtKind::SyncBlock:
+      findBegins(*static_cast<const SyncBlockStmt&>(stmt).body, proc, out);
+      break;
+    case StmtKind::Cobegin:
+      for (const auto& s : static_cast<const CobeginStmt&>(stmt).stmts) {
+        findBegins(*s, proc, out);
+      }
+      break;
+    case StmtKind::If: {
+      const auto& s = static_cast<const IfStmt&>(stmt);
+      findBegins(*s.then_body, proc, out);
+      if (s.else_body) findBegins(*s.else_body, proc, out);
+      break;
+    }
+    case StmtKind::While:
+      findBegins(*static_cast<const WhileStmt&>(stmt).body, proc, out);
+      break;
+    case StmtKind::For:
+      findBegins(*static_cast<const ForStmt&>(stmt).body, proc, out);
+      break;
+    case StmtKind::ProcDecl:
+      findBegins(*static_cast<const ProcDeclStmt&>(stmt).proc->body, proc, out);
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Patch synthesis
+// ---------------------------------------------------------------------------
+
+struct Patch {
+  FixKind kind;
+  std::string description;
+  std::string source;
+};
+
+Patch makeHandshakePatch(const std::string& source,
+                         const std::vector<std::string>& lines,
+                         const TaskSite& site, unsigned serial) {
+  const BeginStmt& begin = *site.begin;
+  const auto* body = begin.body->as<BlockStmt>();
+  std::string var = "__fix" + std::to_string(serial) + "$";
+  std::string begin_indent = indentOf(lines.at(begin.loc.line - 1));
+  std::string body_indent = begin_indent + "  ";
+  std::string proc_indent =
+      indentOf(lines.at(site.proc->loc.line - 1)) + "  ";
+
+  // The declaration must be lexically visible both in the (possibly nested)
+  // task and at the procedure's end: hoist it to the top of the proc body.
+  std::uint32_t decl_line =
+      site.proc->body->stmts.empty()
+          ? site.proc->body->rbrace_loc.line
+          : site.proc->body->stmts.front()->loc.line;
+
+  std::multimap<std::uint32_t, std::string> inserts;
+  inserts.emplace(decl_line, proc_indent + "var " + var + ": sync bool;");
+  inserts.emplace(body->rbrace_loc.line, body_indent + var + " = true;");
+  inserts.emplace(site.proc->body->rbrace_loc.line, proc_indent + var + ";");
+
+  Patch p;
+  p.kind = FixKind::Handshake;
+  p.description =
+      "declare `var " + var + ": sync bool;` at the top of the procedure "
+      "(line " + std::to_string(decl_line) + "), signal `" + var +
+      " = true;` as the task's last statement (line " +
+      std::to_string(body->rbrace_loc.line) + "), and wait `" + var +
+      ";` at the end of the procedure (line " +
+      std::to_string(site.proc->body->rbrace_loc.line) + ")";
+  p.source = applyInsertions(source, inserts);
+  return p;
+}
+
+Patch makeFencePatch(const std::string& source,
+                     const std::vector<std::string>& lines,
+                     const TaskSite& site) {
+  const BeginStmt& begin = *site.begin;
+  std::string begin_indent = indentOf(lines.at(begin.loc.line - 1));
+  std::uint32_t end_line = begin.loc.line;
+  if (const auto* body = begin.body->as<BlockStmt>()) {
+    end_line = body->rbrace_loc.line;
+  }
+  std::multimap<std::uint32_t, std::string> inserts;
+  inserts.emplace(begin.loc.line, begin_indent + "sync {");
+  inserts.emplace(end_line + 1, begin_indent + "}");
+
+  Patch p;
+  p.kind = FixKind::Fence;
+  p.description = "wrap the begin at line " + std::to_string(begin.loc.line) +
+                  " in a `sync { }` block (blocks the parent until the task "
+                  "completes)";
+  p.source = applyInsertions(source, inserts);
+  return p;
+}
+
+/// Count of warnings attributed to the task spawned at `task_loc`
+/// (line/column comparison only: file ids differ across re-parses).
+std::size_t warningsForTask(const AnalysisResult& analysis,
+                            SourceLoc task_loc) {
+  std::size_t n = 0;
+  for (const ProcAnalysis& pa : analysis.procs) {
+    for (const UafWarning& w : pa.warnings) {
+      if (w.task_loc.line == task_loc.line &&
+          w.task_loc.column == task_loc.column) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<FixSuggestion> suggestFixes(const Program& program,
+                                        const AnalysisResult& analysis,
+                                        const std::string& source,
+                                        const AnalysisOptions& options) {
+  std::vector<FixSuggestion> suggestions;
+
+  // Unique unsafe tasks, ordered by position.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> task_locs;
+  for (const ProcAnalysis& pa : analysis.procs) {
+    for (const UafWarning& w : pa.warnings) {
+      if (w.task_loc.valid()) {
+        task_locs.insert({w.task_loc.line, w.task_loc.column});
+      }
+    }
+  }
+  if (task_locs.empty()) return suggestions;
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, TaskSite> begins;
+  for (const auto& proc : program.procs) {
+    findBegins(*proc->body, *proc, begins);
+  }
+
+  std::vector<std::string> lines = splitLines(source);
+  std::size_t original_warnings = analysis.warningCount();
+
+  // A handshake added for a task that is only conditionally spawned would
+  // make the parent wait forever on the untaken path; verification therefore
+  // also compares deadlock potential before and after the patch.
+  AnalysisOptions verify_options = options;
+  verify_options.pps.report_deadlocks = true;
+  std::size_t original_deadlocks = 0;
+  {
+    Pipeline pipeline(verify_options);
+    if (pipeline.runSource("original.chpl", source)) {
+      for (const ProcAnalysis& pa : pipeline.analysis().procs) {
+        original_deadlocks += pa.deadlock_points.size();
+      }
+    }
+  }
+  // Start numbering past any __fixN$ variables a previous round introduced.
+  unsigned serial = 0;
+  for (std::size_t pos = source.find("var __fix"); pos != std::string::npos;
+       pos = source.find("var __fix", pos + 1)) {
+    ++serial;
+  }
+
+  for (const auto& key : task_locs) {
+    auto it = begins.find(key);
+    if (it == begins.end()) continue;  // e.g. cobegin-desugared task
+    const TaskSite& site = it->second;
+
+    std::vector<Patch> candidates;
+    if (site.begin->body->as<BlockStmt>() != nullptr) {
+      candidates.push_back(
+          makeHandshakePatch(source, lines, site, serial));
+    }
+    candidates.push_back(makeFencePatch(source, lines, site));
+
+    FixSuggestion best;
+    bool have = false;
+    for (Patch& patch : candidates) {
+      Pipeline pipeline(verify_options);
+      if (!pipeline.runSource("patched.chpl", patch.source)) continue;
+      std::size_t remaining = pipeline.analysis().warningCount();
+      std::size_t patched_deadlocks = 0;
+      for (const ProcAnalysis& pa : pipeline.analysis().procs) {
+        patched_deadlocks += pa.deadlock_points.size();
+      }
+      SourceLoc loc;
+      loc.line = key.first;
+      loc.column = key.second;
+      std::size_t task_warnings = warningsForTask(analysis, loc);
+      // Verified: the patch removes at least this task's warnings, never
+      // introduces new ones, and never increases deadlock potential.
+      bool verified =
+          (task_warnings > 0
+               ? remaining + task_warnings <= original_warnings
+               : remaining < original_warnings) &&
+          patched_deadlocks <= original_deadlocks;
+      FixSuggestion s;
+      s.kind = patch.kind;
+      s.task_loc = loc;
+      s.description = std::move(patch.description);
+      s.patched_source = std::move(patch.source);
+      s.verified = verified;
+      s.remaining_warnings = remaining;
+      if (!have || (s.verified && !best.verified)) {
+        best = std::move(s);
+        have = true;
+      }
+      if (best.verified) break;  // first verified candidate wins
+    }
+    if (have) {
+      ++serial;
+      suggestions.push_back(std::move(best));
+    }
+  }
+  return suggestions;
+}
+
+FixAllResult fixAll(const std::string& source, const AnalysisOptions& options,
+                    std::size_t max_rounds) {
+  FixAllResult result;
+  result.source = source;
+
+  std::size_t prev_warnings = static_cast<std::size_t>(-1);
+  std::string prev_source;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    Pipeline pipeline(options);
+    if (!pipeline.runSource("fixall.chpl", result.source)) break;
+    result.warnings_remaining = pipeline.analysis().warningCount();
+    if (result.warnings_remaining == 0) break;
+    if (result.warnings_remaining >= prev_warnings) {
+      // The last patch did not help; undo it and stop.
+      result.source = prev_source;
+      --result.fixes_applied;
+      break;
+    }
+    prev_warnings = result.warnings_remaining;
+    prev_source = result.source;
+
+    std::vector<FixSuggestion> suggestions = suggestFixes(
+        *pipeline.program(), pipeline.analysis(), result.source, options);
+    const FixSuggestion* pick = nullptr;
+    for (const FixSuggestion& s : suggestions) {
+      if (s.verified) {
+        pick = &s;
+        break;
+      }
+    }
+    if (pick == nullptr) break;
+    result.source = pick->patched_source;
+    ++result.fixes_applied;
+  }
+
+  Pipeline final_check(options);
+  if (final_check.runSource("fixall.chpl", result.source)) {
+    result.warnings_remaining = final_check.analysis().warningCount();
+  }
+  return result;
+}
+
+}  // namespace cuaf

@@ -1,0 +1,58 @@
+// Fix suggester (extension; the paper lists "optimize the amount and
+// position of synchronization points" as future work).
+//
+// For every begin task with unsafe outer-variable accesses it synthesizes a
+// source patch and verifies it by re-running the checker:
+//   * handshake fix — declare a fresh sync variable before the task, signal
+//     it as the task's last statement, and wait on it at the end of the
+//     enclosing procedure (point-to-point, keeps the parent running);
+//   * fence fix — wrap the begin in a `sync { }` block (X10/HJ-style,
+//     simpler but blocks the parent; offered when the task body is not a
+//     braced block or as the conservative alternative).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/checker.h"
+#include "src/ast/ast.h"
+
+namespace cuaf {
+
+enum class FixKind { Handshake, Fence };
+
+struct FixSuggestion {
+  FixKind kind = FixKind::Handshake;
+  /// Begin statement this fix targets.
+  SourceLoc task_loc;
+  /// Human-readable description ("insert `done$ = true;` at line N, ...").
+  std::string description;
+  /// The whole program with the fix applied.
+  std::string patched_source;
+  /// Re-running the checker on the patch reports no warnings for this task.
+  bool verified = false;
+  /// Warnings remaining in the whole patched program (other tasks may still
+  /// be unsafe; apply suggestions iteratively).
+  std::size_t remaining_warnings = 0;
+};
+
+/// Proposes one fix per unsafe begin task found in `analysis`.
+/// `source` must be the exact text the analysis ran on.
+std::vector<FixSuggestion> suggestFixes(const Program& program,
+                                        const AnalysisResult& analysis,
+                                        const std::string& source,
+                                        const AnalysisOptions& options = {});
+
+/// Applies suggestions iteratively (re-analyzing after each) until the
+/// program is warning-free or no further fix verifies. Returns the final
+/// source and the number of fixes applied.
+struct FixAllResult {
+  std::string source;
+  std::size_t fixes_applied = 0;
+  std::size_t warnings_remaining = 0;
+};
+FixAllResult fixAll(const std::string& source,
+                    const AnalysisOptions& options = {},
+                    std::size_t max_rounds = 16);
+
+}  // namespace cuaf

@@ -1,0 +1,97 @@
+#include "src/analysis/json_report.h"
+
+namespace cuaf {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void appendLoc(std::string& out, const SourceManager& sm, SourceLoc loc) {
+  std::string file;
+  if (loc.file.valid() && loc.file.index() < sm.bufferCount()) {
+    file = std::string(sm.bufferName(loc.file));
+  }
+  out += "\"file\":\"" + jsonEscape(file) + "\",";
+  out += "\"line\":" + std::to_string(loc.line) + ",";
+  out += "\"column\":" + std::to_string(loc.column);
+}
+
+}  // namespace
+
+std::string toJson(const AnalysisResult& analysis, const SourceManager& sm) {
+  std::string out = "{\n  \"warnings\": [";
+  bool first = true;
+  for (const ProcAnalysis& pa : analysis.procs) {
+    for (const UafWarning& w : pa.warnings) {
+      if (!first) out += ',';
+      first = false;
+      out += "\n    {";
+      appendLoc(out, sm, w.access_loc);
+      out += ",\"variable\":\"" + jsonEscape(w.var_name) + "\"";
+      out += ",\"kind\":\"";
+      out += w.is_write ? "write" : "read";
+      out += "\"";
+      out += ",\"declLine\":" + std::to_string(w.decl_loc.line);
+      out += ",\"taskLine\":" + std::to_string(w.task_loc.line);
+      out += ",\"message\":\"" + jsonEscape(w.message()) + "\"}";
+    }
+  }
+  out += first ? "]" : "\n  ]";
+
+  out += ",\n  \"deadlocks\": [";
+  first = true;
+  for (const ProcAnalysis& pa : analysis.procs) {
+    for (SourceLoc loc : pa.deadlock_points) {
+      if (!first) out += ',';
+      first = false;
+      out += "\n    {";
+      appendLoc(out, sm, loc);
+      out += '}';
+    }
+  }
+  out += first ? "]" : "\n  ]";
+
+  out += ",\n  \"procs\": [";
+  first = true;
+  for (const ProcAnalysis& pa : analysis.procs) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    {\"name\":\"" + jsonEscape(pa.proc_name) + "\"";
+    out += ",\"hasBegin\":";
+    out += pa.has_begin ? "true" : "false";
+    out += ",\"skippedUnsupported\":";
+    out += pa.skipped_unsupported ? "true" : "false";
+    out += ",\"ccfgNodes\":" + std::to_string(pa.ccfg_nodes);
+    out += ",\"ccfgTasks\":" + std::to_string(pa.ccfg_tasks);
+    out += ",\"prunedTasks\":" + std::to_string(pa.pruned_tasks);
+    out += ",\"ovAccesses\":" + std::to_string(pa.ov_accesses);
+    out += ",\"ppsStates\":" + std::to_string(pa.pps_states);
+    out += '}';
+  }
+  out += first ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace cuaf

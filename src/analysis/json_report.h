@@ -1,0 +1,26 @@
+// Machine-readable (JSON) report of an analysis run, for editor/CI
+// integration of the chpl-uaf tool.
+#pragma once
+
+#include <string>
+
+#include "src/analysis/checker.h"
+#include "src/support/source_manager.h"
+
+namespace cuaf {
+
+/// Renders the analysis result as a JSON document:
+/// {
+///   "warnings": [ {"file","line","column","variable","kind",
+///                  "declLine","taskLine","message"} ... ],
+///   "deadlocks": [ {"file","line","column"} ... ],
+///   "procs": [ {"name","hasBegin","skippedUnsupported","ccfgNodes",
+///               "ccfgTasks","prunedTasks","ovAccesses","ppsStates"} ... ]
+/// }
+[[nodiscard]] std::string toJson(const AnalysisResult& analysis,
+                                 const SourceManager& sm);
+
+/// Escapes a string for embedding in a JSON literal.
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+}  // namespace cuaf

@@ -1,0 +1,26 @@
+#include "src/analysis/pipeline.h"
+
+namespace cuaf {
+
+Pipeline::Pipeline(AnalysisOptions options) : options_(std::move(options)) {}
+
+Pipeline::~Pipeline() = default;
+
+bool Pipeline::runSource(std::string name, std::string source) {
+  program_ = parseString(sm_, interner_, diags_, std::move(name),
+                         std::move(source));
+  if (diags_.hasErrors()) return false;
+  sema_ = analyze(*program_, interner_, diags_);
+  if (diags_.hasErrors()) return false;
+  module_ = ir::lower(*program_, *sema_, diags_);
+  if (diags_.hasErrors()) return false;
+  UseAfterFreeChecker checker(options_);
+  analysis_ = checker.run(*module_, diags_);
+  return true;
+}
+
+std::string Pipeline::renderDiagnostics() const {
+  return diags_.renderAll(sm_);
+}
+
+}  // namespace cuaf

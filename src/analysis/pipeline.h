@@ -1,0 +1,53 @@
+// Convenience façade: source text -> warnings in one call.
+//
+// Owns every intermediate artifact (source manager, interner, AST, sema,
+// IR) so callers that just want warnings or corpus statistics don't need to
+// wire the phases themselves.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/analysis/checker.h"
+#include "src/ir/lower.h"
+#include "src/parser/parser.h"
+#include "src/sema/sema.h"
+
+namespace cuaf {
+
+class Pipeline {
+ public:
+  explicit Pipeline(AnalysisOptions options = {});
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Parses, resolves, lowers and analyzes `source`. Returns false when the
+  /// front-end reported errors (analysis is skipped); true otherwise.
+  bool runSource(std::string name, std::string source);
+
+  [[nodiscard]] const AnalysisResult& analysis() const { return analysis_; }
+  [[nodiscard]] const DiagnosticEngine& diags() const { return diags_; }
+  [[nodiscard]] DiagnosticEngine& diags() { return diags_; }
+  [[nodiscard]] const SourceManager& sourceManager() const { return sm_; }
+  [[nodiscard]] const StringInterner& interner() const { return interner_; }
+  [[nodiscard]] const Program* program() const { return program_.get(); }
+  [[nodiscard]] const SemaModule* sema() const { return sema_.get(); }
+  [[nodiscard]] const ir::Module* module() const { return module_.get(); }
+
+  /// Renders all diagnostics with source locations.
+  [[nodiscard]] std::string renderDiagnostics() const;
+
+ private:
+  AnalysisOptions options_;
+  SourceManager sm_;
+  StringInterner interner_;
+  DiagnosticEngine diags_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<SemaModule> sema_;
+  std::unique_ptr<ir::Module> module_;
+  AnalysisResult analysis_;
+};
+
+}  // namespace cuaf

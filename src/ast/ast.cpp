@@ -1,0 +1,10 @@
+#include "src/ast/ast.h"
+
+namespace cuaf {
+
+ProcDeclStmt::ProcDeclStmt(std::unique_ptr<ProcDecl> p, SourceLoc l)
+    : Stmt(kKind, l), proc(std::move(p)) {}
+
+ProcDeclStmt::~ProcDeclStmt() = default;
+
+}  // namespace cuaf

@@ -1,0 +1,341 @@
+// AST for the mini-Chapel subset.
+//
+// Node ownership follows the tree: parents own children via std::unique_ptr.
+// Sema fills in the `resolved*` fields (variable / procedure ids) in place.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ast/type.h"
+#include "src/support/id_types.h"
+#include "src/support/source_location.h"
+
+namespace cuaf {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  IntLit,
+  RealLit,
+  BoolLit,
+  StringLit,
+  Ident,
+  Binary,
+  Unary,
+  PostIncDec,
+  Call,
+  MethodCall,
+};
+
+enum class BinaryOp {
+  Add, Sub, Mul, Div, Mod,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or,
+};
+
+enum class UnaryOp { Neg, Not };
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Expr() = default;
+
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  template <typename T>
+  [[nodiscard]] const T* as() const {
+    return kind == T::kKind ? static_cast<const T*>(this) : nullptr;
+  }
+  template <typename T>
+  [[nodiscard]] T* as() {
+    return kind == T::kKind ? static_cast<T*>(this) : nullptr;
+  }
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr final : Expr {
+  static constexpr ExprKind kKind = ExprKind::IntLit;
+  std::int64_t value;
+  IntLitExpr(std::int64_t v, SourceLoc l) : Expr(kKind, l), value(v) {}
+};
+
+struct RealLitExpr final : Expr {
+  static constexpr ExprKind kKind = ExprKind::RealLit;
+  double value;
+  RealLitExpr(double v, SourceLoc l) : Expr(kKind, l), value(v) {}
+};
+
+struct BoolLitExpr final : Expr {
+  static constexpr ExprKind kKind = ExprKind::BoolLit;
+  bool value;
+  BoolLitExpr(bool v, SourceLoc l) : Expr(kKind, l), value(v) {}
+};
+
+struct StringLitExpr final : Expr {
+  static constexpr ExprKind kKind = ExprKind::StringLit;
+  std::string value;  ///< unescaped contents
+  StringLitExpr(std::string v, SourceLoc l) : Expr(kKind, l), value(std::move(v)) {}
+};
+
+struct IdentExpr final : Expr {
+  static constexpr ExprKind kKind = ExprKind::Ident;
+  Symbol name;
+  VarId resolved;  ///< filled by sema
+  IdentExpr(Symbol n, SourceLoc l) : Expr(kKind, l), name(n) {}
+};
+
+struct BinaryExpr final : Expr {
+  static constexpr ExprKind kKind = ExprKind::Binary;
+  BinaryOp op;
+  ExprPtr lhs, rhs;
+  BinaryExpr(BinaryOp o, ExprPtr a, ExprPtr b, SourceLoc l)
+      : Expr(kKind, l), op(o), lhs(std::move(a)), rhs(std::move(b)) {}
+};
+
+struct UnaryExpr final : Expr {
+  static constexpr ExprKind kKind = ExprKind::Unary;
+  UnaryOp op;
+  ExprPtr operand;
+  UnaryExpr(UnaryOp o, ExprPtr e, SourceLoc l)
+      : Expr(kKind, l), op(o), operand(std::move(e)) {}
+};
+
+/// `x++` / `x--` (appears in the paper's Figure 1 as `writeln(x++)`).
+struct PostIncDecExpr final : Expr {
+  static constexpr ExprKind kKind = ExprKind::PostIncDec;
+  Symbol name;
+  bool is_increment;
+  VarId resolved;  ///< filled by sema
+  PostIncDecExpr(Symbol n, bool inc, SourceLoc l)
+      : Expr(kKind, l), name(n), is_increment(inc) {}
+};
+
+struct CallExpr final : Expr {
+  static constexpr ExprKind kKind = ExprKind::Call;
+  Symbol callee;
+  std::vector<ExprPtr> args;
+  ProcId resolved_proc;  ///< filled by sema; invalid for builtins
+  bool is_builtin = false;  ///< e.g. `writeln`
+  CallExpr(Symbol c, std::vector<ExprPtr> a, SourceLoc l)
+      : Expr(kKind, l), callee(c), args(std::move(a)) {}
+};
+
+/// `recv.method(args)` — used for atomic ops (`a.write(1)`, `a.read()`,
+/// `a.waitFor(n)`, `a.fetchAdd(k)`) and explicit sync ops
+/// (`s$.readFE()`, `s$.writeEF(v)`, `s$.readFF()`).
+struct MethodCallExpr final : Expr {
+  static constexpr ExprKind kKind = ExprKind::MethodCall;
+  Symbol receiver;
+  Symbol method;
+  std::vector<ExprPtr> args;
+  VarId resolved_receiver;  ///< filled by sema
+  MethodCallExpr(Symbol r, Symbol m, std::vector<ExprPtr> a, SourceLoc l)
+      : Expr(kKind, l), receiver(r), method(m), args(std::move(a)) {}
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  VarDecl,
+  Assign,
+  Expr,
+  Begin,
+  SyncBlock,
+  Cobegin,
+  Coforall,
+  If,
+  While,
+  For,
+  Return,
+  Block,
+  ProcDecl,
+};
+
+struct ProcDecl;  // forward
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Stmt() = default;
+
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  template <typename T>
+  [[nodiscard]] const T* as() const {
+    return kind == T::kKind ? static_cast<const T*>(this) : nullptr;
+  }
+  template <typename T>
+  [[nodiscard]] T* as() {
+    return kind == T::kKind ? static_cast<T*>(this) : nullptr;
+  }
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class DeclQual { Var, Const, ConfigConst, ConfigVar };
+
+struct VarDeclStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::VarDecl;
+  Symbol name;
+  DeclQual qual = DeclQual::Var;
+  std::optional<Type> declared_type;  ///< absent if inferred from init
+  ExprPtr init;                       ///< may be null
+  VarId resolved;                     ///< filled by sema
+  VarDeclStmt(Symbol n, SourceLoc l) : Stmt(kKind, l), name(n) {}
+};
+
+enum class AssignOp { Assign, AddAssign, SubAssign, MulAssign };
+
+struct AssignStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::Assign;
+  Symbol target;
+  AssignOp op = AssignOp::Assign;
+  ExprPtr value;
+  VarId resolved;  ///< filled by sema
+  AssignStmt(Symbol t, SourceLoc l) : Stmt(kKind, l), target(t) {}
+};
+
+struct ExprStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::Expr;
+  ExprPtr expr;
+  ExprStmt(ExprPtr e, SourceLoc l) : Stmt(kKind, l), expr(std::move(e)) {}
+};
+
+/// Chapel task intents on `begin with (...)`.
+enum class TaskIntent { Ref, In, ConstIn, ConstRef };
+
+struct WithItem {
+  TaskIntent intent = TaskIntent::Ref;
+  Symbol name;
+  SourceLoc loc;
+  VarId resolved;  ///< filled by sema
+};
+
+struct BeginStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::Begin;
+  std::vector<WithItem> with_items;
+  StmtPtr body;
+  BeginStmt(SourceLoc l) : Stmt(kKind, l) {}
+};
+
+/// `sync { ... }` block: fences all begin tasks created inside.
+struct SyncBlockStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::SyncBlock;
+  StmtPtr body;
+  SyncBlockStmt(StmtPtr b, SourceLoc l) : Stmt(kKind, l), body(std::move(b)) {}
+};
+
+/// `cobegin { s1 s2 ... }` — runs each statement as a task and joins all.
+/// (Extension beyond the paper's begin/sync subset; behaves like
+/// `sync { begin s1; begin s2; ... }` for the analysis.)
+struct CobeginStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::Cobegin;
+  std::vector<WithItem> with_items;
+  std::vector<StmtPtr> stmts;
+  CobeginStmt(SourceLoc l) : Stmt(kKind, l) {}
+};
+
+/// `coforall i in lo..hi [with (...)] { ... }` — one task per iteration,
+/// implicit join at the end (extension beyond the paper's begin/sync subset;
+/// the loop index is captured by value into each task).
+struct CoforallStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::Coforall;
+  Symbol index;
+  ExprPtr lo, hi;
+  std::vector<WithItem> with_items;
+  StmtPtr body;
+  VarId resolved_index;  ///< filled by sema (spawning-strand iteration var)
+  VarId index_shadow;    ///< filled by sema (task-local copy)
+  CoforallStmt(SourceLoc l) : Stmt(kKind, l) {}
+};
+
+struct IfStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::If;
+  ExprPtr cond;
+  StmtPtr then_body;
+  StmtPtr else_body;  ///< may be null
+  IfStmt(SourceLoc l) : Stmt(kKind, l) {}
+};
+
+struct WhileStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::While;
+  ExprPtr cond;
+  StmtPtr body;
+  WhileStmt(SourceLoc l) : Stmt(kKind, l) {}
+};
+
+struct ForStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::For;
+  Symbol index;
+  ExprPtr lo, hi;
+  StmtPtr body;
+  VarId resolved_index;  ///< filled by sema
+  ForStmt(SourceLoc l) : Stmt(kKind, l) {}
+};
+
+struct ReturnStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::Return;
+  ExprPtr value;  ///< may be null
+  ReturnStmt(ExprPtr v, SourceLoc l) : Stmt(kKind, l), value(std::move(v)) {}
+};
+
+struct BlockStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::Block;
+  std::vector<StmtPtr> stmts;
+  SourceLoc rbrace_loc;  ///< location of the closing brace
+  BlockStmt(SourceLoc l) : Stmt(kKind, l) {}
+};
+
+/// Nested procedure declaration appearing in statement position.
+struct ProcDeclStmt final : Stmt {
+  static constexpr StmtKind kKind = StmtKind::ProcDecl;
+  std::unique_ptr<ProcDecl> proc;
+  ProcDeclStmt(std::unique_ptr<ProcDecl> p, SourceLoc l);
+  ~ProcDeclStmt() override;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations / program
+// ---------------------------------------------------------------------------
+
+enum class ParamIntent { Default, Ref, In, ConstIn, ConstRef };
+
+struct Param {
+  ParamIntent intent = ParamIntent::Default;
+  Symbol name;
+  Type type;
+  SourceLoc loc;
+  VarId resolved;  ///< filled by sema
+};
+
+struct ProcDecl {
+  Symbol name;
+  std::vector<Param> params;
+  Type return_type{BaseType::Void, ConcKind::None};
+  std::unique_ptr<BlockStmt> body;
+  SourceLoc loc;
+  ProcId id;            ///< filled by sema
+  bool is_nested = false;
+};
+
+/// A parsed translation unit: top-level config declarations + procedures.
+struct Program {
+  std::vector<std::unique_ptr<VarDeclStmt>> configs;
+  std::vector<std::unique_ptr<ProcDecl>> procs;
+};
+
+}  // namespace cuaf

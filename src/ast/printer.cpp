@@ -1,0 +1,370 @@
+#include "src/ast/printer.h"
+
+namespace cuaf {
+
+namespace {
+void indentBy(std::string& out, int indent) {
+  out.append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+}  // namespace
+
+std::string_view binaryOpSpelling(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Mod: return "%";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::And: return "&&";
+    case BinaryOp::Or: return "||";
+  }
+  return "?";
+}
+
+std::string_view assignOpSpelling(AssignOp op) {
+  switch (op) {
+    case AssignOp::Assign: return "=";
+    case AssignOp::AddAssign: return "+=";
+    case AssignOp::SubAssign: return "-=";
+    case AssignOp::MulAssign: return "*=";
+  }
+  return "?";
+}
+
+std::string_view taskIntentSpelling(TaskIntent intent) {
+  switch (intent) {
+    case TaskIntent::Ref: return "ref";
+    case TaskIntent::In: return "in";
+    case TaskIntent::ConstIn: return "const in";
+    case TaskIntent::ConstRef: return "const ref";
+  }
+  return "?";
+}
+
+std::string_view paramIntentSpelling(ParamIntent intent) {
+  switch (intent) {
+    case ParamIntent::Default: return "";
+    case ParamIntent::Ref: return "ref";
+    case ParamIntent::In: return "in";
+    case ParamIntent::ConstIn: return "const in";
+    case ParamIntent::ConstRef: return "const ref";
+  }
+  return "?";
+}
+
+std::string AstPrinter::print(const Program& program) {
+  std::string out;
+  for (const auto& cfg : program.configs) {
+    printStmt(*cfg, out, 0);
+  }
+  for (const auto& proc : program.procs) {
+    printProc(*proc, out, 0);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string AstPrinter::print(const ProcDecl& proc) {
+  std::string out;
+  printProc(proc, out, 0);
+  return out;
+}
+
+std::string AstPrinter::print(const Stmt& stmt) {
+  std::string out;
+  printStmt(stmt, out, 0);
+  return out;
+}
+
+std::string AstPrinter::print(const Expr& expr) {
+  std::string out;
+  printExpr(expr, out);
+  return out;
+}
+
+void AstPrinter::printProc(const ProcDecl& proc, std::string& out, int indent) {
+  indentBy(out, indent);
+  out += "proc ";
+  out += interner_.text(proc.name);
+  out += '(';
+  for (std::size_t i = 0; i < proc.params.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Param& p = proc.params[i];
+    std::string_view intent = paramIntentSpelling(p.intent);
+    if (!intent.empty()) {
+      out += intent;
+      out += ' ';
+    }
+    out += interner_.text(p.name);
+    out += ": ";
+    out += typeName(p.type);
+  }
+  out += ')';
+  if (!(proc.return_type == Type{BaseType::Void, ConcKind::None})) {
+    out += ": ";
+    out += typeName(proc.return_type);
+  }
+  out += ' ';
+  printStmt(*proc.body, out, indent);
+}
+
+void AstPrinter::printBlockOrStmt(const Stmt& stmt, std::string& out,
+                                  int indent) {
+  if (stmt.kind == StmtKind::Block) {
+    printStmt(stmt, out, indent);
+  } else {
+    out += "{\n";
+    printStmt(stmt, out, indent + 1);
+    indentBy(out, indent);
+    out += "}\n";
+  }
+}
+
+void AstPrinter::printStmt(const Stmt& stmt, std::string& out, int indent) {
+  switch (stmt.kind) {
+    case StmtKind::VarDecl: {
+      const auto& s = static_cast<const VarDeclStmt&>(stmt);
+      indentBy(out, indent);
+      switch (s.qual) {
+        case DeclQual::Var: out += "var "; break;
+        case DeclQual::Const: out += "const "; break;
+        case DeclQual::ConfigConst: out += "config const "; break;
+        case DeclQual::ConfigVar: out += "config var "; break;
+      }
+      out += interner_.text(s.name);
+      if (s.declared_type) {
+        out += ": ";
+        out += typeName(*s.declared_type);
+      }
+      if (s.init) {
+        out += " = ";
+        printExpr(*s.init, out);
+      }
+      out += ";\n";
+      break;
+    }
+    case StmtKind::Assign: {
+      const auto& s = static_cast<const AssignStmt&>(stmt);
+      indentBy(out, indent);
+      out += interner_.text(s.target);
+      out += ' ';
+      out += assignOpSpelling(s.op);
+      out += ' ';
+      printExpr(*s.value, out);
+      out += ";\n";
+      break;
+    }
+    case StmtKind::Expr: {
+      const auto& s = static_cast<const ExprStmt&>(stmt);
+      indentBy(out, indent);
+      printExpr(*s.expr, out);
+      out += ";\n";
+      break;
+    }
+    case StmtKind::Begin: {
+      const auto& s = static_cast<const BeginStmt&>(stmt);
+      indentBy(out, indent);
+      out += "begin";
+      if (!s.with_items.empty()) {
+        out += " with (";
+        for (std::size_t i = 0; i < s.with_items.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += taskIntentSpelling(s.with_items[i].intent);
+          out += ' ';
+          out += interner_.text(s.with_items[i].name);
+        }
+        out += ')';
+      }
+      out += ' ';
+      printBlockOrStmt(*s.body, out, indent);
+      break;
+    }
+    case StmtKind::SyncBlock: {
+      const auto& s = static_cast<const SyncBlockStmt&>(stmt);
+      indentBy(out, indent);
+      out += "sync ";
+      printBlockOrStmt(*s.body, out, indent);
+      break;
+    }
+    case StmtKind::Cobegin: {
+      const auto& s = static_cast<const CobeginStmt&>(stmt);
+      indentBy(out, indent);
+      out += "cobegin";
+      if (!s.with_items.empty()) {
+        out += " with (";
+        for (std::size_t i = 0; i < s.with_items.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += taskIntentSpelling(s.with_items[i].intent);
+          out += ' ';
+          out += interner_.text(s.with_items[i].name);
+        }
+        out += ')';
+      }
+      out += " {\n";
+      for (const auto& sub : s.stmts) printStmt(*sub, out, indent + 1);
+      indentBy(out, indent);
+      out += "}\n";
+      break;
+    }
+    case StmtKind::Coforall: {
+      const auto& s = static_cast<const CoforallStmt&>(stmt);
+      indentBy(out, indent);
+      out += "coforall ";
+      out += interner_.text(s.index);
+      out += " in ";
+      printExpr(*s.lo, out);
+      out += "..";
+      printExpr(*s.hi, out);
+      if (!s.with_items.empty()) {
+        out += " with (";
+        for (std::size_t i = 0; i < s.with_items.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += taskIntentSpelling(s.with_items[i].intent);
+          out += ' ';
+          out += interner_.text(s.with_items[i].name);
+        }
+        out += ')';
+      }
+      out += ' ';
+      printBlockOrStmt(*s.body, out, indent);
+      break;
+    }
+    case StmtKind::If: {
+      const auto& s = static_cast<const IfStmt&>(stmt);
+      indentBy(out, indent);
+      out += "if (";
+      printExpr(*s.cond, out);
+      out += ") ";
+      printBlockOrStmt(*s.then_body, out, indent);
+      if (s.else_body) {
+        indentBy(out, indent);
+        out += "else ";
+        printBlockOrStmt(*s.else_body, out, indent);
+      }
+      break;
+    }
+    case StmtKind::While: {
+      const auto& s = static_cast<const WhileStmt&>(stmt);
+      indentBy(out, indent);
+      out += "while (";
+      printExpr(*s.cond, out);
+      out += ") ";
+      printBlockOrStmt(*s.body, out, indent);
+      break;
+    }
+    case StmtKind::For: {
+      const auto& s = static_cast<const ForStmt&>(stmt);
+      indentBy(out, indent);
+      out += "for ";
+      out += interner_.text(s.index);
+      out += " in ";
+      printExpr(*s.lo, out);
+      out += "..";
+      printExpr(*s.hi, out);
+      out += ' ';
+      printBlockOrStmt(*s.body, out, indent);
+      break;
+    }
+    case StmtKind::Return: {
+      const auto& s = static_cast<const ReturnStmt&>(stmt);
+      indentBy(out, indent);
+      out += "return";
+      if (s.value) {
+        out += ' ';
+        printExpr(*s.value, out);
+      }
+      out += ";\n";
+      break;
+    }
+    case StmtKind::Block: {
+      const auto& s = static_cast<const BlockStmt&>(stmt);
+      out += "{\n";
+      for (const auto& sub : s.stmts) printStmt(*sub, out, indent + 1);
+      indentBy(out, indent);
+      out += "}\n";
+      break;
+    }
+    case StmtKind::ProcDecl: {
+      const auto& s = static_cast<const ProcDeclStmt&>(stmt);
+      printProc(*s.proc, out, indent);
+      break;
+    }
+  }
+}
+
+void AstPrinter::printExpr(const Expr& expr, std::string& out) {
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+      out += std::to_string(static_cast<const IntLitExpr&>(expr).value);
+      break;
+    case ExprKind::RealLit:
+      out += std::to_string(static_cast<const RealLitExpr&>(expr).value);
+      break;
+    case ExprKind::BoolLit:
+      out += static_cast<const BoolLitExpr&>(expr).value ? "true" : "false";
+      break;
+    case ExprKind::StringLit:
+      out += '"';
+      out += static_cast<const StringLitExpr&>(expr).value;
+      out += '"';
+      break;
+    case ExprKind::Ident:
+      out += interner_.text(static_cast<const IdentExpr&>(expr).name);
+      break;
+    case ExprKind::Binary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      out += '(';
+      printExpr(*e.lhs, out);
+      out += ' ';
+      out += binaryOpSpelling(e.op);
+      out += ' ';
+      printExpr(*e.rhs, out);
+      out += ')';
+      break;
+    }
+    case ExprKind::Unary: {
+      const auto& e = static_cast<const UnaryExpr&>(expr);
+      out += e.op == UnaryOp::Neg ? '-' : '!';
+      printExpr(*e.operand, out);
+      break;
+    }
+    case ExprKind::PostIncDec: {
+      const auto& e = static_cast<const PostIncDecExpr&>(expr);
+      out += interner_.text(e.name);
+      out += e.is_increment ? "++" : "--";
+      break;
+    }
+    case ExprKind::Call: {
+      const auto& e = static_cast<const CallExpr&>(expr);
+      out += interner_.text(e.callee);
+      out += '(';
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        printExpr(*e.args[i], out);
+      }
+      out += ')';
+      break;
+    }
+    case ExprKind::MethodCall: {
+      const auto& e = static_cast<const MethodCallExpr&>(expr);
+      out += interner_.text(e.receiver);
+      out += '.';
+      out += interner_.text(e.method);
+      out += '(';
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        printExpr(*e.args[i], out);
+      }
+      out += ')';
+      break;
+    }
+  }
+}
+
+}  // namespace cuaf

@@ -1,0 +1,35 @@
+// Pretty-printer: renders an AST back to mini-Chapel source-like text.
+// Used by golden tests and the CLI's --dump-ast mode.
+#pragma once
+
+#include <string>
+
+#include "src/ast/ast.h"
+#include "src/support/interner.h"
+
+namespace cuaf {
+
+class AstPrinter {
+ public:
+  explicit AstPrinter(const StringInterner& interner) : interner_(interner) {}
+
+  [[nodiscard]] std::string print(const Program& program);
+  [[nodiscard]] std::string print(const ProcDecl& proc);
+  [[nodiscard]] std::string print(const Stmt& stmt);
+  [[nodiscard]] std::string print(const Expr& expr);
+
+ private:
+  void printProc(const ProcDecl& proc, std::string& out, int indent);
+  void printStmt(const Stmt& stmt, std::string& out, int indent);
+  void printExpr(const Expr& expr, std::string& out);
+  void printBlockOrStmt(const Stmt& stmt, std::string& out, int indent);
+
+  const StringInterner& interner_;
+};
+
+[[nodiscard]] std::string_view binaryOpSpelling(BinaryOp op);
+[[nodiscard]] std::string_view assignOpSpelling(AssignOp op);
+[[nodiscard]] std::string_view taskIntentSpelling(TaskIntent intent);
+[[nodiscard]] std::string_view paramIntentSpelling(ParamIntent intent);
+
+}  // namespace cuaf

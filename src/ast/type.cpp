@@ -1,0 +1,28 @@
+#include "src/ast/type.h"
+
+namespace cuaf {
+
+std::string_view baseTypeName(BaseType b) {
+  switch (b) {
+    case BaseType::Int: return "int";
+    case BaseType::Bool: return "bool";
+    case BaseType::Real: return "real";
+    case BaseType::String: return "string";
+    case BaseType::Void: return "void";
+  }
+  return "?";
+}
+
+std::string typeName(const Type& t) {
+  std::string out;
+  switch (t.conc) {
+    case ConcKind::None: break;
+    case ConcKind::Sync: out += "sync "; break;
+    case ConcKind::Single: out += "single "; break;
+    case ConcKind::Atomic: out += "atomic "; break;
+  }
+  out += baseTypeName(t.base);
+  return out;
+}
+
+}  // namespace cuaf

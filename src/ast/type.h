@@ -1,0 +1,36 @@
+// Minimal type system for the mini-Chapel subset.
+//
+// Types are value semantics: a base scalar type optionally wrapped by one of
+// Chapel's concurrency qualifiers (`sync`, `single`, `atomic`).
+#pragma once
+
+#include <string>
+
+namespace cuaf {
+
+enum class BaseType { Int, Bool, Real, String, Void };
+
+/// Concurrency wrapper on a variable type.
+enum class ConcKind {
+  None,    ///< plain data variable
+  Sync,    ///< `sync T`  — readFE empties, writeEF fills
+  Single,  ///< `single T` — readFF leaves full, single write
+  Atomic,  ///< `atomic T` — not modeled by the static analysis (paper §IV-A)
+};
+
+struct Type {
+  BaseType base = BaseType::Int;
+  ConcKind conc = ConcKind::None;
+
+  [[nodiscard]] bool isSyncLike() const {
+    return conc == ConcKind::Sync || conc == ConcKind::Single;
+  }
+  [[nodiscard]] bool isAtomic() const { return conc == ConcKind::Atomic; }
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+[[nodiscard]] std::string typeName(const Type& t);
+[[nodiscard]] std::string_view baseTypeName(BaseType b);
+
+}  // namespace cuaf

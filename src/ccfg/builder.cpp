@@ -1,0 +1,685 @@
+#include "src/ccfg/builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace cuaf::ccfg {
+
+namespace {
+
+class Builder {
+ public:
+  Builder(const ir::Module& module, DiagnosticEngine& diags,
+          const BuildOptions& options)
+      : module_(module), sema_(*module.sema), diags_(diags), options_(options) {}
+
+  std::unique_ptr<Graph> build(ProcId root) {
+    graph_ = std::make_unique<Graph>(module_);
+    graph_->setRootProc(root);
+
+    const ir::Proc* proc = module_.proc(root);
+    assert(proc != nullptr);
+
+    TaskId root_task = graph_->addTask(TaskId{}, proc->decl->loc);
+    NodeId entry = graph_->addNode(root_task);
+    graph_->task(root_task).entry = entry;
+    cur_task_ = root_task;
+    cur_ = entry;
+
+    // Parameters of the root procedure live in the body scope; make them
+    // visible to the body's frame.
+    for (const Param& p : proc->decl->params) {
+      if (!p.resolved.valid()) continue;
+      pending_frame_vars_.push_back(p.resolved);
+      root_params_.insert(p.resolved);
+    }
+    walkStmt(*proc->body);
+
+    graph_->computePreds();
+    graph_->stats().nodes_before_pruning = graph_->nodeCount();
+    graph_->stats().tasks_before_pruning = graph_->taskCount();
+
+    if (options_.synced_scope_root) applySyncedScopeRoot(root);
+    if (options_.prune) {
+      graph_->stats().pruned_tasks = pruneGraph(*graph_);
+    }
+    computeParallelFrontiers(*graph_);
+    return std::move(graph_);
+  }
+
+ private:
+  struct Frame {
+    NodeId start;
+    std::vector<VarId> vars;
+  };
+
+  // -- node plumbing ---------------------------------------------------------
+
+  /// Ends the current node and opens a fresh one connected by a control edge.
+  void closeNode() {
+    NodeId next = graph_->addNode(cur_task_);
+    graph_->node(cur_).succs.push_back(next);
+    cur_ = next;
+  }
+
+  // -- variable plumbing -------------------------------------------------------
+
+  VarId resolve(VarId v) const {
+    auto it = subst_.find(v);
+    return it == subst_.end() ? v : it->second.back();
+  }
+
+  void declareVarHere(VarId v) {
+    decl_task_[v] = cur_task_;
+    var_frame_depth_[v] =
+        static_cast<std::uint32_t>(frames_.empty() ? 0 : frames_.size() - 1);
+    if (!frames_.empty()) frames_.back().vars.push_back(v);
+  }
+
+  void pushFrame() {
+    frames_.push_back(Frame{cur_, {}});
+    for (VarId v : pending_frame_vars_) declareVarHere(v);
+    pending_frame_vars_.clear();
+  }
+
+  void popFrame() {
+    Frame frame = std::move(frames_.back());
+    frames_.pop_back();
+    if (frame.vars.empty()) return;
+    Node& n = graph_->node(cur_);
+    for (VarId v : frame.vars) {
+      n.scope_end_vars.push_back(v);
+      Graph::VarScopeInfo info;
+      info.owner_task = decl_task_.at(v);
+      info.scope_start = frame.start;
+      info.scope_end = cur_;
+      info.is_root_param = root_params_.contains(v);
+      graph_->setVarScope(v, info);
+    }
+    // A scope end bounds the node so no later sync op lands inside it.
+    closeNode();
+  }
+
+  // -- access recording --------------------------------------------------------
+
+  void processUses(const std::vector<ir::VarUse>& uses) {
+    for (const ir::VarUse& use : uses) {
+      VarId v = resolve(use.var);
+      const VarInfo& info = graph_->varInfo(v);
+      if (info.type.isSyncLike()) continue;  // universally visible
+      auto decl = decl_task_.find(v);
+      if (decl == decl_task_.end()) continue;  // module/config scope: no UAF
+      if (decl->second == cur_task_) continue;  // own-strand access: not outer
+      // One access site per (variable, location): `x++` reads and writes x
+      // at one source point but is a single outer-variable use.
+      if (!graph_->node(cur_).accesses.empty()) {
+        OvUse& last =
+            graph_->access(graph_->node(cur_).accesses.back());
+        if (last.var == v && last.loc == use.loc) {
+          last.is_write = last.is_write || use.is_write;
+          continue;
+        }
+      }
+      OvUse ov;
+      ov.var = v;
+      ov.loc = use.loc;
+      ov.task = cur_task_;
+      ov.node = cur_;
+      ov.is_write = use.is_write;
+      AccessId id = graph_->addAccess(ov);
+      graph_->node(cur_).accesses.push_back(id);
+    }
+  }
+
+  // -- walking -------------------------------------------------------------------
+
+  void walkStmts(const std::vector<ir::StmtPtr>& body) {
+    for (const auto& s : body) walkStmt(*s);
+  }
+
+  void walkStmt(const ir::Stmt& stmt) {
+    switch (stmt.kind) {
+      case ir::StmtKind::Block: {
+        pushFrame();
+        walkStmts(stmt.body);
+        popFrame();
+        break;
+      }
+      case ir::StmtKind::DeclData: {
+        processUses(stmt.uses);
+        VarId v = stmt.var;
+        if (inline_depth_ > 0) {
+          v = graph_->addCloneVar(v);
+          pushSubst(stmt.var, v);
+        }
+        declareVarHere(v);
+        break;
+      }
+      case ir::StmtKind::DeclSync: {
+        processUses(stmt.uses);
+        VarId v = stmt.var;
+        if (inline_depth_ > 0) {
+          v = graph_->addCloneVar(v);
+          pushSubst(stmt.var, v);
+        }
+        declareVarHere(v);
+        graph_->syncVar(v);
+        break;
+      }
+      case ir::StmtKind::Assign:
+      case ir::StmtKind::Eval:
+      case ir::StmtKind::Return: {
+        processUses(stmt.uses);
+        break;
+      }
+      case ir::StmtKind::AtomicOp: {
+        processUses(stmt.uses);
+        if (!options_.model_atomics) break;
+        // Extension: atomic writes are non-blocking fill events; waitFor is
+        // SINGLE-READ-like. Plain reads stay ordinary accesses.
+        std::optional<SyncOp> op;
+        switch (stmt.atomic_op) {
+          case ir::AtomicOpKind::Write:
+          case ir::AtomicOpKind::FetchAdd:
+          case ir::AtomicOpKind::Add:
+          case ir::AtomicOpKind::Sub:
+          case ir::AtomicOpKind::Exchange:
+            op = SyncOp::AtomicFill;
+            break;
+          case ir::AtomicOpKind::WaitFor:
+            op = SyncOp::AtomicWait;
+            break;
+          case ir::AtomicOpKind::Read:
+            break;
+        }
+        if (!op) break;
+        VarId v = resolve(stmt.var);
+        SyncEvent ev;
+        ev.var = v;
+        ev.op = *op;
+        ev.loc = stmt.loc;
+        graph_->node(cur_).sync = ev;
+        SyncVarInfo& svi = graph_->syncVar(v);
+        if (*op == SyncOp::AtomicFill) {
+          svi.write_nodes.push_back(cur_);
+        } else {
+          svi.read_nodes.push_back(cur_);
+        }
+        closeNode();
+        break;
+      }
+      case ir::StmtKind::SyncRead:
+      case ir::StmtKind::SyncWrite: {
+        processUses(stmt.uses);
+        VarId v = resolve(stmt.var);
+        SyncEvent ev;
+        ev.var = v;
+        ev.loc = stmt.loc;
+        switch (stmt.sync_op) {
+          case ir::SyncOpKind::ReadFE: ev.op = SyncOp::ReadFE; break;
+          case ir::SyncOpKind::ReadFF: ev.op = SyncOp::ReadFF; break;
+          case ir::SyncOpKind::WriteEF: ev.op = SyncOp::WriteEF; break;
+        }
+        graph_->node(cur_).sync = ev;
+        SyncVarInfo& svi = graph_->syncVar(v);
+        if (ev.op == SyncOp::WriteEF) {
+          svi.write_nodes.push_back(cur_);
+        } else {
+          svi.read_nodes.push_back(cur_);
+        }
+        closeNode();
+        break;
+      }
+      case ir::StmtKind::Begin: {
+        walkBegin(stmt);
+        break;
+      }
+      case ir::StmtKind::SyncBlock: {
+        SyncRegion region;
+        region.id = static_cast<std::uint32_t>(graph_->syncRegions().size());
+        region.task = cur_task_;
+        region.frame_depth_at_entry = static_cast<std::uint32_t>(frames_.size());
+        graph_->syncRegions().push_back(region);
+        open_sync_blocks_.push_back(region.id);
+        walkStmts(stmt.body);
+        open_sync_blocks_.pop_back();
+        break;
+      }
+      case ir::StmtKind::If: {
+        processUses(stmt.uses);
+        NodeId branch = cur_;
+        NodeId join = NodeId{};  // allocated lazily below
+
+        NodeId then_entry = graph_->addNode(cur_task_);
+        graph_->node(branch).succs.push_back(then_entry);
+        cur_ = then_entry;
+        walkStmts(stmt.body);
+        NodeId then_exit = cur_;
+
+        join = graph_->addNode(cur_task_);
+        graph_->node(then_exit).succs.push_back(join);
+        if (!stmt.else_body.empty()) {
+          NodeId else_entry = graph_->addNode(cur_task_);
+          graph_->node(branch).succs.push_back(else_entry);
+          cur_ = else_entry;
+          walkStmts(stmt.else_body);
+          graph_->node(cur_).succs.push_back(join);
+        } else {
+          graph_->node(branch).succs.push_back(join);
+        }
+        cur_ = join;
+        break;
+      }
+      case ir::StmtKind::Loop: {
+        if (stmt.loop_has_sync_or_begin) {
+          if (options_.unroll_loops && tryUnrollLoop(stmt)) return;
+          diags_.warning(stmt.loc, "unsupported-loop",
+                         "loop contains a sync operation or begin task; the "
+                         "analysis does not support such loops (paper §IV-A)");
+          graph_->markUnsupported("loop with sync node or begin task edge");
+          return;
+        }
+        // Subsume the loop into the current node: its accesses behave like a
+        // single node's accesses (paper §IV-A).
+        ++graph_->stats().subsumed_loops;
+        processUses(stmt.uses);
+        // The loop index (for-loops) is strand-local; register it so body
+        // uses of it are not mistaken for outer accesses.
+        if (stmt.loop_index.valid()) declareVarHere(stmt.loop_index);
+        collectSubsumedUses(stmt.body);
+        break;
+      }
+      case ir::StmtKind::Call: {
+        walkCall(stmt);
+        break;
+      }
+    }
+  }
+
+  /// Extension: unrolls a constant-bound for-loop containing concurrency
+  /// events into max_unroll_iterations copies of its body. Each iteration
+  /// runs in a clone context so loop-local declarations (including sync
+  /// variables and task shadows) stay distinct. Returns false when the loop
+  /// is not eligible (non-for, non-constant bounds, too many iterations).
+  bool tryUnrollLoop(const ir::Stmt& stmt) {
+    if (!stmt.loop_is_for) return false;
+    const auto* lo = stmt.loop_lo != nullptr
+                         ? stmt.loop_lo->as<IntLitExpr>()
+                         : nullptr;
+    const auto* hi = stmt.loop_hi != nullptr
+                         ? stmt.loop_hi->as<IntLitExpr>()
+                         : nullptr;
+    if (lo == nullptr || hi == nullptr) return false;
+    if (hi->value < lo->value) return true;  // zero-trip loop: nothing to do
+    std::int64_t trips = hi->value - lo->value + 1;
+    if (trips > static_cast<std::int64_t>(options_.max_unroll_iterations)) {
+      return false;
+    }
+    diags_.note(stmt.loc, "loop-unrolled",
+                "for-loop with concurrency events unrolled " +
+                    std::to_string(trips) + "x (extension)");
+    ++graph_->stats().unrolled_loops;
+    // The loop index is strand-local and constant within an iteration.
+    if (stmt.loop_index.valid()) declareVarHere(stmt.loop_index);
+    for (std::int64_t i = 0; i < trips; ++i) {
+      // Clone context: per-iteration declarations must not collide.
+      ++inline_depth_;
+      walkStmts(stmt.body);
+      --inline_depth_;
+    }
+    return true;
+  }
+
+  void collectSubsumedUses(const std::vector<ir::StmtPtr>& body) {
+    for (const auto& s : body) {
+      processUses(s->uses);
+      // Locals declared inside the subsumed loop are strand-local.
+      if (s->kind == ir::StmtKind::DeclData ||
+          s->kind == ir::StmtKind::DeclSync) {
+        declareVarHere(s->var);
+      }
+      collectSubsumedUses(s->body);
+      collectSubsumedUses(s->else_body);
+    }
+  }
+
+  void walkBegin(const ir::Stmt& stmt) {
+    // `in` captures copy the outer value at task-creation time: that read
+    // happens in the spawning strand.
+    std::vector<ir::VarUse> copy_reads;
+    for (const CaptureInfo& cap : stmt.captures) {
+      if (cap.intent == TaskIntent::In || cap.intent == TaskIntent::ConstIn) {
+        copy_reads.push_back(ir::VarUse{cap.outer, false, cap.loc});
+      }
+    }
+    processUses(copy_reads);
+
+    TaskId child = graph_->addTask(cur_task_, stmt.loc);
+    graph_->task(child).enclosing_sync_blocks = open_sync_blocks_;
+    NodeId entry = graph_->addNode(child);
+    graph_->task(child).entry = entry;
+    graph_->node(cur_).spawns.push_back(child);
+    closeNode();
+
+    TaskId saved_task = cur_task_;
+    NodeId saved_cur = cur_;
+    cur_task_ = child;
+    cur_ = entry;
+
+    // Task scope frame: holds the `in` shadows.
+    frames_.push_back(Frame{entry, {}});
+    for (const CaptureInfo& cap : stmt.captures) {
+      if (cap.intent == TaskIntent::In || cap.intent == TaskIntent::ConstIn) {
+        VarId local = cap.local;
+        if (inline_depth_ > 0) {
+          local = graph_->addCloneVar(local);
+          pushSubst(cap.local, local);
+        }
+        declareVarHere(local);
+      }
+    }
+    walkStmts(stmt.body);
+    popFrame();
+
+    cur_task_ = saved_task;
+    cur_ = saved_cur;
+  }
+
+  void walkCall(const ir::Stmt& stmt) {
+    const ProcInfo& callee_info = sema_.proc(stmt.callee);
+    const ir::Proc* callee = module_.proc(stmt.callee);
+    bool can_inline = options_.inline_nested && callee_info.is_nested &&
+                      callee != nullptr;
+    bool recursive =
+        std::find(call_stack_.begin(), call_stack_.end(), stmt.callee) !=
+        call_stack_.end();
+    if (recursive) {
+      ++graph_->stats().recursion_cutoffs;
+      diags_.note(stmt.loc, "recursion-cutoff",
+                  "recursive call not inlined; analysis treats it as opaque");
+    }
+    // Argument evaluation accesses happen at the call site in any case.
+    processUses(stmt.uses);
+    if (!can_inline || recursive) return;
+
+    ++graph_->stats().inlined_calls;
+    call_stack_.push_back(stmt.callee);
+    ++inline_depth_;
+
+    // Parameter binding.
+    std::vector<VarId> bound;
+    const auto& params = callee_info.decl->params;
+    for (std::size_t i = 0; i < params.size() && i < stmt.args.size(); ++i) {
+      const Param& p = params[i];
+      if (!p.resolved.valid()) continue;
+      bool by_ref = p.intent == ParamIntent::Ref ||
+                    p.intent == ParamIntent::ConstRef;
+      if (by_ref) {
+        if (const auto* ident = stmt.args[i]->as<IdentExpr>();
+            ident != nullptr && ident->resolved.valid()) {
+          pushSubst(p.resolved, resolve(ident->resolved));
+          bound.push_back(p.resolved);
+        }
+      } else {
+        VarId clone = graph_->addCloneVar(p.resolved);
+        pushSubst(p.resolved, clone);
+        bound.push_back(p.resolved);
+        pending_frame_vars_.push_back(clone);
+      }
+    }
+    walkStmt(*callee->body);  // the body Block picks up pending params
+
+    for (auto it = bound.rbegin(); it != bound.rend(); ++it) popSubst(*it);
+    --inline_depth_;
+    call_stack_.pop_back();
+  }
+
+  // Substitution stack: DeclData clones push entries that are popped when the
+  // inline instance finishes. We keep per-var stacks; Decl-derived
+  // substitutions are popped lazily when their inline instance ends.
+  void pushSubst(VarId from, VarId to) { subst_[from].push_back(to); }
+  void popSubst(VarId from) {
+    auto it = subst_.find(from);
+    if (it == subst_.end() || it->second.empty()) return;
+    it->second.pop_back();
+    if (it->second.empty()) subst_.erase(it);
+  }
+
+  void applySyncedScopeRoot(ProcId root) {
+    const auto& sites = sema_.callSites(root);
+    if (sites.empty()) return;
+    bool all_synced = std::all_of(sites.begin(), sites.end(),
+                                  [](const SemaModule::CallSite& cs) {
+                                    return cs.in_sync_block;
+                                  });
+    if (!all_synced) return;
+    for (std::size_t i = 0; i < graph_->accessCount(); ++i) {
+      OvUse& a = graph_->access(AccessId(static_cast<AccessId::value_type>(i)));
+      const auto* scope = graph_->varScope(a.var);
+      if (scope != nullptr && scope->is_root_param) a.pre_safe = true;
+    }
+  }
+
+  const ir::Module& module_;
+  const SemaModule& sema_;
+  DiagnosticEngine& diags_;
+  BuildOptions options_;
+  std::unique_ptr<Graph> graph_;
+
+  TaskId cur_task_;
+  NodeId cur_;
+  std::vector<Frame> frames_;
+  std::vector<VarId> pending_frame_vars_;
+  std::unordered_map<VarId, TaskId> decl_task_;
+  std::unordered_map<VarId, std::uint32_t> var_frame_depth_;
+  std::unordered_set<VarId> root_params_;
+  std::vector<std::uint32_t> open_sync_blocks_;
+  std::vector<ProcId> call_stack_;
+  std::unordered_map<VarId, std::vector<VarId>> subst_;
+  int inline_depth_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pruning (§III.A rules A–D)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct TaskFacts {
+  bool has_ov = false;
+  bool has_sync_op = false;
+  std::unordered_set<VarId> sync_vars;
+  std::vector<TaskId> children;
+};
+
+void collectSubtree(const std::vector<TaskFacts>& facts, TaskId t,
+                    std::unordered_set<std::uint32_t>& out) {
+  if (!out.insert(t.index()).second) return;
+  for (TaskId c : facts[t.index()].children) collectSubtree(facts, c, out);
+}
+
+}  // namespace
+
+std::size_t pruneGraph(Graph& graph) {
+  const std::size_t task_count = graph.taskCount();
+  std::vector<TaskFacts> facts(task_count);
+
+  for (const Node& n : graph.nodes()) {
+    TaskFacts& f = facts[n.task.index()];
+    if (n.sync) {
+      f.has_sync_op = true;
+      f.sync_vars.insert(n.sync->var);
+    }
+  }
+  for (const OvUse& a : graph.accesses()) {
+    if (!a.pre_safe) facts[a.task.index()].has_ov = true;
+  }
+  for (std::size_t i = 0; i < task_count; ++i) {
+    const Task& t = graph.task(TaskId(static_cast<TaskId::value_type>(i)));
+    if (t.parent.valid()) facts[t.parent.index()].children.push_back(t.id);
+  }
+
+  // Sync variables used by each task (for the shared-sync-variable caveat:
+  // pruning a task that signals/waits on a variable other live tasks use
+  // would change the reachable PPS set).
+  std::unordered_map<VarId, std::unordered_set<std::uint32_t>> var_tasks;
+  for (std::size_t i = 0; i < task_count; ++i) {
+    for (VarId v : facts[i].sync_vars) {
+      var_tasks[v].insert(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Frame-depth info is needed for rule C; it is stored per variable in the
+  // graph's VarScopeInfo implicitly via sync regions. We approximate the
+  // paper's synced-scope check: a variable's scope is protected by a sync
+  // region when the region started inside the variable's scope. During
+  // construction, regions recorded the frame depth at entry, and variables
+  // their frame. Here we only have scope start/end nodes; a region protects
+  // variable x for task T when the region is among T's enclosing regions and
+  // the region's owning strand is x's owner strand (the fence keeps the owner
+  // from leaving x's scope while T runs). This is a sound approximation of
+  // rule C.
+  auto protectedByRegion = [&](const OvUse& a, const Task& t) {
+    const auto* scope = graph.varScope(a.var);
+    if (scope == nullptr) return false;
+    for (std::uint32_t rid : t.enclosing_sync_blocks) {
+      const SyncRegion& r = graph.syncRegions().at(rid);
+      if (r.task == scope->owner_task) return true;
+    }
+    return false;
+  };
+
+  std::vector<char> safe(task_count, 0);
+  std::vector<char> rule(task_count, 0);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Children have larger ids than parents; walk bottom-up.
+    for (std::size_t idx = task_count; idx-- > 1;) {  // skip root (index 0)
+      if (safe[idx]) continue;
+      TaskId t(static_cast<TaskId::value_type>(idx));
+      const Task& task = graph.task(t);
+      const TaskFacts& f = facts[idx];
+
+      bool children_safe = std::all_of(
+          f.children.begin(), f.children.end(),
+          [&](TaskId c) { return safe[c.index()] != 0; });
+
+      // Shared-sync caveat: no sync variable used in T's subtree may be used
+      // by a task outside the subtree.
+      auto sharedSyncFree = [&] {
+        std::unordered_set<std::uint32_t> subtree;
+        collectSubtree(facts, t, subtree);
+        for (std::uint32_t ti : subtree) {
+          for (VarId v : facts[ti].sync_vars) {
+            for (std::uint32_t user : var_tasks[v]) {
+              if (!subtree.contains(user)) return false;
+            }
+          }
+        }
+        return true;
+      };
+
+      // Rule A: no nested tasks, no outer-variable references, no sync ops.
+      if (f.children.empty() && !f.has_ov && !f.has_sync_op) {
+        safe[idx] = 1;
+        rule[idx] = 'A';
+        changed = true;
+        continue;
+      }
+      // Rule B: immediately encapsulated by a sync statement, nested tasks
+      // safe.
+      if (!task.enclosing_sync_blocks.empty() && children_safe &&
+          sharedSyncFree()) {
+        safe[idx] = 1;
+        rule[idx] = 'B';
+        changed = true;
+        continue;
+      }
+      // Rule C: every outer variable's scope is protected by a sync block.
+      if (f.has_ov && children_safe && sharedSyncFree()) {
+        bool all_protected = true;
+        for (const OvUse& a : graph.accesses()) {
+          if (a.task != t || a.pre_safe) continue;
+          if (!protectedByRegion(a, task)) {
+            all_protected = false;
+            break;
+          }
+        }
+        if (all_protected) {
+          safe[idx] = 1;
+          rule[idx] = 'C';
+          changed = true;
+          continue;
+        }
+      }
+      // Rule D: no own outer references and all nested tasks safe.
+      if (!f.has_ov && children_safe && sharedSyncFree()) {
+        safe[idx] = 1;
+        rule[idx] = 'D';
+        changed = true;
+        continue;
+      }
+    }
+  }
+
+  std::size_t pruned = 0;
+  for (std::size_t idx = 1; idx < task_count; ++idx) {
+    if (!safe[idx]) continue;
+    Task& t = graph.task(TaskId(static_cast<TaskId::value_type>(idx)));
+    t.pruned = true;
+    t.prune_rule = rule[idx];
+    ++pruned;
+  }
+  for (std::size_t i = 0; i < graph.accessCount(); ++i) {
+    OvUse& a = graph.access(AccessId(static_cast<AccessId::value_type>(i)));
+    if (graph.task(a.task).pruned) a.pre_safe = true;
+  }
+  return pruned;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel frontier (§III.B)
+// ---------------------------------------------------------------------------
+
+void computeParallelFrontiers(Graph& graph) {
+  // Only variables with live outer accesses need a frontier.
+  std::unordered_set<VarId> vars;
+  for (const OvUse& a : graph.accesses()) {
+    if (!a.pre_safe) vars.insert(a.var);
+  }
+  for (VarId v : vars) {
+    const auto* scope = graph.varScope(v);
+    if (scope == nullptr) continue;
+    std::vector<NodeId> pf;
+    std::unordered_set<std::uint32_t> visited;
+    std::vector<NodeId> stack{scope->scope_end};
+    while (!stack.empty()) {
+      NodeId nid = stack.back();
+      stack.pop_back();
+      if (!visited.insert(nid.index()).second) continue;
+      const Node& n = graph.node(nid);
+      if (n.isSyncNode()) {
+        pf.push_back(nid);
+        continue;  // the last sync node on this path; stop walking back
+      }
+      if (nid == scope->scope_start) continue;  // scope boundary
+      for (NodeId p : n.preds) stack.push_back(p);
+    }
+    std::sort(pf.begin(), pf.end());
+    graph.setParallelFrontier(v, std::move(pf));
+  }
+}
+
+std::unique_ptr<Graph> buildGraph(const ir::Module& module, ProcId root,
+                                  DiagnosticEngine& diags,
+                                  const BuildOptions& options) {
+  Builder builder(module, diags, options);
+  return builder.build(root);
+}
+
+}  // namespace cuaf::ccfg

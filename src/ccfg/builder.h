@@ -1,0 +1,53 @@
+// CCFG construction from the IR of one outermost procedure (§III.A).
+//
+// The builder walks the procedure's IR, creating a node per run of ordinary
+// statements and closing nodes at concurrency events (sync ops, begins,
+// branches, scope ends). Nested procedures are inlined at call sites with a
+// call-stack recursion cutoff; locals and by-value parameters of inlined
+// bodies become clone variables so distinct inline instances stay distinct
+// (context sensitivity).
+#pragma once
+
+#include <memory>
+
+#include "src/ccfg/graph.h"
+#include "src/support/diagnostics.h"
+
+namespace cuaf::ccfg {
+
+struct BuildOptions {
+  /// Apply pruning rules A–D after construction.
+  bool prune = true;
+  /// Apply the synced-scope rule for root procedures whose every call site
+  /// is enclosed in a sync block (marks root-param accesses safe).
+  bool synced_scope_root = true;
+  /// Inline nested procedures at call sites.
+  bool inline_nested = true;
+  /// Extension (paper future work, sketched in §IV-A): model atomic-integer
+  /// operations as synchronization events — writes/adds as non-blocking fill
+  /// events, waitFor as a SINGLE-READ-like wait. Off by default to stay
+  /// faithful to the paper's implementation (its main false-positive source).
+  bool model_atomics = false;
+  /// Extension (paper future work): unroll constant-bound for-loops that
+  /// contain sync operations or begin tasks instead of rejecting them.
+  bool unroll_loops = false;
+  /// Maximum trip count eligible for unrolling.
+  unsigned max_unroll_iterations = 8;
+};
+
+/// Builds the CCFG for the given top-level procedure.
+/// Emits "unsupported-loop" diagnostics when the paper's loop limitation is
+/// hit; the resulting graph is then marked unsupported() and should not be
+/// fed to the PPS engine.
+std::unique_ptr<Graph> buildGraph(const ir::Module& module, ProcId root,
+                                  DiagnosticEngine& diags,
+                                  const BuildOptions& options = {});
+
+/// Runs pruning rules A–D on a built graph (exposed for ablation benches).
+/// Returns the number of pruned tasks.
+std::size_t pruneGraph(Graph& graph);
+
+/// Computes Parallel Frontier sets for every variable with outer accesses.
+void computeParallelFrontiers(Graph& graph);
+
+}  // namespace cuaf::ccfg

@@ -1,0 +1,68 @@
+#include "src/ccfg/graph.h"
+
+namespace cuaf::ccfg {
+
+NodeId Graph::addNode(TaskId task) {
+  Node n;
+  n.id = NodeId(static_cast<NodeId::value_type>(nodes_.size()));
+  n.task = task;
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+TaskId Graph::addTask(TaskId parent, SourceLoc loc) {
+  Task t;
+  t.id = TaskId(static_cast<TaskId::value_type>(tasks_.size()));
+  t.parent = parent;
+  t.loc = loc;
+  tasks_.push_back(std::move(t));
+  return tasks_.back().id;
+}
+
+AccessId Graph::addAccess(OvUse use) {
+  use.id = AccessId(static_cast<AccessId::value_type>(accesses_.size()));
+  accesses_.push_back(use);
+  return accesses_.back().id;
+}
+
+VarId Graph::addCloneVar(VarId original) {
+  // Clones of clones resolve to the root original.
+  VarId orig = underlying(original);
+  clone_origin_.push_back(orig);
+  return VarId(static_cast<VarId::value_type>(sema_->varCount() +
+                                              clone_origin_.size() - 1));
+}
+
+VarId Graph::underlying(VarId v) const {
+  while (v.valid() && v.index() >= sema_->varCount()) {
+    v = clone_origin_.at(v.index() - sema_->varCount());
+  }
+  return v;
+}
+
+std::string Graph::varName(VarId v) const {
+  if (!v.valid()) return "<invalid>";
+  return std::string(sema_->interner().text(varInfo(v).name));
+}
+
+SyncVarInfo& Graph::syncVar(VarId v) {
+  auto [it, inserted] = sync_vars_.try_emplace(v);
+  if (inserted) {
+    it->second.var = v;
+    const VarInfo& info = varInfo(v);
+    it->second.is_single = info.type.conc == ConcKind::Single;
+    it->second.initially_full = info.sync_init_full;
+  }
+  return it->second;
+}
+
+void Graph::computePreds() {
+  for (Node& n : nodes_) n.preds.clear();
+  for (const Node& n : nodes_) {
+    for (NodeId s : n.succs) {
+      nodes_[s.index()].preds.push_back(n.id);
+    }
+  }
+}
+
+}  // namespace cuaf::ccfg

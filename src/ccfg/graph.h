@@ -1,0 +1,233 @@
+// Concurrent Control Flow Graph (CCFG), per §III.A of the paper.
+//
+// Nodes are bounded by concurrency events: a node accumulates ordinary
+// statements and ends at (and includes) a sync-variable operation, or ends
+// (without a sync op) at a begin-task creation, a branch, or the end of a
+// lexical scope that declares variables. Consequently a node carries at most
+// one synchronization operation, positioned at its end.
+//
+// Edges are control edges (program order / branches) or begin edges (task
+// creation). Each node belongs to exactly one task strand.
+//
+// Because nested procedures are inlined at their call sites (context
+// sensitivity, §III.A), the graph introduces *clone* variables for locals
+// and by-value parameters of inlined bodies. Clone ids extend the sema VarId
+// space; `underlying()` maps a clone back to its original sema variable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace cuaf::ccfg {
+
+enum class SyncOp {
+  ReadFE,
+  ReadFF,
+  WriteEF,
+  /// Extension (§IV-A sketch / future work): an atomic write modeled as a
+  /// non-blocking fill event — always executable, sets the state to FULL.
+  AtomicFill,
+  /// Extension: `waitFor` modeled like SINGLE-READ — executable when FULL,
+  /// leaves the state FULL.
+  AtomicWait,
+};
+
+struct SyncEvent {
+  VarId var;  ///< sync/single variable (possibly a clone id)
+  SyncOp op = SyncOp::ReadFE;
+  SourceLoc loc;
+};
+
+/// One outer-variable use site (a post-inlining instance; the same source
+/// location can appear as several accesses when the enclosing nested
+/// function is inlined at several call sites).
+struct OvUse {
+  AccessId id;
+  VarId var;       ///< accessed variable (clone ids resolved to underlying)
+  SourceLoc loc;   ///< source location of the access
+  TaskId task;     ///< strand performing the access
+  NodeId node;     ///< node containing the access
+  bool is_write = false;
+  bool pre_safe = false;  ///< accesses proven safe up front (synced-scope root
+                          ///< params, pruned tasks)
+};
+
+struct Node {
+  NodeId id;
+  TaskId task;
+  std::vector<AccessId> accesses;   ///< OV accesses inside this node, in order
+  std::optional<SyncEvent> sync;    ///< terminating sync operation
+  std::vector<NodeId> succs;        ///< control edges (0..2)
+  std::vector<NodeId> preds;        ///< reverse control edges
+  std::vector<TaskId> spawns;       ///< tasks created at the end of this node
+  std::vector<VarId> scope_end_vars;  ///< vars whose scope ends with this node
+
+  [[nodiscard]] bool isSyncNode() const { return sync.has_value(); }
+};
+
+struct Task {
+  TaskId id;
+  TaskId parent;    ///< spawning strand; invalid for the root strand
+  NodeId entry;
+  SourceLoc loc;    ///< location of the begin (or proc for the root)
+  bool pruned = false;
+  char prune_rule = 0;  ///< 'A'..'D' when pruned
+  /// Sync blocks (by open-index) enclosing this task's spawn point,
+  /// transitively inherited from the spawning strand.
+  std::vector<std::uint32_t> enclosing_sync_blocks;
+};
+
+/// A sync block recorded during construction (used by pruning rules B/C and
+/// the synced-scope list).
+struct SyncRegion {
+  std::uint32_t id = 0;
+  TaskId task;                ///< strand that executes the fence
+  /// Scopes (by var-frame index) that were already open when the region
+  /// started; a variable frame opened before the region means the region sits
+  /// inside that variable's scope.
+  std::uint32_t frame_depth_at_entry = 0;
+};
+
+/// Information about a sync/single variable instance participating in the
+/// graph (original or clone).
+struct SyncVarInfo {
+  VarId var;
+  bool initially_full = false;
+  bool is_single = false;
+  std::vector<NodeId> read_nodes;
+  std::vector<NodeId> write_nodes;
+};
+
+struct GraphStats {
+  std::size_t nodes_before_pruning = 0;
+  std::size_t tasks_before_pruning = 0;
+  std::size_t pruned_tasks = 0;
+  std::size_t inlined_calls = 0;
+  std::size_t recursion_cutoffs = 0;
+  std::size_t subsumed_loops = 0;
+  std::size_t unrolled_loops = 0;  ///< extension: see BuildOptions
+};
+
+class Graph {
+ public:
+  explicit Graph(const ir::Module& module)
+      : module_(&module), sema_(module.sema) {}
+
+  // -- topology ------------------------------------------------------------
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id.index()); }
+  [[nodiscard]] Node& node(NodeId id) { return nodes_.at(id.index()); }
+  [[nodiscard]] const Task& task(TaskId id) const { return tasks_.at(id.index()); }
+  [[nodiscard]] Task& task(TaskId id) { return tasks_.at(id.index()); }
+  [[nodiscard]] const OvUse& access(AccessId id) const {
+    return accesses_.at(id.index());
+  }
+  [[nodiscard]] OvUse& access(AccessId id) { return accesses_.at(id.index()); }
+  [[nodiscard]] std::size_t nodeCount() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t taskCount() const { return tasks_.size(); }
+  [[nodiscard]] std::size_t accessCount() const { return accesses_.size(); }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+  [[nodiscard]] const std::vector<OvUse>& accesses() const { return accesses_; }
+
+  NodeId addNode(TaskId task);
+  TaskId addTask(TaskId parent, SourceLoc loc);
+  AccessId addAccess(OvUse use);
+
+  // -- variables -----------------------------------------------------------
+  /// Allocates a clone variable for an inlined local/param.
+  VarId addCloneVar(VarId original);
+  /// Maps a (possibly clone) id back to the sema variable it instantiates.
+  [[nodiscard]] VarId underlying(VarId v) const;
+  [[nodiscard]] const VarInfo& varInfo(VarId v) const {
+    return sema_->var(underlying(v));
+  }
+  [[nodiscard]] std::string varName(VarId v) const;
+
+  // -- sync variables ------------------------------------------------------
+  SyncVarInfo& syncVar(VarId v);
+  [[nodiscard]] const std::unordered_map<VarId, SyncVarInfo>& syncVars() const {
+    return sync_vars_;
+  }
+
+  // -- per-variable scope geometry (filled by the builder) ------------------
+  struct VarScopeInfo {
+    TaskId owner_task;      ///< strand whose scope owns the variable
+    NodeId scope_start;     ///< node current when the scope opened
+    NodeId scope_end;       ///< node whose end is the end of the scope
+    bool is_root_param = false;
+  };
+  [[nodiscard]] const VarScopeInfo* varScope(VarId v) const {
+    auto it = var_scopes_.find(v);
+    return it == var_scopes_.end() ? nullptr : &it->second;
+  }
+  void setVarScope(VarId v, VarScopeInfo info) { var_scopes_[v] = info; }
+  [[nodiscard]] const std::unordered_map<VarId, VarScopeInfo>& varScopes() const {
+    return var_scopes_;
+  }
+
+  // -- parallel frontier -----------------------------------------------------
+  /// PF(x): last sync nodes on each path inside x's parent scope (§III.B).
+  [[nodiscard]] const std::vector<NodeId>* parallelFrontier(VarId v) const {
+    auto it = parallel_frontier_.find(v);
+    return it == parallel_frontier_.end() ? nullptr : &it->second;
+  }
+  void setParallelFrontier(VarId v, std::vector<NodeId> nodes) {
+    parallel_frontier_[v] = std::move(nodes);
+  }
+  [[nodiscard]] const std::unordered_map<VarId, std::vector<NodeId>>&
+  parallelFrontiers() const {
+    return parallel_frontier_;
+  }
+
+  // -- sync regions ----------------------------------------------------------
+  std::vector<SyncRegion>& syncRegions() { return sync_regions_; }
+  [[nodiscard]] const std::vector<SyncRegion>& syncRegions() const {
+    return sync_regions_;
+  }
+
+  // -- misc ------------------------------------------------------------------
+  [[nodiscard]] ProcId rootProc() const { return root_proc_; }
+  void setRootProc(ProcId p) { root_proc_ = p; }
+  [[nodiscard]] TaskId rootTask() const { return TaskId(0); }
+
+  [[nodiscard]] bool unsupported() const { return unsupported_; }
+  void markUnsupported(std::string reason) {
+    unsupported_ = true;
+    if (unsupported_reason_.empty()) unsupported_reason_ = std::move(reason);
+  }
+  [[nodiscard]] const std::string& unsupportedReason() const {
+    return unsupported_reason_;
+  }
+
+  GraphStats& stats() { return stats_; }
+  [[nodiscard]] const GraphStats& stats() const { return stats_; }
+
+  [[nodiscard]] const ir::Module& module() const { return *module_; }
+  [[nodiscard]] const SemaModule& sema() const { return *sema_; }
+
+  /// Recomputes pred lists from succ lists (builder calls this at the end).
+  void computePreds();
+
+ private:
+  const ir::Module* module_;
+  const SemaModule* sema_;
+  std::vector<Node> nodes_;
+  std::vector<Task> tasks_;
+  std::vector<OvUse> accesses_;
+  std::vector<VarId> clone_origin_;  ///< clone index -> original VarId
+  std::unordered_map<VarId, SyncVarInfo> sync_vars_;
+  std::unordered_map<VarId, VarScopeInfo> var_scopes_;
+  std::unordered_map<VarId, std::vector<NodeId>> parallel_frontier_;
+  std::vector<SyncRegion> sync_regions_;
+  ProcId root_proc_;
+  bool unsupported_ = false;
+  std::string unsupported_reason_;
+  GraphStats stats_;
+};
+
+}  // namespace cuaf::ccfg

@@ -1,0 +1,135 @@
+#include "src/ccfg/printer.h"
+
+#include <unordered_set>
+
+namespace cuaf::ccfg {
+
+std::string_view syncOpName(SyncOp op) {
+  switch (op) {
+    case SyncOp::ReadFE: return "readFE";
+    case SyncOp::ReadFF: return "readFF";
+    case SyncOp::WriteEF: return "writeEF";
+    case SyncOp::AtomicFill: return "atomic.fill";
+    case SyncOp::AtomicWait: return "atomic.wait";
+  }
+  return "?";
+}
+
+std::string printGraph(const Graph& graph) {
+  std::string out;
+  out += "ccfg: nodes=" + std::to_string(graph.nodeCount()) +
+         " tasks=" + std::to_string(graph.taskCount()) +
+         " accesses=" + std::to_string(graph.accessCount()) + "\n";
+  if (graph.unsupported()) {
+    out += "UNSUPPORTED: " + graph.unsupportedReason() + "\n";
+    return out;
+  }
+
+  // PF membership for annotation.
+  std::unordered_set<std::uint32_t> pf_nodes;
+  for (const auto& [var, nodes] : graph.parallelFrontiers()) {
+    for (NodeId n : nodes) pf_nodes.insert(n.index());
+  }
+
+  for (const Task& t : graph.tasks()) {
+    out += "task " + std::to_string(t.id.index());
+    if (t.parent.valid()) {
+      out += " parent=" + std::to_string(t.parent.index());
+    } else {
+      out += " (root)";
+    }
+    if (t.pruned) {
+      out += " PRUNED(rule ";
+      out += t.prune_rule;
+      out += ')';
+    }
+    out += '\n';
+    for (const Node& n : graph.nodes()) {
+      if (n.task != t.id) continue;
+      out += "  node " + std::to_string(n.id.index());
+      if (!n.accesses.empty()) {
+        out += " OV={";
+        for (std::size_t i = 0; i < n.accesses.size(); ++i) {
+          if (i > 0) out += ", ";
+          const OvUse& a = graph.access(n.accesses[i]);
+          out += graph.varName(a.var);
+          if (a.pre_safe) out += "(safe)";
+        }
+        out += '}';
+      }
+      if (n.sync) {
+        out += ' ';
+        out += syncOpName(n.sync->op);
+        out += ' ';
+        out += graph.varName(n.sync->var);
+      }
+      if (pf_nodes.contains(n.id.index())) out += " [PF]";
+      if (!n.succs.empty()) {
+        out += " ->";
+        for (NodeId s : n.succs) out += ' ' + std::to_string(s.index());
+      }
+      if (!n.spawns.empty()) {
+        out += " spawns";
+        for (TaskId s : n.spawns) out += ' ' + std::to_string(s.index());
+      }
+      out += '\n';
+    }
+  }
+  for (const auto& [var, nodes] : graph.parallelFrontiers()) {
+    out += "PF(" + graph.varName(var) + ") = {";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(nodes[i].index());
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string toDot(const Graph& graph) {
+  std::unordered_set<std::uint32_t> pf_nodes;
+  for (const auto& [var, nodes] : graph.parallelFrontiers()) {
+    for (NodeId n : nodes) pf_nodes.insert(n.index());
+  }
+
+  std::string out = "digraph ccfg {\n  rankdir=TB;\n";
+  for (const Node& n : graph.nodes()) {
+    const Task& t = graph.task(n.task);
+    out += "  n" + std::to_string(n.id.index()) + " [label=\"";
+    out += std::to_string(n.id.index());
+    if (!n.accesses.empty()) {
+      out += "\\nOV={";
+      for (std::size_t i = 0; i < n.accesses.size(); ++i) {
+        if (i > 0) out += ",";
+        out += graph.varName(graph.access(n.accesses[i]).var);
+      }
+      out += '}';
+    }
+    if (n.sync) {
+      out += "\\n";
+      out += syncOpName(n.sync->op);
+      out += ' ';
+      out += graph.varName(n.sync->var);
+    }
+    out += '"';
+    if (n.sync) out += ", shape=diamond";
+    if (pf_nodes.contains(n.id.index())) out += ", peripheries=2";
+    if (t.pruned) out += ", style=dotted";
+    out += "];\n";
+  }
+  for (const Node& n : graph.nodes()) {
+    for (NodeId s : n.succs) {
+      out += "  n" + std::to_string(n.id.index()) + " -> n" +
+             std::to_string(s.index()) + ";\n";
+    }
+    for (TaskId s : n.spawns) {
+      const Task& t = graph.task(s);
+      out += "  n" + std::to_string(n.id.index()) + " -> n" +
+             std::to_string(t.entry.index()) + " [style=dashed];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cuaf::ccfg

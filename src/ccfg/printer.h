@@ -1,0 +1,19 @@
+// Textual and Graphviz renderings of a CCFG (the paper's Figure 2 artifact).
+#pragma once
+
+#include <string>
+
+#include "src/ccfg/graph.h"
+
+namespace cuaf::ccfg {
+
+/// Indented textual summary: tasks, nodes with OV sets and sync ops, PF sets.
+[[nodiscard]] std::string printGraph(const Graph& graph);
+
+/// Graphviz DOT: solid edges = control, dashed = begin-task edges, diamond
+/// nodes = sync nodes, doubled = parallel frontier nodes.
+[[nodiscard]] std::string toDot(const Graph& graph);
+
+[[nodiscard]] std::string_view syncOpName(SyncOp op);
+
+}  // namespace cuaf::ccfg

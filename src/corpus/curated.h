@@ -1,0 +1,31 @@
+// Hand-written corpus: the paper's figure programs plus idiom programs
+// modeled on Chapel test-suite patterns. Each entry records the expected
+// static verdict (number of warnings) and whether the warnings are true
+// positives, used by integration tests and the Table I bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cuaf::corpus {
+
+struct CuratedProgram {
+  std::string name;
+  std::string source;
+  /// Expected number of uaf warnings from the checker.
+  std::size_t expected_warnings = 0;
+  /// Expected number of warning sites the dynamic oracle confirms.
+  std::size_t expected_true_positives = 0;
+  /// Program uses begin tasks.
+  bool has_begin = false;
+  /// Analysis skips the program (paper's unsupported-loop limitation).
+  bool expect_unsupported = false;
+};
+
+/// The curated suite (stable order).
+const std::vector<CuratedProgram>& curatedPrograms();
+
+/// Looks up a curated program by name (nullptr if absent).
+const CuratedProgram* findCurated(const std::string& name);
+
+}  // namespace cuaf::corpus

@@ -1,0 +1,282 @@
+#include "src/corpus/generator.h"
+
+namespace cuaf::corpus {
+
+namespace {
+void ind(std::string& out, int indent) {
+  out.append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+}  // namespace
+
+TaskDiscipline ProgramGenerator::pickDiscipline(bool warned_program) {
+  if (warned_program) {
+    // Warned programs draw tasks from the warning-producing pool; the FP/TP
+    // split mirrors Table I's 85.6% FP rate.
+    if (rng_.chance(options_.fp_pm)) return TaskDiscipline::AtomicSynced;
+    switch (rng_.below(3)) {
+      case 0: return TaskDiscipline::NoSync;
+      case 1: return TaskDiscipline::SyncVarLate;
+      default: return TaskDiscipline::NestedFn;
+    }
+  }
+  switch (rng_.below(4)) {
+    case 0: return TaskDiscipline::SyncVarSafe;
+    case 1: return TaskDiscipline::SyncBlock;
+    case 2: return TaskDiscipline::SingleVar;
+    default: return TaskDiscipline::InIntent;
+  }
+}
+
+void ProgramGenerator::emitAccesses(std::string& out, int indent,
+                                    unsigned count) {
+  for (unsigned i = 0; i < count; ++i) {
+    ind(out, indent);
+    switch (rng_.below(4)) {
+      case 0:
+        out += "writeln(x0);\n";
+        break;
+      case 1:
+        out += "writeln(x0 + x1);\n";
+        break;
+      case 2:
+        out += "x1 += " + std::to_string(rng_.range(1, 5)) + ";\n";
+        break;
+      default:
+        out += "x0 = x0 + x1;\n";
+        break;
+    }
+  }
+}
+
+void ProgramGenerator::emitSequentialFiller(std::string& out, int indent) {
+  switch (rng_.below(3)) {
+    case 0: {
+      ind(out, indent);
+      out += "var acc" + std::to_string(counter_) + ": int = 0;\n";
+      ind(out, indent);
+      out += "for i in 1.." + std::to_string(rng_.range(2, 8)) + " {\n";
+      ind(out, indent + 1);
+      out += "acc" + std::to_string(counter_) + " += i;\n";
+      ind(out, indent);
+      out += "}\n";
+      break;
+    }
+    case 1: {
+      ind(out, indent);
+      out += "var t" + std::to_string(counter_) + ": int = x0 * " +
+             std::to_string(rng_.range(2, 9)) + ";\n";
+      ind(out, indent);
+      out += "if (t" + std::to_string(counter_) + " > 10) {\n";
+      ind(out, indent + 1);
+      out += "t" + std::to_string(counter_) + " -= 10;\n";
+      ind(out, indent);
+      out += "} else {\n";
+      ind(out, indent + 1);
+      out += "t" + std::to_string(counter_) + " += 1;\n";
+      ind(out, indent);
+      out += "}\n";
+      break;
+    }
+    default: {
+      ind(out, indent);
+      out += "var w" + std::to_string(counter_) + ": int = " +
+             std::to_string(rng_.range(1, 100)) + ";\n";
+      ind(out, indent);
+      out += "while (w" + std::to_string(counter_) + " > 3) {\n";
+      ind(out, indent + 1);
+      out += "w" + std::to_string(counter_) + " = w" +
+             std::to_string(counter_) + " / 2;\n";
+      ind(out, indent);
+      out += "}\n";
+      break;
+    }
+  }
+  ++counter_;
+}
+
+TaskDiscipline ProgramGenerator::pickBranchDiscipline(bool bad_task) {
+  if (bad_task) {
+    return rng_.chance(500) ? TaskDiscipline::NoSync
+                            : TaskDiscipline::NestedFn;
+  }
+  switch (rng_.below(3)) {
+    case 0: return TaskDiscipline::SyncBlock;
+    case 1: return TaskDiscipline::InIntent;
+    default: return TaskDiscipline::SyncBlock;
+  }
+}
+
+void ProgramGenerator::emitTask(std::string& out, GeneratedProgram& meta,
+                                int indent, TaskDiscipline d,
+                                unsigned task_index, int depth) {
+  unsigned accesses = static_cast<unsigned>(
+      rng_.range(options_.min_accesses, options_.max_accesses));
+  std::string id = std::to_string(task_index);
+  bool nest = depth == 0 && rng_.chance(options_.nest_pm);
+
+  switch (d) {
+    case TaskDiscipline::NoSync: {
+      ++meta.intended_unsafe_tasks;
+      ind(out, indent);
+      out += "begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, indent + 1, accesses);
+      if (nest) {
+        ++meta.intended_unsafe_tasks;
+        ind(out, indent + 1);
+        out += "begin with (ref x0) {\n";
+        ind(out, indent + 2);
+        out += "writeln(x0);\n";
+        ind(out, indent + 1);
+        out += "}\n";
+      }
+      ind(out, indent);
+      out += "}\n";
+      break;
+    }
+    case TaskDiscipline::SyncVarSafe: {
+      ind(out, indent);
+      out += "var done" + id + "$: sync bool;\n";
+      ind(out, indent);
+      out += "begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, indent + 1, accesses);
+      ind(out, indent + 1);
+      out += "done" + id + "$ = true;\n";
+      ind(out, indent);
+      out += "}\n";
+      pending_epilogue_ += "  done" + id + "$;\n";
+      break;
+    }
+    case TaskDiscipline::SyncVarLate: {
+      ++meta.intended_unsafe_tasks;
+      ind(out, indent);
+      out += "var done" + id + "$: sync bool;\n";
+      ind(out, indent);
+      out += "begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, indent + 1, accesses > 2 ? accesses - 2 : 1);
+      ind(out, indent + 1);
+      out += "done" + id + "$ = true;\n";
+      emitAccesses(out, indent + 1, 2);  // after the signal: unsafe
+      ind(out, indent);
+      out += "}\n";
+      pending_epilogue_ += "  done" + id + "$;\n";
+      break;
+    }
+    case TaskDiscipline::SyncBlock: {
+      ind(out, indent);
+      out += "sync {\n";
+      ind(out, indent + 1);
+      out += "begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, indent + 2, accesses);
+      ind(out, indent + 1);
+      out += "}\n";
+      ind(out, indent);
+      out += "}\n";
+      break;
+    }
+    case TaskDiscipline::AtomicSynced: {
+      ++meta.intended_fp_tasks;
+      ind(out, indent);
+      out += "var count" + id + ": atomic int;\n";
+      ind(out, indent);
+      out += "begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, indent + 1, accesses);
+      ind(out, indent + 1);
+      out += "count" + id + ".add(1);\n";
+      ind(out, indent);
+      out += "}\n";
+      pending_epilogue_ += "  count" + id + ".waitFor(1);\n";
+      break;
+    }
+    case TaskDiscipline::SingleVar: {
+      ind(out, indent);
+      out += "var ready" + id + "$: single bool;\n";
+      ind(out, indent);
+      out += "begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, indent + 1, accesses);
+      ind(out, indent + 1);
+      out += "ready" + id + "$ = true;\n";
+      ind(out, indent);
+      out += "}\n";
+      pending_epilogue_ += "  ready" + id + "$;\n";
+      break;
+    }
+    case TaskDiscipline::NestedFn: {
+      ++meta.intended_unsafe_tasks;
+      ind(out, indent);
+      out += "proc helper" + id + "() {\n";
+      ind(out, indent + 1);
+      out += "writeln(x0 + x1);\n";
+      ind(out, indent + 1);
+      out += "x1 += 1;\n";
+      ind(out, indent);
+      out += "}\n";
+      ind(out, indent);
+      out += "begin {\n";
+      ind(out, indent + 1);
+      out += "helper" + id + "();\n";
+      ind(out, indent);
+      out += "}\n";
+      break;
+    }
+    case TaskDiscipline::InIntent: {
+      ind(out, indent);
+      out += "begin with (in x0, in x1) {\n";
+      ind(out, indent + 1);
+      out += "writeln(x0 + x1);\n";
+      ind(out, indent);
+      out += "}\n";
+      break;
+    }
+  }
+}
+
+GeneratedProgram ProgramGenerator::next() {
+  GeneratedProgram meta;
+  unsigned n = counter_++;
+  meta.name = "gen_" + std::to_string(n);
+
+  std::string out;
+  bool with_begin = rng_.chance(options_.begin_pm);
+  meta.has_begin = with_begin;
+  bool warned_program = with_begin && rng_.chance(options_.warned_pm);
+  bool branch = with_begin && rng_.chance(options_.branch_pm);
+
+  if (branch) out += "config const flag" + std::to_string(n) + " = true;\n";
+  out += "proc " + meta.name + "() {\n";
+  out += "  var x0: int = " + std::to_string(rng_.range(1, 50)) + ";\n";
+  out += "  var x1: int = " + std::to_string(rng_.range(1, 50)) + ";\n";
+
+  if (rng_.chance(options_.filler_pm)) emitSequentialFiller(out, 1);
+
+  pending_epilogue_.clear();
+  if (with_begin) {
+    unsigned tasks = static_cast<unsigned>(rng_.range(1, options_.max_tasks));
+    bool any_bad = false;
+    for (unsigned t = 0; t < tasks; ++t) {
+      // Ensure at least one bad task in warned programs; otherwise mix safe
+      // disciplines with an occasional bad one only for warned programs.
+      bool make_bad = warned_program && (t == tasks - 1 ? !any_bad
+                                                        : rng_.chance(500));
+      if (make_bad) any_bad = true;
+      if (branch && t == 0) {
+        TaskDiscipline d = pickBranchDiscipline(make_bad);
+        out += "  if (flag" + std::to_string(n) + ") {\n";
+        emitTask(out, meta, 2, d, t, 0);
+        out += "  }\n";
+      } else {
+        TaskDiscipline d = pickDiscipline(make_bad);
+        emitTask(out, meta, 1, d, t, 0);
+      }
+    }
+  }
+
+  if (rng_.chance(options_.filler_pm / 2)) emitSequentialFiller(out, 1);
+  out += pending_epilogue_;
+  out += "  writeln(x0 + x1);\n";
+  out += "}\n";
+
+  meta.source = std::move(out);
+  return meta;
+}
+
+}  // namespace cuaf::corpus

@@ -1,0 +1,93 @@
+// Synthetic mini-Chapel program generator.
+//
+// Substitutes for the Chapel 1.11 test suite the paper evaluates on
+// (Table I): a seeded generator emitting programs with a calibrated mix of
+// the idioms that drive the paper's numbers — most programs sequential, a
+// small fraction using begin tasks, and the begin programs split between
+// correctly synchronized patterns (sync variables, single variables, sync
+// blocks, `in` intents) and the patterns that produce warnings: missing
+// synchronization (true positives) and atomic-based synchronization, which
+// the analysis does not model (the paper's dominant false-positive source).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/rng.h"
+
+namespace cuaf::corpus {
+
+/// Synchronization discipline of one generated begin task.
+enum class TaskDiscipline {
+  NoSync,        ///< fire-and-forget with outer refs: true positive
+  SyncVarSafe,   ///< writeEF after accesses, parent readFE at scope end: safe
+  SyncVarLate,   ///< accesses continue after the signalling writeEF: unsafe
+  SyncBlock,     ///< begin inside sync { }: pruned safe (rule B)
+  AtomicSynced,  ///< atomic add/waitFor handshake: dynamically safe, the
+                 ///< analysis cannot see it -> false positive
+  SingleVar,     ///< single variable + readFF: modeled, safe
+  NestedFn,      ///< hidden outer access via nested procedure: true positive
+  InIntent,      ///< `in` copies only: safe (rule A prunes)
+};
+
+struct GeneratorOptions {
+  /// Per-mille probability that a program contains begin tasks (the Chapel
+  /// 1.11 suite has 218/5127 ≈ 4.3%).
+  unsigned begin_pm = 43;
+  /// Among begin programs, per-mille that at least one task is warned
+  /// (38/218 ≈ 17.4%). Warned programs draw their bad tasks from
+  /// {NoSync, SyncVarLate, NestedFn, AtomicSynced}.
+  unsigned warned_pm = 125;
+  /// Among warning-producing tasks, per-mille that the warning is a *false
+  /// positive* (atomic-synced). Table I: 374/437 ≈ 85.6%.
+  unsigned fp_pm = 790;
+  /// Maximum begin tasks per program.
+  unsigned max_tasks = 5;
+  /// Accesses per task body (each outer access is a potential warning).
+  unsigned min_accesses = 3;
+  unsigned max_accesses = 9;
+  /// Per-mille probability of nesting a begin inside a begin.
+  unsigned nest_pm = 250;
+  /// Per-mille probability of wrapping a task in a branch.
+  unsigned branch_pm = 200;
+  /// Per-mille probability of sequential filler loops/procs.
+  unsigned filler_pm = 600;
+};
+
+struct GeneratedProgram {
+  std::string name;
+  std::string source;
+  bool has_begin = false;
+  /// Number of generated tasks whose accesses are dynamically unsafe
+  /// (ground-truth intent; the oracle independently verifies).
+  unsigned intended_unsafe_tasks = 0;
+  /// Number of generated tasks that are dynamically safe but invisible to
+  /// the analysis (atomic handshakes).
+  unsigned intended_fp_tasks = 0;
+};
+
+class ProgramGenerator {
+ public:
+  ProgramGenerator(std::uint64_t seed, GeneratorOptions options = {})
+      : rng_(seed), options_(options) {}
+
+  /// Generates the next program (deterministic for a given seed).
+  GeneratedProgram next();
+
+ private:
+  void emitSequentialFiller(std::string& out, int indent);
+  void emitTask(std::string& out, GeneratedProgram& meta, int indent,
+                TaskDiscipline d, unsigned task_index, int depth);
+  void emitAccesses(std::string& out, int indent, unsigned count);
+  TaskDiscipline pickDiscipline(bool bad_task);
+  /// Disciplines usable under a branch (their parent-side waits, if any,
+  /// must not reference declarations inside the branch block).
+  TaskDiscipline pickBranchDiscipline(bool bad_task);
+
+  Rng rng_;
+  GeneratorOptions options_;
+  unsigned counter_ = 0;
+  std::string pending_epilogue_;
+};
+
+}  // namespace cuaf::corpus

@@ -1,0 +1,101 @@
+#include "src/corpus/runner.h"
+
+#include "src/analysis/pipeline.h"
+#include "src/runtime/explore.h"
+
+namespace cuaf::corpus {
+
+std::string Table1Stats::render() const {
+  auto row = [](const std::string& label, const std::string& paper,
+                const std::string& ours) {
+    std::string out = label;
+    if (out.size() < 42) out.append(42 - out.size(), ' ');
+    out += paper;
+    if (paper.size() < 10) out.append(10 - paper.size(), ' ');
+    out += ours;
+    out += '\n';
+    return out;
+  };
+  char pct[32];
+  std::snprintf(pct, sizeof(pct), "%.1f%%", truePositivePct());
+  std::string out;
+  out += row("Table I row", "paper", "measured");
+  out += row("Total test cases", "5127", std::to_string(total_cases));
+  out += row("Test cases with begin tasks", "218",
+             std::to_string(cases_with_begin));
+  out += row("Test cases with Use-After-Free warnings", "38",
+             std::to_string(cases_with_warnings));
+  out += row("Number of warnings reported", "437",
+             std::to_string(warnings_reported));
+  out += row("True positives", "63", std::to_string(true_positives));
+  out += row("Percentage of true positives", "14.4%", pct);
+  return out;
+}
+
+ProgramOutcome runProgram(const std::string& name, const std::string& source,
+                          const RunnerOptions& options) {
+  ProgramOutcome outcome;
+  outcome.name = name;
+
+  Pipeline pipeline(options.analysis);
+  if (!pipeline.runSource(name, source)) {
+    outcome.parse_ok = false;
+    return outcome;
+  }
+
+  const AnalysisResult& analysis = pipeline.analysis();
+  outcome.has_begin = analysis.hasBegin();
+  for (const ProcAnalysis& pa : analysis.procs) {
+    outcome.skipped_unsupported |= pa.skipped_unsupported;
+    outcome.warnings += pa.warnings.size();
+  }
+
+  if (outcome.warnings > 0 && options.classify_with_oracle) {
+    rt::ExploreOptions eo;
+    eo.max_schedules = options.oracle_max_schedules;
+    eo.random_schedules = options.oracle_random_schedules;
+    rt::ExploreResult oracle =
+        rt::exploreAll(*pipeline.module(), *pipeline.program(), eo);
+    for (const ProcAnalysis& pa : analysis.procs) {
+      for (const UafWarning& w : pa.warnings) {
+        if (oracle.sawUafAt(w.access_loc)) ++outcome.true_positives;
+      }
+    }
+  }
+  return outcome;
+}
+
+Table1Stats runCorpus(
+    std::uint64_t seed, std::size_t count, const GeneratorOptions& gen_options,
+    const RunnerOptions& options,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  Table1Stats stats;
+  ProgramGenerator gen(seed, gen_options);
+
+  auto account = [&](const ProgramOutcome& o) {
+    if (!o.parse_ok) return;
+    if (o.skipped_unsupported && !options.count_skipped) return;
+    ++stats.total_cases;
+    if (o.has_begin) ++stats.cases_with_begin;
+    if (o.warnings > 0) ++stats.cases_with_warnings;
+    stats.warnings_reported += o.warnings;
+    stats.true_positives += o.true_positives;
+  };
+
+  const auto& curated = curatedPrograms();
+  std::size_t total = count + curated.size();
+  std::size_t done = 0;
+
+  for (const CuratedProgram& p : curated) {
+    account(runProgram(p.name, p.source, options));
+    if (progress && (++done % 256) == 0) progress(done, total);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    GeneratedProgram p = gen.next();
+    account(runProgram(p.name, p.source, options));
+    if (progress && (++done % 256) == 0) progress(done, total);
+  }
+  return stats;
+}
+
+}  // namespace cuaf::corpus

@@ -1,0 +1,69 @@
+// Corpus runner: executes the checker (and the dynamic oracle for warned
+// programs) over a corpus and accumulates the Table I statistics.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/checker.h"
+#include "src/corpus/curated.h"
+#include "src/corpus/generator.h"
+
+namespace cuaf::corpus {
+
+/// The six rows of the paper's Table I.
+struct Table1Stats {
+  std::size_t total_cases = 0;
+  std::size_t cases_with_begin = 0;
+  std::size_t cases_with_warnings = 0;
+  std::size_t warnings_reported = 0;
+  std::size_t true_positives = 0;
+
+  [[nodiscard]] double truePositivePct() const {
+    return warnings_reported == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(true_positives) /
+                     static_cast<double>(warnings_reported);
+  }
+
+  /// Renders the table with the paper's reference column next to ours.
+  [[nodiscard]] std::string render() const;
+};
+
+struct RunnerOptions {
+  /// Checker configuration (extensions like model_atomics/unroll_loops flow
+  /// through here for the ablation benches).
+  AnalysisOptions analysis;
+  /// Run the dynamic oracle on warned programs to classify true positives.
+  bool classify_with_oracle = true;
+  /// Schedule budget for the oracle (per warned program).
+  std::size_t oracle_max_schedules = 400;
+  std::size_t oracle_random_schedules = 32;
+  /// Also count programs the analysis skips (unsupported loops).
+  bool count_skipped = true;
+};
+
+struct ProgramOutcome {
+  std::string name;
+  bool parse_ok = true;
+  bool has_begin = false;
+  bool skipped_unsupported = false;
+  std::size_t warnings = 0;
+  std::size_t true_positives = 0;
+};
+
+/// Runs one program source through parse→sema→IR→checker (and oracle).
+ProgramOutcome runProgram(const std::string& name, const std::string& source,
+                          const RunnerOptions& options);
+
+/// Runs `count` generated programs from `seed` plus the curated suite and
+/// returns Table I statistics. `progress` (optional) is invoked every 256
+/// programs with (done, total).
+Table1Stats runCorpus(std::uint64_t seed, std::size_t count,
+                      const GeneratorOptions& gen_options,
+                      const RunnerOptions& options,
+                      const std::function<void(std::size_t, std::size_t)>&
+                          progress = nullptr);
+
+}  // namespace cuaf::corpus

@@ -1,0 +1,25 @@
+#include "src/ir/ir.h"
+
+namespace cuaf::ir {
+
+bool containsConcurrencyEvent(const Stmt& stmt, const SemaModule& sema) {
+  switch (stmt.kind) {
+    case StmtKind::SyncRead:
+    case StmtKind::SyncWrite:
+    case StmtKind::Begin:
+      return true;
+    case StmtKind::Call:
+      return stmt.callee.valid() && sema.proc(stmt.callee).is_nested;
+    default:
+      break;
+  }
+  for (const auto& s : stmt.body) {
+    if (containsConcurrencyEvent(*s, sema)) return true;
+  }
+  for (const auto& s : stmt.else_body) {
+    if (containsConcurrencyEvent(*s, sema)) return true;
+  }
+  return false;
+}
+
+}  // namespace cuaf::ir

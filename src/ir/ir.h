@@ -1,0 +1,130 @@
+// Intermediate representation consumed by the CCFG builder and the runtime
+// interpreter.
+//
+// The IR mirrors the Chapel compiler's intermediate code in the one respect
+// the paper relies on: reads and writes of sync/single variables appear as
+// explicit readFE / readFF / writeEF operations ("the special read/write
+// functions for sync and single are embedded in", §III). Sync reads nested
+// in larger expressions are hoisted to stand-alone SyncRead ops that execute
+// before the statement, in evaluation order.
+//
+// Expressions are not duplicated: IR nodes reference the sema-annotated AST
+// expressions (the Program must outlive the ir::Module).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/sema/sema.h"
+
+namespace cuaf::ir {
+
+enum class StmtKind {
+  Block,      ///< scope region: vars of `scope` die at its end
+  DeclData,   ///< declaration of a plain/atomic data variable
+  DeclSync,   ///< declaration of a sync/single variable
+  Assign,     ///< data assignment (never to sync vars)
+  Eval,       ///< expression evaluated for effect (writeln, calls, x++)
+  SyncRead,   ///< readFE (sync) or readFF (single)
+  SyncWrite,  ///< writeEF
+  AtomicOp,   ///< atomic method; *not* a sync event for the static analysis
+  Begin,      ///< task creation (fire-and-forget)
+  SyncBlock,  ///< sync { ... } fence
+  If,
+  Loop,
+  Return,
+  Call,       ///< direct call to a user procedure
+};
+
+enum class SyncOpKind { ReadFE, ReadFF, WriteEF };
+
+enum class AtomicOpKind { Read, Write, WaitFor, FetchAdd, Add, Sub, Exchange };
+
+/// One variable use inside a statement (read or write of a data/atomic var).
+struct VarUse {
+  VarId var;
+  bool is_write = false;
+  SourceLoc loc;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  /// Data/atomic variable uses this statement performs directly (not
+  /// including nested bodies). Filled by lowering.
+  std::vector<VarUse> uses;
+
+  // Block
+  ScopeId scope;            ///< Block: the scope this region owns
+  std::vector<StmtPtr> body;  ///< Block/Begin/SyncBlock/Loop bodies; If: then
+
+  // DeclData / DeclSync / Assign / SyncRead / SyncWrite / AtomicOp
+  VarId var;                  ///< target/receiver variable
+  const Expr* value = nullptr;  ///< init/assigned value/atomic arg (may be null)
+  AssignOp assign_op = AssignOp::Assign;
+  SyncOpKind sync_op = SyncOpKind::ReadFE;
+  AtomicOpKind atomic_op = AtomicOpKind::Read;
+  bool sync_init_full = false;  ///< DeclSync: initialized to full
+
+  // Eval / If / Loop / Return
+  const Expr* expr = nullptr;  ///< Eval: expression; If/Loop: condition;
+                               ///< Return: value (may be null)
+
+  // Begin
+  const BeginStmt* begin_ast = nullptr;  ///< for captures lookup
+  std::vector<CaptureInfo> captures;
+
+  // If
+  std::vector<StmtPtr> else_body;
+
+  // Loop
+  bool loop_has_sync_or_begin = false;  ///< triggers the paper's limitation
+  bool loop_is_for = false;
+  VarId loop_index;                      ///< for-loops
+  const Expr* loop_lo = nullptr;
+  const Expr* loop_hi = nullptr;
+
+  // Call
+  ProcId callee;
+  std::vector<const Expr*> args;
+
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+/// A lowered procedure.
+struct Proc {
+  ProcId id;
+  Symbol name;
+  const ProcDecl* decl = nullptr;
+  ScopeId body_scope;
+  bool is_nested = false;
+  StmtPtr body;  ///< a Block stmt owning body_scope
+};
+
+/// A lowered translation unit. References the SemaModule and the AST.
+struct Module {
+  const SemaModule* sema = nullptr;
+  std::vector<std::unique_ptr<Proc>> procs;
+
+  [[nodiscard]] const Proc* proc(ProcId id) const {
+    for (const auto& p : procs) {
+      if (p->id == id) return p.get();
+    }
+    return nullptr;
+  }
+};
+
+/// True if the subtree contains a sync op, a begin, or a call to a *nested*
+/// procedure (which may be inlined and introduce concurrency). Loops
+/// containing such events are unsupported per the paper's §IV-A; calls to
+/// top-level procedures are opaque under the partial inter-procedural
+/// analysis and do not count.
+[[nodiscard]] bool containsConcurrencyEvent(const Stmt& stmt,
+                                            const SemaModule& sema);
+
+}  // namespace cuaf::ir

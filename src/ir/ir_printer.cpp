@@ -1,0 +1,133 @@
+#include "src/ir/ir_printer.h"
+
+#include "src/ast/printer.h"
+
+namespace cuaf::ir {
+
+namespace {
+
+void printInto(const Stmt& stmt, const SemaModule& sema, int indent,
+               std::string& out) {
+  out.append(static_cast<std::size_t>(indent) * 2, ' ');
+  auto varName = [&](VarId id) {
+    return id.valid() ? std::string(sema.interner().text(sema.var(id).name))
+                      : std::string("<invalid>");
+  };
+  auto appendUses = [&] {
+    if (stmt.uses.empty()) return;
+    out += " uses=[";
+    for (std::size_t i = 0; i < stmt.uses.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.uses[i].is_write ? "w " : "r ";
+      out += varName(stmt.uses[i].var);
+    }
+    out += ']';
+  };
+
+  switch (stmt.kind) {
+    case StmtKind::Block:
+      out += "block scope=" + std::to_string(stmt.scope.index());
+      break;
+    case StmtKind::DeclData:
+      out += "decl.data " + varName(stmt.var);
+      appendUses();
+      break;
+    case StmtKind::DeclSync:
+      out += "decl.sync " + varName(stmt.var);
+      if (stmt.sync_init_full) out += " init=full";
+      break;
+    case StmtKind::Assign:
+      out += "assign " + varName(stmt.var);
+      appendUses();
+      break;
+    case StmtKind::Eval:
+      out += "eval";
+      appendUses();
+      break;
+    case StmtKind::SyncRead:
+      out += stmt.sync_op == SyncOpKind::ReadFF ? "sync.readFF " : "sync.readFE ";
+      out += varName(stmt.var);
+      break;
+    case StmtKind::SyncWrite:
+      out += "sync.writeEF " + varName(stmt.var);
+      appendUses();
+      break;
+    case StmtKind::AtomicOp:
+      out += "atomic.";
+      switch (stmt.atomic_op) {
+        case AtomicOpKind::Read: out += "read"; break;
+        case AtomicOpKind::Write: out += "write"; break;
+        case AtomicOpKind::WaitFor: out += "waitFor"; break;
+        case AtomicOpKind::FetchAdd: out += "fetchAdd"; break;
+        case AtomicOpKind::Add: out += "add"; break;
+        case AtomicOpKind::Sub: out += "sub"; break;
+        case AtomicOpKind::Exchange: out += "exchange"; break;
+      }
+      out += ' ';
+      out += varName(stmt.var);
+      break;
+    case StmtKind::Begin:
+      out += "begin scope=" + std::to_string(stmt.scope.index());
+      if (!stmt.captures.empty()) {
+        out += " with=[";
+        for (std::size_t i = 0; i < stmt.captures.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += taskIntentSpelling(stmt.captures[i].intent);
+          out += ' ';
+          out += varName(stmt.captures[i].outer);
+        }
+        out += ']';
+      }
+      break;
+    case StmtKind::SyncBlock:
+      out += "sync.block";
+      break;
+    case StmtKind::If:
+      out += "if";
+      appendUses();
+      break;
+    case StmtKind::Loop:
+      out += stmt.loop_is_for ? "loop.for" : "loop.while";
+      if (stmt.loop_has_sync_or_begin) out += " [has-concurrency]";
+      appendUses();
+      break;
+    case StmtKind::Return:
+      out += "return";
+      appendUses();
+      break;
+    case StmtKind::Call:
+      out += "call " +
+             std::string(sema.interner().text(sema.proc(stmt.callee).name));
+      appendUses();
+      break;
+  }
+  out += '\n';
+  for (const auto& s : stmt.body) printInto(*s, sema, indent + 1, out);
+  if (!stmt.else_body.empty()) {
+    out.append(static_cast<std::size_t>(indent) * 2, ' ');
+    out += "else\n";
+    for (const auto& s : stmt.else_body) printInto(*s, sema, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string printStmt(const Stmt& stmt, const SemaModule& sema, int indent) {
+  std::string out;
+  printInto(stmt, sema, indent, out);
+  return out;
+}
+
+std::string printModule(const Module& module) {
+  std::string out;
+  for (const auto& proc : module.procs) {
+    out += "proc ";
+    out += module.sema->interner().text(proc->name);
+    if (proc->is_nested) out += " [nested]";
+    out += '\n';
+    printInto(*proc->body, *module.sema, 1, out);
+  }
+  return out;
+}
+
+}  // namespace cuaf::ir

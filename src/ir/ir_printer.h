@@ -1,0 +1,22 @@
+// Debug/golden-test printer for the IR.
+#pragma once
+
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace cuaf::ir {
+
+/// Renders the module as an indented op listing, e.g.
+///   proc outerVarUse
+///     block scope=1
+///       decl.data x
+///       decl.sync doneA$
+///       begin scope=2
+///         eval uses=[r x, w x]
+///         sync.writeEF doneA$
+[[nodiscard]] std::string printModule(const Module& module);
+[[nodiscard]] std::string printStmt(const Stmt& stmt, const SemaModule& sema,
+                                    int indent = 0);
+
+}  // namespace cuaf::ir

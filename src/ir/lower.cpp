@@ -1,0 +1,444 @@
+#include "src/ir/lower.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cuaf::ir {
+
+namespace {
+
+class Lowerer {
+ public:
+  Lowerer(const SemaModule& sema, DiagnosticEngine& diags, Module& module)
+      : sema_(sema), diags_(diags), module_(module) {}
+
+  void lowerProc(const ProcDecl& decl) {
+    auto proc = std::make_unique<Proc>();
+    proc->id = decl.id;
+    proc->name = decl.name;
+    proc->decl = &decl;
+    proc->is_nested = decl.is_nested;
+    proc->body_scope = sema_.proc(decl.id).body_scope;
+
+    auto block = std::make_unique<Stmt>(StmtKind::Block, decl.loc);
+    block->scope = proc->body_scope;
+    for (const auto& s : decl.body->stmts) {
+      lowerStmtInto(*s, block->body);
+    }
+    proc->body = std::move(block);
+    module_.procs.push_back(std::move(proc));
+  }
+
+ private:
+  [[nodiscard]] bool isSyncLikeVar(VarId id) const {
+    return id.valid() && sema_.var(id).type.isSyncLike();
+  }
+  [[nodiscard]] bool isAtomicVar(VarId id) const {
+    return id.valid() && sema_.var(id).type.isAtomic();
+  }
+
+  /// Emits SyncRead ops for every sync/single read nested in `expr`, in
+  /// evaluation order (mirrors Chapel's lowering of sync reads to temps).
+  void hoistSyncReads(const Expr& expr, std::vector<StmtPtr>& out) {
+    switch (expr.kind) {
+      case ExprKind::Ident: {
+        const auto& e = static_cast<const IdentExpr&>(expr);
+        if (isSyncLikeVar(e.resolved)) {
+          emitSyncRead(e.resolved, e.loc, out);
+        }
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto& e = static_cast<const BinaryExpr&>(expr);
+        hoistSyncReads(*e.lhs, out);
+        hoistSyncReads(*e.rhs, out);
+        break;
+      }
+      case ExprKind::Unary:
+        hoistSyncReads(*static_cast<const UnaryExpr&>(expr).operand, out);
+        break;
+      case ExprKind::Call: {
+        const auto& e = static_cast<const CallExpr&>(expr);
+        for (const auto& a : e.args) hoistSyncReads(*a, out);
+        break;
+      }
+      case ExprKind::MethodCall: {
+        const auto& e = static_cast<const MethodCallExpr&>(expr);
+        for (const auto& a : e.args) hoistSyncReads(*a, out);
+        if (isSyncLikeVar(e.resolved_receiver)) {
+          std::string_view m = sema_.interner().text(e.method);
+          if (m == "readFE" || m == "readFF") {
+            emitSyncRead(e.resolved_receiver, e.loc, out);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void emitSyncRead(VarId var, SourceLoc loc, std::vector<StmtPtr>& out) {
+    auto op = std::make_unique<Stmt>(StmtKind::SyncRead, loc);
+    op->var = var;
+    op->sync_op = sema_.var(var).type.conc == ConcKind::Single
+                      ? SyncOpKind::ReadFF
+                      : SyncOpKind::ReadFE;
+    out.push_back(std::move(op));
+  }
+
+  void lowerBody(const cuaf::Stmt& body, std::vector<StmtPtr>& out) {
+    if (const auto* block = body.as<BlockStmt>()) {
+      auto node = std::make_unique<Stmt>(StmtKind::Block, block->loc);
+      node->scope = sema_.scopeOf(block);
+      for (const auto& s : block->stmts) lowerStmtInto(*s, node->body);
+      out.push_back(std::move(node));
+    } else {
+      lowerStmtInto(body, out);
+    }
+  }
+
+  void lowerStmtInto(const cuaf::Stmt& stmt, std::vector<StmtPtr>& out) {
+    switch (stmt.kind) {
+      case cuaf::StmtKind::VarDecl: {
+        const auto& s = static_cast<const VarDeclStmt&>(stmt);
+        if (!s.resolved.valid()) return;  // sema error
+        const VarInfo& info = sema_.var(s.resolved);
+        if (info.type.isSyncLike()) {
+          auto node = std::make_unique<Stmt>(StmtKind::DeclSync, s.loc);
+          node->var = s.resolved;
+          node->value = s.init.get();
+          node->sync_init_full = s.init != nullptr;
+          if (s.init) {
+            hoistSyncReads(*s.init, out);
+            collectUses(*s.init, sema_, node->uses);
+          }
+          out.push_back(std::move(node));
+        } else {
+          if (s.init) hoistSyncReads(*s.init, out);
+          auto node = std::make_unique<Stmt>(StmtKind::DeclData, s.loc);
+          node->var = s.resolved;
+          node->value = s.init.get();
+          if (s.init) collectUses(*s.init, sema_, node->uses);
+          out.push_back(std::move(node));
+        }
+        break;
+      }
+      case cuaf::StmtKind::Assign: {
+        const auto& s = static_cast<const AssignStmt&>(stmt);
+        if (!s.resolved.valid()) return;
+        hoistSyncReads(*s.value, out);
+        if (isSyncLikeVar(s.resolved)) {
+          auto node = std::make_unique<Stmt>(StmtKind::SyncWrite, s.loc);
+          node->var = s.resolved;
+          node->sync_op = SyncOpKind::WriteEF;
+          node->value = s.value.get();
+          collectUses(*s.value, sema_, node->uses);
+          out.push_back(std::move(node));
+        } else {
+          auto node = std::make_unique<Stmt>(StmtKind::Assign, s.loc);
+          node->var = s.resolved;
+          node->assign_op = s.op;
+          node->value = s.value.get();
+          collectUses(*s.value, sema_, node->uses);
+          if (s.op != AssignOp::Assign) {
+            node->uses.push_back(VarUse{s.resolved, false, s.loc});
+          }
+          node->uses.push_back(VarUse{s.resolved, true, s.loc});
+          out.push_back(std::move(node));
+        }
+        break;
+      }
+      case cuaf::StmtKind::Expr: {
+        const auto& s = static_cast<const ExprStmt&>(stmt);
+        lowerExprStmt(*s.expr, out);
+        break;
+      }
+      case cuaf::StmtKind::Begin: {
+        const auto& s = static_cast<const BeginStmt&>(stmt);
+        auto node = std::make_unique<Stmt>(StmtKind::Begin, s.loc);
+        node->begin_ast = &s;
+        node->scope = sema_.scopeOf(&stmt);
+        if (const auto* caps = sema_.captures(&stmt)) node->captures = *caps;
+        lowerBody(*s.body, node->body);
+        out.push_back(std::move(node));
+        break;
+      }
+      case cuaf::StmtKind::SyncBlock: {
+        const auto& s = static_cast<const SyncBlockStmt&>(stmt);
+        auto node = std::make_unique<Stmt>(StmtKind::SyncBlock, s.loc);
+        node->scope = sema_.scopeOf(&stmt);
+        lowerBody(*s.body, node->body);
+        out.push_back(std::move(node));
+        break;
+      }
+      case cuaf::StmtKind::Cobegin: {
+        // Desugars to `sync { begin s1; begin s2; ... }` with the cobegin's
+        // task intents applied to every generated task.
+        const auto& s = static_cast<const CobeginStmt&>(stmt);
+        auto fence = std::make_unique<Stmt>(StmtKind::SyncBlock, s.loc);
+        fence->scope = sema_.scopeOf(&stmt);
+        const auto* caps = sema_.captures(&stmt);
+        for (const auto& sub : s.stmts) {
+          auto task = std::make_unique<Stmt>(StmtKind::Begin, sub->loc);
+          task->scope = sema_.scopeOf(&stmt);
+          if (caps) task->captures = *caps;
+          lowerBody(*sub, task->body);
+          fence->body.push_back(std::move(task));
+        }
+        out.push_back(std::move(fence));
+        break;
+      }
+      case cuaf::StmtKind::Coforall: {
+        // Desugars to `sync { for i in lo..hi { begin <body-with-captures> } }`.
+        // The index reaches each task as an `in` capture (value at spawn).
+        const auto& s = static_cast<const CoforallStmt&>(stmt);
+        hoistSyncReads(*s.lo, out);
+        hoistSyncReads(*s.hi, out);
+
+        auto task = std::make_unique<Stmt>(StmtKind::Begin, s.loc);
+        if (const auto* caps = sema_.captures(&stmt)) task->captures = *caps;
+        lowerBody(*s.body, task->body);
+
+        auto loop = std::make_unique<Stmt>(StmtKind::Loop, s.loc);
+        loop->loop_is_for = true;
+        loop->loop_index = s.resolved_index;
+        loop->loop_lo = s.lo.get();
+        loop->loop_hi = s.hi.get();
+        loop->scope = sema_.scopeOf(&stmt);
+        collectUses(*s.lo, sema_, loop->uses);
+        collectUses(*s.hi, sema_, loop->uses);
+        loop->loop_has_sync_or_begin = true;
+        loop->body.push_back(std::move(task));
+
+        auto fence = std::make_unique<Stmt>(StmtKind::SyncBlock, s.loc);
+        fence->body.push_back(std::move(loop));
+        out.push_back(std::move(fence));
+        break;
+      }
+      case cuaf::StmtKind::If: {
+        const auto& s = static_cast<const IfStmt&>(stmt);
+        hoistSyncReads(*s.cond, out);
+        auto node = std::make_unique<Stmt>(StmtKind::If, s.loc);
+        node->expr = s.cond.get();
+        collectUses(*s.cond, sema_, node->uses);
+        lowerBody(*s.then_body, node->body);
+        if (s.else_body) lowerBody(*s.else_body, node->else_body);
+        out.push_back(std::move(node));
+        break;
+      }
+      case cuaf::StmtKind::While: {
+        const auto& s = static_cast<const WhileStmt&>(stmt);
+        hoistSyncReads(*s.cond, out);
+        auto node = std::make_unique<Stmt>(StmtKind::Loop, s.loc);
+        node->expr = s.cond.get();
+        collectUses(*s.cond, sema_, node->uses);
+        lowerBody(*s.body, node->body);
+        node->loop_has_sync_or_begin =
+            std::any_of(node->body.begin(), node->body.end(),
+                        [this](const StmtPtr& b) { return containsConcurrencyEvent(*b, sema_); });
+        out.push_back(std::move(node));
+        break;
+      }
+      case cuaf::StmtKind::For: {
+        const auto& s = static_cast<const ForStmt&>(stmt);
+        hoistSyncReads(*s.lo, out);
+        hoistSyncReads(*s.hi, out);
+        auto node = std::make_unique<Stmt>(StmtKind::Loop, s.loc);
+        node->loop_is_for = true;
+        node->loop_index = s.resolved_index;
+        node->loop_lo = s.lo.get();
+        node->loop_hi = s.hi.get();
+        node->scope = sema_.scopeOf(&stmt);
+        collectUses(*s.lo, sema_, node->uses);
+        collectUses(*s.hi, sema_, node->uses);
+        lowerBody(*s.body, node->body);
+        node->loop_has_sync_or_begin =
+            std::any_of(node->body.begin(), node->body.end(),
+                        [this](const StmtPtr& b) { return containsConcurrencyEvent(*b, sema_); });
+        out.push_back(std::move(node));
+        break;
+      }
+      case cuaf::StmtKind::Return: {
+        const auto& s = static_cast<const ReturnStmt&>(stmt);
+        if (s.value) hoistSyncReads(*s.value, out);
+        auto node = std::make_unique<Stmt>(StmtKind::Return, s.loc);
+        node->expr = s.value.get();
+        if (s.value) collectUses(*s.value, sema_, node->uses);
+        out.push_back(std::move(node));
+        break;
+      }
+      case cuaf::StmtKind::Block: {
+        lowerBody(stmt, out);
+        break;
+      }
+      case cuaf::StmtKind::ProcDecl: {
+        const auto& s = static_cast<const ProcDeclStmt&>(stmt);
+        lowerProcDecl(*s.proc);
+        break;
+      }
+    }
+  }
+
+  void lowerProcDecl(const ProcDecl& decl) { lowerProc(decl); }
+
+  void lowerExprStmt(const Expr& expr, std::vector<StmtPtr>& out) {
+    // Bare sync read statement: `done$;`
+    if (const auto* ident = expr.as<IdentExpr>()) {
+      if (isSyncLikeVar(ident->resolved)) {
+        emitSyncRead(ident->resolved, ident->loc, out);
+        return;
+      }
+      // Bare data read: still an access.
+      auto node = std::make_unique<Stmt>(StmtKind::Eval, expr.loc);
+      node->expr = &expr;
+      collectUses(expr, sema_, node->uses);
+      out.push_back(std::move(node));
+      return;
+    }
+    if (const auto* mc = expr.as<MethodCallExpr>()) {
+      if (isSyncLikeVar(mc->resolved_receiver)) {
+        std::string_view m = sema_.interner().text(mc->method);
+        for (const auto& a : mc->args) hoistSyncReads(*a, out);
+        if (m == "readFE" || m == "readFF") {
+          emitSyncRead(mc->resolved_receiver, mc->loc, out);
+          return;
+        }
+        if (m == "writeEF") {
+          auto node = std::make_unique<Stmt>(StmtKind::SyncWrite, mc->loc);
+          node->var = mc->resolved_receiver;
+          node->sync_op = SyncOpKind::WriteEF;
+          node->value = mc->args.empty() ? nullptr : mc->args[0].get();
+          if (node->value) collectUses(*node->value, sema_, node->uses);
+          out.push_back(std::move(node));
+          return;
+        }
+        // reset/isFull: non-blocking; not a sync event for the analysis.
+        auto node = std::make_unique<Stmt>(StmtKind::Eval, expr.loc);
+        node->expr = &expr;
+        out.push_back(std::move(node));
+        return;
+      }
+      if (isAtomicVar(mc->resolved_receiver)) {
+        for (const auto& a : mc->args) hoistSyncReads(*a, out);
+        auto node = std::make_unique<Stmt>(StmtKind::AtomicOp, mc->loc);
+        node->var = mc->resolved_receiver;
+        node->value = mc->args.empty() ? nullptr : mc->args[0].get();
+        std::string_view m = sema_.interner().text(mc->method);
+        bool writes = false;
+        if (m == "write") {
+          node->atomic_op = AtomicOpKind::Write;
+          writes = true;
+        } else if (m == "waitFor") {
+          node->atomic_op = AtomicOpKind::WaitFor;
+        } else if (m == "fetchAdd") {
+          node->atomic_op = AtomicOpKind::FetchAdd;
+          writes = true;
+        } else if (m == "add") {
+          node->atomic_op = AtomicOpKind::Add;
+          writes = true;
+        } else if (m == "sub") {
+          node->atomic_op = AtomicOpKind::Sub;
+          writes = true;
+        } else if (m == "exchange") {
+          node->atomic_op = AtomicOpKind::Exchange;
+          writes = true;
+        } else {
+          node->atomic_op = AtomicOpKind::Read;
+        }
+        node->uses.push_back(VarUse{mc->resolved_receiver, writes, mc->loc});
+        if (node->value) collectUses(*node->value, sema_, node->uses);
+        out.push_back(std::move(node));
+        return;
+      }
+    }
+    if (const auto* call = expr.as<CallExpr>()) {
+      if (!call->is_builtin && call->resolved_proc.valid()) {
+        for (const auto& a : call->args) hoistSyncReads(*a, out);
+        auto node = std::make_unique<Stmt>(StmtKind::Call, call->loc);
+        node->callee = call->resolved_proc;
+        for (const auto& a : call->args) {
+          node->args.push_back(a.get());
+          collectUses(*a, sema_, node->uses);
+        }
+        out.push_back(std::move(node));
+        return;
+      }
+    }
+    hoistSyncReads(expr, out);
+    auto node = std::make_unique<Stmt>(StmtKind::Eval, expr.loc);
+    node->expr = &expr;
+    collectUses(expr, sema_, node->uses);
+    out.push_back(std::move(node));
+    return;
+  }
+
+  const SemaModule& sema_;
+  [[maybe_unused]] DiagnosticEngine& diags_;
+  Module& module_;
+};
+
+}  // namespace
+
+void collectUses(const Expr& expr, const SemaModule& sema,
+                 std::vector<VarUse>& out) {
+  switch (expr.kind) {
+    case ExprKind::Ident: {
+      const auto& e = static_cast<const IdentExpr&>(expr);
+      if (!e.resolved.valid()) return;
+      if (sema.var(e.resolved).type.isSyncLike()) return;  // hoisted
+      out.push_back(VarUse{e.resolved, false, e.loc});
+      break;
+    }
+    case ExprKind::Binary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      collectUses(*e.lhs, sema, out);
+      collectUses(*e.rhs, sema, out);
+      break;
+    }
+    case ExprKind::Unary:
+      collectUses(*static_cast<const UnaryExpr&>(expr).operand, sema, out);
+      break;
+    case ExprKind::PostIncDec: {
+      const auto& e = static_cast<const PostIncDecExpr&>(expr);
+      if (!e.resolved.valid()) return;
+      out.push_back(VarUse{e.resolved, false, e.loc});
+      out.push_back(VarUse{e.resolved, true, e.loc});
+      break;
+    }
+    case ExprKind::Call: {
+      const auto& e = static_cast<const CallExpr&>(expr);
+      for (const auto& a : e.args) collectUses(*a, sema, out);
+      break;
+    }
+    case ExprKind::MethodCall: {
+      const auto& e = static_cast<const MethodCallExpr&>(expr);
+      if (e.resolved_receiver.valid()) {
+        const VarInfo& info = sema.var(e.resolved_receiver);
+        if (info.type.isAtomic()) {
+          std::string_view m = sema.interner().text(e.method);
+          bool writes = (m == "write" || m == "fetchAdd" || m == "add" ||
+                         m == "sub" || m == "exchange");
+          out.push_back(VarUse{e.resolved_receiver, writes, e.loc});
+        }
+      }
+      for (const auto& a : e.args) collectUses(*a, sema, out);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::unique_ptr<Module> lower(const Program& program, const SemaModule& sema,
+                              DiagnosticEngine& diags) {
+  auto module = std::make_unique<Module>();
+  module->sema = &sema;
+  Lowerer lowerer(sema, diags, *module);
+  for (const auto& proc : program.procs) {
+    if (proc->id.valid()) lowerer.lowerProc(*proc);
+  }
+  return module;
+}
+
+}  // namespace cuaf::ir

@@ -1,0 +1,23 @@
+// AST → IR lowering.
+#pragma once
+
+#include <memory>
+
+#include "src/ir/ir.h"
+#include "src/support/diagnostics.h"
+
+namespace cuaf::ir {
+
+/// Lowers a sema-annotated program to IR. `program` and `sema` must outlive
+/// the returned module. Reports lowering diagnostics (e.g. unsupported
+/// constructs) to `diags`.
+std::unique_ptr<Module> lower(const Program& program, const SemaModule& sema,
+                              DiagnosticEngine& diags);
+
+/// Collects the data/atomic variable uses of an expression in evaluation
+/// order. Sync/single variable operations are *excluded* (they become
+/// explicit SyncRead/SyncWrite ops instead).
+void collectUses(const Expr& expr, const SemaModule& sema,
+                 std::vector<VarUse>& out);
+
+}  // namespace cuaf::ir

@@ -1,0 +1,216 @@
+#include "src/lexer/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+namespace cuaf {
+
+namespace {
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+Lexer::Lexer(const SourceManager& sm, FileId file, DiagnosticEngine& diags)
+    : sm_(sm), file_(file), diags_(diags), src_(sm.bufferContents(file)) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (atEnd() || src_[pos_] != expected) return false;
+  advance();
+  return true;
+}
+
+SourceLoc Lexer::here() const { return SourceLoc{file_, line_, col_}; }
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      SourceLoc open = here();
+      advance();
+      advance();
+      int depth = 1;  // Chapel block comments nest
+      while (!atEnd() && depth > 0) {
+        if (peek() == '/' && peek(1) == '*') {
+          advance();
+          advance();
+          ++depth;
+        } else if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          --depth;
+        } else {
+          advance();
+        }
+      }
+      if (depth > 0) {
+        diags_.error(open, "syntax", "unterminated block comment");
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::makeToken(TokKind kind, std::size_t begin) const {
+  Token t;
+  t.kind = kind;
+  t.text = src_.substr(begin, pos_ - begin);
+  t.loc = tok_loc_;
+  return t;
+}
+
+Token Lexer::lexIdentifier(std::size_t begin) {
+  while (!atEnd() && isIdentCont(peek())) advance();
+  // Chapel convention: sync/single variables are suffixed with '$'.
+  while (!atEnd() && peek() == '$') advance();
+  Token t = makeToken(TokKind::Identifier, begin);
+  t.kind = keywordKind(t.text);
+  if (t.kind != TokKind::Identifier && t.text.find('$') != std::string::npos) {
+    t.kind = TokKind::Identifier;  // e.g. `in$` is an identifier, not keyword
+  }
+  return t;
+}
+
+Token Lexer::lexNumber(std::size_t begin) {
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+    advance();
+  }
+  bool is_real = false;
+  // '.' begins a fraction only if not the '..' range operator.
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_real = true;
+    advance();
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      advance();
+    }
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    std::size_t lookahead = 1;
+    if (peek(1) == '+' || peek(1) == '-') lookahead = 2;
+    if (std::isdigit(static_cast<unsigned char>(peek(lookahead)))) {
+      is_real = true;
+      for (std::size_t i = 0; i <= lookahead; ++i) advance();
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+    }
+  }
+  Token t = makeToken(is_real ? TokKind::RealLit : TokKind::IntLit, begin);
+  if (is_real) {
+    t.real_value = std::strtod(std::string(t.text).c_str(), nullptr);
+  } else {
+    auto [ptr, ec] = std::from_chars(t.text.data(), t.text.data() + t.text.size(),
+                                     t.int_value);
+    if (ec != std::errc()) {
+      diags_.error(t.loc, "syntax", "integer literal out of range");
+      t.int_value = 0;
+    }
+  }
+  return t;
+}
+
+Token Lexer::lexString(std::size_t begin) {
+  while (!atEnd() && peek() != '"') {
+    if (peek() == '\\' && pos_ + 1 < src_.size()) advance();
+    advance();
+  }
+  if (atEnd()) {
+    diags_.error(tok_loc_, "syntax", "unterminated string literal");
+  } else {
+    advance();  // closing quote
+  }
+  return makeToken(TokKind::StringLit, begin);
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  tok_loc_ = here();
+  if (atEnd()) return makeToken(TokKind::Eof, pos_);
+  std::size_t begin = pos_;
+  char c = advance();
+
+  if (isIdentStart(c)) return lexIdentifier(begin);
+  if (std::isdigit(static_cast<unsigned char>(c))) return lexNumber(begin);
+
+  switch (c) {
+    case '"': return lexString(begin);
+    case '{': return makeToken(TokKind::LBrace, begin);
+    case '}': return makeToken(TokKind::RBrace, begin);
+    case '(': return makeToken(TokKind::LParen, begin);
+    case ')': return makeToken(TokKind::RParen, begin);
+    case ',': return makeToken(TokKind::Comma, begin);
+    case ';': return makeToken(TokKind::Semi, begin);
+    case ':': return makeToken(TokKind::Colon, begin);
+    case '=':
+      return makeToken(match('=') ? TokKind::EqEq : TokKind::Assign, begin);
+    case '!':
+      return makeToken(match('=') ? TokKind::NotEq : TokKind::Bang, begin);
+    case '<':
+      return makeToken(match('=') ? TokKind::LessEq : TokKind::Less, begin);
+    case '>':
+      return makeToken(match('=') ? TokKind::GreaterEq : TokKind::Greater,
+                       begin);
+    case '+':
+      if (match('+')) return makeToken(TokKind::PlusPlus, begin);
+      if (match('=')) return makeToken(TokKind::PlusAssign, begin);
+      return makeToken(TokKind::Plus, begin);
+    case '-':
+      if (match('-')) return makeToken(TokKind::MinusMinus, begin);
+      if (match('=')) return makeToken(TokKind::MinusAssign, begin);
+      return makeToken(TokKind::Minus, begin);
+    case '*':
+      if (match('=')) return makeToken(TokKind::StarAssign, begin);
+      return makeToken(TokKind::Star, begin);
+    case '/': return makeToken(TokKind::Slash, begin);
+    case '%': return makeToken(TokKind::Percent, begin);
+    case '&':
+      if (match('&')) return makeToken(TokKind::AmpAmp, begin);
+      break;
+    case '|':
+      if (match('|')) return makeToken(TokKind::PipePipe, begin);
+      break;
+    case '.':
+      return makeToken(match('.') ? TokKind::DotDot : TokKind::Dot, begin);
+    default: break;
+  }
+  diags_.error(tok_loc_, "syntax",
+               "unexpected character '" + std::string(1, c) + "'");
+  return next();
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next();
+    out.push_back(t);
+    if (t.kind == TokKind::Eof) break;
+  }
+  return out;
+}
+
+}  // namespace cuaf

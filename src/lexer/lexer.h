@@ -1,0 +1,52 @@
+// Lexer for the mini-Chapel subset.
+//
+// Notable Chapel-isms handled here:
+//  * identifiers may end with '$' (the sync/single naming convention,
+//    e.g. `doneA$`), and '$' may only appear as a suffix;
+//  * `..` range punctuation;
+//  * line comments `//` and nested block comments `/* */` (Chapel block
+//    comments nest).
+#pragma once
+
+#include <vector>
+
+#include "src/lexer/token.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source_manager.h"
+
+namespace cuaf {
+
+class Lexer {
+ public:
+  Lexer(const SourceManager& sm, FileId file, DiagnosticEngine& diags);
+
+  /// Lexes the next token. Returns Eof forever once exhausted.
+  Token next();
+
+  /// Lexes the whole buffer (for tests / tools).
+  std::vector<Token> lexAll();
+
+ private:
+  [[nodiscard]] bool atEnd() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skipTrivia();
+  [[nodiscard]] SourceLoc here() const;
+
+  Token makeToken(TokKind kind, std::size_t begin) const;
+  Token lexIdentifier(std::size_t begin);
+  Token lexNumber(std::size_t begin);
+  Token lexString(std::size_t begin);
+
+  const SourceManager& sm_;
+  FileId file_;
+  DiagnosticEngine& diags_;
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+  SourceLoc tok_loc_;  ///< location of the token currently being lexed
+};
+
+}  // namespace cuaf

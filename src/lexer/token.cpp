@@ -1,0 +1,92 @@
+#include "src/lexer/token.h"
+
+#include <unordered_map>
+
+namespace cuaf {
+
+std::string_view tokKindName(TokKind kind) {
+  switch (kind) {
+    case TokKind::Eof: return "end of input";
+    case TokKind::Identifier: return "identifier";
+    case TokKind::IntLit: return "integer literal";
+    case TokKind::RealLit: return "real literal";
+    case TokKind::StringLit: return "string literal";
+    case TokKind::KwProc: return "'proc'";
+    case TokKind::KwVar: return "'var'";
+    case TokKind::KwConst: return "'const'";
+    case TokKind::KwConfig: return "'config'";
+    case TokKind::KwBegin: return "'begin'";
+    case TokKind::KwSync: return "'sync'";
+    case TokKind::KwSingle: return "'single'";
+    case TokKind::KwAtomic: return "'atomic'";
+    case TokKind::KwWith: return "'with'";
+    case TokKind::KwRef: return "'ref'";
+    case TokKind::KwIn: return "'in'";
+    case TokKind::KwIf: return "'if'";
+    case TokKind::KwThen: return "'then'";
+    case TokKind::KwElse: return "'else'";
+    case TokKind::KwWhile: return "'while'";
+    case TokKind::KwDo: return "'do'";
+    case TokKind::KwFor: return "'for'";
+    case TokKind::KwReturn: return "'return'";
+    case TokKind::KwTrue: return "'true'";
+    case TokKind::KwFalse: return "'false'";
+    case TokKind::KwInt: return "'int'";
+    case TokKind::KwBool: return "'bool'";
+    case TokKind::KwReal: return "'real'";
+    case TokKind::KwString: return "'string'";
+    case TokKind::KwVoid: return "'void'";
+    case TokKind::LBrace: return "'{'";
+    case TokKind::RBrace: return "'}'";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::Comma: return "','";
+    case TokKind::Semi: return "';'";
+    case TokKind::Colon: return "':'";
+    case TokKind::Assign: return "'='";
+    case TokKind::PlusAssign: return "'+='";
+    case TokKind::MinusAssign: return "'-='";
+    case TokKind::StarAssign: return "'*='";
+    case TokKind::EqEq: return "'=='";
+    case TokKind::NotEq: return "'!='";
+    case TokKind::Less: return "'<'";
+    case TokKind::LessEq: return "'<='";
+    case TokKind::Greater: return "'>'";
+    case TokKind::GreaterEq: return "'>='";
+    case TokKind::Plus: return "'+'";
+    case TokKind::Minus: return "'-'";
+    case TokKind::Star: return "'*'";
+    case TokKind::Slash: return "'/'";
+    case TokKind::Percent: return "'%'";
+    case TokKind::AmpAmp: return "'&&'";
+    case TokKind::PipePipe: return "'||'";
+    case TokKind::Bang: return "'!'";
+    case TokKind::PlusPlus: return "'++'";
+    case TokKind::MinusMinus: return "'--'";
+    case TokKind::DotDot: return "'..'";
+    case TokKind::Dot: return "'.'";
+  }
+  return "token";
+}
+
+TokKind keywordKind(std::string_view text) {
+  static const std::unordered_map<std::string_view, TokKind> kKeywords = {
+      {"proc", TokKind::KwProc},     {"var", TokKind::KwVar},
+      {"const", TokKind::KwConst},   {"config", TokKind::KwConfig},
+      {"begin", TokKind::KwBegin},   {"sync", TokKind::KwSync},
+      {"single", TokKind::KwSingle}, {"atomic", TokKind::KwAtomic},
+      {"with", TokKind::KwWith},     {"ref", TokKind::KwRef},
+      {"in", TokKind::KwIn},         {"if", TokKind::KwIf},
+      {"then", TokKind::KwThen},     {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},   {"do", TokKind::KwDo},
+      {"for", TokKind::KwFor},       {"return", TokKind::KwReturn},
+      {"true", TokKind::KwTrue},     {"false", TokKind::KwFalse},
+      {"int", TokKind::KwInt},       {"bool", TokKind::KwBool},
+      {"real", TokKind::KwReal},     {"string", TokKind::KwString},
+      {"void", TokKind::KwVoid},
+  };
+  auto it = kKeywords.find(text);
+  return it == kKeywords.end() ? TokKind::Identifier : it->second;
+}
+
+}  // namespace cuaf

@@ -1,0 +1,46 @@
+// Token definitions for the mini-Chapel front-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/support/source_location.h"
+
+namespace cuaf {
+
+enum class TokKind : std::uint8_t {
+  // clang-format off
+  Eof, Identifier, IntLit, RealLit, StringLit,
+  // keywords
+  KwProc, KwVar, KwConst, KwConfig, KwBegin, KwSync, KwSingle, KwAtomic,
+  KwWith, KwRef, KwIn, KwIf, KwThen, KwElse, KwWhile, KwDo, KwFor,
+  KwReturn, KwTrue, KwFalse,
+  KwInt, KwBool, KwReal, KwString, KwVoid,
+  // punctuation / operators
+  LBrace, RBrace, LParen, RParen, Comma, Semi, Colon,
+  Assign, PlusAssign, MinusAssign, StarAssign,
+  EqEq, NotEq, Less, LessEq, Greater, GreaterEq,
+  Plus, Minus, Star, Slash, Percent,
+  AmpAmp, PipePipe, Bang, PlusPlus, MinusMinus,
+  DotDot, Dot,
+  // clang-format on
+};
+
+struct Token {
+  TokKind kind = TokKind::Eof;
+  std::string_view text;  ///< slice of the source buffer
+  SourceLoc loc;
+  std::int64_t int_value = 0;  ///< valid when kind == IntLit
+  double real_value = 0.0;     ///< valid when kind == RealLit
+
+  [[nodiscard]] bool is(TokKind k) const { return kind == k; }
+};
+
+/// Human-readable token kind name (for diagnostics).
+[[nodiscard]] std::string_view tokKindName(TokKind kind);
+
+/// Maps an identifier spelling to a keyword kind, or Identifier if none.
+[[nodiscard]] TokKind keywordKind(std::string_view text);
+
+}  // namespace cuaf

@@ -1,0 +1,654 @@
+#include "src/parser/parser.h"
+
+#include <string>
+
+namespace cuaf {
+
+Parser::Parser(const SourceManager& sm, FileId file, StringInterner& interner,
+               DiagnosticEngine& diags)
+    : lexer_(sm, file, diags), interner_(interner), diags_(diags) {
+  cur_ = lexer_.next();
+}
+
+const Token& Parser::peekNext() {
+  if (!has_next_) {
+    next_ = lexer_.next();
+    has_next_ = true;
+  }
+  return next_;
+}
+
+void Parser::bump() {
+  ++tokens_consumed_;
+  if (has_next_) {
+    cur_ = next_;
+    has_next_ = false;
+  } else {
+    cur_ = lexer_.next();
+  }
+}
+
+bool Parser::accept(TokKind k) {
+  if (!at(k)) return false;
+  bump();
+  return true;
+}
+
+void Parser::expect(TokKind k, const char* context) {
+  if (at(k)) {
+    bump();
+    return;
+  }
+  diags_.error(cur_.loc, "syntax",
+               std::string("expected ") + std::string(tokKindName(k)) +
+                   " in " + context + ", found " +
+                   std::string(tokKindName(cur_.kind)));
+  throw ParseError{};
+}
+
+void Parser::fail(const char* message) {
+  diags_.error(cur_.loc, "syntax", message);
+  throw ParseError{};
+}
+
+void Parser::synchronize() {
+  // Skip to a statement boundary.
+  while (!at(TokKind::Eof)) {
+    if (accept(TokKind::Semi)) return;
+    if (at(TokKind::RBrace)) return;
+    if (at(TokKind::KwProc) || at(TokKind::KwVar) || at(TokKind::KwBegin)) {
+      return;
+    }
+    bump();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  auto program = std::make_unique<Program>();
+  while (!at(TokKind::Eof)) {
+    try {
+      if (at(TokKind::KwProc)) {
+        program->procs.push_back(parseProc(/*nested=*/false));
+      } else if (at(TokKind::KwConfig)) {
+        program->configs.push_back(parseConfigDecl());
+      } else {
+        fail("expected 'proc' or 'config' at top level");
+      }
+    } catch (ParseError&) {
+      std::size_t before = tokens_consumed_;
+      synchronize();
+      // Also consume a stray '}' so we make progress at top level.
+      accept(TokKind::RBrace);
+      // Recovery must always make progress: synchronize() can stop at a
+      // statement-leading token (e.g. `var`) that is not valid at top level,
+      // which would otherwise loop forever.
+      if (tokens_consumed_ == before && !at(TokKind::Eof)) bump();
+    }
+  }
+  return program;
+}
+
+std::unique_ptr<VarDeclStmt> Parser::parseConfigDecl() {
+  SourceLoc loc = cur_.loc;
+  expect(TokKind::KwConfig, "config declaration");
+  DeclQual qual = DeclQual::ConfigConst;
+  if (accept(TokKind::KwVar)) {
+    qual = DeclQual::ConfigVar;
+  } else {
+    expect(TokKind::KwConst, "config declaration");
+  }
+  if (!at(TokKind::Identifier)) fail("expected identifier in config decl");
+  auto decl = std::make_unique<VarDeclStmt>(internTok(cur_), loc);
+  decl->qual = qual;
+  bump();
+  if (accept(TokKind::Colon)) decl->declared_type = parseType();
+  if (accept(TokKind::Assign)) decl->init = parseExpr();
+  expect(TokKind::Semi, "config declaration");
+  return decl;
+}
+
+std::unique_ptr<ProcDecl> Parser::parseProc(bool nested) {
+  SourceLoc loc = cur_.loc;
+  expect(TokKind::KwProc, "procedure");
+  if (!at(TokKind::Identifier)) fail("expected procedure name");
+  auto proc = std::make_unique<ProcDecl>();
+  proc->name = internTok(cur_);
+  proc->loc = loc;
+  proc->is_nested = nested;
+  bump();
+  expect(TokKind::LParen, "procedure parameter list");
+  if (!at(TokKind::RParen)) {
+    proc->params.push_back(parseParam());
+    while (accept(TokKind::Comma)) proc->params.push_back(parseParam());
+  }
+  expect(TokKind::RParen, "procedure parameter list");
+  if (accept(TokKind::Colon)) proc->return_type = parseType();
+  if (!at(TokKind::LBrace)) fail("expected '{' to begin procedure body");
+  StmtPtr body = parseBlock();
+  proc->body.reset(static_cast<BlockStmt*>(body.release()));
+  return proc;
+}
+
+Param Parser::parseParam() {
+  Param p;
+  p.loc = cur_.loc;
+  if (accept(TokKind::KwRef)) {
+    p.intent = ParamIntent::Ref;
+  } else if (accept(TokKind::KwIn)) {
+    p.intent = ParamIntent::In;
+  } else if (at(TokKind::KwConst)) {
+    bump();
+    if (accept(TokKind::KwIn)) {
+      p.intent = ParamIntent::ConstIn;
+    } else if (accept(TokKind::KwRef)) {
+      p.intent = ParamIntent::ConstRef;
+    } else {
+      p.intent = ParamIntent::ConstIn;  // bare `const` ≈ const in
+    }
+  }
+  if (!at(TokKind::Identifier)) fail("expected parameter name");
+  p.name = internTok(cur_);
+  bump();
+  expect(TokKind::Colon, "parameter");
+  p.type = parseType();
+  return p;
+}
+
+Type Parser::parseType() {
+  Type t;
+  if (accept(TokKind::KwSync)) {
+    t.conc = ConcKind::Sync;
+  } else if (accept(TokKind::KwSingle)) {
+    t.conc = ConcKind::Single;
+  } else if (accept(TokKind::KwAtomic)) {
+    t.conc = ConcKind::Atomic;
+  }
+  if (accept(TokKind::KwInt)) {
+    t.base = BaseType::Int;
+  } else if (accept(TokKind::KwBool)) {
+    t.base = BaseType::Bool;
+  } else if (accept(TokKind::KwReal)) {
+    t.base = BaseType::Real;
+  } else if (accept(TokKind::KwString)) {
+    t.base = BaseType::String;
+  } else if (accept(TokKind::KwVoid)) {
+    t.base = BaseType::Void;
+  } else {
+    fail("expected type name");
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+StmtPtr Parser::parseBlock() {
+  SourceLoc loc = cur_.loc;
+  expect(TokKind::LBrace, "block");
+  auto block = std::make_unique<BlockStmt>(loc);
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    try {
+      block->stmts.push_back(parseStmt());
+    } catch (ParseError&) {
+      synchronize();
+    }
+  }
+  block->rbrace_loc = cur_.loc;
+  expect(TokKind::RBrace, "block");
+  return block;
+}
+
+StmtPtr Parser::parseControlledStmt() {
+  if (at(TokKind::LBrace)) return parseBlock();
+  return parseStmt();
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc loc = cur_.loc;
+  switch (cur_.kind) {
+    case TokKind::LBrace:
+      return parseBlock();
+    case TokKind::KwVar:
+      bump();
+      return parseVarDecl(DeclQual::Var, loc);
+    case TokKind::KwConst:
+      bump();
+      return parseVarDecl(DeclQual::Const, loc);
+    case TokKind::KwConfig: {
+      bump();
+      DeclQual qual = DeclQual::ConfigConst;
+      if (accept(TokKind::KwVar)) {
+        qual = DeclQual::ConfigVar;
+      } else {
+        expect(TokKind::KwConst, "config declaration");
+      }
+      return parseVarDecl(qual, loc);
+    }
+    case TokKind::KwBegin:
+      bump();
+      return parseBegin(loc);
+    case TokKind::KwSync:
+      bump();
+      return parseSync(loc);
+    case TokKind::Identifier:
+      if (cur_.text == "cobegin") {
+        bump();
+        return parseCobegin(loc);
+      }
+      if (cur_.text == "coforall") {
+        bump();
+        return parseCoforall(loc);
+      }
+      return parseAssignOrExprStmt();
+    case TokKind::KwIf:
+      bump();
+      return parseIf(loc);
+    case TokKind::KwWhile:
+      bump();
+      return parseWhile(loc);
+    case TokKind::KwFor:
+      bump();
+      return parseFor(loc);
+    case TokKind::KwReturn:
+      bump();
+      return parseReturn(loc);
+    case TokKind::KwProc: {
+      auto proc = parseProc(/*nested=*/true);
+      return std::make_unique<ProcDeclStmt>(std::move(proc), loc);
+    }
+    default:
+      return parseAssignOrExprStmt();
+  }
+}
+
+StmtPtr Parser::parseVarDecl(DeclQual qual, SourceLoc loc) {
+  if (!at(TokKind::Identifier)) fail("expected variable name");
+  auto decl = std::make_unique<VarDeclStmt>(internTok(cur_), loc);
+  decl->qual = qual;
+  bump();
+  if (accept(TokKind::Colon)) decl->declared_type = parseType();
+  if (accept(TokKind::Assign)) decl->init = parseExpr();
+  if (!decl->declared_type && !decl->init) {
+    fail("variable declaration needs a type or an initializer");
+  }
+  expect(TokKind::Semi, "variable declaration");
+  return decl;
+}
+
+std::vector<WithItem> Parser::parseWithClause() {
+  std::vector<WithItem> items;
+  expect(TokKind::LParen, "with clause");
+  do {
+    WithItem item;
+    item.loc = cur_.loc;
+    if (accept(TokKind::KwRef)) {
+      item.intent = TaskIntent::Ref;
+    } else if (accept(TokKind::KwIn)) {
+      item.intent = TaskIntent::In;
+    } else if (at(TokKind::KwConst)) {
+      bump();
+      if (accept(TokKind::KwRef)) {
+        item.intent = TaskIntent::ConstRef;
+      } else {
+        expect(TokKind::KwIn, "with clause intent");
+        item.intent = TaskIntent::ConstIn;
+      }
+    } else {
+      fail("expected task intent (ref/in/const in/const ref)");
+    }
+    if (!at(TokKind::Identifier)) fail("expected variable in with clause");
+    item.name = internTok(cur_);
+    bump();
+    items.push_back(item);
+  } while (accept(TokKind::Comma));
+  expect(TokKind::RParen, "with clause");
+  return items;
+}
+
+StmtPtr Parser::parseBegin(SourceLoc loc) {
+  auto begin = std::make_unique<BeginStmt>(loc);
+  if (accept(TokKind::KwWith)) begin->with_items = parseWithClause();
+  begin->body = parseControlledStmt();
+  return begin;
+}
+
+StmtPtr Parser::parseSync(SourceLoc loc) {
+  StmtPtr body = parseControlledStmt();
+  return std::make_unique<SyncBlockStmt>(std::move(body), loc);
+}
+
+StmtPtr Parser::parseCobegin(SourceLoc loc) {
+  auto cobegin = std::make_unique<CobeginStmt>(loc);
+  if (accept(TokKind::KwWith)) cobegin->with_items = parseWithClause();
+  expect(TokKind::LBrace, "cobegin");
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    cobegin->stmts.push_back(parseStmt());
+  }
+  expect(TokKind::RBrace, "cobegin");
+  return cobegin;
+}
+
+StmtPtr Parser::parseCoforall(SourceLoc loc) {
+  auto stmt = std::make_unique<CoforallStmt>(loc);
+  if (!at(TokKind::Identifier)) fail("expected coforall index name");
+  stmt->index = internTok(cur_);
+  bump();
+  expect(TokKind::KwIn, "coforall loop");
+  stmt->lo = parseExpr();
+  expect(TokKind::DotDot, "coforall loop range");
+  stmt->hi = parseExpr();
+  if (accept(TokKind::KwWith)) stmt->with_items = parseWithClause();
+  stmt->body = parseControlledStmt();
+  return stmt;
+}
+
+StmtPtr Parser::parseIf(SourceLoc loc) {
+  auto stmt = std::make_unique<IfStmt>(loc);
+  if (accept(TokKind::LParen)) {
+    stmt->cond = parseExpr();
+    expect(TokKind::RParen, "if condition");
+    stmt->then_body = parseControlledStmt();
+  } else {
+    stmt->cond = parseExpr();
+    if (at(TokKind::KwThen)) {
+      bump();
+      stmt->then_body = parseStmt();
+    } else {
+      stmt->then_body = parseControlledStmt();
+    }
+  }
+  if (accept(TokKind::KwElse)) stmt->else_body = parseControlledStmt();
+  return stmt;
+}
+
+StmtPtr Parser::parseWhile(SourceLoc loc) {
+  auto stmt = std::make_unique<WhileStmt>(loc);
+  if (accept(TokKind::LParen)) {
+    stmt->cond = parseExpr();
+    expect(TokKind::RParen, "while condition");
+    stmt->body = parseControlledStmt();
+  } else {
+    stmt->cond = parseExpr();
+    if (at(TokKind::KwDo)) {
+      bump();
+      stmt->body = parseStmt();
+    } else {
+      stmt->body = parseControlledStmt();
+    }
+  }
+  return stmt;
+}
+
+StmtPtr Parser::parseFor(SourceLoc loc) {
+  auto stmt = std::make_unique<ForStmt>(loc);
+  if (!at(TokKind::Identifier)) fail("expected loop index name");
+  stmt->index = internTok(cur_);
+  bump();
+  expect(TokKind::KwIn, "for loop");
+  stmt->lo = parseExpr();
+  expect(TokKind::DotDot, "for loop range");
+  stmt->hi = parseExpr();
+  if (at(TokKind::KwDo)) {
+    bump();
+    stmt->body = parseStmt();
+  } else {
+    stmt->body = parseControlledStmt();
+  }
+  return stmt;
+}
+
+StmtPtr Parser::parseReturn(SourceLoc loc) {
+  ExprPtr value;
+  if (!at(TokKind::Semi)) value = parseExpr();
+  expect(TokKind::Semi, "return statement");
+  return std::make_unique<ReturnStmt>(std::move(value), loc);
+}
+
+StmtPtr Parser::parseAssignOrExprStmt() {
+  SourceLoc loc = cur_.loc;
+  // Lookahead: IDENT (=|+=|-=|*=) ...  is an assignment.
+  if (at(TokKind::Identifier)) {
+    TokKind nk = peekNext().kind;
+    AssignOp op;
+    bool is_assign = true;
+    switch (nk) {
+      case TokKind::Assign: op = AssignOp::Assign; break;
+      case TokKind::PlusAssign: op = AssignOp::AddAssign; break;
+      case TokKind::MinusAssign: op = AssignOp::SubAssign; break;
+      case TokKind::StarAssign: op = AssignOp::MulAssign; break;
+      default: is_assign = false; op = AssignOp::Assign; break;
+    }
+    if (is_assign) {
+      auto stmt = std::make_unique<AssignStmt>(internTok(cur_), loc);
+      stmt->op = op;
+      bump();  // ident
+      bump();  // operator
+      stmt->value = parseExpr();
+      expect(TokKind::Semi, "assignment");
+      return stmt;
+    }
+  }
+  ExprPtr e = parseExpr();
+  expect(TokKind::Semi, "expression statement");
+  return std::make_unique<ExprStmt>(std::move(e), loc);
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+ExprPtr Parser::parseOr() {
+  ExprPtr lhs = parseAnd();
+  while (at(TokKind::PipePipe)) {
+    SourceLoc loc = cur_.loc;
+    bump();
+    lhs = std::make_unique<BinaryExpr>(BinaryOp::Or, std::move(lhs), parseAnd(),
+                                       loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr lhs = parseEquality();
+  while (at(TokKind::AmpAmp)) {
+    SourceLoc loc = cur_.loc;
+    bump();
+    lhs = std::make_unique<BinaryExpr>(BinaryOp::And, std::move(lhs),
+                                       parseEquality(), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr lhs = parseRelational();
+  for (;;) {
+    BinaryOp op;
+    if (at(TokKind::EqEq)) {
+      op = BinaryOp::Eq;
+    } else if (at(TokKind::NotEq)) {
+      op = BinaryOp::Ne;
+    } else {
+      return lhs;
+    }
+    SourceLoc loc = cur_.loc;
+    bump();
+    lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parseRelational(),
+                                       loc);
+  }
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr lhs = parseAdditive();
+  for (;;) {
+    BinaryOp op;
+    if (at(TokKind::Less)) {
+      op = BinaryOp::Lt;
+    } else if (at(TokKind::LessEq)) {
+      op = BinaryOp::Le;
+    } else if (at(TokKind::Greater)) {
+      op = BinaryOp::Gt;
+    } else if (at(TokKind::GreaterEq)) {
+      op = BinaryOp::Ge;
+    } else {
+      return lhs;
+    }
+    SourceLoc loc = cur_.loc;
+    bump();
+    lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parseAdditive(),
+                                       loc);
+  }
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr lhs = parseMultiplicative();
+  for (;;) {
+    BinaryOp op;
+    if (at(TokKind::Plus)) {
+      op = BinaryOp::Add;
+    } else if (at(TokKind::Minus)) {
+      op = BinaryOp::Sub;
+    } else {
+      return lhs;
+    }
+    SourceLoc loc = cur_.loc;
+    bump();
+    lhs = std::make_unique<BinaryExpr>(op, std::move(lhs),
+                                       parseMultiplicative(), loc);
+  }
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr lhs = parseUnary();
+  for (;;) {
+    BinaryOp op;
+    if (at(TokKind::Star)) {
+      op = BinaryOp::Mul;
+    } else if (at(TokKind::Slash)) {
+      op = BinaryOp::Div;
+    } else if (at(TokKind::Percent)) {
+      op = BinaryOp::Mod;
+    } else {
+      return lhs;
+    }
+    SourceLoc loc = cur_.loc;
+    bump();
+    lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parseUnary(), loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (at(TokKind::Minus)) {
+    SourceLoc loc = cur_.loc;
+    bump();
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, parseUnary(), loc);
+  }
+  if (at(TokKind::Bang)) {
+    SourceLoc loc = cur_.loc;
+    bump();
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, parseUnary(), loc);
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  // identifier-headed postfix forms: call, method call, ++/--
+  if (at(TokKind::Identifier)) {
+    Token ident = cur_;
+    TokKind nk = peekNext().kind;
+    if (nk == TokKind::LParen) {
+      bump();  // ident
+      SourceLoc loc = ident.loc;
+      bump();  // (
+      std::vector<ExprPtr> args;
+      if (!at(TokKind::RParen)) {
+        args.push_back(parseExpr());
+        while (accept(TokKind::Comma)) args.push_back(parseExpr());
+      }
+      expect(TokKind::RParen, "call");
+      return std::make_unique<CallExpr>(internTok(ident), std::move(args), loc);
+    }
+    if (nk == TokKind::Dot) {
+      bump();  // ident
+      SourceLoc loc = ident.loc;
+      bump();  // .
+      if (!at(TokKind::Identifier)) fail("expected method name after '.'");
+      Symbol method = internTok(cur_);
+      bump();
+      expect(TokKind::LParen, "method call");
+      std::vector<ExprPtr> args;
+      if (!at(TokKind::RParen)) {
+        args.push_back(parseExpr());
+        while (accept(TokKind::Comma)) args.push_back(parseExpr());
+      }
+      expect(TokKind::RParen, "method call");
+      return std::make_unique<MethodCallExpr>(internTok(ident), method,
+                                              std::move(args), loc);
+    }
+    if (nk == TokKind::PlusPlus || nk == TokKind::MinusMinus) {
+      bump();  // ident
+      SourceLoc loc = ident.loc;
+      bool inc = at(TokKind::PlusPlus);
+      bump();  // ++/--
+      return std::make_unique<PostIncDecExpr>(internTok(ident), inc, loc);
+    }
+    bump();
+    return std::make_unique<IdentExpr>(internTok(ident), ident.loc);
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc loc = cur_.loc;
+  switch (cur_.kind) {
+    case TokKind::IntLit: {
+      auto e = std::make_unique<IntLitExpr>(cur_.int_value, loc);
+      bump();
+      return e;
+    }
+    case TokKind::RealLit: {
+      auto e = std::make_unique<RealLitExpr>(cur_.real_value, loc);
+      bump();
+      return e;
+    }
+    case TokKind::KwTrue:
+      bump();
+      return std::make_unique<BoolLitExpr>(true, loc);
+    case TokKind::KwFalse:
+      bump();
+      return std::make_unique<BoolLitExpr>(false, loc);
+    case TokKind::StringLit: {
+      // strip quotes; keep escapes verbatim (values are opaque to analysis)
+      std::string_view text = cur_.text;
+      if (text.size() >= 2) text = text.substr(1, text.size() - 2);
+      auto e = std::make_unique<StringLitExpr>(std::string(text), loc);
+      bump();
+      return e;
+    }
+    case TokKind::LParen: {
+      bump();
+      ExprPtr e = parseExpr();
+      expect(TokKind::RParen, "parenthesized expression");
+      return e;
+    }
+    default:
+      fail("expected expression");
+  }
+}
+
+std::unique_ptr<Program> parseString(SourceManager& sm,
+                                     StringInterner& interner,
+                                     DiagnosticEngine& diags, std::string name,
+                                     std::string source) {
+  FileId file = sm.addBuffer(std::move(name), std::move(source));
+  Parser parser(sm, file, interner, diags);
+  return parser.parseProgram();
+}
+
+}  // namespace cuaf

@@ -1,0 +1,93 @@
+// Recursive-descent parser for the mini-Chapel subset.
+//
+// Accepts both parenthesized and keyword statement forms, matching Chapel:
+//   if (c) { } else { }        if c then s else s
+//   while (c) { }              while c do s
+//   begin { }                  begin with (ref x, in y) { }
+//   sync { }                   sync begin { }
+//   cobegin { s1 s2 }          for i in 1..n { }
+#pragma once
+
+#include <memory>
+
+#include "src/ast/ast.h"
+#include "src/lexer/lexer.h"
+#include "src/support/interner.h"
+
+namespace cuaf {
+
+class Parser {
+ public:
+  Parser(const SourceManager& sm, FileId file, StringInterner& interner,
+         DiagnosticEngine& diags);
+
+  /// Parses a whole translation unit. On syntax errors, reports diagnostics
+  /// and returns the successfully parsed prefix (check diags.hasErrors()).
+  std::unique_ptr<Program> parseProgram();
+
+ private:
+  struct ParseError {};  // thrown to unwind to a recovery point
+
+  // token stream
+  const Token& cur() const { return cur_; }
+  const Token& peekNext();
+  void bump();
+  bool at(TokKind k) const { return cur_.kind == k; }
+  bool accept(TokKind k);
+  void expect(TokKind k, const char* context);
+  [[noreturn]] void fail(const char* message);
+
+  Symbol internTok(const Token& t) { return interner_.intern(t.text); }
+
+  // declarations
+  std::unique_ptr<ProcDecl> parseProc(bool nested);
+  std::unique_ptr<VarDeclStmt> parseConfigDecl();
+  Param parseParam();
+  Type parseType();
+
+  // statements
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseVarDecl(DeclQual qual, SourceLoc loc);
+  StmtPtr parseBegin(SourceLoc loc);
+  StmtPtr parseSync(SourceLoc loc);
+  StmtPtr parseCobegin(SourceLoc loc);
+  StmtPtr parseCoforall(SourceLoc loc);
+  StmtPtr parseIf(SourceLoc loc);
+  StmtPtr parseWhile(SourceLoc loc);
+  StmtPtr parseFor(SourceLoc loc);
+  StmtPtr parseReturn(SourceLoc loc);
+  StmtPtr parseAssignOrExprStmt();
+  std::vector<WithItem> parseWithClause();
+  /// Body after begin/sync/if-then/...: a block or a single statement.
+  StmtPtr parseControlledStmt();
+
+  // expressions, precedence climbing
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseEquality();
+  ExprPtr parseRelational();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  void synchronize();
+
+  Lexer lexer_;
+  StringInterner& interner_;
+  DiagnosticEngine& diags_;
+  Token cur_;
+  Token next_;
+  bool has_next_ = false;
+  std::size_t tokens_consumed_ = 0;  ///< progress guarantee for recovery
+};
+
+/// Convenience: parse `source` registered under `name`.
+std::unique_ptr<Program> parseString(SourceManager& sm, StringInterner& interner,
+                                     DiagnosticEngine& diags,
+                                     std::string name, std::string source);
+
+}  // namespace cuaf

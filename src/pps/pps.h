@@ -1,0 +1,98 @@
+// Parallel Program State (PPS) exploration (§III.B–§III.C).
+//
+// A PPS captures one frontier of a conservative serialization of the
+// program's synchronization events:
+//   * ASN   — the sync nodes next in line, one per active strand, each
+//             carrying the outer-variable accesses pending on it (the
+//             accesses between the strand's previous sync node and this one);
+//   * ST    — the full/empty state of every sync/single variable;
+//   * OV    — accesses that must have happened before the last executed sync
+//             event, and were *not* covered by a parallel frontier;
+//   * SV    — accesses proven safe (moved out of OV when a PF node entered
+//             the candidate set);
+//   * tails — accesses with no later sync event in their strand (they can
+//             always be delayed past the scope end, so they are reported at
+//             the path's sink).
+//
+// Transitions (paper rules):
+//   SINGLE-READ  readFF with variable FULL; non-blocking, applied as a bunch.
+//   READ         readFE with variable FULL  -> EMPTY.
+//   WRITE        writeEF with variable EMPTY -> FULL.
+//
+// A sink PPS (empty ASN) reports everything still in OV plus the path's tail
+// accesses. PPS-es with identical (ASN, ST) merge: OV unions, SV intersects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ccfg/graph.h"
+
+namespace cuaf::pps {
+
+enum class VarState : std::uint8_t { Empty = 0, Full = 1 };
+
+struct StrandHead {
+  NodeId sync_node;
+  std::vector<AccessId> pending;  ///< accesses added to OV when this executes
+
+  friend bool operator==(const StrandHead&, const StrandHead&) = default;
+};
+
+/// Which rule produced a PPS (for traces; mirrors Figure 3/7 remarks).
+enum class Rule : std::uint8_t { Initial, SingleRead, Read, Write };
+
+struct TraceEntry {
+  std::uint32_t id = 0;
+  std::uint32_t parent = 0;
+  Rule rule = Rule::Initial;
+  std::vector<NodeId> executed;    ///< nodes executed in this step
+  std::vector<NodeId> asn;         ///< resulting ASN (node ids)
+  std::vector<AccessId> ov;
+  std::vector<AccessId> sv;
+  std::vector<VarState> state;     ///< indexed like Result::sync_var_order
+  bool is_sink = false;
+  bool is_deadlock = false;
+};
+
+struct Options {
+  /// Merge PPS-es with identical (ASN, state table) — the paper's
+  /// optimization. Disable for the ablation bench.
+  bool merge_equivalent = true;
+  /// Hard cap on generated states (safety valve for the corpus runner).
+  std::size_t max_states = 200000;
+  /// Record the full exploration trace (Figure 3 / Figure 7 artifacts).
+  bool record_trace = false;
+  /// Report strands that can never finish (extension beyond the paper:
+  /// "identify potential deadlock points" is listed as future work).
+  bool report_deadlocks = false;
+};
+
+struct Result {
+  /// Access sites deemed potentially dangerous, deduplicated and sorted.
+  std::vector<AccessId> unsafe;
+  /// Sync nodes stuck in at least one deadlocked PPS (extension).
+  std::vector<NodeId> deadlocked_nodes;
+
+  std::size_t states_generated = 0;
+  std::size_t states_merged = 0;
+  std::size_t states_processed = 0;
+  std::size_t sink_count = 0;
+  std::size_t deadlock_count = 0;
+  bool state_limit_hit = false;
+
+  /// Dense index order of sync variables in TraceEntry::state.
+  std::vector<VarId> sync_var_order;
+  std::vector<TraceEntry> trace;
+};
+
+/// Runs the PPS exploration over a built CCFG. The graph must not be marked
+/// unsupported().
+Result explore(const ccfg::Graph& graph, const Options& options = {});
+
+/// Renders a trace as a table resembling the paper's Figure 3 / Figure 7.
+[[nodiscard]] std::string renderTrace(const ccfg::Graph& graph,
+                                      const Result& result);
+
+}  // namespace cuaf::pps

@@ -1,0 +1,257 @@
+#include "src/runtime/explore.h"
+
+#include <algorithm>
+
+namespace cuaf::rt {
+
+namespace {
+
+/// xorshift-style deterministic PRNG (no global state, reproducible).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 1) {}
+  std::uint64_t next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  std::size_t below(std::size_t n) { return n == 0 ? 0 : next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+struct RunOutcome {
+  std::vector<UafEvent> events;
+  std::size_t choice_points = 0;
+  /// Fan-out at each choice point along this run (for DFS successor
+  /// enumeration).
+  std::vector<std::size_t> fanout;
+  bool deadlocked = false;
+  bool step_limited = false;
+  bool unsupported = false;
+};
+
+/// Runs one schedule: choices[i] selects among the ready tasks at the i-th
+/// choice point; beyond the prefix, `rng` (if any) picks randomly, else the
+/// first ready task is chosen — unless `victim` is set, in which case the
+/// victim task is delayed as long as possible (adversarial schedule that
+/// maximizes the window between a parent's scope exit and the victim's
+/// remaining accesses).
+RunOutcome runSchedule(const ir::Module& module, const Program& program,
+                       ProcId entry, const ConfigAssignment& configs,
+                       const std::vector<std::size_t>& choices, Rng* rng,
+                       std::size_t max_steps,
+                       std::size_t victim = static_cast<std::size_t>(-1)) {
+  RunOutcome out;
+  Interp interp(module, program, &configs);
+  interp.start(entry);
+
+  while (!interp.allFinished()) {
+    if (interp.stepsExecuted() > max_steps) {
+      out.step_limited = true;
+      break;
+    }
+
+    // Eagerly run tasks whose next step is invisible (they commute).
+    bool advanced = false;
+    for (std::size_t t = 0; t < interp.taskCount(); ++t) {
+      while (!interp.taskFinished(t) && !interp.nextStepVisible(t) &&
+             interp.canStep(t)) {
+        if (interp.step(t) == StepResult::Blocked) break;
+        advanced = true;
+        if (interp.stepsExecuted() > max_steps) {
+          out.step_limited = true;
+          break;
+        }
+      }
+      if (out.step_limited) break;
+    }
+    if (out.step_limited) break;
+    if (interp.allFinished()) break;
+
+    // Ready set: tasks that can take their (visible) next step now.
+    std::vector<std::size_t> ready;
+    for (std::size_t t = 0; t < interp.taskCount(); ++t) {
+      if (!interp.taskFinished(t) && interp.canStep(t)) ready.push_back(t);
+    }
+    if (ready.empty()) {
+      if (!advanced) {
+        out.deadlocked = true;
+        break;
+      }
+      continue;  // invisible progress may have unblocked someone next round
+    }
+
+    std::size_t pick = 0;
+    if (ready.size() > 1) {
+      out.fanout.push_back(ready.size());
+      if (out.choice_points < choices.size()) {
+        pick = choices[out.choice_points];
+        if (pick >= ready.size()) pick = ready.size() - 1;
+      } else if (rng != nullptr) {
+        pick = rng->below(ready.size());
+      } else if (victim != static_cast<std::size_t>(-1)) {
+        // Delay the victim: pick the first ready non-victim task.
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+          if (ready[i] != victim) {
+            pick = i;
+            break;
+          }
+        }
+      }
+      ++out.choice_points;
+    }
+    interp.step(ready[pick]);
+  }
+
+  out.events = interp.events();
+  out.unsupported = interp.unsupportedFeature();
+  return out;
+}
+
+void mergeEvents(std::vector<UafEvent>& sites,
+                 const std::vector<UafEvent>& events) {
+  for (const UafEvent& e : events) {
+    bool found = false;
+    for (UafEvent& s : sites) {
+      if (s == e) {
+        s.is_write = s.is_write || e.is_write;
+        found = true;
+        break;
+      }
+    }
+    if (!found) sites.push_back(e);
+  }
+}
+
+/// Enumerate config-value combinations: every bool config takes both values;
+/// other types keep their initializer/default.
+std::vector<ConfigAssignment> enumerateConfigs(const ir::Module& module,
+                                               std::size_t max_combos) {
+  const SemaModule& sema = *module.sema;
+  std::vector<VarId> bool_configs;
+  for (VarId v : sema.configVars()) {
+    if (sema.var(v).type.base == BaseType::Bool &&
+        sema.var(v).type.conc == ConcKind::None) {
+      bool_configs.push_back(v);
+    }
+  }
+  std::vector<ConfigAssignment> combos;
+  std::size_t n = std::size_t{1} << std::min<std::size_t>(bool_configs.size(), 16);
+  n = std::min(n, max_combos);
+  if (n == 0) n = 1;
+  for (std::size_t mask = 0; mask < n; ++mask) {
+    ConfigAssignment a;
+    for (std::size_t b = 0; b < bool_configs.size(); ++b) {
+      a[bool_configs[b]] = ((mask >> b) & 1) != 0;
+    }
+    combos.push_back(std::move(a));
+  }
+  return combos;
+}
+
+void exploreEntry(const ir::Module& module, const Program& program,
+                  ProcId entry, const ExploreOptions& opt,
+                  ExploreResult& result) {
+  std::vector<ConfigAssignment> combos =
+      enumerateConfigs(module, opt.max_config_combos);
+  if ((std::size_t{1} << std::min<std::size_t>(
+           16, module.sema->configVars().size())) > combos.size() &&
+      !module.sema->configVars().empty() &&
+      combos.size() == opt.max_config_combos) {
+    result.exhaustive = false;
+  }
+
+  for (const ConfigAssignment& configs : combos) {
+    // DFS over choice prefixes (stateless search, re-execution per run).
+    std::vector<std::vector<std::size_t>> stack{{}};
+    std::size_t runs = 0;
+    while (!stack.empty()) {
+      if (runs >= opt.max_schedules) {
+        result.exhaustive = false;
+        break;
+      }
+      std::vector<std::size_t> prefix = std::move(stack.back());
+      stack.pop_back();
+      ++runs;
+      RunOutcome out = runSchedule(module, program, entry, configs, prefix,
+                                   nullptr, opt.max_steps_per_run);
+      mergeEvents(result.uaf_sites, out.events);
+      if (out.deadlocked) ++result.deadlock_schedules;
+      if (out.step_limited || out.unsupported) {
+        result.exhaustive = false;
+        result.unsupported = result.unsupported || out.unsupported;
+      }
+      // Branch at every choice point this run passed beyond its prefix: the
+      // run itself covered the all-zeros default tail, so enqueue prefixes
+      // that pad with zeros up to `pos` and then deviate (alternatives
+      // 1..fan-1). Each enqueued prefix names a distinct path.
+      for (std::size_t pos = prefix.size(); pos < out.fanout.size(); ++pos) {
+        std::size_t fan = out.fanout[pos];
+        for (std::size_t alt = 1; alt < fan; ++alt) {
+          std::vector<std::size_t> next = prefix;
+          next.resize(pos, 0);
+          next.push_back(alt);
+          stack.push_back(std::move(next));
+        }
+      }
+    }
+    result.schedules_run += runs;
+
+    // Adversarial delay-victim schedules: for each task index, one run that
+    // postpones that task as long as possible (catches accesses racing the
+    // parent's scope exit even when the DFS was truncated).
+    {
+      std::size_t max_victims = 16;
+      for (std::size_t victim = 1; victim <= max_victims; ++victim) {
+        RunOutcome out =
+            runSchedule(module, program, entry, configs, {}, nullptr,
+                        opt.max_steps_per_run, victim);
+        mergeEvents(result.uaf_sites, out.events);
+        if (out.deadlocked) ++result.deadlock_schedules;
+        ++result.schedules_run;
+      }
+    }
+
+    // Randomized top-up when DFS was truncated.
+    if (!result.exhaustive && opt.random_schedules > 0) {
+      Rng rng(opt.seed ^ (runs * 0x2545f4914f6cdd1dull));
+      for (std::size_t i = 0; i < opt.random_schedules; ++i) {
+        RunOutcome out = runSchedule(module, program, entry, configs, {}, &rng,
+                                     opt.max_steps_per_run);
+        mergeEvents(result.uaf_sites, out.events);
+        if (out.deadlocked) ++result.deadlock_schedules;
+        ++result.schedules_run;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool ExploreResult::sawUafAt(SourceLoc loc) const {
+  return std::any_of(uaf_sites.begin(), uaf_sites.end(),
+                     [&](const UafEvent& e) { return e.loc == loc; });
+}
+
+ExploreResult explore(const ir::Module& module, const Program& program,
+                      ProcId entry, const ExploreOptions& options) {
+  ExploreResult result;
+  exploreEntry(module, program, entry, options, result);
+  return result;
+}
+
+ExploreResult exploreAll(const ir::Module& module, const Program& program,
+                         const ExploreOptions& options) {
+  ExploreResult result;
+  for (const auto& proc : module.procs) {
+    if (proc->is_nested) continue;
+    if (!proc->decl->params.empty()) continue;  // needs caller context
+    exploreEntry(module, program, proc->id, options, result);
+  }
+  return result;
+}
+
+}  // namespace cuaf::rt

@@ -1,0 +1,57 @@
+// Schedule exploration on top of the step-wise interpreter: the dynamic
+// use-after-free oracle.
+//
+// The explorer enumerates task interleavings at *visible* steps only
+// (sync/atomic operations, task spawns, cross-task accesses, scope-killing
+// frame pops); invisible steps commute, so running them eagerly loses no
+// behaviour. Exploration is stateless-search style: each schedule re-executes
+// the program from scratch following a recorded choice prefix.
+//
+// Config variables are enumerated too (bools get both values, up to a combo
+// budget) since branch outcomes gate task creation (paper Figure 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/interp.h"
+
+namespace cuaf::rt {
+
+struct ExploreOptions {
+  /// Max schedules explored by the exhaustive DFS (per config combo).
+  std::size_t max_schedules = 2000;
+  /// Additional random schedules when DFS hits the cap (per config combo).
+  std::size_t random_schedules = 64;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  /// Abort a single run after this many interpreter steps.
+  std::size_t max_steps_per_run = 50000;
+  /// Upper bound on enumerated config-value combinations.
+  std::size_t max_config_combos = 8;
+};
+
+struct ExploreResult {
+  /// Distinct (location, variable) access sites seen use-after-free in at
+  /// least one schedule.
+  std::vector<UafEvent> uaf_sites;
+  std::size_t schedules_run = 0;
+  std::size_t deadlock_schedules = 0;
+  /// All DFS branches enumerated within budget (oracle is complete w.r.t.
+  /// the visible-step interleaving space and config combos).
+  bool exhaustive = true;
+  /// A run used a feature the interpreter cannot model; treat the oracle
+  /// verdict as unknown.
+  bool unsupported = false;
+
+  [[nodiscard]] bool sawUafAt(SourceLoc loc) const;
+};
+
+/// Explores `entry` of the module under all enumerated schedules/configs.
+ExploreResult explore(const ir::Module& module, const Program& program,
+                      ProcId entry, const ExploreOptions& options = {});
+
+/// Explores every top-level procedure and unions the results.
+ExploreResult exploreAll(const ir::Module& module, const Program& program,
+                         const ExploreOptions& options = {});
+
+}  // namespace cuaf::rt

@@ -1,0 +1,891 @@
+#include "src/runtime/interp.h"
+
+#include <cassert>
+
+namespace cuaf::rt {
+
+Interp::Interp(const ir::Module& module, const Program& program,
+               const ConfigAssignment* configs)
+    : module_(module), sema_(*module.sema), program_(program),
+      configs_(configs) {}
+
+// ---------------------------------------------------------------------------
+// Setup
+// ---------------------------------------------------------------------------
+
+Value Interp::defaultValue(const Type& type) const {
+  switch (type.base) {
+    case BaseType::Int: return std::int64_t{0};
+    case BaseType::Real: return 0.0;
+    case BaseType::Bool: return false;
+    case BaseType::String: return std::string{};
+    case BaseType::Void: return std::int64_t{0};
+  }
+  return std::int64_t{0};
+}
+
+void Interp::start(ProcId entry) {
+  auto root = std::make_unique<TaskCtx>();
+  root->id = next_task_id_;
+  next_task_id_ = TaskId(next_task_id_.index() + 1);
+
+  // Global frame: config variables.
+  global_env_ = std::make_shared<EnvNode>();
+  for (const auto& cfg : program_.configs) {
+    if (!cfg->resolved.valid()) continue;
+    const VarInfo& info = sema_.var(cfg->resolved);
+    Value v = defaultValue(info.type);
+    if (cfg->init) {
+      // Config initializers are literal-ish; evaluate with a throwaway task.
+      TaskCtx tmp;
+      tmp.id = root->id;
+      tmp.env = global_env_;
+      v = eval(tmp, *cfg->init);
+    }
+    if (configs_ != nullptr) {
+      auto it = configs_->find(cfg->resolved);
+      if (it != configs_->end()) v = it->second;
+    }
+    CellPtr cell = makeCell(cfg->resolved, std::move(v), root->id, false);
+    global_env_->bindings.emplace_back(cfg->resolved, cell);
+  }
+
+  const ir::Proc* proc = module_.proc(entry);
+  assert(proc != nullptr);
+
+  // Synthetic caller frame: parameter cells die when the entry call returns.
+  auto env = std::make_shared<EnvNode>();
+  env->parent = global_env_;
+  root->env = env;
+
+  ExecFrame call;
+  call.kind = ExecFrame::Kind::CallBoundary;
+  static const std::vector<ir::StmtPtr> kEmpty;
+  call.stmts = &kEmpty;
+  call.saved_env = global_env_;
+  for (const Param& p : proc->decl->params) {
+    if (!p.resolved.valid()) continue;
+    const VarInfo& info = sema_.var(p.resolved);
+    CellPtr cell =
+        makeCell(p.resolved, defaultValue(info.type), root->id,
+                 info.type.isSyncLike());
+    env->bindings.emplace_back(p.resolved, cell);
+    call.owned.push_back(cell);
+  }
+  root->frames.push_back(std::move(call));
+
+  tasks_.push_back(std::move(root));
+  // Enter the procedure body (a Block stmt).
+  TaskCtx& t = *tasks_[0];
+  execStmt(t, *proc->body);
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------------
+
+CellPtr Interp::makeCell(VarId var, Value v, TaskId creator, bool is_sync) {
+  auto cell = std::make_shared<Cell>();
+  cell->value = std::move(v);
+  cell->var = var;
+  cell->creator = creator;
+  cell->is_sync = is_sync;
+  return cell;
+}
+
+void Interp::bind(TaskCtx& task, VarId var, CellPtr cell) {
+  // Bindings attach to the task's current (mutable) top env node.
+  task.env->bindings.emplace_back(var, std::move(cell));
+}
+
+CellPtr Interp::lookup(TaskCtx& task, VarId var) {
+  return task.env ? task.env->lookup(var) : nullptr;
+}
+
+void Interp::recordAccess(const CellPtr& cell, SourceLoc loc, bool is_write) {
+  if (cell == nullptr || cell->alive || cell->is_sync) return;
+  events_.push_back(UafEvent{loc, cell->var, is_write});
+}
+
+Value Interp::readCell(TaskCtx& task, VarId var, SourceLoc loc) {
+  CellPtr cell = lookup(task, var);
+  if (cell == nullptr) return std::int64_t{0};
+  recordAccess(cell, loc, false);
+  return cell->value;
+}
+
+void Interp::writeCell(TaskCtx& task, VarId var, Value v, SourceLoc loc) {
+  CellPtr cell = lookup(task, var);
+  if (cell == nullptr) return;
+  recordAccess(cell, loc, true);
+  cell->value = std::move(v);
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Value Interp::eval(TaskCtx& task, const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+      return static_cast<const IntLitExpr&>(expr).value;
+    case ExprKind::RealLit:
+      return static_cast<const RealLitExpr&>(expr).value;
+    case ExprKind::BoolLit:
+      return static_cast<const BoolLitExpr&>(expr).value;
+    case ExprKind::StringLit:
+      return static_cast<const StringLitExpr&>(expr).value;
+    case ExprKind::Ident: {
+      const auto& e = static_cast<const IdentExpr&>(expr);
+      // Sync reads were hoisted by lowering; reading here is non-blocking.
+      return readCell(task, e.resolved, e.loc);
+    }
+    case ExprKind::Binary:
+      return evalBinary(task, static_cast<const BinaryExpr&>(expr));
+    case ExprKind::Unary: {
+      const auto& e = static_cast<const UnaryExpr&>(expr);
+      Value v = eval(task, *e.operand);
+      if (e.op == UnaryOp::Not) return !asBool(v);
+      if (std::holds_alternative<double>(v)) return -asReal(v);
+      return -asInt(v);
+    }
+    case ExprKind::PostIncDec: {
+      const auto& e = static_cast<const PostIncDecExpr&>(expr);
+      Value old = readCell(task, e.resolved, e.loc);
+      std::int64_t delta = e.is_increment ? 1 : -1;
+      writeCell(task, e.resolved, asInt(old) + delta, e.loc);
+      return old;
+    }
+    case ExprKind::Call: {
+      const auto& e = static_cast<const CallExpr&>(expr);
+      if (e.is_builtin) {
+        for (const auto& a : e.args) eval(task, *a);
+        ++writeln_count_;
+        return std::int64_t{0};
+      }
+      return callInline(task, e);
+    }
+    case ExprKind::MethodCall: {
+      const auto& e = static_cast<const MethodCallExpr&>(expr);
+      CellPtr cell = lookup(task, e.resolved_receiver);
+      std::string_view m = sema_.interner().text(e.method);
+      if (cell == nullptr) return std::int64_t{0};
+      if (m == "isFull") return cell->sync_state == SyncState::Full;
+      if (m == "read") {
+        recordAccess(cell, e.loc, false);
+        return cell->value;
+      }
+      if (m == "fetchAdd" || m == "add" || m == "sub" || m == "exchange" ||
+          m == "write") {
+        Value arg = e.args.empty() ? Value{std::int64_t{0}}
+                                   : eval(task, *e.args[0]);
+        recordAccess(cell, e.loc, true);
+        Value old = cell->value;
+        if (m == "write" || m == "exchange") {
+          cell->value = arg;
+        } else if (m == "sub") {
+          cell->value = asInt(old) - asInt(arg);
+        } else {
+          cell->value = asInt(old) + asInt(arg);
+        }
+        return old;
+      }
+      // waitFor/readFE/readFF in expression position: the blocking part is
+      // handled at statement level; read the current value.
+      recordAccess(cell, e.loc, false);
+      return cell->value;
+    }
+  }
+  return std::int64_t{0};
+}
+
+Value Interp::evalBinary(TaskCtx& task, const BinaryExpr& e) {
+  if (e.op == BinaryOp::And) {
+    return asBool(eval(task, *e.lhs)) && asBool(eval(task, *e.rhs));
+  }
+  if (e.op == BinaryOp::Or) {
+    return asBool(eval(task, *e.lhs)) || asBool(eval(task, *e.rhs));
+  }
+  Value l = eval(task, *e.lhs);
+  Value r = eval(task, *e.rhs);
+  bool any_string = std::holds_alternative<std::string>(l) ||
+                    std::holds_alternative<std::string>(r);
+  bool any_real =
+      std::holds_alternative<double>(l) || std::holds_alternative<double>(r);
+  switch (e.op) {
+    case BinaryOp::Add:
+      if (any_string) return asString(l) + asString(r);
+      if (any_real) return asReal(l) + asReal(r);
+      return asInt(l) + asInt(r);
+    case BinaryOp::Sub:
+      if (any_real) return asReal(l) - asReal(r);
+      return asInt(l) - asInt(r);
+    case BinaryOp::Mul:
+      if (any_real) return asReal(l) * asReal(r);
+      return asInt(l) * asInt(r);
+    case BinaryOp::Div:
+      if (any_real) {
+        double d = asReal(r);
+        return d == 0.0 ? 0.0 : asReal(l) / d;
+      }
+      return asInt(r) == 0 ? std::int64_t{0} : asInt(l) / asInt(r);
+    case BinaryOp::Mod:
+      return asInt(r) == 0 ? std::int64_t{0} : asInt(l) % asInt(r);
+    case BinaryOp::Eq:
+      if (any_string) return asString(l) == asString(r);
+      return asReal(l) == asReal(r);
+    case BinaryOp::Ne:
+      if (any_string) return asString(l) != asString(r);
+      return asReal(l) != asReal(r);
+    case BinaryOp::Lt:
+      if (any_string) return asString(l) < asString(r);
+      return asReal(l) < asReal(r);
+    case BinaryOp::Le:
+      if (any_string) return asString(l) <= asString(r);
+      return asReal(l) <= asReal(r);
+    case BinaryOp::Gt:
+      if (any_string) return asString(l) > asString(r);
+      return asReal(l) > asReal(r);
+    case BinaryOp::Ge:
+      if (any_string) return asString(l) >= asString(r);
+      return asReal(l) >= asReal(r);
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      break;  // handled above
+  }
+  return std::int64_t{0};
+}
+
+// Calls in expression position run synchronously; bodies with concurrency
+// are not supported there (statement-position calls go through CallBoundary
+// frames and support everything).
+Value Interp::callInline(TaskCtx& task, const CallExpr& call) {
+  if (!call.resolved_proc.valid()) return std::int64_t{0};
+  const ir::Proc* proc = module_.proc(call.resolved_proc);
+  if (proc == nullptr) return std::int64_t{0};
+
+  EnvPtr saved = task.env;
+  auto env = std::make_shared<EnvNode>();
+  // Nested procs see their lexical environment; approximating with the
+  // current env is correct for inline calls from the defining strand.
+  env->parent = task.env;
+  task.env = env;
+  const auto& params = proc->decl->params;
+  for (std::size_t i = 0; i < params.size() && i < call.args.size(); ++i) {
+    const Param& p = params[i];
+    if (!p.resolved.valid()) continue;
+    bool by_ref =
+        p.intent == ParamIntent::Ref || p.intent == ParamIntent::ConstRef;
+    if (by_ref) {
+      if (const auto* ident = call.args[i]->as<IdentExpr>()) {
+        CellPtr cell = lookup(task, ident->resolved);
+        if (cell) env->bindings.emplace_back(p.resolved, cell);
+        continue;
+      }
+    }
+    Value v = eval(task, *call.args[i]);
+    env->bindings.emplace_back(
+        p.resolved, makeCell(p.resolved, std::move(v), task.id, false));
+  }
+
+  bool returned = false;
+  Value ret = std::int64_t{0};
+  for (const auto& s : proc->body->body) {
+    runInlineStmt(task, *s, returned, ret);
+    if (returned) break;
+  }
+  task.env = saved;
+  return ret;
+}
+
+void Interp::runInlineStmt(TaskCtx& task, const ir::Stmt& stmt, bool& returned,
+                           Value& ret) {
+  if (returned) return;
+  switch (stmt.kind) {
+    case ir::StmtKind::Block:
+      for (const auto& s : stmt.body) {
+        runInlineStmt(task, *s, returned, ret);
+        if (returned) return;
+      }
+      break;
+    case ir::StmtKind::DeclData:
+    case ir::StmtKind::DeclSync: {
+      const VarInfo& info = sema_.var(stmt.var);
+      Value v = stmt.value != nullptr ? eval(task, *stmt.value)
+                                      : defaultValue(info.type);
+      CellPtr cell = makeCell(stmt.var, std::move(v), task.id,
+                              info.type.isSyncLike());
+      if (stmt.kind == ir::StmtKind::DeclSync && stmt.sync_init_full) {
+        cell->sync_state = SyncState::Full;
+      }
+      task.env->bindings.emplace_back(stmt.var, cell);
+      break;
+    }
+    case ir::StmtKind::Assign: {
+      Value v = eval(task, *stmt.value);
+      if (stmt.assign_op != AssignOp::Assign) {
+        Value old = readCell(task, stmt.var, stmt.loc);
+        switch (stmt.assign_op) {
+          case AssignOp::AddAssign: v = asInt(old) + asInt(v); break;
+          case AssignOp::SubAssign: v = asInt(old) - asInt(v); break;
+          case AssignOp::MulAssign: v = asInt(old) * asInt(v); break;
+          case AssignOp::Assign: break;
+        }
+      }
+      writeCell(task, stmt.var, std::move(v), stmt.loc);
+      break;
+    }
+    case ir::StmtKind::Eval:
+      if (stmt.expr != nullptr) eval(task, *stmt.expr);
+      break;
+    case ir::StmtKind::If: {
+      bool cond = stmt.expr != nullptr && asBool(eval(task, *stmt.expr));
+      const auto& body = cond ? stmt.body : stmt.else_body;
+      for (const auto& s : body) {
+        runInlineStmt(task, *s, returned, ret);
+        if (returned) return;
+      }
+      break;
+    }
+    case ir::StmtKind::Loop: {
+      if (stmt.loop_has_sync_or_begin) {
+        unsupported_ = true;
+        return;
+      }
+      if (stmt.loop_is_for) {
+        std::int64_t lo = asInt(eval(task, *stmt.loop_lo));
+        std::int64_t hi = asInt(eval(task, *stmt.loop_hi));
+        CellPtr idx = makeCell(stmt.loop_index, lo, task.id, false);
+        task.env->bindings.emplace_back(stmt.loop_index, idx);
+        for (std::int64_t i = lo; i <= hi && !returned; ++i) {
+          idx->value = i;
+          for (const auto& s : stmt.body) {
+            runInlineStmt(task, *s, returned, ret);
+            if (returned) break;
+          }
+        }
+      } else {
+        std::size_t guard = 0;
+        while (!returned && stmt.expr != nullptr &&
+               asBool(eval(task, *stmt.expr))) {
+          for (const auto& s : stmt.body) {
+            runInlineStmt(task, *s, returned, ret);
+            if (returned) break;
+          }
+          if (++guard > 100000) {
+            unsupported_ = true;
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case ir::StmtKind::Return:
+      if (stmt.expr != nullptr) ret = eval(task, *stmt.expr);
+      returned = true;
+      break;
+    case ir::StmtKind::Call: {
+      // Re-synthesize a CallExpr-ish inline run: evaluate via callInline by
+      // locating the AST call (stmt.args holds the argument expressions).
+      const ir::Proc* proc = module_.proc(stmt.callee);
+      if (proc == nullptr) break;
+      // Reuse callInline machinery through a temporary environment.
+      EnvPtr saved = task.env;
+      auto env = std::make_shared<EnvNode>();
+      env->parent = task.env;
+      task.env = env;
+      const auto& params = proc->decl->params;
+      for (std::size_t i = 0; i < params.size() && i < stmt.args.size(); ++i) {
+        const Param& p = params[i];
+        if (!p.resolved.valid()) continue;
+        bool by_ref =
+            p.intent == ParamIntent::Ref || p.intent == ParamIntent::ConstRef;
+        if (by_ref) {
+          if (const auto* ident = stmt.args[i]->as<IdentExpr>()) {
+            CellPtr cell = lookup(task, ident->resolved);
+            if (cell) env->bindings.emplace_back(p.resolved, cell);
+            continue;
+          }
+        }
+        Value v = eval(task, *stmt.args[i]);
+        env->bindings.emplace_back(
+            p.resolved, makeCell(p.resolved, std::move(v), task.id, false));
+      }
+      bool sub_returned = false;
+      Value sub_ret = std::int64_t{0};
+      for (const auto& s : proc->body->body) {
+        runInlineStmt(task, *s, sub_returned, sub_ret);
+        if (sub_returned) break;
+      }
+      task.env = saved;
+      break;
+    }
+    case ir::StmtKind::SyncRead:
+    case ir::StmtKind::SyncWrite:
+    case ir::StmtKind::Begin:
+    case ir::StmtKind::SyncBlock:
+      unsupported_ = true;  // concurrency inside expression-position calls
+      break;
+    case ir::StmtKind::AtomicOp: {
+      CellPtr cell = lookup(task, stmt.var);
+      if (cell == nullptr) break;
+      Value arg = stmt.value != nullptr ? eval(task, *stmt.value)
+                                        : Value{std::int64_t{0}};
+      recordAccess(cell, stmt.loc,
+                   stmt.atomic_op != ir::AtomicOpKind::Read &&
+                       stmt.atomic_op != ir::AtomicOpKind::WaitFor);
+      switch (stmt.atomic_op) {
+        case ir::AtomicOpKind::Write:
+        case ir::AtomicOpKind::Exchange:
+          cell->value = arg;
+          break;
+        case ir::AtomicOpKind::FetchAdd:
+        case ir::AtomicOpKind::Add:
+          cell->value = asInt(cell->value) + asInt(arg);
+          break;
+        case ir::AtomicOpKind::Sub:
+          cell->value = asInt(cell->value) - asInt(arg);
+          break;
+        case ir::AtomicOpKind::WaitFor:
+          // Cannot block inside an inline call; treat as unsupported if the
+          // wait would not be satisfied immediately.
+          if (asInt(cell->value) != asInt(arg)) unsupported_ = true;
+          break;
+        case ir::AtomicOpKind::Read:
+          break;
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stepping
+// ---------------------------------------------------------------------------
+
+bool Interp::allFinished() const {
+  for (const auto& t : tasks_) {
+    if (!t->finished) return false;
+  }
+  return true;
+}
+
+std::vector<std::shared_ptr<int>> Interp::activeRegions(
+    const TaskCtx& task) const {
+  std::vector<std::shared_ptr<int>> regions = task.inherited_regions;
+  for (const ExecFrame& f : task.frames) {
+    if (f.kind == ExecFrame::Kind::SyncRegion && f.sync_counter) {
+      regions.push_back(f.sync_counter);
+    }
+  }
+  return regions;
+}
+
+void Interp::pushBody(TaskCtx& task, const std::vector<ir::StmtPtr>& stmts,
+                      ExecFrame::Kind kind) {
+  ExecFrame f;
+  f.kind = kind;
+  f.stmts = &stmts;
+  f.saved_env = task.env;
+  if (kind == ExecFrame::Kind::Block) {
+    auto env = std::make_shared<EnvNode>();
+    env->parent = task.env;
+    task.env = env;
+  }
+  task.frames.push_back(std::move(f));
+}
+
+void Interp::killOwned(ExecFrame& frame) {
+  for (const CellPtr& cell : frame.owned) {
+    if (!cell->is_sync) cell->alive = false;
+  }
+  frame.owned.clear();
+}
+
+void Interp::finishTask(TaskCtx& task) {
+  task.finished = true;
+  for (const auto& counter : task.inherited_regions) {
+    if (counter) --*counter;
+  }
+}
+
+StepResult Interp::popFrame(TaskCtx& task) {
+  ExecFrame& top = task.frames.back();
+  switch (top.kind) {
+    case ExecFrame::Kind::LoopWhile: {
+      if (!task.returning && top.loop->expr != nullptr &&
+          asBool(eval(task, *top.loop->expr))) {
+        killOwned(top);  // per-iteration locals die each iteration
+        top.index = 0;
+        return StepResult::Progressed;
+      }
+      break;
+    }
+    case ExecFrame::Kind::LoopFor: {
+      if (!task.returning && top.for_i < top.for_hi) {
+        ++top.for_i;
+        if (top.for_cell) top.for_cell->value = top.for_i;
+        killOwned(top);
+        top.index = 0;
+        return StepResult::Progressed;
+      }
+      break;
+    }
+    case ExecFrame::Kind::SyncRegion: {
+      if (top.sync_counter && *top.sync_counter > 0) {
+        return StepResult::Blocked;  // fence: wait for child tasks
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  killOwned(top);
+  task.env = top.saved_env;
+  bool was_call = top.kind == ExecFrame::Kind::CallBoundary;
+  task.frames.pop_back();
+  if (was_call) task.returning = false;
+  if (task.frames.empty()) {
+    finishTask(task);
+    return StepResult::Finished;
+  }
+  return StepResult::Progressed;
+}
+
+bool Interp::usesCrossTask(TaskCtx& task,
+                           const std::vector<ir::VarUse>& uses) {
+  for (const ir::VarUse& u : uses) {
+    CellPtr cell = lookup(task, u.var);
+    if (cell != nullptr && !cell->is_sync && cell->creator != task.id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Interp::stmtVisible(TaskCtx& task, const ir::Stmt& stmt) {
+  switch (stmt.kind) {
+    case ir::StmtKind::SyncRead:
+    case ir::StmtKind::SyncWrite:
+    case ir::StmtKind::AtomicOp:
+    case ir::StmtKind::Begin:
+      return true;
+    default:
+      return usesCrossTask(task, stmt.uses);
+  }
+}
+
+bool Interp::nextStepVisible(std::size_t t) {
+  TaskCtx& task = this->task(t);
+  if (task.finished) return false;
+  ExecFrame& top = task.frames.back();
+  if (task.returning || top.index >= top.stmts->size()) {
+    // Frame pop: visible when it kills live data cells, fences, or finishes
+    // the task.
+    if (top.kind == ExecFrame::Kind::SyncRegion) return true;
+    if (task.frames.size() == 1) return true;  // finish
+    for (const CellPtr& cell : top.owned) {
+      if (!cell->is_sync && cell->alive) return true;
+    }
+    // Loop back-edges evaluate conditions that may read cross-task state.
+    if ((top.kind == ExecFrame::Kind::LoopWhile) && top.loop != nullptr) {
+      return usesCrossTask(task, top.loop->uses);
+    }
+    return false;
+  }
+  return stmtVisible(task, *top.stmts->at(top.index));
+}
+
+bool Interp::canStep(std::size_t t) {
+  TaskCtx& task = this->task(t);
+  if (task.finished) return false;
+  ExecFrame& top = task.frames.back();
+  if (task.returning || top.index >= top.stmts->size()) {
+    if (!task.returning && top.kind == ExecFrame::Kind::SyncRegion &&
+        top.sync_counter && *top.sync_counter > 0) {
+      return false;
+    }
+    return true;
+  }
+  const ir::Stmt& stmt = *top.stmts->at(top.index);
+  CellPtr cell;
+  switch (stmt.kind) {
+    case ir::StmtKind::SyncRead:
+      cell = lookup(task, stmt.var);
+      return cell == nullptr || cell->sync_state == SyncState::Full;
+    case ir::StmtKind::SyncWrite:
+      cell = lookup(task, stmt.var);
+      return cell == nullptr || cell->sync_state == SyncState::Empty;
+    case ir::StmtKind::AtomicOp:
+      if (stmt.atomic_op == ir::AtomicOpKind::WaitFor) {
+        cell = lookup(task, stmt.var);
+        if (cell == nullptr) return true;
+        std::int64_t expect =
+            stmt.value != nullptr ? asInt(eval(task, *stmt.value)) : 0;
+        return asInt(cell->value) == expect;
+      }
+      return true;
+    default:
+      return true;
+  }
+}
+
+void Interp::spawnTask(TaskCtx& parent, const ir::Stmt& stmt) {
+  auto child = std::make_unique<TaskCtx>();
+  child->id = next_task_id_;
+  next_task_id_ = TaskId(next_task_id_.index() + 1);
+
+  auto env = std::make_shared<EnvNode>();
+  env->parent = parent.env;
+  child->env = env;
+
+  ExecFrame body;
+  body.kind = ExecFrame::Kind::Block;  // task scope: shadows die at task end
+  body.stmts = &stmt.body;
+  body.saved_env = env;
+
+  for (const CaptureInfo& cap : stmt.captures) {
+    if (cap.intent == TaskIntent::In || cap.intent == TaskIntent::ConstIn) {
+      // Copy at creation time: the read happens in the spawning strand.
+      Value v = readCell(parent, cap.outer, cap.loc);
+      CellPtr shadow = makeCell(cap.local, std::move(v), child->id, false);
+      env->bindings.emplace_back(cap.local, shadow);
+      body.owned.push_back(shadow);
+    }
+  }
+  child->frames.push_back(std::move(body));
+
+  child->inherited_regions = activeRegions(parent);
+  for (const auto& counter : child->inherited_regions) {
+    if (counter) ++*counter;
+  }
+  tasks_.push_back(std::move(child));
+}
+
+StepResult Interp::execStmt(TaskCtx& task, const ir::Stmt& stmt) {
+  switch (stmt.kind) {
+    case ir::StmtKind::Block: {
+      pushBody(task, stmt.body, ExecFrame::Kind::Block);
+      return StepResult::Progressed;
+    }
+    case ir::StmtKind::DeclData:
+    case ir::StmtKind::DeclSync: {
+      const VarInfo& info = sema_.var(stmt.var);
+      Value v = stmt.value != nullptr ? eval(task, *stmt.value)
+                                      : defaultValue(info.type);
+      CellPtr cell =
+          makeCell(stmt.var, std::move(v), task.id, info.type.isSyncLike());
+      if (stmt.kind == ir::StmtKind::DeclSync && stmt.sync_init_full) {
+        cell->sync_state = SyncState::Full;
+      }
+      bind(task, stmt.var, cell);
+      // Attach to the nearest enclosing scope-owning frame.
+      for (auto it = task.frames.rbegin(); it != task.frames.rend(); ++it) {
+        if (it->kind == ExecFrame::Kind::Block ||
+            it->kind == ExecFrame::Kind::CallBoundary ||
+            it->kind == ExecFrame::Kind::LoopFor ||
+            it->kind == ExecFrame::Kind::LoopWhile) {
+          it->owned.push_back(cell);
+          break;
+        }
+      }
+      return StepResult::Progressed;
+    }
+    case ir::StmtKind::Assign: {
+      Value v = eval(task, *stmt.value);
+      if (stmt.assign_op != AssignOp::Assign) {
+        Value old = readCell(task, stmt.var, stmt.loc);
+        switch (stmt.assign_op) {
+          case AssignOp::AddAssign: v = asInt(old) + asInt(v); break;
+          case AssignOp::SubAssign: v = asInt(old) - asInt(v); break;
+          case AssignOp::MulAssign: v = asInt(old) * asInt(v); break;
+          case AssignOp::Assign: break;
+        }
+      }
+      writeCell(task, stmt.var, std::move(v), stmt.loc);
+      return StepResult::Progressed;
+    }
+    case ir::StmtKind::Eval: {
+      if (stmt.expr != nullptr) eval(task, *stmt.expr);
+      return StepResult::Progressed;
+    }
+    case ir::StmtKind::SyncRead: {
+      CellPtr cell = lookup(task, stmt.var);
+      if (cell == nullptr) return StepResult::Progressed;
+      if (cell->sync_state != SyncState::Full) return StepResult::Blocked;
+      if (stmt.sync_op == ir::SyncOpKind::ReadFE) {
+        cell->sync_state = SyncState::Empty;
+      }
+      return StepResult::Progressed;
+    }
+    case ir::StmtKind::SyncWrite: {
+      CellPtr cell = lookup(task, stmt.var);
+      if (cell == nullptr) return StepResult::Progressed;
+      if (cell->sync_state != SyncState::Empty) return StepResult::Blocked;
+      Value v = stmt.value != nullptr ? eval(task, *stmt.value)
+                                      : Value{true};
+      cell->value = std::move(v);
+      cell->sync_state = SyncState::Full;
+      return StepResult::Progressed;
+    }
+    case ir::StmtKind::AtomicOp: {
+      CellPtr cell = lookup(task, stmt.var);
+      if (cell == nullptr) return StepResult::Progressed;
+      Value arg = stmt.value != nullptr ? eval(task, *stmt.value)
+                                        : Value{std::int64_t{0}};
+      switch (stmt.atomic_op) {
+        case ir::AtomicOpKind::WaitFor:
+          recordAccess(cell, stmt.loc, false);
+          if (asInt(cell->value) != asInt(arg)) return StepResult::Blocked;
+          return StepResult::Progressed;
+        case ir::AtomicOpKind::Write:
+        case ir::AtomicOpKind::Exchange:
+          recordAccess(cell, stmt.loc, true);
+          cell->value = arg;
+          return StepResult::Progressed;
+        case ir::AtomicOpKind::FetchAdd:
+        case ir::AtomicOpKind::Add:
+          recordAccess(cell, stmt.loc, true);
+          cell->value = asInt(cell->value) + asInt(arg);
+          return StepResult::Progressed;
+        case ir::AtomicOpKind::Sub:
+          recordAccess(cell, stmt.loc, true);
+          cell->value = asInt(cell->value) - asInt(arg);
+          return StepResult::Progressed;
+        case ir::AtomicOpKind::Read:
+          recordAccess(cell, stmt.loc, false);
+          return StepResult::Progressed;
+      }
+      return StepResult::Progressed;
+    }
+    case ir::StmtKind::Begin: {
+      spawnTask(task, stmt);
+      return StepResult::Progressed;
+    }
+    case ir::StmtKind::SyncBlock: {
+      ExecFrame f;
+      f.kind = ExecFrame::Kind::SyncRegion;
+      f.stmts = &stmt.body;
+      f.saved_env = task.env;
+      f.sync_counter = std::make_shared<int>(0);
+      task.frames.push_back(std::move(f));
+      return StepResult::Progressed;
+    }
+    case ir::StmtKind::If: {
+      bool cond = stmt.expr != nullptr && asBool(eval(task, *stmt.expr));
+      const auto& body = cond ? stmt.body : stmt.else_body;
+      if (!body.empty()) pushBody(task, body, ExecFrame::Kind::Body);
+      return StepResult::Progressed;
+    }
+    case ir::StmtKind::Loop: {
+      if (stmt.loop_is_for) {
+        std::int64_t lo = asInt(eval(task, *stmt.loop_lo));
+        std::int64_t hi = asInt(eval(task, *stmt.loop_hi));
+        if (lo > hi) return StepResult::Progressed;
+        ExecFrame f;
+        f.kind = ExecFrame::Kind::LoopFor;
+        f.stmts = &stmt.body;
+        f.saved_env = task.env;
+        f.loop = &stmt;
+        f.for_i = lo;
+        f.for_hi = hi;
+        auto env = std::make_shared<EnvNode>();
+        env->parent = task.env;
+        task.env = env;
+        f.for_cell = makeCell(stmt.loop_index, lo, task.id, false);
+        env->bindings.emplace_back(stmt.loop_index, f.for_cell);
+        task.frames.push_back(std::move(f));
+        return StepResult::Progressed;
+      }
+      if (stmt.expr == nullptr || !asBool(eval(task, *stmt.expr))) {
+        return StepResult::Progressed;
+      }
+      ExecFrame f;
+      f.kind = ExecFrame::Kind::LoopWhile;
+      f.stmts = &stmt.body;
+      f.saved_env = task.env;
+      f.loop = &stmt;
+      auto env = std::make_shared<EnvNode>();
+      env->parent = task.env;
+      task.env = env;
+      task.frames.push_back(std::move(f));
+      return StepResult::Progressed;
+    }
+    case ir::StmtKind::Return: {
+      if (stmt.expr != nullptr) eval(task, *stmt.expr);
+      task.returning = true;
+      return StepResult::Progressed;
+    }
+    case ir::StmtKind::Call: {
+      const ir::Proc* proc = module_.proc(stmt.callee);
+      if (proc == nullptr) return StepResult::Progressed;
+
+      ExecFrame call;
+      call.kind = ExecFrame::Kind::CallBoundary;
+      call.stmts = &proc->body->body;
+      call.saved_env = task.env;
+
+      auto env = std::make_shared<EnvNode>();
+      // Nested procedures close over their lexical scope; calling from the
+      // defining strand means the current env chain is a superset of it.
+      env->parent = task.env;
+
+      const auto& params = proc->decl->params;
+      for (std::size_t i = 0; i < params.size() && i < stmt.args.size(); ++i) {
+        const Param& p = params[i];
+        if (!p.resolved.valid()) continue;
+        bool by_ref =
+            p.intent == ParamIntent::Ref || p.intent == ParamIntent::ConstRef;
+        if (by_ref) {
+          if (const auto* ident = stmt.args[i]->as<IdentExpr>()) {
+            CellPtr cell = lookup(task, ident->resolved);
+            if (cell) env->bindings.emplace_back(p.resolved, cell);
+            continue;
+          }
+        }
+        Value v = eval(task, *stmt.args[i]);
+        CellPtr cell = makeCell(p.resolved, std::move(v), task.id, false);
+        env->bindings.emplace_back(p.resolved, cell);
+        call.owned.push_back(cell);
+      }
+      task.env = env;
+      task.frames.push_back(std::move(call));
+      return StepResult::Progressed;
+    }
+  }
+  return StepResult::Progressed;
+}
+
+StepResult Interp::step(std::size_t t) {
+  TaskCtx& task = this->task(t);
+  if (task.finished) return StepResult::Finished;
+  ++steps_;
+
+  ExecFrame& top = task.frames.back();
+  if (task.returning || top.index >= top.stmts->size()) {
+    if (task.returning && top.kind != ExecFrame::Kind::CallBoundary) {
+      // Unwind through non-call frames.
+      killOwned(top);
+      task.env = top.saved_env;
+      task.frames.pop_back();
+      if (task.frames.empty()) {
+        finishTask(task);
+        return StepResult::Finished;
+      }
+      return StepResult::Progressed;
+    }
+    return popFrame(task);
+  }
+
+  const ir::Stmt& stmt = *top.stmts->at(top.index);
+  // execStmt may push frames and reallocate the frame vector; remember the
+  // index of the frame we are advancing.
+  std::size_t frame_index = task.frames.size() - 1;
+  StepResult r = execStmt(task, stmt);
+  if (r == StepResult::Blocked) return r;
+  ++task.frames[frame_index].index;
+  return r;
+}
+
+}  // namespace cuaf::rt

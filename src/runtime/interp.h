@@ -1,0 +1,145 @@
+// Step-wise interpreter for the mini-Chapel IR with a scope-lifetime memory
+// model. This is the dynamic oracle substituting for the paper's manual
+// true-positive verification: it executes a program under an explicit task
+// schedule and records every access that dereferences a cell whose scope has
+// already exited (a real use-after-free under that schedule).
+//
+// Semantics highlights:
+//  * Scope exit marks data/atomic cells dead (tombstones, not reuse).
+//  * sync/single cells are "universally visible" (paper §II): never killed.
+//  * begin tasks capture their defining environment; `in` intents copy the
+//    value at task creation (the copy read happens in the spawning strand).
+//  * `sync { }` blocks fence all transitively created tasks.
+//  * readFE/writeEF/readFF/waitFor have the standard full/empty semantics.
+//
+// Scheduling: `step(t)` executes one IR statement (or one frame pop) of task
+// t. `nextStepVisible(t)` classifies whether the pending step can interact
+// with other tasks (sync ops, atomics, spawns, cross-task data accesses,
+// scope-killing pops); invisible steps commute and need no exploration.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/ir.h"
+#include "src/runtime/value.h"
+
+namespace cuaf::rt {
+
+struct UafEvent {
+  SourceLoc loc;
+  VarId var;
+  bool is_write = false;
+
+  friend bool operator==(const UafEvent& a, const UafEvent& b) {
+    return a.loc == b.loc && a.var == b.var;
+  }
+};
+
+/// Fixed values for module-level config variables (oracle enumerates these).
+using ConfigAssignment = std::unordered_map<VarId, Value>;
+
+enum class StepResult { Progressed, Blocked, Finished };
+
+class Interp {
+ public:
+  Interp(const ir::Module& module, const Program& program,
+         const ConfigAssignment* configs = nullptr);
+
+  /// Prepares execution of `entry` (top-level procedure). Parameters get
+  /// default values (ref parameters get fresh caller-owned cells that die
+  /// when the entry call returns).
+  void start(ProcId entry);
+
+  [[nodiscard]] std::size_t taskCount() const { return tasks_.size(); }
+  [[nodiscard]] bool taskFinished(std::size_t t) const {
+    return tasks_[t]->finished;
+  }
+  [[nodiscard]] bool allFinished() const;
+
+  /// True when task t's next step may interact with other tasks.
+  [[nodiscard]] bool nextStepVisible(std::size_t t);
+  /// True when task t's next step can proceed right now (not blocked).
+  [[nodiscard]] bool canStep(std::size_t t);
+
+  StepResult step(std::size_t t);
+
+  [[nodiscard]] const std::vector<UafEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t stepsExecuted() const { return steps_; }
+  [[nodiscard]] bool unsupportedFeature() const { return unsupported_; }
+  [[nodiscard]] std::size_t writelnCount() const { return writeln_count_; }
+
+ private:
+  struct ExecFrame {
+    enum class Kind { Body, Block, LoopWhile, LoopFor, CallBoundary, SyncRegion };
+    Kind kind = Kind::Body;
+    const std::vector<ir::StmtPtr>* stmts = nullptr;
+    std::size_t index = 0;
+    std::vector<CellPtr> owned;  ///< cells killed when the frame pops
+    EnvPtr saved_env;
+    const ir::Stmt* loop = nullptr;
+    std::int64_t for_i = 0;
+    std::int64_t for_hi = 0;
+    CellPtr for_cell;
+    std::shared_ptr<int> sync_counter;  ///< SyncRegion: outstanding tasks
+  };
+
+  struct TaskCtx {
+    TaskId id;
+    EnvPtr env;
+    std::vector<ExecFrame> frames;
+    /// Sync-region counters to decrement when this task finishes
+    /// (dynamically enclosing regions at spawn time).
+    std::vector<std::shared_ptr<int>> inherited_regions;
+    bool finished = false;
+    bool returning = false;  ///< unwinding to the nearest CallBoundary
+  };
+
+  TaskCtx& task(std::size_t t) { return *tasks_[t]; }
+
+  CellPtr makeCell(VarId var, Value v, TaskId creator, bool is_sync);
+  void bind(TaskCtx& task, VarId var, CellPtr cell);
+  CellPtr lookup(TaskCtx& task, VarId var);
+
+  void recordAccess(const CellPtr& cell, SourceLoc loc, bool is_write);
+  Value readCell(TaskCtx& task, VarId var, SourceLoc loc);
+  void writeCell(TaskCtx& task, VarId var, Value v, SourceLoc loc);
+
+  Value eval(TaskCtx& task, const Expr& expr);
+  Value evalBinary(TaskCtx& task, const BinaryExpr& e);
+  Value callInline(TaskCtx& task, const CallExpr& call);
+  void runInlineStmt(TaskCtx& task, const ir::Stmt& stmt, bool& returned,
+                     Value& ret);
+
+  Value defaultValue(const Type& type) const;
+
+  void pushBody(TaskCtx& task, const std::vector<ir::StmtPtr>& stmts,
+                ExecFrame::Kind kind);
+  StepResult popFrame(TaskCtx& task);
+  void killOwned(ExecFrame& frame);
+  void finishTask(TaskCtx& task);
+  StepResult execStmt(TaskCtx& task, const ir::Stmt& stmt);
+  void spawnTask(TaskCtx& parent, const ir::Stmt& stmt);
+  /// Collects the counters of enclosing sync regions (inherited + open).
+  std::vector<std::shared_ptr<int>> activeRegions(const TaskCtx& task) const;
+
+  [[nodiscard]] bool stmtVisible(TaskCtx& task, const ir::Stmt& stmt);
+  [[nodiscard]] bool usesCrossTask(TaskCtx& task,
+                                   const std::vector<ir::VarUse>& uses);
+
+  const ir::Module& module_;
+  const SemaModule& sema_;
+  const Program& program_;
+  const ConfigAssignment* configs_;
+  std::vector<std::unique_ptr<TaskCtx>> tasks_;
+  EnvPtr global_env_;
+  std::vector<UafEvent> events_;
+  std::size_t steps_ = 0;
+  std::size_t writeln_count_ = 0;
+  bool unsupported_ = false;
+  TaskId next_task_id_{0};
+};
+
+}  // namespace cuaf::rt

@@ -1,0 +1,35 @@
+#include "src/runtime/value.h"
+
+namespace cuaf::rt {
+
+std::int64_t asInt(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+  if (const auto* d = std::get_if<double>(&v)) return static_cast<std::int64_t>(*d);
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? 1 : 0;
+  return 0;
+}
+
+double asReal(const Value& v) {
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return static_cast<double>(*i);
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? 1.0 : 0.0;
+  return 0.0;
+}
+
+bool asBool(const Value& v) {
+  if (const auto* b = std::get_if<bool>(&v)) return *b;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return *i != 0;
+  if (const auto* d = std::get_if<double>(&v)) return *d != 0.0;
+  if (const auto* s = std::get_if<std::string>(&v)) return !s->empty();
+  return false;
+}
+
+std::string asString(const Value& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) return std::to_string(*d);
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? "true" : "false";
+  return {};
+}
+
+}  // namespace cuaf::rt

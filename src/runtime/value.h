@@ -1,0 +1,56 @@
+// Runtime values and memory cells for the mini-Chapel interpreter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "src/support/id_types.h"
+
+namespace cuaf::rt {
+
+using Value = std::variant<std::int64_t, double, bool, std::string>;
+
+[[nodiscard]] std::int64_t asInt(const Value& v);
+[[nodiscard]] double asReal(const Value& v);
+[[nodiscard]] bool asBool(const Value& v);
+[[nodiscard]] std::string asString(const Value& v);
+
+enum class SyncState : std::uint8_t { Empty, Full };
+
+/// One memory location. Scope exit marks the cell dead but the storage
+/// remains (a tombstone), so late accesses are detectable instead of UB —
+/// this is the oracle's "use after free" signal.
+struct Cell {
+  Value value = std::int64_t{0};
+  bool alive = true;
+  bool is_sync = false;       ///< sync/single: exempt from scope death
+                              ///< ("universally visible", paper §II)
+  SyncState sync_state = SyncState::Empty;
+  VarId var;                  ///< declaring variable (for reporting)
+  TaskId creator;             ///< task that allocated the cell
+};
+
+using CellPtr = std::shared_ptr<Cell>;
+
+/// Lexical environment: persistent linked frames so spawned tasks capture
+/// their defining environment by reference.
+struct EnvNode {
+  std::shared_ptr<EnvNode> parent;
+  // Small linear map: scopes hold a handful of variables.
+  std::vector<std::pair<VarId, CellPtr>> bindings;
+
+  [[nodiscard]] CellPtr lookup(VarId var) const {
+    for (const EnvNode* e = this; e != nullptr; e = e->parent.get()) {
+      for (auto it = e->bindings.rbegin(); it != e->bindings.rend(); ++it) {
+        if (it->first == var) return it->second;
+      }
+    }
+    return nullptr;
+  }
+};
+
+using EnvPtr = std::shared_ptr<EnvNode>;
+
+}  // namespace cuaf::rt

@@ -1,0 +1,579 @@
+#include "src/sema/sema.h"
+
+#include <cassert>
+#include <string>
+
+namespace cuaf {
+
+namespace {
+const std::vector<SemaModule::CallSite> kNoCallSites;
+
+std::string symText(const StringInterner& in, Symbol s) {
+  return std::string(in.text(s));
+}
+}  // namespace
+
+ScopeId SemaModule::enclosingTaskScope(ScopeId s) const {
+  while (s.valid()) {
+    const ScopeInfo& info = scope(s);
+    if (info.kind == ScopeKind::BeginTask || info.kind == ScopeKind::Cobegin) {
+      return s;
+    }
+    s = info.parent;
+  }
+  return ScopeId{};
+}
+
+bool SemaModule::scopeContains(ScopeId outer, ScopeId inner) const {
+  while (inner.valid()) {
+    if (inner == outer) return true;
+    inner = scope(inner).parent;
+  }
+  return false;
+}
+
+const std::vector<SemaModule::CallSite>& SemaModule::callSites(
+    ProcId callee) const {
+  auto it = call_sites_.find(callee);
+  return it == call_sites_.end() ? kNoCallSites : it->second;
+}
+
+Sema::Sema(StringInterner& interner, DiagnosticEngine& diags)
+    : interner_(interner), diags_(diags) {
+  sym_writeln_ = interner_.intern("writeln");
+  sym_write_ = interner_.intern("write");
+}
+
+std::unique_ptr<SemaModule> analyze(Program& program, StringInterner& interner,
+                                    DiagnosticEngine& diags) {
+  Sema sema(interner, diags);
+  return sema.run(program);
+}
+
+ScopeId Sema::pushScope(ScopeKind kind, SourceLoc loc) {
+  ScopeInfo info;
+  info.id = ScopeId(static_cast<ScopeId::value_type>(module_->scopes_.size()));
+  info.parent = scope_stack_.empty() ? ScopeId{} : scope_stack_.back().id;
+  info.kind = kind;
+  info.proc = currentProc();
+  info.loc = loc;
+  module_->scopes_.push_back(info);
+  scope_stack_.push_back(LexicalScope{info.id, {}, {}});
+  return info.id;
+}
+
+void Sema::popScope() { scope_stack_.pop_back(); }
+
+ScopeId Sema::currentScope() const {
+  return scope_stack_.empty() ? ScopeId{} : scope_stack_.back().id;
+}
+
+ProcId Sema::currentProc() const {
+  return proc_stack_.empty() ? ProcId{} : proc_stack_.back();
+}
+
+VarId Sema::declareVar(Symbol name, Type type, SourceLoc loc, DeclQual qual,
+                       bool is_param) {
+  LexicalScope& top = scope_stack_.back();
+  if (auto it = top.vars.find(name); it != top.vars.end()) {
+    diags_.error(loc, "sema",
+                 "redeclaration of '" + symText(interner_, name) + "'");
+    return it->second;
+  }
+  VarInfo info;
+  info.id = VarId(static_cast<VarId::value_type>(module_->vars_.size()));
+  info.name = name;
+  info.type = type;
+  info.scope = top.id;
+  info.loc = loc;
+  info.qual = qual;
+  info.is_param = is_param;
+  module_->vars_.push_back(info);
+  top.vars.emplace(name, info.id);
+  return info.id;
+}
+
+std::optional<VarId> Sema::lookupVar(Symbol name) const {
+  for (auto it = scope_stack_.rbegin(); it != scope_stack_.rend(); ++it) {
+    auto v = it->vars.find(name);
+    if (v != it->vars.end()) return v->second;
+  }
+  return std::nullopt;
+}
+
+std::optional<ProcId> Sema::lookupProc(Symbol name) const {
+  for (auto it = scope_stack_.rbegin(); it != scope_stack_.rend(); ++it) {
+    auto p = it->procs.find(name);
+    if (p != it->procs.end()) return p->second;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<SemaModule> Sema::run(Program& program) {
+  auto module = std::make_unique<SemaModule>();
+  module->interner_ = &interner_;
+  module_ = module.get();
+
+  pushScope(ScopeKind::Module, SourceLoc{});
+
+  // Module-level config variables.
+  for (auto& cfg : program.configs) {
+    Type t = cfg->declared_type ? *cfg->declared_type
+                                : (cfg->init ? inferType(*cfg->init)
+                                             : Type{BaseType::Int, ConcKind::None});
+    if (cfg->init) visitExpr(*cfg->init);
+    cfg->resolved = declareVar(cfg->name, t, cfg->loc, cfg->qual, false);
+    module_->config_vars_.push_back(cfg->resolved);
+  }
+
+  // Two passes over top-level procs so forward calls resolve.
+  for (auto& proc : program.procs) {
+    declareProcSignature(*proc, /*nested=*/false);
+    module_->top_level_procs_.push_back(proc->id);
+  }
+  for (auto& proc : program.procs) {
+    analyzeProcBody(*proc);
+  }
+
+  popScope();
+  module_ = nullptr;
+  return module;
+}
+
+void Sema::declareProcSignature(ProcDecl& proc, bool nested) {
+  LexicalScope& top = scope_stack_.back();
+  if (top.procs.contains(proc.name)) {
+    diags_.error(proc.loc, "sema",
+                 "redeclaration of procedure '" +
+                     symText(interner_, proc.name) + "'");
+  }
+  ProcInfo info;
+  info.id = ProcId(static_cast<ProcId::value_type>(module_->procs_.size()));
+  info.name = proc.name;
+  info.decl = &proc;
+  info.lexical_parent = nested ? currentProc() : ProcId{};
+  info.is_nested = nested;
+  module_->procs_.push_back(info);
+  proc.id = info.id;
+  proc.is_nested = nested;
+  top.procs.emplace(proc.name, info.id);
+}
+
+void Sema::analyzeProcBody(ProcDecl& proc) {
+  proc_stack_.push_back(proc.id);
+  ScopeId body_scope = pushScope(ScopeKind::Proc, proc.loc);
+  module_->procs_[proc.id.index()].body_scope = body_scope;
+
+  for (Param& p : proc.params) {
+    DeclQual qual = (p.intent == ParamIntent::ConstIn ||
+                     p.intent == ParamIntent::ConstRef)
+                        ? DeclQual::Const
+                        : DeclQual::Var;
+    p.resolved = declareVar(p.name, p.type, p.loc, qual, /*is_param=*/true);
+    VarInfo& vi = module_->vars_[p.resolved.index()];
+    vi.is_param = true;
+  }
+  visitBlockInCurrentScope(*proc.body);
+  popScope();
+  proc_stack_.pop_back();
+}
+
+void Sema::visitBlockInCurrentScope(BlockStmt& block) {
+  // First declare nested proc signatures so they are visible to all
+  // statements of the block (Chapel nested procs are visible in their
+  // enclosing scope, including before their textual declaration).
+  for (auto& stmt : block.stmts) {
+    if (auto* pd = stmt->as<ProcDeclStmt>()) {
+      declareProcSignature(*pd->proc, /*nested=*/true);
+    }
+  }
+  for (auto& stmt : block.stmts) {
+    visitStmt(*stmt);
+  }
+}
+
+void Sema::checkAssignable(VarId id, SourceLoc loc) {
+  if (!id.valid()) return;
+  const VarInfo& info = module_->var(id);
+  if (info.qual == DeclQual::Const || info.qual == DeclQual::ConfigConst) {
+    // sync/single variables declared const make no sense; only flag data vars
+    if (!info.type.isSyncLike()) {
+      diags_.error(loc, "sema",
+                   "cannot assign to const variable '" +
+                       symText(interner_, info.name) + "'");
+    }
+  }
+}
+
+void Sema::resolveWithItems(std::vector<WithItem>& items, const Stmt* owner) {
+  std::vector<CaptureInfo> caps;
+  for (WithItem& item : items) {
+    auto outer = lookupVar(item.name);
+    if (!outer) {
+      diags_.error(item.loc, "sema",
+                   "'with' clause names unknown variable '" +
+                       symText(interner_, item.name) + "'");
+      continue;
+    }
+    item.resolved = *outer;
+    CaptureInfo cap;
+    cap.intent = item.intent;
+    cap.outer = *outer;
+    cap.loc = item.loc;
+    if (item.intent == TaskIntent::In || item.intent == TaskIntent::ConstIn) {
+      // Create a task-local shadow copy in the task scope (current scope
+      // must already be the task scope when this is called).
+      Type t = module_->var(*outer).type;
+      VarId shadow = declareVar(item.name, t, item.loc,
+                                item.intent == TaskIntent::ConstIn
+                                    ? DeclQual::Const
+                                    : DeclQual::Var,
+                                false);
+      VarInfo& vi = module_->vars_[shadow.index()];
+      vi.is_task_copy = true;
+      vi.copied_from = *outer;
+      cap.local = shadow;
+    } else {
+      cap.local = *outer;
+    }
+    caps.push_back(cap);
+  }
+  module_->captures_[owner] = std::move(caps);
+}
+
+void Sema::visitStmt(Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::VarDecl: {
+      auto& s = static_cast<VarDeclStmt&>(stmt);
+      if (s.init) visitExpr(*s.init);
+      Type t = s.declared_type
+                   ? *s.declared_type
+                   : (s.init ? inferType(*s.init)
+                             : Type{BaseType::Int, ConcKind::None});
+      s.resolved = declareVar(s.name, t, s.loc, s.qual, false);
+      if (t.isSyncLike() && s.init) {
+        module_->vars_[s.resolved.index()].sync_init_full = true;
+      }
+      break;
+    }
+    case StmtKind::Assign: {
+      auto& s = static_cast<AssignStmt&>(stmt);
+      visitExpr(*s.value);
+      auto id = lookupVar(s.target);
+      if (!id) {
+        diags_.error(s.loc, "sema",
+                     "assignment to undeclared variable '" +
+                         symText(interner_, s.target) + "'");
+        break;
+      }
+      s.resolved = *id;
+      checkAssignable(*id, s.loc);
+      const VarInfo& info = module_->var(*id);
+      if (info.type.isSyncLike() && s.op != AssignOp::Assign) {
+        diags_.error(s.loc, "sema",
+                     "compound assignment not allowed on sync/single variable");
+      }
+      if (info.type.isAtomic()) {
+        diags_.error(s.loc, "sema",
+                     "atomic variables are assigned via .write(), not '='");
+      }
+      break;
+    }
+    case StmtKind::Expr: {
+      auto& s = static_cast<ExprStmt&>(stmt);
+      visitExpr(*s.expr);
+      break;
+    }
+    case StmtKind::Begin: {
+      auto& s = static_cast<BeginStmt&>(stmt);
+      ScopeId sc = pushScope(ScopeKind::BeginTask, s.loc);
+      module_->stmt_scopes_[&stmt] = sc;
+      resolveWithItems(s.with_items, &stmt);
+      visitStmt(*s.body);
+      popScope();
+      break;
+    }
+    case StmtKind::SyncBlock: {
+      auto& s = static_cast<SyncBlockStmt&>(stmt);
+      ScopeId sc = pushScope(ScopeKind::SyncBlock, s.loc);
+      module_->stmt_scopes_[&stmt] = sc;
+      ++sync_block_depth_;
+      visitStmt(*s.body);
+      --sync_block_depth_;
+      popScope();
+      break;
+    }
+    case StmtKind::Cobegin: {
+      auto& s = static_cast<CobeginStmt&>(stmt);
+      ScopeId sc = pushScope(ScopeKind::Cobegin, s.loc);
+      module_->stmt_scopes_[&stmt] = sc;
+      resolveWithItems(s.with_items, &stmt);
+      for (auto& sub : s.stmts) visitStmt(*sub);
+      popScope();
+      break;
+    }
+    case StmtKind::Coforall: {
+      auto& s = static_cast<CoforallStmt&>(stmt);
+      visitExpr(*s.lo);
+      visitExpr(*s.hi);
+      ScopeId loop_sc = pushScope(ScopeKind::Loop, s.loc);
+      module_->stmt_scopes_[&stmt] = loop_sc;
+      s.resolved_index = declareVar(s.index, Type{BaseType::Int, ConcKind::None},
+                                    s.loc, DeclQual::Const, false);
+      pushScope(ScopeKind::Cobegin, s.loc);
+      resolveWithItems(s.with_items, &stmt);
+      // The iteration index is captured by value into each task: declare a
+      // task-local shadow and record the implicit capture.
+      s.index_shadow = declareVar(s.index, Type{BaseType::Int, ConcKind::None},
+                                  s.loc, DeclQual::Const, false);
+      VarInfo& shadow = module_->vars_[s.index_shadow.index()];
+      shadow.is_task_copy = true;
+      shadow.copied_from = s.resolved_index;
+      CaptureInfo idx_cap;
+      idx_cap.intent = TaskIntent::In;
+      idx_cap.outer = s.resolved_index;
+      idx_cap.local = s.index_shadow;
+      idx_cap.loc = s.loc;
+      module_->captures_[&stmt].push_back(idx_cap);
+      visitStmt(*s.body);
+      popScope();
+      popScope();
+      break;
+    }
+    case StmtKind::If: {
+      // Branch bodies are almost always blocks, which push their own scope;
+      // a braceless branch body shares the enclosing scope.
+      auto& s = static_cast<IfStmt&>(stmt);
+      visitExpr(*s.cond);
+      visitStmt(*s.then_body);
+      if (s.else_body) visitStmt(*s.else_body);
+      break;
+    }
+    case StmtKind::While: {
+      auto& s = static_cast<WhileStmt&>(stmt);
+      visitExpr(*s.cond);
+      visitStmt(*s.body);
+      break;
+    }
+    case StmtKind::For: {
+      auto& s = static_cast<ForStmt&>(stmt);
+      visitExpr(*s.lo);
+      visitExpr(*s.hi);
+      ScopeId sc = pushScope(ScopeKind::Loop, s.loc);
+      module_->stmt_scopes_[&stmt] = sc;
+      s.resolved_index = declareVar(s.index, Type{BaseType::Int, ConcKind::None},
+                                    s.loc, DeclQual::Const, false);
+      visitStmt(*s.body);
+      popScope();
+      break;
+    }
+    case StmtKind::Return: {
+      auto& s = static_cast<ReturnStmt&>(stmt);
+      if (s.value) visitExpr(*s.value);
+      break;
+    }
+    case StmtKind::Block: {
+      auto& s = static_cast<BlockStmt&>(stmt);
+      ScopeId sc = pushScope(ScopeKind::Block, s.loc);
+      module_->stmt_scopes_[&stmt] = sc;
+      visitBlockInCurrentScope(s);
+      popScope();
+      break;
+    }
+    case StmtKind::ProcDecl: {
+      auto& s = static_cast<ProcDeclStmt&>(stmt);
+      // Signature was declared by the enclosing block scan; analyze body.
+      analyzeProcBody(*s.proc);
+      break;
+    }
+  }
+}
+
+void Sema::visitExpr(Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::RealLit:
+    case ExprKind::BoolLit:
+    case ExprKind::StringLit:
+      break;
+    case ExprKind::Ident: {
+      auto& e = static_cast<IdentExpr&>(expr);
+      auto id = lookupVar(e.name);
+      if (!id) {
+        diags_.error(e.loc, "sema",
+                     "use of undeclared identifier '" +
+                         symText(interner_, e.name) + "'");
+        break;
+      }
+      e.resolved = *id;
+      break;
+    }
+    case ExprKind::Binary: {
+      auto& e = static_cast<BinaryExpr&>(expr);
+      visitExpr(*e.lhs);
+      visitExpr(*e.rhs);
+      break;
+    }
+    case ExprKind::Unary: {
+      auto& e = static_cast<UnaryExpr&>(expr);
+      visitExpr(*e.operand);
+      break;
+    }
+    case ExprKind::PostIncDec: {
+      auto& e = static_cast<PostIncDecExpr&>(expr);
+      auto id = lookupVar(e.name);
+      if (!id) {
+        diags_.error(e.loc, "sema",
+                     "use of undeclared identifier '" +
+                         symText(interner_, e.name) + "'");
+        break;
+      }
+      e.resolved = *id;
+      checkAssignable(*id, e.loc);
+      break;
+    }
+    case ExprKind::Call: {
+      auto& e = static_cast<CallExpr&>(expr);
+      for (auto& arg : e.args) visitExpr(*arg);
+      if (e.callee == sym_writeln_ || e.callee == sym_write_) {
+        e.is_builtin = true;
+        break;
+      }
+      auto proc = lookupProc(e.callee);
+      if (!proc) {
+        diags_.error(e.loc, "sema",
+                     "call to unknown procedure '" +
+                         symText(interner_, e.callee) + "'");
+        break;
+      }
+      e.resolved_proc = *proc;
+      const ProcInfo& pi = module_->proc(*proc);
+      if (pi.decl->params.size() != e.args.size()) {
+        diags_.error(e.loc, "sema",
+                     "wrong number of arguments to '" +
+                         symText(interner_, e.callee) + "'");
+      } else {
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          const Param& p = pi.decl->params[i];
+          bool by_ref = p.intent == ParamIntent::Ref ||
+                        p.intent == ParamIntent::ConstRef;
+          if (by_ref && e.args[i]->kind != ExprKind::Ident) {
+            diags_.error(e.args[i]->loc, "sema",
+                         "argument to 'ref' parameter must be a variable");
+          }
+        }
+      }
+      module_->call_sites_[*proc].push_back(SemaModule::CallSite{
+          currentProc(), e.loc, sync_block_depth_ > 0});
+      break;
+    }
+    case ExprKind::MethodCall: {
+      auto& e = static_cast<MethodCallExpr&>(expr);
+      for (auto& arg : e.args) visitExpr(*arg);
+      auto id = lookupVar(e.receiver);
+      if (!id) {
+        diags_.error(e.loc, "sema",
+                     "use of undeclared identifier '" +
+                         symText(interner_, e.receiver) + "'");
+        break;
+      }
+      e.resolved_receiver = *id;
+      const VarInfo& info = module_->var(*id);
+      std::string_view m = interner_.text(e.method);
+      if (info.type.isAtomic()) {
+        if (m != "read" && m != "write" && m != "waitFor" && m != "fetchAdd" &&
+            m != "add" && m != "sub" && m != "exchange") {
+          diags_.error(e.loc, "sema",
+                       "unknown atomic method '" + std::string(m) + "'");
+        }
+      } else if (info.type.conc == ConcKind::Sync) {
+        if (m != "readFE" && m != "writeEF" && m != "reset" && m != "isFull") {
+          diags_.error(e.loc, "sema",
+                       "unknown sync method '" + std::string(m) + "'");
+        }
+      } else if (info.type.conc == ConcKind::Single) {
+        if (m != "readFF" && m != "writeEF" && m != "isFull") {
+          diags_.error(e.loc, "sema",
+                       "unknown single method '" + std::string(m) + "'");
+        }
+      } else {
+        diags_.error(e.loc, "sema",
+                     "method call on non-sync, non-atomic variable '" +
+                         symText(interner_, e.receiver) + "'");
+      }
+      break;
+    }
+  }
+}
+
+Type Sema::inferType(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::IntLit: return Type{BaseType::Int, ConcKind::None};
+    case ExprKind::RealLit: return Type{BaseType::Real, ConcKind::None};
+    case ExprKind::BoolLit: return Type{BaseType::Bool, ConcKind::None};
+    case ExprKind::StringLit: return Type{BaseType::String, ConcKind::None};
+    case ExprKind::Ident: {
+      const auto& e = static_cast<const IdentExpr&>(expr);
+      if (auto id = lookupVar(e.name)) {
+        Type t = module_->var(*id).type;
+        // Reading a sync/single/atomic variable yields its base type.
+        t.conc = ConcKind::None;
+        return t;
+      }
+      return Type{BaseType::Int, ConcKind::None};
+    }
+    case ExprKind::Binary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      switch (e.op) {
+        case BinaryOp::Eq:
+        case BinaryOp::Ne:
+        case BinaryOp::Lt:
+        case BinaryOp::Le:
+        case BinaryOp::Gt:
+        case BinaryOp::Ge:
+        case BinaryOp::And:
+        case BinaryOp::Or:
+          return Type{BaseType::Bool, ConcKind::None};
+        default: {
+          Type lt = inferType(*e.lhs);
+          Type rt = inferType(*e.rhs);
+          if (lt.base == BaseType::Real || rt.base == BaseType::Real) {
+            return Type{BaseType::Real, ConcKind::None};
+          }
+          if (lt.base == BaseType::String || rt.base == BaseType::String) {
+            return Type{BaseType::String, ConcKind::None};
+          }
+          return Type{BaseType::Int, ConcKind::None};
+        }
+      }
+    }
+    case ExprKind::Unary: {
+      const auto& e = static_cast<const UnaryExpr&>(expr);
+      return e.op == UnaryOp::Not ? Type{BaseType::Bool, ConcKind::None}
+                                  : inferType(*e.operand);
+    }
+    case ExprKind::PostIncDec:
+      return Type{BaseType::Int, ConcKind::None};
+    case ExprKind::Call: {
+      const auto& e = static_cast<const CallExpr&>(expr);
+      if (auto proc = lookupProc(e.callee)) {
+        return module_->proc(*proc).decl->return_type;
+      }
+      return Type{BaseType::Void, ConcKind::None};
+    }
+    case ExprKind::MethodCall: {
+      const auto& e = static_cast<const MethodCallExpr&>(expr);
+      if (auto id = lookupVar(e.receiver)) {
+        Type t = module_->var(*id).type;
+        std::string_view m = interner_.text(e.method);
+        if (m == "isFull") return Type{BaseType::Bool, ConcKind::None};
+        t.conc = ConcKind::None;
+        return t;
+      }
+      return Type{BaseType::Int, ConcKind::None};
+    }
+  }
+  return Type{BaseType::Int, ConcKind::None};
+}
+
+}  // namespace cuaf

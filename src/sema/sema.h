@@ -1,0 +1,177 @@
+// Semantic analysis: scope tree, symbol resolution, capture analysis,
+// light type inference, and semantic checks for the mini-Chapel subset.
+//
+// Sema writes resolved ids into the AST in place and produces a SemaModule
+// with the variable/scope/procedure tables the later phases consume.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/support/diagnostics.h"
+#include "src/support/interner.h"
+
+namespace cuaf {
+
+enum class ScopeKind { Module, Proc, Block, BeginTask, SyncBlock, Loop, Cobegin };
+
+struct ScopeInfo {
+  ScopeId id;
+  ScopeId parent;      ///< invalid for the module scope
+  ScopeKind kind = ScopeKind::Block;
+  ProcId proc;         ///< enclosing procedure (invalid for module scope)
+  SourceLoc loc;
+};
+
+struct VarInfo {
+  VarId id;
+  Symbol name;
+  Type type;
+  ScopeId scope;       ///< declaring scope
+  SourceLoc loc;
+  DeclQual qual = DeclQual::Var;
+  bool is_param = false;
+  bool is_task_copy = false;  ///< shadow created by a `with (in x)` intent
+  VarId copied_from;          ///< for task copies: the captured outer var
+  bool sync_init_full = false;  ///< sync/single var explicitly initialized
+};
+
+struct ProcInfo {
+  ProcId id;
+  Symbol name;
+  ProcDecl* decl = nullptr;
+  ScopeId body_scope;
+  ProcId lexical_parent;  ///< for nested procs; invalid for top-level
+  bool is_nested = false;
+};
+
+/// Captured outer variable of a `begin` / `cobegin` task.
+struct CaptureInfo {
+  TaskIntent intent = TaskIntent::Ref;
+  VarId outer;  ///< the variable in the enclosing scope
+  VarId local;  ///< == outer for ref intents; fresh shadow for in intents
+  SourceLoc loc;
+};
+
+/// Result of semantic analysis over one Program.
+class SemaModule {
+ public:
+  [[nodiscard]] const VarInfo& var(VarId id) const { return vars_.at(id.index()); }
+  [[nodiscard]] const ScopeInfo& scope(ScopeId id) const {
+    return scopes_.at(id.index());
+  }
+  [[nodiscard]] const ProcInfo& proc(ProcId id) const {
+    return procs_.at(id.index());
+  }
+  [[nodiscard]] std::size_t varCount() const { return vars_.size(); }
+  [[nodiscard]] std::size_t scopeCount() const { return scopes_.size(); }
+  [[nodiscard]] std::size_t procCount() const { return procs_.size(); }
+
+  /// Captures recorded for a begin/cobegin statement (keyed by AST node).
+  [[nodiscard]] const std::vector<CaptureInfo>* captures(const Stmt* stmt) const {
+    auto it = captures_.find(stmt);
+    return it == captures_.end() ? nullptr : &it->second;
+  }
+
+  /// The nearest enclosing BeginTask/Cobegin scope of `s`, or invalid if the
+  /// chain reaches the proc/module scope first.
+  [[nodiscard]] ScopeId enclosingTaskScope(ScopeId s) const;
+
+  /// True if scope `inner` is lexically within `outer` (inclusive).
+  [[nodiscard]] bool scopeContains(ScopeId outer, ScopeId inner) const;
+
+  /// All top-level procedures in declaration order.
+  [[nodiscard]] const std::vector<ProcId>& topLevelProcs() const {
+    return top_level_procs_;
+  }
+
+  /// Module-scope config variables.
+  [[nodiscard]] const std::vector<VarId>& configVars() const {
+    return config_vars_;
+  }
+
+  /// Call sites of `callee` (proc ids of callers paired with whether the
+  /// call site is lexically inside a sync block).
+  struct CallSite {
+    ProcId caller;
+    SourceLoc loc;
+    bool in_sync_block = false;
+  };
+  [[nodiscard]] const std::vector<CallSite>& callSites(ProcId callee) const;
+
+  /// Scope created by a scope-introducing statement (BlockStmt, BeginStmt,
+  /// SyncBlockStmt, CobeginStmt, ForStmt), or invalid if none was recorded.
+  [[nodiscard]] ScopeId scopeOf(const Stmt* stmt) const {
+    auto it = stmt_scopes_.find(stmt);
+    return it == stmt_scopes_.end() ? ScopeId{} : it->second;
+  }
+
+  [[nodiscard]] const StringInterner& interner() const { return *interner_; }
+
+ private:
+  friend class Sema;
+  std::vector<VarInfo> vars_;
+  std::vector<ScopeInfo> scopes_;
+  std::vector<ProcInfo> procs_;
+  std::vector<ProcId> top_level_procs_;
+  std::vector<VarId> config_vars_;
+  std::unordered_map<const Stmt*, std::vector<CaptureInfo>> captures_;
+  std::unordered_map<ProcId, std::vector<CallSite>> call_sites_;
+  std::unordered_map<const Stmt*, ScopeId> stmt_scopes_;
+  const StringInterner* interner_ = nullptr;
+};
+
+class Sema {
+ public:
+  Sema(StringInterner& interner, DiagnosticEngine& diags);
+
+  /// Runs semantic analysis. The returned module references the (annotated)
+  /// program, which must outlive it. Errors are reported to the diagnostic
+  /// engine; the module is still usable for the error-free parts.
+  std::unique_ptr<SemaModule> run(Program& program);
+
+ private:
+  struct LexicalScope {
+    ScopeId id;
+    std::unordered_map<Symbol, VarId> vars;
+    std::unordered_map<Symbol, ProcId> procs;
+  };
+
+  ScopeId pushScope(ScopeKind kind, SourceLoc loc);
+  void popScope();
+  [[nodiscard]] ScopeId currentScope() const;
+  [[nodiscard]] ProcId currentProc() const;
+
+  VarId declareVar(Symbol name, Type type, SourceLoc loc, DeclQual qual,
+                   bool is_param);
+  std::optional<VarId> lookupVar(Symbol name) const;
+  std::optional<ProcId> lookupProc(Symbol name) const;
+
+  void declareProcSignature(ProcDecl& proc, bool nested);
+  void analyzeProcBody(ProcDecl& proc);
+  void visitStmt(Stmt& stmt);
+  void visitBlockInCurrentScope(BlockStmt& block);
+  void visitExpr(Expr& expr);
+  Type inferType(const Expr& expr);
+
+  void checkAssignable(VarId id, SourceLoc loc);
+  void resolveWithItems(std::vector<WithItem>& items, const Stmt* owner);
+
+  StringInterner& interner_;
+  DiagnosticEngine& diags_;
+  SemaModule* module_ = nullptr;
+  std::vector<LexicalScope> scope_stack_;
+  std::vector<ProcId> proc_stack_;
+  int sync_block_depth_ = 0;
+  Symbol sym_writeln_;
+  Symbol sym_write_;
+};
+
+/// Runs sema over `program` (convenience wrapper).
+std::unique_ptr<SemaModule> analyze(Program& program, StringInterner& interner,
+                                    DiagnosticEngine& diags);
+
+}  // namespace cuaf

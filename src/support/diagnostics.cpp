@@ -1,0 +1,55 @@
+#include "src/support/diagnostics.h"
+
+#include "src/support/source_manager.h"
+
+namespace cuaf {
+
+std::string_view severityName(Severity sev) {
+  switch (sev) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string code,
+                              std::string message) {
+  if (sev == Severity::Error) ++errors_;
+  if (sev == Severity::Warning) ++warnings_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(message), std::move(code)});
+}
+
+std::size_t DiagnosticEngine::countWithCode(std::string_view code) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+std::string DiagnosticEngine::renderAll(const SourceManager& sm) const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += sm.render(d.loc);
+    out += ": ";
+    out += severityName(d.severity);
+    out += " [";
+    out += d.code;
+    out += "]: ";
+    out += d.message;
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  errors_ = 0;
+  warnings_ = 0;
+}
+
+}  // namespace cuaf

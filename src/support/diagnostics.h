@@ -1,0 +1,65 @@
+// Diagnostics engine: collects errors/warnings/notes with source locations.
+//
+// The analysis reports potential use-after-free accesses as *warnings*, the
+// same way the paper's Chapel pass does ("reported to the user as a compiler
+// warning for manual verification").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/support/source_location.h"
+
+namespace cuaf {
+
+class SourceManager;
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+  /// Machine-readable tag, e.g. "uaf", "syntax", "loop-unsupported".
+  std::string code;
+};
+
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string code,
+              std::string message);
+
+  void error(SourceLoc loc, std::string code, std::string message) {
+    report(Severity::Error, loc, std::move(code), std::move(message));
+  }
+  void warning(SourceLoc loc, std::string code, std::string message) {
+    report(Severity::Warning, loc, std::move(code), std::move(message));
+  }
+  void note(SourceLoc loc, std::string code, std::string message) {
+    report(Severity::Note, loc, std::move(code), std::move(message));
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] std::size_t errorCount() const { return errors_; }
+  [[nodiscard]] std::size_t warningCount() const { return warnings_; }
+  [[nodiscard]] bool hasErrors() const { return errors_ > 0; }
+
+  /// Number of diagnostics carrying the given code.
+  [[nodiscard]] std::size_t countWithCode(std::string_view code) const;
+
+  /// Renders all diagnostics, one per line, "loc: severity[code]: message".
+  [[nodiscard]] std::string renderAll(const SourceManager& sm) const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+[[nodiscard]] std::string_view severityName(Severity sev);
+
+}  // namespace cuaf

@@ -1,0 +1,59 @@
+// Strong integer id wrappers used across the compiler libraries.
+//
+// Every table-indexed entity (symbols, scopes, CCFG nodes, outer-variable
+// uses, ...) gets its own id type so that ids of different tables cannot be
+// mixed up silently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace cuaf {
+
+/// CRTP-free strong id: `struct NodeId : Id<NodeId> {};`
+template <typename Tag>
+struct Id {
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  value_type value = kInvalid;
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  [[nodiscard]] constexpr value_type index() const { return value; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct SymbolTag;
+struct ScopeTag;
+struct VarTag;
+struct ProcTag;
+struct NodeTag;
+struct TaskTag;
+struct AccessTag;
+struct FileTag;
+
+using Symbol = Id<SymbolTag>;    ///< interned identifier string
+using ScopeId = Id<ScopeTag>;    ///< lexical scope
+using VarId = Id<VarTag>;        ///< declared variable
+using ProcId = Id<ProcTag>;      ///< procedure
+using NodeId = Id<NodeTag>;      ///< CCFG node
+using TaskId = Id<TaskTag>;      ///< task strand in a CCFG
+using AccessId = Id<AccessTag>;  ///< one outer-variable use site
+using FileId = Id<FileTag>;      ///< source buffer
+
+}  // namespace cuaf
+
+namespace std {
+template <typename Tag>
+struct hash<cuaf::Id<Tag>> {
+  size_t operator()(cuaf::Id<Tag> id) const noexcept {
+    return std::hash<typename cuaf::Id<Tag>::value_type>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,18 @@
+#include "src/support/interner.h"
+
+namespace cuaf {
+
+Symbol StringInterner::intern(std::string_view s) {
+  auto it = map_.find(s);
+  if (it != map_.end()) return it->second;
+  strings_.emplace_back(s);
+  Symbol sym(static_cast<Symbol::value_type>(strings_.size() - 1));
+  map_.emplace(std::string_view(strings_.back()), sym);
+  return sym;
+}
+
+std::string_view StringInterner::text(Symbol sym) const {
+  return strings_.at(sym.index());
+}
+
+}  // namespace cuaf

@@ -1,0 +1,27 @@
+// String interner: maps identifier strings to dense Symbol ids.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/support/id_types.h"
+
+namespace cuaf {
+
+class StringInterner {
+ public:
+  Symbol intern(std::string_view s);
+  [[nodiscard]] std::string_view text(Symbol sym) const;
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+ private:
+  // deque: element addresses are stable across growth, so the string_view
+  // keys in map_ (which point into stored strings, including SSO buffers)
+  // stay valid.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, Symbol> map_;
+};
+
+}  // namespace cuaf

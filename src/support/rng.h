@@ -1,0 +1,36 @@
+// Deterministic, seedable PRNG (xorshift64*): reproducible corpora and
+// schedules without global state.
+#pragma once
+
+#include <cstdint>
+
+namespace cuaf {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  std::uint64_t next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_ * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+  /// Uniform in [lo, hi] (inclusive).
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability per-mille `pm` (0..1000).
+  bool chance(unsigned pm) { return below(1000) < pm; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cuaf

@@ -1,0 +1,33 @@
+// Source locations and ranges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/id_types.h"
+
+namespace cuaf {
+
+/// A position in a source buffer. Line and column are 1-based; a
+/// default-constructed location is "unknown".
+struct SourceLoc {
+  FileId file;
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+  friend auto operator<=>(const SourceLoc&, const SourceLoc&) = default;
+};
+
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  [[nodiscard]] bool valid() const { return begin.valid(); }
+
+  friend bool operator==(const SourceRange&, const SourceRange&) = default;
+};
+
+}  // namespace cuaf

@@ -1,0 +1,63 @@
+#include "src/support/source_manager.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cuaf {
+
+FileId SourceManager::addBuffer(std::string name, std::string contents) {
+  Buffer b;
+  b.name = std::move(name);
+  b.contents = std::move(contents);
+  b.line_offsets.push_back(0);
+  for (std::size_t i = 0; i < b.contents.size(); ++i) {
+    if (b.contents[i] == '\n') b.line_offsets.push_back(i + 1);
+  }
+  buffers_.push_back(std::move(b));
+  return FileId(static_cast<FileId::value_type>(buffers_.size() - 1));
+}
+
+FileId SourceManager::addFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return addBuffer(path, ss.str());
+}
+
+std::string_view SourceManager::bufferName(FileId id) const {
+  return buffers_.at(id.index()).name;
+}
+
+std::string_view SourceManager::bufferContents(FileId id) const {
+  return buffers_.at(id.index()).contents;
+}
+
+std::string SourceManager::render(SourceLoc loc) const {
+  if (!loc.valid()) return "<unknown>";
+  std::string out;
+  if (loc.file.valid() && loc.file.index() < buffers_.size()) {
+    out += buffers_[loc.file.index()].name;
+  } else {
+    out += "<buffer>";
+  }
+  out += ':';
+  out += std::to_string(loc.line);
+  out += ':';
+  out += std::to_string(loc.column);
+  return out;
+}
+
+std::string_view SourceManager::lineText(FileId id, std::uint32_t line) const {
+  if (!id.valid() || id.index() >= buffers_.size() || line == 0) return {};
+  const Buffer& b = buffers_[id.index()];
+  if (line > b.line_offsets.size()) return {};
+  std::size_t begin = b.line_offsets[line - 1];
+  std::size_t end = (line < b.line_offsets.size()) ? b.line_offsets[line] - 1
+                                                   : b.contents.size();
+  if (end < begin) end = begin;
+  return std::string_view(b.contents).substr(begin, end - begin);
+}
+
+}  // namespace cuaf

@@ -1,0 +1,40 @@
+// SourceManager owns source buffers and renders locations for diagnostics.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/source_location.h"
+
+namespace cuaf {
+
+class SourceManager {
+ public:
+  /// Registers a buffer under `name` (usually a file path) and returns its id.
+  FileId addBuffer(std::string name, std::string contents);
+
+  /// Loads a file from disk. Throws std::runtime_error if unreadable.
+  FileId addFile(const std::string& path);
+
+  [[nodiscard]] std::string_view bufferName(FileId id) const;
+  [[nodiscard]] std::string_view bufferContents(FileId id) const;
+  [[nodiscard]] std::size_t bufferCount() const { return buffers_.size(); }
+
+  /// Renders "name:line:col".
+  [[nodiscard]] std::string render(SourceLoc loc) const;
+
+  /// Returns the text of line `line` (1-based) of buffer `id`, without the
+  /// trailing newline. Empty if out of range.
+  [[nodiscard]] std::string_view lineText(FileId id, std::uint32_t line) const;
+
+ private:
+  struct Buffer {
+    std::string name;
+    std::string contents;
+    std::vector<std::size_t> line_offsets;  // offset of start of each line
+  };
+  std::vector<Buffer> buffers_;
+};
+
+}  // namespace cuaf

@@ -1,0 +1,277 @@
+// chpl-uaf: command-line use-after-free checker for mini-Chapel sources.
+//
+// Usage:
+//   chpl-uaf [options] file.chpl...
+//     --dump-ast     print the parsed AST
+//     --dump-ir      print the lowered IR
+//     --dump-ccfg    print the CCFG (text)
+//     --dot          print the CCFG as Graphviz DOT
+//     --trace-pps    print the PPS exploration table (Figure 3/7 style)
+//     --baseline     also run the sync-block-only MHP baseline
+//     --no-prune     disable pruning rules A-D
+//     --no-merge     disable the PPS merge optimization
+//     --deadlocks    report potential deadlock points (extension)
+//
+// Exit code: 0 = clean, 1 = warnings reported, 2 = errors.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/fixer.h"
+#include "src/analysis/json_report.h"
+#include "src/analysis/pipeline.h"
+#include "src/ast/printer.h"
+#include "src/ccfg/printer.h"
+#include "src/ir/ir_printer.h"
+#include "src/runtime/explore.h"
+
+namespace {
+
+struct CliOptions {
+  bool dump_ast = false;
+  bool dump_ir = false;
+  bool dump_ccfg = false;
+  bool dot = false;
+  bool trace_pps = false;
+  bool baseline = false;
+  bool oracle = false;
+  bool json = false;
+  bool suggest_fixes = false;
+  bool fix = false;
+  std::string suite_dir;
+  cuaf::AnalysisOptions analysis;
+  std::vector<std::string> files;
+};
+
+int runFile(const CliOptions& cli, const std::string& path) {
+  std::string source;
+  {
+    cuaf::SourceManager probe;
+    try {
+      cuaf::FileId id = probe.addFile(path);
+      source = std::string(probe.bufferContents(id));
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      return 2;
+    }
+  }
+
+  cuaf::Pipeline pipeline(cli.analysis);
+  bool ok = pipeline.runSource(path, source);
+  if (!cli.json) std::cout << pipeline.renderDiagnostics();
+  if (!ok) {
+    if (cli.json) std::cout << pipeline.renderDiagnostics();
+    return 2;
+  }
+
+  if (cli.json) {
+    std::cout << cuaf::toJson(pipeline.analysis(), pipeline.sourceManager());
+    return pipeline.analysis().warningCount() > 0 ? 1 : 0;
+  }
+
+  if (cli.fix) {
+    cuaf::FixAllResult fixed = cuaf::fixAll(source, cli.analysis);
+    std::cout << "applied " << fixed.fixes_applied << " fix(es), "
+              << fixed.warnings_remaining << " warning(s) remaining\n";
+    if (fixed.fixes_applied > 0) {
+      std::cout << "---- patched source ----\n" << fixed.source;
+    }
+    return fixed.warnings_remaining > 0 ? 1 : 0;
+  }
+
+  if (cli.suggest_fixes && pipeline.analysis().warningCount() > 0) {
+    auto suggestions = cuaf::suggestFixes(
+        *pipeline.program(), pipeline.analysis(), source, cli.analysis);
+    std::cout << suggestions.size() << " fix suggestion(s):\n";
+    for (const cuaf::FixSuggestion& s : suggestions) {
+      std::cout << "  task at line " << s.task_loc.line << ": "
+                << (s.kind == cuaf::FixKind::Handshake ? "[handshake] "
+                                                       : "[fence] ")
+                << s.description
+                << (s.verified ? " (verified)" : " (NOT verified)") << '\n';
+    }
+  }
+
+  if (cli.dump_ast) {
+    cuaf::AstPrinter printer(pipeline.interner());
+    std::cout << printer.print(*pipeline.program());
+  }
+  if (cli.dump_ir) {
+    std::cout << cuaf::ir::printModule(*pipeline.module());
+  }
+  for (const cuaf::ProcAnalysis& pa : pipeline.analysis().procs) {
+    if (cli.dump_ccfg && pa.graph) {
+      std::cout << "== proc " << pa.proc_name << " ==\n"
+                << cuaf::ccfg::printGraph(*pa.graph);
+    }
+    if (cli.dot && pa.graph) {
+      std::cout << cuaf::ccfg::toDot(*pa.graph);
+    }
+    if (cli.trace_pps && pa.graph && pa.pps_result) {
+      std::cout << "== PPS trace for proc " << pa.proc_name << " ==\n"
+                << cuaf::pps::renderTrace(*pa.graph, *pa.pps_result);
+    }
+  }
+
+  if (cli.oracle) {
+    cuaf::rt::ExploreResult oracle = cuaf::rt::exploreAll(
+        *pipeline.module(), *pipeline.program(), cuaf::rt::ExploreOptions{});
+    std::cout << "oracle: " << oracle.uaf_sites.size()
+              << " dynamic use-after-free site(s) across "
+              << oracle.schedules_run << " schedule(s)"
+              << (oracle.exhaustive ? " [exhaustive]" : " [truncated]")
+              << '\n';
+    for (const cuaf::rt::UafEvent& e : oracle.uaf_sites) {
+      std::cout << "  " << pipeline.sourceManager().render(e.loc)
+                << ": dynamic UAF (" << (e.is_write ? "write" : "read")
+                << ")\n";
+    }
+  }
+
+  if (cli.baseline) {
+    cuaf::DiagnosticEngine baseline_diags;
+    cuaf::AnalysisResult baseline =
+        cuaf::runMhpBaseline(*pipeline.module(), baseline_diags);
+    std::cout << "baseline (sync-block-only MHP): "
+              << baseline.warningCount() << " warning(s) vs "
+              << pipeline.analysis().warningCount()
+              << " from the PPS analysis\n";
+  }
+
+  std::size_t warnings = pipeline.analysis().warningCount();
+  std::cout << path << ": " << warnings << " potential use-after-free "
+            << (warnings == 1 ? "access" : "accesses") << " reported\n";
+  return warnings > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int runSuite(const CliOptions& cli, const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::size_t total = 0, with_begin = 0, with_warnings = 0, warnings = 0;
+  std::size_t skipped = 0, errors = 0;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".chpl") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    std::cerr << "cannot read directory " << dir << ": " << ec.message()
+              << '\n';
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& path : files) {
+    cuaf::SourceManager probe;
+    std::string source;
+    try {
+      cuaf::FileId id = probe.addFile(path);
+      source = std::string(probe.bufferContents(id));
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      continue;
+    }
+    cuaf::Pipeline pipeline(cli.analysis);
+    ++total;
+    if (!pipeline.runSource(path, source)) {
+      ++errors;
+      std::cout << path << ": front-end errors\n";
+      continue;
+    }
+    std::size_t w = pipeline.analysis().warningCount();
+    bool begin = pipeline.analysis().hasBegin();
+    bool skip = false;
+    for (const cuaf::ProcAnalysis& pa : pipeline.analysis().procs) {
+      skip |= pa.skipped_unsupported;
+    }
+    with_begin += begin ? 1 : 0;
+    with_warnings += w > 0 ? 1 : 0;
+    warnings += w;
+    skipped += skip ? 1 : 0;
+    std::cout << path << ": " << w << " warning(s)"
+              << (skip ? " [unsupported constructs skipped]" : "") << '\n';
+  }
+  std::cout << "\nsuite summary (" << dir << "):\n"
+            << "  programs analyzed:       " << total << '\n'
+            << "  with begin tasks:        " << with_begin << '\n'
+            << "  with UAF warnings:       " << with_warnings << '\n'
+            << "  warnings reported:       " << warnings << '\n'
+            << "  skipped (unsupported):   " << skipped << '\n'
+            << "  front-end errors:        " << errors << '\n';
+  return warnings > 0 ? 1 : 0;
+}
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--dump-ast") {
+      cli.dump_ast = true;
+    } else if (arg == "--dump-ir") {
+      cli.dump_ir = true;
+    } else if (arg == "--dump-ccfg") {
+      cli.dump_ccfg = true;
+      cli.analysis.keep_artifacts = true;
+    } else if (arg == "--dot") {
+      cli.dot = true;
+      cli.analysis.keep_artifacts = true;
+    } else if (arg == "--trace-pps") {
+      cli.trace_pps = true;
+      cli.analysis.keep_artifacts = true;
+      cli.analysis.pps.record_trace = true;
+    } else if (arg == "--baseline") {
+      cli.baseline = true;
+    } else if (arg == "--oracle") {
+      cli.oracle = true;
+    } else if (arg == "--no-prune") {
+      cli.analysis.build.prune = false;
+    } else if (arg == "--no-merge") {
+      cli.analysis.pps.merge_equivalent = false;
+    } else if (arg == "--deadlocks") {
+      cli.analysis.pps.report_deadlocks = true;
+    } else if (arg == "--model-atomics") {
+      cli.analysis.build.model_atomics = true;
+    } else if (arg == "--unroll-loops") {
+      cli.analysis.build.unroll_loops = true;
+    } else if (arg == "--suite") {
+      if (i + 1 >= argc) {
+        std::cerr << "--suite needs a directory\n";
+        return 2;
+      }
+      cli.suite_dir = argv[++i];
+    } else if (arg == "--json") {
+      cli.json = true;
+    } else if (arg == "--suggest-fixes") {
+      cli.suggest_fixes = true;
+    } else if (arg == "--fix") {
+      cli.fix = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: chpl-uaf [--dump-ast|--dump-ir|--dump-ccfg|--dot|"
+                   "--trace-pps|--baseline|--oracle|--no-prune|--no-merge|"
+                   "--deadlocks|--model-atomics|--unroll-loops|--json|"
+                   "--suggest-fixes|--fix] "
+                   "file.chpl...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << '\n';
+      return 2;
+    } else {
+      cli.files.emplace_back(arg);
+    }
+  }
+  if (!cli.suite_dir.empty()) return runSuite(cli, cli.suite_dir);
+  if (cli.files.empty()) {
+    std::cerr << "no input files (see --help)\n";
+    return 2;
+  }
+  int worst = 0;
+  for (const std::string& f : cli.files) {
+    worst = std::max(worst, runFile(cli, f));
+  }
+  return worst;
+}

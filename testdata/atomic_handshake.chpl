@@ -1,0 +1,12 @@
+/* Atomic-based synchronization: dynamically safe, but the paper-faithful
+   analysis cannot model it (run with --model-atomics to discharge). */
+proc atomicHandshake() {
+  var data: int = 0;
+  var ready: atomic int;
+  begin with (ref data) {
+    data = 42;
+    ready.add(1);
+  }
+  ready.waitFor(1);
+  writeln(data);
+}

@@ -1,0 +1,9 @@
+/* coforall extension: per-iteration tasks with an implicit join.
+   Run with --unroll-loops to analyze statically. */
+proc reduce() {
+  var total: int = 0;
+  coforall i in 1..4 with (ref total) {
+    total += i;
+  }
+  writeln(total);
+}

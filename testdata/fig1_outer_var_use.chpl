@@ -1,0 +1,21 @@
+/* Paper Figure 1: three tasks with outer-variable accesses. The access of x
+   inside Task B may happen after the parent task exited. */
+proc outerVarUse() {
+  var x: int = 10;
+  var doneA$: sync bool;
+  begin with (ref x) {          // TASK A
+    writeln(x++);               // safe access
+    var doneB$: sync bool;
+    begin with (ref x) {        // TASK B
+      writeln(x);               // potentially dangerous access
+      doneB$ = true;
+    }
+    writeln(x);                 // safe access
+    doneA$ = true;
+    doneB$;
+  }
+  doneA$;
+  begin with (in x) {           // TASK C
+    writeln(x);
+  }
+}

@@ -1,0 +1,21 @@
+/* Figure 1 variant with lines 14/15 swapped: the wait chain
+   B -> A -> parent makes every access of x safe. */
+proc outerVarUseSwapped() {
+  var x: int = 10;
+  var doneA$: sync bool;
+  begin with (ref x) {          // TASK A
+    writeln(x++);
+    var doneB$: sync bool;
+    begin with (ref x) {        // TASK B
+      writeln(x);
+      doneB$ = true;
+    }
+    writeln(x);
+    doneB$;
+    doneA$ = true;
+  }
+  doneA$;
+  begin with (in x) {           // TASK C
+    writeln(x);
+  }
+}

@@ -1,0 +1,18 @@
+/* Paper Figure 6: branch inside Task A; taking the IF branch makes the
+   access of x in Task B potentially dangerous. */
+config const flag = true;
+proc multipleUse() {
+  var x: int = 10;
+  var done$: sync bool;
+  begin with (ref x) {          // Task A
+    if (flag) {
+      begin with (ref x) {      // Task B
+        writeln(x);
+        done$ = true;
+        done$;
+      }
+    }
+    done$ = true;
+  }
+  done$;
+}

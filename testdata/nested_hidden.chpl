@@ -1,0 +1,11 @@
+/* Hidden outer-variable access via a nested procedure called from a
+   fire-and-forget task (the paper's second contribution). */
+proc nestedHidden() {
+  var counter: int = 0;
+  proc tick() {
+    counter += 1;
+  }
+  begin {
+    tick();
+  }
+}

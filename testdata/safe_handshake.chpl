@@ -1,0 +1,11 @@
+/* Correct point-to-point synchronization: no warnings. */
+proc safeHandshake() {
+  var value: int = 0;
+  var done$: sync bool;
+  begin with (ref value) {
+    value = 7;
+    done$ = true;
+  }
+  done$;
+  writeln(value);
+}

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/pipeline.h"
+#include "src/corpus/curated.h"
+
+namespace cuaf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Integration: every curated program produces exactly the expected verdicts.
+// ---------------------------------------------------------------------------
+
+class CuratedCase : public ::testing::TestWithParam<corpus::CuratedProgram> {};
+
+TEST_P(CuratedCase, WarningCountMatches) {
+  const corpus::CuratedProgram& p = GetParam();
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource(p.name, p.source))
+      << pipeline.renderDiagnostics();
+  EXPECT_EQ(pipeline.analysis().warningCount(), p.expected_warnings)
+      << pipeline.renderDiagnostics();
+}
+
+TEST_P(CuratedCase, BeginDetectionMatches) {
+  const corpus::CuratedProgram& p = GetParam();
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource(p.name, p.source));
+  EXPECT_EQ(pipeline.analysis().hasBegin(), p.has_begin);
+}
+
+TEST_P(CuratedCase, UnsupportedFlagMatches) {
+  const corpus::CuratedProgram& p = GetParam();
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource(p.name, p.source));
+  bool skipped = false;
+  for (const ProcAnalysis& pa : pipeline.analysis().procs) {
+    skipped |= pa.skipped_unsupported;
+  }
+  EXPECT_EQ(skipped, p.expect_unsupported);
+}
+
+TEST_P(CuratedCase, WarningsEmittedToDiagnostics) {
+  const corpus::CuratedProgram& p = GetParam();
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource(p.name, p.source));
+  EXPECT_EQ(pipeline.diags().countWithCode("uaf"), p.expected_warnings);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Curated, CuratedCase, ::testing::ValuesIn(corpus::curatedPrograms()),
+    [](const ::testing::TestParamInfo<corpus::CuratedProgram>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Checker-level behaviours
+// ---------------------------------------------------------------------------
+
+TEST(Checker, WarningMessageNamesVariable) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource("t.chpl", R"(proc p() {
+  var answer = 1;
+  begin with (ref answer) { writeln(answer); }
+})"));
+  auto warnings = pipeline.analysis().allWarnings();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0]->message().find("'answer'"), std::string::npos);
+  EXPECT_NE(warnings[0]->message().find("use-after-free"), std::string::npos);
+  EXPECT_TRUE(warnings[0]->access_loc.valid());
+  EXPECT_TRUE(warnings[0]->decl_loc.valid());
+}
+
+TEST(Checker, MultipleProcsAnalyzedIndependently) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource("t.chpl", R"(proc bad() {
+  var x = 1;
+  begin with (ref x) { writeln(x); }
+}
+proc good() {
+  var y = 1;
+  sync { begin with (ref y) { writeln(y); } }
+})"));
+  const auto& procs = pipeline.analysis().procs;
+  ASSERT_EQ(procs.size(), 2u);
+  EXPECT_EQ(procs[0].warnings.size(), 1u);
+  EXPECT_EQ(procs[1].warnings.size(), 0u);
+}
+
+TEST(Checker, NestedProcsNotAnalyzedAsRoots) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource("t.chpl", R"(proc p() {
+  var x = 1;
+  proc inner() { writeln(x); }
+  inner();
+})"));
+  EXPECT_EQ(pipeline.analysis().procs.size(), 1u);
+}
+
+TEST(Checker, KeepArtifactsExposesGraphAndTrace) {
+  AnalysisOptions opts;
+  opts.keep_artifacts = true;
+  opts.pps.record_trace = true;
+  Pipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.runSource("t.chpl", R"(proc p() {
+  var x = 1;
+  var d$: sync bool;
+  begin with (ref x) { writeln(x); d$ = true; }
+  d$;
+})"));
+  const auto& pa = pipeline.analysis().procs[0];
+  ASSERT_NE(pa.graph, nullptr);
+  ASSERT_NE(pa.pps_result, nullptr);
+  EXPECT_FALSE(pa.pps_result->trace.empty());
+  EXPECT_GT(pa.ccfg_nodes, 0u);
+  EXPECT_EQ(pa.ccfg_tasks, 2u);
+}
+
+TEST(Checker, StatsPopulatedWithoutArtifacts) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource("t.chpl", R"(proc p() {
+  var x = 1;
+  begin with (ref x) { writeln(x); }
+})"));
+  const auto& pa = pipeline.analysis().procs[0];
+  EXPECT_EQ(pa.graph, nullptr);
+  EXPECT_GT(pa.ccfg_nodes, 0u);
+  EXPECT_GT(pa.pps_states, 0u);
+}
+
+TEST(Checker, FrontEndErrorStopsAnalysis) {
+  Pipeline pipeline;
+  EXPECT_FALSE(pipeline.runSource("t.chpl", "proc p() { var x = ; }"));
+  EXPECT_TRUE(pipeline.diags().hasErrors());
+}
+
+// ---------------------------------------------------------------------------
+// MHP baseline comparison (paper §VI)
+// ---------------------------------------------------------------------------
+
+TEST(MhpBaseline, FlagsPointToPointSyncedPrograms) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource("t.chpl", R"(proc p() {
+  var x = 0;
+  var d$: sync bool;
+  begin with (ref x) { x = 42; d$ = true; }
+  d$;
+})"));
+  // The PPS analysis proves the access safe; the baseline cannot.
+  EXPECT_EQ(pipeline.analysis().warningCount(), 0u);
+  DiagnosticEngine diags;
+  AnalysisResult baseline = runMhpBaseline(*pipeline.module(), diags);
+  EXPECT_EQ(baseline.warningCount(), 1u);
+}
+
+TEST(MhpBaseline, AgreesOnSyncBlockPrograms) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource("t.chpl", R"(proc p() {
+  var x = 0;
+  sync { begin with (ref x) { x = 42; } }
+})"));
+  EXPECT_EQ(pipeline.analysis().warningCount(), 0u);
+  DiagnosticEngine diags;
+  AnalysisResult baseline = runMhpBaseline(*pipeline.module(), diags);
+  EXPECT_EQ(baseline.warningCount(), 0u);
+}
+
+TEST(MhpBaseline, NeverFewerWarningsThanChecker) {
+  // The baseline ignores point-to-point sync, so its warning set is a
+  // superset on every curated program.
+  for (const auto& p : corpus::curatedPrograms()) {
+    Pipeline pipeline;
+    ASSERT_TRUE(pipeline.runSource(p.name, p.source));
+    DiagnosticEngine diags;
+    AnalysisResult baseline = runMhpBaseline(*pipeline.module(), diags);
+    EXPECT_GE(baseline.warningCount(), pipeline.analysis().warningCount())
+        << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace cuaf

@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/ccfg/printer.h"
+#include "tests/test_util.h"
+
+namespace cuaf {
+namespace {
+
+using test::Fixture;
+
+const char* kFig1 = R"(proc outerVarUse() {
+  var x: int = 10;
+  var doneA$: sync bool;
+  begin with (ref x) {
+    writeln(x++);
+    var doneB$: sync bool;
+    begin with (ref x) {
+      writeln(x);
+      doneB$ = true;
+    }
+    writeln(x);
+    doneA$ = true;
+    doneB$;
+  }
+  doneA$;
+  begin with (in x) {
+    writeln(x);
+  }
+}
+)";
+
+std::size_t syncNodeCount(const ccfg::Graph& g) {
+  std::size_t n = 0;
+  for (const auto& node : g.nodes()) n += node.isSyncNode() ? 1 : 0;
+  return n;
+}
+
+std::size_t liveAccessCount(const ccfg::Graph& g) {
+  std::size_t n = 0;
+  for (const auto& a : g.accesses()) n += a.pre_safe ? 0 : 1;
+  return n;
+}
+
+TEST(Ccfg, Fig1Shape) {
+  auto f = Fixture::lower(kFig1);
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  // Four tasks: root, A, B, C.
+  EXPECT_EQ(g->taskCount(), 4u);
+  // Four sync ops: writeEF doneB$, writeEF doneA$, readFE doneB$, readFE doneA$.
+  EXPECT_EQ(syncNodeCount(*g), 4u);
+  // Accesses: line5 (x++), line8-ish (x in B), line11 (x in A). Task C's use
+  // reads its in-copy, which is not an outer access.
+  EXPECT_EQ(g->accessCount(), 3u);
+}
+
+TEST(Ccfg, Fig1TaskCPrunedByRuleA) {
+  auto f = Fixture::lower(kFig1);
+  auto g = f.buildCcfg();
+  std::size_t pruned = 0;
+  char rule = 0;
+  for (const auto& t : g->tasks()) {
+    if (t.pruned) {
+      ++pruned;
+      rule = t.prune_rule;
+    }
+  }
+  EXPECT_EQ(pruned, 1u);
+  EXPECT_EQ(rule, 'A');
+}
+
+TEST(Ccfg, Fig1ParallelFrontierIsParentReadFE) {
+  auto f = Fixture::lower(kFig1);
+  auto g = f.buildCcfg();
+  // Find the variable x.
+  VarId x;
+  for (const auto& [var, pf] : g->parallelFrontiers()) {
+    if (g->varName(var) == "x") x = var;
+  }
+  ASSERT_TRUE(x.valid());
+  const auto* pf = g->parallelFrontier(x);
+  ASSERT_NE(pf, nullptr);
+  ASSERT_EQ(pf->size(), 1u);
+  const ccfg::Node& n = g->node((*pf)[0]);
+  ASSERT_TRUE(n.sync.has_value());
+  EXPECT_EQ(n.sync->op, ccfg::SyncOp::ReadFE);
+  EXPECT_EQ(g->varName(n.sync->var), "doneA$");
+  EXPECT_EQ(n.task, g->rootTask());
+}
+
+TEST(Ccfg, OwnerTaskRecorded) {
+  auto f = Fixture::lower(kFig1);
+  auto g = f.buildCcfg();
+  for (const auto& a : g->accesses()) {
+    const auto* scope = g->varScope(a.var);
+    ASSERT_NE(scope, nullptr);
+    EXPECT_EQ(scope->owner_task, g->rootTask());
+    EXPECT_NE(a.task, g->rootTask());  // outer accesses are in child strands
+  }
+}
+
+TEST(Ccfg, SyncNodeHasAtMostOneSyncOp) {
+  auto f = Fixture::lower(kFig1);
+  auto g = f.buildCcfg();
+  for (const auto& n : g->nodes()) {
+    // By construction each node holds <= 1 sync op; check sync nodes have
+    // exactly one control successor (the op closes the node).
+    if (n.isSyncNode()) {
+      EXPECT_EQ(n.succs.size(), 1u);
+    }
+  }
+}
+
+TEST(Ccfg, BranchNodesForkControlEdges) {
+  auto f = Fixture::lower(R"(config const c = true;
+proc p() {
+  var x = 1;
+  var d$: sync bool;
+  begin with (ref x) { writeln(x); d$ = true; }
+  if (c) { writeln(1); } else { writeln(2); }
+  d$;
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  bool found_fork = false;
+  for (const auto& n : g->nodes()) {
+    if (n.succs.size() == 2) found_fork = true;
+  }
+  EXPECT_TRUE(found_fork);
+}
+
+TEST(Ccfg, PruneRuleB_SyncBlockFence) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  sync {
+    begin with (ref x) { writeln(x); }
+  }
+})");
+  auto g = f.buildCcfg();
+  ASSERT_EQ(g->taskCount(), 2u);
+  EXPECT_TRUE(g->task(TaskId(1)).pruned);
+  EXPECT_EQ(g->task(TaskId(1)).prune_rule, 'B');
+  EXPECT_EQ(liveAccessCount(*g), 0u);
+}
+
+TEST(Ccfg, PruneRuleD_NoOwnOvNestedSafe) {
+  // The outer task only touches its own locals (an `in` copy of an outer
+  // variable would itself be an outer access at spawn, so the inner task
+  // copies a variable local to the outer task instead).
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  begin {
+    var local = 2;
+    writeln(local);
+    begin with (in local) { writeln(local); }
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  // Inner task pruned (A: in-copy only), outer pruned (D: no own OV).
+  EXPECT_TRUE(g->task(TaskId(1)).pruned);
+  EXPECT_TRUE(g->task(TaskId(2)).pruned);
+  EXPECT_EQ(g->task(TaskId(2)).prune_rule, 'A');
+  EXPECT_EQ(g->task(TaskId(1)).prune_rule, 'D');
+}
+
+TEST(Ccfg, NoPruningWhenTaskHasUnfencedOv) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  begin with (ref x) { writeln(x); }
+})");
+  auto g = f.buildCcfg();
+  EXPECT_FALSE(g->task(TaskId(1)).pruned);
+  EXPECT_EQ(liveAccessCount(*g), 1u);
+}
+
+TEST(Ccfg, SharedSyncVarBlocksPruning) {
+  // The fenced task signals a sync variable the *outer* task waits on;
+  // pruning it would change the PPS exploration, so it must stay.
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  var d$: sync bool;
+  begin with (ref x) {
+    d$;
+    writeln(x);
+  }
+  sync {
+    begin {
+      d$ = true;
+    }
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  // The fenced signalling task shares d$ with the unfenced waiter.
+  std::size_t pruned = 0;
+  for (const auto& t : g->tasks()) pruned += t.pruned ? 1 : 0;
+  EXPECT_EQ(pruned, 0u);
+}
+
+TEST(Ccfg, NestedFunctionInlining) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  proc helper() { writeln(x); }
+  begin { helper(); }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  EXPECT_EQ(g->stats().inlined_calls, 1u);
+  // The hidden access is attributed to the begin task.
+  ASSERT_EQ(g->accessCount(), 1u);
+  EXPECT_NE(g->access(AccessId(0)).task, g->rootTask());
+  EXPECT_EQ(g->varName(g->access(AccessId(0)).var), "x");
+}
+
+TEST(Ccfg, InliningAtMultipleCallSitesDuplicatesAccesses) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  proc helper() { writeln(x); }
+  begin { helper(); }
+  begin { helper(); }
+})");
+  auto g = f.buildCcfg();
+  EXPECT_EQ(g->stats().inlined_calls, 2u);
+  EXPECT_EQ(g->accessCount(), 2u);
+}
+
+TEST(Ccfg, RecursionCutoff) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  proc rec() { writeln(x); rec(); }
+  begin { rec(); }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  EXPECT_GE(g->stats().recursion_cutoffs, 1u);
+  // Terminates and still sees the access at least once.
+  EXPECT_GE(g->accessCount(), 1u);
+}
+
+TEST(Ccfg, InlineValueParamsBecomeClones) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  proc use(v: int) { writeln(v); }
+  begin { use(x); }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  // The access inside `use` reads the by-value parameter clone, which is
+  // task-local; only the argument evaluation reads x (in the begin task).
+  ASSERT_EQ(g->accessCount(), 1u);
+  EXPECT_EQ(g->varName(g->access(AccessId(0)).var), "x");
+}
+
+TEST(Ccfg, InlineRefParamsSubstituteActual) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  proc bump(ref v: int) { v += 1; }
+  begin { bump(x); }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  bool found_write_to_x = false;
+  for (const auto& a : g->accesses()) {
+    if (g->varName(a.var) == "x" && a.is_write) found_write_to_x = true;
+  }
+  EXPECT_TRUE(found_write_to_x);
+}
+
+TEST(Ccfg, UnsupportedLoopMarksGraph) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  for i in 1..3 {
+    begin with (ref x) { writeln(x); }
+  }
+})");
+  auto g = f.buildCcfg();
+  EXPECT_TRUE(g->unsupported());
+  EXPECT_EQ(f.diags.countWithCode("unsupported-loop"), 1u);
+}
+
+TEST(Ccfg, SubsumedLoopAccessesLandInOneNode) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  var d$: sync bool;
+  begin with (ref x) {
+    for i in 1..3 { x += i; }
+    d$ = true;
+  }
+  d$;
+})");
+  auto g = f.buildCcfg();
+  EXPECT_FALSE(g->unsupported());
+  EXPECT_EQ(g->stats().subsumed_loops, 1u);
+  EXPECT_EQ(g->accessCount(), 1u);
+}
+
+TEST(Ccfg, SyncedScopeRootMarksParamAccessesSafe) {
+  auto f = Fixture::lower(R"(proc worker(ref x: int) {
+  begin with (ref x) { writeln(x); }
+}
+proc caller() {
+  var v = 1;
+  sync { worker(v); }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  ProcId worker = f.program->procs[0]->id;
+  auto g = ccfg::buildGraph(*f.module, worker, f.diags, {});
+  ASSERT_EQ(g->accessCount(), 1u);
+  EXPECT_TRUE(g->access(AccessId(0)).pre_safe);
+}
+
+TEST(Ccfg, UnsyncedCallSiteKeepsParamAccessesLive) {
+  auto f = Fixture::lower(R"(proc worker(ref x: int) {
+  begin with (ref x) { writeln(x); }
+}
+proc caller() {
+  var v = 1;
+  worker(v);
+})");
+  ProcId worker = f.program->procs[0]->id;
+  auto g = ccfg::buildGraph(*f.module, worker, f.diags, {});
+  ASSERT_EQ(g->accessCount(), 1u);
+  EXPECT_FALSE(g->access(AccessId(0)).pre_safe);
+}
+
+TEST(Ccfg, PruningDisabledViaOptions) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  sync { begin with (ref x) { writeln(x); } }
+})");
+  ccfg::BuildOptions opts;
+  opts.prune = false;
+  auto g = f.buildCcfg(opts);
+  EXPECT_FALSE(g->task(TaskId(1)).pruned);
+  EXPECT_EQ(liveAccessCount(*g), 1u);
+}
+
+TEST(Ccfg, DotExportContainsStructure) {
+  auto f = Fixture::lower(kFig1);
+  auto g = f.buildCcfg();
+  std::string dot = ccfg::toDot(*g);
+  EXPECT_NE(dot.find("digraph ccfg"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // begin edge
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);  // sync node
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);  // PF node
+}
+
+TEST(Ccfg, PrintGraphMentionsPF) {
+  auto f = Fixture::lower(kFig1);
+  auto g = f.buildCcfg();
+  std::string text = ccfg::printGraph(*g);
+  EXPECT_NE(text.find("PF(x)"), std::string::npos);
+  EXPECT_NE(text.find("PRUNED(rule A)"), std::string::npos);
+}
+
+TEST(Ccfg, PredsMatchSuccs) {
+  auto f = Fixture::lower(kFig1);
+  auto g = f.buildCcfg();
+  for (const auto& n : g->nodes()) {
+    for (NodeId s : n.succs) {
+      const auto& preds = g->node(s).preds;
+      EXPECT_NE(std::find(preds.begin(), preds.end(), n.id), preds.end());
+    }
+  }
+}
+
+TEST(Ccfg, ConfigVarsAreNotOuterAccesses) {
+  auto f = Fixture::lower(R"(config const k = 5;
+proc p() {
+  begin { writeln(k); }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  EXPECT_EQ(g->accessCount(), 0u);
+}
+
+TEST(Ccfg, InIntentCopyReadHappensInSpawningStrand) {
+  // `begin with (in x)` inside another begin: the copy read is an access of
+  // the *outer* begin task.
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  begin {
+    begin with (in x) { writeln(x); }
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  ASSERT_EQ(g->accessCount(), 1u);
+  EXPECT_EQ(g->access(AccessId(0)).task, TaskId(1));  // the outer begin task
+}
+
+TEST(Ccfg, WriteAccessFlagged) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  begin with (ref x) { x = 5; }
+})");
+  auto g = f.buildCcfg();
+  ASSERT_EQ(g->accessCount(), 1u);
+  EXPECT_TRUE(g->access(AccessId(0)).is_write);
+}
+
+}  // namespace
+}  // namespace cuaf

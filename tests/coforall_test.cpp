@@ -1,0 +1,197 @@
+// Tests for the coforall extension: one task per iteration with an implicit
+// join; the loop index is captured by value into each task.
+#include <gtest/gtest.h>
+
+#include "src/analysis/pipeline.h"
+#include "src/ast/printer.h"
+#include "src/ir/ir_printer.h"
+#include "src/runtime/explore.h"
+#include "tests/test_util.h"
+
+namespace cuaf {
+namespace {
+
+using test::Fixture;
+
+AnalysisOptions unrollOpts() {
+  AnalysisOptions opts;
+  opts.build.unroll_loops = true;
+  return opts;
+}
+
+TEST(Coforall, Parses) {
+  auto f = Fixture::parse(R"(proc p() {
+  var t = 0;
+  coforall i in 1..4 with (ref t) {
+    t += i;
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto* co = f.program->procs[0]->body->stmts[1]->as<CoforallStmt>();
+  ASSERT_NE(co, nullptr);
+  EXPECT_EQ(co->with_items.size(), 1u);
+}
+
+TEST(Coforall, PrintsRoundTrip) {
+  auto f = Fixture::parse(
+      "proc p() { var t = 0; coforall i in 1..4 with (ref t) { t += i; } }");
+  ASSERT_FALSE(f.diags.hasErrors());
+  AstPrinter printer(f.interner);
+  std::string printed = printer.print(*f.program);
+  EXPECT_NE(printed.find("coforall i in 1..4 with (ref t)"),
+            std::string::npos);
+  auto f2 = Fixture::parse(printed);
+  EXPECT_FALSE(f2.diags.hasErrors()) << printed;
+}
+
+TEST(Coforall, IndexIsTaskLocalShadow) {
+  auto f = Fixture::analyze(R"(proc p() {
+  coforall i in 1..3 {
+    writeln(i);
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto* co = f.program->procs[0]->body->stmts[0]->as<CoforallStmt>();
+  ASSERT_NE(co, nullptr);
+  EXPECT_TRUE(co->resolved_index.valid());
+  EXPECT_TRUE(co->index_shadow.valid());
+  EXPECT_NE(co->resolved_index, co->index_shadow);
+  EXPECT_TRUE(f.sema->var(co->index_shadow).is_task_copy);
+}
+
+TEST(Coforall, LowersToFencedLoopOfTasks) {
+  auto f = Fixture::lower(R"(proc p() {
+  var t = 0;
+  coforall i in 1..4 with (ref t) {
+    t += i;
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const ir::Proc* proc = f.module->procs[0].get();
+  const auto& body = proc->body->body;
+  ASSERT_EQ(body.size(), 2u);
+  ASSERT_EQ(body[1]->kind, ir::StmtKind::SyncBlock);
+  ASSERT_EQ(body[1]->body.size(), 1u);
+  const ir::Stmt& loop = *body[1]->body[0];
+  EXPECT_EQ(loop.kind, ir::StmtKind::Loop);
+  EXPECT_TRUE(loop.loop_is_for);
+  EXPECT_TRUE(loop.loop_has_sync_or_begin);
+  ASSERT_EQ(loop.body.size(), 1u);
+  const ir::Stmt& task = *loop.body[0];
+  EXPECT_EQ(task.kind, ir::StmtKind::Begin);
+  // Captures: `ref t` plus the implicit `in i`.
+  EXPECT_EQ(task.captures.size(), 2u);
+}
+
+TEST(Coforall, UnsupportedWithoutUnrolling) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource("t", R"(proc p() {
+  var t = 0;
+  coforall i in 1..4 with (ref t) { t += i; }
+})"));
+  EXPECT_TRUE(pipeline.analysis().procs[0].skipped_unsupported);
+}
+
+TEST(Coforall, UnrolledAnalysisProvesSafe) {
+  Pipeline pipeline(unrollOpts());
+  ASSERT_TRUE(pipeline.runSource("t", R"(proc p() {
+  var t = 0;
+  coforall i in 1..4 with (ref t) { t += i; }
+  writeln(t);
+})"));
+  EXPECT_FALSE(pipeline.analysis().procs[0].skipped_unsupported);
+  EXPECT_EQ(pipeline.analysis().warningCount(), 0u);
+}
+
+TEST(Coforall, RuntimeJoinsAllTasks) {
+  Fixture f = Fixture::lower(R"(proc p() {
+  var t = 0;
+  coforall i in 1..4 with (ref t) { t += i; }
+  writeln(t);
+})");
+  ASSERT_FALSE(f.diags.hasErrors());
+  rt::ExploreResult oracle = rt::exploreAll(*f.module, *f.program, {});
+  EXPECT_TRUE(oracle.uaf_sites.empty());
+  EXPECT_EQ(oracle.deadlock_schedules, 0u);
+}
+
+TEST(Coforall, EscapingTaskInsideStillCaught) {
+  // A fire-and-forget begin nested inside the coforall body escapes the
+  // join only if it outlives the fence — the sync block fences transitively,
+  // so it is safe; but an access to a coforall-body local from that begin
+  // after the body scope dies is a real UAF the oracle can see.
+  Fixture f = Fixture::lower(R"(proc p() {
+  var t = 0;
+  coforall i in 1..2 with (ref t) {
+    var local = i;
+    begin with (ref local) {
+      writeln(local);
+    }
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  rt::ExploreResult oracle = rt::exploreAll(*f.module, *f.program, {});
+  // The nested begin is fenced by the coforall's implicit sync region
+  // (transitive), so `local` is still alive when it runs... but `local`
+  // dies when the *iteration task* finishes, which can precede the nested
+  // begin's access: a real race.
+  EXPECT_FALSE(oracle.uaf_sites.empty());
+}
+
+TEST(Coforall, WritelnCountMatchesIterations) {
+  Fixture f = Fixture::lower(R"(proc p() {
+  coforall i in 1..5 {
+    writeln(i);
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors());
+  rt::Interp interp(*f.module, *f.program, nullptr);
+  interp.start(f.program->procs[0]->id);
+  // Round-robin everything to completion.
+  bool progress = true;
+  while (!interp.allFinished() && progress) {
+    progress = false;
+    for (std::size_t t = 0; t < interp.taskCount(); ++t) {
+      if (!interp.taskFinished(t) && interp.canStep(t)) {
+        interp.step(t);
+        progress = true;
+      }
+    }
+  }
+  EXPECT_TRUE(interp.allFinished());
+  EXPECT_EQ(interp.writelnCount(), 5u);
+  EXPECT_TRUE(interp.events().empty());
+}
+
+TEST(Coforall, IndexValuesAreDistinctPerTask) {
+  // If every task saw the same (final) index the sum would be 4+4 = wrong;
+  // correct per-iteration capture yields 1+2+3+4 = 10, observable via a
+  // conditional deadlock trick.
+  Fixture f = Fixture::lower(R"(proc p() {
+  var t = 0;
+  coforall i in 1..4 with (ref t) { t += i; }
+  if (t != 10) {
+    var never$: sync bool;
+    never$;
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors());
+  rt::ExploreResult oracle = rt::exploreAll(*f.module, *f.program, {});
+  EXPECT_EQ(oracle.deadlock_schedules, 0u);
+}
+
+TEST(Coforall, SemaErrorsOnBadWithClause) {
+  auto f = Fixture::analyze("proc p() { coforall i in 1..3 with (ref nope) { } }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Coforall, IndexNotVisibleAfterLoop) {
+  auto f = Fixture::analyze(R"(proc p() {
+  coforall i in 1..3 { writeln(i); }
+  writeln(i);
+})");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+}  // namespace
+}  // namespace cuaf

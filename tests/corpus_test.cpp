@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/pipeline.h"
+#include "src/corpus/runner.h"
+
+namespace cuaf {
+namespace {
+
+TEST(Generator, DeterministicForSeed) {
+  corpus::ProgramGenerator a(99), b(99);
+  for (int i = 0; i < 50; ++i) {
+    corpus::GeneratedProgram pa = a.next();
+    corpus::GeneratedProgram pb = b.next();
+    EXPECT_EQ(pa.source, pb.source);
+    EXPECT_EQ(pa.name, pb.name);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  corpus::ProgramGenerator a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    if (a.next().source != b.next().source) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// Every generated program must be front-end clean: parse, sema, lowering.
+class GeneratorValidity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorValidity, ProgramsAreWellFormed) {
+  corpus::ProgramGenerator gen(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+    Pipeline pipeline;
+    EXPECT_TRUE(pipeline.runSource(p.name, p.source))
+        << p.source << "\n" << pipeline.renderDiagnostics();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorValidity,
+                         ::testing::Values(1, 7, 42, 20170529, 987654321));
+
+TEST(Generator, BeginRateRoughlyCalibrated) {
+  corpus::GeneratorOptions opts;
+  corpus::ProgramGenerator gen(2024, opts);
+  int with_begin = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.next().has_begin) ++with_begin;
+  }
+  // 4.3% +- 2% absolute.
+  EXPECT_GT(with_begin, n * 2 / 100);
+  EXPECT_LT(with_begin, n * 7 / 100);
+}
+
+TEST(Generator, IntendedMetadataConsistent) {
+  corpus::ProgramGenerator gen(5);
+  for (int i = 0; i < 500; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+    if (!p.has_begin) {
+      EXPECT_EQ(p.intended_unsafe_tasks, 0u);
+      EXPECT_EQ(p.intended_fp_tasks, 0u);
+    }
+  }
+}
+
+TEST(Curated, AllProgramsFrontEndClean) {
+  for (const auto& p : corpus::curatedPrograms()) {
+    Pipeline pipeline;
+    EXPECT_TRUE(pipeline.runSource(p.name, p.source))
+        << p.name << "\n" << pipeline.renderDiagnostics();
+  }
+}
+
+TEST(Curated, FindByName) {
+  EXPECT_NE(corpus::findCurated("paper_fig1"), nullptr);
+  EXPECT_NE(corpus::findCurated("paper_fig6"), nullptr);
+  EXPECT_EQ(corpus::findCurated("no_such_program"), nullptr);
+}
+
+TEST(Curated, HasAtLeastTwentyPrograms) {
+  EXPECT_GE(corpus::curatedPrograms().size(), 20u);
+}
+
+TEST(Runner, SingleProgramOutcome) {
+  corpus::RunnerOptions opts;
+  corpus::ProgramOutcome o = corpus::runProgram("t", R"(proc p() {
+  var x = 1;
+  begin with (ref x) { writeln(x); }
+})",
+                                                opts);
+  EXPECT_TRUE(o.parse_ok);
+  EXPECT_TRUE(o.has_begin);
+  EXPECT_EQ(o.warnings, 1u);
+  EXPECT_EQ(o.true_positives, 1u);
+}
+
+TEST(Runner, OracleClassificationOptional) {
+  corpus::RunnerOptions opts;
+  opts.classify_with_oracle = false;
+  corpus::ProgramOutcome o = corpus::runProgram("t", R"(proc p() {
+  var x = 1;
+  begin with (ref x) { writeln(x); }
+})",
+                                                opts);
+  EXPECT_EQ(o.warnings, 1u);
+  EXPECT_EQ(o.true_positives, 0u);  // not classified
+}
+
+TEST(Runner, SmallCorpusStatsShape) {
+  corpus::GeneratorOptions gen;
+  corpus::RunnerOptions run;
+  corpus::Table1Stats stats = corpus::runCorpus(20170529, 300, gen, run);
+  EXPECT_EQ(stats.total_cases, 300u + corpus::curatedPrograms().size());
+  EXPECT_GT(stats.cases_with_begin, 0u);
+  EXPECT_GT(stats.warnings_reported, 0u);
+  EXPECT_GE(stats.warnings_reported, stats.true_positives);
+  EXPECT_GE(stats.cases_with_begin, stats.cases_with_warnings);
+}
+
+TEST(Runner, RenderContainsPaperReference) {
+  corpus::Table1Stats stats;
+  stats.total_cases = 100;
+  stats.warnings_reported = 10;
+  stats.true_positives = 5;
+  std::string out = stats.render();
+  EXPECT_NE(out.find("5127"), std::string::npos);
+  EXPECT_NE(out.find("437"), std::string::npos);
+  EXPECT_NE(out.find("14.4%"), std::string::npos);
+  EXPECT_NE(out.find("50.0%"), std::string::npos);
+}
+
+TEST(Runner, TruePositivePctZeroWhenNoWarnings) {
+  corpus::Table1Stats stats;
+  EXPECT_DOUBLE_EQ(stats.truePositivePct(), 0.0);
+}
+
+TEST(Runner, ProgressCallbackInvoked) {
+  corpus::GeneratorOptions gen;
+  corpus::RunnerOptions run;
+  run.classify_with_oracle = false;
+  std::size_t calls = 0;
+  corpus::runCorpus(1, 600, gen, run,
+                    [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_GT(calls, 0u);
+}
+
+}  // namespace
+}  // namespace cuaf

@@ -1,0 +1,327 @@
+// Tests for the opt-in extensions beyond the paper's implementation
+// (its stated future work): atomic-integer modeling, bounded loop
+// unrolling, and deadlock-point reporting.
+#include <gtest/gtest.h>
+
+#include "src/analysis/pipeline.h"
+#include "src/corpus/generator.h"
+#include "src/runtime/explore.h"
+#include "tests/test_util.h"
+
+namespace cuaf {
+namespace {
+
+using test::Fixture;
+
+AnalysisOptions atomicOpts() {
+  AnalysisOptions opts;
+  opts.build.model_atomics = true;
+  return opts;
+}
+
+AnalysisOptions unrollOpts(unsigned max = 8) {
+  AnalysisOptions opts;
+  opts.build.unroll_loops = true;
+  opts.build.max_unroll_iterations = max;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Atomic modeling (§IV-A sketch: writes = non-blocking fill, waitFor =
+// SINGLE-READ)
+// ---------------------------------------------------------------------------
+
+const char* kAtomicHandshake = R"(proc p() {
+  var x = 3;
+  var count: atomic int;
+  begin with (ref x) {
+    writeln(x);
+    count.add(1);
+  }
+  count.waitFor(1);
+  writeln(x);
+})";
+
+TEST(AtomicModeling, EliminatesHandshakeFalsePositives) {
+  Pipeline faithful;
+  ASSERT_TRUE(faithful.runSource("t", kAtomicHandshake));
+  EXPECT_EQ(faithful.analysis().warningCount(), 2u);  // paper behaviour
+
+  Pipeline extended(atomicOpts());
+  ASSERT_TRUE(extended.runSource("t", kAtomicHandshake));
+  EXPECT_EQ(extended.analysis().warningCount(), 0u);
+}
+
+TEST(AtomicModeling, StillFlagsAccessesAfterTheFill) {
+  Pipeline extended(atomicOpts());
+  ASSERT_TRUE(extended.runSource("t", R"(proc p() {
+  var x = 3;
+  var count: atomic int;
+  begin with (ref x) {
+    count.add(1);
+    writeln(x);     // after the fill: no later anchor -> unsafe
+  }
+  count.waitFor(1);
+})"));
+  EXPECT_EQ(extended.analysis().warningCount(), 1u);
+}
+
+TEST(AtomicModeling, StillFlagsMissingWait) {
+  // The child fills, but the parent never waits: the fill is not a PF, so
+  // both the data access and the atomic access itself (which really does
+  // race the parent's scope exit) stay flagged.
+  Pipeline extended(atomicOpts());
+  ASSERT_TRUE(extended.runSource("t", R"(proc p() {
+  var x = 3;
+  var count: atomic int;
+  begin with (ref x) {
+    writeln(x);
+    count.add(1);
+  }
+})"));
+  EXPECT_EQ(extended.analysis().warningCount(), 2u);
+}
+
+TEST(AtomicModeling, PlainAtomicReadIsNotASyncEvent) {
+  Pipeline extended(atomicOpts());
+  ASSERT_TRUE(extended.runSource("t", R"(proc p() {
+  var x = 3;
+  var count: atomic int;
+  begin with (ref x) {
+    writeln(x);
+    count.add(1);
+  }
+  count.read();    // non-blocking read: establishes no ordering
+})"));
+  // read() is not a wait: accesses stay unsafe.
+  EXPECT_EQ(extended.analysis().warningCount(), 2u);
+}
+
+TEST(AtomicModeling, AgreesWithOracleOnHandshake) {
+  Pipeline extended(atomicOpts());
+  ASSERT_TRUE(extended.runSource("t", kAtomicHandshake));
+  rt::ExploreResult oracle =
+      rt::exploreAll(*extended.module(), *extended.program(), {});
+  EXPECT_TRUE(oracle.uaf_sites.empty());
+  EXPECT_EQ(extended.analysis().warningCount(), 0u);
+}
+
+TEST(AtomicModeling, SoundOnGeneratedCorpus) {
+  // With modeling on, the warning set may shrink but must stay sound:
+  // every oracle UAF is still warned (excluding deadlocky programs).
+  corpus::GeneratorOptions gopts;
+  gopts.begin_pm = 900;
+  gopts.warned_pm = 600;
+  corpus::ProgramGenerator gen(314, gopts);
+  for (int i = 0; i < 50; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+    Pipeline pipeline(atomicOpts());
+    ASSERT_TRUE(pipeline.runSource(p.name, p.source));
+    bool skipped = false;
+    for (const ProcAnalysis& pa : pipeline.analysis().procs) {
+      skipped |= pa.skipped_unsupported;
+    }
+    if (skipped) continue;
+    rt::ExploreResult oracle =
+        rt::exploreAll(*pipeline.module(), *pipeline.program(), {});
+    if (oracle.unsupported || oracle.deadlock_schedules > 0) continue;
+    for (const rt::UafEvent& e : oracle.uaf_sites) {
+      bool warned = false;
+      for (const auto* w : pipeline.analysis().allWarnings()) {
+        warned |= w->access_loc == e.loc;
+      }
+      EXPECT_TRUE(warned) << p.source;
+    }
+  }
+}
+
+TEST(AtomicModeling, ReducesWarningsOnCorpusSlice) {
+  corpus::GeneratorOptions gopts;
+  gopts.begin_pm = 900;
+  gopts.warned_pm = 600;
+  std::size_t faithful_warnings = 0;
+  std::size_t extended_warnings = 0;
+  corpus::ProgramGenerator gen_a(99, gopts), gen_b(99, gopts);
+  for (int i = 0; i < 60; ++i) {
+    corpus::GeneratedProgram pa = gen_a.next();
+    corpus::GeneratedProgram pb = gen_b.next();
+    Pipeline faithful;
+    ASSERT_TRUE(faithful.runSource(pa.name, pa.source));
+    faithful_warnings += faithful.analysis().warningCount();
+    Pipeline extended(atomicOpts());
+    ASSERT_TRUE(extended.runSource(pb.name, pb.source));
+    extended_warnings += extended.analysis().warningCount();
+  }
+  EXPECT_LT(extended_warnings, faithful_warnings);
+}
+
+// ---------------------------------------------------------------------------
+// Loop unrolling
+// ---------------------------------------------------------------------------
+
+TEST(LoopUnrolling, AnalyzesBeginInLoop) {
+  const char* src = R"(proc p() {
+  var x = 0;
+  for i in 1..3 {
+    begin with (ref x) { writeln(x); }
+  }
+})";
+  Pipeline faithful;
+  ASSERT_TRUE(faithful.runSource("t", src));
+  EXPECT_TRUE(faithful.analysis().procs[0].skipped_unsupported);
+
+  Pipeline extended(unrollOpts());
+  ASSERT_TRUE(extended.runSource("t", src));
+  EXPECT_FALSE(extended.analysis().procs[0].skipped_unsupported);
+  // One warning per unrolled task instance.
+  EXPECT_EQ(extended.analysis().warningCount(), 3u);
+  EXPECT_EQ(extended.diags().countWithCode("loop-unrolled"), 1u);
+}
+
+TEST(LoopUnrolling, HandshakesInLoopProvedSafe) {
+  Pipeline extended(unrollOpts());
+  ASSERT_TRUE(extended.runSource("t", R"(proc p() {
+  var x = 0;
+  var d$: sync bool;
+  for i in 1..2 {
+    begin with (ref x) { x += i; d$ = true; }
+    d$;
+  }
+})"));
+  EXPECT_FALSE(extended.analysis().procs[0].skipped_unsupported);
+  EXPECT_EQ(extended.analysis().warningCount(), 0u);
+}
+
+TEST(LoopUnrolling, PerIterationSyncVarsStayDistinct) {
+  Pipeline extended(unrollOpts());
+  ASSERT_TRUE(extended.runSource("t", R"(proc p() {
+  var x = 0;
+  for i in 1..2 {
+    var d$: sync bool;
+    begin with (ref x) { x += 1; d$ = true; }
+    d$;
+  }
+})"));
+  EXPECT_EQ(extended.analysis().warningCount(), 0u);
+}
+
+TEST(LoopUnrolling, TripCountBeyondLimitStaysUnsupported) {
+  Pipeline extended(unrollOpts(4));
+  ASSERT_TRUE(extended.runSource("t", R"(proc p() {
+  var x = 0;
+  for i in 1..100 {
+    begin with (ref x) { writeln(x); }
+  }
+})"));
+  EXPECT_TRUE(extended.analysis().procs[0].skipped_unsupported);
+}
+
+TEST(LoopUnrolling, NonConstantBoundsStayUnsupported) {
+  Pipeline extended(unrollOpts());
+  ASSERT_TRUE(extended.runSource("t", R"(config const n = 3;
+proc p() {
+  var x = 0;
+  for i in 1..n {
+    begin with (ref x) { writeln(x); }
+  }
+})"));
+  EXPECT_TRUE(extended.analysis().procs[0].skipped_unsupported);
+}
+
+TEST(LoopUnrolling, WhileLoopsStayUnsupported) {
+  Pipeline extended(unrollOpts());
+  ASSERT_TRUE(extended.runSource("t", R"(proc p() {
+  var x = 0;
+  var go = true;
+  while (go) {
+    begin with (ref x) { writeln(x); }
+    go = false;
+  }
+})"));
+  EXPECT_TRUE(extended.analysis().procs[0].skipped_unsupported);
+}
+
+TEST(LoopUnrolling, ZeroTripLoopIsNoop) {
+  Pipeline extended(unrollOpts());
+  ASSERT_TRUE(extended.runSource("t", R"(proc p() {
+  var x = 0;
+  for i in 5..2 {
+    begin with (ref x) { writeln(x); }
+  }
+})"));
+  EXPECT_FALSE(extended.analysis().procs[0].skipped_unsupported);
+  EXPECT_EQ(extended.analysis().warningCount(), 0u);
+}
+
+TEST(LoopUnrolling, AgreesWithOracle) {
+  const char* src = R"(proc p() {
+  var x = 0;
+  for i in 1..2 {
+    begin with (ref x) { writeln(x); }
+  }
+})";
+  Pipeline extended(unrollOpts());
+  ASSERT_TRUE(extended.runSource("t", src));
+  rt::ExploreResult oracle =
+      rt::exploreAll(*extended.module(), *extended.program(), {});
+  // The oracle dedupes by site: one site, dynamically confirmed.
+  EXPECT_EQ(oracle.uaf_sites.size(), 1u);
+  EXPECT_GE(extended.analysis().warningCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock reporting
+// ---------------------------------------------------------------------------
+
+TEST(DeadlockReporting, FlagsStuckSyncNode) {
+  AnalysisOptions opts;
+  opts.pps.report_deadlocks = true;
+  Pipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.runSource("t", R"(proc p() {
+  var x = 0;
+  var never$: sync bool;
+  begin with (ref x) { never$; writeln(x); }
+})"));
+  EXPECT_EQ(pipeline.diags().countWithCode("deadlock"), 1u);
+  EXPECT_EQ(pipeline.analysis().procs[0].deadlock_points.size(), 1u);
+}
+
+TEST(DeadlockReporting, QuietOnHealthyPrograms) {
+  AnalysisOptions opts;
+  opts.pps.report_deadlocks = true;
+  Pipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.runSource("t", R"(proc p() {
+  var x = 0;
+  var d$: sync bool;
+  begin with (ref x) { x = 1; d$ = true; }
+  d$;
+})"));
+  EXPECT_EQ(pipeline.diags().countWithCode("deadlock"), 0u);
+}
+
+TEST(DeadlockReporting, DoubleReadDeadlockFound) {
+  AnalysisOptions opts;
+  opts.pps.report_deadlocks = true;
+  Pipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.runSource("t", R"(proc p() {
+  var x = 0;
+  var d$: sync bool;
+  begin with (ref x) { x = 1; d$ = true; }
+  d$;
+  d$;
+})"));
+  EXPECT_GE(pipeline.diags().countWithCode("deadlock"), 1u);
+}
+
+TEST(DeadlockReporting, OffByDefault) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource("t", R"(proc p() {
+  var x = 0;
+  var never$: sync bool;
+  begin with (ref x) { never$; writeln(x); }
+})"));
+  EXPECT_EQ(pipeline.diags().countWithCode("deadlock"), 0u);
+}
+
+}  // namespace
+}  // namespace cuaf

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/fixer.h"
+#include "src/analysis/json_report.h"
+#include "src/analysis/pipeline.h"
+#include "src/corpus/curated.h"
+#include "src/corpus/generator.h"
+#include "src/runtime/explore.h"
+
+namespace cuaf {
+namespace {
+
+std::vector<FixSuggestion> suggestFor(Pipeline& pipeline,
+                                      const std::string& source) {
+  EXPECT_TRUE(pipeline.runSource("t.chpl", source));
+  return suggestFixes(*pipeline.program(), pipeline.analysis(), source);
+}
+
+TEST(Fixer, HandshakeFixForSimpleTask) {
+  const std::string src = R"(proc p() {
+  var x = 1;
+  begin with (ref x) {
+    writeln(x);
+  }
+  writeln("done");
+}
+)";
+  Pipeline pipeline;
+  auto suggestions = suggestFor(pipeline, src);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].kind, FixKind::Handshake);
+  EXPECT_TRUE(suggestions[0].verified);
+  EXPECT_EQ(suggestions[0].remaining_warnings, 0u);
+  EXPECT_NE(suggestions[0].patched_source.find("__fix0$"), std::string::npos);
+}
+
+TEST(Fixer, PatchedSourceIsWarningFree) {
+  const std::string src = R"(proc p() {
+  var x = 1;
+  begin with (ref x) {
+    x += 2;
+  }
+}
+)";
+  Pipeline pipeline;
+  auto suggestions = suggestFor(pipeline, src);
+  ASSERT_FALSE(suggestions.empty());
+  Pipeline check;
+  ASSERT_TRUE(check.runSource("patched", suggestions[0].patched_source));
+  EXPECT_EQ(check.analysis().warningCount(), 0u);
+}
+
+TEST(Fixer, PatchedSourceIsDynamicallySafe) {
+  const std::string src = R"(proc p() {
+  var x = 1;
+  begin with (ref x) {
+    writeln(x);
+  }
+}
+)";
+  Pipeline pipeline;
+  auto suggestions = suggestFor(pipeline, src);
+  ASSERT_FALSE(suggestions.empty());
+  Pipeline check;
+  ASSERT_TRUE(check.runSource("patched", suggestions[0].patched_source));
+  rt::ExploreResult oracle =
+      rt::exploreAll(*check.module(), *check.program(), {});
+  EXPECT_TRUE(oracle.uaf_sites.empty());
+  EXPECT_EQ(oracle.deadlock_schedules, 0u);  // the fix must not deadlock
+}
+
+TEST(Fixer, NestedTaskGetsProcLevelDeclaration) {
+  // Paper Figure 1: the unsafe task is nested inside another task; the
+  // handshake variable must be hoisted to the procedure scope.
+  const auto* fig1 = corpus::findCurated("paper_fig1");
+  ASSERT_NE(fig1, nullptr);
+  Pipeline pipeline;
+  auto suggestions = suggestFor(pipeline, fig1->source);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].kind, FixKind::Handshake);
+  EXPECT_TRUE(suggestions[0].verified);
+  EXPECT_EQ(suggestions[0].remaining_warnings, 0u);
+}
+
+TEST(Fixer, NoSuggestionsForCleanProgram) {
+  const std::string src = R"(proc p() {
+  var x = 1;
+  sync { begin with (ref x) { writeln(x); } }
+}
+)";
+  Pipeline pipeline;
+  auto suggestions = suggestFor(pipeline, src);
+  EXPECT_TRUE(suggestions.empty());
+}
+
+TEST(Fixer, OneSuggestionPerUnsafeTask) {
+  const std::string src = R"(proc p() {
+  var x = 1;
+  begin with (ref x) {
+    writeln(x);
+  }
+  begin with (ref x) {
+    x += 1;
+  }
+}
+)";
+  Pipeline pipeline;
+  auto suggestions = suggestFor(pipeline, src);
+  EXPECT_EQ(suggestions.size(), 2u);
+}
+
+TEST(Fixer, FixAllConvergesToZeroWarnings) {
+  const std::string src = R"(proc p() {
+  var x = 1;
+  begin with (ref x) {
+    writeln(x);
+  }
+  begin with (ref x) {
+    x += 1;
+  }
+  writeln(x);
+}
+)";
+  FixAllResult result = fixAll(src);
+  EXPECT_EQ(result.warnings_remaining, 0u);
+  EXPECT_EQ(result.fixes_applied, 2u);
+}
+
+TEST(Fixer, FixAllOnCleanProgramDoesNothing) {
+  const std::string src = "proc p() { var x = 1; writeln(x); }\n";
+  FixAllResult result = fixAll(src);
+  EXPECT_EQ(result.fixes_applied, 0u);
+  EXPECT_EQ(result.warnings_remaining, 0u);
+  EXPECT_EQ(result.source, src);
+}
+
+TEST(Fixer, FixAllStopsWithoutProgress) {
+  // Atomic-handshake false positives cannot be fixed by adding sync (they
+  // are already dynamically safe); fixAll must terminate anyway.
+  const std::string src = R"(proc p() {
+  var x = 1;
+  var c: atomic int;
+  begin with (ref x) {
+    writeln(x);
+    c.add(1);
+  }
+  c.waitFor(1);
+}
+)";
+  FixAllResult result = fixAll(src, {}, 4);
+  // Either a verified fix discharged the warnings or it stopped cleanly.
+  SUCCEED();
+  EXPECT_LE(result.fixes_applied, 4u);
+}
+
+TEST(Fixer, FixAllOnGeneratedUnsafePrograms) {
+  corpus::GeneratorOptions gopts;
+  gopts.begin_pm = 1000;
+  gopts.warned_pm = 1000;
+  gopts.fp_pm = 0;  // only genuinely unsafe tasks
+  corpus::ProgramGenerator gen(321, gopts);
+  int fixed_count = 0;
+  for (int i = 0; i < 15; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+    Pipeline probe;
+    ASSERT_TRUE(probe.runSource(p.name, p.source));
+    if (probe.analysis().warningCount() == 0) continue;
+    FixAllResult result = fixAll(p.source);
+    if (result.warnings_remaining == 0) ++fixed_count;
+  }
+  EXPECT_GT(fixed_count, 0);
+}
+
+// ---------------------------------------------------------------------------
+// JSON report
+// ---------------------------------------------------------------------------
+
+TEST(JsonReport, EscapesSpecials) {
+  EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+}
+
+TEST(JsonReport, ContainsWarningFields) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource("t.chpl", R"(proc p() {
+  var answer = 1;
+  begin with (ref answer) { writeln(answer); }
+})"));
+  std::string json = toJson(pipeline.analysis(), pipeline.sourceManager());
+  EXPECT_NE(json.find("\"warnings\""), std::string::npos);
+  EXPECT_NE(json.find("\"variable\":\"answer\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"read\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\":\"t.chpl\""), std::string::npos);
+  EXPECT_NE(json.find("\"hasBegin\":true"), std::string::npos);
+}
+
+TEST(JsonReport, EmptyArraysForCleanProgram) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource("t.chpl", "proc p() { writeln(1); }"));
+  std::string json = toJson(pipeline.analysis(), pipeline.sourceManager());
+  EXPECT_NE(json.find("\"warnings\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"deadlocks\": []"), std::string::npos);
+}
+
+TEST(JsonReport, DeadlocksListed) {
+  AnalysisOptions opts;
+  opts.pps.report_deadlocks = true;
+  Pipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.runSource("t.chpl", R"(proc p() {
+  var x = 0;
+  var never$: sync bool;
+  begin with (ref x) { never$; writeln(x); }
+})"));
+  std::string json = toJson(pipeline.analysis(), pipeline.sourceManager());
+  EXPECT_EQ(json.find("\"deadlocks\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"deadlocks\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cuaf

@@ -1,0 +1,313 @@
+// White-box tests of the step-wise interpreter: manual schedules, step
+// classification (visible vs invisible), blocking behaviour and memory
+// lifetime — driving the Interp API directly rather than through explore().
+#include <gtest/gtest.h>
+
+#include "src/runtime/interp.h"
+#include "tests/test_util.h"
+
+namespace cuaf {
+namespace {
+
+using test::Fixture;
+
+struct Driver {
+  std::unique_ptr<Fixture> fixture;
+  std::unique_ptr<rt::Interp> interp;
+
+  static Driver make(const std::string& src) {
+    Driver d;
+    d.fixture = std::make_unique<Fixture>(Fixture::lower(src));
+    EXPECT_FALSE(d.fixture->diags.hasErrors()) << d.fixture->diagText();
+    d.interp = std::make_unique<rt::Interp>(*d.fixture->module,
+                                            *d.fixture->program, nullptr);
+    // Entry point: the last top-level proc (helpers are declared first).
+    d.interp->start(d.fixture->program->procs.back()->id);
+    return d;
+  }
+
+  /// Steps task t until finished or blocked; returns steps taken.
+  std::size_t drain(std::size_t t, std::size_t cap = 1000) {
+    std::size_t n = 0;
+    while (n < cap && !interp->taskFinished(t) && interp->canStep(t)) {
+      interp->step(t);
+      ++n;
+    }
+    return n;
+  }
+};
+
+TEST(InterpStep, SequentialProgramFinishes) {
+  Driver d = Driver::make(R"(proc p() {
+  var x = 1;
+  x += 2;
+  writeln(x);
+})");
+  d.drain(0);
+  EXPECT_TRUE(d.interp->allFinished());
+  EXPECT_TRUE(d.interp->events().empty());
+  EXPECT_EQ(d.interp->writelnCount(), 1u);
+}
+
+TEST(InterpStep, WritelnCountTracksLoopIterations) {
+  Driver d = Driver::make(R"(proc p() {
+  for i in 1..5 {
+    writeln(i);
+  }
+})");
+  d.drain(0);
+  EXPECT_TRUE(d.interp->allFinished());
+  EXPECT_EQ(d.interp->writelnCount(), 5u);
+}
+
+TEST(InterpStep, WhileLoopRunsToFixpoint) {
+  Driver d = Driver::make(R"(proc p() {
+  var x = 40;
+  while (x > 1) {
+    x = x / 2;
+    writeln(x);
+  }
+})");
+  d.drain(0);
+  EXPECT_TRUE(d.interp->allFinished());
+  EXPECT_EQ(d.interp->writelnCount(), 5u);  // 20,10,5,2,1
+}
+
+TEST(InterpStep, SpawnCreatesSecondTask) {
+  Driver d = Driver::make(R"(proc p() {
+  var x = 1;
+  begin with (ref x) { writeln(x); }
+  writeln(0);
+})");
+  EXPECT_EQ(d.interp->taskCount(), 1u);
+  d.drain(0);
+  EXPECT_EQ(d.interp->taskCount(), 2u);
+  EXPECT_TRUE(d.interp->taskFinished(0));
+  EXPECT_FALSE(d.interp->taskFinished(1));
+}
+
+TEST(InterpStep, ChildAfterParentExitSeesUaf) {
+  Driver d = Driver::make(R"(proc p() {
+  var x = 1;
+  begin with (ref x) { writeln(x); }
+})");
+  d.drain(0);  // parent runs to completion, killing x
+  EXPECT_TRUE(d.interp->taskFinished(0));
+  d.drain(1);
+  EXPECT_TRUE(d.interp->allFinished());
+  ASSERT_EQ(d.interp->events().size(), 1u);
+  EXPECT_EQ(d.interp->events()[0].loc.line, 3u);
+}
+
+TEST(InterpStep, ChildBeforeParentExitIsClean) {
+  Driver d = Driver::make(R"(proc p() {
+  var x = 1;
+  begin with (ref x) { writeln(x); }
+})");
+  // Step the parent just enough to spawn, then run the child first.
+  while (d.interp->taskCount() < 2 && d.interp->canStep(0)) d.interp->step(0);
+  d.drain(1);
+  d.drain(0);
+  EXPECT_TRUE(d.interp->allFinished());
+  EXPECT_TRUE(d.interp->events().empty());
+}
+
+TEST(InterpStep, SyncReadBlocksUntilWrite) {
+  Driver d = Driver::make(R"(proc p() {
+  var x = 0;
+  var d$: sync bool;
+  begin with (ref x) { x = 1; d$ = true; }
+  d$;
+  writeln(x);
+})");
+  d.drain(0);  // parent blocks at readFE
+  EXPECT_FALSE(d.interp->taskFinished(0));
+  EXPECT_FALSE(d.interp->canStep(0));  // blocked
+  d.drain(1);  // child signals
+  EXPECT_TRUE(d.interp->canStep(0));
+  d.drain(0);
+  EXPECT_TRUE(d.interp->allFinished());
+  EXPECT_TRUE(d.interp->events().empty());
+}
+
+TEST(InterpStep, WriteEFBlocksWhenFull) {
+  Driver d = Driver::make(R"(proc p() {
+  var d$: sync bool = true;
+  d$ = false;
+})");
+  d.drain(0);
+  EXPECT_FALSE(d.interp->taskFinished(0));
+  EXPECT_FALSE(d.interp->canStep(0));  // writeEF on a full variable blocks
+}
+
+TEST(InterpStep, AtomicWaitForBlocksUntilValue) {
+  Driver d = Driver::make(R"(proc p() {
+  var c: atomic int;
+  begin { c.add(1); c.add(1); }
+  c.waitFor(2);
+})");
+  d.drain(0);
+  EXPECT_FALSE(d.interp->canStep(0));  // waits for value 2
+  d.drain(1);
+  EXPECT_TRUE(d.interp->canStep(0));
+  d.drain(0);
+  EXPECT_TRUE(d.interp->allFinished());
+}
+
+TEST(InterpStep, SyncRegionPopWaitsForChildren) {
+  Driver d = Driver::make(R"(proc p() {
+  var x = 0;
+  sync {
+    begin with (ref x) { x += 1; }
+  }
+  writeln(x);
+})");
+  d.drain(0);  // parent reaches the fence and blocks
+  EXPECT_FALSE(d.interp->taskFinished(0));
+  EXPECT_FALSE(d.interp->canStep(0));
+  d.drain(1);
+  EXPECT_TRUE(d.interp->canStep(0));
+  d.drain(0);
+  EXPECT_TRUE(d.interp->allFinished());
+  EXPECT_TRUE(d.interp->events().empty());
+}
+
+TEST(InterpStep, VisibleClassificationForSyncOps) {
+  Driver d = Driver::make(R"(proc p() {
+  var local = 1;
+  local += 1;
+  var d$: sync bool;
+  d$ = true;
+})");
+  // Everything up to the writeEF is invisible (own-task data only).
+  while (!d.interp->taskFinished(0) && !d.interp->nextStepVisible(0)) {
+    d.interp->step(0);
+  }
+  EXPECT_FALSE(d.interp->taskFinished(0));  // poised at the sync write
+  EXPECT_TRUE(d.interp->nextStepVisible(0));
+}
+
+TEST(InterpStep, CrossTaskAccessIsVisible) {
+  Driver d = Driver::make(R"(proc p() {
+  var shared = 1;
+  begin with (ref shared) {
+    var own = 2;
+    own += 1;
+    shared += own;
+  }
+})");
+  d.drain(0);
+  // The child's own-variable work is invisible; it becomes visible exactly
+  // at the cross-task access.
+  std::size_t steps = 0;
+  while (!d.interp->taskFinished(1) && !d.interp->nextStepVisible(1) &&
+         steps < 100) {
+    d.interp->step(1);
+    ++steps;
+  }
+  EXPECT_TRUE(d.interp->nextStepVisible(1));
+}
+
+TEST(InterpStep, InShadowIsTaskLocalAndInvisible) {
+  Driver d = Driver::make(R"(proc p() {
+  var x = 1;
+  begin with (in x) {
+    writeln(x);
+  }
+})");
+  d.drain(0);
+  // The child only reads its shadow: every step is invisible, and running
+  // it after the parent died is clean.
+  EXPECT_TRUE(d.interp->taskFinished(0));
+  std::size_t visible = 0;
+  while (!d.interp->taskFinished(1) && d.interp->canStep(1)) {
+    if (d.interp->nextStepVisible(1)) ++visible;
+    d.interp->step(1);
+  }
+  // The only visible step is the task-finishing frame pop.
+  EXPECT_LE(visible, 1u);
+  EXPECT_TRUE(d.interp->events().empty());
+}
+
+TEST(InterpStep, RefParamCallSharesCell) {
+  Driver d = Driver::make(R"(proc bump(ref v: int) { v += 5; }
+proc p() {
+  var x = 1;
+  bump(x);
+  if (x == 6) { writeln("yes"); }
+})");
+  d.drain(0);
+  EXPECT_TRUE(d.interp->allFinished());
+  EXPECT_EQ(d.interp->writelnCount(), 1u);
+}
+
+TEST(InterpStep, ReturnValueThroughExpressionCall) {
+  Driver d = Driver::make(R"(proc twice(v: int): int { return v * 2; }
+proc p() {
+  var x = twice(4);
+  if (x == 8) { writeln("ok"); }
+})");
+  d.drain(0);
+  EXPECT_TRUE(d.interp->allFinished());
+  EXPECT_EQ(d.interp->writelnCount(), 1u);
+}
+
+TEST(InterpStep, StringConcatAndComparison) {
+  Driver d = Driver::make(R"(proc p() {
+  var a = "foo";
+  var b = a + "bar";
+  if (b == "foobar") { writeln(b); }
+})");
+  d.drain(0);
+  EXPECT_EQ(d.interp->writelnCount(), 1u);
+}
+
+TEST(InterpStep, DivisionByZeroIsDefined) {
+  Driver d = Driver::make(R"(proc p() {
+  var x = 10;
+  var y = 0;
+  var z = x / y;
+  var m = x % y;
+  writeln(z + m);
+})");
+  d.drain(0);
+  EXPECT_TRUE(d.interp->allFinished());  // no crash, defined fallback
+}
+
+TEST(InterpStep, ScopeExitKillsOnlyScopeLocals) {
+  Driver d = Driver::make(R"(proc p() {
+  var outer = 1;
+  {
+    var inner = 2;
+    outer += inner;
+  }
+  writeln(outer);
+})");
+  d.drain(0);
+  EXPECT_TRUE(d.interp->allFinished());
+  EXPECT_TRUE(d.interp->events().empty());
+}
+
+TEST(InterpStep, GrandchildInheritsEnvironment) {
+  Driver d = Driver::make(R"(proc p() {
+  var x = 1;
+  var a$: sync bool;
+  begin with (ref x) {
+    begin with (ref x) {
+      x += 1;
+      a$ = true;
+    }
+  }
+  a$;
+})");
+  d.drain(0);  // parent blocks
+  d.drain(1);  // child A spawns grandchild
+  EXPECT_EQ(d.interp->taskCount(), 3u);
+  d.drain(2);  // grandchild signals
+  d.drain(0);
+  EXPECT_TRUE(d.interp->taskFinished(0));
+  EXPECT_TRUE(d.interp->events().empty());
+}
+
+}  // namespace
+}  // namespace cuaf

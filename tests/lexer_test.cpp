@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "src/lexer/lexer.h"
+
+namespace cuaf {
+namespace {
+
+std::vector<Token> lex(const std::string& src, DiagnosticEngine& diags) {
+  static SourceManager sm;  // buffers must outlive returned token views
+  FileId f = sm.addBuffer("lex.chpl", src);
+  Lexer lexer(sm, f, diags);
+  return lexer.lexAll();
+}
+
+std::vector<TokKind> kinds(const std::string& src) {
+  DiagnosticEngine diags;
+  std::vector<TokKind> out;
+  for (const Token& t : lex(src, diags)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, Keywords) {
+  auto k = kinds("proc var begin sync single atomic with ref in if else");
+  std::vector<TokKind> expect = {
+      TokKind::KwProc, TokKind::KwVar,    TokKind::KwBegin, TokKind::KwSync,
+      TokKind::KwSingle, TokKind::KwAtomic, TokKind::KwWith, TokKind::KwRef,
+      TokKind::KwIn,   TokKind::KwIf,     TokKind::KwElse,  TokKind::Eof};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, SyncVarDollarSuffix) {
+  DiagnosticEngine diags;
+  auto toks = lex("doneA$ done$ x", diags);
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::Identifier);
+  EXPECT_EQ(toks[0].text, "doneA$");
+  EXPECT_EQ(toks[1].text, "done$");
+  EXPECT_EQ(toks[2].text, "x");
+  EXPECT_FALSE(diags.hasErrors());
+}
+
+TEST(Lexer, IntegerLiterals) {
+  DiagnosticEngine diags;
+  auto toks = lex("0 42 123456789", diags);
+  EXPECT_EQ(toks[0].int_value, 0);
+  EXPECT_EQ(toks[1].int_value, 42);
+  EXPECT_EQ(toks[2].int_value, 123456789);
+  EXPECT_EQ(toks[0].kind, TokKind::IntLit);
+}
+
+TEST(Lexer, RealLiterals) {
+  DiagnosticEngine diags;
+  auto toks = lex("3.25 1e3 2.5e-2", diags);
+  EXPECT_EQ(toks[0].kind, TokKind::RealLit);
+  EXPECT_DOUBLE_EQ(toks[0].real_value, 3.25);
+  EXPECT_EQ(toks[1].kind, TokKind::RealLit);
+  EXPECT_DOUBLE_EQ(toks[1].real_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[2].real_value, 0.025);
+}
+
+TEST(Lexer, RangeDotsAreNotRealFraction) {
+  auto k = kinds("1..10");
+  std::vector<TokKind> expect = {TokKind::IntLit, TokKind::DotDot,
+                                 TokKind::IntLit, TokKind::Eof};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, StringLiteral) {
+  DiagnosticEngine diags;
+  auto toks = lex("\"hello world\"", diags);
+  EXPECT_EQ(toks[0].kind, TokKind::StringLit);
+  EXPECT_EQ(toks[0].text, "\"hello world\"");
+}
+
+TEST(Lexer, UnterminatedStringReportsError) {
+  DiagnosticEngine diags;
+  lex("\"oops", diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, OperatorsCompound) {
+  auto k = kinds("== != <= >= && || ++ -- += -= *= = < >");
+  std::vector<TokKind> expect = {
+      TokKind::EqEq,     TokKind::NotEq,      TokKind::LessEq,
+      TokKind::GreaterEq, TokKind::AmpAmp,    TokKind::PipePipe,
+      TokKind::PlusPlus, TokKind::MinusMinus, TokKind::PlusAssign,
+      TokKind::MinusAssign, TokKind::StarAssign, TokKind::Assign,
+      TokKind::Less,     TokKind::Greater,    TokKind::Eof};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, LineComments) {
+  auto k = kinds("x // comment until end\ny");
+  std::vector<TokKind> expect = {TokKind::Identifier, TokKind::Identifier,
+                                 TokKind::Eof};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, NestedBlockComments) {
+  auto k = kinds("a /* outer /* inner */ still comment */ b");
+  std::vector<TokKind> expect = {TokKind::Identifier, TokKind::Identifier,
+                                 TokKind::Eof};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, UnterminatedBlockCommentReportsError) {
+  DiagnosticEngine diags;
+  lex("a /* never closed", diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  DiagnosticEngine diags;
+  auto toks = lex("a\n  b\n    c", diags);
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.column, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+  EXPECT_EQ(toks[2].loc.line, 3u);
+  EXPECT_EQ(toks[2].loc.column, 5u);
+}
+
+TEST(Lexer, UnknownCharacterReportsErrorAndContinues) {
+  DiagnosticEngine diags;
+  auto toks = lex("a @ b", diags);
+  EXPECT_TRUE(diags.hasErrors());
+  // Lexing recovers: both identifiers present.
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, EofIsSticky) {
+  DiagnosticEngine diags;
+  static SourceManager sm;
+  FileId f = sm.addBuffer("e.chpl", "x");
+  Lexer lexer(sm, f, diags);
+  lexer.next();  // x
+  EXPECT_EQ(lexer.next().kind, TokKind::Eof);
+  EXPECT_EQ(lexer.next().kind, TokKind::Eof);
+}
+
+TEST(Lexer, PunctuationAndBraces) {
+  auto k = kinds("{ } ( ) , ; : . ..");
+  std::vector<TokKind> expect = {
+      TokKind::LBrace, TokKind::RBrace, TokKind::LParen, TokKind::RParen,
+      TokKind::Comma,  TokKind::Semi,   TokKind::Colon,  TokKind::Dot,
+      TokKind::DotDot, TokKind::Eof};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, ArithmeticOperators) {
+  auto k = kinds("+ - * / %");
+  std::vector<TokKind> expect = {TokKind::Plus, TokKind::Minus, TokKind::Star,
+                                 TokKind::Slash, TokKind::Percent, TokKind::Eof};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, BoolAndTypeKeywords) {
+  auto k = kinds("true false int bool real string void config const");
+  std::vector<TokKind> expect = {
+      TokKind::KwTrue,   TokKind::KwFalse, TokKind::KwInt,
+      TokKind::KwBool,   TokKind::KwReal,  TokKind::KwString,
+      TokKind::KwVoid,   TokKind::KwConfig, TokKind::KwConst, TokKind::Eof};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, KeywordWithDollarIsIdentifier) {
+  DiagnosticEngine diags;
+  auto toks = lex("in$", diags);
+  EXPECT_EQ(toks[0].kind, TokKind::Identifier);
+  EXPECT_EQ(toks[0].text, "in$");
+}
+
+TEST(Lexer, TokKindNamesNonEmpty) {
+  EXPECT_FALSE(tokKindName(TokKind::KwBegin).empty());
+  EXPECT_FALSE(tokKindName(TokKind::DotDot).empty());
+  EXPECT_FALSE(tokKindName(TokKind::Eof).empty());
+}
+
+}  // namespace
+}  // namespace cuaf

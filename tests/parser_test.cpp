@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "src/ast/printer.h"
+#include "tests/test_util.h"
+
+namespace cuaf {
+namespace {
+
+using test::Fixture;
+
+TEST(Parser, EmptyProc) {
+  auto f = Fixture::parse("proc p() { }");
+  EXPECT_FALSE(f.diags.hasErrors());
+  ASSERT_EQ(f.program->procs.size(), 1u);
+  EXPECT_TRUE(f.program->procs[0]->params.empty());
+  EXPECT_TRUE(f.program->procs[0]->body->stmts.empty());
+}
+
+TEST(Parser, ProcWithParams) {
+  auto f = Fixture::parse("proc p(ref x: int, in y: bool, z: real) { }");
+  ASSERT_FALSE(f.diags.hasErrors());
+  const auto& params = f.program->procs[0]->params;
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0].intent, ParamIntent::Ref);
+  EXPECT_EQ(params[1].intent, ParamIntent::In);
+  EXPECT_EQ(params[2].intent, ParamIntent::Default);
+  EXPECT_EQ(params[2].type.base, BaseType::Real);
+}
+
+TEST(Parser, VarDeclForms) {
+  auto f = Fixture::parse(R"(proc p() {
+    var a: int;
+    var b = 3;
+    var c: sync bool;
+    var d: single int = 1;
+    var e: atomic int;
+    const k = 10;
+  })");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto& stmts = f.program->procs[0]->body->stmts;
+  ASSERT_EQ(stmts.size(), 6u);
+  const auto* c = stmts[2]->as<VarDeclStmt>();
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->declared_type->conc, ConcKind::Sync);
+  const auto* d = stmts[3]->as<VarDeclStmt>();
+  EXPECT_EQ(d->declared_type->conc, ConcKind::Single);
+  EXPECT_NE(d->init, nullptr);
+  const auto* k = stmts[5]->as<VarDeclStmt>();
+  EXPECT_EQ(k->qual, DeclQual::Const);
+}
+
+TEST(Parser, VarDeclWithoutTypeOrInitIsError) {
+  auto f = Fixture::parse("proc p() { var a; }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Parser, ConfigConstTopLevel) {
+  auto f = Fixture::parse("config const flag = true;\nproc p() { }");
+  ASSERT_FALSE(f.diags.hasErrors());
+  ASSERT_EQ(f.program->configs.size(), 1u);
+  EXPECT_EQ(f.program->configs[0]->qual, DeclQual::ConfigConst);
+}
+
+TEST(Parser, BeginWithIntents) {
+  auto f = Fixture::parse(R"(proc p() {
+    var x = 1;
+    var y = 2;
+    begin with (ref x, in y, const in x, const ref y) { writeln(x); }
+  })");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto* begin = f.program->procs[0]->body->stmts[2]->as<BeginStmt>();
+  ASSERT_NE(begin, nullptr);
+  ASSERT_EQ(begin->with_items.size(), 4u);
+  EXPECT_EQ(begin->with_items[0].intent, TaskIntent::Ref);
+  EXPECT_EQ(begin->with_items[1].intent, TaskIntent::In);
+  EXPECT_EQ(begin->with_items[2].intent, TaskIntent::ConstIn);
+  EXPECT_EQ(begin->with_items[3].intent, TaskIntent::ConstRef);
+}
+
+TEST(Parser, BeginWithoutWith) {
+  auto f = Fixture::parse("proc p() { begin { writeln(1); } }");
+  ASSERT_FALSE(f.diags.hasErrors());
+  EXPECT_EQ(f.program->procs[0]->body->stmts[0]->kind, StmtKind::Begin);
+}
+
+TEST(Parser, BeginSingleStatement) {
+  auto f = Fixture::parse("proc p() { var x = 1; begin writeln(x); }");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto* begin = f.program->procs[0]->body->stmts[1]->as<BeginStmt>();
+  ASSERT_NE(begin, nullptr);
+  EXPECT_EQ(begin->body->kind, StmtKind::Expr);
+}
+
+TEST(Parser, SyncBlockAndSyncType) {
+  auto f = Fixture::parse(R"(proc p() {
+    var d$: sync bool;
+    sync { begin { writeln(1); } }
+    sync begin { writeln(2); }
+  })");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto& stmts = f.program->procs[0]->body->stmts;
+  EXPECT_EQ(stmts[1]->kind, StmtKind::SyncBlock);
+  EXPECT_EQ(stmts[2]->kind, StmtKind::SyncBlock);
+}
+
+TEST(Parser, IfForms) {
+  auto f = Fixture::parse(R"(proc p() {
+    var x = 1;
+    if (x > 0) { x = 1; } else { x = 2; }
+    if x > 0 then x = 3; else x = 4;
+    if (x == 1) x = 5;
+  })");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto& stmts = f.program->procs[0]->body->stmts;
+  EXPECT_EQ(stmts[1]->kind, StmtKind::If);
+  const auto* second = stmts[2]->as<IfStmt>();
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(second->else_body, nullptr);
+  const auto* third = stmts[3]->as<IfStmt>();
+  EXPECT_EQ(third->else_body, nullptr);
+}
+
+TEST(Parser, WhileForms) {
+  auto f = Fixture::parse(R"(proc p() {
+    var x = 10;
+    while (x > 0) { x -= 1; }
+    while x > 0 do x -= 1;
+  })");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+}
+
+TEST(Parser, ForLoop) {
+  auto f = Fixture::parse("proc p() { var s = 0; for i in 1..10 { s += i; } }");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto* loop = f.program->procs[0]->body->stmts[1]->as<ForStmt>();
+  ASSERT_NE(loop, nullptr);
+  EXPECT_NE(loop->lo, nullptr);
+  EXPECT_NE(loop->hi, nullptr);
+}
+
+TEST(Parser, Cobegin) {
+  auto f = Fixture::parse(R"(proc p() {
+    var x = 1;
+    cobegin with (ref x) {
+      x += 1;
+      writeln(x);
+    }
+  })");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto* co = f.program->procs[0]->body->stmts[1]->as<CobeginStmt>();
+  ASSERT_NE(co, nullptr);
+  EXPECT_EQ(co->stmts.size(), 2u);
+  EXPECT_EQ(co->with_items.size(), 1u);
+}
+
+TEST(Parser, NestedProc) {
+  auto f = Fixture::parse(R"(proc outer() {
+    var x = 1;
+    proc inner() { writeln(x); }
+    inner();
+  })");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto* nested = f.program->procs[0]->body->stmts[1]->as<ProcDeclStmt>();
+  ASSERT_NE(nested, nullptr);
+  EXPECT_TRUE(nested->proc->is_nested);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto f = Fixture::parse("proc p() { var x = 1 + 2 * 3 == 7 && true; }");
+  ASSERT_FALSE(f.diags.hasErrors());
+  StringInterner& in = f.interner;
+  AstPrinter printer(in);
+  const auto* decl = f.program->procs[0]->body->stmts[0]->as<VarDeclStmt>();
+  EXPECT_EQ(printer.print(*decl->init), "(((1 + (2 * 3)) == 7) && true)");
+}
+
+TEST(Parser, UnaryAndParens) {
+  auto f = Fixture::parse("proc p() { var x = -(1 + 2); var y = !true; }");
+  ASSERT_FALSE(f.diags.hasErrors());
+  AstPrinter printer(f.interner);
+  const auto* x = f.program->procs[0]->body->stmts[0]->as<VarDeclStmt>();
+  EXPECT_EQ(printer.print(*x->init), "-(1 + 2)");
+}
+
+TEST(Parser, PostIncrement) {
+  auto f = Fixture::parse("proc p() { var x = 1; writeln(x++); x--; }");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+}
+
+TEST(Parser, MethodCall) {
+  auto f = Fixture::parse(
+      "proc p() { var a: atomic int; a.write(3); a.waitFor(3); }");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto* s = f.program->procs[0]->body->stmts[1]->as<ExprStmt>();
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->expr->kind, ExprKind::MethodCall);
+}
+
+TEST(Parser, BareSyncReadStatement) {
+  auto f = Fixture::parse("proc p() { var d$: sync bool; d$; }");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto* s = f.program->procs[0]->body->stmts[1]->as<ExprStmt>();
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->expr->kind, ExprKind::Ident);
+}
+
+TEST(Parser, CompoundAssignOps) {
+  auto f = Fixture::parse("proc p() { var x = 1; x += 2; x -= 3; x *= 4; }");
+  ASSERT_FALSE(f.diags.hasErrors());
+  const auto& stmts = f.program->procs[0]->body->stmts;
+  EXPECT_EQ(stmts[1]->as<AssignStmt>()->op, AssignOp::AddAssign);
+  EXPECT_EQ(stmts[2]->as<AssignStmt>()->op, AssignOp::SubAssign);
+  EXPECT_EQ(stmts[3]->as<AssignStmt>()->op, AssignOp::MulAssign);
+}
+
+TEST(Parser, ReturnForms) {
+  auto f = Fixture::parse(
+      "proc p(): int { return 3; }\nproc q() { return; }");
+  ASSERT_FALSE(f.diags.hasErrors());
+}
+
+TEST(Parser, SyntaxErrorRecoversAtStatement) {
+  auto f = Fixture::parse(R"(proc p() {
+    var x = ;
+    var y = 2;
+  })");
+  EXPECT_TRUE(f.diags.hasErrors());
+  // Recovery: the second declaration still parses.
+  bool found_y = false;
+  for (const auto& s : f.program->procs[0]->body->stmts) {
+    if (const auto* d = s->as<VarDeclStmt>()) {
+      if (f.interner.text(d->name) == "y") found_y = true;
+    }
+  }
+  EXPECT_TRUE(found_y);
+}
+
+TEST(Parser, TopLevelGarbageReported) {
+  auto f = Fixture::parse("banana;");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Parser, RoundTripFig1ShapePreserved) {
+  const char* src = R"(proc outerVarUse() {
+  var x: int = 10;
+  var doneA$: sync bool;
+  begin with (ref x) {
+    writeln(x++);
+    var doneB$: sync bool;
+    begin with (ref x) {
+      writeln(x);
+      doneB$ = true;
+    }
+    writeln(x);
+    doneA$ = true;
+    doneB$;
+  }
+  doneA$;
+  begin with (in x) {
+    writeln(x);
+  }
+}
+)";
+  auto f = Fixture::parse(src);
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  AstPrinter printer(f.interner);
+  std::string printed = printer.print(*f.program);
+  // Re-parse the printed output: it must be stable (idempotent shape).
+  auto f2 = Fixture::parse(printed);
+  ASSERT_FALSE(f2.diags.hasErrors()) << printed;
+  AstPrinter printer2(f2.interner);
+  EXPECT_EQ(printer2.print(*f2.program), printed);
+}
+
+TEST(Parser, CallExpressions) {
+  auto f = Fixture::parse(R"(proc add(a: int, b: int): int { return a + b; }
+proc p() { var x = add(1, add(2, 3)); })");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+}
+
+TEST(Parser, StringLiteralValueUnquoted) {
+  auto f = Fixture::parse("proc p() { writeln(\"hi there\"); }");
+  ASSERT_FALSE(f.diags.hasErrors());
+  const auto* s = f.program->procs[0]->body->stmts[0]->as<ExprStmt>();
+  const auto* call = s->expr->as<CallExpr>();
+  ASSERT_NE(call, nullptr);
+  const auto* lit = call->args[0]->as<StringLitExpr>();
+  ASSERT_NE(lit, nullptr);
+  EXPECT_EQ(lit->value, "hi there");
+}
+
+}  // namespace
+}  // namespace cuaf

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/pps/pps.h"
+#include "tests/test_util.h"
+
+namespace cuaf {
+namespace {
+
+using test::Fixture;
+
+pps::Result run(Fixture& f, const pps::Options& opts = {}) {
+  auto g = f.buildCcfg();
+  EXPECT_FALSE(g->unsupported());
+  return pps::explore(*g, opts);
+}
+
+std::vector<std::string> unsafeVarNames(Fixture& f,
+                                        const pps::Options& opts = {}) {
+  auto g = f.buildCcfg();
+  pps::Result r = pps::explore(*g, opts);
+  std::vector<std::string> names;
+  for (AccessId a : r.unsafe) names.push_back(g->varName(g->access(a).var));
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+const char* kFig1 = R"(proc outerVarUse() {
+  var x: int = 10;
+  var doneA$: sync bool;
+  begin with (ref x) {
+    writeln(x++);
+    var doneB$: sync bool;
+    begin with (ref x) {
+      writeln(x);
+      doneB$ = true;
+    }
+    writeln(x);
+    doneA$ = true;
+    doneB$;
+  }
+  doneA$;
+  begin with (in x) {
+    writeln(x);
+  }
+}
+)";
+
+TEST(Pps, Fig1ExactlyTaskBAccessUnsafe) {
+  auto f = Fixture::lower(kFig1);
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  pps::Result r = pps::explore(*g);
+  ASSERT_EQ(r.unsafe.size(), 1u);
+  const ccfg::OvUse& a = g->access(r.unsafe[0]);
+  EXPECT_EQ(g->varName(a.var), "x");
+  EXPECT_EQ(a.loc.line, 8u);  // writeln(x) inside Task B
+}
+
+TEST(Pps, Fig1SwappedAllSafe) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x: int = 10;
+  var doneA$: sync bool;
+  begin with (ref x) {
+    writeln(x++);
+    var doneB$: sync bool;
+    begin with (ref x) {
+      writeln(x);
+      doneB$ = true;
+    }
+    writeln(x);
+    doneB$;
+    doneA$ = true;
+  }
+  doneA$;
+})");
+  pps::Result r = run(f);
+  EXPECT_TRUE(r.unsafe.empty());
+}
+
+TEST(Pps, Fig6BranchMakesAccessUnsafe) {
+  auto f = Fixture::lower(R"(config const flag = true;
+proc multipleUse() {
+  var x: int = 10;
+  var done$: sync bool;
+  begin with (ref x) {
+    if (flag) {
+      begin with (ref x) {
+        writeln(x);
+        done$ = true;
+        done$;
+      }
+    }
+    done$ = true;
+  }
+  done$;
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  pps::Result r = run(f);
+  EXPECT_EQ(r.unsafe.size(), 1u);
+}
+
+TEST(Pps, NoSyncTaskReportedViaTailRule) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  begin with (ref x) { writeln(x); x += 1; }
+})");
+  auto names = unsafeVarNames(f);
+  EXPECT_EQ(names, (std::vector<std::string>{"x", "x"}));
+}
+
+TEST(Pps, HandshakeSafe) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  var d$: sync bool;
+  begin with (ref x) { x = 42; d$ = true; }
+  d$;
+  writeln(x);
+})");
+  pps::Result r = run(f);
+  EXPECT_TRUE(r.unsafe.empty());
+  EXPECT_GT(r.sink_count, 0u);
+}
+
+TEST(Pps, AccessAfterSignalUnsafe) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  var d$: sync bool;
+  begin with (ref x) {
+    x = 1;
+    d$ = true;
+    writeln(x);
+  }
+  d$;
+})");
+  pps::Result r = run(f);
+  EXPECT_EQ(r.unsafe.size(), 1u);
+}
+
+TEST(Pps, SingleVarReadFFIsModeled) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 7;
+  var s$: single bool;
+  begin with (ref x) { writeln(x); s$ = true; }
+  s$;
+})");
+  pps::Result r = run(f);
+  EXPECT_TRUE(r.unsafe.empty());
+}
+
+TEST(Pps, AtomicHandshakeInvisibleToAnalysis) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 3;
+  var c: atomic int;
+  begin with (ref x) { writeln(x); c.add(1); }
+  c.waitFor(1);
+})");
+  // Both the data access and the atomic add are flagged: the analysis does
+  // not model atomic synchronization (paper §IV-A).
+  auto names = unsafeVarNames(f);
+  EXPECT_EQ(names, (std::vector<std::string>{"c", "x"}));
+}
+
+TEST(Pps, InitiallyFullSyncVarEnablesRead) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  var gate$: sync bool = true;
+  begin with (ref x) {
+    gate$;          // readFE on an initially-full variable
+    writeln(x);
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  pps::Result r = run(f);
+  // The access still has no happens-before anchor to the parent: unsafe,
+  // and crucially the readFE is executable (no deadlock path).
+  EXPECT_EQ(r.unsafe.size(), 1u);
+  EXPECT_EQ(r.deadlock_count, 0u);
+}
+
+TEST(Pps, DeadlockedPathDropped) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  var never$: sync bool;
+  begin with (ref x) {
+    writeln(x);
+    never$;
+    writeln(x);
+  }
+})");
+  pps::Result r = run(f);
+  EXPECT_TRUE(r.unsafe.empty());  // faithful: deadlocked paths report nothing
+  EXPECT_GT(r.deadlock_count, 0u);
+}
+
+TEST(Pps, DeadlockNodesReportedWhenEnabled) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  var never$: sync bool;
+  begin with (ref x) { never$; writeln(x); }
+})");
+  pps::Options opts;
+  opts.report_deadlocks = true;
+  auto g = f.buildCcfg();
+  pps::Result r = pps::explore(*g, opts);
+  EXPECT_FALSE(r.deadlocked_nodes.empty());
+}
+
+TEST(Pps, MergeOptimizationPreservesVerdicts) {
+  auto f = Fixture::lower(R"(config const c = true;
+proc p() {
+  var x = 1;
+  var a$: sync bool;
+  var b$: sync bool;
+  begin with (ref x) { x += 1; a$ = true; }
+  begin with (ref x) { writeln(x); b$ = true; x += 2; }
+  if (c) { a$; b$; } else { b$; a$; }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g1 = f.buildCcfg();
+  pps::Options with_merge;
+  pps::Options no_merge;
+  no_merge.merge_equivalent = false;
+  pps::Result merged = pps::explore(*g1, with_merge);
+  pps::Result plain = pps::explore(*g1, no_merge);
+  EXPECT_EQ(merged.unsafe, plain.unsafe);
+  EXPECT_LE(merged.states_generated, plain.states_generated);
+  EXPECT_GT(merged.states_merged, 0u);
+}
+
+TEST(Pps, ReusedSyncVariableTwoRounds) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  var d$: sync bool;
+  begin with (ref x) { x += 1; d$ = true; }
+  d$;
+  begin with (ref x) { x += 2; d$ = true; }
+  d$;
+})");
+  pps::Result r = run(f);
+  EXPECT_TRUE(r.unsafe.empty());
+}
+
+TEST(Pps, PartialWaitOnlyUnwaitedTaskUnsafe) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  var a$: sync bool;
+  begin with (ref x) { x += 1; a$ = true; }
+  begin with (ref x) { writeln(x); }
+  a$;
+})");
+  auto g = f.buildCcfg();
+  pps::Result r = pps::explore(*g);
+  ASSERT_EQ(r.unsafe.size(), 1u);
+  // The unsafe access is the one in the second (unwaited) task.
+  EXPECT_EQ(g->access(r.unsafe[0]).task, TaskId(2));
+}
+
+TEST(Pps, TraceRecordsRulesAndSink) {
+  auto f = Fixture::lower(kFig1);
+  pps::Options opts;
+  opts.record_trace = true;
+  auto g = f.buildCcfg();
+  pps::Result r = pps::explore(*g, opts);
+  EXPECT_FALSE(r.trace.empty());
+  bool saw_sink = false;
+  bool saw_write = false;
+  for (const auto& e : r.trace) {
+    saw_sink |= e.is_sink;
+    saw_write |= e.rule == pps::Rule::Write;
+  }
+  EXPECT_TRUE(saw_sink);
+  EXPECT_TRUE(saw_write);
+  std::string rendered = pps::renderTrace(*g, r);
+  EXPECT_NE(rendered.find("[sink]"), std::string::npos);
+  EXPECT_NE(rendered.find("doneA$"), std::string::npos);
+}
+
+TEST(Pps, StateLimitRespected) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  var a$: sync bool;
+  var b$: sync bool;
+  var c$: sync bool;
+  begin with (ref x) { x += 1; a$ = true; }
+  begin with (ref x) { x += 2; b$ = true; }
+  begin with (ref x) { x += 3; c$ = true; }
+  a$;
+  b$;
+  c$;
+})");
+  pps::Options opts;
+  opts.max_states = 3;
+  auto g = f.buildCcfg();
+  pps::Result r = pps::explore(*g, opts);
+  EXPECT_TRUE(r.state_limit_hit);
+  EXPECT_LE(r.states_generated, 3u);
+}
+
+TEST(Pps, BranchForksInitialStates) {
+  auto f = Fixture::lower(R"(config const c = true;
+proc p() {
+  var x = 1;
+  var d$: sync bool;
+  if (c) {
+    begin with (ref x) { writeln(x); d$ = true; }
+    d$;
+  }
+})");
+  pps::Options opts;
+  opts.record_trace = true;
+  auto g = f.buildCcfg();
+  pps::Result r = pps::explore(*g, opts);
+  // Two initial states: branch taken / not taken.
+  std::size_t initial = 0;
+  for (const auto& e : r.trace) {
+    initial += e.rule == pps::Rule::Initial ? 1 : 0;
+  }
+  EXPECT_EQ(initial, 2u);
+  EXPECT_TRUE(r.unsafe.empty());
+}
+
+TEST(Pps, SingleReadBunching) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  var s$: single bool;
+  begin with (ref x) { x += 1; s$ = true; }
+  s$;
+  s$;
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  pps::Options opts;
+  opts.record_trace = true;
+  auto g = f.buildCcfg();
+  pps::Result r = pps::explore(*g, opts);
+  bool saw_bunch = false;
+  for (const auto& e : r.trace) {
+    if (e.rule == pps::Rule::SingleRead) saw_bunch = true;
+  }
+  EXPECT_TRUE(saw_bunch);
+  EXPECT_TRUE(r.unsafe.empty());
+}
+
+TEST(Pps, PrunedTasksIgnored) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  sync { begin with (ref x) { writeln(x); } }
+  begin with (ref x) { x += 1; }
+})");
+  auto g = f.buildCcfg();
+  pps::Result r = pps::explore(*g);
+  // Only the unfenced task's access is reported.
+  ASSERT_EQ(r.unsafe.size(), 1u);
+  EXPECT_TRUE(g->access(r.unsafe[0]).is_write);
+}
+
+TEST(Pps, GrandchildWaitChainSafe) {
+  // B signals A, A signals parent: chain covers B's access.
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  var a$: sync bool;
+  begin with (ref x) {
+    var b$: sync bool;
+    begin with (ref x) { writeln(x); b$ = true; }
+    b$;
+    a$ = true;
+  }
+  a$;
+})");
+  pps::Result r = run(f);
+  EXPECT_TRUE(r.unsafe.empty());
+}
+
+}  // namespace
+}  // namespace cuaf

@@ -1,0 +1,178 @@
+// Property-based tests over randomly generated programs: the invariants the
+// design guarantees must hold for every well-formed input, not just curated
+// examples.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/analysis/pipeline.h"
+#include "src/corpus/generator.h"
+#include "src/runtime/explore.h"
+
+namespace cuaf {
+namespace {
+
+struct WarnSite {
+  std::uint32_t line;
+  std::uint32_t col;
+  friend auto operator<=>(const WarnSite&, const WarnSite&) = default;
+};
+
+std::set<WarnSite> warningSites(const AnalysisResult& analysis) {
+  std::set<WarnSite> out;
+  for (const ProcAnalysis& pa : analysis.procs) {
+    for (const UafWarning& w : pa.warnings) {
+      out.insert(WarnSite{w.access_loc.line, w.access_loc.column});
+    }
+  }
+  return out;
+}
+
+corpus::GeneratorOptions denseOptions() {
+  // Crank up concurrency so most programs exercise the analysis.
+  corpus::GeneratorOptions opts;
+  opts.begin_pm = 900;
+  opts.warned_pm = 500;
+  return opts;
+}
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --- Soundness: every dynamically observed use-after-free is warned. -------
+//
+// Caveat (faithful to the paper): deadlocked executions are dropped by the
+// PPS exploration, so the guarantee only covers programs whose exploration
+// saw no deadlocks; unsupported-loop programs are skipped entirely.
+TEST_P(SeededProperty, OracleUafImpliesWarning) {
+  corpus::ProgramGenerator gen(GetParam(), denseOptions());
+  int checked = 0;
+  for (int i = 0; i < 60; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+    Pipeline pipeline;
+    ASSERT_TRUE(pipeline.runSource(p.name, p.source)) << p.source;
+    bool skipped = false;
+    for (const ProcAnalysis& pa : pipeline.analysis().procs) {
+      skipped |= pa.skipped_unsupported;
+    }
+    if (skipped) continue;
+    rt::ExploreResult oracle =
+        rt::exploreAll(*pipeline.module(), *pipeline.program(), {});
+    if (oracle.unsupported || oracle.deadlock_schedules > 0) continue;
+    std::set<WarnSite> warned = warningSites(pipeline.analysis());
+    for (const rt::UafEvent& e : oracle.uaf_sites) {
+      EXPECT_TRUE(warned.contains(WarnSite{e.loc.line, e.loc.column}))
+          << "missed UAF at line " << e.loc.line << " in:\n" << p.source;
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+// --- The PPS merge optimization must not change any verdict. ---------------
+TEST_P(SeededProperty, MergeOptimizationPreservesWarnings) {
+  corpus::ProgramGenerator gen(GetParam() ^ 0xabcdef, denseOptions());
+  for (int i = 0; i < 40; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+
+    AnalysisOptions merged_opts;
+    Pipeline merged(merged_opts);
+    ASSERT_TRUE(merged.runSource(p.name, p.source));
+
+    AnalysisOptions plain_opts;
+    plain_opts.pps.merge_equivalent = false;
+    Pipeline plain(plain_opts);
+    ASSERT_TRUE(plain.runSource(p.name, p.source));
+
+    EXPECT_EQ(warningSites(merged.analysis()), warningSites(plain.analysis()))
+        << p.source;
+  }
+}
+
+// --- Pruning rules only remove provably safe tasks. -------------------------
+//
+// Sync-block fencing is modeled *only* by pruning rules B/C (the PPS engine
+// does not track sync-block joins), so disabling pruning is strictly more
+// conservative: the warning set can only grow, never lose a site.
+TEST_P(SeededProperty, PruningOnlyRemovesSafeWarnings) {
+  corpus::ProgramGenerator gen(GetParam() ^ 0x1234, denseOptions());
+  for (int i = 0; i < 40; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+
+    Pipeline pruned;
+    ASSERT_TRUE(pruned.runSource(p.name, p.source));
+
+    AnalysisOptions no_prune_opts;
+    no_prune_opts.build.prune = false;
+    Pipeline unpruned(no_prune_opts);
+    ASSERT_TRUE(unpruned.runSource(p.name, p.source));
+
+    std::set<WarnSite> with = warningSites(pruned.analysis());
+    std::set<WarnSite> without = warningSites(unpruned.analysis());
+    EXPECT_TRUE(std::includes(without.begin(), without.end(), with.begin(),
+                              with.end()))
+        << p.source;
+  }
+}
+
+// --- The MHP baseline never proves more than the PPS analysis. --------------
+TEST_P(SeededProperty, BaselineWarningsAreSuperset) {
+  corpus::ProgramGenerator gen(GetParam() ^ 0x777, denseOptions());
+  for (int i = 0; i < 40; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+    Pipeline pipeline;
+    ASSERT_TRUE(pipeline.runSource(p.name, p.source));
+    bool skipped = false;
+    for (const ProcAnalysis& pa : pipeline.analysis().procs) {
+      skipped |= pa.skipped_unsupported;
+    }
+    if (skipped) continue;
+    DiagnosticEngine diags;
+    AnalysisResult baseline = runMhpBaseline(*pipeline.module(), diags);
+    std::set<WarnSite> checker_sites = warningSites(pipeline.analysis());
+    std::set<WarnSite> baseline_sites = warningSites(baseline);
+    EXPECT_TRUE(std::includes(baseline_sites.begin(), baseline_sites.end(),
+                              checker_sites.begin(), checker_sites.end()))
+        << p.source;
+  }
+}
+
+// --- Full determinism of the end-to-end pipeline. ----------------------------
+TEST_P(SeededProperty, AnalysisIsDeterministic) {
+  corpus::ProgramGenerator gen(GetParam() ^ 0xbeef, denseOptions());
+  for (int i = 0; i < 25; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+    Pipeline a, b;
+    ASSERT_TRUE(a.runSource(p.name, p.source));
+    ASSERT_TRUE(b.runSource(p.name, p.source));
+    EXPECT_EQ(warningSites(a.analysis()), warningSites(b.analysis()));
+    ASSERT_EQ(a.analysis().procs.size(), b.analysis().procs.size());
+    for (std::size_t k = 0; k < a.analysis().procs.size(); ++k) {
+      EXPECT_EQ(a.analysis().procs[k].pps_states,
+                b.analysis().procs[k].pps_states);
+    }
+  }
+}
+
+// --- Intended-unsafe generator metadata is confirmed by the checker. --------
+TEST_P(SeededProperty, IntendedUnsafeTasksProduceWarnings) {
+  corpus::ProgramGenerator gen(GetParam() ^ 0x5555, denseOptions());
+  for (int i = 0; i < 60; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+    if (p.intended_unsafe_tasks == 0 && p.intended_fp_tasks == 0) continue;
+    Pipeline pipeline;
+    ASSERT_TRUE(pipeline.runSource(p.name, p.source));
+    bool skipped = false;
+    for (const ProcAnalysis& pa : pipeline.analysis().procs) {
+      skipped |= pa.skipped_unsupported;
+    }
+    if (skipped) continue;
+    EXPECT_GT(pipeline.analysis().warningCount(), 0u) << p.source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(11, 23, 37, 5005, 80808));
+
+}  // namespace
+}  // namespace cuaf

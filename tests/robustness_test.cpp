@@ -1,0 +1,150 @@
+// Robustness: the front end must never crash, hang, or mis-handle hostile
+// input — it reports diagnostics and returns. These tests feed mutated and
+// random inputs through the full pipeline.
+#include <gtest/gtest.h>
+
+#include "src/analysis/pipeline.h"
+#include "src/corpus/curated.h"
+#include "src/corpus/generator.h"
+#include "src/support/rng.h"
+
+namespace cuaf {
+namespace {
+
+// Running the pipeline must terminate and either succeed or report errors;
+// it must never crash.
+void runHostile(const std::string& source) {
+  Pipeline pipeline;
+  bool ok = pipeline.runSource("hostile.chpl", source);
+  if (!ok) {
+    EXPECT_TRUE(pipeline.diags().hasErrors());
+  }
+}
+
+TEST(Robustness, EmptyInput) { runHostile(""); }
+
+TEST(Robustness, OnlyComment) { runHostile("// nothing here\n"); }
+
+TEST(Robustness, OnlyWhitespace) { runHostile("  \n\t\n   \n"); }
+
+TEST(Robustness, UnbalancedBraces) {
+  runHostile("proc p() { { { var x = 1; }");
+  runHostile("proc p() } }");
+  runHostile("}}}}{{{{");
+}
+
+TEST(Robustness, TruncatedConstructs) {
+  runHostile("proc");
+  runHostile("proc p(");
+  runHostile("proc p() { var");
+  runHostile("proc p() { begin with (");
+  runHostile("proc p() { begin with (ref");
+  runHostile("proc p() { if (");
+  runHostile("proc p() { for i in 1..");
+  runHostile("config const");
+}
+
+TEST(Robustness, WrongTokensEverywhere) {
+  runHostile("proc 123() { }");
+  runHostile("proc p() { 1 = x; }");
+  runHostile("proc p() { var = 3; }");
+  runHostile("proc p() { begin begin begin; }");
+  runHostile("proc p() { sync sync sync { } }");
+}
+
+TEST(Robustness, DeepNesting) {
+  std::string src = "proc p() { var x = 1; ";
+  for (int i = 0; i < 200; ++i) src += "{ ";
+  src += "writeln(x); ";
+  for (int i = 0; i < 200; ++i) src += "} ";
+  src += "}";
+  runHostile(src);
+}
+
+TEST(Robustness, DeepExpressionNesting) {
+  std::string src = "proc p() { var x = ";
+  for (int i = 0; i < 300; ++i) src += "(1 + ";
+  src += "1";
+  for (int i = 0; i < 300; ++i) src += ")";
+  src += "; }";
+  runHostile(src);
+}
+
+TEST(Robustness, LongIdentifiers) {
+  std::string name(4000, 'a');
+  runHostile("proc " + name + "() { var " + name + "x = 1; writeln(" + name +
+             "x); }");
+}
+
+TEST(Robustness, ManyStatements) {
+  std::string src = "proc p() {\n";
+  for (int i = 0; i < 2000; ++i) {
+    src += "  var v" + std::to_string(i) + " = " + std::to_string(i) + ";\n";
+  }
+  src += "}\n";
+  Pipeline pipeline;
+  EXPECT_TRUE(pipeline.runSource("big.chpl", src));
+}
+
+// Byte-level fuzzing: random printable garbage.
+class FuzzBytes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzBytes, NeverCrashes) {
+  Rng rng(GetParam());
+  const char alphabet[] =
+      "abcxyz $#{}()+-*/=<>!&|;:.\"\n\t0123456789procvarbeginsync";
+  for (int round = 0; round < 40; ++round) {
+    std::size_t len = rng.below(300);
+    std::string src;
+    for (std::size_t i = 0; i < len; ++i) {
+      src += alphabet[rng.below(sizeof(alphabet) - 1)];
+    }
+    runHostile(src);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBytes,
+                         ::testing::Values(101, 202, 303, 404));
+
+// Mutation fuzzing: curated programs with random edits stay crash-free.
+class FuzzMutations : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzMutations, NeverCrashes) {
+  Rng rng(GetParam());
+  const auto& programs = corpus::curatedPrograms();
+  for (int round = 0; round < 60; ++round) {
+    std::string src =
+        programs[rng.below(programs.size())].source;
+    std::size_t edits = 1 + rng.below(5);
+    for (std::size_t e = 0; e < edits && !src.empty(); ++e) {
+      std::size_t pos = rng.below(src.size());
+      switch (rng.below(3)) {
+        case 0: src.erase(pos, 1); break;
+        case 1: src.insert(pos, 1, static_cast<char>('!' + rng.below(90))); break;
+        default: src[pos] = static_cast<char>('!' + rng.below(90)); break;
+      }
+    }
+    runHostile(src);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMutations,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Robustness, GeneratorNeverEmitsInvalid) {
+  // Wider sweep than the corpus test: 1500 programs across varied options.
+  corpus::GeneratorOptions dense;
+  dense.begin_pm = 1000;
+  dense.warned_pm = 800;
+  dense.nest_pm = 600;
+  dense.branch_pm = 500;
+  corpus::ProgramGenerator gen(424242, dense);
+  for (int i = 0; i < 1500; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+    Pipeline pipeline;
+    ASSERT_TRUE(pipeline.runSource(p.name, p.source)) << p.source;
+  }
+}
+
+}  // namespace
+}  // namespace cuaf

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cuaf {
+namespace {
+
+using test::Fixture;
+
+TEST(Sema, ResolvesLocalVariable) {
+  auto f = Fixture::analyze("proc p() { var x = 1; writeln(x); }");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  EXPECT_GE(f.sema->varCount(), 1u);
+}
+
+TEST(Sema, UndeclaredVariableIsError) {
+  auto f = Fixture::analyze("proc p() { writeln(nope); }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Sema, RedeclarationInSameScopeIsError) {
+  auto f = Fixture::analyze("proc p() { var x = 1; var x = 2; }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Sema, ShadowingInInnerScopeIsAllowed) {
+  auto f = Fixture::analyze("proc p() { var x = 1; { var x = 2; writeln(x); } }");
+  EXPECT_FALSE(f.diags.hasErrors()) << f.diagText();
+}
+
+TEST(Sema, AssignToConstIsError) {
+  auto f = Fixture::analyze("proc p() { const k = 1; k = 2; }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Sema, AssignToConfigConstIsError) {
+  auto f = Fixture::analyze("config const n = 1;\nproc p() { n = 2; }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Sema, AssignToUndeclaredIsError) {
+  auto f = Fixture::analyze("proc p() { ghost = 1; }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Sema, WithClauseUnknownVariableIsError) {
+  auto f = Fixture::analyze("proc p() { begin with (ref zzz) { } }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Sema, WithInIntentCreatesTaskCopy) {
+  auto f = Fixture::analyze(
+      "proc p() { var x = 1; begin with (in x) { writeln(x); } }");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto* begin = f.program->procs[0]->body->stmts[1].get();
+  const auto* caps = f.sema->captures(begin);
+  ASSERT_NE(caps, nullptr);
+  ASSERT_EQ(caps->size(), 1u);
+  EXPECT_NE((*caps)[0].local, (*caps)[0].outer);
+  EXPECT_TRUE(f.sema->var((*caps)[0].local).is_task_copy);
+  EXPECT_EQ(f.sema->var((*caps)[0].local).copied_from, (*caps)[0].outer);
+}
+
+TEST(Sema, WithRefIntentSharesVariable) {
+  auto f = Fixture::analyze(
+      "proc p() { var x = 1; begin with (ref x) { writeln(x); } }");
+  ASSERT_FALSE(f.diags.hasErrors());
+  const auto* begin = f.program->procs[0]->body->stmts[1].get();
+  const auto* caps = f.sema->captures(begin);
+  ASSERT_NE(caps, nullptr);
+  EXPECT_EQ((*caps)[0].local, (*caps)[0].outer);
+}
+
+TEST(Sema, BeginTaskScopeRecorded) {
+  auto f = Fixture::analyze(
+      "proc p() { var x = 1; begin with (ref x) { writeln(x); } }");
+  ASSERT_FALSE(f.diags.hasErrors());
+  const auto* begin = f.program->procs[0]->body->stmts[1].get();
+  ScopeId sc = f.sema->scopeOf(begin);
+  ASSERT_TRUE(sc.valid());
+  EXPECT_EQ(f.sema->scope(sc).kind, ScopeKind::BeginTask);
+}
+
+TEST(Sema, EnclosingTaskScopeWalksUp) {
+  auto f = Fixture::analyze(R"(proc p() {
+    var x = 1;
+    begin with (ref x) {
+      { writeln(x); }
+    }
+  })");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  const auto* begin = f.program->procs[0]->body->stmts[1]->as<BeginStmt>();
+  const auto* inner_block = begin->body->as<BlockStmt>()->stmts[0].get();
+  ScopeId inner = f.sema->scopeOf(inner_block);
+  ASSERT_TRUE(inner.valid());
+  ScopeId task = f.sema->enclosingTaskScope(inner);
+  ASSERT_TRUE(task.valid());
+  EXPECT_EQ(f.sema->scope(task).kind, ScopeKind::BeginTask);
+}
+
+TEST(Sema, NestedProcSeesEnclosingVars) {
+  auto f = Fixture::analyze(R"(proc p() {
+    var x = 1;
+    proc inner() { writeln(x); }
+    inner();
+  })");
+  EXPECT_FALSE(f.diags.hasErrors()) << f.diagText();
+}
+
+TEST(Sema, NestedProcVisibleBeforeTextualDecl) {
+  auto f = Fixture::analyze(R"(proc p() {
+    helper();
+    proc helper() { writeln(1); }
+  })");
+  EXPECT_FALSE(f.diags.hasErrors()) << f.diagText();
+}
+
+TEST(Sema, UnknownProcIsError) {
+  auto f = Fixture::analyze("proc p() { missing(); }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Sema, WrongArgCountIsError) {
+  auto f = Fixture::analyze(
+      "proc f(a: int) { }\nproc p() { f(1, 2); }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Sema, RefParamNeedsVariableArgument) {
+  auto f = Fixture::analyze(
+      "proc f(ref a: int) { a = 1; }\nproc p() { f(3); }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Sema, RefParamWithVariableOk) {
+  auto f = Fixture::analyze(
+      "proc f(ref a: int) { a = 1; }\nproc p() { var x = 0; f(x); }");
+  EXPECT_FALSE(f.diags.hasErrors()) << f.diagText();
+}
+
+TEST(Sema, ForwardCallBetweenTopLevelProcs) {
+  auto f = Fixture::analyze("proc p() { q(); }\nproc q() { }");
+  EXPECT_FALSE(f.diags.hasErrors()) << f.diagText();
+}
+
+TEST(Sema, CallSitesRecordSyncBlockEnclosure) {
+  auto f = Fixture::analyze(R"(proc callee() { }
+proc a() { sync { callee(); } }
+proc b() { callee(); })");
+  ASSERT_FALSE(f.diags.hasErrors());
+  ProcId callee = f.program->procs[0]->id;
+  const auto& sites = f.sema->callSites(callee);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_TRUE(sites[0].in_sync_block);
+  EXPECT_FALSE(sites[1].in_sync_block);
+}
+
+TEST(Sema, SyncMethodValidation) {
+  auto f = Fixture::analyze(
+      "proc p() { var d$: sync bool; d$.readFE(); d$.writeEF(true); }");
+  EXPECT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = Fixture::analyze("proc p() { var d$: sync bool; d$.bogus(); }");
+  EXPECT_TRUE(g.diags.hasErrors());
+}
+
+TEST(Sema, SingleMethodValidation) {
+  auto f = Fixture::analyze(
+      "proc p() { var s$: single bool; s$.readFF(); }");
+  EXPECT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = Fixture::analyze("proc p() { var s$: single bool; s$.readFE(); }");
+  EXPECT_TRUE(g.diags.hasErrors());
+}
+
+TEST(Sema, AtomicMethodValidation) {
+  auto f = Fixture::analyze(
+      "proc p() { var a: atomic int; a.add(1); a.waitFor(1); a.read(); }");
+  EXPECT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = Fixture::analyze("proc p() { var a: atomic int; a.frobnicate(); }");
+  EXPECT_TRUE(g.diags.hasErrors());
+}
+
+TEST(Sema, MethodOnPlainVarIsError) {
+  auto f = Fixture::analyze("proc p() { var x = 1; x.read(); }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Sema, AtomicPlainAssignIsError) {
+  auto f = Fixture::analyze("proc p() { var a: atomic int; a = 3; }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Sema, CompoundAssignOnSyncVarIsError) {
+  auto f = Fixture::analyze("proc p() { var d$: sync bool; d$ += true; }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+TEST(Sema, SyncInitRecordedAsFull) {
+  auto f = Fixture::analyze(
+      "proc p() { var a$: sync bool = true; var b$: sync bool; }");
+  ASSERT_FALSE(f.diags.hasErrors());
+  const auto* a = f.program->procs[0]->body->stmts[0]->as<VarDeclStmt>();
+  const auto* b = f.program->procs[0]->body->stmts[1]->as<VarDeclStmt>();
+  EXPECT_TRUE(f.sema->var(a->resolved).sync_init_full);
+  EXPECT_FALSE(f.sema->var(b->resolved).sync_init_full);
+}
+
+TEST(Sema, TypeInferenceFromInit) {
+  auto f = Fixture::analyze(R"(proc p() {
+    var i = 3;
+    var r = 2.5;
+    var b = true;
+    var s = "hey";
+    var c = 1 < 2;
+  })");
+  ASSERT_FALSE(f.diags.hasErrors());
+  auto type_of = [&](std::size_t idx) {
+    const auto* d = f.program->procs[0]->body->stmts[idx]->as<VarDeclStmt>();
+    return f.sema->var(d->resolved).type.base;
+  };
+  EXPECT_EQ(type_of(0), BaseType::Int);
+  EXPECT_EQ(type_of(1), BaseType::Real);
+  EXPECT_EQ(type_of(2), BaseType::Bool);
+  EXPECT_EQ(type_of(3), BaseType::String);
+  EXPECT_EQ(type_of(4), BaseType::Bool);
+}
+
+TEST(Sema, ConfigVarsRegistered) {
+  auto f = Fixture::analyze(
+      "config const flag = true;\nconfig const n = 5;\nproc p() { }");
+  ASSERT_FALSE(f.diags.hasErrors());
+  EXPECT_EQ(f.sema->configVars().size(), 2u);
+}
+
+TEST(Sema, ScopeContains) {
+  auto f = Fixture::analyze("proc p() { var x = 1; { writeln(x); } }");
+  ASSERT_FALSE(f.diags.hasErrors());
+  const auto* inner = f.program->procs[0]->body->stmts[1].get();
+  ScopeId inner_scope = f.sema->scopeOf(inner);
+  ScopeId proc_scope = f.sema->proc(f.program->procs[0]->id).body_scope;
+  EXPECT_TRUE(f.sema->scopeContains(proc_scope, inner_scope));
+  EXPECT_FALSE(f.sema->scopeContains(inner_scope, proc_scope));
+}
+
+TEST(Sema, ForLoopIndexIsConst) {
+  auto f = Fixture::analyze("proc p() { for i in 1..3 { i = 5; } }");
+  EXPECT_TRUE(f.diags.hasErrors());
+}
+
+}  // namespace
+}  // namespace cuaf

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "src/support/diagnostics.h"
+#include "src/support/interner.h"
+#include "src/support/rng.h"
+#include "src/support/source_manager.h"
+
+namespace cuaf {
+namespace {
+
+TEST(Interner, InternReturnsSameSymbolForSameText) {
+  StringInterner in;
+  Symbol a = in.intern("hello");
+  Symbol b = in.intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(in.text(a), "hello");
+}
+
+TEST(Interner, DistinctStringsGetDistinctSymbols) {
+  StringInterner in;
+  EXPECT_NE(in.intern("a"), in.intern("b"));
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(Interner, SurvivesManyInsertionsWithoutInvalidation) {
+  StringInterner in;
+  Symbol first = in.intern("stable");
+  for (int i = 0; i < 5000; ++i) {
+    in.intern("sym" + std::to_string(i));
+  }
+  EXPECT_EQ(in.text(first), "stable");
+  EXPECT_EQ(in.intern("stable"), first);
+}
+
+TEST(Interner, SsoSizedStringsSurviveGrowth) {
+  StringInterner in;
+  // Short strings exercise the SSO-buffer stability requirement.
+  std::vector<Symbol> syms;
+  for (int i = 0; i < 1000; ++i) syms.push_back(in.intern(std::to_string(i)));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(in.text(syms[static_cast<std::size_t>(i)]), std::to_string(i));
+  }
+}
+
+TEST(SourceManager, RendersLocations) {
+  SourceManager sm;
+  FileId f = sm.addBuffer("x.chpl", "line one\nline two\n");
+  EXPECT_EQ(sm.render(SourceLoc{f, 2, 5}), "x.chpl:2:5");
+}
+
+TEST(SourceManager, InvalidLocationRendersUnknown) {
+  SourceManager sm;
+  EXPECT_EQ(sm.render(SourceLoc{}), "<unknown>");
+}
+
+TEST(SourceManager, LineTextExtraction) {
+  SourceManager sm;
+  FileId f = sm.addBuffer("x", "alpha\nbeta\ngamma");
+  EXPECT_EQ(sm.lineText(f, 1), "alpha");
+  EXPECT_EQ(sm.lineText(f, 2), "beta");
+  EXPECT_EQ(sm.lineText(f, 3), "gamma");
+  EXPECT_EQ(sm.lineText(f, 4), "");
+}
+
+TEST(SourceManager, MissingFileThrows) {
+  SourceManager sm;
+  EXPECT_THROW(sm.addFile("/nonexistent/definitely/not/here.chpl"),
+               std::runtime_error);
+}
+
+TEST(SourceManager, BufferNameAndContents) {
+  SourceManager sm;
+  FileId f = sm.addBuffer("name.chpl", "contents");
+  EXPECT_EQ(sm.bufferName(f), "name.chpl");
+  EXPECT_EQ(sm.bufferContents(f), "contents");
+  EXPECT_EQ(sm.bufferCount(), 1u);
+}
+
+TEST(Diagnostics, CountsBySeverity) {
+  DiagnosticEngine d;
+  d.error(SourceLoc{}, "syntax", "boom");
+  d.warning(SourceLoc{}, "uaf", "careful");
+  d.warning(SourceLoc{}, "uaf", "careful again");
+  d.note(SourceLoc{}, "info", "fyi");
+  EXPECT_EQ(d.errorCount(), 1u);
+  EXPECT_EQ(d.warningCount(), 2u);
+  EXPECT_TRUE(d.hasErrors());
+  EXPECT_EQ(d.diagnostics().size(), 4u);
+}
+
+TEST(Diagnostics, CountWithCode) {
+  DiagnosticEngine d;
+  d.warning(SourceLoc{}, "uaf", "a");
+  d.warning(SourceLoc{}, "uaf", "b");
+  d.warning(SourceLoc{}, "unsupported-loop", "c");
+  EXPECT_EQ(d.countWithCode("uaf"), 2u);
+  EXPECT_EQ(d.countWithCode("unsupported-loop"), 1u);
+  EXPECT_EQ(d.countWithCode("absent"), 0u);
+}
+
+TEST(Diagnostics, RenderAllContainsSeverityAndCode) {
+  DiagnosticEngine d;
+  SourceManager sm;
+  FileId f = sm.addBuffer("t.chpl", "x\n");
+  d.warning(SourceLoc{f, 1, 1}, "uaf", "problem here");
+  std::string out = d.renderAll(sm);
+  EXPECT_NE(out.find("t.chpl:1:1"), std::string::npos);
+  EXPECT_NE(out.find("warning"), std::string::npos);
+  EXPECT_NE(out.find("[uaf]"), std::string::npos);
+  EXPECT_NE(out.find("problem here"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResetsState) {
+  DiagnosticEngine d;
+  d.error(SourceLoc{}, "syntax", "x");
+  d.clear();
+  EXPECT_FALSE(d.hasErrors());
+  EXPECT_TRUE(d.diagnostics().empty());
+}
+
+TEST(Ids, InvalidByDefault) {
+  VarId v;
+  EXPECT_FALSE(v.valid());
+  VarId w(3);
+  EXPECT_TRUE(w.valid());
+  EXPECT_EQ(w.index(), 3u);
+  EXPECT_NE(v, w);
+}
+
+TEST(Ids, Ordering) {
+  NodeId a(1), b(2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(NodeId(2), b);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = r.range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0));
+    EXPECT_TRUE(r.chance(1000));
+  }
+}
+
+}  // namespace
+}  // namespace cuaf

@@ -1,0 +1,59 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/analysis/pipeline.h"
+#include "src/ccfg/builder.h"
+#include "src/ir/lower.h"
+#include "src/parser/parser.h"
+#include "src/sema/sema.h"
+
+namespace cuaf::test {
+
+/// Owns the whole front-end state for one source snippet.
+struct Fixture {
+  SourceManager sm;
+  StringInterner interner;
+  DiagnosticEngine diags;
+  std::unique_ptr<Program> program;
+  std::unique_ptr<SemaModule> sema;
+  std::unique_ptr<ir::Module> module;
+
+  /// Parses only.
+  static Fixture parse(const std::string& source) {
+    Fixture f;
+    f.program = parseString(f.sm, f.interner, f.diags, "test.chpl", source);
+    return f;
+  }
+
+  /// Parses + sema.
+  static Fixture analyze(const std::string& source) {
+    Fixture f = parse(source);
+    if (!f.diags.hasErrors()) {
+      f.sema = cuaf::analyze(*f.program, f.interner, f.diags);
+    }
+    return f;
+  }
+
+  /// Parses + sema + lowering.
+  static Fixture lower(const std::string& source) {
+    Fixture f = analyze(source);
+    if (!f.diags.hasErrors() && f.sema) {
+      f.module = ir::lower(*f.program, *f.sema, f.diags);
+    }
+    return f;
+  }
+
+  /// Builds the CCFG of the first top-level procedure.
+  std::unique_ptr<ccfg::Graph> buildCcfg(
+      const ccfg::BuildOptions& options = {}) {
+    ProcId root = program->procs.at(0)->id;
+    return ccfg::buildGraph(*module, root, diags, options);
+  }
+
+  [[nodiscard]] std::string diagText() { return diags.renderAll(sm); }
+};
+
+}  // namespace cuaf::test
