@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_atomic_ablation.dir/bench_atomic_ablation.cpp.o"
+  "CMakeFiles/bench_atomic_ablation.dir/bench_atomic_ablation.cpp.o.d"
+  "bench_atomic_ablation"
+  "bench_atomic_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atomic_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fixer.dir/bench_fixer.cpp.o"
+  "CMakeFiles/bench_fixer.dir/bench_fixer.cpp.o.d"
+  "bench_fixer"
+  "bench_fixer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fixer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mhp_baseline.dir/bench_mhp_baseline.cpp.o"
+  "CMakeFiles/bench_mhp_baseline.dir/bench_mhp_baseline.cpp.o.d"
+  "bench_mhp_baseline"
+  "bench_mhp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mhp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

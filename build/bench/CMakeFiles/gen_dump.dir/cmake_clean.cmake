@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_dump.dir/gen_dump.cpp.o"
+  "CMakeFiles/gen_dump.dir/gen_dump.cpp.o.d"
+  "gen_dump"
+  "gen_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

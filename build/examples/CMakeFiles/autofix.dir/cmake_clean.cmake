@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofix.dir/autofix.cpp.o"
+  "CMakeFiles/autofix.dir/autofix.cpp.o.d"
+  "autofix"
+  "autofix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

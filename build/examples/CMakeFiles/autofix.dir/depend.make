@@ -1,0 +1,2 @@
+# Empty dependencies file for autofix.
+# This may be replaced when dependencies are built.

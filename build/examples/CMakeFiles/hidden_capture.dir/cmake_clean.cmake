@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidden_capture.dir/hidden_capture.cpp.o"
+  "CMakeFiles/hidden_capture.dir/hidden_capture.cpp.o.d"
+  "hidden_capture"
+  "hidden_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidden_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

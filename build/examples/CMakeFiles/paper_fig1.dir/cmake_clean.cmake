@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_fig1.dir/paper_fig1.cpp.o"
+  "CMakeFiles/paper_fig1.dir/paper_fig1.cpp.o.d"
+  "paper_fig1"
+  "paper_fig1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_fig1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

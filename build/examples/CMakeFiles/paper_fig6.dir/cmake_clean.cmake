@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_fig6.dir/paper_fig6.cpp.o"
+  "CMakeFiles/paper_fig6.dir/paper_fig6.cpp.o.d"
+  "paper_fig6"
+  "paper_fig6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_fig6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

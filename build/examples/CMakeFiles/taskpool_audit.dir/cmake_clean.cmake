@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskpool_audit.dir/taskpool_audit.cpp.o"
+  "CMakeFiles/taskpool_audit.dir/taskpool_audit.cpp.o.d"
+  "taskpool_audit"
+  "taskpool_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskpool_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

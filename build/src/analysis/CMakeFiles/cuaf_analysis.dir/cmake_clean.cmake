@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuaf_analysis.dir/checker.cpp.o"
+  "CMakeFiles/cuaf_analysis.dir/checker.cpp.o.d"
+  "CMakeFiles/cuaf_analysis.dir/fixer.cpp.o"
+  "CMakeFiles/cuaf_analysis.dir/fixer.cpp.o.d"
+  "CMakeFiles/cuaf_analysis.dir/json_report.cpp.o"
+  "CMakeFiles/cuaf_analysis.dir/json_report.cpp.o.d"
+  "CMakeFiles/cuaf_analysis.dir/pipeline.cpp.o"
+  "CMakeFiles/cuaf_analysis.dir/pipeline.cpp.o.d"
+  "libcuaf_analysis.a"
+  "libcuaf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuaf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

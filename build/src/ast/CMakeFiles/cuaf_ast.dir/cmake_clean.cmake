@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuaf_ast.dir/ast.cpp.o"
+  "CMakeFiles/cuaf_ast.dir/ast.cpp.o.d"
+  "CMakeFiles/cuaf_ast.dir/printer.cpp.o"
+  "CMakeFiles/cuaf_ast.dir/printer.cpp.o.d"
+  "CMakeFiles/cuaf_ast.dir/type.cpp.o"
+  "CMakeFiles/cuaf_ast.dir/type.cpp.o.d"
+  "libcuaf_ast.a"
+  "libcuaf_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuaf_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccfg/builder.cpp" "src/ccfg/CMakeFiles/cuaf_ccfg.dir/builder.cpp.o" "gcc" "src/ccfg/CMakeFiles/cuaf_ccfg.dir/builder.cpp.o.d"
+  "/root/repo/src/ccfg/graph.cpp" "src/ccfg/CMakeFiles/cuaf_ccfg.dir/graph.cpp.o" "gcc" "src/ccfg/CMakeFiles/cuaf_ccfg.dir/graph.cpp.o.d"
+  "/root/repo/src/ccfg/printer.cpp" "src/ccfg/CMakeFiles/cuaf_ccfg.dir/printer.cpp.o" "gcc" "src/ccfg/CMakeFiles/cuaf_ccfg.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cuaf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/cuaf_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cuaf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/cuaf_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/cuaf_lexer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuaf_ccfg.dir/builder.cpp.o"
+  "CMakeFiles/cuaf_ccfg.dir/builder.cpp.o.d"
+  "CMakeFiles/cuaf_ccfg.dir/graph.cpp.o"
+  "CMakeFiles/cuaf_ccfg.dir/graph.cpp.o.d"
+  "CMakeFiles/cuaf_ccfg.dir/printer.cpp.o"
+  "CMakeFiles/cuaf_ccfg.dir/printer.cpp.o.d"
+  "libcuaf_ccfg.a"
+  "libcuaf_ccfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuaf_ccfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

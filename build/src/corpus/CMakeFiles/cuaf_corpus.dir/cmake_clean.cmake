@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuaf_corpus.dir/curated.cpp.o"
+  "CMakeFiles/cuaf_corpus.dir/curated.cpp.o.d"
+  "CMakeFiles/cuaf_corpus.dir/generator.cpp.o"
+  "CMakeFiles/cuaf_corpus.dir/generator.cpp.o.d"
+  "CMakeFiles/cuaf_corpus.dir/runner.cpp.o"
+  "CMakeFiles/cuaf_corpus.dir/runner.cpp.o.d"
+  "libcuaf_corpus.a"
+  "libcuaf_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuaf_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuaf_ir.dir/ir.cpp.o"
+  "CMakeFiles/cuaf_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/cuaf_ir.dir/ir_printer.cpp.o"
+  "CMakeFiles/cuaf_ir.dir/ir_printer.cpp.o.d"
+  "CMakeFiles/cuaf_ir.dir/lower.cpp.o"
+  "CMakeFiles/cuaf_ir.dir/lower.cpp.o.d"
+  "libcuaf_ir.a"
+  "libcuaf_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuaf_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

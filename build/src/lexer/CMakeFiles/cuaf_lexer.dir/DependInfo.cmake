@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lexer/lexer.cpp" "src/lexer/CMakeFiles/cuaf_lexer.dir/lexer.cpp.o" "gcc" "src/lexer/CMakeFiles/cuaf_lexer.dir/lexer.cpp.o.d"
+  "/root/repo/src/lexer/token.cpp" "src/lexer/CMakeFiles/cuaf_lexer.dir/token.cpp.o" "gcc" "src/lexer/CMakeFiles/cuaf_lexer.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cuaf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuaf_lexer.dir/lexer.cpp.o"
+  "CMakeFiles/cuaf_lexer.dir/lexer.cpp.o.d"
+  "CMakeFiles/cuaf_lexer.dir/token.cpp.o"
+  "CMakeFiles/cuaf_lexer.dir/token.cpp.o.d"
+  "libcuaf_lexer.a"
+  "libcuaf_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuaf_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcuaf_lexer.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuaf_parser.dir/parser.cpp.o"
+  "CMakeFiles/cuaf_parser.dir/parser.cpp.o.d"
+  "libcuaf_parser.a"
+  "libcuaf_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuaf_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

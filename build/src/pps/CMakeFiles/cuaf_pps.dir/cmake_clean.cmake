@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuaf_pps.dir/pps.cpp.o"
+  "CMakeFiles/cuaf_pps.dir/pps.cpp.o.d"
+  "libcuaf_pps.a"
+  "libcuaf_pps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuaf_pps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

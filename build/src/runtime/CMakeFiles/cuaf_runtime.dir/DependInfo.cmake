@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/explore.cpp" "src/runtime/CMakeFiles/cuaf_runtime.dir/explore.cpp.o" "gcc" "src/runtime/CMakeFiles/cuaf_runtime.dir/explore.cpp.o.d"
+  "/root/repo/src/runtime/interp.cpp" "src/runtime/CMakeFiles/cuaf_runtime.dir/interp.cpp.o" "gcc" "src/runtime/CMakeFiles/cuaf_runtime.dir/interp.cpp.o.d"
+  "/root/repo/src/runtime/value.cpp" "src/runtime/CMakeFiles/cuaf_runtime.dir/value.cpp.o" "gcc" "src/runtime/CMakeFiles/cuaf_runtime.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cuaf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/cuaf_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cuaf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/cuaf_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/cuaf_lexer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuaf_runtime.dir/explore.cpp.o"
+  "CMakeFiles/cuaf_runtime.dir/explore.cpp.o.d"
+  "CMakeFiles/cuaf_runtime.dir/interp.cpp.o"
+  "CMakeFiles/cuaf_runtime.dir/interp.cpp.o.d"
+  "CMakeFiles/cuaf_runtime.dir/value.cpp.o"
+  "CMakeFiles/cuaf_runtime.dir/value.cpp.o.d"
+  "libcuaf_runtime.a"
+  "libcuaf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuaf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

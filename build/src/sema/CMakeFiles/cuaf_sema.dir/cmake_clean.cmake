@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuaf_sema.dir/sema.cpp.o"
+  "CMakeFiles/cuaf_sema.dir/sema.cpp.o.d"
+  "libcuaf_sema.a"
+  "libcuaf_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuaf_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcuaf_sema.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuaf_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/cuaf_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/cuaf_support.dir/interner.cpp.o"
+  "CMakeFiles/cuaf_support.dir/interner.cpp.o.d"
+  "CMakeFiles/cuaf_support.dir/source_manager.cpp.o"
+  "CMakeFiles/cuaf_support.dir/source_manager.cpp.o.d"
+  "libcuaf_support.a"
+  "libcuaf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuaf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chpl-uaf.dir/chpl_uaf_main.cpp.o"
+  "CMakeFiles/chpl-uaf.dir/chpl_uaf_main.cpp.o.d"
+  "chpl-uaf"
+  "chpl-uaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chpl-uaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

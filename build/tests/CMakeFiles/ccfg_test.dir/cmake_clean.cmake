@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfg_test.dir/ccfg_test.cpp.o"
+  "CMakeFiles/ccfg_test.dir/ccfg_test.cpp.o.d"
+  "ccfg_test"
+  "ccfg_test.pdb"
+  "ccfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

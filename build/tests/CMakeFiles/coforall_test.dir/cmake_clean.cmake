@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coforall_test.dir/coforall_test.cpp.o"
+  "CMakeFiles/coforall_test.dir/coforall_test.cpp.o.d"
+  "coforall_test"
+  "coforall_test.pdb"
+  "coforall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coforall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixer_test.dir/fixer_test.cpp.o"
+  "CMakeFiles/fixer_test.dir/fixer_test.cpp.o.d"
+  "fixer_test"
+  "fixer_test.pdb"
+  "fixer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

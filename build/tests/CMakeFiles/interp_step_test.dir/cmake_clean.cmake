@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_step_test.dir/interp_step_test.cpp.o"
+  "CMakeFiles/interp_step_test.dir/interp_step_test.cpp.o.d"
+  "interp_step_test"
+  "interp_step_test.pdb"
+  "interp_step_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_step_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

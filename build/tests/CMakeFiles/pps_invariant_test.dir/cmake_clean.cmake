@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pps_invariant_test.dir/pps_invariant_test.cpp.o"
+  "CMakeFiles/pps_invariant_test.dir/pps_invariant_test.cpp.o.d"
+  "pps_invariant_test"
+  "pps_invariant_test.pdb"
+  "pps_invariant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pps_invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pps_test.dir/pps_test.cpp.o"
+  "CMakeFiles/pps_test.dir/pps_test.cpp.o.d"
+  "pps_test"
+  "pps_test.pdb"
+  "pps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
