@@ -1,0 +1,141 @@
+// Parallel scaling of the corpus runner and the dynamic oracle: throughput
+// at increasing --jobs counts, with a built-in determinism check (every jobs
+// value must reproduce the jobs=1 Table I statistics and outcome sequence
+// bit-for-bit). Emits a machine-readable datapoint to BENCH_parallel.json.
+//
+//   Usage: bench_parallel_scaling [count] [seed] [max_jobs]
+//     count     generated programs per run (default 600)
+//     seed      generator seed (default 20170529)
+//     max_jobs  highest jobs value measured; doubling steps from 1
+//               (default 8)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/pipeline.h"
+#include "src/corpus/runner.h"
+#include "src/runtime/explore.h"
+
+namespace {
+
+double runCorpusMs(std::size_t count, std::uint64_t seed, std::size_t jobs,
+                   cuaf::corpus::CorpusRunResult& out) {
+  cuaf::corpus::GeneratorOptions gen;
+  cuaf::corpus::RunnerOptions run;
+  run.jobs = jobs;
+  auto t0 = std::chrono::steady_clock::now();
+  out = cuaf::corpus::runCorpusDetailed(seed, count, gen, run);
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double runOracleMs(std::size_t jobs, cuaf::rt::ExploreResult& out) {
+  // A contended program large enough that the shard fan-out has work to
+  // split: several unsynchronized tasks explode the interleaving space.
+  std::string src = "proc p() {\n  var x: int = 0;\n";
+  for (int t = 0; t < 5; ++t) {
+    src += "  begin with (ref x) { x += 1; x += 2; writeln(x); }\n";
+  }
+  src += "}\n";
+  cuaf::Pipeline pipeline;
+  if (!pipeline.runSource("scaling.chpl", src)) std::abort();
+  cuaf::rt::ExploreOptions opts;
+  opts.max_schedules = 4000;
+  opts.jobs = jobs;
+  auto t0 = std::chrono::steady_clock::now();
+  out = cuaf::rt::exploreAll(*pipeline.module(), *pipeline.program(), opts);
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t count = 600;
+  std::uint64_t seed = 20170529;
+  std::size_t max_jobs = 8;
+  if (argc > 1) count = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  if (argc > 2) seed = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) max_jobs = static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
+  if (max_jobs == 0) max_jobs = 1;
+
+  unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "=== Parallel scaling (corpus runner + oracle) ===\n"
+            << "(corpus: " << count << " generated programs, seed " << seed
+            << "; hardware threads: " << hw << ")\n\n";
+
+  struct Point {
+    std::size_t jobs;
+    double corpus_ms;
+    double oracle_ms;
+    bool identical;
+  };
+  std::vector<Point> points;
+
+  cuaf::corpus::CorpusRunResult reference;
+  cuaf::rt::ExploreResult oracle_reference;
+  for (std::size_t jobs = 1; jobs <= max_jobs; jobs *= 2) {
+    cuaf::corpus::CorpusRunResult r;
+    double corpus_ms = runCorpusMs(count, seed, jobs, r);
+    cuaf::rt::ExploreResult o;
+    double oracle_ms = runOracleMs(jobs, o);
+    bool identical = true;
+    if (jobs == 1) {
+      reference = std::move(r);
+      oracle_reference = std::move(o);
+    } else {
+      identical = r.stats == reference.stats &&
+                  r.outcomes == reference.outcomes &&
+                  o.uaf_sites.size() == oracle_reference.uaf_sites.size() &&
+                  o.schedules_run == oracle_reference.schedules_run;
+      for (std::size_t i = 0; identical && i < o.uaf_sites.size(); ++i) {
+        identical = o.uaf_sites[i] == oracle_reference.uaf_sites[i] &&
+                    o.uaf_sites[i].is_write ==
+                        oracle_reference.uaf_sites[i].is_write;
+      }
+    }
+    points.push_back({jobs, corpus_ms, oracle_ms, identical});
+  }
+
+  std::printf("%6s %12s %10s %12s %10s %10s\n", "jobs", "corpus ms",
+              "speedup", "oracle ms", "speedup", "identical");
+  for (const Point& p : points) {
+    std::printf("%6zu %12.1f %9.2fx %12.1f %9.2fx %10s\n", p.jobs,
+                p.corpus_ms, points[0].corpus_ms / p.corpus_ms, p.oracle_ms,
+                points[0].oracle_ms / p.oracle_ms,
+                p.identical ? "yes" : "NO");
+  }
+
+  bool all_identical = true;
+  for (const Point& p : points) all_identical &= p.identical;
+  std::cout << (all_identical
+                    ? "\ndeterminism: all jobs values bit-identical to jobs=1\n"
+                    : "\ndeterminism: MISMATCH vs jobs=1 (BUG)\n");
+
+  std::ofstream json("BENCH_parallel.json");
+  json << "{\n  \"bench\": \"parallel_scaling\",\n"
+       << "  \"count\": " << count << ",\n  \"seed\": " << seed << ",\n"
+       << "  \"hardware_threads\": " << hw << ",\n"
+       << "  \"deterministic\": " << (all_identical ? "true" : "false")
+       << ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"jobs\": %zu, \"corpus_ms\": %.1f, "
+                  "\"corpus_speedup\": %.2f, \"oracle_ms\": %.1f, "
+                  "\"oracle_speedup\": %.2f}%s\n",
+                  p.jobs, p.corpus_ms, points[0].corpus_ms / p.corpus_ms,
+                  p.oracle_ms, points[0].oracle_ms / p.oracle_ms,
+                  i + 1 < points.size() ? "," : "");
+    json << buf;
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_parallel.json\n";
+  return all_identical ? 0 : 1;
+}

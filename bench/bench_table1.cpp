@@ -2,10 +2,12 @@
 // test-suite-sized corpus (synthetic substitute for the Chapel 1.11 suite;
 // see DESIGN.md §2) and classifying warnings with the dynamic oracle.
 //
-//   Usage: bench_table1 [count] [seed]
+//   Usage: bench_table1 [count] [seed] [jobs]
 //     count  number of generated programs (default 5127 minus the curated
 //            suite, so the total matches the paper's 5127)
 //     seed   generator seed (default 20170529)
+//     jobs   worker threads (default 1; statistics are identical for any
+//            value — see docs/PARALLELISM.md)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +25,9 @@ int main(int argc, char** argv) {
 
   cuaf::corpus::GeneratorOptions gen;
   cuaf::corpus::RunnerOptions run;
+  if (argc > 3) {
+    run.jobs = static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
+  }
 
   auto t0 = std::chrono::steady_clock::now();
   cuaf::corpus::Table1Stats stats = cuaf::corpus::runCorpus(

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel_scaling.cpp" "bench/CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/cuaf_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cuaf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cuaf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/pps/CMakeFiles/cuaf_pps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccfg/CMakeFiles/cuaf_ccfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/cuaf_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cuaf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/cuaf_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/cuaf_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/cuaf_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cuaf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

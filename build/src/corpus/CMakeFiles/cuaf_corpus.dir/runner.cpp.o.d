@@ -220,9 +220,23 @@ src/corpus/CMakeFiles/cuaf_corpus.dir/runner.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/pps/pps.h \
  /root/repo/src/corpus/curated.h /root/repo/src/corpus/generator.h \
- /root/repo/src/support/rng.h /root/repo/src/analysis/pipeline.h \
- /root/repo/src/ir/lower.h /root/repo/src/parser/parser.h \
- /root/repo/src/lexer/lexer.h /root/repo/src/lexer/token.h \
- /root/repo/src/support/source_manager.h /root/repo/src/runtime/explore.h \
- /root/repo/src/runtime/interp.h /root/repo/src/runtime/value.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h
+ /root/repo/src/support/rng.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/analysis/pipeline.h /root/repo/src/ir/lower.h \
+ /root/repo/src/parser/parser.h /root/repo/src/lexer/lexer.h \
+ /root/repo/src/lexer/token.h /root/repo/src/support/source_manager.h \
+ /root/repo/src/runtime/explore.h /root/repo/src/runtime/interp.h \
+ /root/repo/src/runtime/value.h /usr/include/c++/12/variant \
+ /root/repo/src/support/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cuaf_support.dir/interner.cpp.o.d"
   "CMakeFiles/cuaf_support.dir/source_manager.cpp.o"
   "CMakeFiles/cuaf_support.dir/source_manager.cpp.o.d"
+  "CMakeFiles/cuaf_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/cuaf_support.dir/thread_pool.cpp.o.d"
   "libcuaf_support.a"
   "libcuaf_support.pdb"
 )

@@ -1,7 +1,11 @@
 #include "src/corpus/runner.h"
 
+#include <atomic>
+#include <mutex>
+
 #include "src/analysis/pipeline.h"
 #include "src/runtime/explore.h"
+#include "src/support/thread_pool.h"
 
 namespace cuaf::corpus {
 
@@ -56,46 +60,82 @@ ProgramOutcome runProgram(const std::string& name, const std::string& source,
     eo.random_schedules = options.oracle_random_schedules;
     rt::ExploreResult oracle =
         rt::exploreAll(*pipeline.module(), *pipeline.program(), eo);
-    for (const ProcAnalysis& pa : analysis.procs) {
-      for (const UafWarning& w : pa.warnings) {
-        if (oracle.sawUafAt(w.access_loc)) ++outcome.true_positives;
+    // A verdict from an interpreter that bailed on an unsupported feature
+    // classifies nothing; leave those warnings out of the TP denominator.
+    if (!oracle.unsupported) {
+      outcome.warnings_classified = outcome.warnings;
+      for (const ProcAnalysis& pa : analysis.procs) {
+        for (const UafWarning& w : pa.warnings) {
+          if (oracle.sawUafAt(w.access_loc)) ++outcome.true_positives;
+        }
       }
     }
   }
   return outcome;
 }
 
-Table1Stats runCorpus(
+CorpusRunResult runCorpusDetailed(
     std::uint64_t seed, std::size_t count, const GeneratorOptions& gen_options,
     const RunnerOptions& options,
     const std::function<void(std::size_t, std::size_t)>& progress) {
-  Table1Stats stats;
+  // Materialize the corpus serially: the generator is a sequential seeded
+  // stream, so sources must not depend on execution interleaving.
+  struct Job {
+    std::string name;
+    std::string source;
+  };
+  std::vector<Job> jobs_list;
+  const auto& curated = curatedPrograms();
+  jobs_list.reserve(curated.size() + count);
+  for (const CuratedProgram& p : curated) {
+    jobs_list.push_back({p.name, p.source});
+  }
   ProgramGenerator gen(seed, gen_options);
+  for (std::size_t i = 0; i < count; ++i) {
+    GeneratedProgram p = gen.next();
+    jobs_list.push_back({std::move(p.name), std::move(p.source)});
+  }
 
-  auto account = [&](const ProgramOutcome& o) {
-    if (!o.parse_ok) return;
-    if (o.skipped_unsupported && !options.count_skipped) return;
+  CorpusRunResult result;
+  std::size_t total = jobs_list.size();
+  result.outcomes.resize(total);
+
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+
+  ThreadPool pool(ThreadPool::workersForJobs(options.jobs));
+  pool.parallelFor(total, [&](std::size_t i) {
+    result.outcomes[i] =
+        runProgram(jobs_list[i].name, jobs_list[i].source, options);
+    std::size_t d = done.fetch_add(1) + 1;
+    if (progress && (d % 256) == 0) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      progress(d, total);
+    }
+  });
+
+  // Deterministic aggregation: merge in program order, independent of the
+  // order jobs finished in.
+  Table1Stats& stats = result.stats;
+  for (const ProgramOutcome& o : result.outcomes) {
+    if (!o.parse_ok) continue;
+    if (o.skipped_unsupported) ++stats.cases_skipped;
+    if (o.skipped_unsupported && !options.count_skipped) continue;
     ++stats.total_cases;
     if (o.has_begin) ++stats.cases_with_begin;
     if (o.warnings > 0) ++stats.cases_with_warnings;
     stats.warnings_reported += o.warnings;
     stats.true_positives += o.true_positives;
-  };
-
-  const auto& curated = curatedPrograms();
-  std::size_t total = count + curated.size();
-  std::size_t done = 0;
-
-  for (const CuratedProgram& p : curated) {
-    account(runProgram(p.name, p.source, options));
-    if (progress && (++done % 256) == 0) progress(done, total);
+    stats.warnings_classified += o.warnings_classified;
   }
-  for (std::size_t i = 0; i < count; ++i) {
-    GeneratedProgram p = gen.next();
-    account(runProgram(p.name, p.source, options));
-    if (progress && (++done % 256) == 0) progress(done, total);
-  }
-  return stats;
+  return result;
+}
+
+Table1Stats runCorpus(
+    std::uint64_t seed, std::size_t count, const GeneratorOptions& gen_options,
+    const RunnerOptions& options,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  return runCorpusDetailed(seed, count, gen_options, options, progress).stats;
 }
 
 }  // namespace cuaf::corpus

@@ -1,5 +1,12 @@
 // Corpus runner: executes the checker (and the dynamic oracle for warned
 // programs) over a corpus and accumulates the Table I statistics.
+//
+// Parallel execution: with jobs > 1 the programs run as independent jobs on
+// a fixed-size ThreadPool. Program sources are materialized serially from
+// the seeded generator (so the corpus is identical for any job count), each
+// job writes only its own ProgramOutcome slot, and the Table I statistics
+// are merged in program order afterwards — parallel and serial runs produce
+// bit-identical stats and outcome sequences (see docs/PARALLELISM.md).
 #pragma once
 
 #include <functional>
@@ -12,19 +19,40 @@
 
 namespace cuaf::corpus {
 
-/// The six rows of the paper's Table I.
+/// The six rows of the paper's Table I, plus accounting extensions.
 struct Table1Stats {
   std::size_t total_cases = 0;
   std::size_t cases_with_begin = 0;
   std::size_t cases_with_warnings = 0;
   std::size_t warnings_reported = 0;
   std::size_t true_positives = 0;
+  /// Warnings the dynamic oracle actually classified (oracle enabled and the
+  /// program fully supported by the interpreter). The TP percentage divides
+  /// by this, not by warnings_reported: unclassified warnings carry no
+  /// TP/FP verdict and must not deflate the rate.
+  std::size_t warnings_classified = 0;
+  /// Programs whose analysis skipped unsupported constructs; tracked even
+  /// when `count_skipped` excludes them from the rows above.
+  std::size_t cases_skipped = 0;
 
   [[nodiscard]] double truePositivePct() const {
-    return warnings_reported == 0
-               ? 0.0
-               : 100.0 * static_cast<double>(true_positives) /
-                     static_cast<double>(warnings_reported);
+    // Legacy/manually-built stats may carry no classification record; fall
+    // back to the reported count so the ratio stays meaningful.
+    std::size_t denom =
+        warnings_classified != 0 ? warnings_classified : warnings_reported;
+    return denom == 0 ? 0.0
+                      : 100.0 * static_cast<double>(true_positives) /
+                            static_cast<double>(denom);
+  }
+
+  friend bool operator==(const Table1Stats& a, const Table1Stats& b) {
+    return a.total_cases == b.total_cases &&
+           a.cases_with_begin == b.cases_with_begin &&
+           a.cases_with_warnings == b.cases_with_warnings &&
+           a.warnings_reported == b.warnings_reported &&
+           a.true_positives == b.true_positives &&
+           a.warnings_classified == b.warnings_classified &&
+           a.cases_skipped == b.cases_skipped;
   }
 
   /// Renders the table with the paper's reference column next to ours.
@@ -42,6 +70,10 @@ struct RunnerOptions {
   std::size_t oracle_random_schedules = 32;
   /// Also count programs the analysis skips (unsupported loops).
   bool count_skipped = true;
+  /// Worker threads for the corpus sweep (<=1 = serial inline execution).
+  /// The oracle stays serial inside each job: program-level parallelism
+  /// already saturates the pool and nested submission is rejected.
+  std::size_t jobs = 1;
 };
 
 struct ProgramOutcome {
@@ -51,6 +83,24 @@ struct ProgramOutcome {
   bool skipped_unsupported = false;
   std::size_t warnings = 0;
   std::size_t true_positives = 0;
+  /// Warnings covered by an oracle verdict for this program (0 when the
+  /// oracle was disabled or hit an unsupported runtime feature).
+  std::size_t warnings_classified = 0;
+
+  friend bool operator==(const ProgramOutcome& a, const ProgramOutcome& b) {
+    return a.name == b.name && a.parse_ok == b.parse_ok &&
+           a.has_begin == b.has_begin &&
+           a.skipped_unsupported == b.skipped_unsupported &&
+           a.warnings == b.warnings && a.true_positives == b.true_positives &&
+           a.warnings_classified == b.warnings_classified;
+  }
+};
+
+/// Stats plus the per-program outcomes in deterministic program order
+/// (curated suite first, then generated programs by index).
+struct CorpusRunResult {
+  Table1Stats stats;
+  std::vector<ProgramOutcome> outcomes;
 };
 
 /// Runs one program source through parse→sema→IR→checker (and oracle).
@@ -58,8 +108,15 @@ ProgramOutcome runProgram(const std::string& name, const std::string& source,
                           const RunnerOptions& options);
 
 /// Runs `count` generated programs from `seed` plus the curated suite and
-/// returns Table I statistics. `progress` (optional) is invoked every 256
-/// programs with (done, total).
+/// returns Table I statistics plus per-program outcomes. `progress`
+/// (optional) is invoked every 256 completed programs with (done, total);
+/// with jobs > 1 it is called under a lock, from worker threads.
+CorpusRunResult runCorpusDetailed(
+    std::uint64_t seed, std::size_t count, const GeneratorOptions& gen_options,
+    const RunnerOptions& options,
+    const std::function<void(std::size_t, std::size_t)>& progress = nullptr);
+
+/// Stats-only convenience wrapper around runCorpusDetailed().
 Table1Stats runCorpus(std::uint64_t seed, std::size_t count,
                       const GeneratorOptions& gen_options,
                       const RunnerOptions& options,

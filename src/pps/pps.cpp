@@ -67,9 +67,14 @@ class Engine {
       var_index_[var] = static_cast<std::uint32_t>(result_.sync_var_order.size());
       result_.sync_var_order.push_back(var);
     }
-    // Per-variable access lists and PF lookup.
+    // Per-variable access lists and PF lookup. Sorted once here: the
+    // parallel-frontier flush intersects against them on every executed
+    // state, so sorting there would be a per-state hot-path cost.
     for (const ccfg::OvUse& a : g_.accesses()) {
       if (!a.pre_safe) var_accesses_[a.var].push_back(a.id);
+    }
+    for (auto& [var, accesses] : var_accesses_) {
+      std::sort(accesses.begin(), accesses.end());
     }
   }
 
@@ -346,26 +351,40 @@ class Engine {
         }
       }
       if (!pf_candidate) continue;
-      std::vector<AccessId> sorted_accesses = accesses;
-      std::sort(sorted_accesses.begin(), sorted_accesses.end());
-      std::vector<AccessId> moved = setIntersect(pps.ov, sorted_accesses);
+      std::vector<AccessId> moved = setIntersect(pps.ov, accesses);
       if (moved.empty()) continue;
       pps.ov = setMinus(pps.ov, moved);
       pps.sv = setUnion(pps.sv, moved);
     }
   }
 
-  [[nodiscard]] std::string mergeKey(const Pps& pps) const {
-    std::string key;
-    key.reserve(pps.asn.size() * 4 + pps.state.size());
-    for (const StrandHead& h : pps.asn) {
-      std::uint32_t v = h.sync_node.index();
-      key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  /// Dedup key over the merge-relevant state: the sorted ASN sync nodes and
+  /// the sync-variable state vector (ST). The hash is computed once at
+  /// construction — the worklist probes this index for every generated
+  /// state, so rehashing on each probe would dominate the merge path.
+  struct MergeKey {
+    std::vector<std::uint32_t> words;  ///< ASN node ids, sentinel, ST values
+    std::size_t hash = 0;
+
+    MergeKey(const Pps& pps) {
+      words.reserve(pps.asn.size() + 1 + pps.state.size());
+      for (const StrandHead& h : pps.asn) words.push_back(h.sync_node.index());
+      words.push_back(0xffffffffu);  // ASN/ST boundary
+      for (VarState s : pps.state) {
+        words.push_back(static_cast<std::uint32_t>(s));
+      }
+      std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the words
+      for (std::uint32_t w : words) h = (h ^ w) * 0x100000001b3ull;
+      hash = static_cast<std::size_t>(h);
     }
-    key.push_back('|');
-    for (VarState s : pps.state) key.push_back(static_cast<char>(s));
-    return key;
-  }
+
+    friend bool operator==(const MergeKey& a, const MergeKey& b) {
+      return a.hash == b.hash && a.words == b.words;
+    }
+  };
+  struct MergeKeyHash {
+    std::size_t operator()(const MergeKey& k) const noexcept { return k.hash; }
+  };
 
   void pushPps(Pps pps, std::uint32_t parent_trace, Rule rule,
                std::vector<NodeId> executed) {
@@ -375,7 +394,7 @@ class Engine {
     }
 
     if (opt_.merge_equivalent) {
-      std::string key = mergeKey(pps);
+      MergeKey key(pps);
       auto it = merged_.find(key);
       if (it != merged_.end()) {
         Pps& stored = it->second;
@@ -438,7 +457,7 @@ class Engine {
   std::deque<Pps> worklist_;
   std::unordered_map<VarId, std::uint32_t> var_index_;
   std::unordered_map<VarId, std::vector<AccessId>> var_accesses_;
-  std::unordered_map<std::string, Pps> merged_;
+  std::unordered_map<MergeKey, Pps, MergeKeyHash> merged_;
   std::unordered_set<AccessId> reported_;
 };
 

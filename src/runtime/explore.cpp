@@ -1,26 +1,26 @@
 #include "src/runtime/explore.h"
 
 #include <algorithm>
+#include <unordered_map>
+
+#include "src/support/rng.h"
+#include "src/support/thread_pool.h"
 
 namespace cuaf::rt {
 
 namespace {
 
-/// xorshift-style deterministic PRNG (no global state, reproducible).
-class Rng {
- public:
-  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 1) {}
-  std::uint64_t next() {
-    state_ ^= state_ << 13;
-    state_ ^= state_ >> 7;
-    state_ ^= state_ << 17;
-    return state_;
-  }
-  std::size_t below(std::size_t n) { return n == 0 ? 0 : next() % n; }
-
- private:
-  std::uint64_t state_;
-};
+/// splitmix64 finalizer: decorrelates per-shard RNG streams derived from
+/// (seed, combo, shard) so shard count — not thread count — fixes the
+/// random schedules explored.
+std::uint64_t deriveSeed(std::uint64_t seed, std::size_t combo,
+                         std::size_t shard) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (combo + 1) +
+                    0xbf58476d1ce4e5b9ull * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
 
 struct RunOutcome {
   std::vector<UafEvent> events;
@@ -91,7 +91,7 @@ RunOutcome runSchedule(const ir::Module& module, const Program& program,
         pick = choices[out.choice_points];
         if (pick >= ready.size()) pick = ready.size() - 1;
       } else if (rng != nullptr) {
-        pick = rng->below(ready.size());
+        pick = static_cast<std::size_t>(rng->below(ready.size()));
       } else if (victim != static_cast<std::size_t>(-1)) {
         // Delay the victim: pick the first ready non-victim task.
         for (std::size_t i = 0; i < ready.size(); ++i) {
@@ -111,18 +111,77 @@ RunOutcome runSchedule(const ir::Module& module, const Program& program,
   return out;
 }
 
-void mergeEvents(std::vector<UafEvent>& sites,
-                 const std::vector<UafEvent>& events) {
-  for (const UafEvent& e : events) {
-    bool found = false;
-    for (UafEvent& s : sites) {
-      if (s == e) {
-        s.is_write = s.is_write || e.is_write;
-        found = true;
-        break;
-      }
+/// Ordered site set with an O(1) (loc, var) dedup index: discovery order is
+/// preserved (first insertion wins a slot, later sightings OR is_write), so
+/// merging shard sets in shard order yields one deterministic sequence.
+class SiteIndex {
+ public:
+  void add(const UafEvent& e) {
+    Key k{e.loc, e.var};
+    auto [it, inserted] = index_.try_emplace(k, sites_.size());
+    if (inserted) {
+      sites_.push_back(e);
+    } else {
+      sites_[it->second].is_write = sites_[it->second].is_write || e.is_write;
     }
-    if (!found) sites.push_back(e);
+  }
+  void addAll(const std::vector<UafEvent>& events) {
+    for (const UafEvent& e : events) add(e);
+  }
+  [[nodiscard]] std::vector<UafEvent> take() { return std::move(sites_); }
+
+ private:
+  struct Key {
+    SourceLoc loc;
+    VarId var;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t h = k.loc.file.index();
+      h = h * 0x100000001b3ull ^ k.loc.line;
+      h = h * 0x100000001b3ull ^ k.loc.column;
+      h = h * 0x100000001b3ull ^ k.var.index();
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::vector<UafEvent> sites_;
+  std::unordered_map<Key, std::size_t, KeyHash> index_;
+};
+
+/// Result of one logical shard; merged into the ExploreResult in shard
+/// order, independent of which thread ran it.
+struct ShardOutcome {
+  SiteIndex sites;
+  std::size_t schedules = 0;
+  std::size_t deadlocks = 0;
+  bool truncated = false;
+  bool unsupported = false;
+
+  void accumulate(const RunOutcome& run) {
+    sites.addAll(run.events);
+    if (run.deadlocked) ++deadlocks;
+    if (run.step_limited || run.unsupported) truncated = true;
+    unsupported = unsupported || run.unsupported;
+    ++schedules;
+  }
+};
+
+/// Enqueue the deviating choice prefixes a finished run exposes: the run
+/// itself covered the all-zeros default tail, so push prefixes that pad
+/// with zeros up to `pos` and then deviate (alternatives 1..fan-1). Each
+/// enqueued prefix names a distinct path.
+void pushDeviations(const std::vector<std::size_t>& prefix,
+                    const RunOutcome& run,
+                    std::vector<std::vector<std::size_t>>& stack) {
+  for (std::size_t pos = prefix.size(); pos < run.fanout.size(); ++pos) {
+    std::size_t fan = run.fanout[pos];
+    for (std::size_t alt = 1; alt < fan; ++alt) {
+      std::vector<std::size_t> next = prefix;
+      next.resize(pos, 0);
+      next.push_back(alt);
+      stack.push_back(std::move(next));
+    }
   }
 }
 
@@ -152,9 +211,12 @@ std::vector<ConfigAssignment> enumerateConfigs(const ir::Module& module,
   return combos;
 }
 
+constexpr std::size_t kMaxVictims = 16;
+
 void exploreEntry(const ir::Module& module, const Program& program,
-                  ProcId entry, const ExploreOptions& opt,
+                  ProcId entry, const ExploreOptions& opt, ThreadPool& pool,
                   ExploreResult& result) {
+  const std::size_t shards = std::max<std::size_t>(1, opt.shards);
   std::vector<ConfigAssignment> combos =
       enumerateConfigs(module, opt.max_config_combos);
   if ((std::size_t{1} << std::min<std::size_t>(
@@ -164,69 +226,105 @@ void exploreEntry(const ir::Module& module, const Program& program,
     result.exhaustive = false;
   }
 
-  for (const ConfigAssignment& configs : combos) {
-    // DFS over choice prefixes (stateless search, re-execution per run).
-    std::vector<std::vector<std::size_t>> stack{{}};
-    std::size_t runs = 0;
-    while (!stack.empty()) {
-      if (runs >= opt.max_schedules) {
+  SiteIndex merged;
+  merged.addAll(result.uaf_sites);  // exploreAll accumulates across entries
+
+  for (std::size_t combo_idx = 0; combo_idx < combos.size(); ++combo_idx) {
+    const ConfigAssignment& configs = combos[combo_idx];
+
+    // Root run: covers the all-zeros schedule and yields the first-level
+    // deviation prefixes that seed the shards.
+    std::vector<std::vector<std::size_t>> seeds;
+    if (opt.max_schedules == 0) {
+      result.exhaustive = false;
+    } else {
+      RunOutcome root = runSchedule(module, program, entry, configs, {},
+                                    nullptr, opt.max_steps_per_run);
+      merged.addAll(root.events);
+      if (root.deadlocked) ++result.deadlock_schedules;
+      if (root.step_limited || root.unsupported) {
         result.exhaustive = false;
-        break;
+        result.unsupported = result.unsupported || root.unsupported;
       }
-      std::vector<std::size_t> prefix = std::move(stack.back());
-      stack.pop_back();
-      ++runs;
-      RunOutcome out = runSchedule(module, program, entry, configs, prefix,
-                                   nullptr, opt.max_steps_per_run);
-      mergeEvents(result.uaf_sites, out.events);
-      if (out.deadlocked) ++result.deadlock_schedules;
-      if (out.step_limited || out.unsupported) {
-        result.exhaustive = false;
-        result.unsupported = result.unsupported || out.unsupported;
+      ++result.schedules_run;
+      pushDeviations({}, root, seeds);
+    }
+
+    // Fixed logical partition: seed prefixes round-robin, the DFS budget
+    // split evenly, and the delay-victim runs striped — all by shard index,
+    // never by thread.
+    std::size_t dfs_budget = opt.max_schedules > 0 ? opt.max_schedules - 1 : 0;
+    std::vector<ShardOutcome> outcomes(shards);
+    pool.parallelFor(shards, [&](std::size_t s) {
+      ShardOutcome& out = outcomes[s];
+      std::size_t budget = dfs_budget / shards + (s < dfs_budget % shards);
+
+      // DFS over this shard's slice of the choice-prefix space (stateless
+      // search, re-execution per run).
+      std::vector<std::vector<std::size_t>> stack;
+      for (std::size_t k = s; k < seeds.size(); k += shards) {
+        stack.push_back(seeds[k]);
       }
-      // Branch at every choice point this run passed beyond its prefix: the
-      // run itself covered the all-zeros default tail, so enqueue prefixes
-      // that pad with zeros up to `pos` and then deviate (alternatives
-      // 1..fan-1). Each enqueued prefix names a distinct path.
-      for (std::size_t pos = prefix.size(); pos < out.fanout.size(); ++pos) {
-        std::size_t fan = out.fanout[pos];
-        for (std::size_t alt = 1; alt < fan; ++alt) {
-          std::vector<std::size_t> next = prefix;
-          next.resize(pos, 0);
-          next.push_back(alt);
-          stack.push_back(std::move(next));
+      std::size_t runs = 0;
+      while (!stack.empty()) {
+        if (runs >= budget) {
+          out.truncated = true;
+          break;
         }
+        std::vector<std::size_t> prefix = std::move(stack.back());
+        stack.pop_back();
+        ++runs;
+        RunOutcome run = runSchedule(module, program, entry, configs, prefix,
+                                     nullptr, opt.max_steps_per_run);
+        out.accumulate(run);
+        pushDeviations(prefix, run, stack);
       }
-    }
-    result.schedules_run += runs;
 
-    // Adversarial delay-victim schedules: for each task index, one run that
-    // postpones that task as long as possible (catches accesses racing the
-    // parent's scope exit even when the DFS was truncated).
-    {
-      std::size_t max_victims = 16;
-      for (std::size_t victim = 1; victim <= max_victims; ++victim) {
-        RunOutcome out =
-            runSchedule(module, program, entry, configs, {}, nullptr,
-                        opt.max_steps_per_run, victim);
-        mergeEvents(result.uaf_sites, out.events);
-        if (out.deadlocked) ++result.deadlock_schedules;
-        ++result.schedules_run;
+      // Adversarial delay-victim schedules: for each task index, one run
+      // that postpones that task as long as possible (catches accesses
+      // racing the parent's scope exit even when the DFS was truncated).
+      for (std::size_t victim = 1 + s; victim <= kMaxVictims;
+           victim += shards) {
+        RunOutcome run = runSchedule(module, program, entry, configs, {},
+                                     nullptr, opt.max_steps_per_run, victim);
+        out.accumulate(run);
       }
+    });
+
+    // Deterministic aggregation: shard order, not completion order.
+    for (ShardOutcome& out : outcomes) {
+      merged.addAll(out.sites.take());
+      result.schedules_run += out.schedules;
+      result.deadlock_schedules += out.deadlocks;
+      if (out.truncated) result.exhaustive = false;
+      result.unsupported = result.unsupported || out.unsupported;
     }
 
-    // Randomized top-up when DFS was truncated.
+    // Randomized top-up when exploration was truncated: every shard owns an
+    // independent RNG stream derived from (seed, combo, shard).
     if (!result.exhaustive && opt.random_schedules > 0) {
-      Rng rng(opt.seed ^ (runs * 0x2545f4914f6cdd1dull));
-      for (std::size_t i = 0; i < opt.random_schedules; ++i) {
-        RunOutcome out = runSchedule(module, program, entry, configs, {}, &rng,
-                                     opt.max_steps_per_run);
-        mergeEvents(result.uaf_sites, out.events);
-        if (out.deadlocked) ++result.deadlock_schedules;
-        ++result.schedules_run;
+      std::vector<ShardOutcome> random_outcomes(shards);
+      pool.parallelFor(shards, [&](std::size_t s) {
+        ShardOutcome& out = random_outcomes[s];
+        std::size_t runs = opt.random_schedules / shards +
+                           (s < opt.random_schedules % shards);
+        Rng rng(deriveSeed(opt.seed, combo_idx, s));
+        for (std::size_t i = 0; i < runs; ++i) {
+          RunOutcome run = runSchedule(module, program, entry, configs, {},
+                                       &rng, opt.max_steps_per_run);
+          out.accumulate(run);
+        }
+      });
+      for (ShardOutcome& out : random_outcomes) {
+        merged.addAll(out.sites.take());
+        result.schedules_run += out.schedules;
+        result.deadlock_schedules += out.deadlocks;
+        result.unsupported = result.unsupported || out.unsupported;
       }
     }
   }
+
+  result.uaf_sites = merged.take();
 }
 
 }  // namespace
@@ -239,17 +337,19 @@ bool ExploreResult::sawUafAt(SourceLoc loc) const {
 ExploreResult explore(const ir::Module& module, const Program& program,
                       ProcId entry, const ExploreOptions& options) {
   ExploreResult result;
-  exploreEntry(module, program, entry, options, result);
+  ThreadPool pool(ThreadPool::workersForJobs(options.jobs));
+  exploreEntry(module, program, entry, options, pool, result);
   return result;
 }
 
 ExploreResult exploreAll(const ir::Module& module, const Program& program,
                          const ExploreOptions& options) {
   ExploreResult result;
+  ThreadPool pool(ThreadPool::workersForJobs(options.jobs));
   for (const auto& proc : module.procs) {
     if (proc->is_nested) continue;
     if (!proc->decl->params.empty()) continue;  // needs caller context
-    exploreEntry(module, program, proc->id, options, result);
+    exploreEntry(module, program, proc->id, options, pool, result);
   }
   return result;
 }

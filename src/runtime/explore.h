@@ -9,6 +9,14 @@
 //
 // Config variables are enumerated too (bools get both values, up to a combo
 // budget) since branch outcomes gate task creation (paper Figure 6).
+//
+// Parallelism: the choice-prefix space, the adversarial delay-victim runs,
+// and the random-schedule budget are partitioned into a *fixed* number of
+// logical shards whose results merge in shard order. `jobs` only selects how
+// many worker threads execute the shards, so every jobs value — including
+// the serial path — produces bit-identical ExploreResults. Random shards use
+// per-shard RNG streams derived from (seed, combo, shard); see
+// docs/PARALLELISM.md.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,12 @@ struct ExploreOptions {
   std::size_t max_steps_per_run = 50000;
   /// Upper bound on enumerated config-value combinations.
   std::size_t max_config_combos = 8;
+  /// Worker threads for shard execution (<=1 = serial inline execution).
+  std::size_t jobs = 1;
+  /// Logical work shards per config combo. Fixed independent of `jobs` so
+  /// the explored schedule set — and thus the result — never depends on the
+  /// thread count. Must be >= 1.
+  std::size_t shards = 8;
 };
 
 struct ExploreResult {

@@ -1,0 +1,116 @@
+#include "src/support/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+
+namespace cuaf {
+
+namespace {
+thread_local bool tls_inside_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  // Inline pools (and the pathological submit-after-stop case) may still
+  // hold queued jobs; run them so every future becomes ready.
+  while (!queue_.empty()) {
+    std::packaged_task<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    job();
+  }
+}
+
+bool ThreadPool::insideWorker() { return tls_inside_worker; }
+
+void ThreadPool::rejectNested() const {
+  if (tls_inside_worker && !threads_.empty()) {
+    throw std::logic_error(
+        "ThreadPool: nested submission from a worker thread is rejected "
+        "(fixed pools deadlock on blocking nested work); run the inner "
+        "stage serially or with a 0-worker pool");
+  }
+}
+
+void ThreadPool::workerLoop() {
+  tls_inside_worker = true;
+  for (;;) {
+    std::packaged_task<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> job) {
+  rejectNested();
+  std::packaged_task<void()> task(std::move(job));
+  std::future<void> future = task.get_future();
+  if (threads_.empty()) {
+    task();  // inline mode: run now, exception lands in the future
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  rejectNested();
+  if (n == 0) return;
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::size_t error_index = 0;
+    std::exception_ptr error;
+  } shared;
+
+  auto drive = [&shared, n, &body] {
+    for (;;) {
+      std::size_t i = shared.next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared.error_mutex);
+        if (!shared.error || i < shared.error_index) {
+          shared.error = std::current_exception();
+          shared.error_index = i;
+        }
+      }
+    }
+  };
+
+  std::vector<std::future<void>> drivers;
+  std::size_t helpers = std::min(threads_.size(), n);
+  drivers.reserve(helpers);
+  for (std::size_t w = 0; w < helpers; ++w) drivers.push_back(submit(drive));
+  drive();  // the caller participates
+  for (std::future<void>& f : drivers) f.wait();
+
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+}  // namespace cuaf

@@ -1,0 +1,76 @@
+// Fixed-size thread pool with deterministic result ordering (no work
+// stealing, no task dependencies). Built for the corpus runner and the
+// schedule-exploring oracle: work is partitioned into independent,
+// index-addressed units up front, each unit writes only its own result
+// slot, and callers merge slots in index order — so the output is
+// bit-identical for any worker count (including zero).
+//
+// Contracts:
+//  * A pool constructed with 0 workers runs everything inline on the
+//    calling thread (the deterministic serial reference path).
+//  * submit() enqueues FIFO; with one worker, jobs execute in submission
+//    order. Exceptions surface through the returned future.
+//  * parallelFor(n, body) invokes body(i) for every i in [0, n); the caller
+//    participates. If iterations throw, the exception of the lowest-index
+//    throwing iteration is rethrown after all iterations settle.
+//  * Submitting from inside a worker of any pool throws std::logic_error:
+//    a fixed pool with nested blocking submission can deadlock, so the
+//    design rejects it outright (CppSs-style flat task parallelism).
+//  * Destruction drains: queued jobs still run to completion before the
+//    workers join, so every future obtained from submit() becomes ready.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cuaf {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means fully inline execution.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t workerCount() const { return threads_.size(); }
+
+  /// True while the calling thread is a worker of any ThreadPool.
+  [[nodiscard]] static bool insideWorker();
+
+  /// Enqueues one job (FIFO). The future reports completion or the job's
+  /// exception. Throws std::logic_error from inside a pool worker when this
+  /// pool has workers (nested submission).
+  std::future<void> submit(std::function<void()> job);
+
+  /// Runs body(i) for all i in [0, n), blocking until every iteration
+  /// settles. Iterations are claimed dynamically, so determinism requires
+  /// body(i) to touch only state owned by index i. Rethrows the exception
+  /// of the lowest throwing index. Same nested-call rejection as submit().
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Pool size that `jobs` CLI values map to: jobs<=1 selects the inline
+  /// serial path, otherwise `jobs` workers.
+  [[nodiscard]] static std::size_t workersForJobs(std::size_t jobs) {
+    return jobs <= 1 ? 0 : jobs;
+  }
+
+ private:
+  void workerLoop();
+  void rejectNested() const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+};
+
+}  // namespace cuaf

@@ -11,9 +11,12 @@
 //     --no-prune     disable pruning rules A-D
 //     --no-merge     disable the PPS merge optimization
 //     --deadlocks    report potential deadlock points (extension)
+//     --jobs N       worker threads for the dynamic oracle (deterministic:
+//                    results are identical for any N)
 //
 // Exit code: 0 = clean, 1 = warnings reported, 2 = errors.
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -41,6 +44,7 @@ struct CliOptions {
   bool json = false;
   bool suggest_fixes = false;
   bool fix = false;
+  std::size_t jobs = 1;
   std::string suite_dir;
   cuaf::AnalysisOptions analysis;
   std::vector<std::string> files;
@@ -117,8 +121,10 @@ int runFile(const CliOptions& cli, const std::string& path) {
   }
 
   if (cli.oracle) {
+    cuaf::rt::ExploreOptions explore_options;
+    explore_options.jobs = cli.jobs;
     cuaf::rt::ExploreResult oracle = cuaf::rt::exploreAll(
-        *pipeline.module(), *pipeline.program(), cuaf::rt::ExploreOptions{});
+        *pipeline.module(), *pipeline.program(), explore_options);
     std::cout << "oracle: " << oracle.uaf_sites.size()
               << " dynamic use-after-free site(s) across "
               << oracle.schedules_run << " schedule(s)"
@@ -238,6 +244,13 @@ int main(int argc, char** argv) {
       cli.analysis.build.model_atomics = true;
     } else if (arg == "--unroll-loops") {
       cli.analysis.build.unroll_loops = true;
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        std::cerr << "--jobs needs a thread count\n";
+        return 2;
+      }
+      cli.jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (cli.jobs == 0) cli.jobs = 1;
     } else if (arg == "--suite") {
       if (i + 1 >= argc) {
         std::cerr << "--suite needs a directory\n";
@@ -254,8 +267,10 @@ int main(int argc, char** argv) {
       std::cout << "usage: chpl-uaf [--dump-ast|--dump-ir|--dump-ccfg|--dot|"
                    "--trace-pps|--baseline|--oracle|--no-prune|--no-merge|"
                    "--deadlocks|--model-atomics|--unroll-loops|--json|"
-                   "--suggest-fixes|--fix] "
-                   "file.chpl...\n";
+                   "--suggest-fixes|--fix|--jobs N] "
+                   "file.chpl...\n"
+                   "  --jobs N  worker threads for the dynamic oracle "
+                   "(results are identical for any N)\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << '\n';

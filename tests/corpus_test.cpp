@@ -136,6 +136,92 @@ TEST(Runner, TruePositivePctZeroWhenNoWarnings) {
   EXPECT_DOUBLE_EQ(stats.truePositivePct(), 0.0);
 }
 
+// Regression: the TP percentage must divide by the warnings the oracle
+// actually classified, not by every warning reported — unclassified
+// warnings (oracle off, or interpreter bailed on an unsupported feature)
+// carry no TP/FP verdict and used to deflate the rate.
+TEST(Runner, TruePositivePctUsesClassifiedDenominator) {
+  corpus::Table1Stats stats;
+  stats.warnings_reported = 10;
+  stats.warnings_classified = 4;
+  stats.true_positives = 2;
+  EXPECT_DOUBLE_EQ(stats.truePositivePct(), 50.0);
+  EXPECT_NE(stats.render().find("50.0%"), std::string::npos);
+}
+
+TEST(Runner, RunProgramRecordsClassifiedWarnings) {
+  const char* src = R"(proc p() {
+  var x = 1;
+  begin with (ref x) { writeln(x); }
+})";
+  corpus::RunnerOptions opts;
+  corpus::ProgramOutcome classified = corpus::runProgram("t", src, opts);
+  EXPECT_EQ(classified.warnings_classified, classified.warnings);
+  opts.classify_with_oracle = false;
+  corpus::ProgramOutcome unclassified = corpus::runProgram("t", src, opts);
+  EXPECT_EQ(unclassified.warnings_classified, 0u);
+  EXPECT_EQ(unclassified.true_positives, 0u);
+}
+
+// Regression: skipped/unsupported programs are tracked in cases_skipped
+// whether or not count_skipped folds them into the Table I rows, and
+// excluding them removes their whole row contribution (begin/warning
+// counts included), not just the total.
+TEST(Runner, SkippedProgramAccounting) {
+  // A begin inside a loop hits the paper's loop limitation -> skipped.
+  const char* skipped_src = R"(proc p() {
+  var x = 1;
+  for i in 1..3 {
+    begin with (ref x) { writeln(x); }
+  }
+})";
+  corpus::RunnerOptions opts;
+  corpus::ProgramOutcome o = corpus::runProgram("skip", skipped_src, opts);
+  ASSERT_TRUE(o.parse_ok);
+  ASSERT_TRUE(o.skipped_unsupported);
+
+  auto account = [&](bool count_skipped) {
+    corpus::Table1Stats stats;
+    corpus::RunnerOptions ro;
+    ro.count_skipped = count_skipped;
+    // Mirror runCorpusDetailed's aggregation on this single outcome.
+    if (o.skipped_unsupported) ++stats.cases_skipped;
+    if (!(o.skipped_unsupported && !ro.count_skipped)) {
+      ++stats.total_cases;
+      if (o.has_begin) ++stats.cases_with_begin;
+      if (o.warnings > 0) ++stats.cases_with_warnings;
+      stats.warnings_reported += o.warnings;
+      stats.true_positives += o.true_positives;
+      stats.warnings_classified += o.warnings_classified;
+    }
+    return stats;
+  };
+  corpus::Table1Stats included = account(true);
+  EXPECT_EQ(included.cases_skipped, 1u);
+  EXPECT_EQ(included.total_cases, 1u);
+  corpus::Table1Stats excluded = account(false);
+  EXPECT_EQ(excluded.cases_skipped, 1u);
+  EXPECT_EQ(excluded.total_cases, 0u);
+  EXPECT_EQ(excluded.warnings_reported, 0u);
+}
+
+TEST(Runner, CorpusStatsCountSkippedToggleConsistent) {
+  corpus::GeneratorOptions gen;
+  corpus::RunnerOptions with_skips, without_skips;
+  with_skips.classify_with_oracle = false;
+  without_skips.classify_with_oracle = false;
+  without_skips.count_skipped = false;
+  corpus::CorpusRunResult a =
+      corpus::runCorpusDetailed(20170529, 200, gen, with_skips);
+  corpus::CorpusRunResult b =
+      corpus::runCorpusDetailed(20170529, 200, gen, without_skips);
+  // Same corpus, same skip count; excluding only ever shrinks the rows.
+  EXPECT_EQ(a.stats.cases_skipped, b.stats.cases_skipped);
+  EXPECT_EQ(a.stats.total_cases, b.stats.total_cases + b.stats.cases_skipped);
+  EXPECT_GE(a.stats.warnings_reported, b.stats.warnings_reported);
+  EXPECT_GE(a.stats.cases_with_begin, b.stats.cases_with_begin);
+}
+
 TEST(Runner, ProgressCallbackInvoked) {
   corpus::GeneratorOptions gen;
   corpus::RunnerOptions run;

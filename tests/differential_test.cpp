@@ -1,0 +1,185 @@
+// Differential test: the static checker's warning set versus the dynamic
+// schedule-exploring oracle, per task discipline. For ~200 seeded programs
+// the two must agree with the paper's classification:
+//   NoSync / SyncVarLate / NestedFn  -> warned AND dynamically confirmed (TP)
+//   AtomicSynced                     -> warned but dynamically safe (FP; the
+//                                       analysis does not model atomics)
+//   SyncVarSafe / SyncBlock / SingleVar / InIntent -> unwarned
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/corpus/generator.h"
+#include "src/corpus/runner.h"
+#include "src/support/rng.h"
+
+namespace cuaf {
+namespace {
+
+using corpus::TaskDiscipline;
+
+/// Emits a seeded mix of accesses to the outer variables x0/x1 (mirrors the
+/// corpus generator's access shapes).
+void emitAccesses(std::string& out, Rng& rng, unsigned count) {
+  for (unsigned i = 0; i < count; ++i) {
+    switch (rng.below(4)) {
+      case 0: out += "  writeln(x0);\n"; break;
+      case 1: out += "  writeln(x0 + x1);\n"; break;
+      case 2: out += "  x1 += " + std::to_string(rng.range(1, 5)) + ";\n"; break;
+      default: out += "  x0 = x0 + x1;\n"; break;
+    }
+  }
+}
+
+/// One program with one task of the given discipline, seeded body variation.
+std::string buildProgram(TaskDiscipline d, Rng& rng) {
+  unsigned accesses = static_cast<unsigned>(rng.range(2, 5));
+  std::string out = "proc p() {\n";
+  out += "  var x0: int = " + std::to_string(rng.range(1, 50)) + ";\n";
+  out += "  var x1: int = " + std::to_string(rng.range(1, 50)) + ";\n";
+  std::string epilogue;
+
+  switch (d) {
+    case TaskDiscipline::NoSync:
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "  }\n";
+      break;
+    case TaskDiscipline::SyncVarSafe:
+      out += "  var done$: sync bool;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    done$ = true;\n  }\n";
+      epilogue = "  done$;\n";
+      break;
+    case TaskDiscipline::SyncVarLate:
+      out += "  var done$: sync bool;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    done$ = true;\n";
+      emitAccesses(out, rng, 2);  // after the signal: unsafe
+      out += "  }\n";
+      epilogue = "  done$;\n";
+      break;
+    case TaskDiscipline::SyncBlock:
+      out += "  sync {\n    begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    }\n  }\n";
+      break;
+    case TaskDiscipline::AtomicSynced:
+      out += "  var count: atomic int;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    count.add(1);\n  }\n";
+      epilogue = "  count.waitFor(1);\n";
+      break;
+    case TaskDiscipline::SingleVar:
+      out += "  var ready$: single bool;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    ready$ = true;\n  }\n";
+      epilogue = "  ready$;\n";
+      break;
+    case TaskDiscipline::NestedFn:
+      out += "  proc helper() {\n    writeln(x0 + x1);\n    x1 += 1;\n  }\n";
+      out += "  begin {\n    helper();\n  }\n";
+      break;
+    case TaskDiscipline::InIntent:
+      out += "  begin with (in x0, in x1) {\n    writeln(x0 + x1);\n  }\n";
+      break;
+  }
+
+  out += epilogue;
+  out += "  writeln(x0 + x1);\n}\n";
+  return out;
+}
+
+enum class Expected { TruePositive, FalsePositive, Unwarned };
+
+Expected expectedFor(TaskDiscipline d) {
+  switch (d) {
+    case TaskDiscipline::NoSync:
+    case TaskDiscipline::SyncVarLate:
+    case TaskDiscipline::NestedFn:
+      return Expected::TruePositive;
+    case TaskDiscipline::AtomicSynced:
+      return Expected::FalsePositive;
+    case TaskDiscipline::SyncVarSafe:
+    case TaskDiscipline::SyncBlock:
+    case TaskDiscipline::SingleVar:
+    case TaskDiscipline::InIntent:
+      return Expected::Unwarned;
+  }
+  return Expected::Unwarned;
+}
+
+constexpr TaskDiscipline kAllDisciplines[] = {
+    TaskDiscipline::NoSync,       TaskDiscipline::SyncVarSafe,
+    TaskDiscipline::SyncVarLate,  TaskDiscipline::SyncBlock,
+    TaskDiscipline::AtomicSynced, TaskDiscipline::SingleVar,
+    TaskDiscipline::NestedFn,     TaskDiscipline::InIntent,
+};
+
+class Differential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Differential, CheckerAndOracleAgreePerDiscipline) {
+  Rng rng(GetParam());
+  corpus::RunnerOptions opts;  // oracle classification on
+  const int variants_per_discipline = 25;  // 8 * 25 = 200 programs per seed
+
+  for (TaskDiscipline d : kAllDisciplines) {
+    for (int v = 0; v < variants_per_discipline; ++v) {
+      std::string src = buildProgram(d, rng);
+      corpus::ProgramOutcome o = corpus::runProgram("diff", src, opts);
+      ASSERT_TRUE(o.parse_ok) << src;
+      switch (expectedFor(d)) {
+        case Expected::TruePositive:
+          EXPECT_GT(o.warnings, 0u) << src;
+          EXPECT_GT(o.true_positives, 0u)
+              << "warned but never dynamically confirmed:\n" << src;
+          EXPECT_EQ(o.warnings_classified, o.warnings) << src;
+          break;
+        case Expected::FalsePositive:
+          EXPECT_GT(o.warnings, 0u) << src;
+          EXPECT_EQ(o.true_positives, 0u)
+              << "atomic handshake is dynamically safe, oracle disagrees:\n"
+              << src;
+          break;
+        case Expected::Unwarned:
+          EXPECT_EQ(o.warnings, 0u) << src;
+          break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential, ::testing::Values(11, 20170529));
+
+// The generator's ground-truth metadata must agree with the checker+oracle
+// verdicts on full generated programs (multi-task, branches, filler).
+TEST(Differential, GeneratorMetadataMatchesVerdicts) {
+  corpus::ProgramGenerator gen(77);
+  corpus::RunnerOptions opts;
+  int checked = 0;
+  // ~4.3% of generated programs use begin; sweep enough draws to see a
+  // meaningful number of them.
+  for (int i = 0; i < 1500 && checked < 60; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+    if (!p.has_begin) continue;
+    ++checked;
+    corpus::ProgramOutcome o = corpus::runProgram(p.name, p.source, opts);
+    ASSERT_TRUE(o.parse_ok) << p.source;
+    if (p.intended_unsafe_tasks > 0) {
+      EXPECT_GT(o.warnings, 0u) << p.source;
+      EXPECT_GT(o.true_positives, 0u) << p.source;
+    }
+    if (p.intended_unsafe_tasks == 0) {
+      EXPECT_EQ(o.true_positives, 0u)
+          << "dynamically safe program confirmed as UAF:\n" << p.source;
+    }
+  }
+  EXPECT_GE(checked, 20);
+}
+
+}  // namespace
+}  // namespace cuaf

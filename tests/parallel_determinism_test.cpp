@@ -1,0 +1,133 @@
+// Determinism contract of the parallel subsystems: for identical seeds, the
+// corpus runner and the dynamic oracle must produce bit-identical results at
+// any --jobs value. The work partition is fixed by logical shards / program
+// indices; threads only execute it (docs/PARALLELISM.md).
+#include <gtest/gtest.h>
+
+#include "src/analysis/pipeline.h"
+#include "src/corpus/runner.h"
+#include "src/runtime/explore.h"
+
+namespace cuaf {
+namespace {
+
+corpus::CorpusRunResult runCorpusJobs(std::size_t jobs, bool count_skipped,
+                                      std::size_t count = 250) {
+  corpus::GeneratorOptions gen;
+  corpus::RunnerOptions run;
+  run.jobs = jobs;
+  run.count_skipped = count_skipped;
+  return corpus::runCorpusDetailed(20170529, count, gen, run);
+}
+
+void expectSameRun(const corpus::CorpusRunResult& a,
+                   const corpus::CorpusRunResult& b) {
+  EXPECT_TRUE(a.stats == b.stats);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_TRUE(a.outcomes[i] == b.outcomes[i])
+        << "outcome " << i << " (" << a.outcomes[i].name << ") differs";
+  }
+}
+
+TEST(ParallelDeterminism, CorpusRunnerJobs1VersusJobs8) {
+  corpus::CorpusRunResult serial = runCorpusJobs(1, true);
+  corpus::CorpusRunResult parallel = runCorpusJobs(8, true);
+  expectSameRun(serial, parallel);
+  EXPECT_GT(serial.stats.total_cases, 0u);
+  EXPECT_GT(serial.stats.warnings_reported, 0u);
+}
+
+TEST(ParallelDeterminism, CorpusRunnerJobsInvariantWithSkipExclusion) {
+  corpus::CorpusRunResult serial = runCorpusJobs(1, false);
+  corpus::CorpusRunResult parallel = runCorpusJobs(8, false);
+  expectSameRun(serial, parallel);
+}
+
+TEST(ParallelDeterminism, CorpusRunnerRepeatedParallelRunsAgree) {
+  corpus::CorpusRunResult a = runCorpusJobs(8, true, 120);
+  corpus::CorpusRunResult b = runCorpusJobs(8, true, 120);
+  expectSameRun(a, b);
+}
+
+rt::ExploreResult exploreJobs(const std::string& src,
+                              rt::ExploreOptions opts) {
+  Pipeline pipeline;
+  EXPECT_TRUE(pipeline.runSource("determinism.chpl", src));
+  return rt::exploreAll(*pipeline.module(), *pipeline.program(), opts);
+}
+
+void expectSameExplore(const rt::ExploreResult& a, const rt::ExploreResult& b) {
+  EXPECT_EQ(a.schedules_run, b.schedules_run);
+  EXPECT_EQ(a.deadlock_schedules, b.deadlock_schedules);
+  EXPECT_EQ(a.exhaustive, b.exhaustive);
+  EXPECT_EQ(a.unsupported, b.unsupported);
+  ASSERT_EQ(a.uaf_sites.size(), b.uaf_sites.size());
+  for (std::size_t i = 0; i < a.uaf_sites.size(); ++i) {
+    EXPECT_TRUE(a.uaf_sites[i] == b.uaf_sites[i]) << "site " << i;
+    EXPECT_EQ(a.uaf_sites[i].is_write, b.uaf_sites[i].is_write) << "site " << i;
+  }
+}
+
+constexpr const char* kContendedProgram = R"(proc p() {
+  var x: int = 0;
+  var a$: sync bool;
+  begin with (ref x) { x += 1; a$ = true; x += 2; }
+  begin with (ref x) { writeln(x); }
+  begin with (ref x) { x = x + 3; }
+  a$;
+})";
+
+TEST(ParallelDeterminism, OracleJobs1VersusJobs8) {
+  rt::ExploreOptions opts;
+  opts.jobs = 1;
+  rt::ExploreResult serial = exploreJobs(kContendedProgram, opts);
+  opts.jobs = 8;
+  rt::ExploreResult parallel = exploreJobs(kContendedProgram, opts);
+  expectSameExplore(serial, parallel);
+  EXPECT_FALSE(serial.uaf_sites.empty());
+}
+
+TEST(ParallelDeterminism, OracleJobsInvariantUnderTruncation) {
+  // Tight DFS budget forces truncation plus the random top-up phase: the
+  // per-shard RNG streams must also be thread-count independent.
+  rt::ExploreOptions opts;
+  opts.max_schedules = 7;
+  opts.random_schedules = 12;
+  opts.jobs = 1;
+  rt::ExploreResult serial = exploreJobs(kContendedProgram, opts);
+  opts.jobs = 8;
+  rt::ExploreResult parallel = exploreJobs(kContendedProgram, opts);
+  EXPECT_FALSE(serial.exhaustive);
+  expectSameExplore(serial, parallel);
+}
+
+TEST(ParallelDeterminism, OracleJobsInvariantAcrossConfigCombos) {
+  rt::ExploreOptions opts;
+  opts.jobs = 1;
+  const char* src = R"(config const fast = true;
+config const deep = false;
+proc p() {
+  var x: int = 0;
+  if (fast) {
+    begin with (ref x) { x += 1; }
+  }
+  if (deep) {
+    begin with (ref x) { writeln(x); }
+  }
+})";
+  rt::ExploreResult serial = exploreJobs(src, opts);
+  opts.jobs = 8;
+  rt::ExploreResult parallel = exploreJobs(src, opts);
+  expectSameExplore(serial, parallel);
+}
+
+TEST(ParallelDeterminism, OracleSerialRunsAreStable) {
+  rt::ExploreOptions opts;
+  rt::ExploreResult a = exploreJobs(kContendedProgram, opts);
+  rt::ExploreResult b = exploreJobs(kContendedProgram, opts);
+  expectSameExplore(a, b);
+}
+
+}  // namespace
+}  // namespace cuaf

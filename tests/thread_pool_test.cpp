@@ -1,0 +1,170 @@
+#include "src/support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cuaf {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForResultsMatchSerialOrdering) {
+  auto compute = [](std::size_t i) {
+    return static_cast<int>(i * 37 % 101);
+  };
+  std::vector<int> serial(513), parallel(513);
+  ThreadPool inline_pool(0);
+  inline_pool.parallelFor(serial.size(),
+                          [&](std::size_t i) { serial[i] = compute(i); });
+  ThreadPool pool(8);
+  pool.parallelFor(parallel.size(),
+                   [&](std::size_t i) { parallel[i] = compute(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, SubmitRunsFifoWithOneWorker) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.wait();
+  std::vector<int> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInlineOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workerCount(), 0u);
+  std::thread::id runner;
+  pool.submit([&] { runner = std::this_thread::get_id(); }).wait();
+  EXPECT_EQ(runner, std::this_thread::get_id());
+  runner = {};
+  pool.parallelFor(3, [&](std::size_t) { runner = std::this_thread::get_id(); });
+  EXPECT_EQ(runner, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.submit([] { throw std::runtime_error("job failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestThrowingIndex) {
+  ThreadPool pool(4);
+  auto run = [&] {
+    pool.parallelFor(64, [](std::size_t i) {
+      if (i == 3 || i == 40) {
+        throw std::runtime_error("index " + std::to_string(i));
+      }
+    });
+  };
+  try {
+    run();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 3");
+  }
+}
+
+TEST(ThreadPool, ParallelForFinishesAllIterationsDespiteThrow) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.parallelFor(100,
+                                [&](std::size_t i) {
+                                  ++executed;
+                                  if (i == 0) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPool, NestedSubmitRejected) {
+  ThreadPool pool(2);
+  std::promise<bool> rejected;
+  pool.submit([&] {
+        try {
+          pool.submit([] {});
+          rejected.set_value(false);
+        } catch (const std::logic_error&) {
+          rejected.set_value(true);
+        }
+      })
+      .wait();
+  EXPECT_TRUE(rejected.get_future().get());
+}
+
+TEST(ThreadPool, NestedParallelForRejected) {
+  ThreadPool pool(2);
+  std::promise<bool> rejected;
+  pool.submit([&] {
+        try {
+          pool.parallelFor(4, [](std::size_t) {});
+          rejected.set_value(false);
+        } catch (const std::logic_error&) {
+          rejected.set_value(true);
+        }
+      })
+      .wait();
+  EXPECT_TRUE(rejected.get_future().get());
+}
+
+TEST(ThreadPool, InlinePoolAllowedInsideWorker) {
+  // The serial reference path (0 workers) must compose under a real pool:
+  // the corpus runner's jobs call the oracle, which uses an inline pool.
+  ThreadPool pool(2);
+  std::promise<int> result;
+  pool.submit([&] {
+        ThreadPool inner(0);
+        int sum = 0;
+        inner.parallelFor(5, [&](std::size_t i) { sum += static_cast<int>(i); });
+        result.set_value(sum);
+      })
+      .wait();
+  EXPECT_EQ(result.get_future().get(), 10);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingWork) {
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++completed;
+      }));
+    }
+    // Destructor fires with most jobs still queued.
+  }
+  EXPECT_EQ(completed.load(), 32);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  }
+}
+
+TEST(ThreadPool, WorkersForJobsMapsCliValues) {
+  EXPECT_EQ(ThreadPool::workersForJobs(0), 0u);
+  EXPECT_EQ(ThreadPool::workersForJobs(1), 0u);
+  EXPECT_EQ(ThreadPool::workersForJobs(2), 2u);
+  EXPECT_EQ(ThreadPool::workersForJobs(8), 8u);
+}
+
+}  // namespace
+}  // namespace cuaf
