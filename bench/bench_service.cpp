@@ -1,0 +1,121 @@
+// Cold-vs-warm throughput of the analysis service over a seeded corpus:
+// the cold run analyzes every program through the Pipeline, the warm runs
+// answer the identical batch purely from the content-addressed cache.
+// Verifies the determinism contract (warm responses byte-identical to cold
+// modulo the volatile cached/elapsed_us fields) and emits
+// BENCH_service.json. Exit code 1 on any determinism or speedup failure.
+//
+//   Usage: bench_service [count] [seed] [jobs]
+//     count  generated programs in the batch (default 240, >=200 per the
+//            acceptance criteria)
+//     seed   generator seed (default 20170529)
+//     jobs   batch fan-out threads (default 1)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/analysis/json_report.h"
+#include "src/corpus/generator.h"
+#include "src/service/server.h"
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t count = 240;
+  std::uint64_t seed = 20170529;
+  std::size_t jobs = 1;
+  if (argc > 1) count = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  if (argc > 2) seed = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) jobs = static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
+  if (count == 0) count = 1;
+
+  std::cout << "=== Service cold vs warm batch (" << count
+            << " generated programs, seed " << seed << ", jobs " << jobs
+            << ") ===\n";
+
+  std::string request = [&] {
+    cuaf::corpus::ProgramGenerator generator(seed);
+    std::string r = "{\"op\":\"analyze_batch\",\"id\":1,\"items\":[";
+    for (std::size_t i = 0; i < count; ++i) {
+      cuaf::corpus::GeneratedProgram p = generator.next();
+      if (i) r += ',';
+      r += "{\"name\":\"" + cuaf::jsonEscape(p.name) + "\",\"source\":\"" +
+           cuaf::jsonEscape(p.source) + "\"}";
+    }
+    r += "]}";
+    return r;
+  }();
+
+  cuaf::service::ServerOptions options;
+  options.jobs = jobs;
+  options.cache_budget_bytes = 256u << 20;
+  options.max_request_bytes = 64u << 20;
+  cuaf::service::Server server(options);
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::string cold = server.handleLine(request);
+  double cold_ms = msSince(t0);
+
+  // Several warm rounds; report the best (steady-state cache hit path).
+  double warm_ms = 0.0;
+  std::string warm;
+  const int kWarmRounds = 5;
+  for (int round = 0; round < kWarmRounds; ++round) {
+    auto t1 = std::chrono::steady_clock::now();
+    std::string response = server.handleLine(request);
+    double ms = msSince(t1);
+    if (round == 0 || ms < warm_ms) warm_ms = ms;
+    warm = std::move(response);
+  }
+
+  bool identical = cuaf::service::stripVolatile(cold) ==
+                   cuaf::service::stripVolatile(warm);
+  bool fully_cached =
+      warm.find("\"cached\":false") == std::string::npos &&
+      warm.find("\"cached\":true") != std::string::npos;
+  double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+  cuaf::service::ResultCache::Stats cache = server.cache().stats();
+
+  std::printf("%-28s %12.2f ms\n", "cold batch (all misses)", cold_ms);
+  std::printf("%-28s %12.2f ms  (best of %d)\n", "warm batch (all hits)",
+              warm_ms, kWarmRounds);
+  std::printf("%-28s %11.1fx\n", "cold/warm speedup", speedup);
+  std::printf("%-28s %12s\n", "responses byte-identical",
+              identical ? "yes" : "NO");
+  std::printf("%-28s %12s\n", "warm fully cached", fully_cached ? "yes" : "NO");
+  std::printf("%-28s %12zu\n", "cache entries", cache.entries);
+  std::printf("%-28s %12zu\n", "cache bytes", cache.bytes);
+
+  bool ok = identical && fully_cached && speedup >= 5.0;
+
+  std::ofstream json("BENCH_service.json");
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n  \"bench\": \"service_cold_warm\",\n"
+                "  \"count\": %zu,\n  \"seed\": %llu,\n  \"jobs\": %zu,\n"
+                "  \"cold_ms\": %.2f,\n  \"warm_ms\": %.2f,\n"
+                "  \"speedup\": %.1f,\n  \"byte_identical\": %s,\n"
+                "  \"warm_fully_cached\": %s,\n"
+                "  \"cache_entries\": %zu,\n  \"cache_bytes\": %zu\n}\n",
+                count, static_cast<unsigned long long>(seed), jobs, cold_ms,
+                warm_ms, speedup, identical ? "true" : "false",
+                fully_cached ? "true" : "false", cache.entries, cache.bytes);
+  json << buf;
+  std::cout << "wrote BENCH_service.json\n";
+  if (!ok) {
+    std::cout << "FAIL: expected byte-identical warm responses and >=5x "
+                 "cold/warm speedup\n";
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+#include "src/analysis/snapshot.h"
+
+#include <charconv>
+
+#include "src/analysis/json_report.h"
+#include "src/analysis/pipeline.h"
+#include "src/support/hash.h"
+
+namespace cuaf {
+
+namespace {
+
+// Payload layout (versioned so a future daemon can reject stale entries):
+//   "CUAF1\n" ok "\n" warning_count "\n" report_size "\n" report diagnostics
+constexpr std::string_view kMagic = "CUAF1\n";
+
+void appendNumber(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+  out += '\n';
+}
+
+bool readNumber(std::string_view& rest, std::uint64_t& out) {
+  std::size_t nl = rest.find('\n');
+  if (nl == std::string_view::npos) return false;
+  std::string_view digits = rest.substr(0, nl);
+  auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), out);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) return false;
+  rest.remove_prefix(nl + 1);
+  return true;
+}
+
+}  // namespace
+
+std::string AnalysisSnapshot::serialize() const {
+  std::string out;
+  out.reserve(kMagic.size() + report_json.size() + diagnostics.size() + 32);
+  out += kMagic;
+  appendNumber(out, frontend_ok ? 1 : 0);
+  appendNumber(out, warning_count);
+  appendNumber(out, report_json.size());
+  out += report_json;
+  out += diagnostics;
+  return out;
+}
+
+std::optional<AnalysisSnapshot> AnalysisSnapshot::deserialize(
+    std::string_view payload) {
+  if (payload.substr(0, kMagic.size()) != kMagic) return std::nullopt;
+  payload.remove_prefix(kMagic.size());
+  std::uint64_t ok = 0, warnings = 0, report_size = 0;
+  if (!readNumber(payload, ok) || ok > 1) return std::nullopt;
+  if (!readNumber(payload, warnings)) return std::nullopt;
+  if (!readNumber(payload, report_size)) return std::nullopt;
+  if (payload.size() < report_size) return std::nullopt;
+  AnalysisSnapshot snap;
+  snap.frontend_ok = ok == 1;
+  snap.warning_count = warnings;
+  snap.report_json = std::string(payload.substr(0, report_size));
+  snap.diagnostics = std::string(payload.substr(report_size));
+  return snap;
+}
+
+AnalysisSnapshot analyzeToSnapshot(const std::string& name,
+                                   const std::string& source,
+                                   const AnalysisOptions& options) {
+  Pipeline pipeline(options);
+  AnalysisSnapshot snap;
+  snap.frontend_ok = pipeline.runSource(name, source);
+  snap.diagnostics = pipeline.renderDiagnostics();
+  if (snap.frontend_ok) {
+    snap.warning_count = pipeline.analysis().warningCount();
+    snap.report_json = toJson(pipeline.analysis(), pipeline.sourceManager());
+  }
+  return snap;
+}
+
+std::uint64_t optionsFingerprint(const AnalysisOptions& options) {
+  std::uint64_t h = fnv1a64("cuaf-options-v1");
+  auto mix = [&h](std::uint64_t v) { h = hashCombine(h, v); };
+  mix(options.build.prune);
+  mix(options.build.synced_scope_root);
+  mix(options.build.inline_nested);
+  mix(options.build.model_atomics);
+  mix(options.build.unroll_loops);
+  mix(options.build.max_unroll_iterations);
+  mix(options.pps.merge_equivalent);
+  mix(options.pps.max_states);
+  mix(options.pps.record_trace);
+  mix(options.pps.report_deadlocks);
+  mix(options.keep_artifacts);
+  return h;
+}
+
+std::uint64_t analysisCacheKey(std::string_view name, std::string_view source,
+                               const AnalysisOptions& options) {
+  std::uint64_t h = optionsFingerprint(options);
+  h = hashCombine(h, fnv1a64(name));
+  h = hashCombine(h, fnv1a64(source));
+  return h;
+}
+
+}  // namespace cuaf

@@ -1,0 +1,60 @@
+// Cacheable analysis results: a self-contained snapshot of one
+// (source, options) analysis run plus the stable hashing that keys it.
+//
+// The analysis service (src/service/) stores serialized snapshots in its
+// content-addressed cache; a warm hit deserializes the snapshot and renders
+// the response without ever re-running the Pipeline. Everything here is
+// deliberately deterministic: rendering a snapshot — cold or deserialized —
+// yields byte-identical output.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/analysis/checker.h"
+
+namespace cuaf {
+
+/// Everything the service needs to answer an `analyze` request without the
+/// Pipeline artifacts: front-end verdict, warning count, the JSON report
+/// (empty when the front end failed) and rendered diagnostics.
+struct AnalysisSnapshot {
+  bool frontend_ok = false;
+  std::uint64_t warning_count = 0;
+  std::string report_json;   ///< toJson() output; empty unless frontend_ok
+  std::string diagnostics;   ///< DiagnosticEngine::renderAll() text
+
+  friend bool operator==(const AnalysisSnapshot& a, const AnalysisSnapshot& b) {
+    return a.frontend_ok == b.frontend_ok &&
+           a.warning_count == b.warning_count &&
+           a.report_json == b.report_json && a.diagnostics == b.diagnostics;
+  }
+
+  /// Serializes to a stable byte string (the cache payload format).
+  [[nodiscard]] std::string serialize() const;
+
+  /// Inverse of serialize(); nullopt on a corrupt or truncated payload.
+  [[nodiscard]] static std::optional<AnalysisSnapshot> deserialize(
+      std::string_view payload);
+};
+
+/// Runs parse→sema→IR→checker over `source` and captures the result.
+[[nodiscard]] AnalysisSnapshot analyzeToSnapshot(const std::string& name,
+                                                 const std::string& source,
+                                                 const AnalysisOptions& options);
+
+/// Stable 64-bit digest of every AnalysisOptions field that can influence
+/// analysis output. Two option sets with equal fingerprints produce
+/// identical reports for identical sources (the cache-key contract).
+[[nodiscard]] std::uint64_t optionsFingerprint(const AnalysisOptions& options);
+
+/// Cache key for one analysis request: combines the source bytes, the file
+/// name (it appears verbatim in report "file" fields) and the options
+/// fingerprint.
+[[nodiscard]] std::uint64_t analysisCacheKey(std::string_view name,
+                                             std::string_view source,
+                                             const AnalysisOptions& options);
+
+}  // namespace cuaf

@@ -1,0 +1,65 @@
+#include "src/service/cache.h"
+
+namespace cuaf::service {
+
+std::optional<std::string> ResultCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::insert(std::uint64_t key, std::string payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cost(payload) > budget_bytes_) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= cost(it->second->second);
+    bytes_ += cost(payload);
+    it->second->second = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    bytes_ += cost(payload);
+    lru_.emplace_front(key, std::move(payload));
+    index_.emplace(key, lru_.begin());
+    ++insertions_;
+  }
+  evictToBudget();
+}
+
+void ResultCache::evictToBudget() {
+  while (bytes_ > budget_bytes_ && !lru_.empty()) {
+    auto& victim = lru_.back();
+    bytes_ -= cost(victim.second);
+    index_.erase(victim.first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.insertions = insertions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.budget_bytes = budget_bytes_;
+  return s;
+}
+
+}  // namespace cuaf::service

@@ -1,0 +1,82 @@
+// Content-addressed result cache for the analysis service.
+//
+// Maps 64-bit content keys (see cuaf::analysisCacheKey) to opaque payload
+// strings — serialized AnalysisSnapshots in practice — with LRU eviction
+// under a configurable byte budget. Thread-safe: the server's batch jobs
+// probe and populate it concurrently from ThreadPool workers. Every method
+// takes one mutex; payloads are returned by value so no reference escapes
+// the lock (an evicted entry can never dangle).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace cuaf::service {
+
+class ResultCache {
+ public:
+  /// Approximate per-entry bookkeeping overhead charged against the budget
+  /// on top of the payload bytes (list/map nodes, key).
+  static constexpr std::size_t kEntryOverheadBytes = 64;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;         ///< payload + overhead currently held
+    std::size_t budget_bytes = 0;
+  };
+
+  /// `budget_bytes` caps payload-plus-overhead residency; 0 disables
+  /// caching entirely (every lookup misses, inserts are dropped).
+  explicit ResultCache(std::size_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the payload and promotes the entry to most-recently-used, or
+  /// nullopt on a miss. Counts a hit or miss either way.
+  [[nodiscard]] std::optional<std::string> lookup(std::uint64_t key);
+
+  /// Inserts (or refreshes) `payload` under `key`, then evicts LRU entries
+  /// until the budget holds. A payload that alone exceeds the budget is not
+  /// cached. Re-inserting an existing key replaces its payload.
+  void insert(std::uint64_t key, std::string payload);
+
+  /// Drops every entry (counters other than `entries`/`bytes` survive).
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  [[nodiscard]] static std::size_t cost(const std::string& payload) {
+    return payload.size() + kEntryOverheadBytes;
+  }
+  /// Evicts from the LRU tail until bytes_ fits the budget. Caller holds
+  /// mutex_.
+  void evictToBudget();
+
+  mutable std::mutex mutex_;
+  /// Front = most recently used. Stable iterators let the map index nodes.
+  std::list<std::pair<std::uint64_t, std::string>> lru_;
+  std::unordered_map<std::uint64_t,
+                     std::list<std::pair<std::uint64_t, std::string>>::iterator>
+      index_;
+  std::size_t budget_bytes_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t insertions_ = 0;
+};
+
+}  // namespace cuaf::service

@@ -1,0 +1,564 @@
+#include "src/service/protocol.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "src/analysis/json_report.h"
+
+namespace cuaf::service {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser.
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skipWs();
+    if (!parseValue(out, 0)) {
+      error = error_;
+      return false;
+    }
+    skipWs();
+    if (pos_ != text_.size()) {
+      error = "trailing data after JSON document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    error_ = msg + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ >= text_.size() || text_[pos_] != expected) {
+      return fail(std::string("expected '") + expected + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parseHex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      unsigned digit;
+      if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A') + 10;
+      else return fail("invalid \\u escape");
+      out = out * 16 + digit;
+    }
+    return true;
+  }
+
+  static void appendUtf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  bool parseStringBody(std::string& out) {
+    if (!consume('"')) return false;
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parseHex4(cp)) return false;
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: a low surrogate must follow.
+            if (text_.substr(pos_, 2) != "\\u") {
+              return fail("unpaired high surrogate");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parseHex4(low)) return false;
+            if (low < 0xdc00 || low > 0xdfff) {
+              return fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            return fail("unpaired low surrogate");
+          }
+          appendUtf8(out, cp);
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+  }
+
+  bool digitRun() {
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return false;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool parseNumber(JsonValue& out) {
+    // Strict JSON grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '0') {
+      ++pos_;
+    } else if (!digitRun()) {
+      pos_ = start;
+      return fail("invalid number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digitRun()) {
+        pos_ = start;
+        return fail("invalid number");
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digitRun()) {
+        pos_ = start;
+        return fail("invalid number");
+      }
+    }
+    std::string_view digits = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), value);
+    if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+      pos_ = start;
+      return fail("number out of range");
+    }
+    out.kind = JsonValue::Kind::Number;
+    out.number = value;
+    return true;
+  }
+
+  bool parseValue(JsonValue& out, std::size_t depth) {
+    if (depth > max_depth_) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': {
+        ++pos_;
+        out.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          skipWs();
+          std::string key;
+          if (!parseStringBody(key)) return false;
+          skipWs();
+          if (!consume(':')) return false;
+          skipWs();
+          JsonValue member;
+          if (!parseValue(member, depth + 1)) return false;
+          out.object.emplace_back(std::move(key), std::move(member));
+          skipWs();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          return consume('}');
+        }
+      }
+      case '[': {
+        ++pos_;
+        out.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          skipWs();
+          JsonValue element;
+          if (!parseValue(element, depth + 1)) return false;
+          out.array.push_back(std::move(element));
+          skipWs();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          return consume(']');
+        }
+      }
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return parseStringBody(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::Null;
+        return literal("null");
+      default:
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+          return parseNumber(out);
+        }
+        return fail("unexpected character");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t max_depth_;
+  std::string error_;
+};
+
+}  // namespace
+
+bool parseJson(std::string_view text, JsonValue& out, std::string& error,
+               std::size_t max_depth) {
+  return Parser(text, max_depth).parse(out, error);
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing.
+
+namespace {
+
+ProtocolError makeError(std::string code, std::string message,
+                        std::int64_t id = 0) {
+  ProtocolError e;
+  e.code = std::move(code);
+  e.message = std::move(message);
+  e.id = id;
+  return e;
+}
+
+/// Applies the "options" object; unknown keys or non-bool values are
+/// rejected so client typos surface instead of silently analyzing with
+/// defaults (the cache key would otherwise hide the mistake forever).
+bool applyOptions(const JsonValue& object, AnalysisOptions& out,
+                  std::string& error) {
+  for (const auto& [key, value] : object.object) {
+    if (value.kind != JsonValue::Kind::Bool) {
+      error = "option '" + key + "' must be a boolean";
+      return false;
+    }
+    if (key == "prune") out.build.prune = value.boolean;
+    else if (key == "merge") out.pps.merge_equivalent = value.boolean;
+    else if (key == "deadlocks") out.pps.report_deadlocks = value.boolean;
+    else if (key == "model_atomics") out.build.model_atomics = value.boolean;
+    else if (key == "unroll_loops") out.build.unroll_loops = value.boolean;
+    else {
+      error = "unknown option '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parseItem(const JsonValue& value, std::size_t index, SourceItem& out,
+               std::string& error) {
+  if (value.kind != JsonValue::Kind::Object) {
+    error = "items[" + std::to_string(index) + "] must be an object";
+    return false;
+  }
+  const JsonValue* source = value.find("source");
+  if (!source || source->kind != JsonValue::Kind::String) {
+    error = "items[" + std::to_string(index) + "] needs a string \"source\"";
+    return false;
+  }
+  out.source = source->string;
+  const JsonValue* name = value.find("name");
+  if (name) {
+    if (name->kind != JsonValue::Kind::String) {
+      error = "items[" + std::to_string(index) + "] \"name\" must be a string";
+      return false;
+    }
+    out.name = name->string;
+  } else {
+    out.name = "<batch:" + std::to_string(index) + ">";
+  }
+  return true;
+}
+
+}  // namespace
+
+std::variant<Request, ProtocolError> parseRequest(std::string_view line,
+                                                  std::size_t max_bytes) {
+  if (line.size() > max_bytes) {
+    return makeError("oversized_request",
+                     "request of " + std::to_string(line.size()) +
+                         " bytes exceeds the " + std::to_string(max_bytes) +
+                         "-byte limit");
+  }
+  JsonValue doc;
+  std::string error;
+  if (!parseJson(line, doc, error)) {
+    return makeError("parse_error", error);
+  }
+  if (doc.kind != JsonValue::Kind::Object) {
+    return makeError("invalid_request", "request must be a JSON object");
+  }
+
+  std::int64_t id = 0;
+  if (const JsonValue* id_value = doc.find("id")) {
+    if (id_value->kind != JsonValue::Kind::Number ||
+        id_value->number != std::floor(id_value->number)) {
+      return makeError("invalid_request", "\"id\" must be an integer");
+    }
+    id = static_cast<std::int64_t>(id_value->number);
+  }
+
+  const JsonValue* op = doc.find("op");
+  if (!op || op->kind != JsonValue::Kind::String) {
+    return makeError("invalid_request", "request needs a string \"op\"", id);
+  }
+
+  Request request;
+  request.id = id;
+  if (const JsonValue* options = doc.find("options")) {
+    if (options->kind != JsonValue::Kind::Object) {
+      return makeError("invalid_request", "\"options\" must be an object", id);
+    }
+    if (!applyOptions(*options, request.options, error)) {
+      return makeError("invalid_request", error, id);
+    }
+  }
+
+  if (op->string == "analyze") {
+    request.op = Op::Analyze;
+    const JsonValue* source = doc.find("source");
+    if (!source || source->kind != JsonValue::Kind::String) {
+      return makeError("invalid_request", "analyze needs a string \"source\"",
+                       id);
+    }
+    SourceItem item;
+    item.source = source->string;
+    item.name = "<request>";
+    if (const JsonValue* name = doc.find("name")) {
+      if (name->kind != JsonValue::Kind::String) {
+        return makeError("invalid_request", "\"name\" must be a string", id);
+      }
+      item.name = name->string;
+    }
+    request.items.push_back(std::move(item));
+    return request;
+  }
+  if (op->string == "analyze_batch") {
+    request.op = Op::AnalyzeBatch;
+    const JsonValue* items = doc.find("items");
+    if (!items || items->kind != JsonValue::Kind::Array) {
+      return makeError("invalid_request",
+                       "analyze_batch needs an \"items\" array", id);
+    }
+    request.items.reserve(items->array.size());
+    for (std::size_t i = 0; i < items->array.size(); ++i) {
+      SourceItem item;
+      if (!parseItem(items->array[i], i, item, error)) {
+        return makeError("invalid_request", error, id);
+      }
+      request.items.push_back(std::move(item));
+    }
+    return request;
+  }
+  if (op->string == "stats") {
+    request.op = Op::Stats;
+    return request;
+  }
+  if (op->string == "cache_clear") {
+    request.op = Op::CacheClear;
+    return request;
+  }
+  if (op->string == "shutdown") {
+    request.op = Op::Shutdown;
+    return request;
+  }
+  return makeError("unknown_op", "unknown op \"" + op->string + "\"", id);
+}
+
+// ---------------------------------------------------------------------------
+// Response rendering.
+
+namespace {
+
+/// The pretty-printed report (toJson) spans lines; responses are
+/// newline-delimited, so flatten it. jsonEscape() encodes control
+/// characters inside string literals, so every raw newline here is
+/// formatting whitespace and can be dropped safely.
+void appendFlattened(std::string& out, const std::string& json) {
+  for (char c : json) {
+    if (c != '\n') out += c;
+  }
+}
+
+void appendItemResult(std::string& out, const ItemResult& item) {
+  out += "{\"name\":\"" + jsonEscape(item.name) + "\"";
+  out += ",\"cached\":";
+  out += item.cached ? "true" : "false";
+  out += ",\"ok\":";
+  out += item.snapshot.frontend_ok ? "true" : "false";
+  out += ",\"warnings\":" + std::to_string(item.snapshot.warning_count);
+  out += ",\"report\":";
+  if (item.snapshot.frontend_ok) {
+    appendFlattened(out, item.snapshot.report_json);
+  } else {
+    out += "null";
+  }
+  out += ",\"diagnostics\":\"" + jsonEscape(item.snapshot.diagnostics) + "\"}";
+}
+
+std::string responseHead(std::int64_t id, std::string_view op) {
+  return "{\"id\":" + std::to_string(id) + ",\"op\":\"" + std::string(op) +
+         "\",\"status\":\"ok\"";
+}
+
+}  // namespace
+
+std::string renderAnalyzeResponse(std::int64_t id, const ItemResult& result,
+                                  std::uint64_t elapsed_us) {
+  std::string out = responseHead(id, "analyze");
+  out += ",\"elapsed_us\":" + std::to_string(elapsed_us);
+  out += ",\"result\":";
+  appendItemResult(out, result);
+  out += '}';
+  return out;
+}
+
+std::string renderBatchResponse(std::int64_t id,
+                                const std::vector<ItemResult>& results,
+                                std::uint64_t elapsed_us) {
+  std::string out = responseHead(id, "analyze_batch");
+  out += ",\"elapsed_us\":" + std::to_string(elapsed_us);
+  out += ",\"count\":" + std::to_string(results.size());
+  out += ",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i) out += ',';
+    appendItemResult(out, results[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string renderStatsResponse(std::int64_t id,
+                                const CacheCounters& counters) {
+  std::string out = responseHead(id, "stats");
+  out += ",\"stats\":{";
+  out += "\"hits\":" + std::to_string(counters.hits);
+  out += ",\"misses\":" + std::to_string(counters.misses);
+  out += ",\"evictions\":" + std::to_string(counters.evictions);
+  out += ",\"insertions\":" + std::to_string(counters.insertions);
+  out += ",\"entries\":" + std::to_string(counters.entries);
+  out += ",\"bytes\":" + std::to_string(counters.bytes);
+  out += ",\"budget_bytes\":" + std::to_string(counters.budget_bytes);
+  out += ",\"requests\":" + std::to_string(counters.requests);
+  out += ",\"analyzed\":" + std::to_string(counters.analyzed);
+  out += ",\"jobs\":" + std::to_string(counters.jobs);
+  out += "}}";
+  return out;
+}
+
+std::string renderAckResponse(std::int64_t id, std::string_view op) {
+  return responseHead(id, op) + "}";
+}
+
+std::string renderErrorResponse(const ProtocolError& error) {
+  return "{\"id\":" + std::to_string(error.id) +
+         ",\"status\":\"error\",\"error\":{\"code\":\"" +
+         jsonEscape(error.code) + "\",\"message\":\"" +
+         jsonEscape(error.message) + "\"}}";
+}
+
+std::string stripVolatile(std::string_view response) {
+  std::string out(response);
+  for (std::string_view field : {"\"cached\":", "\"elapsed_us\":"}) {
+    std::size_t pos = 0;
+    while ((pos = out.find(field, pos)) != std::string::npos) {
+      // Renderers always emit another member after a volatile field, so the
+      // value runs to the next comma; drop "field:value,".
+      std::size_t comma = out.find(',', pos + field.size());
+      if (comma == std::string::npos) break;
+      out.erase(pos, comma + 1 - pos);
+    }
+  }
+  return out;
+}
+
+}  // namespace cuaf::service

@@ -1,0 +1,129 @@
+// Wire protocol of the analysis service: newline-delimited JSON requests
+// and responses (one document per line, see docs/SERVICE.md).
+//
+// Requests:
+//   {"op":"analyze","id":1,"name":"f.chpl","source":"...","options":{...}}
+//   {"op":"analyze_batch","id":2,"items":[{"name":..,"source":..},...],
+//    "options":{...}}
+//   {"op":"stats","id":3}
+//   {"op":"cache_clear","id":4}
+//   {"op":"shutdown","id":5}
+//
+// Responses echo the id and op, report status "ok" or "error", and carry
+// the analysis payload under "result"/"results". The only volatile fields —
+// allowed to differ between a cold run and a warm (cache-hit) re-run — are
+// "cached" and "elapsed_us"; stripVolatile() removes exactly those so
+// clients and tests can assert byte-identical deterministic payloads.
+//
+// Malformed, oversized or unknown requests always produce a structured
+// error response, never a crash: the parser is a bounded-depth recursive
+// descent over the full JSON grammar with no recursion on raw input bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/analysis/snapshot.h"
+
+namespace cuaf::service {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON document model (objects keep insertion order; numbers are
+// doubles, which covers every field the protocol defines).
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one JSON document (must consume the entire input modulo
+/// whitespace). On failure returns false and sets `error`. Nesting beyond
+/// `max_depth` is rejected — malicious "[[[[..." input cannot overflow the
+/// stack.
+[[nodiscard]] bool parseJson(std::string_view text, JsonValue& out,
+                             std::string& error, std::size_t max_depth = 64);
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+enum class Op { Analyze, AnalyzeBatch, Stats, CacheClear, Shutdown };
+
+struct SourceItem {
+  std::string name;
+  std::string source;
+};
+
+struct Request {
+  Op op = Op::Stats;
+  std::int64_t id = 0;
+  std::vector<SourceItem> items;  ///< one entry for Analyze, n for batch
+  AnalysisOptions options;
+};
+
+struct ProtocolError {
+  std::string code;     ///< parse_error | invalid_request | oversized_request
+                        ///< | unknown_op
+  std::string message;
+  std::int64_t id = 0;  ///< echoed when the request id was recoverable
+};
+
+/// Parses one request line. Lines longer than `max_bytes` yield an
+/// "oversized_request" error without being scanned.
+[[nodiscard]] std::variant<Request, ProtocolError> parseRequest(
+    std::string_view line, std::size_t max_bytes);
+
+// ---------------------------------------------------------------------------
+// Responses. All renderers emit exactly one line, no trailing newline.
+
+/// Analysis outcome of one source item, ready to render.
+struct ItemResult {
+  std::string name;
+  bool cached = false;
+  AnalysisSnapshot snapshot;
+};
+
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t budget_bytes = 0;
+  std::uint64_t requests = 0;  ///< requests the server has answered
+  std::uint64_t analyzed = 0;  ///< pipeline runs (cache misses)
+  std::uint64_t jobs = 0;      ///< configured worker count
+};
+
+[[nodiscard]] std::string renderAnalyzeResponse(std::int64_t id,
+                                                const ItemResult& result,
+                                                std::uint64_t elapsed_us);
+[[nodiscard]] std::string renderBatchResponse(
+    std::int64_t id, const std::vector<ItemResult>& results,
+    std::uint64_t elapsed_us);
+[[nodiscard]] std::string renderStatsResponse(std::int64_t id,
+                                              const CacheCounters& counters);
+[[nodiscard]] std::string renderAckResponse(std::int64_t id,
+                                            std::string_view op);
+[[nodiscard]] std::string renderErrorResponse(const ProtocolError& error);
+
+/// Removes the volatile "cached" and "elapsed_us" fields from a rendered
+/// response so cold and warm responses compare byte-identical. Safe on
+/// renderer output: inside JSON string literals every '"' is escaped, so
+/// the raw sequences "\"cached\":" / "\"elapsed_us\":" only occur as
+/// structural members.
+[[nodiscard]] std::string stripVolatile(std::string_view response);
+
+}  // namespace cuaf::service

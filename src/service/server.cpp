@@ -1,0 +1,245 @@
+#include "src/service/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace cuaf::service {
+
+namespace {
+
+std::uint64_t elapsedUs(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      cache_(options.cache_budget_bytes),
+      pool_(std::make_unique<ThreadPool>(
+          ThreadPool::workersForJobs(options.jobs))) {}
+
+Server::~Server() = default;
+
+ItemResult Server::analyzeItem(const SourceItem& item,
+                               const AnalysisOptions& options) {
+  ItemResult result;
+  result.name = item.name;
+  std::uint64_t key = analysisCacheKey(item.name, item.source, options);
+  if (std::optional<std::string> payload = cache_.lookup(key)) {
+    if (std::optional<AnalysisSnapshot> snap =
+            AnalysisSnapshot::deserialize(*payload)) {
+      result.cached = true;
+      result.snapshot = std::move(*snap);
+      return result;
+    }
+    // Corrupt payload: fall through and overwrite it with a fresh analysis.
+  }
+  result.snapshot = analyzeToSnapshot(item.name, item.source, options);
+  cache_.insert(key, result.snapshot.serialize());
+  {
+    std::lock_guard<std::mutex> lock(analyzed_mutex_);
+    ++analyzed_;
+  }
+  return result;
+}
+
+std::string Server::handleAnalyze(const Request& request) {
+  auto start = std::chrono::steady_clock::now();
+  ItemResult result = analyzeItem(request.items.front(), request.options);
+  return renderAnalyzeResponse(request.id, result, elapsedUs(start));
+}
+
+std::string Server::handleBatch(const Request& request) {
+  auto start = std::chrono::steady_clock::now();
+  std::vector<ItemResult> results(request.items.size());
+  pool_->parallelFor(request.items.size(), [&](std::size_t i) {
+    results[i] = analyzeItem(request.items[i], request.options);
+  });
+  return renderBatchResponse(request.id, results, elapsedUs(start));
+}
+
+std::string Server::handleStats(const Request& request) {
+  ResultCache::Stats cache_stats = cache_.stats();
+  CacheCounters counters;
+  counters.hits = cache_stats.hits;
+  counters.misses = cache_stats.misses;
+  counters.evictions = cache_stats.evictions;
+  counters.insertions = cache_stats.insertions;
+  counters.entries = cache_stats.entries;
+  counters.bytes = cache_stats.bytes;
+  counters.budget_bytes = cache_stats.budget_bytes;
+  counters.requests = requests_;
+  {
+    std::lock_guard<std::mutex> lock(analyzed_mutex_);
+    counters.analyzed = analyzed_;
+  }
+  counters.jobs = options_.jobs;
+  return renderStatsResponse(request.id, counters);
+}
+
+std::string Server::handleLine(std::string_view line) {
+  ++requests_;
+  std::variant<Request, ProtocolError> parsed =
+      parseRequest(line, options_.max_request_bytes);
+  if (auto* error = std::get_if<ProtocolError>(&parsed)) {
+    return renderErrorResponse(*error);
+  }
+  const Request& request = std::get<Request>(parsed);
+  try {
+    switch (request.op) {
+      case Op::Analyze:
+        return handleAnalyze(request);
+      case Op::AnalyzeBatch:
+        return handleBatch(request);
+      case Op::Stats:
+        return handleStats(request);
+      case Op::CacheClear:
+        cache_.clear();
+        return renderAckResponse(request.id, "cache_clear");
+      case Op::Shutdown:
+        shutdown_ = true;
+        return renderAckResponse(request.id, "shutdown");
+    }
+  } catch (const std::exception& e) {
+    ProtocolError error;
+    error.code = "internal_error";
+    error.message = e.what();
+    error.id = request.id;
+    return renderErrorResponse(error);
+  }
+  ProtocolError error;
+  error.code = "internal_error";
+  error.message = "unhandled op";
+  error.id = request.id;
+  return renderErrorResponse(error);
+}
+
+std::size_t Server::serveStream(std::istream& in, std::ostream& out) {
+  std::size_t answered = 0;
+  std::string line;
+  while (!shutdown_ && std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    out << handleLine(line) << '\n';
+    out.flush();
+    ++answered;
+  }
+  return answered;
+}
+
+namespace {
+
+/// Sends the whole buffer, suppressing SIGPIPE; false when the client went
+/// away (the daemon must outlive any client).
+bool sendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t Server::serveSocket(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    throw std::runtime_error("cannot create socket: " +
+                             std::string(std::strerror(errno)));
+  }
+  ::unlink(path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 8) < 0) {
+    int err = errno;
+    ::close(listen_fd);
+    throw std::runtime_error("cannot bind/listen on " + path + ": " +
+                             std::strerror(err));
+  }
+
+  std::size_t answered = 0;
+  while (!shutdown_) {
+    int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::string pending;
+    char buf[65536];
+    bool client_alive = true;
+    while (client_alive && !shutdown_) {
+      ssize_t n = ::read(client, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      bool eof = n == 0;
+      pending.append(buf, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      std::size_t nl;
+      while ((nl = pending.find('\n', start)) != std::string::npos) {
+        std::string_view line(pending.data() + start, nl - start);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        if (!line.empty()) {
+          std::string response = handleLine(line);
+          response += '\n';
+          ++answered;
+          if (!sendAll(client, response)) client_alive = false;
+        }
+        start = nl + 1;
+      }
+      pending.erase(0, start);
+      if (pending.size() > options_.max_request_bytes) {
+        // A line that will only ever grow past the limit: answer once and
+        // drop the connection rather than buffering without bound.
+        ProtocolError error;
+        error.code = "oversized_request";
+        error.message = "request line exceeds " +
+                        std::to_string(options_.max_request_bytes) + " bytes";
+        sendAll(client, renderErrorResponse(error) + "\n");
+        ++answered;
+        break;
+      }
+      if (eof) {
+        if (!pending.empty()) {
+          // Final request without a trailing newline.
+          std::string response = handleLine(pending);
+          response += '\n';
+          ++answered;
+          sendAll(client, response);
+        }
+        break;
+      }
+    }
+    ::close(client);
+  }
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  return answered;
+}
+
+}  // namespace cuaf::service

@@ -1,0 +1,80 @@
+// The analysis daemon: serves newline-delimited JSON requests over stdio or
+// a Unix domain socket, dispatching batch items onto a fixed ThreadPool and
+// answering from the content-addressed ResultCache when possible.
+//
+// Determinism contract (the service extends PR 1's discipline): responses —
+// minus the volatile "cached"/"elapsed_us" fields, see stripVolatile() —
+// are byte-identical between cold (miss) and warm (hit) paths and for any
+// `jobs` value. Batch items are index-addressed: each job writes only its
+// own result slot and the response is assembled in item order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/service/cache.h"
+#include "src/service/protocol.h"
+#include "src/support/thread_pool.h"
+
+namespace cuaf::service {
+
+struct ServerOptions {
+  /// Worker threads for analyze_batch fan-out; <=1 runs inline (serial).
+  std::size_t jobs = 1;
+  /// Result-cache byte budget (payload + bookkeeping overhead).
+  std::size_t cache_budget_bytes = 64u << 20;
+  /// Requests longer than this are answered with "oversized_request".
+  std::size_t max_request_bytes = 8u << 20;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Handles one request line, returns one response line (no trailing
+  /// newline). Never throws on malformed input — errors come back as
+  /// structured responses. The unit the stream/socket loops and all tests
+  /// drive.
+  [[nodiscard]] std::string handleLine(std::string_view line);
+
+  /// Serves `in` until EOF or a shutdown request; one response per line on
+  /// `out`, flushed per request. Returns the number of requests answered.
+  std::size_t serveStream(std::istream& in, std::ostream& out);
+
+  /// Binds a Unix domain socket at `path` (unlinking any stale file) and
+  /// serves clients sequentially until a shutdown request. Returns the
+  /// number of requests answered, or throws std::runtime_error when the
+  /// socket cannot be created.
+  std::size_t serveSocket(const std::string& path);
+
+  /// True once a shutdown request has been handled.
+  [[nodiscard]] bool shutdownRequested() const { return shutdown_; }
+
+  [[nodiscard]] const ResultCache& cache() const { return cache_; }
+
+ private:
+  [[nodiscard]] std::string handleAnalyze(const Request& request);
+  [[nodiscard]] std::string handleBatch(const Request& request);
+  [[nodiscard]] std::string handleStats(const Request& request);
+  /// Analyzes one item through the cache; snapshot render is shared by the
+  /// single and batch paths.
+  [[nodiscard]] ItemResult analyzeItem(const SourceItem& item,
+                                       const AnalysisOptions& options);
+
+  ServerOptions options_;
+  ResultCache cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t analyzed_ = 0;  ///< pipeline runs (shared with pool workers)
+  std::mutex analyzed_mutex_;
+  bool shutdown_ = false;
+};
+
+}  // namespace cuaf::service

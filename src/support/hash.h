@@ -1,0 +1,38 @@
+// Stable, platform-independent content hashing for the analysis service's
+// content-addressed result cache (and anything else that needs a
+// reproducible 64-bit digest). Deliberately NOT std::hash: that is allowed
+// to differ between implementations and process runs, while cache keys must
+// be identical across daemon restarts and build configurations.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cuaf {
+
+/// FNV-1a over the raw bytes of `data`. Stable across platforms.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: diffuses a 64-bit value through the whole word.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combiner: fold `value` into running digest `seed`.
+[[nodiscard]] constexpr std::uint64_t hashCombine(std::uint64_t seed,
+                                                 std::uint64_t value) {
+  return splitmix64(seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                            (seed >> 2)));
+}
+
+}  // namespace cuaf

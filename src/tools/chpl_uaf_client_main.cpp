@@ -1,0 +1,196 @@
+// chpl-uaf-client: scripting/test client for the chpl-uaf-serve daemon.
+//
+// Usage:
+//   chpl-uaf-client --socket PATH [commands]
+//     --analyze FILE...  send one analyze request per file ("-" = stdin)
+//     --stats            request daemon/cache statistics
+//     --cache-clear      drop every cached result
+//     --shutdown         stop the daemon
+//   With no command, raw request lines are forwarded from stdin and the
+//   responses printed — a newline-delimited JSON pass-through.
+//
+// Exit code: 0 when every response has status "ok", 1 when any response
+// reports an error, 2 on connection/file problems.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/json_report.h"
+
+namespace {
+
+class Connection {
+ public:
+  explicit Connection(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw std::runtime_error(std::string("cannot create socket: ") +
+                               std::strerror(errno));
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      int err = errno;
+      ::close(fd_);
+      throw std::runtime_error("cannot connect to " + path + ": " +
+                               std::strerror(err));
+    }
+  }
+  ~Connection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Sends one request line and returns the daemon's one-line response.
+  std::string roundTrip(const std::string& request) {
+    std::string line = request;
+    line += '\n';
+    std::string_view rest = line;
+    while (!rest.empty()) {
+      ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("send failed: ") +
+                                 std::strerror(errno));
+      }
+      rest.remove_prefix(static_cast<std::size_t>(n));
+    }
+    std::size_t nl;
+    while ((nl = buffer_.find('\n')) == std::string::npos) {
+      char buf[65536];
+      ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("read failed: ") +
+                                 std::strerror(errno));
+      }
+      if (n == 0) throw std::runtime_error("daemon closed the connection");
+      buffer_.append(buf, static_cast<std::size_t>(n));
+    }
+    std::string response = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// "status":"ok" never appears inside a response string literal (quotes are
+/// escaped there), so a substring probe is reliable.
+bool responseOk(const std::string& response) {
+  return response.find("\"status\":\"ok\"") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> analyze_files;
+  bool stats = false, cache_clear = false, shutdown = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--socket") {
+      if (i + 1 >= argc) {
+        std::cerr << "--socket needs a path\n";
+        return 2;
+      }
+      socket_path = argv[++i];
+    } else if (arg == "--analyze") {
+      while (i + 1 < argc && argv[i + 1][0] != '-') {
+        analyze_files.emplace_back(argv[++i]);
+      }
+      if (i + 1 < argc && std::string_view(argv[i + 1]) == "-") {
+        analyze_files.emplace_back(argv[++i]);
+      }
+      if (analyze_files.empty()) {
+        std::cerr << "--analyze needs at least one file\n";
+        return 2;
+      }
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--cache-clear") {
+      cache_clear = true;
+    } else if (arg == "--shutdown") {
+      shutdown = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: chpl-uaf-client --socket PATH "
+                   "[--analyze FILE...|--stats|--cache-clear|--shutdown]\n"
+                   "with no command, forwards raw request lines from stdin\n";
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << '\n';
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::cerr << "--socket is required (see --help)\n";
+    return 2;
+  }
+
+  try {
+    Connection conn(socket_path);
+    bool all_ok = true;
+    std::int64_t id = 0;
+    auto issue = [&](const std::string& request) {
+      std::string response = conn.roundTrip(request);
+      all_ok &= responseOk(response);
+      std::cout << response << '\n';
+    };
+
+    for (const std::string& file : analyze_files) {
+      std::string source;
+      if (file == "-") {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        source = ss.str();
+      } else {
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+          std::cerr << "cannot read " << file << '\n';
+          return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        source = ss.str();
+      }
+      std::string name = file == "-" ? "<stdin>" : file;
+      issue("{\"op\":\"analyze\",\"id\":" + std::to_string(++id) +
+            ",\"name\":\"" + cuaf::jsonEscape(name) + "\",\"source\":\"" +
+            cuaf::jsonEscape(source) + "\"}");
+    }
+    if (stats) {
+      issue("{\"op\":\"stats\",\"id\":" + std::to_string(++id) + "}");
+    }
+    if (cache_clear) {
+      issue("{\"op\":\"cache_clear\",\"id\":" + std::to_string(++id) + "}");
+    }
+    if (shutdown) {
+      issue("{\"op\":\"shutdown\",\"id\":" + std::to_string(++id) + "}");
+    }
+    if (analyze_files.empty() && !stats && !cache_clear && !shutdown) {
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        if (line.empty()) continue;
+        issue(line);
+      }
+    }
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "chpl-uaf-client: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -19,7 +19,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -46,13 +48,20 @@ struct CliOptions {
   bool fix = false;
   std::size_t jobs = 1;
   std::string suite_dir;
+  std::string json_out;
   cuaf::AnalysisOptions analysis;
   std::vector<std::string> files;
 };
 
 int runFile(const CliOptions& cli, const std::string& path) {
   std::string source;
-  {
+  std::string display_name = path;
+  if (path == "-") {
+    display_name = "<stdin>";
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
     cuaf::SourceManager probe;
     try {
       cuaf::FileId id = probe.addFile(path);
@@ -64,11 +73,25 @@ int runFile(const CliOptions& cli, const std::string& path) {
   }
 
   cuaf::Pipeline pipeline(cli.analysis);
-  bool ok = pipeline.runSource(path, source);
+  bool ok = pipeline.runSource(display_name, source);
   if (!cli.json) std::cout << pipeline.renderDiagnostics();
   if (!ok) {
     if (cli.json) std::cout << pipeline.renderDiagnostics();
     return 2;
+  }
+
+  if (!cli.json_out.empty()) {
+    std::ofstream out(cli.json_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write JSON report to " << cli.json_out << '\n';
+      return 2;
+    }
+    out << cuaf::toJson(pipeline.analysis(), pipeline.sourceManager());
+    out.flush();
+    if (!out) {
+      std::cerr << "error writing JSON report to " << cli.json_out << '\n';
+      return 2;
+    }
   }
 
   if (cli.json) {
@@ -148,7 +171,7 @@ int runFile(const CliOptions& cli, const std::string& path) {
   }
 
   std::size_t warnings = pipeline.analysis().warningCount();
-  std::cout << path << ": " << warnings << " potential use-after-free "
+  std::cout << display_name << ": " << warnings << " potential use-after-free "
             << (warnings == 1 ? "access" : "accesses") << " reported\n";
   return warnings > 0 ? 1 : 0;
 }
@@ -259,6 +282,16 @@ int main(int argc, char** argv) {
       cli.suite_dir = argv[++i];
     } else if (arg == "--json") {
       cli.json = true;
+    } else if (arg == "--json-out") {
+      if (i + 1 >= argc) {
+        std::cerr << "--json-out needs a file path\n";
+        return 2;
+      }
+      cli.json_out = argv[++i];
+      if (cli.json_out.empty()) {
+        std::cerr << "--json-out needs a non-empty file path\n";
+        return 2;
+      }
     } else if (arg == "--suggest-fixes") {
       cli.suggest_fixes = true;
     } else if (arg == "--fix") {
@@ -267,11 +300,15 @@ int main(int argc, char** argv) {
       std::cout << "usage: chpl-uaf [--dump-ast|--dump-ir|--dump-ccfg|--dot|"
                    "--trace-pps|--baseline|--oracle|--no-prune|--no-merge|"
                    "--deadlocks|--model-atomics|--unroll-loops|--json|"
-                   "--suggest-fixes|--fix|--jobs N] "
-                   "file.chpl...\n"
+                   "--json-out FILE|--suggest-fixes|--fix|--jobs N] "
+                   "file.chpl... | -\n"
+                   "  -         read the source from stdin\n"
+                   "  --json-out FILE  also write the JSON report to FILE\n"
                    "  --jobs N  worker threads for the dynamic oracle "
                    "(results are identical for any N)\n";
       return 0;
+    } else if (arg == "-") {
+      cli.files.emplace_back(arg);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << '\n';
       return 2;
@@ -282,6 +319,10 @@ int main(int argc, char** argv) {
   if (!cli.suite_dir.empty()) return runSuite(cli, cli.suite_dir);
   if (cli.files.empty()) {
     std::cerr << "no input files (see --help)\n";
+    return 2;
+  }
+  if (!cli.json_out.empty() && cli.files.size() != 1) {
+    std::cerr << "--json-out takes exactly one input file\n";
     return 2;
   }
   int worst = 0;

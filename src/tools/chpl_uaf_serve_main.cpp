@@ -1,0 +1,75 @@
+// chpl-uaf-serve: persistent analysis daemon (see docs/SERVICE.md).
+//
+// Usage:
+//   chpl-uaf-serve [options]
+//     --socket PATH    listen on a Unix domain socket (default: stdio)
+//     --jobs N         worker threads for analyze_batch fan-out (default 1;
+//                      responses are identical for any N)
+//     --cache-mb N     result-cache budget in MiB (default 64, 0 disables)
+//     --max-request-mb N  per-request size limit in MiB (default 8)
+//
+// Speaks newline-delimited JSON: analyze, analyze_batch, stats,
+// cache_clear, shutdown. Exit code: 0 on clean shutdown/EOF, 2 on setup
+// errors.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/service/server.h"
+
+int main(int argc, char** argv) {
+  cuaf::service::ServerOptions options;
+  std::string socket_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto numeric = [&](const char* what) -> std::size_t {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs " << what << '\n';
+        std::exit(2);
+      }
+      return static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    };
+    if (arg == "--socket") {
+      if (i + 1 >= argc) {
+        std::cerr << "--socket needs a path\n";
+        return 2;
+      }
+      socket_path = argv[++i];
+    } else if (arg == "--jobs") {
+      options.jobs = numeric("a thread count");
+      if (options.jobs == 0) options.jobs = 1;
+    } else if (arg == "--cache-mb") {
+      options.cache_budget_bytes = numeric("a size in MiB") << 20;
+    } else if (arg == "--max-request-mb") {
+      options.max_request_bytes = numeric("a size in MiB") << 20;
+      if (options.max_request_bytes == 0) {
+        std::cerr << "--max-request-mb must be positive\n";
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: chpl-uaf-serve [--socket PATH] [--jobs N] "
+                   "[--cache-mb N] [--max-request-mb N]\n"
+                   "newline-delimited JSON protocol: analyze, analyze_batch, "
+                   "stats, cache_clear, shutdown (docs/SERVICE.md)\n";
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << '\n';
+      return 2;
+    }
+  }
+
+  cuaf::service::Server server(options);
+  try {
+    if (socket_path.empty()) {
+      server.serveStream(std::cin, std::cout);
+    } else {
+      std::cerr << "chpl-uaf-serve: listening on " << socket_path << '\n';
+      server.serveSocket(socket_path);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "chpl-uaf-serve: " << e.what() << '\n';
+    return 2;
+  }
+  return 0;
+}

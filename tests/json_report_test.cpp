@@ -1,0 +1,105 @@
+// json_report escaping edge cases and well-formedness of the rendered
+// report, cross-checked with the independent validator in test_util.h.
+#include "src/analysis/json_report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/analysis/pipeline.h"
+#include "test_util.h"
+
+namespace cuaf {
+namespace {
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(jsonEscape("a\\b\\\\c"), "a\\\\b\\\\\\\\c");
+  EXPECT_EQ(jsonEscape("\"\\\""), "\\\"\\\\\\\"");
+}
+
+TEST(JsonEscape, CommonControlCharacters) {
+  EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+}
+
+TEST(JsonEscape, RareControlCharactersUseUnicodeEscapes) {
+  EXPECT_EQ(jsonEscape(std::string(1, '\0')), "\\u0000");
+  EXPECT_EQ(jsonEscape("\x01"), "\\u0001");
+  EXPECT_EQ(jsonEscape("\x1f"), "\\u001f");
+  EXPECT_EQ(jsonEscape("bell\x07!"), "bell\\u0007!");
+  // 0x7f is not a JSON control character and passes through.
+  EXPECT_EQ(jsonEscape("\x7f"), "\x7f");
+}
+
+TEST(JsonEscape, NonAsciiBytesPassThroughUnchanged) {
+  // UTF-8 content stays valid JSON when embedded raw.
+  EXPECT_EQ(jsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+  EXPECT_EQ(jsonEscape("\xe2\x82\xac"), "\xe2\x82\xac");  // EURO SIGN
+}
+
+TEST(JsonEscape, EscapedStringsEmbedIntoWellFormedDocuments) {
+  const std::string nasty_cases[] = {
+      "plain", "with \"quotes\"", "back\\slash", "line\nbreak",
+      std::string("nul\0byte", 8), "caf\xc3\xa9", "\x01\x02\x1f\x7f",
+      "{\"looks\":\"like json\"}",
+  };
+  for (const std::string& s : nasty_cases) {
+    std::string doc = "{\"v\":\"" + jsonEscape(s) + "\"}";
+    EXPECT_TRUE(test::jsonWellFormed(doc)) << doc;
+  }
+}
+
+TEST(JsonReport, ReportIsWellFormedWithWarnings) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource(
+      "fig1.chpl",
+      "proc p() {\n  var x: int = 0;\n  begin with (ref x) { x += 1; }\n}\n"));
+  ASSERT_GT(pipeline.analysis().warningCount(), 0u);
+  std::string report = toJson(pipeline.analysis(), pipeline.sourceManager());
+  EXPECT_TRUE(test::jsonWellFormed(report)) << report;
+  EXPECT_NE(report.find("\"variable\":\"x\""), std::string::npos);
+}
+
+TEST(JsonReport, ReportIsWellFormedWhenClean) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource("clean.chpl", "proc p() { writeln(1); }\n"));
+  std::string report = toJson(pipeline.analysis(), pipeline.sourceManager());
+  EXPECT_TRUE(test::jsonWellFormed(report)) << report;
+}
+
+TEST(JsonReport, FileNamesWithSpecialCharactersStayWellFormed) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource(
+      "dir with spaces/we\"ird\\name\n.chpl",
+      "proc p() {\n  var x: int = 0;\n  begin with (ref x) { x += 1; }\n}\n"));
+  std::string report = toJson(pipeline.analysis(), pipeline.sourceManager());
+  EXPECT_TRUE(test::jsonWellFormed(report)) << report;
+}
+
+// The validator itself must reject what the renderer can never emit;
+// otherwise the well-formedness assertions above prove nothing.
+TEST(JsonValidator, RejectsMalformedDocuments) {
+  EXPECT_FALSE(test::jsonWellFormed(""));
+  EXPECT_FALSE(test::jsonWellFormed("{"));
+  EXPECT_FALSE(test::jsonWellFormed("{\"a\":}"));
+  EXPECT_FALSE(test::jsonWellFormed("[1,2,]"));
+  EXPECT_FALSE(test::jsonWellFormed("\"unterminated"));
+  EXPECT_FALSE(test::jsonWellFormed("{\"a\":1} trailing"));
+  EXPECT_FALSE(test::jsonWellFormed("{\"raw\nnewline\":1}"));
+  EXPECT_FALSE(test::jsonWellFormed("01"));
+  EXPECT_FALSE(test::jsonWellFormed("nul"));
+}
+
+TEST(JsonValidator, AcceptsStandardDocuments) {
+  EXPECT_TRUE(test::jsonWellFormed("null"));
+  EXPECT_TRUE(test::jsonWellFormed("-12.5e3"));
+  EXPECT_TRUE(test::jsonWellFormed("{}"));
+  EXPECT_TRUE(test::jsonWellFormed("[]"));
+  EXPECT_TRUE(test::jsonWellFormed(
+      "{\"a\":[1,2,{\"b\":\"c\\u00e9\"}],\"d\":true}"));
+}
+
+}  // namespace
+}  // namespace cuaf

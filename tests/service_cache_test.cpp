@@ -1,0 +1,139 @@
+// ResultCache: LRU eviction under the byte budget, counters, and
+// concurrent access (runs under the tsan preset, label `service`).
+#include "src/service/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/support/hash.h"
+
+namespace cuaf::service {
+namespace {
+
+constexpr std::size_t kOverhead = ResultCache::kEntryOverheadBytes;
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(1 << 20);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  cache.insert(1, "payload");
+  auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload");
+  ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 7u + kOverhead);
+}
+
+TEST(ResultCache, ReinsertReplacesPayload) {
+  ResultCache cache(1 << 20);
+  cache.insert(7, "old");
+  cache.insert(7, "newer-payload");
+  auto hit = cache.lookup(7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "newer-payload");
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().bytes, 13u + kOverhead);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedUnderBudget) {
+  // Room for exactly two 10-byte payloads.
+  ResultCache cache(2 * (10 + kOverhead));
+  cache.insert(1, std::string(10, 'a'));
+  cache.insert(2, std::string(10, 'b'));
+  ASSERT_TRUE(cache.lookup(1).has_value());  // 1 is now most recent
+  cache.insert(3, std::string(10, 'c'));     // evicts 2, the LRU entry
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_LE(s.bytes, s.budget_bytes);
+}
+
+TEST(ResultCache, OversizedPayloadIsNotCached) {
+  ResultCache cache(64);
+  cache.insert(1, std::string(1024, 'x'));
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(ResultCache, ZeroBudgetDisablesCaching) {
+  ResultCache cache(0);
+  cache.insert(1, "x");
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCache, ClearDropsEntriesKeepsCounters) {
+  ResultCache cache(1 << 20);
+  cache.insert(1, "a");
+  cache.insert(2, "b");
+  ASSERT_TRUE(cache.lookup(1).has_value());
+  cache.clear();
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(s.hits, 1u);  // pre-clear counters survive
+  EXPECT_EQ(s.insertions, 2u);
+}
+
+TEST(ResultCache, EvictionChurnNeverExceedsBudget) {
+  const std::size_t budget = 8 * (32 + kOverhead);
+  ResultCache cache(budget);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    cache.insert(k, std::string(32, static_cast<char>('a' + k % 26)));
+    ASSERT_LE(cache.stats().bytes, budget);
+  }
+  ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 8u);
+  EXPECT_EQ(s.evictions, 992u);
+  // The survivors are the 8 most recently inserted keys.
+  for (std::uint64_t k = 992; k < 1000; ++k) {
+    EXPECT_TRUE(cache.lookup(k).has_value()) << k;
+  }
+}
+
+// Hammer the cache from several threads (the server's batch jobs do exactly
+// this); correctness here is "no data race and every hit returns the exact
+// payload for its key" — TSan checks the former, the loop the latter.
+TEST(ResultCache, ConcurrentLookupInsertIsSafe) {
+  ResultCache cache(1 << 16);
+  const int kThreads = 4;
+  const int kOps = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int op = 0; op < kOps; ++op) {
+        std::uint64_t key = splitmix64(static_cast<std::uint64_t>(op % 64));
+        std::string expected = "payload-" + std::to_string(key);
+        if ((op + t) % 3 == 0) {
+          cache.insert(key, expected);
+        } else if (auto hit = cache.lookup(key)) {
+          ASSERT_EQ(*hit, expected);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  ResultCache::Stats s = cache.stats();
+  EXPECT_LE(s.bytes, s.budget_bytes);
+  EXPECT_EQ(s.hits + s.misses, [&] {
+    std::uint64_t lookups = 0;
+    // 2 of every 3 ops per thread are lookups.
+    for (int t = 0; t < kThreads; ++t)
+      for (int op = 0; op < kOps; ++op) lookups += (op + t) % 3 != 0;
+    return lookups;
+  }());
+}
+
+}  // namespace
+}  // namespace cuaf::service

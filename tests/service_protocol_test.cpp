@@ -1,0 +1,334 @@
+// Protocol layer: JSON parsing, request validation, response rendering
+// (cross-checked with test_util.h's independent validator), volatile-field
+// stripping and snapshot serialization.
+#include "src/service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "src/support/rng.h"
+#include "test_util.h"
+
+namespace cuaf::service {
+namespace {
+
+constexpr std::size_t kMaxBytes = 1 << 20;
+
+JsonValue parseOk(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(parseJson(text, v, error)) << text << ": " << error;
+  return v;
+}
+
+bool parseFails(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  return !parseJson(text, v, error);
+}
+
+TEST(JsonParser, ParsesScalars) {
+  EXPECT_EQ(parseOk("null").kind, JsonValue::Kind::Null);
+  EXPECT_TRUE(parseOk("true").boolean);
+  EXPECT_FALSE(parseOk("false").boolean);
+  EXPECT_DOUBLE_EQ(parseOk("-12.5e2").number, -1250.0);
+  EXPECT_EQ(parseOk("\"hi\\n\\u0041\"").string, "hi\nA");
+}
+
+TEST(JsonParser, DecodesUnicodeEscapes) {
+  EXPECT_EQ(parseOk("\"\\u00e9\"").string, "\xc3\xa9");
+  EXPECT_EQ(parseOk("\"\\u20ac\"").string, "\xe2\x82\xac");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parseOk("\"\\ud83d\\ude00\"").string, "\xf0\x9f\x98\x80");
+  EXPECT_TRUE(parseFails("\"\\ud83d\""));       // unpaired high surrogate
+  EXPECT_TRUE(parseFails("\"\\ude00\""));       // unpaired low surrogate
+  EXPECT_TRUE(parseFails("\"\\ud83d\\u0041\""));
+}
+
+TEST(JsonParser, ParsesNestedStructures) {
+  JsonValue v = parseOk("{\"a\":[1,{\"b\":null},\"c\"],\"d\":{}}");
+  ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[1].find("b")->kind, JsonValue::Kind::Null);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_TRUE(parseFails(""));
+  EXPECT_TRUE(parseFails("{"));
+  EXPECT_TRUE(parseFails("{\"a\"}"));
+  EXPECT_TRUE(parseFails("[1,]"));
+  EXPECT_TRUE(parseFails("\"unterminated"));
+  EXPECT_TRUE(parseFails("{} extra"));
+  EXPECT_TRUE(parseFails("\"bad\\x\""));
+  EXPECT_TRUE(parseFails("tru"));
+  EXPECT_TRUE(parseFails("\"raw\ncontrol\""));
+}
+
+TEST(JsonParser, BoundedDepthRejectsDeepNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_TRUE(parseFails(deep));
+  // Depth within the bound still parses.
+  std::string ok(32, '[');
+  ok += "1";
+  ok += std::string(32, ']');
+  parseOk(ok);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ParseRequest, AnalyzeCarriesSourceNameAndOptions) {
+  auto parsed = parseRequest(
+      "{\"op\":\"analyze\",\"id\":7,\"name\":\"t.chpl\",\"source\":\"proc p() "
+      "{}\",\"options\":{\"model_atomics\":true,\"prune\":false}}",
+      kMaxBytes);
+  ASSERT_TRUE(std::holds_alternative<Request>(parsed));
+  const Request& r = std::get<Request>(parsed);
+  EXPECT_EQ(r.op, Op::Analyze);
+  EXPECT_EQ(r.id, 7);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0].name, "t.chpl");
+  EXPECT_EQ(r.items[0].source, "proc p() {}");
+  EXPECT_TRUE(r.options.build.model_atomics);
+  EXPECT_FALSE(r.options.build.prune);
+}
+
+TEST(ParseRequest, BatchItemsDefaultTheirNames) {
+  auto parsed = parseRequest(
+      "{\"op\":\"analyze_batch\",\"items\":[{\"source\":\"a\"},"
+      "{\"name\":\"b.chpl\",\"source\":\"b\"}]}",
+      kMaxBytes);
+  ASSERT_TRUE(std::holds_alternative<Request>(parsed));
+  const Request& r = std::get<Request>(parsed);
+  EXPECT_EQ(r.op, Op::AnalyzeBatch);
+  ASSERT_EQ(r.items.size(), 2u);
+  EXPECT_EQ(r.items[0].name, "<batch:0>");
+  EXPECT_EQ(r.items[1].name, "b.chpl");
+}
+
+struct BadRequestCase {
+  const char* line;
+  const char* code;
+};
+
+class BadRequest : public ::testing::TestWithParam<BadRequestCase> {};
+
+TEST_P(BadRequest, YieldsStructuredError) {
+  auto parsed = parseRequest(GetParam().line, kMaxBytes);
+  ASSERT_TRUE(std::holds_alternative<ProtocolError>(parsed))
+      << GetParam().line;
+  EXPECT_EQ(std::get<ProtocolError>(parsed).code, GetParam().code);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocol, BadRequest,
+    ::testing::Values(
+        BadRequestCase{"not json", "parse_error"},
+        BadRequestCase{"[1,2,3]", "invalid_request"},
+        BadRequestCase{"{\"op\":42}", "invalid_request"},
+        BadRequestCase{"{}", "invalid_request"},
+        BadRequestCase{"{\"op\":\"frobnicate\"}", "unknown_op"},
+        BadRequestCase{"{\"op\":\"analyze\"}", "invalid_request"},
+        BadRequestCase{"{\"op\":\"analyze\",\"source\":7}", "invalid_request"},
+        BadRequestCase{"{\"op\":\"analyze\",\"id\":1.5,\"source\":\"\"}",
+                       "invalid_request"},
+        BadRequestCase{"{\"op\":\"analyze\",\"source\":\"\","
+                       "\"options\":{\"bogus\":true}}",
+                       "invalid_request"},
+        BadRequestCase{"{\"op\":\"analyze\",\"source\":\"\","
+                       "\"options\":{\"prune\":1}}",
+                       "invalid_request"},
+        BadRequestCase{"{\"op\":\"analyze_batch\",\"items\":[{}]}",
+                       "invalid_request"},
+        BadRequestCase{"{\"op\":\"analyze_batch\",\"items\":\"x\"}",
+                       "invalid_request"}));
+
+TEST(ParseRequest, OversizedLineIsRejectedUpFront) {
+  std::string big = "{\"op\":\"analyze\",\"source\":\"";
+  big += std::string(4096, 'x');
+  big += "\"}";
+  auto parsed = parseRequest(big, 128);
+  ASSERT_TRUE(std::holds_alternative<ProtocolError>(parsed));
+  EXPECT_EQ(std::get<ProtocolError>(parsed).code, "oversized_request");
+}
+
+TEST(ParseRequest, ErrorEchoesRecoverableId) {
+  auto parsed =
+      parseRequest("{\"op\":\"nope\",\"id\":41}", kMaxBytes);
+  ASSERT_TRUE(std::holds_alternative<ProtocolError>(parsed));
+  EXPECT_EQ(std::get<ProtocolError>(parsed).id, 41);
+}
+
+// ---------------------------------------------------------------------------
+
+AnalysisSnapshot sampleSnapshot() {
+  AnalysisSnapshot snap;
+  snap.frontend_ok = true;
+  snap.warning_count = 2;
+  snap.report_json = "{\n  \"warnings\": []\n}\n";
+  snap.diagnostics = "t.chpl:3:5: warning: ...\n";
+  return snap;
+}
+
+TEST(Render, ResponsesAreSingleLineWellFormedJson) {
+  ItemResult item;
+  item.name = "line\nbreak.chpl";  // name with a newline must stay escaped
+  item.snapshot = sampleSnapshot();
+  const std::string rendered[] = {
+      renderAnalyzeResponse(1, item, 42),
+      renderBatchResponse(2, {item, item}, 7),
+      renderStatsResponse(3, CacheCounters{}),
+      renderAckResponse(4, "cache_clear"),
+      renderErrorResponse({"parse_error", "bad \"input\"\n", 5}),
+  };
+  for (const std::string& response : rendered) {
+    EXPECT_TRUE(test::jsonWellFormed(response)) << response;
+    EXPECT_EQ(response.find('\n'), std::string::npos) << response;
+  }
+}
+
+TEST(Render, FailedFrontEndRendersNullReport) {
+  ItemResult item;
+  item.name = "bad.chpl";
+  item.snapshot.frontend_ok = false;
+  item.snapshot.diagnostics = "bad.chpl:1:1: error: ...\n";
+  std::string response = renderAnalyzeResponse(1, item, 0);
+  EXPECT_TRUE(test::jsonWellFormed(response)) << response;
+  EXPECT_NE(response.find("\"report\":null"), std::string::npos);
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos);
+}
+
+TEST(Render, StripVolatileRemovesOnlyCachedAndElapsed) {
+  ItemResult cold;
+  cold.name = "t.chpl";
+  cold.snapshot = sampleSnapshot();
+  ItemResult warm = cold;
+  warm.cached = true;
+  std::string a = renderAnalyzeResponse(1, cold, 111);
+  std::string b = renderAnalyzeResponse(1, warm, 7);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(stripVolatile(a), stripVolatile(b));
+  EXPECT_TRUE(test::jsonWellFormed(stripVolatile(a))) << stripVolatile(a);
+  EXPECT_EQ(stripVolatile(a).find("elapsed_us"), std::string::npos);
+}
+
+TEST(Render, StripVolatileIgnoresFieldLookalikesInsideStrings) {
+  // A *source-controlled* string containing the text `"cached":false,` has
+  // its quotes escaped by jsonEscape, so stripVolatile must not touch it.
+  ItemResult item;
+  item.name = "evil\"cached\":false,.chpl";
+  item.snapshot.frontend_ok = false;
+  item.snapshot.diagnostics = "literal \"elapsed_us\":9, in diagnostics";
+  std::string stripped = stripVolatile(renderAnalyzeResponse(1, item, 3));
+  EXPECT_TRUE(test::jsonWellFormed(stripped)) << stripped;
+  EXPECT_NE(stripped.find("elapsed_us\\\":9"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, SerializeDeserializeRoundTrips) {
+  AnalysisSnapshot snap = sampleSnapshot();
+  auto back = AnalysisSnapshot::deserialize(snap.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, snap);
+
+  AnalysisSnapshot failed;
+  failed.frontend_ok = false;
+  failed.diagnostics = "err\n";
+  back = AnalysisSnapshot::deserialize(failed.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, failed);
+}
+
+TEST(Snapshot, DeserializeRejectsCorruptPayloads) {
+  EXPECT_FALSE(AnalysisSnapshot::deserialize("").has_value());
+  EXPECT_FALSE(AnalysisSnapshot::deserialize("garbage").has_value());
+  EXPECT_FALSE(AnalysisSnapshot::deserialize("CUAF9\n1\n0\n0\n").has_value());
+  std::string payload = sampleSnapshot().serialize();
+  EXPECT_FALSE(
+      AnalysisSnapshot::deserialize(payload.substr(0, payload.size() / 2))
+          .has_value());
+}
+
+TEST(Fingerprint, DistinguishesEveryProtocolOption) {
+  AnalysisOptions base;
+  std::uint64_t base_fp = optionsFingerprint(base);
+  AnalysisOptions o = base;
+  o.build.prune = !o.build.prune;
+  EXPECT_NE(optionsFingerprint(o), base_fp);
+  o = base;
+  o.pps.merge_equivalent = !o.pps.merge_equivalent;
+  EXPECT_NE(optionsFingerprint(o), base_fp);
+  o = base;
+  o.pps.report_deadlocks = !o.pps.report_deadlocks;
+  EXPECT_NE(optionsFingerprint(o), base_fp);
+  o = base;
+  o.build.model_atomics = !o.build.model_atomics;
+  EXPECT_NE(optionsFingerprint(o), base_fp);
+  o = base;
+  o.build.unroll_loops = !o.build.unroll_loops;
+  EXPECT_NE(optionsFingerprint(o), base_fp);
+  EXPECT_EQ(optionsFingerprint(base), base_fp);  // stable across calls
+}
+
+TEST(Fingerprint, CacheKeySeparatesNameSourceAndOptions) {
+  AnalysisOptions options;
+  std::uint64_t key = analysisCacheKey("a.chpl", "proc p() {}", options);
+  EXPECT_NE(analysisCacheKey("b.chpl", "proc p() {}", options), key);
+  EXPECT_NE(analysisCacheKey("a.chpl", "proc q() {}", options), key);
+  AnalysisOptions other;
+  other.build.model_atomics = true;
+  EXPECT_NE(analysisCacheKey("a.chpl", "proc p() {}", other), key);
+  EXPECT_EQ(analysisCacheKey("a.chpl", "proc p() {}", options), key);
+}
+
+// Parser-level fuzz: random and truncated documents must never crash and
+// must report failure for anything the validator also rejects.
+TEST(JsonParser, FuzzRandomAndTruncatedInputs) {
+  Rng rng(0xfeedu);
+  const std::string seeds[] = {
+      "{\"op\":\"analyze\",\"id\":1,\"source\":\"proc p() {}\"}",
+      "{\"op\":\"analyze_batch\",\"items\":[{\"source\":\"x\"}]}",
+      "{\"op\":\"stats\"}",
+      "[{\"a\":[true,null,1.5e2,\"\\u0041\"]}]",
+  };
+  for (int iter = 0; iter < 1500; ++iter) {
+    std::string input;
+    switch (rng.below(3)) {
+      case 0: {  // random printable + structural bytes
+        const char alphabet[] = "{}[]\":,\\0123456789.eE+-truefalsn \n\t\"";
+        std::size_t len = rng.below(64);
+        for (std::size_t i = 0; i < len; ++i) {
+          input += alphabet[rng.below(sizeof(alphabet) - 1)];
+        }
+        break;
+      }
+      case 1: {  // truncated valid request
+        const std::string& seed = seeds[rng.below(std::size(seeds))];
+        input = seed.substr(0, rng.below(seed.size() + 1));
+        break;
+      }
+      default: {  // raw bytes, including NUL and high bit
+        std::size_t len = rng.below(48);
+        for (std::size_t i = 0; i < len; ++i) {
+          input += static_cast<char>(rng.below(256));
+        }
+        break;
+      }
+    }
+    JsonValue v;
+    std::string error;
+    bool parsed = parseJson(input, v, error);
+    if (parsed) {
+      EXPECT_TRUE(test::jsonWellFormed(input)) << input;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cuaf::service

@@ -1,0 +1,297 @@
+// End-to-end daemon behaviour: cold/warm determinism, --jobs independence,
+// stats/cache_clear/shutdown ops, the malformed-request fuzz loop the
+// acceptance criteria name, and a live Unix-domain-socket session.
+// Labeled `service`: runs under the tsan preset (pool + cache locking).
+#include "src/service/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/json_report.h"
+#include "src/corpus/generator.h"
+#include "src/support/rng.h"
+#include "test_util.h"
+
+namespace cuaf::service {
+namespace {
+
+std::string batchRequest(std::int64_t id, std::size_t programs,
+                         std::uint64_t seed) {
+  corpus::ProgramGenerator generator(seed);
+  std::string request = "{\"op\":\"analyze_batch\",\"id\":" +
+                        std::to_string(id) + ",\"items\":[";
+  for (std::size_t i = 0; i < programs; ++i) {
+    corpus::GeneratedProgram p = generator.next();
+    if (i) request += ',';
+    request += "{\"name\":\"" + cuaf::jsonEscape(p.name) +
+               "\",\"source\":\"" + cuaf::jsonEscape(p.source) + "\"}";
+  }
+  request += "]}";
+  return request;
+}
+
+TEST(Server, AnalyzeReportsWarningsAndCachesRepeats) {
+  Server server;
+  std::string request =
+      "{\"op\":\"analyze\",\"id\":1,\"name\":\"fig1.chpl\",\"source\":"
+      "\"proc p() {\\n  var x: int = 0;\\n  begin with (ref x) { x += 1; "
+      "}\\n}\\n\"}";
+  std::string cold = server.handleLine(request);
+  EXPECT_TRUE(test::jsonWellFormed(cold)) << cold;
+  EXPECT_NE(cold.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(cold.find("\"warnings\":1"), std::string::npos);
+  EXPECT_NE(cold.find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(cold.find("\"variable\":\"x\""), std::string::npos);
+
+  std::string warm = server.handleLine(request);
+  EXPECT_NE(warm.find("\"cached\":true"), std::string::npos);
+  EXPECT_EQ(stripVolatile(cold), stripVolatile(warm));
+
+  ResultCache::Stats stats = server.cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(Server, FrontEndErrorsAreStructuredNotFatal) {
+  Server server;
+  std::string response = server.handleLine(
+      "{\"op\":\"analyze\",\"id\":3,\"source\":\"proc p( {\"}");
+  EXPECT_TRUE(test::jsonWellFormed(response)) << response;
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(response.find("\"report\":null"), std::string::npos);
+}
+
+TEST(Server, WarmBatchIsByteIdenticalToColdRun) {
+  Server server;
+  std::string request = batchRequest(1, 60, 0xc0ffee);
+  std::string cold = server.handleLine(request);
+  std::string warm = server.handleLine(request);
+  EXPECT_TRUE(test::jsonWellFormed(cold));
+  EXPECT_EQ(stripVolatile(cold), stripVolatile(warm));
+  EXPECT_NE(warm.find("\"cached\":true"), std::string::npos);
+  EXPECT_EQ(warm.find("\"cached\":false"), std::string::npos);
+  // The warm run is answered purely from the cache: no new pipeline runs.
+  std::string stats = server.handleLine("{\"op\":\"stats\",\"id\":9}");
+  EXPECT_NE(stats.find("\"analyzed\":60"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"hits\":60"), std::string::npos) << stats;
+}
+
+TEST(Server, ResponsesAreIdenticalForAnyJobsValue) {
+  std::string request = batchRequest(1, 48, 0xabcdef);
+  std::string reference;
+  for (std::size_t jobs : {1u, 2u, 4u}) {
+    ServerOptions options;
+    options.jobs = jobs;
+    Server server(options);
+    std::string cold = server.handleLine(request);
+    std::string warm = server.handleLine(request);
+    EXPECT_EQ(stripVolatile(cold), stripVolatile(warm)) << "jobs=" << jobs;
+    if (reference.empty()) {
+      reference = stripVolatile(cold);
+    } else {
+      EXPECT_EQ(stripVolatile(cold), reference) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Server, CacheClearForcesReanalysis) {
+  Server server;
+  std::string request =
+      "{\"op\":\"analyze\",\"id\":1,\"source\":\"proc p() { writeln(1); }\"}";
+  std::string cold = server.handleLine(request);
+  std::string ack = server.handleLine("{\"op\":\"cache_clear\",\"id\":2}");
+  EXPECT_NE(ack.find("\"op\":\"cache_clear\""), std::string::npos);
+  EXPECT_NE(ack.find("\"status\":\"ok\""), std::string::npos);
+  std::string recold = server.handleLine(request);
+  EXPECT_NE(recold.find("\"cached\":false"), std::string::npos);
+  EXPECT_EQ(stripVolatile(cold), stripVolatile(recold));
+}
+
+TEST(Server, OptionsChangeTheCacheKeyNotTheEntry) {
+  Server server;
+  // Sync-block program: rule B prunes it by default, prune=false warns —
+  // the two option sets must resolve to distinct cache entries.
+  std::string fenced =
+      "proc p() {\\n  var x: int = 0;\\n  sync {\\n    begin with (ref x) { "
+      "x += 1; }\\n  }\\n}\\n";
+  std::string pruned = server.handleLine(
+      "{\"op\":\"analyze\",\"id\":1,\"source\":\"" + fenced + "\"}");
+  std::string unpruned = server.handleLine(
+      "{\"op\":\"analyze\",\"id\":2,\"source\":\"" + fenced +
+      "\",\"options\":{\"prune\":false}}");
+  EXPECT_NE(pruned.find("\"warnings\":0"), std::string::npos) << pruned;
+  EXPECT_EQ(unpruned.find("\"cached\":true"), std::string::npos);
+  // Both variants now live in the cache under distinct keys.
+  EXPECT_EQ(server.cache().stats().entries, 2u);
+}
+
+TEST(Server, ShutdownStopsTheStreamLoop) {
+  Server server;
+  std::istringstream in(
+      "{\"op\":\"stats\",\"id\":1}\n"
+      "{\"op\":\"shutdown\",\"id\":2}\n"
+      "{\"op\":\"stats\",\"id\":3}\n");
+  std::ostringstream out;
+  std::size_t answered = server.serveStream(in, out);
+  EXPECT_EQ(answered, 2u);  // the post-shutdown request is never read
+  EXPECT_TRUE(server.shutdownRequested());
+  EXPECT_NE(out.str().find("\"op\":\"shutdown\""), std::string::npos);
+}
+
+TEST(Server, StreamSkipsBlankAndCrLfLines) {
+  Server server;
+  std::istringstream in("\n\r\n{\"op\":\"stats\",\"id\":1}\r\n\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serveStream(in, out), 1u);
+  EXPECT_NE(out.str().find("\"op\":\"stats\""), std::string::npos);
+}
+
+// Acceptance criterion: >=1k random/truncated requests, zero crashes, every
+// answer a well-formed single-line JSON document.
+TEST(Server, SurvivesMalformedRequestFuzzLoop) {
+  ServerOptions options;
+  options.max_request_bytes = 4096;
+  Server server(options);
+  Rng rng(0xdecafu);
+  const std::string seeds[] = {
+      "{\"op\":\"analyze\",\"id\":1,\"name\":\"t.chpl\",\"source\":\"proc "
+      "p() { writeln(1); }\"}",
+      "{\"op\":\"analyze_batch\",\"id\":2,\"items\":[{\"source\":\"proc p() "
+      "{}\"}]}",
+      "{\"op\":\"stats\",\"id\":3}",
+      "{\"op\":\"cache_clear\",\"id\":4}",
+  };
+  std::size_t errors = 0;
+  for (int iter = 0; iter < 1200; ++iter) {
+    std::string line;
+    switch (rng.below(4)) {
+      case 0: {  // truncated valid request
+        const std::string& seed = seeds[rng.below(std::size(seeds))];
+        line = seed.substr(0, rng.below(seed.size()));
+        break;
+      }
+      case 1: {  // random structural soup
+        const char alphabet[] = "{}[]\":,op\\analyze0123456789 \t";
+        std::size_t len = rng.below(96);
+        for (std::size_t i = 0; i < len; ++i) {
+          line += alphabet[rng.below(sizeof(alphabet) - 1)];
+        }
+        break;
+      }
+      case 2: {  // raw bytes (NULs, high bit, controls)
+        std::size_t len = rng.below(64);
+        for (std::size_t i = 0; i < len; ++i) {
+          line += static_cast<char>(rng.below(256));
+        }
+        break;
+      }
+      default: {  // oversized or deeply nested
+        if (rng.chance(500)) {
+          line = "{\"op\":\"analyze\",\"source\":\"" +
+                 std::string(8192, 'x') + "\"}";
+        } else {
+          line = std::string(512, '[');
+        }
+        break;
+      }
+    }
+    if (line.empty()) continue;
+    std::string response = server.handleLine(line);
+    ASSERT_FALSE(response.empty());
+    ASSERT_TRUE(test::jsonWellFormed(response))
+        << "iter " << iter << ": " << response;
+    ASSERT_EQ(response.find('\n'), std::string::npos);
+    errors += response.find("\"status\":\"error\"") != std::string::npos;
+  }
+  EXPECT_GT(errors, 900u);  // the vast majority must be rejected
+  // The daemon is still alive and sane after the storm.
+  std::string stats = server.handleLine("{\"op\":\"stats\",\"id\":99}");
+  EXPECT_NE(stats.find("\"status\":\"ok\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Unix-domain-socket session against a live daemon thread.
+
+class SocketClient {
+ public:
+  explicit SocketClient(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    // The daemon thread may not have bound yet; retry briefly.
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        connected_ = true;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ~SocketClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  std::string roundTrip(const std::string& request) {
+    std::string line = request + "\n";
+    EXPECT_EQ(::send(fd_, line.data(), line.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(line.size()));
+    std::string response;
+    char c;
+    while (::read(fd_, &c, 1) == 1 && c != '\n') response += c;
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST(Server, ServesAnalyzeStatsShutdownOverUnixSocket) {
+  std::string path = testing::TempDir() + "cuaf_service_test.sock";
+  Server server;
+  std::thread daemon([&server, &path] { server.serveSocket(path); });
+
+  {
+    SocketClient client(path);
+    ASSERT_TRUE(client.connected());
+    std::string cold = client.roundTrip(
+        "{\"op\":\"analyze\",\"id\":1,\"source\":\"proc p() {\\n  var x: int "
+        "= 0;\\n  begin with (ref x) { x += 1; }\\n}\\n\"}");
+    EXPECT_TRUE(test::jsonWellFormed(cold)) << cold;
+    EXPECT_NE(cold.find("\"warnings\":1"), std::string::npos);
+    std::string warm = client.roundTrip(
+        "{\"op\":\"analyze\",\"id\":2,\"source\":\"proc p() {\\n  var x: int "
+        "= 0;\\n  begin with (ref x) { x += 1; }\\n}\\n\"}");
+    EXPECT_NE(warm.find("\"cached\":true"), std::string::npos);
+    std::string stats = client.roundTrip("{\"op\":\"stats\",\"id\":3}");
+    EXPECT_NE(stats.find("\"hits\":1"), std::string::npos) << stats;
+  }
+  {
+    // A second sequential client: the daemon outlives connections.
+    SocketClient client(path);
+    ASSERT_TRUE(client.connected());
+    std::string response =
+        client.roundTrip("{\"op\":\"shutdown\",\"id\":4}");
+    EXPECT_NE(response.find("\"op\":\"shutdown\""), std::string::npos);
+  }
+  daemon.join();
+  EXPECT_TRUE(server.shutdownRequested());
+}
+
+}  // namespace
+}  // namespace cuaf::service

@@ -1,8 +1,10 @@
 // Shared helpers for the test suite.
 #pragma once
 
+#include <cctype>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "src/analysis/pipeline.h"
 #include "src/ccfg/builder.h"
@@ -55,5 +57,145 @@ struct Fixture {
 
   [[nodiscard]] std::string diagText() { return diags.renderAll(sm); }
 };
+
+// ---------------------------------------------------------------------------
+// Minimal JSON well-formedness validator.
+//
+// Deliberately independent of the production parser in src/service/ so the
+// json_report and service-protocol tests check renderer output against a
+// second implementation instead of validating the parser with itself.
+
+namespace json_detail {
+
+inline void skipWs(std::string_view s, std::size_t& i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) {
+    ++i;
+  }
+}
+
+inline bool validString(std::string_view s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  while (i < s.size()) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (c < 0x20) return false;
+    if (c == '\\') {
+      ++i;
+      if (i >= s.size()) return false;
+      char esc = s[i];
+      if (esc == 'u') {
+        for (int k = 0; k < 4; ++k) {
+          ++i;
+          if (i >= s.size() || !std::isxdigit(static_cast<unsigned char>(s[i])))
+            return false;
+        }
+      } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                 esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+        return false;
+      }
+    }
+    ++i;
+  }
+  return false;
+}
+
+inline bool validNumber(std::string_view s, std::size_t& i) {
+  if (i < s.size() && s[i] == '-') ++i;
+  if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+    return false;
+  if (s[i] == '0') {
+    ++i;  // leading zero: the integer part must stop here
+  } else {
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+      return false;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+      return false;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  return true;
+}
+
+inline bool validValue(std::string_view s, std::size_t& i, int depth) {
+  if (depth > 128) return false;
+  skipWs(s, i);
+  if (i >= s.size()) return false;
+  char c = s[i];
+  if (c == '"') return validString(s, i);
+  if (c == '{') {
+    ++i;
+    skipWs(s, i);
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      skipWs(s, i);
+      if (!validString(s, i)) return false;
+      skipWs(s, i);
+      if (i >= s.size() || s[i] != ':') return false;
+      ++i;
+      if (!validValue(s, i, depth + 1)) return false;
+      skipWs(s, i);
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (c == '[') {
+    ++i;
+    skipWs(s, i);
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      if (!validValue(s, i, depth + 1)) return false;
+      skipWs(s, i);
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (s.substr(i, 4) == "true") { i += 4; return true; }
+  if (s.substr(i, 5) == "false") { i += 5; return true; }
+  if (s.substr(i, 4) == "null") { i += 4; return true; }
+  return validNumber(s, i);
+}
+
+}  // namespace json_detail
+
+/// True when `text` is exactly one well-formed JSON document.
+[[nodiscard]] inline bool jsonWellFormed(std::string_view text) {
+  std::size_t i = 0;
+  if (!json_detail::validValue(text, i, 0)) return false;
+  json_detail::skipWs(text, i);
+  return i == text.size();
+}
 
 }  // namespace cuaf::test
