@@ -1,6 +1,8 @@
 // Reproduces the paper's Table I: running the use-after-free check over a
 // test-suite-sized corpus (synthetic substitute for the Chapel 1.11 suite;
-// see DESIGN.md §2) and classifying warnings with the dynamic oracle.
+// see DESIGN.md §2) and classifying warnings with the dynamic oracle. The
+// witness engine replays every warning, so the table also carries
+// replay-backed confirmed/unconfirmed/tail rows (docs/WITNESS.md).
 //
 //   Usage: bench_table1 [count] [seed] [jobs]
 //     count  number of generated programs (default 5127 minus the curated
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
 
   cuaf::corpus::GeneratorOptions gen;
   cuaf::corpus::RunnerOptions run;
+  run.classify_with_witness = true;
   if (argc > 3) {
     run.jobs = static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
   }

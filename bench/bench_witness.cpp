@@ -1,0 +1,132 @@
+// Cost and yield of the witness engine over the corpus: runs the curated
+// suite plus a seeded generated corpus twice — once with the oracle alone,
+// once additionally extracting and replaying a witness for every warning —
+// and reports the overhead, the verdict breakdown and the acceptance
+// criteria (every warning carries a witness; >=90% of the curated suite's
+// oracle-classified true positives replay as `confirmed`). Emits
+// BENCH_witness.json; exit code 1 when a criterion fails.
+//
+//   Usage: bench_witness [count] [seed] [jobs]
+//     count  generated programs (default 240)
+//     seed   generator seed (default 20170529)
+//     jobs   worker threads (default 1; results identical for any value)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "src/corpus/runner.h"
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t count = 240;
+  std::uint64_t seed = 20170529;
+  std::size_t jobs = 1;
+  if (argc > 1) count = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  if (argc > 2) seed = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) jobs = static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
+
+  std::size_t curated = cuaf::corpus::curatedPrograms().size();
+  std::cout << "=== Witness extraction + replay over the corpus (" << curated
+            << " curated + " << count << " generated, seed " << seed
+            << ", jobs " << jobs << ") ===\n";
+
+  cuaf::corpus::GeneratorOptions gen;
+  cuaf::corpus::RunnerOptions base;
+  base.jobs = jobs;
+
+  auto t0 = std::chrono::steady_clock::now();
+  cuaf::corpus::CorpusRunResult plain =
+      cuaf::corpus::runCorpusDetailed(seed, count, gen, base);
+  double plain_ms = msSince(t0);
+
+  cuaf::corpus::RunnerOptions with_witness = base;
+  with_witness.classify_with_witness = true;
+  auto t1 = std::chrono::steady_clock::now();
+  cuaf::corpus::CorpusRunResult witnessed =
+      cuaf::corpus::runCorpusDetailed(seed, count, gen, with_witness);
+  double witness_ms = msSince(t1);
+
+  const cuaf::corpus::Table1Stats& stats = witnessed.stats;
+  std::size_t witnesses = stats.warnings_confirmed +
+                          stats.warnings_unconfirmed + stats.warnings_tail;
+
+  // Criterion 1: every reported warning carries a witness verdict.
+  bool coverage_ok = true;
+  for (const cuaf::corpus::ProgramOutcome& o : witnessed.outcomes) {
+    std::size_t verdicts =
+        o.warnings_confirmed + o.warnings_unconfirmed + o.warnings_tail;
+    if (o.parse_ok && verdicts != o.warnings) coverage_ok = false;
+  }
+
+  // Criterion 2: on the curated suite, the witness replay confirms >=90% of
+  // the warnings the dynamic oracle classified as true positives. (The two
+  // use the same interpreter, so this measures how often the extracted
+  // schedule — plus the adversarial fallback — reproduces the oracle's
+  // verdict from a single warning's worth of budget.)
+  std::size_t curated_tp = 0, curated_confirmed = 0;
+  for (std::size_t i = 0; i < curated && i < witnessed.outcomes.size(); ++i) {
+    curated_tp += witnessed.outcomes[i].true_positives;
+    curated_confirmed += witnessed.outcomes[i].warnings_confirmed;
+  }
+  double curated_pct =
+      curated_tp == 0
+          ? 100.0
+          : 100.0 * static_cast<double>(curated_confirmed) /
+                static_cast<double>(curated_tp);
+
+  double overhead_ms = witness_ms - plain_ms;
+  double per_warning_ms =
+      witnesses == 0 ? 0.0 : overhead_ms / static_cast<double>(witnesses);
+
+  std::cout << '\n' << stats.render() << '\n';
+  std::printf("%-36s %10.2f ms\n", "corpus run without witnesses", plain_ms);
+  std::printf("%-36s %10.2f ms\n", "corpus run with witness replay",
+              witness_ms);
+  std::printf("%-36s %10.2f ms  (%.2f ms/warning)\n",
+              "extraction + replay overhead", overhead_ms, per_warning_ms);
+  std::printf("%-36s %10s\n", "every warning carries a witness",
+              coverage_ok ? "yes" : "NO");
+  std::printf("%-36s %9.1f%%  (%zu/%zu)\n",
+              "curated true positives confirmed", curated_pct,
+              curated_confirmed, curated_tp);
+
+  bool ok = coverage_ok && curated_pct >= 90.0;
+
+  std::ofstream json("BENCH_witness.json");
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n  \"bench\": \"witness_replay\",\n"
+      "  \"count\": %zu,\n  \"seed\": %llu,\n  \"jobs\": %zu,\n"
+      "  \"warnings\": %zu,\n  \"witnesses\": %zu,\n"
+      "  \"confirmed\": %zu,\n  \"unconfirmed\": %zu,\n  \"tail\": %zu,\n"
+      "  \"plain_ms\": %.2f,\n  \"witness_ms\": %.2f,\n"
+      "  \"overhead_ms\": %.2f,\n  \"per_warning_ms\": %.3f,\n"
+      "  \"curated_true_positives\": %zu,\n"
+      "  \"curated_confirmed\": %zu,\n"
+      "  \"curated_confirmed_pct\": %.1f,\n"
+      "  \"coverage_ok\": %s\n}\n",
+      count, static_cast<unsigned long long>(seed), jobs,
+      stats.warnings_reported, witnesses, stats.warnings_confirmed,
+      stats.warnings_unconfirmed, stats.warnings_tail, plain_ms, witness_ms,
+      overhead_ms, per_warning_ms, curated_tp, curated_confirmed, curated_pct,
+      coverage_ok ? "true" : "false");
+  json << buf;
+  std::cout << "wrote BENCH_witness.json\n";
+  if (!ok) {
+    std::cout << "FAIL: expected full witness coverage and >=90% of curated "
+                 "true positives replay-confirmed\n";
+  }
+  return ok ? 0 : 1;
+}

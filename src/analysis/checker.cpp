@@ -75,8 +75,19 @@ std::vector<const UafWarning*> AnalysisResult::allWarnings() const {
 
 AnalysisResult UseAfterFreeChecker::run(const ir::Module& module,
                                         DiagnosticEngine& diags) const {
+  return run(module, diags, nullptr);
+}
+
+AnalysisResult UseAfterFreeChecker::run(const ir::Module& module,
+                                        DiagnosticEngine& diags,
+                                        const Program* program) const {
   AnalysisResult result;
   const SemaModule& sema = *module.sema;
+
+  // Witness extraction needs the PPS trace: the sink's parent chain is the
+  // counterexample serialization.
+  pps::Options pps_options = options_.pps;
+  if (options_.witness.enabled) pps_options.record_trace = true;
 
   for (const auto& proc : module.procs) {
     if (proc->is_nested) continue;  // analyzed via inlining at call sites
@@ -98,12 +109,16 @@ AnalysisResult UseAfterFreeChecker::run(const ir::Module& module,
     if (pa.has_begin &&
         (graph->accessCount() > 0 ||
          (options_.pps.report_deadlocks && !graph->syncVars().empty()))) {
-      pps::Result pps_result = pps::explore(*graph, options_.pps);
+      pps::Result pps_result = pps::explore(*graph, pps_options);
       pa.pps_states = pps_result.states_generated;
       pa.pps_merged = pps_result.states_merged;
       pa.deadlocks = pps_result.deadlock_count;
       for (AccessId a : pps_result.unsafe) {
         pa.warnings.push_back(makeWarning(*graph, graph->access(a)));
+      }
+      if (options_.witness.enabled) {
+        pa.witnesses =
+            witness::buildWitnesses(*graph, pps_result, program, options_.witness);
       }
       for (NodeId n : pps_result.deadlocked_nodes) {
         const ccfg::Node& node = graph->node(n);

@@ -19,12 +19,16 @@
 
 #include "src/ccfg/builder.h"
 #include "src/pps/pps.h"
+#include "src/witness/witness.h"
 
 namespace cuaf {
 
 struct AnalysisOptions {
   ccfg::BuildOptions build;
   pps::Options pps;
+  /// Witness extraction/replay per warning (forces pps trace recording for
+  /// the exploration when enabled; see src/witness/witness.h).
+  witness::Options witness;
   /// Keep the built CCFGs and PPS results in the AnalysisResult (tools,
   /// tests and benches want them; the corpus runner does not).
   bool keep_artifacts = false;
@@ -48,6 +52,9 @@ struct ProcAnalysis {
   bool has_begin = false;
   bool skipped_unsupported = false;  ///< paper's loop limitation hit
   std::vector<UafWarning> warnings;
+  /// One witness per warning, in the same order (populated when
+  /// AnalysisOptions::witness.enabled is set).
+  std::vector<witness::Witness> witnesses;
   /// Extension: sync operations stuck in at least one deadlocked PPS
   /// (populated when AnalysisOptions::pps.report_deadlocks is set).
   std::vector<SourceLoc> deadlock_points;
@@ -82,6 +89,11 @@ class UseAfterFreeChecker {
   /// Analyzes every top-level procedure of the module. Warnings are both
   /// returned and emitted into `diags` with code "uaf".
   AnalysisResult run(const ir::Module& module, DiagnosticEngine& diags) const;
+
+  /// As above, additionally passing the parsed program so witness replay can
+  /// drive the runtime interpreter. `program` may be null (replay disabled).
+  AnalysisResult run(const ir::Module& module, DiagnosticEngine& diags,
+                     const Program* program) const;
 
  private:
   AnalysisOptions options_;

@@ -2,29 +2,6 @@
 
 namespace cuaf {
 
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 namespace {
 
 void appendLoc(std::string& out, const SourceManager& sm, SourceLoc loc) {
@@ -43,7 +20,11 @@ std::string toJson(const AnalysisResult& analysis, const SourceManager& sm) {
   std::string out = "{\n  \"warnings\": [";
   bool first = true;
   for (const ProcAnalysis& pa : analysis.procs) {
-    for (const UafWarning& w : pa.warnings) {
+    // Witnesses parallel the warnings when the witness engine ran.
+    const bool has_witnesses = pa.witnesses.size() == pa.warnings.size() &&
+                               !pa.witnesses.empty();
+    for (std::size_t i = 0; i < pa.warnings.size(); ++i) {
+      const UafWarning& w = pa.warnings[i];
       if (!first) out += ',';
       first = false;
       out += "\n    {";
@@ -54,7 +35,11 @@ std::string toJson(const AnalysisResult& analysis, const SourceManager& sm) {
       out += "\"";
       out += ",\"declLine\":" + std::to_string(w.decl_loc.line);
       out += ",\"taskLine\":" + std::to_string(w.task_loc.line);
-      out += ",\"message\":\"" + jsonEscape(w.message()) + "\"}";
+      out += ",\"message\":\"" + jsonEscape(w.message()) + "\"";
+      if (has_witnesses) {
+        out += ",\"witness\":" + witness::toJson(pa.witnesses[i]);
+      }
+      out += '}';
     }
   }
   out += first ? "]" : "\n  ]";

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/analysis/checker.h"
+#include "src/support/json.h"
 #include "src/support/source_manager.h"
 
 namespace cuaf {
@@ -19,8 +20,5 @@ namespace cuaf {
 /// }
 [[nodiscard]] std::string toJson(const AnalysisResult& analysis,
                                  const SourceManager& sm);
-
-/// Escapes a string for embedding in a JSON literal.
-[[nodiscard]] std::string jsonEscape(const std::string& s);
 
 }  // namespace cuaf

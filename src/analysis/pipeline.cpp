@@ -15,7 +15,7 @@ bool Pipeline::runSource(std::string name, std::string source) {
   module_ = ir::lower(*program_, *sema_, diags_);
   if (diags_.hasErrors()) return false;
   UseAfterFreeChecker checker(options_);
-  analysis_ = checker.run(*module_, diags_);
+  analysis_ = checker.run(*module_, diags_, program_.get());
   return true;
 }
 

@@ -11,8 +11,9 @@ namespace cuaf {
 namespace {
 
 // Payload layout (versioned so a future daemon can reject stale entries):
-//   "CUAF1\n" ok "\n" warning_count "\n" report_size "\n" report diagnostics
-constexpr std::string_view kMagic = "CUAF1\n";
+//   "CUAF2\n" ok "\n" warning_count "\n" report_size "\n"
+//   witness_count "\n" (witness_size "\n" witness_json)* report diagnostics
+constexpr std::string_view kMagic = "CUAF2\n";
 
 void appendNumber(std::string& out, std::uint64_t v) {
   out += std::to_string(v);
@@ -39,6 +40,11 @@ std::string AnalysisSnapshot::serialize() const {
   appendNumber(out, frontend_ok ? 1 : 0);
   appendNumber(out, warning_count);
   appendNumber(out, report_json.size());
+  appendNumber(out, witness_json.size());
+  for (const std::string& w : witness_json) {
+    appendNumber(out, w.size());
+    out += w;
+  }
   out += report_json;
   out += diagnostics;
   return out;
@@ -48,12 +54,22 @@ std::optional<AnalysisSnapshot> AnalysisSnapshot::deserialize(
     std::string_view payload) {
   if (payload.substr(0, kMagic.size()) != kMagic) return std::nullopt;
   payload.remove_prefix(kMagic.size());
-  std::uint64_t ok = 0, warnings = 0, report_size = 0;
+  std::uint64_t ok = 0, warnings = 0, report_size = 0, witness_count = 0;
   if (!readNumber(payload, ok) || ok > 1) return std::nullopt;
   if (!readNumber(payload, warnings)) return std::nullopt;
   if (!readNumber(payload, report_size)) return std::nullopt;
-  if (payload.size() < report_size) return std::nullopt;
+  if (!readNumber(payload, witness_count)) return std::nullopt;
+  if (witness_count > payload.size()) return std::nullopt;  // cheap sanity cap
   AnalysisSnapshot snap;
+  snap.witness_json.reserve(witness_count);
+  for (std::uint64_t i = 0; i < witness_count; ++i) {
+    std::uint64_t witness_size = 0;
+    if (!readNumber(payload, witness_size)) return std::nullopt;
+    if (payload.size() < witness_size) return std::nullopt;
+    snap.witness_json.emplace_back(payload.substr(0, witness_size));
+    payload.remove_prefix(witness_size);
+  }
+  if (payload.size() < report_size) return std::nullopt;
   snap.frontend_ok = ok == 1;
   snap.warning_count = warnings;
   snap.report_json = std::string(payload.substr(0, report_size));
@@ -71,6 +87,13 @@ AnalysisSnapshot analyzeToSnapshot(const std::string& name,
   if (snap.frontend_ok) {
     snap.warning_count = pipeline.analysis().warningCount();
     snap.report_json = toJson(pipeline.analysis(), pipeline.sourceManager());
+    if (options.witness.enabled) {
+      for (const ProcAnalysis& pa : pipeline.analysis().procs) {
+        for (const witness::Witness& w : pa.witnesses) {
+          snap.witness_json.push_back(witness::toJson(w));
+        }
+      }
+    }
   }
   return snap;
 }
@@ -88,6 +111,10 @@ std::uint64_t optionsFingerprint(const AnalysisOptions& options) {
   mix(options.pps.max_states);
   mix(options.pps.record_trace);
   mix(options.pps.report_deadlocks);
+  mix(options.witness.enabled);
+  mix(options.witness.replay);
+  mix(options.witness.max_replay_steps);
+  mix(options.witness.max_config_combos);
   mix(options.keep_artifacts);
   return h;
 }

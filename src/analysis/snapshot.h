@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/analysis/checker.h"
 
@@ -25,11 +26,16 @@ struct AnalysisSnapshot {
   std::uint64_t warning_count = 0;
   std::string report_json;   ///< toJson() output; empty unless frontend_ok
   std::string diagnostics;   ///< DiagnosticEngine::renderAll() text
+  /// One witness::toJson() string per warning, in report order (populated
+  /// only when the analysis ran with witness extraction enabled). Backs the
+  /// service `explain` op without re-running the Pipeline.
+  std::vector<std::string> witness_json;
 
   friend bool operator==(const AnalysisSnapshot& a, const AnalysisSnapshot& b) {
     return a.frontend_ok == b.frontend_ok &&
            a.warning_count == b.warning_count &&
-           a.report_json == b.report_json && a.diagnostics == b.diagnostics;
+           a.report_json == b.report_json && a.diagnostics == b.diagnostics &&
+           a.witness_json == b.witness_json;
   }
 
   /// Serializes to a stable byte string (the cache payload format).

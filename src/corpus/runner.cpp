@@ -33,6 +33,19 @@ std::string Table1Stats::render() const {
              std::to_string(warnings_reported));
   out += row("True positives", "63", std::to_string(true_positives));
   out += row("Percentage of true positives", "14.4%", pct);
+  if (warnings_confirmed + warnings_unconfirmed + warnings_tail > 0) {
+    // Replay-backed extension rows (no paper counterpart): every warning
+    // carries a witness verdict from the runtime interpreter.
+    char replay_pct[32];
+    std::snprintf(replay_pct, sizeof(replay_pct), "%.1f%%",
+                  replayConfirmedPct());
+    out += row("Warnings replay-confirmed", "-",
+               std::to_string(warnings_confirmed));
+    out += row("Warnings replay-unconfirmed", "-",
+               std::to_string(warnings_unconfirmed));
+    out += row("Warnings tail-delayable", "-", std::to_string(warnings_tail));
+    out += row("Replay-confirmed rate", "-", replay_pct);
+  }
   return out;
 }
 
@@ -41,7 +54,12 @@ ProgramOutcome runProgram(const std::string& name, const std::string& source,
   ProgramOutcome outcome;
   outcome.name = name;
 
-  Pipeline pipeline(options.analysis);
+  AnalysisOptions analysis_options = options.analysis;
+  if (options.classify_with_witness) {
+    analysis_options.witness.enabled = true;
+    analysis_options.witness.replay = true;
+  }
+  Pipeline pipeline(analysis_options);
   if (!pipeline.runSource(name, source)) {
     outcome.parse_ok = false;
     return outcome;
@@ -52,6 +70,15 @@ ProgramOutcome runProgram(const std::string& name, const std::string& source,
   for (const ProcAnalysis& pa : analysis.procs) {
     outcome.skipped_unsupported |= pa.skipped_unsupported;
     outcome.warnings += pa.warnings.size();
+    for (const witness::Witness& w : pa.witnesses) {
+      switch (w.verdict) {
+        case witness::Verdict::Confirmed: ++outcome.warnings_confirmed; break;
+        case witness::Verdict::Unconfirmed:
+          ++outcome.warnings_unconfirmed;
+          break;
+        case witness::Verdict::Tail: ++outcome.warnings_tail; break;
+      }
+    }
   }
 
   if (outcome.warnings > 0 && options.classify_with_oracle) {
@@ -119,7 +146,11 @@ CorpusRunResult runCorpusDetailed(
   Table1Stats& stats = result.stats;
   for (const ProgramOutcome& o : result.outcomes) {
     if (!o.parse_ok) continue;
-    if (o.skipped_unsupported) ++stats.cases_skipped;
+    // Unconfirmed replays flag a case for manual review just like skipped
+    // constructs do (the warning has no feasible runtime schedule).
+    if (o.skipped_unsupported || o.warnings_unconfirmed > 0) {
+      ++stats.cases_skipped;
+    }
     if (o.skipped_unsupported && !options.count_skipped) continue;
     ++stats.total_cases;
     if (o.has_begin) ++stats.cases_with_begin;
@@ -127,6 +158,9 @@ CorpusRunResult runCorpusDetailed(
     stats.warnings_reported += o.warnings;
     stats.true_positives += o.true_positives;
     stats.warnings_classified += o.warnings_classified;
+    stats.warnings_confirmed += o.warnings_confirmed;
+    stats.warnings_unconfirmed += o.warnings_unconfirmed;
+    stats.warnings_tail += o.warnings_tail;
   }
   return result;
 }

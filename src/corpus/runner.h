@@ -31,9 +31,24 @@ struct Table1Stats {
   /// by this, not by warnings_reported: unclassified warnings carry no
   /// TP/FP verdict and must not deflate the rate.
   std::size_t warnings_classified = 0;
-  /// Programs whose analysis skipped unsupported constructs; tracked even
-  /// when `count_skipped` excludes them from the rows above.
+  /// Programs whose analysis skipped unsupported constructs, plus — when
+  /// witness classification ran — programs with at least one replay that
+  /// came back `unconfirmed` (the static schedule was infeasible at
+  /// runtime; such cases need manual review, same as skipped ones).
   std::size_t cases_skipped = 0;
+  // Witness-replay accounting (zero unless classify_with_witness ran).
+  std::size_t warnings_confirmed = 0;    ///< replay reproduced the UAF
+  std::size_t warnings_unconfirmed = 0;  ///< replay found no feasible schedule
+  std::size_t warnings_tail = 0;         ///< tail-delayable, not reproduced
+
+  /// Share of replayed warnings whose counterexample concretely reproduced.
+  [[nodiscard]] double replayConfirmedPct() const {
+    std::size_t denom =
+        warnings_confirmed + warnings_unconfirmed + warnings_tail;
+    return denom == 0 ? 0.0
+                      : 100.0 * static_cast<double>(warnings_confirmed) /
+                            static_cast<double>(denom);
+  }
 
   [[nodiscard]] double truePositivePct() const {
     // Legacy/manually-built stats may carry no classification record; fall
@@ -52,7 +67,10 @@ struct Table1Stats {
            a.warnings_reported == b.warnings_reported &&
            a.true_positives == b.true_positives &&
            a.warnings_classified == b.warnings_classified &&
-           a.cases_skipped == b.cases_skipped;
+           a.cases_skipped == b.cases_skipped &&
+           a.warnings_confirmed == b.warnings_confirmed &&
+           a.warnings_unconfirmed == b.warnings_unconfirmed &&
+           a.warnings_tail == b.warnings_tail;
   }
 
   /// Renders the table with the paper's reference column next to ours.
@@ -65,6 +83,9 @@ struct RunnerOptions {
   AnalysisOptions analysis;
   /// Run the dynamic oracle on warned programs to classify true positives.
   bool classify_with_oracle = true;
+  /// Additionally run the witness engine with replay on warned programs so
+  /// Table I carries replay-backed confirmed/unconfirmed/tail counts.
+  bool classify_with_witness = false;
   /// Schedule budget for the oracle (per warned program).
   std::size_t oracle_max_schedules = 400;
   std::size_t oracle_random_schedules = 32;
@@ -86,13 +107,20 @@ struct ProgramOutcome {
   /// Warnings covered by an oracle verdict for this program (0 when the
   /// oracle was disabled or hit an unsupported runtime feature).
   std::size_t warnings_classified = 0;
+  // Witness verdict counts (zero unless classify_with_witness ran).
+  std::size_t warnings_confirmed = 0;
+  std::size_t warnings_unconfirmed = 0;
+  std::size_t warnings_tail = 0;
 
   friend bool operator==(const ProgramOutcome& a, const ProgramOutcome& b) {
     return a.name == b.name && a.parse_ok == b.parse_ok &&
            a.has_begin == b.has_begin &&
            a.skipped_unsupported == b.skipped_unsupported &&
            a.warnings == b.warnings && a.true_positives == b.true_positives &&
-           a.warnings_classified == b.warnings_classified;
+           a.warnings_classified == b.warnings_classified &&
+           a.warnings_confirmed == b.warnings_confirmed &&
+           a.warnings_unconfirmed == b.warnings_unconfirmed &&
+           a.warnings_tail == b.warnings_tail;
   }
 };
 

@@ -217,7 +217,13 @@ class Engine {
       ++result_.sink_count;
       std::vector<AccessId> bad = setUnion(pps.ov, pps.tails);
       for (AccessId a : bad) {
-        if (reported_.insert(a).second) result_.unsafe.push_back(a);
+        if (reported_.insert(a).second) {
+          result_.unsafe.push_back(a);
+          if (opt_.record_trace) {
+            result_.report_sites.push_back(
+                ReportSite{a, pps.trace_id, setContains(pps.tails, a)});
+          }
+        }
       }
       if (opt_.record_trace && pps.trace_id < result_.trace.size()) {
         result_.trace[pps.trace_id].is_sink = true;
@@ -278,12 +284,14 @@ class Engine {
       }
     }
 
+    // Executed-node lists exist only for the trace; without tracing they
+    // would be allocated and copied per generated state for nothing.
     std::vector<NodeId> executed;
     std::vector<std::vector<Alternative>> conts;
     for (std::size_t i : indices) {
       const StrandHead& head = pps.asn[i];
       const ccfg::Node& n = g_.node(head.sync_node);
-      executed.push_back(head.sync_node);
+      if (opt_.record_trace) executed.push_back(head.sync_node);
 
       // State change.
       std::uint32_t vi = var_index_.at(n.sync->var);

@@ -69,6 +69,18 @@ struct Options {
   bool report_deadlocks = false;
 };
 
+/// Where an unsafe access was first reported: the sink trace entry whose
+/// path (via TraceEntry::parent) is a concrete serialization witnessing the
+/// access outliving its scope. Recorded only when Options::record_trace is
+/// set (the witness engine forces it on).
+struct ReportSite {
+  AccessId access;
+  std::uint32_t sink_trace = 0;
+  /// The access reached the sink as a tail (no later sync event in its
+  /// strand) rather than via OV.
+  bool from_tail = false;
+};
+
 struct Result {
   /// Access sites deemed potentially dangerous, deduplicated and sorted.
   std::vector<AccessId> unsafe;
@@ -85,6 +97,8 @@ struct Result {
   /// Dense index order of sync variables in TraceEntry::state.
   std::vector<VarId> sync_var_order;
   std::vector<TraceEntry> trace;
+  /// One entry per unsafe access, in first-report order (record_trace only).
+  std::vector<ReportSite> report_sites;
 };
 
 /// Runs the PPS exploration over a built CCFG. The graph must not be marked

@@ -185,10 +185,14 @@ void pushDeviations(const std::vector<std::size_t>& prefix,
   }
 }
 
-/// Enumerate config-value combinations: every bool config takes both values;
-/// other types keep their initializer/default.
-std::vector<ConfigAssignment> enumerateConfigs(const ir::Module& module,
-                                               std::size_t max_combos) {
+constexpr std::size_t kMaxVictims = 16;
+
+}  // namespace
+
+// Every bool config takes both values; other types keep their
+// initializer/default.
+std::vector<ConfigAssignment> enumerateConfigAssignments(
+    const ir::Module& module, std::size_t max_combos) {
   const SemaModule& sema = *module.sema;
   std::vector<VarId> bool_configs;
   for (VarId v : sema.configVars()) {
@@ -211,14 +215,14 @@ std::vector<ConfigAssignment> enumerateConfigs(const ir::Module& module,
   return combos;
 }
 
-constexpr std::size_t kMaxVictims = 16;
+namespace {
 
 void exploreEntry(const ir::Module& module, const Program& program,
                   ProcId entry, const ExploreOptions& opt, ThreadPool& pool,
                   ExploreResult& result) {
   const std::size_t shards = std::max<std::size_t>(1, opt.shards);
   std::vector<ConfigAssignment> combos =
-      enumerateConfigs(module, opt.max_config_combos);
+      enumerateConfigAssignments(module, opt.max_config_combos);
   if ((std::size_t{1} << std::min<std::size_t>(
            16, module.sema->configVars().size())) > combos.size() &&
       !module.sema->configVars().empty() &&

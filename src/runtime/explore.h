@@ -60,6 +60,12 @@ struct ExploreResult {
   [[nodiscard]] bool sawUafAt(SourceLoc loc) const;
 };
 
+/// Enumerates config-value combinations (bool configs take both values up to
+/// `max_combos`; other types keep their initializer/default). Shared by the
+/// oracle and the witness replayer so both sweep the same branch outcomes.
+std::vector<ConfigAssignment> enumerateConfigAssignments(
+    const ir::Module& module, std::size_t max_combos);
+
 /// Explores `entry` of the module under all enumerated schedules/configs.
 ExploreResult explore(const ir::Module& module, const Program& program,
                       ProcId entry, const ExploreOptions& options = {});

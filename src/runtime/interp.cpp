@@ -597,6 +597,22 @@ bool Interp::nextStepVisible(std::size_t t) {
   return stmtVisible(task, *top.stmts->at(top.index));
 }
 
+SourceLoc Interp::nextSyncLoc(std::size_t t) const {
+  const TaskCtx& task = *tasks_[t];
+  if (task.finished || task.frames.empty()) return SourceLoc{};
+  const ExecFrame& top = task.frames.back();
+  if (task.returning || top.index >= top.stmts->size()) return SourceLoc{};
+  const ir::Stmt& stmt = *top.stmts->at(top.index);
+  switch (stmt.kind) {
+    case ir::StmtKind::SyncRead:
+    case ir::StmtKind::SyncWrite:
+    case ir::StmtKind::AtomicOp:
+      return stmt.loc;
+    default:
+      return SourceLoc{};
+  }
+}
+
 bool Interp::canStep(std::size_t t) {
   TaskCtx& task = this->task(t);
   if (task.finished) return false;
@@ -634,6 +650,7 @@ bool Interp::canStep(std::size_t t) {
 void Interp::spawnTask(TaskCtx& parent, const ir::Stmt& stmt) {
   auto child = std::make_unique<TaskCtx>();
   child->id = next_task_id_;
+  child->spawn_loc = stmt.loc;
   next_task_id_ = TaskId(next_task_id_.index() + 1);
 
   auto env = std::make_shared<EnvNode>();

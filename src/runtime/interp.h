@@ -66,6 +66,17 @@ class Interp {
 
   StepResult step(std::size_t t);
 
+  /// Source location of the `begin` statement that spawned task t (invalid
+  /// for the root task). The witness replayer matches this against a
+  /// warning's task_loc to find the task(s) to delay.
+  [[nodiscard]] SourceLoc taskSpawnLoc(std::size_t t) const {
+    return tasks_[t]->spawn_loc;
+  }
+  /// Location of task t's pending statement when it is a sync or atomic
+  /// operation; invalid otherwise. Guided replay matches these against the
+  /// sync events of an extracted schedule.
+  [[nodiscard]] SourceLoc nextSyncLoc(std::size_t t) const;
+
   [[nodiscard]] const std::vector<UafEvent>& events() const { return events_; }
   [[nodiscard]] std::size_t stepsExecuted() const { return steps_; }
   [[nodiscard]] bool unsupportedFeature() const { return unsupported_; }
@@ -88,6 +99,7 @@ class Interp {
 
   struct TaskCtx {
     TaskId id;
+    SourceLoc spawn_loc;  ///< the spawning begin statement; invalid for root
     EnvPtr env;
     std::vector<ExecFrame> frames;
     /// Sync-region counters to decrement when this task finishes

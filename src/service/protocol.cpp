@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstdio>
 
 #include "src/analysis/json_report.h"
 
@@ -326,7 +327,12 @@ bool applyOptions(const JsonValue& object, AnalysisOptions& out,
     else if (key == "deadlocks") out.pps.report_deadlocks = value.boolean;
     else if (key == "model_atomics") out.build.model_atomics = value.boolean;
     else if (key == "unroll_loops") out.build.unroll_loops = value.boolean;
-    else {
+    else if (key == "witness") out.witness.enabled = value.boolean;
+    else if (key == "witness_replay") {
+      // Replay implies extraction; a lone witness_replay:true is complete.
+      out.witness.replay = value.boolean;
+      out.witness.enabled = out.witness.enabled || value.boolean;
+    } else {
       error = "unknown option '" + key + "'";
       return false;
     }
@@ -439,6 +445,27 @@ std::variant<Request, ProtocolError> parseRequest(std::string_view line,
     }
     return request;
   }
+  if (op->string == "explain") {
+    request.op = Op::Explain;
+    const JsonValue* key = doc.find("key");
+    if (!key || key->kind != JsonValue::Kind::String ||
+        !parseCacheKey(key->string, request.key)) {
+      return makeError("invalid_request",
+                       "explain needs a 16-hex-digit string \"key\"", id);
+    }
+    // `warning` is optional and defaults to the first warning.
+    if (const JsonValue* warning = doc.find("warning")) {
+      if (warning->kind != JsonValue::Kind::Number ||
+          warning->number != std::floor(warning->number) ||
+          warning->number < 0) {
+        return makeError(
+            "invalid_request",
+            "explain needs a non-negative integer \"warning\"", id);
+      }
+      request.warning_index = static_cast<std::uint64_t>(warning->number);
+    }
+    return request;
+  }
   if (op->string == "stats") {
     request.op = Op::Stats;
     return request;
@@ -471,6 +498,7 @@ void appendFlattened(std::string& out, const std::string& json) {
 
 void appendItemResult(std::string& out, const ItemResult& item) {
   out += "{\"name\":\"" + jsonEscape(item.name) + "\"";
+  out += ",\"key\":\"" + formatCacheKey(item.key) + "\"";
   out += ",\"cached\":";
   out += item.cached ? "true" : "false";
   out += ",\"ok\":";
@@ -491,6 +519,23 @@ std::string responseHead(std::int64_t id, std::string_view op) {
 }
 
 }  // namespace
+
+std::string formatCacheKey(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+bool parseCacheKey(std::string_view text, std::uint64_t& out) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 16);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  out = value;
+  return true;
+}
 
 std::string renderAnalyzeResponse(std::int64_t id, const ItemResult& result,
                                   std::uint64_t elapsed_us) {
@@ -537,6 +582,18 @@ std::string renderStatsResponse(std::int64_t id,
 
 std::string renderAckResponse(std::int64_t id, std::string_view op) {
   return responseHead(id, op) + "}";
+}
+
+std::string renderExplainResponse(std::int64_t id, std::uint64_t key,
+                                  std::uint64_t warning_index,
+                                  const std::string& witness_json) {
+  std::string out = responseHead(id, "explain");
+  out += ",\"key\":\"" + formatCacheKey(key) + "\"";
+  out += ",\"warning\":" + std::to_string(warning_index);
+  out += ",\"witness\":";
+  out += witness_json;
+  out += '}';
+  return out;
 }
 
 std::string renderErrorResponse(const ProtocolError& error) {

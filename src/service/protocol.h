@@ -5,9 +5,15 @@
 //   {"op":"analyze","id":1,"name":"f.chpl","source":"...","options":{...}}
 //   {"op":"analyze_batch","id":2,"items":[{"name":..,"source":..},...],
 //    "options":{...}}
-//   {"op":"stats","id":3}
-//   {"op":"cache_clear","id":4}
-//   {"op":"shutdown","id":5}
+//   {"op":"explain","id":3,"key":"<16-hex cache key>","warning":0}
+//   {"op":"stats","id":4}
+//   {"op":"cache_clear","id":5}
+//   {"op":"shutdown","id":6}
+//
+// `explain` looks up a cached analysis by the "key" echoed in analyze
+// results and returns the stored witness for one warning index ("warning"
+// is optional and defaults to 0); it never re-runs the Pipeline
+// (docs/WITNESS.md).
 //
 // Responses echo the id and op, report status "ok" or "error", and carry
 // the analysis payload under "result"/"results". The only volatile fields —
@@ -58,7 +64,7 @@ struct JsonValue {
 // ---------------------------------------------------------------------------
 // Requests.
 
-enum class Op { Analyze, AnalyzeBatch, Stats, CacheClear, Shutdown };
+enum class Op { Analyze, AnalyzeBatch, Explain, Stats, CacheClear, Shutdown };
 
 struct SourceItem {
   std::string name;
@@ -70,11 +76,13 @@ struct Request {
   std::int64_t id = 0;
   std::vector<SourceItem> items;  ///< one entry for Analyze, n for batch
   AnalysisOptions options;
+  std::uint64_t key = 0;            ///< Explain: cache key to look up
+  std::uint64_t warning_index = 0;  ///< Explain: warning within the analysis
 };
 
 struct ProtocolError {
   std::string code;     ///< parse_error | invalid_request | oversized_request
-                        ///< | unknown_op
+                        ///< | unknown_op | unknown_key | witness_unavailable
   std::string message;
   std::int64_t id = 0;  ///< echoed when the request id was recoverable
 };
@@ -90,9 +98,16 @@ struct ProtocolError {
 /// Analysis outcome of one source item, ready to render.
 struct ItemResult {
   std::string name;
+  std::uint64_t key = 0;  ///< cache key; clients pass it back to `explain`
   bool cached = false;
   AnalysisSnapshot snapshot;
 };
+
+/// Renders a cache key the way responses carry it: 16 lowercase hex digits.
+[[nodiscard]] std::string formatCacheKey(std::uint64_t key);
+
+/// Inverse of formatCacheKey; false unless exactly 16 hex digits.
+[[nodiscard]] bool parseCacheKey(std::string_view text, std::uint64_t& out);
 
 struct CacheCounters {
   std::uint64_t hits = 0;
@@ -117,6 +132,11 @@ struct CacheCounters {
                                               const CacheCounters& counters);
 [[nodiscard]] std::string renderAckResponse(std::int64_t id,
                                             std::string_view op);
+/// `witness_json` is embedded verbatim (it is already a JSON document).
+[[nodiscard]] std::string renderExplainResponse(std::int64_t id,
+                                                std::uint64_t key,
+                                                std::uint64_t warning_index,
+                                                const std::string& witness_json);
 [[nodiscard]] std::string renderErrorResponse(const ProtocolError& error);
 
 /// Removes the volatile "cached" and "elapsed_us" fields from a rendered

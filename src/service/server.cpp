@@ -38,6 +38,7 @@ ItemResult Server::analyzeItem(const SourceItem& item,
   ItemResult result;
   result.name = item.name;
   std::uint64_t key = analysisCacheKey(item.name, item.source, options);
+  result.key = key;
   if (std::optional<std::string> payload = cache_.lookup(key)) {
     if (std::optional<AnalysisSnapshot> snap =
             AnalysisSnapshot::deserialize(*payload)) {
@@ -69,6 +70,40 @@ std::string Server::handleBatch(const Request& request) {
     results[i] = analyzeItem(request.items[i], request.options);
   });
   return renderBatchResponse(request.id, results, elapsedUs(start));
+}
+
+std::string Server::handleExplain(const Request& request) {
+  auto fail = [&](std::string code, std::string message) {
+    ProtocolError error;
+    error.code = std::move(code);
+    error.message = std::move(message);
+    error.id = request.id;
+    return renderErrorResponse(error);
+  };
+  std::optional<std::string> payload = cache_.lookup(request.key);
+  if (!payload) {
+    return fail("unknown_key", "no cached analysis under key \"" +
+                                   formatCacheKey(request.key) + "\"");
+  }
+  std::optional<AnalysisSnapshot> snap = AnalysisSnapshot::deserialize(*payload);
+  if (!snap) {
+    return fail("unknown_key", "cached payload under key \"" +
+                                   formatCacheKey(request.key) +
+                                   "\" is corrupt");
+  }
+  if (snap->witness_json.empty()) {
+    return fail("witness_unavailable",
+                "analysis was cached without witnesses; re-analyze with "
+                "options {\"witness\":true}");
+  }
+  if (request.warning_index >= snap->witness_json.size()) {
+    return fail("invalid_request",
+                "warning index " + std::to_string(request.warning_index) +
+                    " out of range (analysis has " +
+                    std::to_string(snap->witness_json.size()) + " warnings)");
+  }
+  return renderExplainResponse(request.id, request.key, request.warning_index,
+                               snap->witness_json[request.warning_index]);
 }
 
 std::string Server::handleStats(const Request& request) {
@@ -104,6 +139,8 @@ std::string Server::handleLine(std::string_view line) {
         return handleAnalyze(request);
       case Op::AnalyzeBatch:
         return handleBatch(request);
+      case Op::Explain:
+        return handleExplain(request);
       case Op::Stats:
         return handleStats(request);
       case Op::CacheClear:

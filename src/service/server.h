@@ -62,6 +62,7 @@ class Server {
  private:
   [[nodiscard]] std::string handleAnalyze(const Request& request);
   [[nodiscard]] std::string handleBatch(const Request& request);
+  [[nodiscard]] std::string handleExplain(const Request& request);
   [[nodiscard]] std::string handleStats(const Request& request);
   /// Analyzes one item through the cache; snapshot render is shared by the
   /// single and batch paths.

@@ -1,0 +1,12 @@
+// Minimal JSON string escaping shared by every component that renders JSON
+// by hand (analysis report, witness engine, service protocol).
+#pragma once
+
+#include <string>
+
+namespace cuaf {
+
+/// Escapes a string for embedding in a JSON literal.
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+}  // namespace cuaf

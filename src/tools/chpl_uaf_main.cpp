@@ -7,6 +7,9 @@
 //     --dump-ccfg    print the CCFG (text)
 //     --dot          print the CCFG as Graphviz DOT
 //     --trace-pps    print the PPS exploration table (Figure 3/7 style)
+//     --witness      extract an interleaving counterexample per warning
+//     --witness=replay  additionally confirm each witness by replaying it
+//                    on the runtime interpreter (confirmed/unconfirmed/tail)
 //     --baseline     also run the sync-block-only MHP baseline
 //     --no-prune     disable pruning rules A-D
 //     --no-merge     disable the PPS merge optimization
@@ -41,6 +44,7 @@ struct CliOptions {
   bool dump_ccfg = false;
   bool dot = false;
   bool trace_pps = false;
+  bool witness = false;
   bool baseline = false;
   bool oracle = false;
   bool json = false;
@@ -140,6 +144,24 @@ int runFile(const CliOptions& cli, const std::string& path) {
     if (cli.trace_pps && pa.graph && pa.pps_result) {
       std::cout << "== PPS trace for proc " << pa.proc_name << " ==\n"
                 << cuaf::pps::renderTrace(*pa.graph, *pa.pps_result);
+    }
+  }
+
+  if (cli.witness) {
+    for (const cuaf::ProcAnalysis& pa : pipeline.analysis().procs) {
+      for (const cuaf::witness::Witness& w : pa.witnesses) {
+        std::size_t sync_count = 0;
+        for (const auto& step : w.schedule) sync_count += step.syncs.size();
+        std::cout << "witness[" << cuaf::witness::verdictName(w.verdict)
+                  << "] '" << w.var_name << "' at line " << w.access_loc.line
+                  << ": " << w.schedule.size() << " step(s), " << sync_count
+                  << " sync event(s)";
+        if (w.replayed) {
+          std::cout << " (replay: " << w.replay_runs << " run(s), "
+                    << w.replay_steps << " interp step(s))";
+        }
+        std::cout << '\n';
+      }
     }
   }
 
@@ -253,6 +275,13 @@ int main(int argc, char** argv) {
       cli.trace_pps = true;
       cli.analysis.keep_artifacts = true;
       cli.analysis.pps.record_trace = true;
+    } else if (arg == "--witness") {
+      cli.witness = true;
+      cli.analysis.witness.enabled = true;
+    } else if (arg == "--witness=replay") {
+      cli.witness = true;
+      cli.analysis.witness.enabled = true;
+      cli.analysis.witness.replay = true;
     } else if (arg == "--baseline") {
       cli.baseline = true;
     } else if (arg == "--oracle") {
@@ -298,12 +327,17 @@ int main(int argc, char** argv) {
       cli.fix = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: chpl-uaf [--dump-ast|--dump-ir|--dump-ccfg|--dot|"
-                   "--trace-pps|--baseline|--oracle|--no-prune|--no-merge|"
+                   "--trace-pps|--witness|--witness=replay|--baseline|"
+                   "--oracle|--no-prune|--no-merge|"
                    "--deadlocks|--model-atomics|--unroll-loops|--json|"
                    "--json-out FILE|--suggest-fixes|--fix|--jobs N] "
                    "file.chpl... | -\n"
                    "  -         read the source from stdin\n"
                    "  --json-out FILE  also write the JSON report to FILE\n"
+                   "  --witness        extract a counterexample schedule per "
+                   "warning (docs/WITNESS.md)\n"
+                   "  --witness=replay confirm witnesses on the runtime "
+                   "interpreter (confirmed/unconfirmed/tail)\n"
                    "  --jobs N  worker threads for the dynamic oracle "
                    "(results are identical for any N)\n";
       return 0;

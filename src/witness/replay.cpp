@@ -1,0 +1,144 @@
+#include "src/witness/replay.h"
+
+#include <algorithm>
+
+#include "src/runtime/explore.h"
+#include "src/runtime/interp.h"
+
+namespace cuaf::witness {
+
+namespace {
+
+constexpr std::size_t kNoVictimIndex = static_cast<std::size_t>(-1);
+/// Delay-victim fallback sweeps the same task-index range as the oracle
+/// explorer, so a warning the oracle can reproduce is also replayable here.
+constexpr std::size_t kMaxFallbackVictims = 16;
+
+struct RunResult {
+  bool confirmed = false;
+  bool unsupported = false;
+  std::size_t steps = 0;
+};
+
+/// One deterministic run. Victims — the tasks whose spawning `begin` is at
+/// `task_loc`, or the single task `victim_index` when set — are delayed as
+/// long as possible (scheduled only when no other task is ready), widening
+/// the window between the parent's scope exit and the victim's remaining
+/// accesses. Among non-victims, a task whose pending statement is the next
+/// unconsumed guide sync event is preferred, steering execution along the
+/// witness serialization.
+RunResult runOnce(const ir::Module& module, const Program& program,
+                  ProcId entry, const rt::ConfigAssignment& configs,
+                  SourceLoc access_loc, SourceLoc task_loc,
+                  const std::vector<SourceLoc>* guides,
+                  std::size_t victim_index, std::size_t max_steps) {
+  RunResult out;
+  rt::Interp interp(module, program, &configs);
+  interp.start(entry);
+  std::size_t guide_cursor = 0;
+
+  auto isVictim = [&](std::size_t t) {
+    if (victim_index != kNoVictimIndex) return t == victim_index;
+    return task_loc.valid() && interp.taskSpawnLoc(t) == task_loc;
+  };
+
+  while (!interp.allFinished()) {
+    if (interp.stepsExecuted() > max_steps) break;
+
+    // Eagerly run invisible steps (they commute; same as the explorer).
+    bool advanced = false;
+    bool limited = false;
+    for (std::size_t t = 0; t < interp.taskCount(); ++t) {
+      while (!interp.taskFinished(t) && !interp.nextStepVisible(t) &&
+             interp.canStep(t)) {
+        if (interp.step(t) == rt::StepResult::Blocked) break;
+        advanced = true;
+        if (interp.stepsExecuted() > max_steps) {
+          limited = true;
+          break;
+        }
+      }
+      if (limited) break;
+    }
+    if (limited) break;
+    if (interp.allFinished()) break;
+
+    std::vector<std::size_t> ready;
+    for (std::size_t t = 0; t < interp.taskCount(); ++t) {
+      if (!interp.taskFinished(t) && interp.canStep(t)) ready.push_back(t);
+    }
+    if (ready.empty()) {
+      if (!advanced) break;  // deadlock: the schedule is infeasible here
+      continue;
+    }
+
+    std::vector<std::size_t> pool;
+    for (std::size_t t : ready) {
+      if (!isVictim(t)) pool.push_back(t);
+    }
+    if (pool.empty()) pool = ready;  // only victims left: they must run
+
+    std::size_t pick = pool.front();
+    bool matched = false;
+    if (guides != nullptr && guide_cursor < guides->size()) {
+      for (std::size_t t : pool) {
+        if (interp.nextSyncLoc(t) == (*guides)[guide_cursor]) {
+          pick = t;
+          matched = true;
+          break;
+        }
+      }
+    }
+    interp.step(pick);
+    if (matched) ++guide_cursor;
+  }
+
+  out.steps = interp.stepsExecuted();
+  out.unsupported = interp.unsupportedFeature();
+  out.confirmed = std::any_of(
+      interp.events().begin(), interp.events().end(),
+      [&](const rt::UafEvent& e) { return e.loc == access_loc; });
+  return out;
+}
+
+}  // namespace
+
+ReplayOutcome replaySchedule(const ccfg::Graph& graph, const Program& program,
+                             SourceLoc access_loc, SourceLoc task_loc,
+                             const std::vector<SourceLoc>& sync_guides,
+                             const Options& options) {
+  ReplayOutcome out;
+  const ir::Module& module = graph.module();
+  const ProcId entry = graph.rootProc();
+  std::vector<rt::ConfigAssignment> combos =
+      rt::enumerateConfigAssignments(module, options.max_config_combos);
+
+  auto attempt = [&](const rt::ConfigAssignment& configs,
+                     const std::vector<SourceLoc>* guides,
+                     std::size_t victim_index) {
+    RunResult run = runOnce(module, program, entry, configs, access_loc,
+                            task_loc, guides, victim_index,
+                            options.max_replay_steps);
+    ++out.runs;
+    out.steps += run.steps;
+    out.unsupported = out.unsupported || run.unsupported;
+    out.confirmed = out.confirmed || run.confirmed;
+  };
+
+  for (const rt::ConfigAssignment& configs : combos) {
+    // Guided run along the witness serialization, then the same victims
+    // without guidance (the static serialization over-constrains some
+    // runtime orders), then the explorer's adversarial victim sweep.
+    attempt(configs, &sync_guides, kNoVictimIndex);
+    if (out.confirmed || out.unsupported) return out;
+    attempt(configs, nullptr, kNoVictimIndex);
+    if (out.confirmed || out.unsupported) return out;
+    for (std::size_t victim = 1; victim <= kMaxFallbackVictims; ++victim) {
+      attempt(configs, nullptr, victim);
+      if (out.confirmed || out.unsupported) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace cuaf::witness

@@ -1,0 +1,35 @@
+// Internal: guided deterministic replay of an extracted witness schedule on
+// the runtime interpreter. Split from witness.cpp so the extraction logic
+// stays independent of interpreter details.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/ccfg/graph.h"
+#include "src/witness/witness.h"
+
+namespace cuaf::witness {
+
+struct ReplayOutcome {
+  bool confirmed = false;
+  /// Some replay run hit a feature the interpreter cannot model; the
+  /// verdict is then a static-only classification.
+  bool unsupported = false;
+  std::size_t steps = 0;  ///< interpreter steps across all runs
+  std::size_t runs = 0;
+};
+
+/// Replays the schedule against `graph.rootProc()`: per config combo, one
+/// run that delays the warning's spawning task while steering other tasks
+/// along `sync_guides` (the schedule's sync-event locations in order), then
+/// adversarial delay-victim fallback runs. Stops at the first run whose
+/// interpreter events contain `access_loc`. Fully deterministic.
+[[nodiscard]] ReplayOutcome replaySchedule(const ccfg::Graph& graph,
+                                           const Program& program,
+                                           SourceLoc access_loc,
+                                           SourceLoc task_loc,
+                                           const std::vector<SourceLoc>& sync_guides,
+                                           const Options& options);
+
+}  // namespace cuaf::witness

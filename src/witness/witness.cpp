@@ -1,0 +1,161 @@
+#include "src/witness/witness.h"
+
+#include "src/support/json.h"
+#include "src/witness/replay.h"
+
+namespace cuaf::witness {
+
+namespace {
+
+const char* ruleName(pps::Rule r) {
+  switch (r) {
+    case pps::Rule::Initial: return "init";
+    case pps::Rule::SingleRead: return "single-read";
+    case pps::Rule::Read: return "read";
+    case pps::Rule::Write: return "write";
+  }
+  return "?";
+}
+
+const char* opName(ccfg::SyncOp op) {
+  switch (op) {
+    case ccfg::SyncOp::ReadFE: return "readFE";
+    case ccfg::SyncOp::ReadFF: return "readFF";
+    case ccfg::SyncOp::WriteEF: return "writeEF";
+    case ccfg::SyncOp::AtomicFill: return "atomicFill";
+    case ccfg::SyncOp::AtomicWait: return "atomicWait";
+  }
+  return "?";
+}
+
+const pps::ReportSite* findSite(const pps::Result& pps_result, AccessId a) {
+  for (const pps::ReportSite& site : pps_result.report_sites) {
+    if (site.access == a) return &site;
+  }
+  return nullptr;
+}
+
+/// Walks the sink's parent chain back to the initial state and translates
+/// it, in execution order, into source-level sync operations.
+std::vector<ScheduleStep> extractSchedule(const ccfg::Graph& graph,
+                                          const pps::Result& pps_result,
+                                          std::uint32_t sink_trace) {
+  std::vector<const pps::TraceEntry*> chain;
+  std::uint32_t cur = sink_trace;
+  while (cur < pps_result.trace.size()) {
+    const pps::TraceEntry& e = pps_result.trace[cur];
+    if (e.rule == pps::Rule::Initial) break;
+    chain.push_back(&e);
+    if (e.parent == e.id) break;  // defensive: malformed chain
+    cur = e.parent;
+  }
+
+  std::vector<ScheduleStep> schedule;
+  schedule.reserve(chain.size());
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const pps::TraceEntry& e = **it;
+    ScheduleStep step;
+    step.rule = e.rule;
+    for (NodeId n : e.executed) {
+      const ccfg::Node& node = graph.node(n);
+      if (!node.sync) continue;
+      step.syncs.push_back(SyncStep{graph.varName(node.sync->var),
+                                    opName(node.sync->op), node.sync->loc});
+    }
+    schedule.push_back(std::move(step));
+  }
+  return schedule;
+}
+
+}  // namespace
+
+std::vector<Witness> buildWitnesses(const ccfg::Graph& graph,
+                                    const pps::Result& pps_result,
+                                    const Program* program,
+                                    const Options& options) {
+  std::vector<Witness> out;
+  if (!options.enabled) return out;
+  out.reserve(pps_result.unsafe.size());
+
+  for (AccessId a : pps_result.unsafe) {
+    const ccfg::OvUse& access = graph.access(a);
+    Witness w;
+    w.access_loc = access.loc;
+    w.var_name = graph.varName(access.var);
+
+    const pps::ReportSite* site = findSite(pps_result, a);
+    if (site != nullptr) {
+      w.from_tail = site->from_tail;
+      w.schedule = extractSchedule(graph, pps_result, site->sink_trace);
+    }
+
+    if (options.replay && program != nullptr) {
+      std::vector<SourceLoc> guides;
+      for (const ScheduleStep& step : w.schedule) {
+        for (const SyncStep& sync : step.syncs) guides.push_back(sync.loc);
+      }
+      const SourceLoc task_loc = graph.task(access.task).loc;
+      ReplayOutcome replay = replaySchedule(graph, *program, access.loc,
+                                            task_loc, guides, options);
+      w.replayed = true;
+      w.replay_steps = replay.steps;
+      w.replay_runs = replay.runs;
+      if (replay.confirmed) {
+        w.verdict = Verdict::Confirmed;
+        out.push_back(std::move(w));
+        continue;
+      }
+    }
+    w.verdict = w.from_tail ? Verdict::Tail : Verdict::Unconfirmed;
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+const char* verdictName(Verdict v) {
+  switch (v) {
+    case Verdict::Confirmed: return "confirmed";
+    case Verdict::Unconfirmed: return "unconfirmed";
+    case Verdict::Tail: return "tail";
+  }
+  return "?";
+}
+
+std::string toJson(const Witness& w) {
+  std::string out = "{\"verdict\":\"";
+  out += verdictName(w.verdict);
+  out += "\",\"fromTail\":";
+  out += w.from_tail ? "true" : "false";
+  out += ",\"replayed\":";
+  out += w.replayed ? "true" : "false";
+  out += ",\"replaySteps\":" + std::to_string(w.replay_steps);
+  out += ",\"replayRuns\":" + std::to_string(w.replay_runs);
+  out += ",\"variable\":\"" + jsonEscape(w.var_name) + "\"";
+  out += ",\"line\":" + std::to_string(w.access_loc.line);
+  out += ",\"column\":" + std::to_string(w.access_loc.column);
+  out += ",\"schedule\":[";
+  bool first_step = true;
+  for (const ScheduleStep& step : w.schedule) {
+    if (!first_step) out += ',';
+    first_step = false;
+    out += "{\"rule\":\"";
+    out += ruleName(step.rule);
+    out += "\",\"syncs\":[";
+    bool first_sync = true;
+    for (const SyncStep& sync : step.syncs) {
+      if (!first_sync) out += ',';
+      first_sync = false;
+      out += "{\"var\":\"" + jsonEscape(sync.var) + "\"";
+      out += ",\"op\":\"";
+      out += sync.op;
+      out += "\",\"line\":" + std::to_string(sync.loc.line);
+      out += ",\"column\":" + std::to_string(sync.loc.column);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace cuaf::witness

@@ -1,0 +1,107 @@
+// Witness engine: turns every PPS use-after-free warning into a concrete
+// interleaving counterexample, optionally replay-confirmed against the
+// runtime interpreter.
+//
+// For each unsafe access the PPS exploration records the sink state that
+// first reported it (pps::ReportSite). Walking that sink's TraceEntry
+// parent chain back to the initial state yields one conservative
+// serialization of the program's sync events under which the access
+// outlives its scope; translated to source-level sync operations this is
+// the warning's *schedule*.
+//
+// With replay enabled the schedule drives the step-wise interpreter
+// (src/runtime/interp.*): the spawning task named by the warning is delayed
+// as long as possible while the remaining tasks are steered along the
+// schedule's sync events, over every enumerated config combination. A replay
+// that triggers the interpreter's scope-exit poisoning at the warned access
+// location *confirms* the warning concretely.
+//
+// Taxonomy (docs/WITNESS.md):
+//   confirmed   — a replay reproduced the use-after-free at the access site;
+//   tail        — not confirmed, and the access has no later sync event in
+//                 its strand (trivially delayable past the scope end);
+//   unconfirmed — not confirmed and not a tail. With `replayed` set this is
+//                 a precision signal: the static schedule was infeasible (or
+//                 out of replay budget) at runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ccfg/graph.h"
+#include "src/pps/pps.h"
+
+namespace cuaf {
+struct Program;
+}
+
+namespace cuaf::witness {
+
+enum class Verdict : std::uint8_t { Confirmed, Unconfirmed, Tail };
+
+/// One source-level synchronization operation of a schedule step.
+struct SyncStep {
+  std::string var;  ///< sync/single/atomic variable name
+  std::string op;   ///< "readFE", "readFF", "writeEF", "atomicFill", "atomicWait"
+  SourceLoc loc;
+};
+
+/// One PPS transition along the counterexample path: the rule applied and
+/// the sync operations of the CCFG nodes it executed (SINGLE-READ executes a
+/// bunch, hence the vector).
+struct ScheduleStep {
+  pps::Rule rule = pps::Rule::Initial;
+  std::vector<SyncStep> syncs;
+};
+
+struct Options {
+  /// Extract a witness for every warning (forces pps::Options::record_trace).
+  bool enabled = false;
+  /// Replay each extracted schedule on the runtime interpreter.
+  bool replay = false;
+  /// Abort a single replay run after this many interpreter steps.
+  std::size_t max_replay_steps = 50000;
+  /// Upper bound on enumerated config-value combinations during replay
+  /// (mirrors rt::ExploreOptions::max_config_combos).
+  std::size_t max_config_combos = 8;
+};
+
+struct Witness {
+  Verdict verdict = Verdict::Unconfirmed;
+  /// The access reached the PPS sink as a tail (no later sync event in its
+  /// strand) rather than via OV.
+  bool from_tail = false;
+  /// A replay was attempted (distinguishes "infeasible" from "not replayed").
+  bool replayed = false;
+  /// Interpreter steps executed across all replay runs for this witness.
+  std::size_t replay_steps = 0;
+  /// Replay runs attempted (guided + fallback, across config combos).
+  std::size_t replay_runs = 0;
+  /// The extracted counterexample serialization, initial state omitted.
+  std::vector<ScheduleStep> schedule;
+  SourceLoc access_loc;
+  std::string var_name;
+};
+
+/// Builds one witness per `pps_result.unsafe` entry, in order (matching the
+/// checker's warning order). Requires the result to have been produced with
+/// record_trace; accesses missing a report site get an empty schedule.
+/// `program` may be null, which disables replay regardless of options.
+[[nodiscard]] std::vector<Witness> buildWitnesses(const ccfg::Graph& graph,
+                                                  const pps::Result& pps_result,
+                                                  const Program* program,
+                                                  const Options& options);
+
+[[nodiscard]] const char* verdictName(Verdict v);
+
+/// Stable single-line JSON form (schema documented in docs/WITNESS.md):
+/// {"verdict":...,"fromTail":...,"replayed":...,"replaySteps":N,
+///  "replayRuns":N,"variable":...,"line":N,"column":N,
+///  "schedule":[{"rule":...,"syncs":[{"var","op","line","column"}...]}...]}
+/// Deliberately carries no file name so cached witnesses are byte-identical
+/// across CLI paths and service item names.
+[[nodiscard]] std::string toJson(const Witness& w);
+
+}  // namespace cuaf::witness

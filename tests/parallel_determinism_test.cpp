@@ -7,6 +7,8 @@
 #include "src/analysis/pipeline.h"
 #include "src/corpus/runner.h"
 #include "src/runtime/explore.h"
+#include "src/support/thread_pool.h"
+#include "src/witness/witness.h"
 
 namespace cuaf {
 namespace {
@@ -48,6 +50,61 @@ TEST(ParallelDeterminism, CorpusRunnerRepeatedParallelRunsAgree) {
   corpus::CorpusRunResult a = runCorpusJobs(8, true, 120);
   corpus::CorpusRunResult b = runCorpusJobs(8, true, 120);
   expectSameRun(a, b);
+}
+
+corpus::CorpusRunResult runCorpusWitnessJobs(std::size_t jobs,
+                                             std::size_t count = 120) {
+  corpus::GeneratorOptions gen;
+  corpus::RunnerOptions run;
+  run.jobs = jobs;
+  run.classify_with_witness = true;
+  return corpus::runCorpusDetailed(20170529, count, gen, run);
+}
+
+TEST(ParallelDeterminism, WitnessClassificationJobs1VersusJobs8) {
+  corpus::CorpusRunResult serial = runCorpusWitnessJobs(1);
+  corpus::CorpusRunResult parallel = runCorpusWitnessJobs(8);
+  expectSameRun(serial, parallel);
+  // The sweep exercises the replay path: some warning must have confirmed.
+  EXPECT_GT(serial.stats.warnings_confirmed, 0u);
+  EXPECT_EQ(serial.stats.warnings_confirmed + serial.stats.warnings_unconfirmed +
+                serial.stats.warnings_tail,
+            serial.stats.warnings_reported);
+}
+
+// The rendered witness JSON itself must be byte-identical at any worker
+// count: each program's extraction + replay runs serially inside its job, so
+// pool size only changes which thread renders it, never the bytes.
+std::vector<std::string> witnessJsonForCurated(std::size_t jobs) {
+  const auto& curated = corpus::curatedPrograms();
+  std::vector<std::string> out(curated.size());
+  ThreadPool pool(ThreadPool::workersForJobs(jobs));
+  pool.parallelFor(curated.size(), [&](std::size_t i) {
+    AnalysisOptions options;
+    options.witness.enabled = true;
+    options.witness.replay = true;
+    Pipeline pipeline(options);
+    if (!pipeline.runSource(curated[i].name, curated[i].source)) return;
+    for (const ProcAnalysis& pa : pipeline.analysis().procs) {
+      for (const witness::Witness& w : pa.witnesses) {
+        out[i] += witness::toJson(w);
+        out[i] += '\n';
+      }
+    }
+  });
+  return out;
+}
+
+TEST(ParallelDeterminism, WitnessJsonBytesJobs1VersusJobs8) {
+  std::vector<std::string> serial = witnessJsonForCurated(1);
+  std::vector<std::string> parallel = witnessJsonForCurated(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  std::size_t nonempty = 0;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "program " << i;
+    nonempty += !serial[i].empty();
+  }
+  EXPECT_GT(nonempty, 0u);
 }
 
 rt::ExploreResult exploreJobs(const std::string& src,

@@ -111,6 +111,43 @@ TEST(ParseRequest, BatchItemsDefaultTheirNames) {
   EXPECT_EQ(r.items[1].name, "b.chpl");
 }
 
+TEST(ParseRequest, ExplainCarriesKeyAndWarningIndex) {
+  auto parsed = parseRequest(
+      "{\"op\":\"explain\",\"id\":3,\"key\":\"00ff00ff00ff00ff\","
+      "\"warning\":2}",
+      kMaxBytes);
+  ASSERT_TRUE(std::holds_alternative<Request>(parsed));
+  const Request& r = std::get<Request>(parsed);
+  EXPECT_EQ(r.op, Op::Explain);
+  EXPECT_EQ(r.id, 3);
+  EXPECT_EQ(r.key, 0x00ff00ff00ff00ffull);
+  EXPECT_EQ(r.warning_index, 2u);
+}
+
+TEST(ParseRequest, ExplainWarningDefaultsToZero) {
+  auto parsed = parseRequest(
+      "{\"op\":\"explain\",\"key\":\"0123456789abcdef\"}", kMaxBytes);
+  ASSERT_TRUE(std::holds_alternative<Request>(parsed));
+  EXPECT_EQ(std::get<Request>(parsed).warning_index, 0u);
+}
+
+TEST(CacheKeyText, RoundTripsAndRejectsMalformedKeys) {
+  for (std::uint64_t key :
+       {0ull, 1ull, 0xdeadbeefcafef00dull, ~0ull}) {
+    std::string text = formatCacheKey(key);
+    EXPECT_EQ(text.size(), 16u);
+    std::uint64_t back = 0;
+    EXPECT_TRUE(parseCacheKey(text, back)) << text;
+    EXPECT_EQ(back, key);
+  }
+  std::uint64_t out = 0;
+  EXPECT_FALSE(parseCacheKey("", out));
+  EXPECT_FALSE(parseCacheKey("123", out));                  // too short
+  EXPECT_FALSE(parseCacheKey("00112233445566778", out));    // too long
+  EXPECT_FALSE(parseCacheKey("001122334455667g", out));     // non-hex
+  EXPECT_FALSE(parseCacheKey("0x11223344556677", out));     // 0x prefix
+}
+
 struct BadRequestCase {
   const char* line;
   const char* code;
@@ -146,6 +183,19 @@ INSTANTIATE_TEST_SUITE_P(
         BadRequestCase{"{\"op\":\"analyze_batch\",\"items\":[{}]}",
                        "invalid_request"},
         BadRequestCase{"{\"op\":\"analyze_batch\",\"items\":\"x\"}",
+                       "invalid_request"},
+        BadRequestCase{"{\"op\":\"explain\"}", "invalid_request"},
+        BadRequestCase{"{\"op\":\"explain\",\"key\":42}", "invalid_request"},
+        BadRequestCase{"{\"op\":\"explain\",\"key\":\"xyz\"}",
+                       "invalid_request"},
+        BadRequestCase{"{\"op\":\"explain\",\"key\":\"0123456789abcdef\","
+                       "\"warning\":-1}",
+                       "invalid_request"},
+        BadRequestCase{"{\"op\":\"explain\",\"key\":\"0123456789abcdef\","
+                       "\"warning\":1.5}",
+                       "invalid_request"},
+        BadRequestCase{"{\"op\":\"explain\",\"key\":\"0123456789abcdef\","
+                       "\"warning\":\"0\"}",
                        "invalid_request"}));
 
 TEST(ParseRequest, OversizedLineIsRejectedUpFront) {
@@ -185,6 +235,8 @@ TEST(Render, ResponsesAreSingleLineWellFormedJson) {
       renderStatsResponse(3, CacheCounters{}),
       renderAckResponse(4, "cache_clear"),
       renderErrorResponse({"parse_error", "bad \"input\"\n", 5}),
+      renderExplainResponse(6, 0xabcdefull, 1,
+                            "{\"verdict\":\"confirmed\",\"schedule\":[]}"),
   };
   for (const std::string& response : rendered) {
     EXPECT_TRUE(test::jsonWellFormed(response)) << response;
@@ -245,6 +297,32 @@ TEST(Snapshot, SerializeDeserializeRoundTrips) {
   EXPECT_EQ(*back, failed);
 }
 
+TEST(Render, ExplainEchoesKeyWarningAndWitness) {
+  std::string response = renderExplainResponse(
+      9, 0x0123456789abcdefull, 3, "{\"verdict\":\"tail\"}");
+  EXPECT_TRUE(test::jsonWellFormed(response)) << response;
+  EXPECT_NE(response.find("\"key\":\"0123456789abcdef\""), std::string::npos);
+  EXPECT_NE(response.find("\"warning\":3"), std::string::npos);
+  EXPECT_NE(response.find("\"witness\":{\"verdict\":\"tail\"}"),
+            std::string::npos);
+}
+
+TEST(Snapshot, RoundTripsWitnessEntries) {
+  AnalysisSnapshot snap = sampleSnapshot();
+  snap.witness_json = {"{\"verdict\":\"confirmed\"}",
+                       "{\"verdict\":\"tail\",\"schedule\":[]}"};
+  auto back = AnalysisSnapshot::deserialize(snap.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, snap);
+  ASSERT_EQ(back->witness_json.size(), 2u);
+  EXPECT_EQ(back->witness_json[1], snap.witness_json[1]);
+
+  // Equality is witness-aware: dropping an entry must be visible.
+  AnalysisSnapshot fewer = snap;
+  fewer.witness_json.pop_back();
+  EXPECT_FALSE(fewer == snap);
+}
+
 TEST(Snapshot, DeserializeRejectsCorruptPayloads) {
   EXPECT_FALSE(AnalysisSnapshot::deserialize("").has_value());
   EXPECT_FALSE(AnalysisSnapshot::deserialize("garbage").has_value());
@@ -253,6 +331,12 @@ TEST(Snapshot, DeserializeRejectsCorruptPayloads) {
   EXPECT_FALSE(
       AnalysisSnapshot::deserialize(payload.substr(0, payload.size() / 2))
           .has_value());
+  // A witness count larger than the remaining payload must be rejected, not
+  // trusted as an allocation size; same for an oversized per-entry size.
+  EXPECT_FALSE(
+      AnalysisSnapshot::deserialize("CUAF2\n1\n0\n0\n999999\n").has_value());
+  EXPECT_FALSE(
+      AnalysisSnapshot::deserialize("CUAF2\n1\n0\n0\n1\n500\nxy").has_value());
 }
 
 TEST(Fingerprint, DistinguishesEveryProtocolOption) {
@@ -272,6 +356,15 @@ TEST(Fingerprint, DistinguishesEveryProtocolOption) {
   EXPECT_NE(optionsFingerprint(o), base_fp);
   o = base;
   o.build.unroll_loops = !o.build.unroll_loops;
+  EXPECT_NE(optionsFingerprint(o), base_fp);
+  o = base;
+  o.witness.enabled = !o.witness.enabled;
+  EXPECT_NE(optionsFingerprint(o), base_fp);
+  o = base;
+  o.witness.replay = !o.witness.replay;
+  EXPECT_NE(optionsFingerprint(o), base_fp);
+  o = base;
+  o.witness.max_replay_steps += 1;
   EXPECT_NE(optionsFingerprint(o), base_fp);
   EXPECT_EQ(optionsFingerprint(base), base_fp);  // stable across calls
 }
@@ -295,6 +388,7 @@ TEST(JsonParser, FuzzRandomAndTruncatedInputs) {
       "{\"op\":\"analyze\",\"id\":1,\"source\":\"proc p() {}\"}",
       "{\"op\":\"analyze_batch\",\"items\":[{\"source\":\"x\"}]}",
       "{\"op\":\"stats\"}",
+      "{\"op\":\"explain\",\"key\":\"0123456789abcdef\",\"warning\":0}",
       "[{\"a\":[true,null,1.5e2,\"\\u0041\"]}]",
   };
   for (int iter = 0; iter < 1500; ++iter) {
@@ -326,6 +420,35 @@ TEST(JsonParser, FuzzRandomAndTruncatedInputs) {
     bool parsed = parseJson(input, v, error);
     if (parsed) {
       EXPECT_TRUE(test::jsonWellFormed(input)) << input;
+    }
+  }
+}
+
+// Request-level fuzz over explain-shaped lines: mutated keys, indices and
+// structure must always come back as a Request or a structured error whose
+// rendering is well-formed — never a crash.
+TEST(ParseRequest, FuzzExplainShapedInputsYieldStructuredResults) {
+  Rng rng(0xace1u);
+  const std::string seed =
+      "{\"op\":\"explain\",\"id\":1,\"key\":\"0123456789abcdef\","
+      "\"warning\":2}";
+  for (int iter = 0; iter < 800; ++iter) {
+    std::string input = seed;
+    std::size_t mutations = 1 + rng.below(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      if (input.empty()) break;
+      std::size_t pos = rng.below(input.size());
+      switch (rng.below(3)) {
+        case 0: input[pos] = static_cast<char>(rng.below(256)); break;
+        case 1: input = input.substr(0, pos); break;
+        default: input.insert(pos, 1, "{}[]\":,x9"[rng.below(9)]); break;
+      }
+    }
+    auto parsed = parseRequest(input, kMaxBytes);
+    if (std::holds_alternative<ProtocolError>(parsed)) {
+      const ProtocolError& e = std::get<ProtocolError>(parsed);
+      EXPECT_FALSE(e.code.empty()) << input;
+      EXPECT_TRUE(test::jsonWellFormed(renderErrorResponse(e))) << input;
     }
   }
 }

@@ -136,6 +136,97 @@ TEST(Server, OptionsChangeTheCacheKeyNotTheEntry) {
   EXPECT_EQ(server.cache().stats().entries, 2u);
 }
 
+// ---------------------------------------------------------------------------
+// The explain op: witness lookup by cache key.
+
+constexpr const char* kWitnessAnalyzeRequest =
+    "{\"op\":\"analyze\",\"id\":1,\"name\":\"fig1.chpl\",\"source\":"
+    "\"proc p() {\\n  var x: int = 0;\\n  begin with (ref x) { x += 1; "
+    "}\\n}\\n\",\"options\":{\"witness\":true,\"witness_replay\":true}}";
+
+std::string extractKey(const std::string& response) {
+  std::size_t pos = response.find("\"key\":\"");
+  if (pos == std::string::npos) return {};
+  return response.substr(pos + 7, 16);
+}
+
+TEST(Server, ExplainReturnsTheCachedWitness) {
+  Server server;
+  std::string analyzed = server.handleLine(kWitnessAnalyzeRequest);
+  EXPECT_NE(analyzed.find("\"warnings\":1"), std::string::npos) << analyzed;
+  std::string key = extractKey(analyzed);
+  ASSERT_EQ(key.size(), 16u) << analyzed;
+
+  std::string explained = server.handleLine(
+      "{\"op\":\"explain\",\"id\":2,\"key\":\"" + key + "\",\"warning\":0}");
+  EXPECT_TRUE(test::jsonWellFormed(explained)) << explained;
+  EXPECT_NE(explained.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(explained.find("\"key\":\"" + key + "\""), std::string::npos);
+  EXPECT_NE(explained.find("\"witness\":{\"verdict\":\"confirmed\""),
+            std::string::npos)
+      << explained;
+  // explain is a pure cache lookup: identical bytes on repeat, no new
+  // pipeline runs.
+  EXPECT_EQ(explained,
+            server.handleLine("{\"op\":\"explain\",\"id\":2,\"key\":\"" + key +
+                              "\",\"warning\":0}"));
+  std::string stats = server.handleLine("{\"op\":\"stats\",\"id\":9}");
+  EXPECT_NE(stats.find("\"analyzed\":1"), std::string::npos) << stats;
+}
+
+TEST(Server, ExplainErrorsAreStructuredNeverFatal) {
+  Server server;
+  // Unknown key: nothing analyzed yet.
+  std::string unknown = server.handleLine(
+      "{\"op\":\"explain\",\"id\":1,\"key\":\"00000000deadbeef\"}");
+  EXPECT_TRUE(test::jsonWellFormed(unknown)) << unknown;
+  EXPECT_NE(unknown.find("\"code\":\"unknown_key\""), std::string::npos);
+
+  // Out-of-range warning index on a real entry.
+  std::string key = extractKey(server.handleLine(kWitnessAnalyzeRequest));
+  ASSERT_EQ(key.size(), 16u);
+  std::string out_of_range = server.handleLine(
+      "{\"op\":\"explain\",\"id\":2,\"key\":\"" + key + "\",\"warning\":7}");
+  EXPECT_TRUE(test::jsonWellFormed(out_of_range)) << out_of_range;
+  EXPECT_NE(out_of_range.find("\"code\":\"invalid_request\""),
+            std::string::npos)
+      << out_of_range;
+
+  // Witnesses disabled for the cached entry.
+  std::string plain = server.handleLine(
+      "{\"op\":\"analyze\",\"id\":3,\"name\":\"plain.chpl\",\"source\":"
+      "\"proc p() {\\n  var x: int = 0;\\n  begin with (ref x) { x += 1; "
+      "}\\n}\\n\"}");
+  std::string plain_key = extractKey(plain);
+  ASSERT_EQ(plain_key.size(), 16u);
+  std::string unavailable = server.handleLine(
+      "{\"op\":\"explain\",\"id\":4,\"key\":\"" + plain_key + "\"}");
+  EXPECT_TRUE(test::jsonWellFormed(unavailable)) << unavailable;
+  EXPECT_NE(unavailable.find("\"code\":\"witness_unavailable\""),
+            std::string::npos)
+      << unavailable;
+
+  // The daemon answers normal requests afterwards.
+  std::string stats = server.handleLine("{\"op\":\"stats\",\"id\":5}");
+  EXPECT_NE(stats.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(Server, WitnessAnalysisIsColdWarmByteIdentical) {
+  Server server;
+  std::string cold = server.handleLine(kWitnessAnalyzeRequest);
+  std::string warm = server.handleLine(kWitnessAnalyzeRequest);
+  EXPECT_TRUE(test::jsonWellFormed(cold)) << cold;
+  EXPECT_NE(warm.find("\"cached\":true"), std::string::npos);
+  EXPECT_EQ(stripVolatile(cold), stripVolatile(warm));
+  // Witness options are part of the cache key: the same source without
+  // witnesses is a distinct entry.
+  EXPECT_NE(extractKey(cold),
+            extractKey(server.handleLine(
+                "{\"op\":\"analyze\",\"id\":3,\"name\":\"fig1.chpl\","
+                "\"source\":\"proc p() {\\n  var x: int = 0;\\n  begin with "
+                "(ref x) { x += 1; }\\n}\\n\"}")));
+}
+
 TEST(Server, ShutdownStopsTheStreamLoop) {
   Server server;
   std::istringstream in(
