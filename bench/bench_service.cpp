@@ -97,25 +97,71 @@ int main(int argc, char** argv) {
   std::printf("%-28s %12zu\n", "cache entries", cache.entries);
   std::printf("%-28s %12zu\n", "cache bytes", cache.bytes);
 
-  bool ok = identical && fully_cached && speedup >= 5.0;
+  // --- Deadline cutoff latency -------------------------------------------
+  // A point-to-point handshake fan-out whose PPS state space explodes; a
+  // 1 ms budget must cut it off as a structured timeout almost immediately
+  // (the deadline is polled every worklist iteration), and the daemon must
+  // keep serving afterwards.
+  std::string blowup = [] {
+    constexpr int kTasks = 10;
+    std::string src = "proc blowup() {\n  var x: int = 0;\n";
+    for (int i = 0; i < kTasks; ++i) {
+      src += "  var d" + std::to_string(i) + "$: sync bool;\n";
+    }
+    for (int i = 0; i < kTasks; ++i) {
+      src += "  begin with (ref x) { x += 1; d" + std::to_string(i) +
+             "$ = true; }\n";
+    }
+    for (int i = 0; i < kTasks; ++i) {
+      src += "  d" + std::to_string(i) + "$;\n";
+    }
+    src += "  writeln(x);\n}\n";
+    return src;
+  }();
+  auto t2 = std::chrono::steady_clock::now();
+  std::string cut = server.handleLine(
+      "{\"op\":\"analyze\",\"id\":2,\"name\":\"blowup.chpl\",\"source\":\"" +
+      cuaf::jsonEscape(blowup) + "\",\"deadline_ms\":1}");
+  double timeout_ms = msSince(t2);
+  bool timeout_structured =
+      cut.find("\"code\":\"timeout\"") != std::string::npos &&
+      cut.find("timed out during") != std::string::npos;
+  bool timeout_fast = timeout_ms < 100.0;
+  std::string after = server.handleLine(
+      "{\"op\":\"analyze\",\"id\":3,\"source\":\"proc q() { writeln(1); }\"}");
+  bool alive_after = after.find("\"status\":\"ok\"") != std::string::npos;
+
+  std::printf("%-28s %12.2f ms  (1 ms budget)\n", "blowup timeout latency",
+              timeout_ms);
+  std::printf("%-28s %12s\n", "timeout structured",
+              timeout_structured ? "yes" : "NO");
+  std::printf("%-28s %12s\n", "daemon alive after timeout",
+              alive_after ? "yes" : "NO");
+
+  bool ok = identical && fully_cached && speedup >= 5.0 &&
+            timeout_structured && timeout_fast && alive_after;
 
   std::ofstream json("BENCH_service.json");
-  char buf[512];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "{\n  \"bench\": \"service_cold_warm\",\n"
                 "  \"count\": %zu,\n  \"seed\": %llu,\n  \"jobs\": %zu,\n"
                 "  \"cold_ms\": %.2f,\n  \"warm_ms\": %.2f,\n"
                 "  \"speedup\": %.1f,\n  \"byte_identical\": %s,\n"
                 "  \"warm_fully_cached\": %s,\n"
-                "  \"cache_entries\": %zu,\n  \"cache_bytes\": %zu\n}\n",
+                "  \"cache_entries\": %zu,\n  \"cache_bytes\": %zu,\n"
+                "  \"timeout_ms\": %.2f,\n  \"timeout_structured\": %s,\n"
+                "  \"alive_after_timeout\": %s\n}\n",
                 count, static_cast<unsigned long long>(seed), jobs, cold_ms,
                 warm_ms, speedup, identical ? "true" : "false",
-                fully_cached ? "true" : "false", cache.entries, cache.bytes);
+                fully_cached ? "true" : "false", cache.entries, cache.bytes,
+                timeout_ms, timeout_structured ? "true" : "false",
+                alive_after ? "true" : "false");
   json << buf;
   std::cout << "wrote BENCH_service.json\n";
   if (!ok) {
-    std::cout << "FAIL: expected byte-identical warm responses and >=5x "
-                 "cold/warm speedup\n";
+    std::cout << "FAIL: expected byte-identical warm responses, >=5x "
+                 "cold/warm speedup, and a <100 ms structured timeout\n";
   }
   return ok ? 0 : 1;
 }

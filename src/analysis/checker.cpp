@@ -89,23 +89,46 @@ AnalysisResult UseAfterFreeChecker::run(const ir::Module& module,
   pps::Options pps_options = options_.pps;
   if (options_.witness.enabled) pps_options.record_trace = true;
 
+  // The top-level deadline drives every phase.
+  ccfg::BuildOptions build_options = options_.build;
+  build_options.deadline = options_.deadline;
+  pps_options.deadline = options_.deadline;
+  witness::Options witness_options = options_.witness;
+  witness_options.deadline = options_.deadline;
+
+  auto stopAt = [&result](StopReason stop, const char* phase) {
+    result.stopped = stop;
+    result.stop_phase = phase;
+  };
+
   for (const auto& proc : module.procs) {
     if (proc->is_nested) continue;  // analyzed via inlining at call sites
+    if (StopReason stop = options_.deadline.check("checker.proc");
+        stop != StopReason::None) {
+      stopAt(stop, "checker");
+      break;
+    }
 
     ProcAnalysis pa;
     pa.proc = proc->id;
     pa.proc_name = std::string(sema.interner().text(proc->name));
 
-    auto graph = ccfg::buildGraph(module, proc->id, diags, options_.build);
+    auto graph = ccfg::buildGraph(module, proc->id, diags, build_options);
     pa.has_begin = graph->taskCount() > 1 || irHasBegin(*proc->body);
     fillStats(pa, *graph);
 
+    if (graph->stopped() != StopReason::None) {
+      stopAt(graph->stopped(), "ccfg");
+      result.procs.push_back(std::move(pa));
+      break;
+    }
     if (graph->unsupported()) {
       pa.skipped_unsupported = true;
       result.procs.push_back(std::move(pa));
       continue;
     }
 
+    bool proc_stopped = false;
     if (pa.has_begin &&
         (graph->accessCount() > 0 ||
          (options_.pps.report_deadlocks && !graph->syncVars().empty()))) {
@@ -116,9 +139,20 @@ AnalysisResult UseAfterFreeChecker::run(const ir::Module& module,
       for (AccessId a : pps_result.unsafe) {
         pa.warnings.push_back(makeWarning(*graph, graph->access(a)));
       }
-      if (options_.witness.enabled) {
-        pa.witnesses =
-            witness::buildWitnesses(*graph, pps_result, program, options_.witness);
+      if (pps_result.stopped != StopReason::None) {
+        // Keep the partial warnings: everything found before the cut is real.
+        stopAt(pps_result.stopped, "pps");
+        proc_stopped = true;
+      } else if (options_.witness.enabled) {
+        pa.witnesses = witness::buildWitnesses(*graph, pps_result, program,
+                                               witness_options);
+        for (const witness::Witness& w : pa.witnesses) {
+          if (w.stopped != StopReason::None) {
+            stopAt(w.stopped, "witness");
+            proc_stopped = true;
+            break;
+          }
+        }
       }
       for (NodeId n : pps_result.deadlocked_nodes) {
         const ccfg::Node& node = graph->node(n);
@@ -136,6 +170,7 @@ AnalysisResult UseAfterFreeChecker::run(const ir::Module& module,
     emitWarnings(pa, diags);
     if (options_.keep_artifacts) pa.graph = std::move(graph);
     result.procs.push_back(std::move(pa));
+    if (proc_stopped) break;
   }
   return result;
 }

@@ -32,6 +32,11 @@ struct AnalysisOptions {
   /// Keep the built CCFGs and PPS results in the AnalysisResult (tools,
   /// tests and benches want them; the corpus runner does not).
   bool keep_artifacts = false;
+  /// Top-level deadline, propagated into build/pps/witness sub-options by
+  /// the checker (and checked between phases by the Pipeline). Deliberately
+  /// not part of the options fingerprint: it bounds whether an analysis
+  /// completes, never what a completed analysis contains.
+  Deadline deadline;
 };
 
 /// One reported potentially-dangerous outer-variable access.
@@ -75,6 +80,12 @@ struct ProcAnalysis {
 
 struct AnalysisResult {
   std::vector<ProcAnalysis> procs;
+
+  /// Non-None when the deadline cut the analysis short; `procs` holds
+  /// whatever completed (plus partial warnings of the interrupted proc).
+  StopReason stopped = StopReason::None;
+  /// Which phase was interrupted ("ccfg", "pps", "witness", "checker").
+  std::string stop_phase;
 
   [[nodiscard]] std::size_t warningCount() const;
   [[nodiscard]] bool hasBegin() const;

@@ -7,15 +7,33 @@ Pipeline::Pipeline(AnalysisOptions options) : options_(std::move(options)) {}
 Pipeline::~Pipeline() = default;
 
 bool Pipeline::runSource(std::string name, std::string source) {
+  stop_ = StopReason::None;
+  stop_phase_.clear();
+  auto stopAt = [this](const char* site, const char* phase) {
+    StopReason stop = options_.deadline.check(site);
+    if (stop == StopReason::None) return false;
+    stop_ = stop;
+    stop_phase_ = phase;
+    return true;
+  };
+
+  if (stopAt("pipeline.parse", "parse")) return false;
   program_ = parseString(sm_, interner_, diags_, std::move(name),
                          std::move(source));
   if (diags_.hasErrors()) return false;
+  if (stopAt("pipeline.sema", "sema")) return false;
   sema_ = analyze(*program_, interner_, diags_);
   if (diags_.hasErrors()) return false;
+  if (stopAt("pipeline.lower", "lower")) return false;
   module_ = ir::lower(*program_, *sema_, diags_);
   if (diags_.hasErrors()) return false;
   UseAfterFreeChecker checker(options_);
   analysis_ = checker.run(*module_, diags_, program_.get());
+  if (analysis_.stopped != StopReason::None) {
+    stop_ = analysis_.stopped;
+    stop_phase_ = analysis_.stop_phase;
+    return false;
+  }
   return true;
 }
 

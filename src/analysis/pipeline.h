@@ -24,8 +24,15 @@ class Pipeline {
   Pipeline& operator=(const Pipeline&) = delete;
 
   /// Parses, resolves, lowers and analyzes `source`. Returns false when the
-  /// front-end reported errors (analysis is skipped); true otherwise.
+  /// front-end reported errors (analysis is skipped); true otherwise. A
+  /// tripped deadline also returns false, with stopReason()/stopPhase() set.
   bool runSource(std::string name, std::string source);
+
+  /// Non-None when the deadline cut the run short, at any phase.
+  [[nodiscard]] StopReason stopReason() const { return stop_; }
+  /// The interrupted phase: "parse", "sema", "lower", "ccfg", "checker",
+  /// "pps" or "witness". Empty when stopReason() is None.
+  [[nodiscard]] const std::string& stopPhase() const { return stop_phase_; }
 
   [[nodiscard]] const AnalysisResult& analysis() const { return analysis_; }
   [[nodiscard]] const DiagnosticEngine& diags() const { return diags_; }
@@ -48,6 +55,8 @@ class Pipeline {
   std::unique_ptr<SemaModule> sema_;
   std::unique_ptr<ir::Module> module_;
   AnalysisResult analysis_;
+  StopReason stop_ = StopReason::None;
+  std::string stop_phase_;
 };
 
 }  // namespace cuaf

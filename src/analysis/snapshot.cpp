@@ -83,6 +83,8 @@ AnalysisSnapshot analyzeToSnapshot(const std::string& name,
   Pipeline pipeline(options);
   AnalysisSnapshot snap;
   snap.frontend_ok = pipeline.runSource(name, source);
+  snap.stop_reason = pipeline.stopReason();
+  snap.stop_phase = pipeline.stopPhase();
   snap.diagnostics = pipeline.renderDiagnostics();
   if (snap.frontend_ok) {
     snap.warning_count = pipeline.analysis().warningCount();
@@ -115,7 +117,11 @@ std::uint64_t optionsFingerprint(const AnalysisOptions& options) {
   mix(options.witness.replay);
   mix(options.witness.max_replay_steps);
   mix(options.witness.max_config_combos);
+  mix(options.witness.max_total_replay_steps);
   mix(options.keep_artifacts);
+  // options.deadline is deliberately excluded: a deadline bounds whether an
+  // analysis completes, never what a completed analysis contains, so equal
+  // sources under different deadlines share one cache entry.
   return h;
 }
 

@@ -31,6 +31,13 @@ struct AnalysisSnapshot {
   /// service `explain` op without re-running the Pipeline.
   std::vector<std::string> witness_json;
 
+  /// Transient: set when the deadline cut the analysis short. Deliberately
+  /// NOT serialized and NOT part of operator== — a stopped snapshot is a
+  /// partial result the service reports as a structured error and must
+  /// never cache.
+  StopReason stop_reason = StopReason::None;
+  std::string stop_phase;
+
   friend bool operator==(const AnalysisSnapshot& a, const AnalysisSnapshot& b) {
     return a.frontend_ok == b.frontend_ok &&
            a.warning_count == b.warning_count &&

@@ -139,6 +139,12 @@ class Builder {
   }
 
   void walkStmt(const ir::Stmt& stmt) {
+    if (graph_->stopped() != StopReason::None) return;
+    if (StopReason stop = options_.deadline.check("ccfg.build");
+        stop != StopReason::None) {
+      graph_->setStopped(stop);
+      return;
+    }
     switch (stmt.kind) {
       case ir::StmtKind::Block: {
         pushFrame();

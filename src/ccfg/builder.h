@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "src/ccfg/graph.h"
+#include "src/support/deadline.h"
 #include "src/support/diagnostics.h"
 
 namespace cuaf::ccfg {
@@ -33,6 +34,9 @@ struct BuildOptions {
   bool unroll_loops = false;
   /// Maximum trip count eligible for unrolling.
   unsigned max_unroll_iterations = 8;
+  /// Checked per statement walk (site "ccfg.build"); an expired deadline
+  /// stops construction and marks the graph stopped().
+  Deadline deadline;
 };
 
 /// Builds the CCFG for the given top-level procedure.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/ir/ir.h"
+#include "src/support/deadline.h"
 
 namespace cuaf::ccfg {
 
@@ -204,6 +205,11 @@ class Graph {
     return unsupported_reason_;
   }
 
+  /// Non-None when construction was cut off by a deadline/cancellation;
+  /// the graph is partial and must not be explored.
+  [[nodiscard]] StopReason stopped() const { return stopped_; }
+  void setStopped(StopReason r) { stopped_ = r; }
+
   GraphStats& stats() { return stats_; }
   [[nodiscard]] const GraphStats& stats() const { return stats_; }
 
@@ -227,6 +233,7 @@ class Graph {
   ProcId root_proc_;
   bool unsupported_ = false;
   std::string unsupported_reason_;
+  StopReason stopped_ = StopReason::None;
   GraphStats stats_;
 };
 

@@ -98,6 +98,11 @@ class Engine {
     }
 
     while (!worklist_.empty() && !result_.state_limit_hit) {
+      if (StopReason stop = opt_.deadline.check("pps.explore");
+          stop != StopReason::None) {
+        result_.stopped = stop;
+        break;
+      }
       Pps pps = std::move(worklist_.front());
       worklist_.pop_front();
       ++result_.states_processed;

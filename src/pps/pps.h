@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/ccfg/graph.h"
+#include "src/support/deadline.h"
 
 namespace cuaf::pps {
 
@@ -67,6 +68,9 @@ struct Options {
   /// Report strands that can never finish (extension beyond the paper:
   /// "identify potential deadlock points" is listed as future work).
   bool report_deadlocks = false;
+  /// Checked once per worklist iteration (site "pps.explore"); an expired
+  /// deadline stops exploration with the partial result gathered so far.
+  Deadline deadline;
 };
 
 /// Where an unsafe access was first reported: the sink trace entry whose
@@ -93,6 +97,8 @@ struct Result {
   std::size_t sink_count = 0;
   std::size_t deadlock_count = 0;
   bool state_limit_hit = false;
+  /// Why exploration stopped early, if it did (partial `unsafe` set).
+  StopReason stopped = StopReason::None;
 
   /// Dense index order of sync variables in TraceEntry::state.
   std::vector<VarId> sync_var_order;

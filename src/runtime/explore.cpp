@@ -157,6 +157,7 @@ struct ShardOutcome {
   std::size_t deadlocks = 0;
   bool truncated = false;
   bool unsupported = false;
+  StopReason stopped = StopReason::None;
 
   void accumulate(const RunOutcome& run) {
     sites.addAll(run.events);
@@ -275,6 +276,12 @@ void exploreEntry(const ir::Module& module, const Program& program,
           out.truncated = true;
           break;
         }
+        if (StopReason stop = opt.deadline.check("explore.shard");
+            stop != StopReason::None) {
+          out.stopped = stop;
+          out.truncated = true;
+          break;
+        }
         std::vector<std::size_t> prefix = std::move(stack.back());
         stack.pop_back();
         ++runs;
@@ -289,6 +296,12 @@ void exploreEntry(const ir::Module& module, const Program& program,
       // racing the parent's scope exit even when the DFS was truncated).
       for (std::size_t victim = 1 + s; victim <= kMaxVictims;
            victim += shards) {
+        if (StopReason stop = opt.deadline.check("explore.shard");
+            stop != StopReason::None) {
+          out.stopped = stop;
+          out.truncated = true;
+          break;
+        }
         RunOutcome run = runSchedule(module, program, entry, configs, {},
                                      nullptr, opt.max_steps_per_run, victim);
         out.accumulate(run);
@@ -302,7 +315,11 @@ void exploreEntry(const ir::Module& module, const Program& program,
       result.deadlock_schedules += out.deadlocks;
       if (out.truncated) result.exhaustive = false;
       result.unsupported = result.unsupported || out.unsupported;
+      if (out.stopped != StopReason::None && result.stopped == StopReason::None) {
+        result.stopped = out.stopped;
+      }
     }
+    if (result.stopped != StopReason::None) break;  // deadline: stop combos
 
     // Randomized top-up when exploration was truncated: every shard owns an
     // independent RNG stream derived from (seed, combo, shard).
@@ -314,6 +331,11 @@ void exploreEntry(const ir::Module& module, const Program& program,
                            (s < opt.random_schedules % shards);
         Rng rng(deriveSeed(opt.seed, combo_idx, s));
         for (std::size_t i = 0; i < runs; ++i) {
+          if (StopReason stop = opt.deadline.check("explore.shard");
+              stop != StopReason::None) {
+            out.stopped = stop;
+            break;
+          }
           RunOutcome run = runSchedule(module, program, entry, configs, {},
                                        &rng, opt.max_steps_per_run);
           out.accumulate(run);
@@ -324,7 +346,12 @@ void exploreEntry(const ir::Module& module, const Program& program,
         result.schedules_run += out.schedules;
         result.deadlock_schedules += out.deadlocks;
         result.unsupported = result.unsupported || out.unsupported;
+        if (out.stopped != StopReason::None &&
+            result.stopped == StopReason::None) {
+          result.stopped = out.stopped;
+        }
       }
+      if (result.stopped != StopReason::None) break;
     }
   }
 
@@ -354,6 +381,7 @@ ExploreResult exploreAll(const ir::Module& module, const Program& program,
     if (proc->is_nested) continue;
     if (!proc->decl->params.empty()) continue;  // needs caller context
     exploreEntry(module, program, proc->id, options, pool, result);
+    if (result.stopped != StopReason::None) break;
   }
   return result;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/runtime/interp.h"
+#include "src/support/deadline.h"
 
 namespace cuaf::rt {
 
@@ -42,6 +43,10 @@ struct ExploreOptions {
   /// the explored schedule set — and thus the result — never depends on the
   /// thread count. Must be >= 1.
   std::size_t shards = 8;
+  /// Checked between schedules inside each shard (site "explore.shard"). A
+  /// tripped deadline stops the shard; the merged result is then marked
+  /// stopped and non-exhaustive.
+  Deadline deadline;
 };
 
 struct ExploreResult {
@@ -56,6 +61,8 @@ struct ExploreResult {
   /// A run used a feature the interpreter cannot model; treat the oracle
   /// verdict as unknown.
   bool unsupported = false;
+  /// Non-None when the deadline cut exploration short (implies !exhaustive).
+  StopReason stopped = StopReason::None;
 
   [[nodiscard]] bool sawUafAt(SourceLoc loc) const;
 };

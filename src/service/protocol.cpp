@@ -400,6 +400,23 @@ std::variant<Request, ProtocolError> parseRequest(std::string_view line,
 
   Request request;
   request.id = id;
+  if (const JsonValue* deadline = doc.find("deadline_ms")) {
+    if (deadline->kind != JsonValue::Kind::Number ||
+        deadline->number != std::floor(deadline->number) ||
+        deadline->number < 0) {
+      return makeError("invalid_request",
+                       "\"deadline_ms\" must be a non-negative integer", id);
+    }
+    request.has_deadline = true;
+    request.deadline_ms = static_cast<std::uint64_t>(deadline->number);
+  }
+  if (const JsonValue* failpoints = doc.find("failpoints")) {
+    if (failpoints->kind != JsonValue::Kind::String) {
+      return makeError("invalid_request", "\"failpoints\" must be a string",
+                       id);
+    }
+    request.failpoints = failpoints->string;
+  }
   if (const JsonValue* options = doc.find("options")) {
     if (options->kind != JsonValue::Kind::Object) {
       return makeError("invalid_request", "\"options\" must be an object", id);
@@ -499,6 +516,14 @@ void appendFlattened(std::string& out, const std::string& json) {
 void appendItemResult(std::string& out, const ItemResult& item) {
   out += "{\"name\":\"" + jsonEscape(item.name) + "\"";
   out += ",\"key\":\"" + formatCacheKey(item.key) + "\"";
+  if (item.failed()) {
+    // Structured per-item failure (timeout | cancelled | internal_error):
+    // no result payload, and such items are never cached.
+    out += ",\"cached\":false,\"ok\":false";
+    out += ",\"error\":{\"code\":\"" + jsonEscape(item.error_code) + "\"";
+    out += ",\"message\":\"" + jsonEscape(item.error_message) + "\"}}";
+    return;
+  }
   out += ",\"cached\":";
   out += item.cached ? "true" : "false";
   out += ",\"ok\":";
@@ -576,6 +601,8 @@ std::string renderStatsResponse(std::int64_t id,
   out += ",\"requests\":" + std::to_string(counters.requests);
   out += ",\"analyzed\":" + std::to_string(counters.analyzed);
   out += ",\"jobs\":" + std::to_string(counters.jobs);
+  out += ",\"timeouts\":" + std::to_string(counters.timeouts);
+  out += ",\"overloaded\":" + std::to_string(counters.overloaded);
   out += "}}";
   return out;
 }

@@ -5,6 +5,9 @@
 //   {"op":"analyze","id":1,"name":"f.chpl","source":"...","options":{...}}
 //   {"op":"analyze_batch","id":2,"items":[{"name":..,"source":..},...],
 //    "options":{...}}
+// Analyze requests additionally accept "deadline_ms" (non-negative integer
+// budget for the whole request) and "failpoints" (a fault-injection spec
+// applied for exactly this request; src/support/failpoint.h).
 //   {"op":"explain","id":3,"key":"<16-hex cache key>","warning":0}
 //   {"op":"stats","id":4}
 //   {"op":"cache_clear","id":5}
@@ -78,11 +81,19 @@ struct Request {
   AnalysisOptions options;
   std::uint64_t key = 0;            ///< Explain: cache key to look up
   std::uint64_t warning_index = 0;  ///< Explain: warning within the analysis
+  /// Per-request analysis deadline ("deadline_ms", non-negative integer).
+  /// 0 means "already expired" — useful for draining a queue cheaply.
+  bool has_deadline = false;
+  std::uint64_t deadline_ms = 0;
+  /// Failpoint spec applied for exactly this request ("failpoints"; see
+  /// src/support/failpoint.h for the grammar). Empty = none.
+  std::string failpoints;
 };
 
 struct ProtocolError {
   std::string code;     ///< parse_error | invalid_request | oversized_request
                         ///< | unknown_op | unknown_key | witness_unavailable
+                        ///< | timeout | cancelled | overloaded | internal_error
   std::string message;
   std::int64_t id = 0;  ///< echoed when the request id was recoverable
 };
@@ -101,6 +112,13 @@ struct ItemResult {
   std::uint64_t key = 0;  ///< cache key; clients pass it back to `explain`
   bool cached = false;
   AnalysisSnapshot snapshot;
+  /// Non-empty when the item failed structurally (timeout | cancelled |
+  /// internal_error): the item renders as an error object instead of a
+  /// result payload, and is never cached.
+  std::string error_code;
+  std::string error_message;
+
+  [[nodiscard]] bool failed() const { return !error_code.empty(); }
 };
 
 /// Renders a cache key the way responses carry it: 16 lowercase hex digits.
@@ -120,6 +138,8 @@ struct CacheCounters {
   std::uint64_t requests = 0;  ///< requests the server has answered
   std::uint64_t analyzed = 0;  ///< pipeline runs (cache misses)
   std::uint64_t jobs = 0;      ///< configured worker count
+  std::uint64_t timeouts = 0;    ///< items stopped by deadline/cancellation
+  std::uint64_t overloaded = 0;  ///< requests rejected by admission control
 };
 
 [[nodiscard]] std::string renderAnalyzeResponse(std::int64_t id,

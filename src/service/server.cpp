@@ -8,9 +8,12 @@
 #include <chrono>
 #include <cstring>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <vector>
+
+#include "src/support/failpoint.h"
 
 namespace cuaf::service {
 
@@ -37,6 +40,8 @@ ItemResult Server::analyzeItem(const SourceItem& item,
                                const AnalysisOptions& options) {
   ItemResult result;
   result.name = item.name;
+  // The deadline is excluded from the fingerprint, so a warm hit is served
+  // even under an already-expired deadline: cached answers are free.
   std::uint64_t key = analysisCacheKey(item.name, item.source, options);
   result.key = key;
   if (std::optional<std::string> payload = cache_.lookup(key)) {
@@ -48,27 +53,93 @@ ItemResult Server::analyzeItem(const SourceItem& item,
     }
     // Corrupt payload: fall through and overwrite it with a fresh analysis.
   }
-  result.snapshot = analyzeToSnapshot(item.name, item.source, options);
-  cache_.insert(key, result.snapshot.serialize());
-  {
-    std::lock_guard<std::mutex> lock(analyzed_mutex_);
-    ++analyzed_;
+  try {
+    result.snapshot = analyzeToSnapshot(item.name, item.source, options);
+  } catch (const std::exception& e) {
+    // Injected allocation failures (and any other analysis fault) must not
+    // escape into the thread pool; the item fails structurally instead.
+    result.error_code = "internal_error";
+    result.error_message = e.what();
+    return result;
   }
+  analyzed_.fetch_add(1, std::memory_order_relaxed);
+  if (result.snapshot.stop_reason != StopReason::None) {
+    // Partial result: report it as a structured error and never cache it —
+    // a later request without a deadline must get the full analysis.
+    result.error_code = stopReasonName(result.snapshot.stop_reason);
+    result.error_message =
+        result.snapshot.stop_reason == StopReason::Timeout
+            ? "analysis timed out during " + result.snapshot.stop_phase
+            : "analysis cancelled during " + result.snapshot.stop_phase;
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+  cache_.insert(key, result.snapshot.serialize());
   return result;
 }
 
+AnalysisOptions Server::effectiveOptions(const Request& request) {
+  AnalysisOptions options = request.options;
+  if (request.has_deadline) {
+    options.deadline = Deadline::afterMillis(request.deadline_ms);
+  }
+  return options;
+}
+
+bool Server::admit(std::size_t items) {
+  std::size_t prior = in_flight_items_.fetch_add(items);
+  if (prior + items > options_.max_queued_items) {
+    in_flight_items_.fetch_sub(items);
+    overloaded_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void Server::release(std::size_t items) { in_flight_items_.fetch_sub(items); }
+
+namespace {
+
+std::string renderOverloaded(const Request& request, std::size_t bound) {
+  ProtocolError error;
+  error.code = "overloaded";
+  error.message = "server at capacity (" + std::to_string(bound) +
+                  " analysis items in flight); retry later";
+  error.id = request.id;
+  return renderErrorResponse(error);
+}
+
+}  // namespace
+
 std::string Server::handleAnalyze(const Request& request) {
   auto start = std::chrono::steady_clock::now();
-  ItemResult result = analyzeItem(request.items.front(), request.options);
+  if (!admit(1)) return renderOverloaded(request, options_.max_queued_items);
+  ItemResult result = analyzeItem(request.items.front(),
+                                  effectiveOptions(request));
+  release(1);
+  if (result.failed()) {
+    // Single-item requests surface the failure as the top-level error (the
+    // batch path keeps per-item error objects instead).
+    ProtocolError error;
+    error.code = result.error_code;
+    error.message = result.error_message;
+    error.id = request.id;
+    return renderErrorResponse(error);
+  }
   return renderAnalyzeResponse(request.id, result, elapsedUs(start));
 }
 
 std::string Server::handleBatch(const Request& request) {
   auto start = std::chrono::steady_clock::now();
+  if (!admit(request.items.size())) {
+    return renderOverloaded(request, options_.max_queued_items);
+  }
+  AnalysisOptions options = effectiveOptions(request);
   std::vector<ItemResult> results(request.items.size());
   pool_->parallelFor(request.items.size(), [&](std::size_t i) {
-    results[i] = analyzeItem(request.items[i], request.options);
+    results[i] = analyzeItem(request.items[i], options);
   });
+  release(request.items.size());
   return renderBatchResponse(request.id, results, elapsedUs(start));
 }
 
@@ -116,23 +187,35 @@ std::string Server::handleStats(const Request& request) {
   counters.entries = cache_stats.entries;
   counters.bytes = cache_stats.bytes;
   counters.budget_bytes = cache_stats.budget_bytes;
-  counters.requests = requests_;
-  {
-    std::lock_guard<std::mutex> lock(analyzed_mutex_);
-    counters.analyzed = analyzed_;
-  }
+  counters.requests = requests_.load(std::memory_order_relaxed);
+  counters.analyzed = analyzed_.load(std::memory_order_relaxed);
+  counters.timeouts = timeouts_.load(std::memory_order_relaxed);
+  counters.overloaded = overloaded_.load(std::memory_order_relaxed);
   counters.jobs = options_.jobs;
   return renderStatsResponse(request.id, counters);
 }
 
 std::string Server::handleLine(std::string_view line) {
-  ++requests_;
+  requests_.fetch_add(1, std::memory_order_relaxed);
   std::variant<Request, ProtocolError> parsed =
       parseRequest(line, options_.max_request_bytes);
   if (auto* error = std::get_if<ProtocolError>(&parsed)) {
     return renderErrorResponse(*error);
   }
   const Request& request = std::get<Request>(parsed);
+  // Per-request fault injection: the spec is live for exactly this request
+  // (the override restores the previous table — usually empty — on return).
+  std::optional<failpoint::ScopedOverride> fault_scope;
+  if (!request.failpoints.empty()) {
+    fault_scope.emplace(request.failpoints);
+    if (!fault_scope->ok()) {
+      ProtocolError error;
+      error.code = "invalid_request";
+      error.message = fault_scope->error();
+      error.id = request.id;
+      return renderErrorResponse(error);
+    }
+  }
   try {
     switch (request.op) {
       case Op::Analyze:
@@ -180,8 +263,13 @@ std::size_t Server::serveStream(std::istream& in, std::ostream& out) {
 namespace {
 
 /// Sends the whole buffer, suppressing SIGPIPE; false when the client went
-/// away (the daemon must outlive any client).
+/// away (the daemon must outlive any client). The "server.send" failpoint
+/// simulates exactly that: a socket error mid-response.
 bool sendAll(int fd, std::string_view data) {
+  if (failpoint::anyActive() &&
+      failpoint::fire("server.send") == failpoint::Action::IoError) {
+    return false;
+  }
   while (!data.empty()) {
     ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {

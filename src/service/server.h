@@ -9,6 +9,7 @@
 // own result slot and the response is assembled in item order.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -28,6 +29,11 @@ struct ServerOptions {
   std::size_t cache_budget_bytes = 64u << 20;
   /// Requests longer than this are answered with "oversized_request".
   std::size_t max_request_bytes = 8u << 20;
+  /// Admission-control bound on analysis items in flight at once (across
+  /// concurrent handleLine callers); a request that would exceed it is
+  /// rejected whole with an "overloaded" error instead of queueing without
+  /// bound.
+  std::size_t max_queued_items = 256;
 };
 
 class Server {
@@ -41,7 +47,10 @@ class Server {
   /// Handles one request line, returns one response line (no trailing
   /// newline). Never throws on malformed input — errors come back as
   /// structured responses. The unit the stream/socket loops and all tests
-  /// drive.
+  /// drive. Thread-safe: the soak suite hammers one Server from many client
+  /// threads, so every counter below is atomic and analysis faults (deadline
+  /// expiry, injected allocation failures) are converted to structured item
+  /// errors before they can cross a thread boundary.
   [[nodiscard]] std::string handleLine(std::string_view line);
 
   /// Serves `in` until EOF or a shutdown request; one response per line on
@@ -65,17 +74,26 @@ class Server {
   [[nodiscard]] std::string handleExplain(const Request& request);
   [[nodiscard]] std::string handleStats(const Request& request);
   /// Analyzes one item through the cache; snapshot render is shared by the
-  /// single and batch paths.
+  /// single and batch paths. Never throws: analysis faults become item
+  /// errors. Items that hit the deadline are reported but never cached.
   [[nodiscard]] ItemResult analyzeItem(const SourceItem& item,
                                        const AnalysisOptions& options);
+  /// Builds the per-request effective options (deadline applied).
+  [[nodiscard]] static AnalysisOptions effectiveOptions(const Request& request);
+  /// Reserves `items` admission slots; false (and ++overloaded_) when the
+  /// bound would be exceeded.
+  [[nodiscard]] bool admit(std::size_t items);
+  void release(std::size_t items);
 
   ServerOptions options_;
   ResultCache cache_;
   std::unique_ptr<ThreadPool> pool_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t analyzed_ = 0;  ///< pipeline runs (shared with pool workers)
-  std::mutex analyzed_mutex_;
-  bool shutdown_ = false;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> analyzed_{0};  ///< pipeline runs (cache misses)
+  std::atomic<std::uint64_t> timeouts_{0};  ///< items stopped by deadline
+  std::atomic<std::uint64_t> overloaded_{0};
+  std::atomic<std::size_t> in_flight_items_{0};
+  std::atomic<bool> shutdown_{false};
 };
 
 }  // namespace cuaf::service

@@ -1,0 +1,40 @@
+#include "src/support/deadline.h"
+
+#include <new>
+
+namespace cuaf {
+
+const char* stopReasonName(StopReason r) {
+  switch (r) {
+    case StopReason::None: return "none";
+    case StopReason::Timeout: return "timeout";
+    case StopReason::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Deadline Deadline::afterMillis(std::uint64_t ms) {
+  Deadline d;
+  d.has_expiry_ = true;
+  d.expiry_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  return d;
+}
+
+StopReason Deadline::check(const char* site) const {
+  if (site != nullptr && failpoint::anyActive()) {
+    switch (failpoint::fire(site)) {
+      case failpoint::Action::Timeout: return StopReason::Timeout;
+      case failpoint::Action::Cancel: return StopReason::Cancelled;
+      case failpoint::Action::AllocFail: throw std::bad_alloc();
+      case failpoint::Action::IoError:  // only meaningful at transport sites
+      case failpoint::Action::None: break;
+    }
+  }
+  if (token_ != nullptr && token_->cancelled()) return StopReason::Cancelled;
+  if (has_expiry_ && std::chrono::steady_clock::now() >= expiry_) {
+    return StopReason::Timeout;
+  }
+  return StopReason::None;
+}
+
+}  // namespace cuaf

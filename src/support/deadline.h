@@ -1,0 +1,69 @@
+// Cooperative cancellation: a Deadline is checked at named sites inside
+// every long-running loop of the stack (pipeline phases, CCFG construction,
+// PPS exploration, witness replay, oracle shards). A check that trips
+// returns a StopReason; the caller records it and unwinds with a structured
+// partial result instead of running on — no thread is ever killed.
+//
+// check(site) consults, in order:
+//   1. the failpoint table for `site` (deterministic fault injection —
+//      timeout/cancel are reported as the matching StopReason, alloc throws
+//      std::bad_alloc);
+//   2. the attached CancelToken, if any;
+//   3. the wall-clock expiry, if one was set.
+// A default-constructed Deadline never expires but still honors failpoints,
+// so injection works without a real deadline in play.
+//
+// Deadlines are small value types: copy them into the options structs of
+// each layer. The cache-key contract explicitly excludes them — a deadline
+// changes whether an analysis completes, never what a completed analysis
+// contains (see optionsFingerprint).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "src/support/failpoint.h"
+
+namespace cuaf {
+
+enum class StopReason : std::uint8_t { None = 0, Timeout, Cancelled };
+
+[[nodiscard]] const char* stopReasonName(StopReason r);
+
+/// Thread-safe manual cancellation flag; attach to a Deadline via setToken.
+class CancelToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+class Deadline {
+ public:
+  /// Inactive: never times out, honors failpoints and an attached token.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now (0 = already expired).
+  [[nodiscard]] static Deadline afterMillis(std::uint64_t ms);
+
+  /// The token must outlive every copy of this Deadline.
+  void setToken(const CancelToken* token) { token_ = token; }
+
+  [[nodiscard]] bool hasExpiry() const { return has_expiry_; }
+
+  /// The cooperative check. `site` names the failpoint probed first; pass
+  /// nullptr to skip injection (pure deadline/token check).
+  [[nodiscard]] StopReason check(const char* site) const;
+
+ private:
+  bool has_expiry_ = false;
+  std::chrono::steady_clock::time_point expiry_{};
+  const CancelToken* token_ = nullptr;
+};
+
+}  // namespace cuaf

@@ -1,0 +1,168 @@
+#include "src/support/failpoint.h"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace cuaf::failpoint {
+
+namespace {
+
+constexpr std::uint64_t kUnlimited = static_cast<std::uint64_t>(-1);
+
+struct Entry {
+  Action action = Action::None;
+  std::uint64_t skip = 0;           ///< hits to ignore before firing
+  std::uint64_t count = kUnlimited; ///< remaining fires
+};
+
+std::mutex g_mutex;
+std::unordered_map<std::string, Entry>& table() {
+  static std::unordered_map<std::string, Entry> t;
+  return t;
+}
+std::atomic<bool> g_active{false};
+
+bool parseAction(std::string_view text, Action& out) {
+  if (text == "timeout") out = Action::Timeout;
+  else if (text == "cancel") out = Action::Cancel;
+  else if (text == "alloc") out = Action::AllocFail;
+  else if (text == "ioerror") out = Action::IoError;
+  else return false;
+  return true;
+}
+
+bool parseNumber(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+/// Parses one "site=action[@skip][*count]" entry.
+bool parseEntry(std::string_view text, std::string& site, Entry& entry,
+                std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "bad failpoint entry \"" + std::string(text) + "\": " + why;
+    }
+    return false;
+  };
+  std::size_t eq = text.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return fail("expected site=action");
+  }
+  site = std::string(text.substr(0, eq));
+  std::string_view rest = text.substr(eq + 1);
+
+  std::size_t star = rest.find('*');
+  if (star != std::string_view::npos) {
+    if (!parseNumber(rest.substr(star + 1), entry.count)) {
+      return fail("count after '*' must be a number");
+    }
+    rest = rest.substr(0, star);
+  }
+  std::size_t at = rest.find('@');
+  if (at != std::string_view::npos) {
+    if (!parseNumber(rest.substr(at + 1), entry.skip)) {
+      return fail("skip after '@' must be a number");
+    }
+    rest = rest.substr(0, at);
+  }
+  if (!parseAction(rest, entry.action)) {
+    return fail("unknown action (timeout|cancel|alloc|ioerror)");
+  }
+  return true;
+}
+
+/// Renders the live table back into spec form (for ScopedOverride restore).
+std::string snapshotLocked() {
+  std::string out;
+  for (const auto& [site, e] : table()) {
+    if (!out.empty()) out += ';';
+    out += site;
+    out += '=';
+    out += actionName(e.action);
+    if (e.skip > 0) out += "@" + std::to_string(e.skip);
+    if (e.count != kUnlimited) out += "*" + std::to_string(e.count);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* actionName(Action a) {
+  switch (a) {
+    case Action::None: return "none";
+    case Action::Timeout: return "timeout";
+    case Action::Cancel: return "cancel";
+    case Action::AllocFail: return "alloc";
+    case Action::IoError: return "ioerror";
+  }
+  return "?";
+}
+
+bool configure(std::string_view spec, std::string* error) {
+  std::unordered_map<std::string, Entry> parsed;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t semi = spec.find(';', start);
+    std::string_view piece = spec.substr(
+        start, semi == std::string_view::npos ? spec.size() - start
+                                              : semi - start);
+    if (!piece.empty()) {
+      std::string site;
+      Entry entry;
+      if (!parseEntry(piece, site, entry, error)) return false;
+      parsed[std::move(site)] = entry;
+    }
+    if (semi == std::string_view::npos) break;
+    start = semi + 1;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  table() = std::move(parsed);
+  g_active.store(!table().empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void configureFromEnv() {
+  const char* spec = std::getenv("CUAF_FAILPOINTS");
+  if (spec != nullptr && *spec != '\0') configure(spec);
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  table().clear();
+  g_active.store(false, std::memory_order_relaxed);
+}
+
+bool anyActive() { return g_active.load(std::memory_order_relaxed); }
+
+Action fire(std::string_view site) {
+  if (!anyActive()) return Action::None;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = table().find(std::string(site));
+  if (it == table().end()) return Action::None;
+  Entry& e = it->second;
+  if (e.skip > 0) {
+    --e.skip;
+    return Action::None;
+  }
+  if (e.count == 0) return Action::None;
+  if (e.count != kUnlimited) --e.count;
+  return e.action;
+}
+
+ScopedOverride::ScopedOverride(std::string_view spec) {
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    saved_spec_ = snapshotLocked();
+  }
+  ok_ = configure(spec, &error_);
+}
+
+ScopedOverride::~ScopedOverride() { configure(saved_spec_); }
+
+}  // namespace cuaf::failpoint

@@ -1,0 +1,71 @@
+// Deterministic fault injection at named program sites.
+//
+// A failpoint maps a site name (e.g. "pps.explore", "server.send") to an
+// action; code at the site calls fire() — usually indirectly through
+// Deadline::check() — and acts on the returned action. The table is
+// configured from a compact spec string:
+//
+//   spec   := entry (';' entry)*
+//   entry  := site '=' action ['@' skip] ['*' count]
+//   action := timeout | cancel | alloc | ioerror
+//
+// `skip` hits of the site are ignored before the action fires; it then
+// fires `count` times (unlimited when omitted). Activation paths:
+//   * the CUAF_FAILPOINTS environment variable (configureFromEnv, read by
+//     chpl-uaf-serve at startup);
+//   * the per-request "failpoints" field of the analysis service, applied
+//     for exactly one request via ScopedOverride.
+//
+// Everything is mutex-protected and deterministic: the same spec and the
+// same sequence of fire() calls produce the same injected faults. The
+// disabled fast path is one relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cuaf::failpoint {
+
+enum class Action : std::uint8_t { None = 0, Timeout, Cancel, AllocFail, IoError };
+
+[[nodiscard]] const char* actionName(Action a);
+
+/// Replaces the whole table with `spec` (empty spec clears it). Returns
+/// false on a malformed spec, leaving the table unchanged; `error`, when
+/// non-null, receives a description.
+bool configure(std::string_view spec, std::string* error = nullptr);
+
+/// configure() from the CUAF_FAILPOINTS environment variable, if set.
+void configureFromEnv();
+
+/// Drops every configured failpoint.
+void clear();
+
+/// True when any failpoint is configured (relaxed fast-path probe).
+[[nodiscard]] bool anyActive();
+
+/// Consumes one hit of `site`: returns the configured action once the skip
+/// prefix is exhausted and the fire count not yet spent, None otherwise.
+Action fire(std::string_view site);
+
+/// Applies a spec for one scope, restoring the previous table afterwards
+/// (the analysis service uses this for per-request "failpoints").
+class ScopedOverride {
+ public:
+  explicit ScopedOverride(std::string_view spec);
+  ~ScopedOverride();
+
+  ScopedOverride(const ScopedOverride&) = delete;
+  ScopedOverride& operator=(const ScopedOverride&) = delete;
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  std::string saved_spec_;
+  bool ok_ = false;
+  std::string error_;
+};
+
+}  // namespace cuaf::failpoint

@@ -3,6 +3,9 @@
 // Usage:
 //   chpl-uaf-client --socket PATH [commands]
 //     --analyze FILE...  send one analyze request per file ("-" = stdin)
+//     --deadline-ms N    attach a per-request analysis deadline to every
+//                        analyze request (timeouts come back as structured
+//                        errors, not hangs)
 //     --stats            request daemon/cache statistics
 //     --cache-clear      drop every cached result
 //     --shutdown         stop the daemon
@@ -101,6 +104,8 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::vector<std::string> analyze_files;
   bool stats = false, cache_clear = false, shutdown = false;
+  bool has_deadline = false;
+  unsigned long long deadline_ms = 0;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--socket") {
@@ -120,6 +125,13 @@ int main(int argc, char** argv) {
         std::cerr << "--analyze needs at least one file\n";
         return 2;
       }
+    } else if (arg == "--deadline-ms") {
+      if (i + 1 >= argc) {
+        std::cerr << "--deadline-ms needs a millisecond budget\n";
+        return 2;
+      }
+      has_deadline = true;
+      deadline_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--cache-clear") {
@@ -128,8 +140,11 @@ int main(int argc, char** argv) {
       shutdown = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: chpl-uaf-client --socket PATH "
-                   "[--analyze FILE...|--stats|--cache-clear|--shutdown]\n"
-                   "with no command, forwards raw request lines from stdin\n";
+                   "[--analyze FILE...|--deadline-ms N|--stats|--cache-clear|"
+                   "--shutdown]\n"
+                   "with no command, forwards raw request lines from stdin\n"
+                   "  --deadline-ms N  per-request analysis budget for "
+                   "--analyze (structured timeout errors)\n";
       return 0;
     } else {
       std::cerr << "unknown option: " << arg << '\n';
@@ -168,9 +183,15 @@ int main(int argc, char** argv) {
         source = ss.str();
       }
       std::string name = file == "-" ? "<stdin>" : file;
-      issue("{\"op\":\"analyze\",\"id\":" + std::to_string(++id) +
-            ",\"name\":\"" + cuaf::jsonEscape(name) + "\",\"source\":\"" +
-            cuaf::jsonEscape(source) + "\"}");
+      std::string request = "{\"op\":\"analyze\",\"id\":" +
+                            std::to_string(++id) + ",\"name\":\"" +
+                            cuaf::jsonEscape(name) + "\",\"source\":\"" +
+                            cuaf::jsonEscape(source) + "\"";
+      if (has_deadline) {
+        request += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+      }
+      request += "}";
+      issue(request);
     }
     if (stats) {
       issue("{\"op\":\"stats\",\"id\":" + std::to_string(++id) + "}");

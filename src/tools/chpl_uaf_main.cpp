@@ -16,8 +16,11 @@
 //     --deadlocks    report potential deadlock points (extension)
 //     --jobs N       worker threads for the dynamic oracle (deterministic:
 //                    results are identical for any N)
+//     --deadline-ms N  per-file analysis budget; a file whose analysis is
+//                    cut off reports "timed out during <phase>"
 //
-// Exit code: 0 = clean, 1 = warnings reported, 2 = errors.
+// Exit code: 0 = clean, 1 = warnings reported, 2 = errors,
+//            3 = analysis deadline expired.
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -51,11 +54,31 @@ struct CliOptions {
   bool suggest_fixes = false;
   bool fix = false;
   std::size_t jobs = 1;
+  bool has_deadline = false;
+  std::uint64_t deadline_ms = 0;
   std::string suite_dir;
   std::string json_out;
   cuaf::AnalysisOptions analysis;
   std::vector<std::string> files;
+
+  /// Per-run options: a fresh Deadline per file so one slow file cannot
+  /// consume the budget of the files after it.
+  [[nodiscard]] cuaf::AnalysisOptions analysisOptions() const {
+    cuaf::AnalysisOptions options = analysis;
+    if (has_deadline) {
+      options.deadline = cuaf::Deadline::afterMillis(deadline_ms);
+    }
+    return options;
+  }
 };
+
+/// Renders the stop outcome of a deadline-cut run ("timed out during pps").
+std::string stopMessage(const cuaf::Pipeline& pipeline) {
+  std::string verb = pipeline.stopReason() == cuaf::StopReason::Timeout
+                         ? "timed out"
+                         : "was cancelled";
+  return "analysis " + verb + " during " + pipeline.stopPhase();
+}
 
 int runFile(const CliOptions& cli, const std::string& path) {
   std::string source;
@@ -76,10 +99,14 @@ int runFile(const CliOptions& cli, const std::string& path) {
     }
   }
 
-  cuaf::Pipeline pipeline(cli.analysis);
+  cuaf::Pipeline pipeline(cli.analysisOptions());
   bool ok = pipeline.runSource(display_name, source);
   if (!cli.json) std::cout << pipeline.renderDiagnostics();
   if (!ok) {
+    if (pipeline.stopReason() != cuaf::StopReason::None) {
+      std::cout << display_name << ": " << stopMessage(pipeline) << '\n';
+      return 3;
+    }
     if (cli.json) std::cout << pipeline.renderDiagnostics();
     return 2;
   }
@@ -227,11 +254,15 @@ int runSuite(const CliOptions& cli, const std::string& dir) {
       std::cerr << e.what() << '\n';
       continue;
     }
-    cuaf::Pipeline pipeline(cli.analysis);
+    cuaf::Pipeline pipeline(cli.analysisOptions());
     ++total;
     if (!pipeline.runSource(path, source)) {
       ++errors;
-      std::cout << path << ": front-end errors\n";
+      if (pipeline.stopReason() != cuaf::StopReason::None) {
+        std::cout << path << ": " << stopMessage(pipeline) << '\n';
+      } else {
+        std::cout << path << ": front-end errors\n";
+      }
       continue;
     }
     std::size_t w = pipeline.analysis().warningCount();
@@ -303,6 +334,14 @@ int main(int argc, char** argv) {
       }
       cli.jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
       if (cli.jobs == 0) cli.jobs = 1;
+    } else if (arg == "--deadline-ms") {
+      if (i + 1 >= argc) {
+        std::cerr << "--deadline-ms needs a millisecond budget\n";
+        return 2;
+      }
+      cli.has_deadline = true;
+      cli.deadline_ms =
+          static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--suite") {
       if (i + 1 >= argc) {
         std::cerr << "--suite needs a directory\n";
@@ -330,9 +369,12 @@ int main(int argc, char** argv) {
                    "--trace-pps|--witness|--witness=replay|--baseline|"
                    "--oracle|--no-prune|--no-merge|"
                    "--deadlocks|--model-atomics|--unroll-loops|--json|"
-                   "--json-out FILE|--suggest-fixes|--fix|--jobs N] "
+                   "--json-out FILE|--suggest-fixes|--fix|--jobs N|"
+                   "--deadline-ms N] "
                    "file.chpl... | -\n"
                    "  -         read the source from stdin\n"
+                   "  --deadline-ms N  per-file analysis budget in "
+                   "milliseconds (exit 3 when it expires)\n"
                    "  --json-out FILE  also write the JSON report to FILE\n"
                    "  --witness        extract a counterexample schedule per "
                    "warning (docs/WITNESS.md)\n"

@@ -7,6 +7,12 @@
 //                      responses are identical for any N)
 //     --cache-mb N     result-cache budget in MiB (default 64, 0 disables)
 //     --max-request-mb N  per-request size limit in MiB (default 8)
+//     --max-queue N    admission bound on analysis items in flight; excess
+//                      requests get an "overloaded" error (default 256)
+//
+// The CUAF_FAILPOINTS environment variable seeds the fault-injection table
+// at startup (spec grammar in src/support/failpoint.h); requests can also
+// carry a per-request "failpoints" field.
 //
 // Speaks newline-delimited JSON: analyze, analyze_batch, stats,
 // cache_clear, shutdown. Exit code: 0 on clean shutdown/EOF, 2 on setup
@@ -17,6 +23,7 @@
 #include <string>
 
 #include "src/service/server.h"
+#include "src/support/failpoint.h"
 
 int main(int argc, char** argv) {
   cuaf::service::ServerOptions options;
@@ -47,11 +54,19 @@ int main(int argc, char** argv) {
         std::cerr << "--max-request-mb must be positive\n";
         return 2;
       }
+    } else if (arg == "--max-queue") {
+      options.max_queued_items = numeric("an item count");
+      if (options.max_queued_items == 0) {
+        std::cerr << "--max-queue must be positive\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: chpl-uaf-serve [--socket PATH] [--jobs N] "
-                   "[--cache-mb N] [--max-request-mb N]\n"
+                   "[--cache-mb N] [--max-request-mb N] [--max-queue N]\n"
                    "newline-delimited JSON protocol: analyze, analyze_batch, "
-                   "stats, cache_clear, shutdown (docs/SERVICE.md)\n";
+                   "stats, cache_clear, shutdown (docs/SERVICE.md)\n"
+                   "CUAF_FAILPOINTS seeds fault injection at startup "
+                   "(src/support/failpoint.h)\n";
       return 0;
     } else {
       std::cerr << "unknown option: " << arg << '\n';
@@ -59,6 +74,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  cuaf::failpoint::configureFromEnv();
   cuaf::service::Server server(options);
   try {
     if (socket_path.empty()) {

@@ -18,6 +18,7 @@ struct RunResult {
   bool confirmed = false;
   bool unsupported = false;
   std::size_t steps = 0;
+  StopReason stopped = StopReason::None;
 };
 
 /// One deterministic run. Victims — the tasks whose spawning `begin` is at
@@ -31,7 +32,8 @@ RunResult runOnce(const ir::Module& module, const Program& program,
                   ProcId entry, const rt::ConfigAssignment& configs,
                   SourceLoc access_loc, SourceLoc task_loc,
                   const std::vector<SourceLoc>* guides,
-                  std::size_t victim_index, std::size_t max_steps) {
+                  std::size_t victim_index, std::size_t max_steps,
+                  const Deadline& deadline) {
   RunResult out;
   rt::Interp interp(module, program, &configs);
   interp.start(entry);
@@ -44,6 +46,11 @@ RunResult runOnce(const ir::Module& module, const Program& program,
 
   while (!interp.allFinished()) {
     if (interp.stepsExecuted() > max_steps) break;
+    if (StopReason stop = deadline.check("witness.replay");
+        stop != StopReason::None) {
+      out.stopped = stop;
+      break;
+    }
 
     // Eagerly run invisible steps (they commute; same as the explorer).
     bool advanced = false;
@@ -113,29 +120,43 @@ ReplayOutcome replaySchedule(const ccfg::Graph& graph, const Program& program,
   std::vector<rt::ConfigAssignment> combos =
       rt::enumerateConfigAssignments(module, options.max_config_combos);
 
+  // The total budget is independent of the combo × attempt product: an
+  // adversarial schedule that burns max_replay_steps on every attempt is
+  // cut off once the runs collectively spend max_total_replay_steps.
+  auto remainingBudget = [&]() -> std::size_t {
+    if (out.steps >= options.max_total_replay_steps) return 0;
+    return options.max_total_replay_steps - out.steps;
+  };
+
+  // Returns true when replay must stop (budget exhausted or deadline hit).
   auto attempt = [&](const rt::ConfigAssignment& configs,
                      const std::vector<SourceLoc>* guides,
                      std::size_t victim_index) {
+    std::size_t budget = remainingBudget();
+    if (budget == 0) return true;
     RunResult run = runOnce(module, program, entry, configs, access_loc,
                             task_loc, guides, victim_index,
-                            options.max_replay_steps);
+                            std::min(options.max_replay_steps, budget),
+                            options.deadline);
     ++out.runs;
     out.steps += run.steps;
     out.unsupported = out.unsupported || run.unsupported;
     out.confirmed = out.confirmed || run.confirmed;
+    if (run.stopped != StopReason::None) {
+      out.stopped = run.stopped;
+      return true;
+    }
+    return out.confirmed || out.unsupported || remainingBudget() == 0;
   };
 
   for (const rt::ConfigAssignment& configs : combos) {
     // Guided run along the witness serialization, then the same victims
     // without guidance (the static serialization over-constrains some
     // runtime orders), then the explorer's adversarial victim sweep.
-    attempt(configs, &sync_guides, kNoVictimIndex);
-    if (out.confirmed || out.unsupported) return out;
-    attempt(configs, nullptr, kNoVictimIndex);
-    if (out.confirmed || out.unsupported) return out;
+    if (attempt(configs, &sync_guides, kNoVictimIndex)) return out;
+    if (attempt(configs, nullptr, kNoVictimIndex)) return out;
     for (std::size_t victim = 1; victim <= kMaxFallbackVictims; ++victim) {
-      attempt(configs, nullptr, victim);
-      if (out.confirmed || out.unsupported) return out;
+      if (attempt(configs, nullptr, victim)) return out;
     }
   }
   return out;

@@ -18,13 +18,17 @@ struct ReplayOutcome {
   bool unsupported = false;
   std::size_t steps = 0;  ///< interpreter steps across all runs
   std::size_t runs = 0;
+  /// Non-None when the deadline interrupted replay mid-schedule.
+  StopReason stopped = StopReason::None;
 };
 
 /// Replays the schedule against `graph.rootProc()`: per config combo, one
 /// run that delays the warning's spawning task while steering other tasks
 /// along `sync_guides` (the schedule's sync-event locations in order), then
 /// adversarial delay-victim fallback runs. Stops at the first run whose
-/// interpreter events contain `access_loc`. Fully deterministic.
+/// interpreter events contain `access_loc`. Fully deterministic. Total work
+/// is bounded by Options::max_total_replay_steps regardless of how many
+/// combo × attempt runs the enumeration would otherwise produce.
 [[nodiscard]] ReplayOutcome replaySchedule(const ccfg::Graph& graph,
                                            const Program& program,
                                            SourceLoc access_loc,

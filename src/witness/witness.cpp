@@ -100,6 +100,7 @@ std::vector<Witness> buildWitnesses(const ccfg::Graph& graph,
       w.replayed = true;
       w.replay_steps = replay.steps;
       w.replay_runs = replay.runs;
+      w.stopped = replay.stopped;
       if (replay.confirmed) {
         w.verdict = Verdict::Confirmed;
         out.push_back(std::move(w));
@@ -107,7 +108,9 @@ std::vector<Witness> buildWitnesses(const ccfg::Graph& graph,
       }
     }
     w.verdict = w.from_tail ? Verdict::Tail : Verdict::Unconfirmed;
+    bool stopped = w.stopped != StopReason::None;
     out.push_back(std::move(w));
+    if (stopped) break;  // deadline hit: skip the remaining warnings' replays
   }
   return out;
 }

@@ -66,6 +66,14 @@ struct Options {
   /// Upper bound on enumerated config-value combinations during replay
   /// (mirrors rt::ExploreOptions::max_config_combos).
   std::size_t max_config_combos = 8;
+  /// Total interpreter-step budget across ALL replay runs of one witness
+  /// (guided, unguided and victim-sweep attempts over every config combo).
+  /// Independent of max_replay_steps so adversarial schedules cannot turn
+  /// the combo × attempt product into an unbounded loop.
+  std::size_t max_total_replay_steps = 500000;
+  /// Checked between replay attempts and inside the replay loop
+  /// (site "witness.replay").
+  Deadline deadline;
 };
 
 struct Witness {
@@ -83,6 +91,9 @@ struct Witness {
   std::vector<ScheduleStep> schedule;
   SourceLoc access_loc;
   std::string var_name;
+  /// Non-None when replay was cut off by the deadline. Deliberately not part
+  /// of toJson(): cached result bytes must not depend on timing.
+  StopReason stopped = StopReason::None;
 };
 
 /// Builds one witness per `pps_result.unsafe` entry, in order (matching the

@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <sstream>
+#include <string>
 
 #include "src/analysis/pipeline.h"
 #include "src/corpus/generator.h"
+#include "src/lexer/lexer.h"
 #include "src/runtime/explore.h"
 
 namespace cuaf {
@@ -168,6 +172,139 @@ TEST_P(SeededProperty, IntendedUnsafeTasksProduceWarnings) {
     }
     if (skipped) continue;
     EXPECT_GT(pipeline.analysis().warningCount(), 0u) << p.source;
+  }
+}
+
+// --- Source-form invariance: renaming and trivia never change verdicts. -----
+//
+// The analysis is defined over program *structure*; identifier spellings and
+// comments must be invisible to it. Both perturbations below are
+// length/line-preserving so warning (line, col) sites stay comparable.
+
+/// Methods the sema resolves by spelling; renaming them would change the
+/// program's meaning, so alpha-renaming must leave them alone.
+bool isBuiltinName(std::string_view name) {
+  static const std::set<std::string_view> kBuiltins = {
+      "add",    "exchange", "fetchAdd", "isFull", "read",
+      "readFE", "readFF",   "reset",    "sub",    "waitFor",
+      "write",  "writeEF",  "writeln"};
+  return kBuiltins.contains(name);
+}
+
+/// Alpha-renames every user identifier by uppercasing its first character
+/// (length-preserving, so every source location survives). Distinct names
+/// stay distinct because the generator never emits uppercase-leading ones.
+std::string alphaRename(const std::string& source) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  FileId file = sm.addBuffer("rename.chpl", source);
+  Lexer lexer(sm, file, diags);
+  std::string_view buffer = sm.bufferContents(file);
+  std::string renamed = source;
+  for (Token t = lexer.next(); !t.is(TokKind::Eof); t = lexer.next()) {
+    if (!t.is(TokKind::Identifier) || isBuiltinName(t.text)) continue;
+    char first = t.text.front();
+    if (first < 'a' || first > 'z') continue;
+    std::size_t offset = static_cast<std::size_t>(t.text.data() - buffer.data());
+    renamed[offset] = static_cast<char>(first - 'a' + 'A');
+  }
+  return renamed;
+}
+
+/// Appends a trailing line comment to every non-blank line. Statement order,
+/// line numbers, and every pre-existing column are untouched.
+std::string addTrailingComments(const std::string& source) {
+  std::istringstream in(source);
+  std::string out;
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) {
+    out += line;
+    if (!line.empty()) out += "  // trivia " + std::to_string(n++);
+    out += '\n';
+  }
+  return out;
+}
+
+/// PF(x) per proc as var-index -> sorted node indices (keep_artifacts only).
+using PfMap = std::map<std::uint32_t, std::vector<std::uint32_t>>;
+std::vector<PfMap> pfSets(const AnalysisResult& analysis) {
+  std::vector<PfMap> out;
+  for (const ProcAnalysis& pa : analysis.procs) {
+    PfMap m;
+    if (pa.graph) {
+      for (const auto& [var, nodes] : pa.graph->parallelFrontiers()) {
+        std::vector<std::uint32_t> indices;
+        indices.reserve(nodes.size());
+        for (NodeId node : nodes) indices.push_back(node.index());
+        std::sort(indices.begin(), indices.end());
+        m[var.index()] = std::move(indices);
+      }
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+TEST_P(SeededProperty, AlphaRenamingPreservesWarningsAndPfSets) {
+  corpus::ProgramGenerator gen(GetParam() ^ 0x41fa, denseOptions());
+  for (int i = 0; i < 40; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+    std::string renamed = alphaRename(p.source);
+    ASSERT_NE(renamed, p.source) << p.source;
+
+    AnalysisOptions opts;
+    opts.keep_artifacts = true;
+    Pipeline original(opts), variant(opts);
+    ASSERT_TRUE(original.runSource(p.name, p.source)) << p.source;
+    ASSERT_TRUE(variant.runSource(p.name, renamed)) << renamed;
+
+    EXPECT_EQ(original.analysis().warningCount(),
+              variant.analysis().warningCount())
+        << p.source << "\n--- renamed ---\n" << renamed;
+    EXPECT_EQ(warningSites(original.analysis()),
+              warningSites(variant.analysis()))
+        << p.source;
+    EXPECT_EQ(pfSets(original.analysis()), pfSets(variant.analysis()))
+        << p.source;
+
+    // Each reported variable is exactly the renamed spelling of the original.
+    auto orig_warnings = original.analysis().allWarnings();
+    auto var_warnings = variant.analysis().allWarnings();
+    ASSERT_EQ(orig_warnings.size(), var_warnings.size());
+    for (std::size_t w = 0; w < orig_warnings.size(); ++w) {
+      std::string expected = orig_warnings[w]->var_name;
+      if (!expected.empty() && expected.front() >= 'a' &&
+          expected.front() <= 'z') {
+        expected.front() =
+            static_cast<char>(expected.front() - 'a' + 'A');
+      }
+      EXPECT_EQ(var_warnings[w]->var_name, expected);
+    }
+  }
+}
+
+TEST_P(SeededProperty, TrailingCommentsPreserveWarningsAndPfSets) {
+  corpus::ProgramGenerator gen(GetParam() ^ 0xc033, denseOptions());
+  for (int i = 0; i < 40; ++i) {
+    corpus::GeneratedProgram p = gen.next();
+    std::string commented = addTrailingComments(p.source);
+    ASSERT_NE(commented, p.source);
+
+    AnalysisOptions opts;
+    opts.keep_artifacts = true;
+    Pipeline original(opts), variant(opts);
+    ASSERT_TRUE(original.runSource(p.name, p.source)) << p.source;
+    ASSERT_TRUE(variant.runSource(p.name, commented)) << commented;
+
+    EXPECT_EQ(original.analysis().warningCount(),
+              variant.analysis().warningCount())
+        << commented;
+    EXPECT_EQ(warningSites(original.analysis()),
+              warningSites(variant.analysis()))
+        << commented;
+    EXPECT_EQ(pfSets(original.analysis()), pfSets(variant.analysis()))
+        << commented;
   }
 }
 

@@ -1,0 +1,299 @@
+// Deadline and fault-injection behaviour of the analysis service: expired
+// deadlines and injected faults come back as structured errors (never hangs,
+// never crashes), timed-out results are never cached, over-capacity requests
+// are rejected as "overloaded", and the daemon keeps answering afterwards.
+// Labeled `service`: runs under the tsan preset.
+#include "src/service/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "src/support/failpoint.h"
+#include "test_util.h"
+
+namespace cuaf::service {
+namespace {
+
+// Fig. 1 shape (outer var captured by ref in a fire-and-forget task), already
+// JSON-escaped for inline request literals. One warning when fully analyzed.
+constexpr const char* kFig1Source =
+    "proc p() {\\n  var x: int = 0;\\n  begin with (ref x) { x += 1; }\\n}\\n";
+
+std::string analyzeRequest(std::int64_t id, const std::string& extra = {}) {
+  return "{\"op\":\"analyze\",\"id\":" + std::to_string(id) +
+         ",\"name\":\"fig1.chpl\",\"source\":\"" + kFig1Source + "\"" + extra +
+         "}";
+}
+
+std::string trivialBatch(std::int64_t id, std::size_t items,
+                         const std::string& extra = {}) {
+  std::string request =
+      "{\"op\":\"analyze_batch\",\"id\":" + std::to_string(id) + ",\"items\":[";
+  for (std::size_t i = 0; i < items; ++i) {
+    if (i) request += ',';
+    request += "{\"name\":\"p" + std::to_string(i) +
+               "\",\"source\":\"proc p() { writeln(" + std::to_string(i) +
+               "); }\"}";
+  }
+  request += "]" + extra + "}";
+  return request;
+}
+
+TEST(ServerFaults, ZeroDeadlineTimesOutBeforeParsing) {
+  Server server;
+  std::string response = server.handleLine(analyzeRequest(1, ",\"deadline_ms\":0"));
+  EXPECT_TRUE(test::jsonWellFormed(response)) << response;
+  EXPECT_NE(response.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(response.find("\"code\":\"timeout\""), std::string::npos);
+  EXPECT_NE(response.find("timed out during parse"), std::string::npos)
+      << response;
+  // The server is alive and the same source analyzes fully without a deadline.
+  std::string full = server.handleLine(analyzeRequest(2));
+  EXPECT_NE(full.find("\"warnings\":1"), std::string::npos) << full;
+  std::string stats = server.handleLine("{\"op\":\"stats\",\"id\":3}");
+  EXPECT_NE(stats.find("\"timeouts\":1"), std::string::npos) << stats;
+}
+
+TEST(ServerFaults, GenerousDeadlineDoesNotPerturbResultsOrCacheKeys) {
+  Server server;
+  std::string with_deadline =
+      server.handleLine(analyzeRequest(1, ",\"deadline_ms\":60000"));
+  EXPECT_NE(with_deadline.find("\"warnings\":1"), std::string::npos)
+      << with_deadline;
+  // The deadline is excluded from the fingerprint: the bare request is a
+  // warm hit on the same entry, byte-identical modulo volatile fields.
+  std::string bare = server.handleLine(analyzeRequest(1));
+  EXPECT_NE(bare.find("\"cached\":true"), std::string::npos) << bare;
+  EXPECT_EQ(stripVolatile(with_deadline), stripVolatile(bare));
+}
+
+TEST(ServerFaults, WarmHitIsServedEvenUnderExpiredDeadline) {
+  Server server;
+  std::string cold = server.handleLine(analyzeRequest(1));
+  EXPECT_NE(cold.find("\"warnings\":1"), std::string::npos) << cold;
+  // Cached answers are free: an already-expired deadline still gets one.
+  std::string warm = server.handleLine(analyzeRequest(1, ",\"deadline_ms\":0"));
+  EXPECT_NE(warm.find("\"cached\":true"), std::string::npos) << warm;
+  EXPECT_EQ(stripVolatile(cold), stripVolatile(warm));
+}
+
+TEST(ServerFaults, NegativeDeadlineIsRejected) {
+  Server server;
+  std::string response = server.handleLine(analyzeRequest(1, ",\"deadline_ms\":-5"));
+  EXPECT_TRUE(test::jsonWellFormed(response)) << response;
+  EXPECT_NE(response.find("\"code\":\"invalid_request\""), std::string::npos)
+      << response;
+}
+
+TEST(ServerFaults, EveryAnalysisPhaseReportsItsNameOnInjectedTimeout) {
+  const std::pair<const char*, const char*> sites[] = {
+      {"pipeline.parse", "parse"}, {"pipeline.sema", "sema"},
+      {"pipeline.lower", "lower"}, {"ccfg.build", "ccfg"},
+      {"checker.proc", "checker"}, {"pps.explore", "pps"},
+  };
+  Server server;
+  std::int64_t id = 0;
+  for (const auto& [site, phase] : sites) {
+    std::string response = server.handleLine(analyzeRequest(
+        ++id, ",\"failpoints\":\"" + std::string(site) + "=timeout\""));
+    EXPECT_TRUE(test::jsonWellFormed(response)) << site << ": " << response;
+    EXPECT_NE(response.find("\"code\":\"timeout\""), std::string::npos)
+        << site << ": " << response;
+    EXPECT_NE(response.find("timed out during " + std::string(phase)),
+              std::string::npos)
+        << site << ": " << response;
+  }
+  // Nothing partial leaked into the cache; the final full run is cold.
+  EXPECT_EQ(server.cache().stats().entries, 0u);
+  std::string full = server.handleLine(analyzeRequest(++id));
+  EXPECT_NE(full.find("\"warnings\":1"), std::string::npos) << full;
+  EXPECT_NE(full.find("\"cached\":false"), std::string::npos);
+}
+
+TEST(ServerFaults, WitnessReplayTimeoutIsStructured) {
+  Server server;
+  const std::string witness_options =
+      ",\"options\":{\"witness\":true,\"witness_replay\":true}";
+  std::string response = server.handleLine(analyzeRequest(
+      1, witness_options + ",\"failpoints\":\"witness.replay=timeout\""));
+  EXPECT_TRUE(test::jsonWellFormed(response)) << response;
+  EXPECT_NE(response.find("\"code\":\"timeout\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("timed out during witness"), std::string::npos)
+      << response;
+  // Without the fault the identical request replays to confirmation.
+  std::string full = server.handleLine(analyzeRequest(2, witness_options));
+  EXPECT_NE(full.find("\"status\":\"ok\""), std::string::npos) << full;
+  EXPECT_NE(full.find("\"warnings\":1"), std::string::npos) << full;
+  EXPECT_NE(full.find("\"cached\":false"), std::string::npos);
+}
+
+TEST(ServerFaults, InjectedCancelReportsCancelled) {
+  Server server;
+  std::string response = server.handleLine(
+      analyzeRequest(1, ",\"failpoints\":\"pipeline.sema=cancel\""));
+  EXPECT_NE(response.find("\"code\":\"cancelled\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("analysis cancelled during sema"), std::string::npos)
+      << response;
+}
+
+TEST(ServerFaults, InjectedAllocationFailureIsInternalError) {
+  Server server;
+  std::string response = server.handleLine(
+      analyzeRequest(1, ",\"failpoints\":\"pps.explore=alloc\""));
+  EXPECT_TRUE(test::jsonWellFormed(response)) << response;
+  EXPECT_NE(response.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(response.find("\"code\":\"internal_error\""), std::string::npos)
+      << response;
+  // The exception never reached the thread pool or the stream loop.
+  std::string full = server.handleLine(analyzeRequest(2));
+  EXPECT_NE(full.find("\"warnings\":1"), std::string::npos) << full;
+}
+
+TEST(ServerFaults, MalformedFailpointSpecIsInvalidRequest) {
+  Server server;
+  std::string response = server.handleLine(
+      "{\"op\":\"stats\",\"id\":1,\"failpoints\":\"pps.explore=explode\"}");
+  EXPECT_TRUE(test::jsonWellFormed(response)) << response;
+  EXPECT_NE(response.find("\"code\":\"invalid_request\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("unknown action"), std::string::npos) << response;
+  // The rejected spec left no failpoints behind.
+  EXPECT_FALSE(failpoint::anyActive());
+}
+
+TEST(ServerFaults, PerRequestFailpointsDoNotLeakAcrossRequests) {
+  Server server;
+  std::string faulty = server.handleLine(
+      analyzeRequest(1, ",\"failpoints\":\"pps.explore=timeout\""));
+  EXPECT_NE(faulty.find("\"code\":\"timeout\""), std::string::npos) << faulty;
+  EXPECT_FALSE(failpoint::anyActive());
+  // The identical request without the field runs to completion and caches.
+  std::string full = server.handleLine(analyzeRequest(2));
+  EXPECT_NE(full.find("\"warnings\":1"), std::string::npos) << full;
+  std::string warm = server.handleLine(analyzeRequest(2));
+  EXPECT_NE(warm.find("\"cached\":true"), std::string::npos) << warm;
+}
+
+TEST(ServerFaults, BatchItemsFailStructurallyUnderInjectedTimeout) {
+  Server server;
+  // Each item is a task-spawning program (distinct names, distinct cache
+  // keys) so every one reaches PPS exploration and hits the failpoint.
+  std::string request = "{\"op\":\"analyze_batch\",\"id\":7,\"items\":[";
+  for (int i = 0; i < 3; ++i) {
+    if (i) request += ',';
+    request += "{\"name\":\"fig1_" + std::to_string(i) +
+               ".chpl\",\"source\":\"" + std::string(kFig1Source) + "\"}";
+  }
+  request += "],\"failpoints\":\"pps.explore=timeout\"}";
+  std::string response = server.handleLine(request);
+  EXPECT_TRUE(test::jsonWellFormed(response)) << response;
+  // The batch itself succeeds; each item carries its own structured error.
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"code\":\"timeout\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("timed out during pps"), std::string::npos)
+      << response;
+  EXPECT_EQ(response.find("\"ok\":true"), std::string::npos) << response;
+  EXPECT_EQ(server.cache().stats().entries, 0u);
+  std::string stats = server.handleLine("{\"op\":\"stats\",\"id\":8}");
+  EXPECT_NE(stats.find("\"timeouts\":3"), std::string::npos) << stats;
+}
+
+TEST(ServerFaults, OverCapacityBatchIsRejectedAsOverloaded) {
+  ServerOptions options;
+  options.max_queued_items = 4;
+  Server server(options);
+  std::string rejected = server.handleLine(trivialBatch(1, 8));
+  EXPECT_TRUE(test::jsonWellFormed(rejected)) << rejected;
+  EXPECT_NE(rejected.find("\"code\":\"overloaded\""), std::string::npos)
+      << rejected;
+  EXPECT_NE(rejected.find("retry later"), std::string::npos) << rejected;
+  // A batch within the bound is admitted immediately afterwards.
+  std::string accepted = server.handleLine(trivialBatch(2, 4));
+  EXPECT_NE(accepted.find("\"status\":\"ok\""), std::string::npos) << accepted;
+  EXPECT_EQ(accepted.find("\"ok\":false"), std::string::npos) << accepted;
+  std::string stats = server.handleLine("{\"op\":\"stats\",\"id\":3}");
+  EXPECT_NE(stats.find("\"overloaded\":1"), std::string::npos) << stats;
+}
+
+// ---------------------------------------------------------------------------
+// Socket-level fault: a send() error drops the client, never the daemon.
+
+class SocketClient {
+ public:
+  explicit SocketClient(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        connected_ = true;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ~SocketClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  /// Sends one line and reads until newline or EOF (empty string on EOF).
+  std::string roundTrip(const std::string& request) {
+    std::string line = request + "\n";
+    EXPECT_EQ(::send(fd_, line.data(), line.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(line.size()));
+    std::string response;
+    char c;
+    while (::read(fd_, &c, 1) == 1 && c != '\n') response += c;
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST(ServerFaults, SendFaultDropsTheClientButNotTheDaemon) {
+  std::string path = testing::TempDir() + "cuaf_faults_test.sock";
+  Server server;
+  std::thread daemon([&server, &path] { server.serveSocket(path); });
+  {
+    SocketClient client(path);
+    ASSERT_TRUE(client.connected());
+    failpoint::ScopedOverride fp("server.send=ioerror*1");
+    ASSERT_TRUE(fp.ok());
+    // The response send fails; the daemon closes this connection.
+    std::string dropped = client.roundTrip("{\"op\":\"stats\",\"id\":1}");
+    EXPECT_TRUE(dropped.empty()) << dropped;
+  }
+  {
+    // The daemon accepts and serves the next client normally.
+    SocketClient client(path);
+    ASSERT_TRUE(client.connected());
+    std::string stats = client.roundTrip("{\"op\":\"stats\",\"id\":2}");
+    EXPECT_NE(stats.find("\"status\":\"ok\""), std::string::npos) << stats;
+    std::string bye = client.roundTrip("{\"op\":\"shutdown\",\"id\":3}");
+    EXPECT_NE(bye.find("\"op\":\"shutdown\""), std::string::npos) << bye;
+  }
+  daemon.join();
+  EXPECT_TRUE(server.shutdownRequested());
+}
+
+}  // namespace
+}  // namespace cuaf::service

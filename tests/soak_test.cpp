@@ -1,0 +1,160 @@
+// Multi-threaded soak of the analysis daemon: several client threads hammer
+// one Server with a seeded mix of valid, malformed, oversized, warm-hit,
+// deadline-zero, and batch requests. Every response must be a well-formed
+// single-line JSON document (status ok or a structured error), no request
+// may hang or crash the daemon, and the final counters must add up.
+// Labeled `soak`: runs under the tsan preset to catch data races in the
+// cache, the admission counters, and the thread pool.
+#include "src/service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/json_report.h"
+#include "src/corpus/generator.h"
+#include "src/support/rng.h"
+#include "test_util.h"
+
+namespace cuaf::service {
+namespace {
+
+constexpr std::size_t kThreads = 6;
+constexpr std::size_t kItersPerThread = 5000;
+
+constexpr const char* kFig1Request =
+    "{\"op\":\"analyze\",\"id\":1,\"name\":\"fig1.chpl\",\"source\":"
+    "\"proc p() {\\n  var x: int = 0;\\n  begin with (ref x) { x += 1; "
+    "}\\n}\\n\"}";
+
+std::string analyzeRequest(std::int64_t id, const std::string& name,
+                           const std::string& source,
+                           const std::string& extra = {}) {
+  return "{\"op\":\"analyze\",\"id\":" + std::to_string(id) + ",\"name\":\"" +
+         jsonEscape(name) + "\",\"source\":\"" + jsonEscape(source) + "\"" +
+         extra + "}";
+}
+
+/// Extracts the integer after "name": in a stats response.
+std::uint64_t counter(const std::string& stats, const std::string& name) {
+  std::size_t pos = stats.find("\"" + name + "\":");
+  EXPECT_NE(pos, std::string::npos) << name << " missing in " << stats;
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(stats.c_str() + pos + name.size() + 3, nullptr, 10);
+}
+
+TEST(Soak, MixedRequestStormNeverHangsOrCorruptsTheDaemon) {
+  ServerOptions options;
+  options.jobs = 4;
+  options.max_request_bytes = 1 << 16;
+  Server server(options);
+
+  std::atomic<std::uint64_t> deadline_zero_issued{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (std::size_t tid = 0; tid < kThreads; ++tid) {
+    clients.emplace_back([&server, &deadline_zero_issued, tid] {
+      Rng rng(0x50a1u + tid);
+      corpus::ProgramGenerator generator(0xbeefu * (tid + 1));
+      for (std::size_t iter = 0; iter < kItersPerThread; ++iter) {
+        std::int64_t id = static_cast<std::int64_t>(tid * kItersPerThread + iter);
+        std::string line;
+        std::uint64_t pick = rng.below(100);
+        if (pick < 35) {
+          // Fresh generated program: almost always a cache miss.
+          corpus::GeneratedProgram p = generator.next();
+          line = analyzeRequest(id, p.name, p.source);
+        } else if (pick < 50) {
+          // Shared fixed program: warm hits once any thread analyzed it.
+          line = kFig1Request;
+        } else if (pick < 60) {
+          // Malformed: a valid request truncated mid-structure.
+          std::string seed = kFig1Request;
+          line = seed.substr(0, 1 + rng.below(seed.size() - 1));
+        } else if (pick < 67) {
+          // Structural soup.
+          const char alphabet[] = "{}[]\":,op\\analyze0123456789 ";
+          std::size_t len = 1 + rng.below(80);
+          for (std::size_t i = 0; i < len; ++i) {
+            line += alphabet[rng.below(sizeof(alphabet) - 1)];
+          }
+        } else if (pick < 72) {
+          // Oversized: exceeds max_request_bytes, rejected structurally.
+          line = "{\"op\":\"analyze\",\"id\":1,\"source\":\"" +
+                 std::string((1 << 16) + 512, 'x') + "\"}";
+        } else if (pick < 80) {
+          // Already-expired deadline on a never-seen source: structured
+          // timeout, never cached (counted exactly below).
+          deadline_zero_issued.fetch_add(1, std::memory_order_relaxed);
+          line = analyzeRequest(
+              id, "dz.chpl",
+              "proc p() { writeln(" +
+                  std::to_string(tid * 1000000 + iter) + "); }",
+              ",\"deadline_ms\":0");
+        } else if (pick < 90) {
+          // Small batch through the thread pool.
+          corpus::GeneratedProgram a = generator.next();
+          corpus::GeneratedProgram b = generator.next();
+          line = "{\"op\":\"analyze_batch\",\"id\":" + std::to_string(id) +
+                 ",\"items\":[{\"name\":\"" + jsonEscape(a.name) +
+                 "\",\"source\":\"" + jsonEscape(a.source) +
+                 "\"},{\"name\":\"" + jsonEscape(b.name) + "\",\"source\":\"" +
+                 jsonEscape(b.source) + "\"}]}";
+        } else if (pick < 95) {
+          line = "{\"op\":\"stats\",\"id\":" + std::to_string(id) + "}";
+        } else if (pick < 97) {
+          // Generous deadline: must behave exactly like no deadline.
+          corpus::GeneratedProgram p = generator.next();
+          line = analyzeRequest(id, p.name, p.source, ",\"deadline_ms\":60000");
+        } else {
+          // Heavyweight: full witness extraction + replay on a fresh program.
+          corpus::GeneratedProgram p = generator.next();
+          line = analyzeRequest(
+              id, p.name, p.source,
+              ",\"options\":{\"witness\":true,\"witness_replay\":true}");
+        }
+
+        std::string response = server.handleLine(line);
+        ASSERT_FALSE(response.empty());
+        ASSERT_TRUE(test::jsonWellFormed(response))
+            << "tid " << tid << " iter " << iter << ": " << response;
+        ASSERT_EQ(response.find('\n'), std::string::npos);
+        bool ok = response.find("\"status\":\"ok\"") != std::string::npos;
+        bool error = response.find("\"status\":\"error\"") != std::string::npos;
+        ASSERT_TRUE(ok != error)
+            << "tid " << tid << " iter " << iter << ": " << response;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // The daemon survived the storm; the counters add up exactly.
+  std::string stats = server.handleLine("{\"op\":\"stats\",\"id\":999999}");
+  ASSERT_TRUE(test::jsonWellFormed(stats)) << stats;
+  EXPECT_NE(stats.find("\"status\":\"ok\""), std::string::npos) << stats;
+  EXPECT_EQ(counter(stats, "requests"), kThreads * kItersPerThread + 1);
+  // Every deadline-zero request targeted a unique source, so each one is a
+  // cache miss that times out; timed-out results are never cached.
+  EXPECT_EQ(counter(stats, "timeouts"),
+            deadline_zero_issued.load(std::memory_order_relaxed));
+  // The in-flight load (at most a handful of items per thread) never
+  // approached the default admission bound.
+  EXPECT_EQ(counter(stats, "overloaded"), 0u);
+
+  ResultCache::Stats cache_stats = server.cache().stats();
+  EXPECT_GE(cache_stats.insertions, cache_stats.entries);
+  EXPECT_LE(cache_stats.bytes, cache_stats.budget_bytes);
+  EXPECT_GT(cache_stats.hits, 0u);  // the shared fig1 request repeats
+
+  // Still serving: a fresh analyze round-trips fine after the storm.
+  std::string after = server.handleLine(kFig1Request);
+  EXPECT_NE(after.find("\"status\":\"ok\""), std::string::npos) << after;
+  EXPECT_NE(after.find("\"cached\":true"), std::string::npos) << after;
+}
+
+}  // namespace
+}  // namespace cuaf::service

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "src/support/deadline.h"
 #include "src/support/diagnostics.h"
+#include "src/support/failpoint.h"
 #include "src/support/interner.h"
 #include "src/support/rng.h"
 #include "src/support/source_manager.h"
@@ -163,6 +165,91 @@ TEST(Rng, ChanceExtremes) {
     EXPECT_FALSE(r.chance(0));
     EXPECT_TRUE(r.chance(1000));
   }
+}
+
+TEST(Deadline, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.hasExpiry());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(d.check("any.site"), StopReason::None);
+  }
+}
+
+TEST(Deadline, ZeroMillisExpiresImmediately) {
+  Deadline d = Deadline::afterMillis(0);
+  EXPECT_TRUE(d.hasExpiry());
+  EXPECT_EQ(d.check(nullptr), StopReason::Timeout);
+}
+
+TEST(Deadline, GenerousBudgetDoesNotExpire) {
+  Deadline d = Deadline::afterMillis(60'000);
+  EXPECT_EQ(d.check(nullptr), StopReason::None);
+}
+
+TEST(Deadline, CancelTokenTripsCheck) {
+  CancelToken token;
+  Deadline d;
+  d.setToken(&token);
+  EXPECT_EQ(d.check(nullptr), StopReason::None);
+  token.cancel();
+  EXPECT_EQ(d.check(nullptr), StopReason::Cancelled);
+}
+
+TEST(Deadline, StopReasonNames) {
+  EXPECT_STREQ(stopReasonName(StopReason::None), "none");
+  EXPECT_STREQ(stopReasonName(StopReason::Timeout), "timeout");
+  EXPECT_STREQ(stopReasonName(StopReason::Cancelled), "cancelled");
+}
+
+TEST(Failpoint, FiresConfiguredActionAtSite) {
+  failpoint::ScopedOverride fp("a.site=timeout");
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(failpoint::fire("a.site"), failpoint::Action::Timeout);
+  EXPECT_EQ(failpoint::fire("other.site"), failpoint::Action::None);
+}
+
+TEST(Failpoint, SkipAndCountControlFiring) {
+  failpoint::ScopedOverride fp("s=cancel@2*1");
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(failpoint::fire("s"), failpoint::Action::None);   // skip 1
+  EXPECT_EQ(failpoint::fire("s"), failpoint::Action::None);   // skip 2
+  EXPECT_EQ(failpoint::fire("s"), failpoint::Action::Cancel); // fires once
+  EXPECT_EQ(failpoint::fire("s"), failpoint::Action::None);   // count spent
+}
+
+TEST(Failpoint, MalformedSpecRejectedTableUnchanged) {
+  failpoint::ScopedOverride good("keep=timeout");
+  ASSERT_TRUE(good.ok());
+  std::string error;
+  EXPECT_FALSE(failpoint::configure("keep=explode", &error));
+  EXPECT_NE(error.find("unknown action"), std::string::npos);
+  EXPECT_FALSE(failpoint::configure("noequals", &error));
+  // The failed configure left the previous table live.
+  EXPECT_EQ(failpoint::fire("keep"), failpoint::Action::Timeout);
+}
+
+TEST(Failpoint, ScopedOverrideRestoresPriorTable) {
+  ASSERT_TRUE(failpoint::configure("outer=ioerror"));
+  {
+    failpoint::ScopedOverride inner("inner=alloc");
+    ASSERT_TRUE(inner.ok());
+    EXPECT_EQ(failpoint::fire("outer"), failpoint::Action::None);
+    EXPECT_EQ(failpoint::fire("inner"), failpoint::Action::AllocFail);
+  }
+  EXPECT_EQ(failpoint::fire("outer"), failpoint::Action::IoError);
+  failpoint::clear();
+  EXPECT_FALSE(failpoint::anyActive());
+}
+
+TEST(Failpoint, DeadlineCheckConsultsFailpoints) {
+  failpoint::ScopedOverride fp(
+      "t.site=timeout;c.site=cancel;a.site=alloc");
+  ASSERT_TRUE(fp.ok());
+  Deadline d;  // inactive deadline still honors injected faults
+  EXPECT_EQ(d.check("t.site"), StopReason::Timeout);
+  EXPECT_EQ(d.check("c.site"), StopReason::Cancelled);
+  EXPECT_THROW((void)d.check("a.site"), std::bad_alloc);
+  EXPECT_EQ(d.check("quiet.site"), StopReason::None);
 }
 
 }  // namespace

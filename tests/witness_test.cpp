@@ -139,6 +139,39 @@ TEST(WitnessReplay, WithoutReplayTailStaysTail) {
   EXPECT_EQ(w.verdict, witness::Verdict::Tail);
 }
 
+// Regression: the combos × (guided + unguided + victim sweep) attempt loop
+// used to bound each run individually but not their sum; an adversarial
+// program could burn max_replay_steps on every attempt. The shared budget
+// cuts the whole replay off after max_total_replay_steps.
+TEST(WitnessReplay, TotalBudgetBoundsWorkAcrossAttempts) {
+  Fixture f = Fixture::lower(fig1Source());
+  ASSERT_TRUE(f.module) << f.diagText();
+  AnalysisOptions options;
+  options.witness.enabled = true;
+  options.witness.replay = true;
+  options.witness.max_total_replay_steps = 1;
+  UseAfterFreeChecker checker(options);
+  AnalysisResult result = checker.run(*f.module, f.diags, f.program.get());
+
+  ASSERT_EQ(result.warningCount(), 1u);
+  // Budget exhaustion is a bound, not a fault: the analysis completes.
+  EXPECT_EQ(result.stopped, StopReason::None);
+  const witness::Witness& w = result.procs.front().witnesses.front();
+  EXPECT_TRUE(w.replayed);
+  // The first run consumed the whole budget; no further attempts ran.
+  EXPECT_EQ(w.replay_runs, 1u);
+  EXPECT_GT(w.replay_steps, 0u);
+  EXPECT_LE(w.replay_steps, 8u);
+  EXPECT_NE(w.verdict, witness::Verdict::Confirmed);
+
+  // The default budget is ample: the same program replays to confirmation.
+  Fixture g = Fixture::lower(fig1Source());
+  ASSERT_TRUE(g.module) << g.diagText();
+  AnalysisResult full = analyzeWithWitness(g, /*replay=*/true);
+  EXPECT_EQ(full.procs.front().witnesses.front().verdict,
+            witness::Verdict::Confirmed);
+}
+
 TEST(WitnessReplay, SafeProgramYieldsNoWitnesses) {
   Fixture f =
       Fixture::lower(corpus::findCurated("paper_fig1_swapped")->source);
