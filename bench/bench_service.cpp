@@ -1,6 +1,10 @@
 // Cold-vs-warm throughput of the analysis service over a seeded corpus:
 // the cold run analyzes every program through the Pipeline, the warm runs
-// answer the identical batch purely from the content-addressed cache.
+// answer the identical batch purely from the content-addressed cache. The
+// restart-recovery section repeats the exercise with a durable --cache-dir:
+// a daemon restarted on the same directory must recover the cache from the
+// checksummed segments and answer the whole batch byte-identically with
+// zero pipeline runs, at least 3x faster than the cold analysis.
 // Verifies the determinism contract (warm responses byte-identical to cold
 // modulo the volatile cached/elapsed_us fields) and emits
 // BENCH_service.json. Exit code 1 on any determinism or speedup failure.
@@ -10,15 +14,19 @@
 //            acceptance criteria)
 //     seed   generator seed (default 20170529)
 //     jobs   batch fan-out threads (default 1)
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "src/analysis/json_report.h"
 #include "src/corpus/generator.h"
+#include "src/service/disk_cache.h"
 #include "src/service/server.h"
 
 namespace {
@@ -138,11 +146,69 @@ int main(int argc, char** argv) {
   std::printf("%-28s %12s\n", "daemon alive after timeout",
               alive_after ? "yes" : "NO");
 
+  // --- Restart recovery: durable disk cache ------------------------------
+  // One daemon analyzes the batch cold and persists every result; a second
+  // daemon constructed on the same --cache-dir must recover the results
+  // from the checksummed segments and answer the identical batch with zero
+  // pipeline runs, byte-identical to the in-memory cold response.
+  std::cout << "=== Restart recovery (durable --cache-dir) ===\n";
+  const std::string cache_dir = "bench_service_cache";
+  cuaf::service::DiskCache(cache_dir).clear();
+  cuaf::service::ServerOptions disk_options = options;
+  disk_options.cache_dir = cache_dir;
+
+  double disk_cold_ms = 0.0;
+  std::string disk_cold;
+  {
+    cuaf::service::Server first(disk_options);
+    auto t3 = std::chrono::steady_clock::now();
+    disk_cold = first.handleLine(request);
+    disk_cold_ms = msSince(t3);
+  }  // destroyed: the restarted daemon below sees only the segment files
+
+  auto t4 = std::chrono::steady_clock::now();
+  auto restarted = std::make_unique<cuaf::service::Server>(disk_options);
+  double recovery_ms = msSince(t4);
+
+  auto t5 = std::chrono::steady_clock::now();
+  std::string disk_warm = restarted->handleLine(request);
+  double disk_warm_ms = msSince(t5);
+
+  bool disk_identical = cuaf::service::stripVolatile(cold) ==
+                            cuaf::service::stripVolatile(disk_warm) &&
+                        cuaf::service::stripVolatile(disk_cold) ==
+                            cuaf::service::stripVolatile(disk_warm);
+  bool disk_fully_cached =
+      disk_warm.find("\"cached\":false") == std::string::npos &&
+      disk_warm.find("\"cached\":true") != std::string::npos;
+  std::string disk_stats = restarted->handleLine("{\"op\":\"stats\",\"id\":4}");
+  bool zero_pipeline_runs =
+      disk_stats.find("\"analyzed\":0") != std::string::npos;
+  double disk_warm_speedup =
+      disk_warm_ms > 0.0 ? disk_cold_ms / disk_warm_ms : 0.0;
+  restarted.reset();
+  cuaf::service::DiskCache(cache_dir).clear();
+  ::rmdir(cache_dir.c_str());
+
+  std::printf("%-28s %12.2f ms  (analyze + persist)\n",
+              "cold batch to disk", disk_cold_ms);
+  std::printf("%-28s %12.2f ms  (segment recovery)\n", "daemon restart",
+              recovery_ms);
+  std::printf("%-28s %12.2f ms  (warm from disk)\n", "restarted warm batch",
+              disk_warm_ms);
+  std::printf("%-28s %11.1fx\n", "disk warm speedup", disk_warm_speedup);
+  std::printf("%-28s %12s\n", "restart byte-identical",
+              disk_identical ? "yes" : "NO");
+  std::printf("%-28s %12s\n", "restart zero pipeline runs",
+              zero_pipeline_runs ? "yes" : "NO");
+
   bool ok = identical && fully_cached && speedup >= 5.0 &&
-            timeout_structured && timeout_fast && alive_after;
+            timeout_structured && timeout_fast && alive_after &&
+            disk_identical && disk_fully_cached && zero_pipeline_runs &&
+            disk_warm_speedup >= 3.0;
 
   std::ofstream json("BENCH_service.json");
-  char buf[768];
+  char buf[1280];
   std::snprintf(buf, sizeof(buf),
                 "{\n  \"bench\": \"service_cold_warm\",\n"
                 "  \"count\": %zu,\n  \"seed\": %llu,\n  \"jobs\": %zu,\n"
@@ -151,17 +217,25 @@ int main(int argc, char** argv) {
                 "  \"warm_fully_cached\": %s,\n"
                 "  \"cache_entries\": %zu,\n  \"cache_bytes\": %zu,\n"
                 "  \"timeout_ms\": %.2f,\n  \"timeout_structured\": %s,\n"
-                "  \"alive_after_timeout\": %s\n}\n",
+                "  \"alive_after_timeout\": %s,\n"
+                "  \"disk_cold_ms\": %.2f,\n  \"recovery_ms\": %.2f,\n"
+                "  \"disk_warm_ms\": %.2f,\n  \"disk_warm_speedup\": %.1f,\n"
+                "  \"disk_byte_identical\": %s,\n"
+                "  \"disk_zero_pipeline_runs\": %s\n}\n",
                 count, static_cast<unsigned long long>(seed), jobs, cold_ms,
                 warm_ms, speedup, identical ? "true" : "false",
                 fully_cached ? "true" : "false", cache.entries, cache.bytes,
                 timeout_ms, timeout_structured ? "true" : "false",
-                alive_after ? "true" : "false");
+                alive_after ? "true" : "false", disk_cold_ms, recovery_ms,
+                disk_warm_ms, disk_warm_speedup,
+                disk_identical ? "true" : "false",
+                zero_pipeline_runs ? "true" : "false");
   json << buf;
   std::cout << "wrote BENCH_service.json\n";
   if (!ok) {
     std::cout << "FAIL: expected byte-identical warm responses, >=5x "
-                 "cold/warm speedup, and a <100 ms structured timeout\n";
+                 "cold/warm speedup, a <100 ms structured timeout, and a "
+                 ">=3x byte-identical zero-pipeline disk-warm restart\n";
   }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,365 @@
+#include "src/service/disk_cache.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/support/hash.h"
+
+namespace cuaf::service {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'U', 'A', 'F', 'S', 'E', 'G', '1'};
+constexpr std::size_t kRecordHeaderBytes = 24;
+
+void put32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t get64le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+/// One fully framed record: header (key, len, header crc, payload crc)
+/// followed by the payload bytes.
+std::string encodeRecord(std::uint64_t key, std::string_view payload) {
+  std::string out;
+  out.reserve(kRecordHeaderBytes + payload.size());
+  put64le(out, key);
+  put32le(out, static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t header_crc =
+      static_cast<std::uint32_t>(fnv1a64(std::string_view(out.data(), 12)));
+  put32le(out, header_crc);
+  put64le(out, fnv1a64(payload));
+  out.append(payload);
+  return out;
+}
+
+bool writeAllFd(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool readWholeFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+std::string segmentName(unsigned index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "cuaf-%06u.seg", index);
+  return name;
+}
+
+/// "cuaf-000042.seg" -> 42; false for anything else.
+bool parseSegmentName(std::string_view name, unsigned& index) {
+  if (name.size() != 15 || name.substr(0, 5) != "cuaf-" ||
+      name.substr(11) != ".seg") {
+    return false;
+  }
+  index = 0;
+  for (char c : name.substr(5, 6)) {
+    if (c < '0' || c > '9') return false;
+    index = index * 10 + static_cast<unsigned>(c - '0');
+  }
+  return true;
+}
+
+void fsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+DiskCache::DiskCache(std::string dir) : dir_(std::move(dir)) {
+  ::mkdir(dir_.c_str(), 0755);  // EEXIST is the common, fine case
+}
+
+DiskCache::~DiskCache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closeAppendLocked();
+}
+
+std::vector<std::string> DiskCache::segmentsLocked() const {
+  std::vector<std::pair<unsigned, std::string>> found;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return {};
+  while (dirent* entry = ::readdir(d)) {
+    unsigned index = 0;
+    if (parseSegmentName(entry->d_name, index)) {
+      found.emplace_back(index, dir_ + "/" + entry->d_name);
+    }
+  }
+  ::closedir(d);
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [index, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+DiskCache::ScanResult DiskCache::scanSegment(
+    const std::string& path,
+    const std::function<bool(std::uint64_t, std::string_view)>& accept) const {
+  ScanResult result;
+  std::string bytes;
+  if (!readWholeFile(path, bytes)) {
+    result.skipped += 1;
+    return result;
+  }
+  if (bytes.size() < sizeof(kMagic) ||
+      std::string_view(bytes).substr(0, sizeof(kMagic)) !=
+          std::string_view(kMagic, sizeof(kMagic))) {
+    // Not one of ours (or the header never made it) — skip the whole file.
+    result.skipped += 1;
+    return result;
+  }
+  std::size_t pos = sizeof(kMagic);
+  while (pos < bytes.size()) {
+    std::size_t remaining = bytes.size() - pos;
+    if (remaining < kRecordHeaderBytes) {
+      // Torn tail: the record header itself is incomplete.
+      result.skipped += 1;
+      break;
+    }
+    const char* header = bytes.data() + pos;
+    std::uint64_t key = get64le(header);
+    std::uint32_t length = get32le(header + 8);
+    std::uint32_t header_crc = get32le(header + 12);
+    std::uint64_t payload_crc = get64le(header + 16);
+    std::uint32_t expect_header_crc =
+        static_cast<std::uint32_t>(fnv1a64(std::string_view(header, 12)));
+    if (header_crc != expect_header_crc || length > kMaxPayloadBytes) {
+      // The length field cannot be trusted, so neither can any later
+      // record boundary in this segment.
+      result.skipped += 1;
+      break;
+    }
+    if (remaining - kRecordHeaderBytes < length) {
+      // Torn payload at the tail (crash mid-append).
+      result.skipped += 1;
+      break;
+    }
+    std::string_view payload(bytes.data() + pos + kRecordHeaderBytes, length);
+    pos += kRecordHeaderBytes + length;
+    if (fnv1a64(payload) != payload_crc) {
+      // Payload damaged in place; the proven-good length still frames the
+      // next record, so keep scanning.
+      result.skipped += 1;
+      continue;
+    }
+    if (accept == nullptr || accept(key, payload)) {
+      result.loaded += 1;
+    } else {
+      result.skipped += 1;
+    }
+  }
+  return result;
+}
+
+void DiskCache::load(
+    const std::function<bool(std::uint64_t, std::string_view)>& accept) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t loaded = 0;
+  for (const std::string& path : segmentsLocked()) {
+    ScanResult scan = scanSegment(path, accept);
+    loaded += scan.loaded;
+    skipped_ += scan.skipped;
+  }
+  loaded_ = loaded;
+}
+
+int DiskCache::createSegmentLocked(unsigned index) {
+  std::string path = dir_ + "/" + segmentName(index);
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return -1;
+  bool ok = writeAllFd(fd, kMagic, sizeof(kMagic)) && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok || ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return -1;
+  }
+  fsyncDir(dir_);
+  int append_fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (append_fd < 0) return -1;
+  append_index_ = index;
+  append_bytes_ = sizeof(kMagic);
+  return append_fd;
+}
+
+bool DiskCache::ensureAppendTargetLocked() {
+  if (append_fd_ >= 0 && append_bytes_ < kSegmentRollBytes) return true;
+  closeAppendLocked();
+  // Resume the highest existing segment when it still has room; otherwise
+  // roll to a fresh one.
+  unsigned next_index = 0;
+  std::vector<std::string> segments = segmentsLocked();
+  if (!segments.empty()) {
+    const std::string& last = segments.back();
+    unsigned last_index = 0;
+    std::string_view name(last);
+    name.remove_prefix(name.find_last_of('/') + 1);
+    (void)parseSegmentName(name, last_index);
+    struct stat st {};
+    if (::stat(last.c_str(), &st) == 0 &&
+        static_cast<std::uint64_t>(st.st_size) < kSegmentRollBytes) {
+      int fd = ::open(last.c_str(), O_WRONLY | O_APPEND);
+      if (fd >= 0) {
+        append_fd_ = fd;
+        append_index_ = last_index;
+        append_bytes_ = static_cast<std::uint64_t>(st.st_size);
+        return true;
+      }
+    }
+    next_index = last_index + 1;
+  }
+  append_fd_ = createSegmentLocked(next_index);
+  return append_fd_ >= 0;
+}
+
+void DiskCache::closeAppendLocked() {
+  if (append_fd_ >= 0) {
+    ::close(append_fd_);
+    append_fd_ = -1;
+  }
+  append_bytes_ = 0;
+}
+
+bool DiskCache::append(std::uint64_t key, std::string_view payload) {
+  if (payload.size() > kMaxPayloadBytes) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ensureAppendTargetLocked()) return false;
+  std::string record = encodeRecord(key, payload);
+  if (!writeAllFd(append_fd_, record.data(), record.size())) {
+    // The segment may now hold a torn record; recovery skips it. Roll to a
+    // fresh segment on the next append rather than appending after a tear.
+    closeAppendLocked();
+    return false;
+  }
+  if (fsync_appends_) (void)::fdatasync(append_fd_);
+  append_bytes_ += record.size();
+  appends_ += 1;
+  return true;
+}
+
+void DiskCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closeAppendLocked();
+  for (const std::string& path : segmentsLocked()) ::unlink(path.c_str());
+  fsyncDir(dir_);
+  loaded_ = 0;
+}
+
+bool DiskCache::fsck(std::string* report) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closeAppendLocked();
+  std::vector<std::string> old_segments = segmentsLocked();
+  std::vector<std::pair<std::uint64_t, std::string>> survivors;
+  std::uint64_t damaged = 0;
+  for (const std::string& path : old_segments) {
+    ScanResult scan = scanSegment(
+        path, [&](std::uint64_t key, std::string_view payload) {
+          survivors.emplace_back(key, std::string(payload));
+          return true;
+        });
+    damaged += scan.skipped;
+  }
+  skipped_ += damaged;
+
+  // Compact every surviving record into segment 0 (tmp + rename + fsync:
+  // an interrupted fsck leaves either the old generation or the new one,
+  // never a half-written mix), then drop the old files.
+  std::string path = dir_ + "/" + segmentName(0);
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  bool ok = writeAllFd(fd, kMagic, sizeof(kMagic));
+  for (const auto& [key, payload] : survivors) {
+    if (!ok) break;
+    std::string record = encodeRecord(key, payload);
+    ok = writeAllFd(fd, record.data(), record.size());
+  }
+  ok = ok && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok || ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  fsyncDir(dir_);
+  for (const std::string& old : old_segments) {
+    if (old != path) ::unlink(old.c_str());
+  }
+  fsyncDir(dir_);
+  loaded_ = survivors.size();
+  if (report != nullptr) {
+    *report = "fsck: " + std::to_string(survivors.size()) +
+              " record(s) kept, " + std::to_string(damaged) +
+              " skipped, compacted " + std::to_string(old_segments.size()) +
+              " segment(s) into 1";
+  }
+  return true;
+}
+
+DiskCache::Stats DiskCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.records_loaded = loaded_;
+  stats.records_skipped = skipped_;
+  stats.appends = appends_;
+  for (const std::string& path : segmentsLocked()) {
+    struct stat st {};
+    if (::stat(path.c_str(), &st) == 0) {
+      stats.segments += 1;
+      stats.bytes += static_cast<std::uint64_t>(st.st_size);
+    }
+  }
+  return stats;
+}
+
+}  // namespace cuaf::service

@@ -1,0 +1,130 @@
+// Durable, checksummed, append-only result cache for the analysis service.
+//
+// Layout: a directory of segment files named "cuaf-%06u.seg". Each segment
+// starts with an 8-byte magic ("CUAFSEG1") followed by a stream of records:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//        0     8  cache key, little-endian (analysisCacheKey)
+//        8     4  payload length, little-endian
+//       12     4  header checksum: low 32 bits of fnv1a64 over the
+//                 12 key+length bytes above
+//       16     8  payload checksum: fnv1a64 over the payload bytes
+//       24   len  payload (AnalysisSnapshot::serialize() output)
+//
+// Durability strategy:
+//   * new segments are created as tmp files, header written, fsync'd, then
+//     rename()d into place and the directory fsync'd — a crash during
+//     creation leaves no half-named segment;
+//   * records are appended with O_APPEND (one write() per record) and, by
+//     default, fdatasync'd — a record either fully reaches the stream or
+//     is a torn tail;
+//   * recovery (load) walks every segment and skips damage instead of
+//     failing: a bad magic skips the whole segment; a torn or
+//     checksum-corrupt header ends that segment (everything after an
+//     unreliable length field is unframed bytes); a payload checksum
+//     mismatch skips just that record and keeps scanning — the length
+//     field was proven good by the header checksum, so the next record
+//     boundary is still known. Every skip is counted, never silently
+//     dropped.
+//
+// fsck() performs that same walk explicitly, then compacts all surviving
+// records into a single fresh segment (tmp + rename + fsync) and deletes
+// the old generation — the repair tool behind `chpl-uaf-serve --fsck`.
+//
+// The class is an on-disk ledger, not an index: lookup goes through the
+// in-memory ResultCache, which load() repopulates at daemon startup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cuaf::service {
+
+class DiskCache {
+ public:
+  struct Stats {
+    std::uint64_t records_loaded = 0;   ///< accepted by the last load()/fsck()
+    std::uint64_t records_skipped = 0;  ///< damaged or rejected, ever
+    std::uint64_t appends = 0;          ///< records appended this process
+    std::uint64_t segments = 0;         ///< live segment files
+    std::uint64_t bytes = 0;            ///< total live segment bytes
+  };
+
+  /// Records larger than this are rejected as corrupt during recovery —
+  /// a sanity bound against a damaged-but-checksummed length field.
+  static constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
+  /// Append target rolls to a fresh segment past this size.
+  static constexpr std::uint64_t kSegmentRollBytes = 64ull << 20;
+
+  /// `dir` is created if missing. No I/O beyond that until load()/append().
+  explicit DiskCache(std::string dir);
+
+  DiskCache(const DiskCache&) = delete;
+  DiskCache& operator=(const DiskCache&) = delete;
+  ~DiskCache();
+
+  /// Replays every record in every segment in segment order. `accept` is
+  /// called per structurally-valid record and returns whether the payload
+  /// deserialized into something usable; rejects count as skipped. Safe on
+  /// a missing or empty directory (loads nothing).
+  void load(
+      const std::function<bool(std::uint64_t key, std::string_view payload)>&
+          accept);
+
+  /// Appends one record durably. False on I/O failure (the in-memory cache
+  /// still works; durability is best-effort by design).
+  bool append(std::uint64_t key, std::string_view payload);
+
+  /// Deletes every segment (the disk side of `cache_clear`).
+  void clear();
+
+  /// Verify-and-compact: replays all segments counting damage, writes the
+  /// surviving records into one fresh segment, removes the old files.
+  /// Returns false when the compacted generation could not be written.
+  bool fsck(std::string* report = nullptr);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Whether append() fdatasync's each record (default true; benches may
+  /// disable it to measure the pure append path).
+  void setFsyncAppends(bool on) { fsync_appends_ = on; }
+
+ private:
+  struct ScanResult {
+    std::uint64_t loaded = 0;
+    std::uint64_t skipped = 0;
+  };
+
+  /// Sorted live segment paths.
+  std::vector<std::string> segmentsLocked() const;
+  /// Replays one segment; see the recovery rules above.
+  ScanResult scanSegment(
+      const std::string& path,
+      const std::function<bool(std::uint64_t, std::string_view)>& accept)
+      const;
+  /// Creates segment `index` via tmp+rename+fsync; returns an O_APPEND fd
+  /// or -1.
+  int createSegmentLocked(unsigned index);
+  /// Ensures append_fd_ targets a segment under the roll threshold.
+  bool ensureAppendTargetLocked();
+  void closeAppendLocked();
+
+  std::string dir_;
+  bool fsync_appends_ = true;
+  mutable std::mutex mutex_;
+  int append_fd_ = -1;
+  unsigned append_index_ = 0;      ///< index of the segment append_fd_ targets
+  std::uint64_t append_bytes_ = 0; ///< current size of that segment
+  std::uint64_t loaded_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::uint64_t appends_ = 0;
+};
+
+}  // namespace cuaf::service

@@ -491,6 +491,14 @@ std::variant<Request, ProtocolError> parseRequest(std::string_view line,
     request.op = Op::CacheClear;
     return request;
   }
+  if (op->string == "quarantine_list") {
+    request.op = Op::QuarantineList;
+    return request;
+  }
+  if (op->string == "quarantine_clear") {
+    request.op = Op::QuarantineClear;
+    return request;
+  }
   if (op->string == "shutdown") {
     request.op = Op::Shutdown;
     return request;
@@ -603,7 +611,34 @@ std::string renderStatsResponse(std::int64_t id,
   out += ",\"jobs\":" + std::to_string(counters.jobs);
   out += ",\"timeouts\":" + std::to_string(counters.timeouts);
   out += ",\"overloaded\":" + std::to_string(counters.overloaded);
+  out += ",\"workers\":" + std::to_string(counters.workers);
+  out += ",\"worker_crashes\":" + std::to_string(counters.worker_crashes);
+  out += ",\"workers_restarted\":" +
+         std::to_string(counters.workers_restarted);
+  out += ",\"quarantined\":" + std::to_string(counters.quarantined);
+  out += ",\"quarantine_entries\":" +
+         std::to_string(counters.quarantine_entries);
+  out += ",\"disk_records_loaded\":" +
+         std::to_string(counters.disk_records_loaded);
+  out += ",\"disk_records_skipped\":" +
+         std::to_string(counters.disk_records_skipped);
+  out += ",\"disk_appends\":" + std::to_string(counters.disk_appends);
   out += "}}";
+  return out;
+}
+
+std::string renderQuarantineListResponse(
+    std::int64_t id,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& entries) {
+  std::string out = responseHead(id, "quarantine_list");
+  out += ",\"count\":" + std::to_string(entries.size());
+  out += ",\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"key\":\"" + formatCacheKey(entries[i].first) +
+           "\",\"crashes\":" + std::to_string(entries[i].second) + "}";
+  }
+  out += "]}";
   return out;
 }
 

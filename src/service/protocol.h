@@ -11,7 +11,9 @@
 //   {"op":"explain","id":3,"key":"<16-hex cache key>","warning":0}
 //   {"op":"stats","id":4}
 //   {"op":"cache_clear","id":5}
-//   {"op":"shutdown","id":6}
+//   {"op":"quarantine_list","id":6}
+//   {"op":"quarantine_clear","id":7}
+//   {"op":"shutdown","id":8}
 //
 // `explain` looks up a cached analysis by the "key" echoed in analyze
 // results and returns the stored witness for one warning index ("warning"
@@ -32,6 +34,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -67,7 +70,16 @@ struct JsonValue {
 // ---------------------------------------------------------------------------
 // Requests.
 
-enum class Op { Analyze, AnalyzeBatch, Explain, Stats, CacheClear, Shutdown };
+enum class Op {
+  Analyze,
+  AnalyzeBatch,
+  Explain,
+  Stats,
+  CacheClear,
+  QuarantineList,
+  QuarantineClear,
+  Shutdown,
+};
 
 struct SourceItem {
   std::string name;
@@ -94,6 +106,7 @@ struct ProtocolError {
   std::string code;     ///< parse_error | invalid_request | oversized_request
                         ///< | unknown_op | unknown_key | witness_unavailable
                         ///< | timeout | cancelled | overloaded | internal_error
+                        ///< | worker_crashed | quarantined
   std::string message;
   std::int64_t id = 0;  ///< echoed when the request id was recoverable
 };
@@ -140,6 +153,17 @@ struct CacheCounters {
   std::uint64_t jobs = 0;      ///< configured worker count
   std::uint64_t timeouts = 0;    ///< items stopped by deadline/cancellation
   std::uint64_t overloaded = 0;  ///< requests rejected by admission control
+  // Crash containment (zero unless the server runs process-isolated
+  // workers; docs/SERVICE.md "Crash containment & durability").
+  std::uint64_t workers = 0;            ///< configured worker processes
+  std::uint64_t worker_crashes = 0;     ///< worker deaths blamed on an input
+  std::uint64_t workers_restarted = 0;  ///< respawns after a worker death
+  std::uint64_t quarantined = 0;        ///< items answered `quarantined`
+  std::uint64_t quarantine_entries = 0; ///< inputs currently quarantined
+  // Durable disk cache (zero unless --cache-dir is configured).
+  std::uint64_t disk_records_loaded = 0;   ///< records recovered at startup
+  std::uint64_t disk_records_skipped = 0;  ///< damaged records skipped
+  std::uint64_t disk_appends = 0;          ///< records appended this run
 };
 
 [[nodiscard]] std::string renderAnalyzeResponse(std::int64_t id,
@@ -157,6 +181,10 @@ struct CacheCounters {
                                                 std::uint64_t key,
                                                 std::uint64_t warning_index,
                                                 const std::string& witness_json);
+/// `entries` are (cache key, crash count) pairs, already sorted by key.
+[[nodiscard]] std::string renderQuarantineListResponse(
+    std::int64_t id,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& entries);
 [[nodiscard]] std::string renderErrorResponse(const ProtocolError& error);
 
 /// Removes the volatile "cached" and "elapsed_us" fields from a rendered

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/analysis/json_report.h"
 #include "src/support/failpoint.h"
 
 namespace cuaf::service {
@@ -31,13 +32,152 @@ std::uint64_t elapsedUs(std::chrono::steady_clock::time_point start) {
 Server::Server(ServerOptions options)
     : options_(options),
       cache_(options.cache_budget_bytes),
-      pool_(std::make_unique<ThreadPool>(
-          ThreadPool::workersForJobs(options.jobs))) {}
+      quarantine_(options.quarantine_after) {
+  if (!options_.cache_dir.empty()) {
+    // Recover the durable cache into memory before anything is served: a
+    // restarted daemon answers warm from disk with zero Pipeline runs.
+    disk_ = std::make_unique<DiskCache>(options_.cache_dir);
+    disk_->load([&](std::uint64_t key, std::string_view payload) {
+      if (!AnalysisSnapshot::deserialize(payload)) return false;
+      cache_.insert(key, std::string(payload));
+      return true;
+    });
+  }
+  if (options_.workers > 0) {
+    // Forked before the thread pool exists, while the process is still
+    // single-threaded (the cheapest point to fork from).
+    SupervisorOptions sup;
+    sup.workers = static_cast<unsigned>(options_.workers);
+    sup.grace_ms = options_.worker_grace_ms;
+    supervisor_ = std::make_unique<Supervisor>(sup);
+  }
+  pool_ = std::make_unique<ThreadPool>(
+      ThreadPool::workersForJobs(options_.jobs));
+}
 
 Server::~Server() = default;
 
+void Server::storeSnapshot(std::uint64_t key, std::string payload) {
+  if (disk_ != nullptr) (void)disk_->append(key, payload);
+  cache_.insert(key, std::move(payload));
+}
+
+namespace {
+
+/// Builds the single-item NDJSON analyze document shipped to a worker —
+/// the exact public-protocol grammar, so the worker reuses parseRequest.
+/// All option booleans are emitted explicitly; defaults round-trip.
+std::string renderWorkerRequest(const SourceItem& item, const Request& request,
+                                bool has_deadline,
+                                std::uint64_t remaining_ms) {
+  const AnalysisOptions& o = request.options;
+  auto flag = [](bool b) { return b ? "true" : "false"; };
+  std::string out = "{\"op\":\"analyze\",\"id\":0";
+  out += ",\"name\":\"" + jsonEscape(item.name) + "\"";
+  out += ",\"source\":\"" + jsonEscape(item.source) + "\"";
+  out += ",\"options\":{";
+  out += std::string("\"prune\":") + flag(o.build.prune);
+  out += std::string(",\"merge\":") + flag(o.pps.merge_equivalent);
+  out += std::string(",\"deadlocks\":") + flag(o.pps.report_deadlocks);
+  out += std::string(",\"model_atomics\":") + flag(o.build.model_atomics);
+  out += std::string(",\"unroll_loops\":") + flag(o.build.unroll_loops);
+  out += std::string(",\"witness\":") + flag(o.witness.enabled);
+  out += std::string(",\"witness_replay\":") + flag(o.witness.replay);
+  out += "}";
+  if (has_deadline) {
+    out += ",\"deadline_ms\":" + std::to_string(remaining_ms);
+  }
+  if (!request.failpoints.empty()) {
+    out += ",\"failpoints\":\"" + jsonEscape(request.failpoints) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Splits a worker "error\n<code>\n<analyzed>\n<message>" result payload.
+bool parseWorkerError(std::string_view payload, std::string& code,
+                      bool& analyzed, std::string& message) {
+  std::size_t first = payload.find('\n');
+  if (first == std::string_view::npos) return false;
+  std::size_t second = payload.find('\n', first + 1);
+  if (second == std::string_view::npos) return false;
+  code = std::string(payload.substr(0, first));
+  std::string_view ran = payload.substr(first + 1, second - first - 1);
+  if (ran != "0" && ran != "1") return false;
+  analyzed = ran == "1";
+  message = std::string(payload.substr(second + 1));
+  return true;
+}
+
+}  // namespace
+
+ItemResult Server::dispatchToWorker(const SourceItem& item, ItemResult result,
+                                    const Request& request,
+                                    std::chrono::steady_clock::time_point
+                                        start) {
+  // Remaining budget at dispatch time: batch items share one absolute
+  // expiry, exactly like the in-process path's shared Deadline.
+  std::uint64_t remaining_ms = 0;
+  if (request.has_deadline) {
+    std::uint64_t elapsed_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    remaining_ms =
+        elapsed_ms < request.deadline_ms ? request.deadline_ms - elapsed_ms : 0;
+  }
+  WorkerOutcome outcome = supervisor_->analyze(
+      renderWorkerRequest(item, request, request.has_deadline, remaining_ms),
+      request.has_deadline, remaining_ms);
+  if (outcome.crashed) {
+    std::uint64_t crash_count = quarantine_.recordCrash(result.key);
+    worker_crashes_.fetch_add(1, std::memory_order_relaxed);
+    result.error_code = "worker_crashed";
+    result.error_message =
+        "worker crashed during " +
+        (outcome.phase.empty() ? std::string("startup") : outcome.phase) +
+        ": " + outcome.crash_detail + "; crash " +
+        std::to_string(crash_count) + " for this input";
+    return result;
+  }
+  std::string_view payload = outcome.result_payload;
+  constexpr std::string_view kSnapshotTag = "snapshot\n";
+  constexpr std::string_view kErrorTag = "error\n";
+  if (payload.substr(0, kSnapshotTag.size()) == kSnapshotTag) {
+    std::optional<AnalysisSnapshot> snap =
+        AnalysisSnapshot::deserialize(payload.substr(kSnapshotTag.size()));
+    if (snap) {
+      analyzed_.fetch_add(1, std::memory_order_relaxed);
+      result.snapshot = std::move(*snap);
+      storeSnapshot(result.key, result.snapshot.serialize());
+      return result;
+    }
+  } else if (payload.substr(0, kErrorTag.size()) == kErrorTag) {
+    std::string code;
+    std::string message;
+    bool ran = false;
+    if (parseWorkerError(payload.substr(kErrorTag.size()), code, ran,
+                         message)) {
+      // Mirror the in-process counter semantics: `analyzed` counts pipeline
+      // runs including deadline-stopped ones; exceptions do not count.
+      if (ran) analyzed_.fetch_add(1, std::memory_order_relaxed);
+      if (code == "timeout" || code == "cancelled") {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      result.error_code = std::move(code);
+      result.error_message = std::move(message);
+      return result;
+    }
+  }
+  result.error_code = "internal_error";
+  result.error_message = "worker returned an unparseable result payload";
+  return result;
+}
+
 ItemResult Server::analyzeItem(const SourceItem& item,
-                               const AnalysisOptions& options) {
+                               const AnalysisOptions& options,
+                               const Request& request,
+                               std::chrono::steady_clock::time_point start) {
   ItemResult result;
   result.name = item.name;
   // The deadline is excluded from the fingerprint, so a warm hit is served
@@ -47,11 +187,25 @@ ItemResult Server::analyzeItem(const SourceItem& item,
   if (std::optional<std::string> payload = cache_.lookup(key)) {
     if (std::optional<AnalysisSnapshot> snap =
             AnalysisSnapshot::deserialize(*payload)) {
+      // Warm hits are served even for quarantined inputs: the cache proves
+      // the input once analyzed cleanly, and answering costs no fork.
       result.cached = true;
       result.snapshot = std::move(*snap);
       return result;
     }
     // Corrupt payload: fall through and overwrite it with a fresh analysis.
+  }
+  if (supervisor_ != nullptr) {
+    if (quarantine_.contains(key)) {
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+      result.error_code = "quarantined";
+      result.error_message =
+          "input repeatedly crashed analysis workers and is quarantined "
+          "(key " +
+          formatCacheKey(key) + "); use quarantine_clear to retry";
+      return result;
+    }
+    return dispatchToWorker(item, std::move(result), request, start);
   }
   try {
     result.snapshot = analyzeToSnapshot(item.name, item.source, options);
@@ -74,7 +228,7 @@ ItemResult Server::analyzeItem(const SourceItem& item,
     timeouts_.fetch_add(1, std::memory_order_relaxed);
     return result;
   }
-  cache_.insert(key, result.snapshot.serialize());
+  storeSnapshot(key, result.snapshot.serialize());
   return result;
 }
 
@@ -115,7 +269,7 @@ std::string Server::handleAnalyze(const Request& request) {
   auto start = std::chrono::steady_clock::now();
   if (!admit(1)) return renderOverloaded(request, options_.max_queued_items);
   ItemResult result = analyzeItem(request.items.front(),
-                                  effectiveOptions(request));
+                                  effectiveOptions(request), request, start);
   release(1);
   if (result.failed()) {
     // Single-item requests surface the failure as the top-level error (the
@@ -137,7 +291,7 @@ std::string Server::handleBatch(const Request& request) {
   AnalysisOptions options = effectiveOptions(request);
   std::vector<ItemResult> results(request.items.size());
   pool_->parallelFor(request.items.size(), [&](std::size_t i) {
-    results[i] = analyzeItem(request.items[i], options);
+    results[i] = analyzeItem(request.items[i], options, request, start);
   });
   release(request.items.size());
   return renderBatchResponse(request.id, results, elapsedUs(start));
@@ -192,6 +346,19 @@ std::string Server::handleStats(const Request& request) {
   counters.timeouts = timeouts_.load(std::memory_order_relaxed);
   counters.overloaded = overloaded_.load(std::memory_order_relaxed);
   counters.jobs = options_.jobs;
+  if (supervisor_ != nullptr) {
+    counters.workers = supervisor_->workers();
+    counters.workers_restarted = supervisor_->counters().restarts;
+  }
+  counters.worker_crashes = worker_crashes_.load(std::memory_order_relaxed);
+  counters.quarantined = quarantined_.load(std::memory_order_relaxed);
+  counters.quarantine_entries = quarantine_.entries();
+  if (disk_ != nullptr) {
+    DiskCache::Stats disk_stats = disk_->stats();
+    counters.disk_records_loaded = disk_stats.records_loaded;
+    counters.disk_records_skipped = disk_stats.records_skipped;
+    counters.disk_appends = disk_stats.appends;
+  }
   return renderStatsResponse(request.id, counters);
 }
 
@@ -228,7 +395,13 @@ std::string Server::handleLine(std::string_view line) {
         return handleStats(request);
       case Op::CacheClear:
         cache_.clear();
+        if (disk_ != nullptr) disk_->clear();
         return renderAckResponse(request.id, "cache_clear");
+      case Op::QuarantineList:
+        return renderQuarantineListResponse(request.id, quarantine_.list());
+      case Op::QuarantineClear:
+        quarantine_.clear();
+        return renderAckResponse(request.id, "quarantine_clear");
       case Op::Shutdown:
         shutdown_ = true;
         return renderAckResponse(request.id, "shutdown");

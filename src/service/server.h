@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -17,7 +18,9 @@
 #include <string_view>
 
 #include "src/service/cache.h"
+#include "src/service/disk_cache.h"
 #include "src/service/protocol.h"
+#include "src/service/supervisor.h"
 #include "src/support/thread_pool.h"
 
 namespace cuaf::service {
@@ -34,6 +37,22 @@ struct ServerOptions {
   /// rejected whole with an "overloaded" error instead of queueing without
   /// bound.
   std::size_t max_queued_items = 256;
+  /// Process-isolated worker pool size; 0 (the default) analyzes in-process.
+  /// With workers, a crashing or hung analysis kills only a forked worker:
+  /// the daemon reports a structured "worker_crashed" error and keeps
+  /// serving (src/service/supervisor.h).
+  std::size_t workers = 0;
+  /// Worker crashes one input may cause before it is quarantined — further
+  /// requests for it are answered instantly with a "quarantined" error, no
+  /// worker forked. Only meaningful with workers > 0.
+  std::uint64_t quarantine_after = 2;
+  /// Extra wait past a request deadline before a silent worker is presumed
+  /// hung and SIGKILLed.
+  std::uint64_t worker_grace_ms = 2000;
+  /// Durable result-cache directory (src/service/disk_cache.h). Completed
+  /// analyses are appended there and recovered into the in-memory cache at
+  /// construction; empty disables persistence.
+  std::string cache_dir;
 };
 
 class Server {
@@ -68,6 +87,13 @@ class Server {
 
   [[nodiscard]] const ResultCache& cache() const { return cache_; }
 
+  /// Non-null when workers are configured. Crash tests use alivePids() to
+  /// SIGKILL real workers from outside.
+  [[nodiscard]] Supervisor* supervisor() { return supervisor_.get(); }
+
+  /// Non-null when cache_dir is configured.
+  [[nodiscard]] DiskCache* diskCache() { return disk_.get(); }
+
  private:
   [[nodiscard]] std::string handleAnalyze(const Request& request);
   [[nodiscard]] std::string handleBatch(const Request& request);
@@ -76,10 +102,22 @@ class Server {
   /// Analyzes one item through the cache; snapshot render is shared by the
   /// single and batch paths. Never throws: analysis faults become item
   /// errors. Items that hit the deadline are reported but never cached.
-  [[nodiscard]] ItemResult analyzeItem(const SourceItem& item,
-                                       const AnalysisOptions& options);
+  /// `request`/`start` carry the deadline budget and failpoint spec to the
+  /// worker dispatch path (batch items share one absolute expiry).
+  [[nodiscard]] ItemResult analyzeItem(
+      const SourceItem& item, const AnalysisOptions& options,
+      const Request& request, std::chrono::steady_clock::time_point start);
+  /// Dispatches one cache-missed item to a forked worker and converts the
+  /// outcome — snapshot, structured error, or worker death — to an
+  /// ItemResult. Only called when workers are configured.
+  [[nodiscard]] ItemResult dispatchToWorker(
+      const SourceItem& item, ItemResult result, const Request& request,
+      std::chrono::steady_clock::time_point start);
   /// Builds the per-request effective options (deadline applied).
   [[nodiscard]] static AnalysisOptions effectiveOptions(const Request& request);
+  /// Inserts a completed snapshot payload into the in-memory cache and,
+  /// when configured, the durable disk cache.
+  void storeSnapshot(std::uint64_t key, std::string payload);
   /// Reserves `items` admission slots; false (and ++overloaded_) when the
   /// bound would be exceeded.
   [[nodiscard]] bool admit(std::size_t items);
@@ -87,11 +125,18 @@ class Server {
 
   ServerOptions options_;
   ResultCache cache_;
+  Quarantine quarantine_;
+  std::unique_ptr<DiskCache> disk_;  ///< null unless cache_dir configured
+  /// Constructed before pool_ (and its threads) so the first worker forks
+  /// happen while the process is still single-threaded.
+  std::unique_ptr<Supervisor> supervisor_;  ///< null unless workers > 0
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> analyzed_{0};  ///< pipeline runs (cache misses)
   std::atomic<std::uint64_t> timeouts_{0};  ///< items stopped by deadline
   std::atomic<std::uint64_t> overloaded_{0};
+  std::atomic<std::uint64_t> worker_crashes_{0};  ///< input-blamed deaths
+  std::atomic<std::uint64_t> quarantined_{0};     ///< items answered as such
   std::atomic<std::size_t> in_flight_items_{0};
   std::atomic<bool> shutdown_{false};
 };

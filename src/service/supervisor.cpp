@@ -1,0 +1,346 @@
+#include "src/service/supervisor.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <thread>
+
+#include "src/service/worker.h"
+
+namespace cuaf::service {
+
+namespace {
+
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+std::string describeStatus(int status) {
+  if (WIFSIGNALED(status)) {
+    int sig = WTERMSIG(status);
+    const char* name = strsignal(sig);
+    return "signal " + std::to_string(sig) + " (" +
+           (name != nullptr ? name : "?") + ")";
+  }
+  if (WIFEXITED(status)) {
+    return "exit status " + std::to_string(WEXITSTATUS(status));
+  }
+  return "wait status " + std::to_string(status);
+}
+
+}  // namespace
+
+Supervisor::Supervisor(const SupervisorOptions& options) : options_(options) {
+  if (options_.workers == 0) options_.workers = 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  workers_.resize(options_.workers);
+  for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+    (void)spawnLocked(slot, /*is_restart=*/false);
+  }
+}
+
+Supervisor::~Supervisor() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Worker& w : workers_) destroyLocked(w);
+}
+
+bool Supervisor::spawnLocked(std::size_t slot, bool is_restart) {
+  Worker& w = workers_[slot];
+  int to_child[2];
+  int from_child[2];
+  if (::pipe(to_child) != 0) return false;
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return false;
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    return false;
+  }
+  if (pid == 0) {
+    // Child. Drop every other worker's inherited pipe ends — if this child
+    // kept a sibling's write end open, the parent would never see EOF when
+    // that sibling dies. Then become the worker; _exit() so the parent's
+    // stdio buffers are not flushed a second time.
+    for (const Worker& other : workers_) {
+      if (other.to_child >= 0) ::close(other.to_child);
+      if (other.from_child >= 0) ::close(other.from_child);
+    }
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::_exit(workerMain(to_child[0], from_child[1]));
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  w.pid = pid;
+  w.to_child = to_child[1];
+  w.from_child = from_child[0];
+  counters_.forks += 1;
+  if (is_restart) counters_.restarts += 1;
+  return true;
+}
+
+void Supervisor::destroyLocked(Worker& w) {
+  if (w.pid > 0) {
+    ::kill(w.pid, SIGKILL);
+    int status = 0;
+    (void)::waitpid(w.pid, &status, 0);
+  }
+  if (w.to_child >= 0) ::close(w.to_child);
+  if (w.from_child >= 0) ::close(w.from_child);
+  w.pid = -1;
+  w.to_child = -1;
+  w.from_child = -1;
+}
+
+std::size_t Supervisor::checkoutSlot() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::size_t slot = kNoSlot;
+  for (;;) {
+    // Prefer an idle slot that already has a live worker; fall back to a
+    // dead slot (which we will respawn below, possibly after its backoff
+    // gate).
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (!workers_[i].busy && workers_[i].pid > 0) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == kNoSlot) {
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        if (!workers_[i].busy) {
+          slot = i;
+          break;
+        }
+      }
+    }
+    if (slot != kNoSlot) break;
+    slot_free_.wait(lock);
+  }
+  Worker& w = workers_[slot];
+  w.busy = true;
+  if (w.pid > 0) {
+    // Liveness probe: a worker that died idle (external SIGKILL between
+    // requests) is reaped here and replaced before it sees the request.
+    int status = 0;
+    if (::waitpid(w.pid, &status, WNOHANG) == w.pid) {
+      if (w.to_child >= 0) ::close(w.to_child);
+      if (w.from_child >= 0) ::close(w.from_child);
+      w.pid = -1;
+      w.to_child = -1;
+      w.from_child = -1;
+    }
+  }
+  if (w.pid <= 0) {
+    auto gate = w.ready_at;
+    if (gate > std::chrono::steady_clock::now()) {
+      // Backoff: the slot is ours (busy), so sleeping without the lock
+      // blocks only this request, not the pool.
+      lock.unlock();
+      std::this_thread::sleep_until(gate);
+      lock.lock();
+    }
+    (void)spawnLocked(slot, /*is_restart=*/true);
+  }
+  return slot;
+}
+
+std::string Supervisor::handleDeath(std::size_t slot, bool input_fault) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Worker& w = workers_[slot];
+  std::string detail = "worker unavailable";
+  if (w.pid > 0) {
+    ::kill(w.pid, SIGKILL);
+    int status = 0;
+    pid_t reaped = ::waitpid(w.pid, &status, 0);
+    detail = reaped == w.pid ? describeStatus(status) : "waitpid failed";
+  }
+  if (w.to_child >= 0) ::close(w.to_child);
+  if (w.from_child >= 0) ::close(w.from_child);
+  w.pid = -1;
+  w.to_child = -1;
+  w.from_child = -1;
+
+  std::uint64_t backoff = options_.backoff_initial_ms;
+  if (input_fault) {
+    counters_.crashes += 1;
+    w.crash_streak += 1;
+    for (std::uint64_t i = 1;
+         i < w.crash_streak && backoff < options_.backoff_max_ms; ++i) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, options_.backoff_max_ms);
+  }
+  w.ready_at =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(backoff);
+  // Respawn eagerly while the streak is short so the pool stays warm; a
+  // slot that keeps dying waits out its backoff gate at next checkout.
+  if (!input_fault || w.crash_streak < 3) {
+    (void)spawnLocked(slot, /*is_restart=*/true);
+  }
+  return detail;
+}
+
+WorkerOutcome Supervisor::analyze(const std::string& request_json,
+                                  bool has_deadline,
+                                  std::uint64_t deadline_ms) {
+  WorkerOutcome outcome;
+  std::size_t slot = checkoutSlot();
+  bool got_result = false;
+
+  // One silent retry: a write failure means the worker died *before*
+  // reading the request (external kill between requests), which is not the
+  // input's fault.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    pid_t pid = -1;
+    int to_child = -1;
+    int from_child = -1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      Worker& w = workers_[slot];
+      pid = w.pid;
+      to_child = w.to_child;
+      from_child = w.from_child;
+    }
+    if (pid <= 0) {
+      outcome.crashed = true;
+      outcome.crash_detail = "fork failed";
+      break;
+    }
+    if (!writeFrame(to_child, FrameKind::Request, request_json)) {
+      std::string detail = handleDeath(slot, /*input_fault=*/false);
+      if (attempt == 0) continue;
+      outcome.crashed = true;
+      outcome.crash_detail = "request write failed twice (" + detail + ")";
+      break;
+    }
+
+    auto hang_cutoff = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(deadline_ms +
+                                                 options_.grace_ms);
+    Frame frame;
+    for (;;) {
+      if (has_deadline) {
+        auto now = std::chrono::steady_clock::now();
+        long remaining =
+            now >= hang_cutoff
+                ? 0
+                : static_cast<long>(
+                      std::chrono::duration_cast<std::chrono::milliseconds>(
+                          hang_cutoff - now)
+                          .count()) +
+                      1;
+        struct pollfd pfd {
+          from_child, POLLIN, 0
+        };
+        int ready = remaining > 0
+                        ? ::poll(&pfd, 1,
+                                 static_cast<int>(std::min<long>(
+                                     remaining, 1000L * 60L * 60L)))
+                        : 0;
+        if (ready < 0 && errno == EINTR) continue;
+        if (ready == 0) {
+          // No frame within deadline + grace: the worker has defeated
+          // cooperative cancellation. SIGKILL and report.
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            counters_.hung_kills += 1;
+          }
+          (void)handleDeath(slot, /*input_fault=*/true);
+          outcome.crashed = true;
+          outcome.crash_detail = "hung past deadline grace (SIGKILL)";
+          break;
+        }
+      }
+      if (!readFrame(from_child, frame)) {
+        outcome.crashed = true;
+        outcome.crash_detail = handleDeath(slot, /*input_fault=*/true);
+        break;
+      }
+      if (frame.kind == FrameKind::Phase) {
+        outcome.phase = frame.payload;
+        continue;
+      }
+      if (frame.kind == FrameKind::Result) {
+        outcome.result_payload = std::move(frame.payload);
+        got_result = true;
+        break;
+      }
+      // A 'Q' frame from a worker is protocol corruption: contain it the
+      // same way as a crash.
+      outcome.crashed = true;
+      outcome.crash_detail =
+          "protocol corruption (" + handleDeath(slot, true) + ")";
+      break;
+    }
+    break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Worker& w = workers_[slot];
+    w.busy = false;
+    if (got_result) w.crash_streak = 0;
+  }
+  slot_free_.notify_one();
+  return outcome;
+}
+
+Supervisor::Counters Supervisor::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::vector<pid_t> Supervisor::alivePids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<pid_t> pids;
+  for (const Worker& w : workers_) {
+    if (w.pid > 0) pids.push_back(w.pid);
+  }
+  return pids;
+}
+
+std::uint64_t Quarantine::recordCrash(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ++crashes_[key];
+}
+
+bool Quarantine::contains(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = crashes_.find(key);
+  return it != crashes_.end() && it->second >= threshold_;
+}
+
+std::uint64_t Quarantine::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& [key, count] : crashes_) {
+    if (count >= threshold_) ++n;
+  }
+  return n;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Quarantine::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const auto& [key, count] : crashes_) {
+    if (count >= threshold_) out.emplace_back(key, count);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Quarantine::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashes_.clear();
+}
+
+}  // namespace cuaf::service

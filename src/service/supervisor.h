@@ -1,0 +1,151 @@
+// Worker-pool supervision for the analysis service: forks process-isolated
+// analysis workers (src/service/worker.h), ships requests over pipes, and
+// contains every form of worker death — crash (signal), unexpected exit,
+// and hang past the deadline grace window — as a structured outcome the
+// daemon reports without ever dying itself.
+//
+// Lifecycle per worker slot:
+//   * spawned eagerly at construction (fork + pipe pair, child enters
+//     workerMain and leaves via _exit);
+//   * checked out exclusively per request (mutex + condvar), probed for
+//     liveness with waitpid(WNOHANG) at checkout;
+//   * on death: reaped, the death is attributed to the input that was
+//     in flight (signal name + last streamed phase), and the slot is
+//     respawned — immediately while the slot's consecutive-crash streak is
+//     short, otherwise after an exponential backoff so a crash storm cannot
+//     turn the daemon into a fork bomb;
+//   * a write failure *before* the worker read the request means the worker
+//     died between requests (e.g. an external SIGKILL) — that death is not
+//     the input's fault: the supervisor respawns and retries once.
+//
+// Hung workers: a worker that stops responding (failpoint action `hang`, a
+// livelock, ...) is SIGKILLed once the request deadline plus `grace_ms`
+// passes, and reported as crashed with detail "hung". Requests without a
+// deadline wait indefinitely — cooperative cancellation needs a budget to
+// enforce.
+//
+// The Quarantine tracks crash counts per analysis cache key: once an input
+// has killed workers `threshold` times it is answered instantly with a
+// structured `quarantined` error and never forked for again (until
+// `quarantine_clear`).
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cuaf::service {
+
+struct SupervisorOptions {
+  unsigned workers = 1;
+  /// Extra wait past the request deadline before a silent worker is
+  /// presumed hung and SIGKILLed.
+  std::uint64_t grace_ms = 2000;
+  /// Exponential respawn backoff for a slot with a consecutive-crash
+  /// streak: initial << (streak-1), capped at max.
+  std::uint64_t backoff_initial_ms = 10;
+  std::uint64_t backoff_max_ms = 1000;
+};
+
+/// What happened to one dispatched request.
+struct WorkerOutcome {
+  bool crashed = false;
+  std::string crash_detail;    ///< "signal 11 (Segmentation fault)" | "exit
+                               ///< status 3" | "hung past deadline grace"
+  std::string phase;           ///< last phase streamed before death; empty
+                               ///< when the worker died before analyzing
+  std::string result_payload;  ///< 'R' frame payload when !crashed
+};
+
+class Supervisor {
+ public:
+  struct Counters {
+    std::uint64_t forks = 0;      ///< worker processes created, ever
+    std::uint64_t restarts = 0;   ///< forks that replaced a dead worker
+    std::uint64_t crashes = 0;    ///< worker deaths attributed to an input
+    std::uint64_t hung_kills = 0; ///< SIGKILLs of unresponsive workers
+  };
+
+  explicit Supervisor(const SupervisorOptions& options);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Ships one single-item NDJSON analyze document to an idle worker and
+  /// blocks for its outcome. Thread-safe; callers queue on slot
+  /// availability. `has_deadline`/`deadline_ms` bound the wait (plus
+  /// grace_ms) before the worker is presumed hung.
+  [[nodiscard]] WorkerOutcome analyze(const std::string& request_json,
+                                      bool has_deadline,
+                                      std::uint64_t deadline_ms);
+
+  [[nodiscard]] Counters counters() const;
+  [[nodiscard]] unsigned workers() const { return options_.workers; }
+
+  /// Pids of currently live workers — lets crash tests SIGKILL real
+  /// workers from outside the supervisor.
+  [[nodiscard]] std::vector<pid_t> alivePids() const;
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int to_child = -1;    ///< parent writes requests
+    int from_child = -1;  ///< parent reads phase/result frames
+    bool busy = false;
+    std::uint64_t crash_streak = 0;
+    std::chrono::steady_clock::time_point ready_at{};  ///< backoff gate
+  };
+
+  /// Forks a worker into `slot`; mutex held. False when fork() fails.
+  bool spawnLocked(std::size_t slot, bool is_restart);
+  /// Closes fds and reaps the child; mutex held.
+  void destroyLocked(Worker& w);
+  /// Checkout: waits for an idle slot, ensures it has a live worker
+  /// (respecting the backoff gate), marks it busy.
+  std::size_t checkoutSlot();
+  /// After-death bookkeeping for a busy slot: SIGKILL (a no-op on a
+  /// zombie, guarantees the reap terminates), reap, count, backoff or
+  /// immediate respawn. `input_fault` decides whether the crash counters
+  /// and streak move. Returns the wait-status description for the crash
+  /// message ("signal 6 (Aborted)", "exit status 3").
+  std::string handleDeath(std::size_t slot, bool input_fault);
+
+  SupervisorOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  std::vector<Worker> workers_;
+  Counters counters_;
+};
+
+/// Crash-count ledger keyed by analysis cache key. An input reaches
+/// quarantine once recordCrash() has been called `threshold` times for its
+/// key; quarantined inputs are answered without forking a worker.
+class Quarantine {
+ public:
+  explicit Quarantine(std::uint64_t threshold) : threshold_(threshold) {}
+
+  /// Returns the new crash count for `key`.
+  std::uint64_t recordCrash(std::uint64_t key);
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+  [[nodiscard]] std::uint64_t entries() const;  ///< quarantined keys
+  /// (key, crash count) for every quarantined key, sorted by key — the
+  /// deterministic payload of the `quarantine_list` op.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> list()
+      const;
+  void clear();
+
+ private:
+  std::uint64_t threshold_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::uint64_t> crashes_;
+};
+
+}  // namespace cuaf::service

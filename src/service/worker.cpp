@@ -1,0 +1,208 @@
+#include "src/service/worker.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+
+#include "src/analysis/snapshot.h"
+#include "src/service/protocol.h"
+#include "src/support/deadline.h"
+#include "src/support/failpoint.h"
+
+namespace cuaf::service {
+
+namespace {
+
+/// write() the whole buffer with SIGPIPE suppressed for this thread: the
+/// supervisor must never die because a worker vanished mid-write (and vice
+/// versa). The classic mask/write/consume-pending/restore dance — a global
+/// SIG_IGN would be rude from library code running inside tests.
+bool writeAllSuppressingSigpipe(int fd, const char* data, std::size_t size) {
+  sigset_t pipe_set;
+  sigemptyset(&pipe_set);
+  sigaddset(&pipe_set, SIGPIPE);
+  sigset_t saved;
+  pthread_sigmask(SIG_BLOCK, &pipe_set, &saved);
+  bool ok = true;
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  if (!ok) {
+    // Reap the SIGPIPE this thread may have just queued so unblocking
+    // cannot deliver it later.
+    timespec zero{0, 0};
+    (void)sigtimedwait(&pipe_set, nullptr, &zero);
+  }
+  pthread_sigmask(SIG_SETMASK, &saved, nullptr);
+  return ok;
+}
+
+bool readAll(int fd, char* data, std::size_t size) {
+  while (size > 0) {
+    ssize_t n = ::read(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-frame
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool writeFrame(int fd, FrameKind kind, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  char header[5];
+  header[0] = static_cast<char>(kind);
+  std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  header[1] = static_cast<char>(length & 0xff);
+  header[2] = static_cast<char>((length >> 8) & 0xff);
+  header[3] = static_cast<char>((length >> 16) & 0xff);
+  header[4] = static_cast<char>((length >> 24) & 0xff);
+  // One buffer, one write path: short frames go out in a single write()
+  // so a reader never observes a header without its payload for long.
+  std::string buffer;
+  buffer.reserve(sizeof(header) + payload.size());
+  buffer.append(header, sizeof(header));
+  buffer.append(payload);
+  return writeAllSuppressingSigpipe(fd, buffer.data(), buffer.size());
+}
+
+bool readFrame(int fd, Frame& out) {
+  char header[5];
+  if (!readAll(fd, header, sizeof(header))) return false;
+  char kind = header[0];
+  if (kind != 'Q' && kind != 'P' && kind != 'R') return false;
+  std::uint32_t length = static_cast<std::uint8_t>(header[1]) |
+                         (static_cast<std::uint32_t>(
+                              static_cast<std::uint8_t>(header[2]))
+                          << 8) |
+                         (static_cast<std::uint32_t>(
+                              static_cast<std::uint8_t>(header[3]))
+                          << 16) |
+                         (static_cast<std::uint32_t>(
+                              static_cast<std::uint8_t>(header[4]))
+                          << 24);
+  if (length > kMaxFrameBytes) return false;
+  out.kind = static_cast<FrameKind>(kind);
+  out.payload.resize(length);
+  return length == 0 || readAll(fd, out.payload.data(), length);
+}
+
+const char* phaseForSite(std::string_view site) {
+  if (site == "pipeline.parse") return "parse";
+  if (site == "pipeline.sema") return "sema";
+  if (site == "pipeline.lower") return "lower";
+  if (site == "ccfg.build") return "ccfg";
+  if (site == "checker.proc") return "checker";
+  if (site == "pps.explore") return "pps";
+  if (site == "witness.replay") return "witness";
+  if (site == "explore.shard") return "oracle";
+  return "?";
+}
+
+namespace {
+
+// Observer state for the (single-threaded) worker process: stream a 'P'
+// frame whenever the analysis crosses into a new phase. Site names are
+// string literals, so identity comparison short-circuits the common case
+// of thousands of checks inside one phase.
+int g_phase_fd = -1;
+const char* g_last_site = nullptr;
+const char* g_last_phase = nullptr;
+
+void phaseObserver(const char* site) {
+  if (site == g_last_site) return;
+  g_last_site = site;
+  const char* phase = phaseForSite(site);
+  if (phase == g_last_phase || phase[0] == '?') return;
+  g_last_phase = phase;
+  // Best effort: if the supervisor is gone the result write will fail too.
+  (void)writeFrame(g_phase_fd, FrameKind::Phase, phase);
+}
+
+std::string analyzeRequestPayload(const std::string& payload) {
+  // The request is re-parsed with the public protocol parser — same
+  // grammar, same option validation, no drift. The supervisor only ships
+  // well-formed single-item analyze documents, so failures here are
+  // protocol corruption and come back as structured internal errors.
+  std::variant<Request, ProtocolError> parsed =
+      parseRequest(payload, kMaxFrameBytes);
+  if (auto* error = std::get_if<ProtocolError>(&parsed)) {
+    return "error\ninternal_error\n0\nworker request rejected: " +
+           error->message;
+  }
+  const Request& request = std::get<Request>(parsed);
+  if (request.op != Op::Analyze || request.items.size() != 1) {
+    return "error\ninternal_error\n0\nworker expects single-item analyze "
+           "requests";
+  }
+
+  std::optional<failpoint::ScopedOverride> fault_scope;
+  if (!request.failpoints.empty()) {
+    fault_scope.emplace(request.failpoints);
+    if (!fault_scope->ok()) {
+      return "error\ninvalid_request\n0\n" + fault_scope->error();
+    }
+  }
+
+  AnalysisOptions options = request.options;
+  if (request.has_deadline) {
+    options.deadline = Deadline::afterMillis(request.deadline_ms);
+  }
+
+  g_last_site = nullptr;
+  g_last_phase = nullptr;
+  AnalysisSnapshot snapshot;
+  try {
+    snapshot = analyzeToSnapshot(request.items.front().name,
+                                 request.items.front().source, options);
+  } catch (const std::exception& e) {
+    return std::string("error\ninternal_error\n0\n") + e.what();
+  }
+  if (snapshot.stop_reason != StopReason::None) {
+    std::string verb = snapshot.stop_reason == StopReason::Timeout
+                           ? "analysis timed out during "
+                           : "analysis cancelled during ";
+    return "error\n" + std::string(stopReasonName(snapshot.stop_reason)) +
+           "\n1\n" + verb + snapshot.stop_phase;
+  }
+  return "snapshot\n" + snapshot.serialize();
+}
+
+}  // namespace
+
+int workerMain(int in_fd, int out_fd) {
+  // The child owns its signal dispositions; writes to a closed supervisor
+  // pipe must surface as EPIPE, not kill the worker "silently".
+  ::signal(SIGPIPE, SIG_IGN);
+  // Reset the failpoint table to the env-seeded baseline: the fork may have
+  // captured another request's transient ScopedOverride, and a worker's
+  // faults must depend only on CUAF_FAILPOINTS plus its own requests.
+  failpoint::clear();
+  failpoint::configureFromEnv();
+  g_phase_fd = out_fd;
+  failpoint::setSiteObserver(&phaseObserver);
+  Frame frame;
+  while (readFrame(in_fd, frame)) {
+    if (frame.kind != FrameKind::Request) continue;
+    std::string result = analyzeRequestPayload(frame.payload);
+    if (!writeFrame(out_fd, FrameKind::Result, result)) break;
+  }
+  return 0;
+}
+
+}  // namespace cuaf::service

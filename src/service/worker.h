@@ -1,0 +1,67 @@
+// Process-isolated analysis worker: the code that runs inside a forked
+// child of the daemon, plus the length-prefixed frame protocol it speaks
+// with the supervisor over a pipe pair.
+//
+// Wire format (both directions): 1-byte frame kind, 4-byte little-endian
+// payload length, payload bytes. Frame kinds:
+//
+//   'Q' request — one NDJSON `analyze` document, the exact grammar of the
+//       public wire protocol (src/service/protocol.h): name, source,
+//       options, deadline_ms, failpoints. Reusing the protocol framing
+//       means the worker needs no second parser and options can never
+//       drift between the in-process and isolated paths.
+//   'P' phase — the worker entered a new analysis phase ("parse", "pps",
+//       ...). Streamed opportunistically so that when the worker dies the
+//       supervisor can name the phase that killed it.
+//   'R' result — the analysis outcome:
+//         "snapshot\n" + AnalysisSnapshot::serialize()      (completed)
+//         "error\n" code "\n" analyzed("0"|"1") "\n" message (structural)
+//       `analyzed` records whether the Pipeline actually ran (the parent
+//       keeps its `analyzed`/`timeouts` counters identical to the
+//       in-process path).
+//
+// The worker is single-threaded, never touches the daemon's cache, pool or
+// sockets, writes only to its own pipe fd, and leaves via _exit() so the
+// parent's stdio buffers are never flushed twice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cuaf::service {
+
+enum class FrameKind : std::uint8_t {
+  Request = 'Q',
+  Phase = 'P',
+  Result = 'R',
+};
+
+/// Frames larger than this are treated as protocol corruption.
+constexpr std::size_t kMaxFrameBytes = 256u << 20;
+
+/// Writes one complete frame; false when the peer is gone (EPIPE/EBADF).
+/// SIGPIPE is suppressed for the calling thread around the write.
+[[nodiscard]] bool writeFrame(int fd, FrameKind kind, std::string_view payload);
+
+struct Frame {
+  FrameKind kind = FrameKind::Result;
+  std::string payload;
+};
+
+/// Reads one complete frame (blocking); false on EOF, error, or an
+/// oversized/corrupt header.
+[[nodiscard]] bool readFrame(int fd, Frame& out);
+
+/// Maps a cooperative-check site name to the analysis phase it belongs to
+/// ("pps.explore" -> "pps"); "?" for unknown sites. Shared by the worker's
+/// phase reporting and the supervisor's crash messages.
+[[nodiscard]] const char* phaseForSite(std::string_view site);
+
+/// The worker process body: serves 'Q' frames from `in_fd` with 'R' frames
+/// on `out_fd` until EOF, streaming 'P' phase frames while analyzing.
+/// Returns the exit status for _exit(); never throws.
+int workerMain(int in_fd, int out_fd);
+
+}  // namespace cuaf::service

@@ -1,6 +1,9 @@
 #include "src/support/deadline.h"
 
+#include <chrono>
+#include <cstdlib>
 #include <new>
+#include <thread>
 
 namespace cuaf {
 
@@ -21,13 +24,31 @@ Deadline Deadline::afterMillis(std::uint64_t ms) {
 }
 
 StopReason Deadline::check(const char* site) const {
-  if (site != nullptr && failpoint::anyActive()) {
-    switch (failpoint::fire(site)) {
-      case failpoint::Action::Timeout: return StopReason::Timeout;
-      case failpoint::Action::Cancel: return StopReason::Cancelled;
-      case failpoint::Action::AllocFail: throw std::bad_alloc();
-      case failpoint::Action::IoError:  // only meaningful at transport sites
-      case failpoint::Action::None: break;
+  if (site != nullptr) {
+    // Phase reporting for the process-isolated worker: the observer is
+    // consulted before injection so a `crash` at this site is still
+    // attributed to the right phase by the supervisor.
+    if (failpoint::SiteObserver observer = failpoint::siteObserver()) {
+      observer(site);
+    }
+    if (failpoint::anyActive()) {
+      switch (failpoint::fire(site)) {
+        case failpoint::Action::Timeout: return StopReason::Timeout;
+        case failpoint::Action::Cancel: return StopReason::Cancelled;
+        case failpoint::Action::AllocFail: throw std::bad_alloc();
+        case failpoint::Action::Crash:
+          // Hard fault at the site — the containment story is that only a
+          // worker process dies, never the daemon (docs/SERVICE.md).
+          std::abort();
+        case failpoint::Action::Hang:
+          // A worker that defeats cooperative cancellation; the supervisor
+          // reaps it with SIGKILL once the deadline grace window passes.
+          for (;;) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+        case failpoint::Action::IoError:  // only meaningful at transport sites
+        case failpoint::Action::None: break;
+      }
     }
   }
   if (token_ != nullptr && token_->cancelled()) return StopReason::Cancelled;

@@ -1,5 +1,7 @@
 #include "src/support/failpoint.h"
 
+#include <pthread.h>
+
 #include <atomic>
 #include <charconv>
 #include <cstdlib>
@@ -25,12 +27,29 @@ std::unordered_map<std::string, Entry>& table() {
   return t;
 }
 std::atomic<bool> g_active{false};
+std::atomic<SiteObserver> g_observer{nullptr};
+
+// The analysis service forks worker processes while other threads may hold
+// g_mutex (per-request ScopedOverride). A child forked at that instant
+// would inherit a locked mutex it can never unlock, so serialize fork
+// against the table: lock in prepare, unlock on both sides. Installed
+// lazily the first time a table operation runs — i.e. always before the
+// supervisor's first fork, which probes the table when spawning.
+void forkPrepare() { g_mutex.lock(); }
+void forkRelease() { g_mutex.unlock(); }
+void installForkGuard() {
+  static int installed =
+      pthread_atfork(&forkPrepare, &forkRelease, &forkRelease);
+  (void)installed;
+}
 
 bool parseAction(std::string_view text, Action& out) {
   if (text == "timeout") out = Action::Timeout;
   else if (text == "cancel") out = Action::Cancel;
   else if (text == "alloc") out = Action::AllocFail;
   else if (text == "ioerror") out = Action::IoError;
+  else if (text == "crash") out = Action::Crash;
+  else if (text == "hang") out = Action::Hang;
   else return false;
   return true;
 }
@@ -100,11 +119,14 @@ const char* actionName(Action a) {
     case Action::Cancel: return "cancel";
     case Action::AllocFail: return "alloc";
     case Action::IoError: return "ioerror";
+    case Action::Crash: return "crash";
+    case Action::Hang: return "hang";
   }
   return "?";
 }
 
 bool configure(std::string_view spec, std::string* error) {
+  installForkGuard();
   std::unordered_map<std::string, Entry> parsed;
   std::size_t start = 0;
   while (start <= spec.size()) {
@@ -133,12 +155,21 @@ void configureFromEnv() {
 }
 
 void clear() {
+  installForkGuard();
   std::lock_guard<std::mutex> lock(g_mutex);
   table().clear();
   g_active.store(false, std::memory_order_relaxed);
 }
 
 bool anyActive() { return g_active.load(std::memory_order_relaxed); }
+
+void setSiteObserver(SiteObserver observer) {
+  g_observer.store(observer, std::memory_order_relaxed);
+}
+
+SiteObserver siteObserver() {
+  return g_observer.load(std::memory_order_relaxed);
+}
 
 Action fire(std::string_view site) {
   if (!anyActive()) return Action::None;
@@ -156,6 +187,7 @@ Action fire(std::string_view site) {
 }
 
 ScopedOverride::ScopedOverride(std::string_view spec) {
+  installForkGuard();
   {
     std::lock_guard<std::mutex> lock(g_mutex);
     saved_spec_ = snapshotLocked();

@@ -7,7 +7,7 @@
 //
 //   spec   := entry (';' entry)*
 //   entry  := site '=' action ['@' skip] ['*' count]
-//   action := timeout | cancel | alloc | ioerror
+//   action := timeout | cancel | alloc | ioerror | crash | hang
 //
 // `skip` hits of the site are ignored before the action fires; it then
 // fires `count` times (unlimited when omitted). Activation paths:
@@ -18,7 +18,15 @@
 //
 // Everything is mutex-protected and deterministic: the same spec and the
 // same sequence of fire() calls produce the same injected faults. The
-// disabled fast path is one relaxed atomic load.
+// disabled fast path is one relaxed atomic load. The table mutex is guarded
+// by a pthread_atfork handler so the analysis service can fork worker
+// processes while other threads configure per-request overrides.
+//
+// The `crash` action hard-abort()s the process at the site — the point of
+// the service's process-isolated workers is that only a worker dies.
+// `hang` blocks the site forever, simulating a worker that defeats
+// cooperative cancellation (the supervisor SIGKILLs it past the grace
+// window).
 #pragma once
 
 #include <cstdint>
@@ -27,7 +35,9 @@
 
 namespace cuaf::failpoint {
 
-enum class Action : std::uint8_t { None = 0, Timeout, Cancel, AllocFail, IoError };
+enum class Action : std::uint8_t {
+  None = 0, Timeout, Cancel, AllocFail, IoError, Crash, Hang
+};
 
 [[nodiscard]] const char* actionName(Action a);
 
@@ -49,8 +59,24 @@ void clear();
 /// prefix is exhausted and the fire count not yet spent, None otherwise.
 Action fire(std::string_view site);
 
+/// Observer invoked with the site name on every Deadline::check, before any
+/// injection — regardless of whether failpoints are configured. The
+/// process-isolated analysis worker installs one to stream its current
+/// phase to the supervisor, so a crash report can name the phase that was
+/// running when the worker died. `site` pointers are string literals; an
+/// observer may compare them by identity. Pass nullptr to uninstall.
+using SiteObserver = void (*)(const char* site);
+void setSiteObserver(SiteObserver observer);
+
+/// The currently installed observer (nullptr when none). One relaxed
+/// atomic load — cheap enough for every cooperative check site.
+[[nodiscard]] SiteObserver siteObserver();
+
 /// Applies a spec for one scope, restoring the previous table afterwards
-/// (the analysis service uses this for per-request "failpoints").
+/// (the analysis service uses this for per-request "failpoints"). Scopes on
+/// concurrent threads save and restore whole tables, so interleavings can
+/// transiently resurrect another scope's spec; forked analysis workers are
+/// immune — they reset to the CUAF_FAILPOINTS baseline at startup.
 class ScopedOverride {
  public:
   explicit ScopedOverride(std::string_view spec);

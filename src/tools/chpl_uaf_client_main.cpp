@@ -9,6 +9,13 @@
 //     --stats            request daemon/cache statistics
 //     --cache-clear      drop every cached result
 //     --shutdown         stop the daemon
+//     --retries N        retry a failed round-trip up to N times with
+//                        exponential backoff (50ms, 100ms, ... capped at
+//                        2s). Retried failures: connection errors (the
+//                        client reconnects) and the transient response
+//                        codes "overloaded" and "worker_crashed" — a
+//                        crash-contained daemon restarts its worker, so the
+//                        same request usually succeeds moments later.
 //   With no command, raw request lines are forwarded from stdin and the
 //   responses printed — a newline-delimited JSON pass-through.
 //
@@ -19,11 +26,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/analysis/json_report.h"
@@ -98,6 +109,19 @@ bool responseOk(const std::string& response) {
   return response.find("\"status\":\"ok\"") != std::string::npos;
 }
 
+/// Error codes worth retrying: the condition is transient by design
+/// (admission control sheds load; the daemon respawns a crashed worker).
+bool responseRetryable(const std::string& response) {
+  return response.find("\"code\":\"overloaded\"") != std::string::npos ||
+         response.find("\"code\":\"worker_crashed\"") != std::string::npos;
+}
+
+void backoffSleep(unsigned attempt) {
+  std::uint64_t ms = 50ull << (attempt < 6 ? attempt : 6);
+  if (ms > 2000) ms = 2000;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -106,6 +130,7 @@ int main(int argc, char** argv) {
   bool stats = false, cache_clear = false, shutdown = false;
   bool has_deadline = false;
   unsigned long long deadline_ms = 0;
+  unsigned retries = 0;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--socket") {
@@ -138,13 +163,22 @@ int main(int argc, char** argv) {
       cache_clear = true;
     } else if (arg == "--shutdown") {
       shutdown = true;
+    } else if (arg == "--retries") {
+      if (i + 1 >= argc) {
+        std::cerr << "--retries needs a count\n";
+        return 2;
+      }
+      retries = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: chpl-uaf-client --socket PATH "
                    "[--analyze FILE...|--deadline-ms N|--stats|--cache-clear|"
-                   "--shutdown]\n"
+                   "--shutdown] [--retries N]\n"
                    "with no command, forwards raw request lines from stdin\n"
                    "  --deadline-ms N  per-request analysis budget for "
-                   "--analyze (structured timeout errors)\n";
+                   "--analyze (structured timeout errors)\n"
+                   "  --retries N      retry connection errors and transient "
+                   "overloaded/worker_crashed\n"
+                   "                   responses with exponential backoff\n";
       return 0;
     } else {
       std::cerr << "unknown option: " << arg << '\n';
@@ -157,11 +191,29 @@ int main(int argc, char** argv) {
   }
 
   try {
-    Connection conn(socket_path);
+    auto conn = std::make_unique<Connection>(socket_path);
     bool all_ok = true;
     std::int64_t id = 0;
     auto issue = [&](const std::string& request) {
-      std::string response = conn.roundTrip(request);
+      std::string response;
+      for (unsigned attempt = 0;; ++attempt) {
+        try {
+          if (!conn) conn = std::make_unique<Connection>(socket_path);
+          response = conn->roundTrip(request);
+        } catch (const std::exception&) {
+          // Dead socket: reconnect on the next attempt.
+          conn.reset();
+          if (attempt >= retries) throw;
+          backoffSleep(attempt);
+          continue;
+        }
+        if (attempt < retries && !responseOk(response) &&
+            responseRetryable(response)) {
+          backoffSleep(attempt);
+          continue;
+        }
+        break;
+      }
       all_ok &= responseOk(response);
       std::cout << response << '\n';
     };

@@ -18,6 +18,12 @@
 //                    results are identical for any N)
 //     --deadline-ms N  per-file analysis budget; a file whose analysis is
 //                    cut off reports "timed out during <phase>"
+//     --cache-dir PATH  durable result cache (the daemon's on-disk format):
+//                    plain analyses of unchanged sources are answered from
+//                    disk without re-running the Pipeline, byte-identically.
+//                    Ignored for runs that need Pipeline artifacts
+//                    (--dump-*, --dot, --trace-pps, --witness*, --baseline,
+//                    --oracle, --suggest-fixes, --fix, --suite).
 //
 // Exit code: 0 = clean, 1 = warnings reported, 2 = errors,
 //            3 = analysis deadline expired.
@@ -29,15 +35,18 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/analysis/fixer.h"
 #include "src/analysis/json_report.h"
 #include "src/analysis/pipeline.h"
+#include "src/analysis/snapshot.h"
 #include "src/ast/printer.h"
 #include "src/ccfg/printer.h"
 #include "src/ir/ir_printer.h"
 #include "src/runtime/explore.h"
+#include "src/service/disk_cache.h"
 
 namespace {
 
@@ -58,8 +67,18 @@ struct CliOptions {
   std::uint64_t deadline_ms = 0;
   std::string suite_dir;
   std::string json_out;
+  std::string cache_dir;
   cuaf::AnalysisOptions analysis;
   std::vector<std::string> files;
+
+  /// The durable cache stores AnalysisSnapshots, which only capture the
+  /// plain-analysis outputs (report, diagnostics, witnesses) — runs that
+  /// need live Pipeline artifacts must go through the Pipeline.
+  [[nodiscard]] bool cacheEligible() const {
+    return !cache_dir.empty() && !dump_ast && !dump_ir && !dump_ccfg &&
+           !dot && !trace_pps && !witness && !baseline && !oracle &&
+           !suggest_fixes && !fix && suite_dir.empty();
+  }
 
   /// Per-run options: a fresh Deadline per file so one slow file cannot
   /// consume the budget of the files after it.
@@ -80,24 +99,116 @@ std::string stopMessage(const cuaf::Pipeline& pipeline) {
   return "analysis " + verb + " during " + pipeline.stopPhase();
 }
 
-int runFile(const CliOptions& cli, const std::string& path) {
-  std::string source;
-  std::string display_name = path;
+/// Reads one input ("-" = stdin); 0 on success, 2 (with a message) on error.
+int loadSource(const std::string& path, std::string& display_name,
+               std::string& source) {
+  display_name = path;
   if (path == "-") {
     display_name = "<stdin>";
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
     source = buffer.str();
-  } else {
-    cuaf::SourceManager probe;
-    try {
-      cuaf::FileId id = probe.addFile(path);
-      source = std::string(probe.bufferContents(id));
-    } catch (const std::exception& e) {
-      std::cerr << e.what() << '\n';
+    return 0;
+  }
+  cuaf::SourceManager probe;
+  try {
+    cuaf::FileId id = probe.addFile(path);
+    source = std::string(probe.bufferContents(id));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+  return 0;
+}
+
+/// Renders one analysis outcome from a snapshot — exactly the bytes the
+/// Pipeline path prints for a plain run, whether the snapshot is fresh or
+/// recovered from the durable cache.
+int renderFromSnapshot(const CliOptions& cli, const std::string& display_name,
+                       const cuaf::AnalysisSnapshot& snap) {
+  if (!cli.json) std::cout << snap.diagnostics;
+  if (snap.stop_reason != cuaf::StopReason::None) {
+    std::string verb = snap.stop_reason == cuaf::StopReason::Timeout
+                           ? "timed out"
+                           : "was cancelled";
+    std::cout << display_name << ": analysis " << verb << " during "
+              << snap.stop_phase << '\n';
+    return 3;
+  }
+  if (!snap.frontend_ok) {
+    if (cli.json) std::cout << snap.diagnostics;
+    return 2;
+  }
+  if (!cli.json_out.empty()) {
+    std::ofstream out(cli.json_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write JSON report to " << cli.json_out << '\n';
+      return 2;
+    }
+    out << snap.report_json;
+    out.flush();
+    if (!out) {
+      std::cerr << "error writing JSON report to " << cli.json_out << '\n';
       return 2;
     }
   }
+  if (cli.json) {
+    std::cout << snap.report_json;
+    return snap.warning_count > 0 ? 1 : 0;
+  }
+  std::cout << display_name << ": " << snap.warning_count
+            << " potential use-after-free "
+            << (snap.warning_count == 1 ? "access" : "accesses")
+            << " reported\n";
+  return snap.warning_count > 0 ? 1 : 0;
+}
+
+/// The --cache-dir fast path: answer from the durable cache when the
+/// (name, source, options) key hits; otherwise analyze once and append the
+/// snapshot so the next run is warm. Completed results only — a
+/// deadline-stopped run is partial and must never be served later.
+int runFilesCached(const CliOptions& cli) {
+  cuaf::service::DiskCache disk(cli.cache_dir);
+  std::unordered_map<std::uint64_t, std::string> cached;
+  disk.load([&](std::uint64_t key, std::string_view payload) {
+    if (!cuaf::AnalysisSnapshot::deserialize(payload)) return false;
+    cached[key] = std::string(payload);
+    return true;
+  });
+  int worst = 0;
+  for (const std::string& path : cli.files) {
+    std::string display_name;
+    std::string source;
+    if (int rc = loadSource(path, display_name, source)) {
+      worst = std::max(worst, rc);
+      continue;
+    }
+    cuaf::AnalysisOptions options = cli.analysisOptions();
+    std::uint64_t key = cuaf::analysisCacheKey(display_name, source, options);
+    auto it = cached.find(key);
+    if (it != cached.end()) {
+      if (std::optional<cuaf::AnalysisSnapshot> snap =
+              cuaf::AnalysisSnapshot::deserialize(it->second)) {
+        worst = std::max(worst, renderFromSnapshot(cli, display_name, *snap));
+        continue;
+      }
+    }
+    cuaf::AnalysisSnapshot snap =
+        cuaf::analyzeToSnapshot(display_name, source, options);
+    if (snap.stop_reason == cuaf::StopReason::None) {
+      std::string payload = snap.serialize();
+      (void)disk.append(key, payload);
+      cached[key] = std::move(payload);
+    }
+    worst = std::max(worst, renderFromSnapshot(cli, display_name, snap));
+  }
+  return worst;
+}
+
+int runFile(const CliOptions& cli, const std::string& path) {
+  std::string source;
+  std::string display_name;
+  if (int rc = loadSource(path, display_name, source)) return rc;
 
   cuaf::Pipeline pipeline(cli.analysisOptions());
   bool ok = pipeline.runSource(display_name, source);
@@ -348,6 +459,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       cli.suite_dir = argv[++i];
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        std::cerr << "--cache-dir needs a directory\n";
+        return 2;
+      }
+      cli.cache_dir = argv[++i];
     } else if (arg == "--json") {
       cli.json = true;
     } else if (arg == "--json-out") {
@@ -370,9 +487,11 @@ int main(int argc, char** argv) {
                    "--oracle|--no-prune|--no-merge|"
                    "--deadlocks|--model-atomics|--unroll-loops|--json|"
                    "--json-out FILE|--suggest-fixes|--fix|--jobs N|"
-                   "--deadline-ms N] "
+                   "--deadline-ms N|--cache-dir DIR] "
                    "file.chpl... | -\n"
                    "  -         read the source from stdin\n"
+                   "  --cache-dir DIR  durable result cache; unchanged "
+                   "sources are answered from disk\n"
                    "  --deadline-ms N  per-file analysis budget in "
                    "milliseconds (exit 3 when it expires)\n"
                    "  --json-out FILE  also write the JSON report to FILE\n"
@@ -401,6 +520,7 @@ int main(int argc, char** argv) {
     std::cerr << "--json-out takes exactly one input file\n";
     return 2;
   }
+  if (cli.cacheEligible()) return runFilesCached(cli);
   int worst = 0;
   for (const std::string& f : cli.files) {
     worst = std::max(worst, runFile(cli, f));

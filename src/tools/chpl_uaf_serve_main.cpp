@@ -9,25 +9,41 @@
 //     --max-request-mb N  per-request size limit in MiB (default 8)
 //     --max-queue N    admission bound on analysis items in flight; excess
 //                      requests get an "overloaded" error (default 256)
+//     --workers N      process-isolated analysis workers (default 0 =
+//                      in-process); with workers, a crashing or hung
+//                      analysis kills only a fork — the daemon answers
+//                      "worker_crashed" and keeps serving
+//     --quarantine-after N  worker crashes one input may cause before it is
+//                      quarantined (default 2)
+//     --worker-grace-ms N  extra wait past a request deadline before a
+//                      silent worker is SIGKILLed (default 2000)
+//     --cache-dir PATH durable result cache: completed analyses are
+//                      appended to checksummed segment files and recovered
+//                      on restart (docs/SERVICE.md)
+//     --fsck           verify the --cache-dir segments, compact the valid
+//                      records, print a report and exit (0 = healthy repair,
+//                      2 = repair failed)
 //
 // The CUAF_FAILPOINTS environment variable seeds the fault-injection table
 // at startup (spec grammar in src/support/failpoint.h); requests can also
-// carry a per-request "failpoints" field.
+// carry a per-request "failpoints" field. Forked workers inherit the table.
 //
 // Speaks newline-delimited JSON: analyze, analyze_batch, stats,
-// cache_clear, shutdown. Exit code: 0 on clean shutdown/EOF, 2 on setup
-// errors.
+// cache_clear, quarantine_list, quarantine_clear, shutdown. Exit code: 0 on
+// clean shutdown/EOF, 2 on setup errors.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "src/service/disk_cache.h"
 #include "src/service/server.h"
 #include "src/support/failpoint.h"
 
 int main(int argc, char** argv) {
   cuaf::service::ServerOptions options;
   std::string socket_path;
+  bool fsck = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     auto numeric = [&](const char* what) -> std::size_t {
@@ -60,11 +76,33 @@ int main(int argc, char** argv) {
         std::cerr << "--max-queue must be positive\n";
         return 2;
       }
+    } else if (arg == "--workers") {
+      options.workers = numeric("a worker count");
+    } else if (arg == "--quarantine-after") {
+      options.quarantine_after = numeric("a crash count");
+      if (options.quarantine_after == 0) {
+        std::cerr << "--quarantine-after must be positive\n";
+        return 2;
+      }
+    } else if (arg == "--worker-grace-ms") {
+      options.worker_grace_ms = numeric("a duration in ms");
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        std::cerr << "--cache-dir needs a path\n";
+        return 2;
+      }
+      options.cache_dir = argv[++i];
+    } else if (arg == "--fsck") {
+      fsck = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: chpl-uaf-serve [--socket PATH] [--jobs N] "
                    "[--cache-mb N] [--max-request-mb N] [--max-queue N]\n"
+                   "       [--workers N] [--quarantine-after N] "
+                   "[--worker-grace-ms N] [--cache-dir PATH] [--fsck]\n"
                    "newline-delimited JSON protocol: analyze, analyze_batch, "
-                   "stats, cache_clear, shutdown (docs/SERVICE.md)\n"
+                   "stats, cache_clear,\n"
+                   "quarantine_list, quarantine_clear, shutdown "
+                   "(docs/SERVICE.md)\n"
                    "CUAF_FAILPOINTS seeds fault injection at startup "
                    "(src/support/failpoint.h)\n";
       return 0;
@@ -72,6 +110,22 @@ int main(int argc, char** argv) {
       std::cerr << "unknown option: " << arg << '\n';
       return 2;
     }
+  }
+
+  if (fsck) {
+    if (options.cache_dir.empty()) {
+      std::cerr << "--fsck needs --cache-dir\n";
+      return 2;
+    }
+    cuaf::service::DiskCache disk(options.cache_dir);
+    std::string report;
+    if (!disk.fsck(&report)) {
+      std::cerr << "chpl-uaf-serve: fsck of " << options.cache_dir
+                << " failed\n";
+      return 2;
+    }
+    std::cout << report << '\n';
+    return 0;
   }
 
   cuaf::failpoint::configureFromEnv();

@@ -1,0 +1,363 @@
+// Durable result cache: append/recover round-trips, checksummed corruption
+// recovery (bit flips, torn tails, bad magic), fsck compaction, and the
+// restart path of the Server — a daemon restarted on the same --cache-dir
+// answers warm from disk, byte-identically, with zero pipeline runs.
+//
+// The test-side record encoder below deliberately re-implements the segment
+// framing from src/service/disk_cache.h so the on-disk format is checked
+// against a second implementation, not against itself.
+// Labeled `service` and `crash`: runs under the tsan preset.
+#include "src/service/disk_cache.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/service/server.h"
+#include "src/support/hash.h"
+#include "test_util.h"
+
+namespace cuaf::service {
+namespace {
+
+constexpr std::size_t kMagicBytes = 8;
+constexpr std::size_t kHeaderBytes = 24;
+
+void put32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Independent encoder for one record (format doc: src/service/disk_cache.h).
+std::string encodeRecord(std::uint64_t key, std::string_view payload) {
+  std::string out;
+  put64le(out, key);
+  put32le(out, static_cast<std::uint32_t>(payload.size()));
+  put32le(out, static_cast<std::uint32_t>(
+                   fnv1a64(std::string_view(out.data(), 12))));
+  put64le(out, fnv1a64(payload));
+  out.append(payload);
+  return out;
+}
+
+/// A fresh per-test directory under the gtest temp root, emptied of any
+/// segments a previous run left behind.
+std::string freshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "cuaf_" + name;
+  DiskCache(dir).clear();
+  return dir;
+}
+
+std::string segmentPath(const std::string& dir, unsigned index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "/cuaf-%06u.seg", index);
+  return dir + name;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void flipByte(const std::string& path, std::size_t offset) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good()) << path;
+  file.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  file.get(c);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.put(static_cast<char>(c ^ 0x55));
+}
+
+/// Loads everything the cache recovers into a key->payload map.
+std::map<std::uint64_t, std::string> loadAll(DiskCache& cache) {
+  std::map<std::uint64_t, std::string> out;
+  cache.load([&](std::uint64_t key, std::string_view payload) {
+    out[key] = std::string(payload);
+    return true;
+  });
+  return out;
+}
+
+TEST(DiskCache, AppendedRecordsSurviveReopenByteIdentically) {
+  std::string dir = freshDir("roundtrip");
+  {
+    DiskCache cache(dir);
+    EXPECT_TRUE(cache.append(1, "alpha"));
+    EXPECT_TRUE(cache.append(2, std::string(1000, 'b')));
+    EXPECT_TRUE(cache.append(3, ""));  // empty payloads are legal
+    EXPECT_EQ(cache.stats().appends, 3u);
+    EXPECT_EQ(cache.stats().segments, 1u);
+  }
+  DiskCache reopened(dir);
+  std::map<std::uint64_t, std::string> records = loadAll(reopened);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[1], "alpha");
+  EXPECT_EQ(records[2], std::string(1000, 'b'));
+  EXPECT_EQ(records[3], "");
+  EXPECT_EQ(reopened.stats().records_loaded, 3u);
+  EXPECT_EQ(reopened.stats().records_skipped, 0u);
+}
+
+TEST(DiskCache, OnDiskFramingMatchesTheDocumentedLayout) {
+  std::string dir = freshDir("framing");
+  DiskCache cache(dir);
+  ASSERT_TRUE(cache.append(0x1122334455667788ull, "payload"));
+  std::string bytes = readFile(segmentPath(dir, 0));
+  ASSERT_EQ(bytes.substr(0, kMagicBytes), "CUAFSEG1");
+  // The production writer and the independent test encoder agree bit for bit.
+  EXPECT_EQ(bytes.substr(kMagicBytes),
+            encodeRecord(0x1122334455667788ull, "payload"));
+}
+
+TEST(DiskCache, PayloadBitFlipSkipsExactlyThatRecord) {
+  std::string dir = freshDir("bitflip");
+  const std::string p1 = "first-payload";
+  const std::string p2 = "second-payload";
+  const std::string p3 = "third-payload";
+  {
+    DiskCache cache(dir);
+    ASSERT_TRUE(cache.append(1, p1));
+    ASSERT_TRUE(cache.append(2, p2));
+    ASSERT_TRUE(cache.append(3, p3));
+  }
+  // Flip one byte inside record 2's payload: its checksum fails, but the
+  // proven-good length still frames record 3, which must survive.
+  std::size_t record2_payload =
+      kMagicBytes + kHeaderBytes + p1.size() + kHeaderBytes;
+  flipByte(segmentPath(dir, 0), record2_payload + 3);
+  DiskCache damaged(dir);
+  std::map<std::uint64_t, std::string> records = loadAll(damaged);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1], p1);
+  EXPECT_EQ(records[3], p3);
+  EXPECT_EQ(damaged.stats().records_loaded, 2u);
+  EXPECT_EQ(damaged.stats().records_skipped, 1u);
+}
+
+TEST(DiskCache, TornPayloadAtTheTailIsSkipped) {
+  std::string dir = freshDir("torn_payload");
+  const std::string p1 = "kept-record";
+  {
+    DiskCache cache(dir);
+    ASSERT_TRUE(cache.append(1, p1));
+    ASSERT_TRUE(cache.append(2, "torn-away-record"));
+  }
+  // Cut mid-way through record 2's payload: a crash mid-append.
+  std::size_t cut = kMagicBytes + kHeaderBytes + p1.size() + kHeaderBytes + 4;
+  ASSERT_EQ(::truncate(segmentPath(dir, 0).c_str(),
+                       static_cast<off_t>(cut)),
+            0);
+  DiskCache damaged(dir);
+  std::map<std::uint64_t, std::string> records = loadAll(damaged);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[1], p1);
+  EXPECT_EQ(damaged.stats().records_skipped, 1u);
+}
+
+TEST(DiskCache, TornHeaderAtTheTailIsSkipped) {
+  std::string dir = freshDir("torn_header");
+  const std::string p1 = "kept-record";
+  {
+    DiskCache cache(dir);
+    ASSERT_TRUE(cache.append(1, p1));
+    ASSERT_TRUE(cache.append(2, "gone"));
+  }
+  std::size_t cut = kMagicBytes + kHeaderBytes + p1.size() + 10;
+  ASSERT_EQ(::truncate(segmentPath(dir, 0).c_str(),
+                       static_cast<off_t>(cut)),
+            0);
+  DiskCache damaged(dir);
+  EXPECT_EQ(loadAll(damaged).size(), 1u);
+  EXPECT_EQ(damaged.stats().records_skipped, 1u);
+}
+
+TEST(DiskCache, HeaderCorruptionStopsTheSegmentScan) {
+  std::string dir = freshDir("bad_header");
+  const std::string p1 = "kept-record";
+  {
+    DiskCache cache(dir);
+    ASSERT_TRUE(cache.append(1, p1));
+    ASSERT_TRUE(cache.append(2, "lost"));
+    ASSERT_TRUE(cache.append(3, "also-lost"));
+  }
+  // Corrupt record 2's length field: the length cannot be trusted, so no
+  // later record boundary in this segment can be either. One damage event
+  // is counted; records 2 and 3 are both unrecoverable.
+  flipByte(segmentPath(dir, 0),
+           kMagicBytes + kHeaderBytes + p1.size() + 9);
+  DiskCache damaged(dir);
+  std::map<std::uint64_t, std::string> records = loadAll(damaged);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[1], p1);
+  EXPECT_EQ(damaged.stats().records_skipped, 1u);
+}
+
+TEST(DiskCache, ForeignFileWithBadMagicIsSkippedWhole) {
+  std::string dir = freshDir("bad_magic");
+  {
+    DiskCache cache(dir);
+    ASSERT_TRUE(cache.append(1, "good"));
+  }
+  {
+    std::ofstream foreign(segmentPath(dir, 1), std::ios::binary);
+    foreign << "not a cuaf segment at all";
+  }
+  DiskCache mixed(dir);
+  std::map<std::uint64_t, std::string> records = loadAll(mixed);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[1], "good");
+  EXPECT_EQ(mixed.stats().records_skipped, 1u);
+}
+
+TEST(DiskCache, AppendsResumeTheHighestSegmentAcrossReopen) {
+  std::string dir = freshDir("resume");
+  {
+    DiskCache cache(dir);
+    ASSERT_TRUE(cache.append(1, "one"));
+  }
+  {
+    DiskCache cache(dir);
+    ASSERT_TRUE(cache.append(2, "two"));
+    EXPECT_EQ(cache.stats().segments, 1u);  // no gratuitous roll
+  }
+  DiskCache reopened(dir);
+  EXPECT_EQ(loadAll(reopened).size(), 2u);
+}
+
+TEST(DiskCache, FsckCompactsSurvivorsAndDropsDamage) {
+  std::string dir = freshDir("fsck");
+  const std::string p1 = "survivor-one";
+  const std::string p2 = "the-damaged-one";
+  {
+    DiskCache cache(dir);
+    ASSERT_TRUE(cache.append(1, p1));
+    ASSERT_TRUE(cache.append(2, p2));
+    ASSERT_TRUE(cache.append(3, "survivor-two"));
+  }
+  flipByte(segmentPath(dir, 0),
+           kMagicBytes + kHeaderBytes + p1.size() + kHeaderBytes + 1);
+  {
+    std::ofstream foreign(segmentPath(dir, 1), std::ios::binary);
+    foreign << "garbage";
+  }
+  DiskCache cache(dir);
+  std::string report;
+  ASSERT_TRUE(cache.fsck(&report));
+  EXPECT_EQ(report,
+            "fsck: 2 record(s) kept, 2 skipped, compacted 2 segment(s) into 1");
+  EXPECT_EQ(cache.stats().segments, 1u);
+  // The compacted generation is fully healthy.
+  DiskCache clean(dir);
+  std::map<std::uint64_t, std::string> records = loadAll(clean);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1], p1);
+  EXPECT_EQ(records[3], "survivor-two");
+  EXPECT_EQ(clean.stats().records_skipped, 0u);
+}
+
+TEST(DiskCache, ClearRemovesEverySegment) {
+  std::string dir = freshDir("clear");
+  DiskCache cache(dir);
+  ASSERT_TRUE(cache.append(1, "x"));
+  cache.clear();
+  EXPECT_EQ(cache.stats().segments, 0u);
+  EXPECT_EQ(loadAll(cache).size(), 0u);
+  // The cache keeps working after a clear.
+  ASSERT_TRUE(cache.append(2, "y"));
+  EXPECT_EQ(loadAll(cache).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Server restart path: warm from disk, byte-identical, zero pipeline runs.
+
+constexpr const char* kFig1Source =
+    "proc p() {\\n  var x: int = 0;\\n  begin with (ref x) { x += 1; }\\n}\\n";
+
+std::string analyzeRequest(std::int64_t id) {
+  return "{\"op\":\"analyze\",\"id\":" + std::to_string(id) +
+         ",\"name\":\"fig1.chpl\",\"source\":\"" + kFig1Source + "\"}";
+}
+
+TEST(DiskCacheService, RestartServesWarmFromDiskByteIdentically) {
+  std::string dir = freshDir("service_restart");
+  ServerOptions options;
+  options.cache_dir = dir;
+  std::string cold;
+  {
+    Server first(options);
+    cold = first.handleLine(analyzeRequest(1));
+    EXPECT_NE(cold.find("\"warnings\":1"), std::string::npos) << cold;
+    EXPECT_NE(cold.find("\"cached\":false"), std::string::npos) << cold;
+  }
+  Server restarted(options);
+  std::string warm = restarted.handleLine(analyzeRequest(1));
+  EXPECT_NE(warm.find("\"cached\":true"), std::string::npos) << warm;
+  EXPECT_EQ(stripVolatile(cold), stripVolatile(warm));
+  std::string stats = restarted.handleLine("{\"op\":\"stats\",\"id\":2}");
+  // The restarted daemon never ran the pipeline: the hit came from disk.
+  EXPECT_NE(stats.find("\"analyzed\":0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"disk_records_loaded\":1"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"disk_records_skipped\":0"), std::string::npos)
+      << stats;
+}
+
+TEST(DiskCacheService, CorruptDiskRecordIsReanalyzedNotServed) {
+  std::string dir = freshDir("service_corrupt");
+  ServerOptions options;
+  options.cache_dir = dir;
+  std::string cold;
+  {
+    Server first(options);
+    cold = first.handleLine(analyzeRequest(1));
+    EXPECT_NE(cold.find("\"warnings\":1"), std::string::npos) << cold;
+  }
+  // Damage the single stored payload: recovery must drop it, and the
+  // restarted daemon re-analyzes from scratch — same bytes, cold path.
+  std::string bytes = readFile(segmentPath(dir, 0));
+  flipByte(segmentPath(dir, 0), bytes.size() - 5);
+  Server restarted(options);
+  std::string again = restarted.handleLine(analyzeRequest(1));
+  EXPECT_NE(again.find("\"cached\":false"), std::string::npos) << again;
+  EXPECT_EQ(stripVolatile(cold), stripVolatile(again));
+  std::string stats = restarted.handleLine("{\"op\":\"stats\",\"id\":2}");
+  EXPECT_NE(stats.find("\"disk_records_loaded\":0"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"disk_records_skipped\":1"), std::string::npos)
+      << stats;
+}
+
+TEST(DiskCacheService, CacheClearWipesTheDiskGenerationToo) {
+  std::string dir = freshDir("service_clear");
+  ServerOptions options;
+  options.cache_dir = dir;
+  {
+    Server first(options);
+    std::string cold = first.handleLine(analyzeRequest(1));
+    EXPECT_NE(cold.find("\"warnings\":1"), std::string::npos) << cold;
+    std::string ack = first.handleLine("{\"op\":\"cache_clear\",\"id\":2}");
+    EXPECT_NE(ack.find("\"status\":\"ok\""), std::string::npos) << ack;
+  }
+  Server restarted(options);
+  std::string after = restarted.handleLine(analyzeRequest(1));
+  EXPECT_NE(after.find("\"cached\":false"), std::string::npos) << after;
+}
+
+}  // namespace
+}  // namespace cuaf::service

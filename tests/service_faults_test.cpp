@@ -2,7 +2,11 @@
 // deadlines and injected faults come back as structured errors (never hangs,
 // never crashes), timed-out results are never cached, over-capacity requests
 // are rejected as "overloaded", and the daemon keeps answering afterwards.
-// Labeled `service`: runs under the tsan preset.
+// The WorkerCrash suite drives the process-isolated worker pool: a crashing
+// or hung analysis kills only a forked worker, the daemon reports a
+// structured "worker_crashed" error naming the phase, restarts the worker,
+// and quarantines inputs that crash repeatedly.
+// Labeled `service` and `crash`: runs under the tsan preset.
 #include "src/service/server.h"
 
 #include <sys/socket.h>
@@ -12,10 +16,13 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "src/support/failpoint.h"
 #include "test_util.h"
@@ -293,6 +300,218 @@ TEST(ServerFaults, SendFaultDropsTheClientButNotTheDaemon) {
   }
   daemon.join();
   EXPECT_TRUE(server.shutdownRequested());
+}
+
+// ---------------------------------------------------------------------------
+// Process-isolated workers: crashes are contained, attributed, quarantined.
+
+/// A second fire-and-forget program (distinct cache key from kFig1Source).
+constexpr const char* kFig2Source =
+    "proc q() {\\n  var y: int = 0;\\n  begin with (ref y) { y += 1; }\\n}\\n";
+
+std::string analyzeNamed(std::int64_t id, const std::string& name,
+                         const char* source, const std::string& extra = {}) {
+  return "{\"op\":\"analyze\",\"id\":" + std::to_string(id) + ",\"name\":\"" +
+         name + "\",\"source\":\"" + source + "\"" + extra + "}";
+}
+
+/// True once `pid` no longer runs (reaped, or a zombie awaiting its reap) —
+/// lets the SIGKILL test wait until the supervisor's next waitpid(WNOHANG)
+/// liveness probe is guaranteed to see the death.
+bool workerDead(pid_t pid) {
+  std::ifstream in("/proc/" + std::to_string(pid) + "/stat");
+  if (!in) return true;  // already reaped
+  std::string stat((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::size_t paren = stat.rfind(')');
+  if (paren == std::string::npos) return true;
+  std::size_t state = stat.find_first_not_of(' ', paren + 1);
+  return state == std::string::npos || stat[state] == 'Z';
+}
+
+void awaitWorkerDeath(pid_t pid) {
+  for (int i = 0; i < 400 && !workerDead(pid); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(workerDead(pid));
+}
+
+TEST(WorkerCrash, CrashFailpointKillsOnlyAWorkerAndNamesThePhase) {
+  ServerOptions options;
+  options.workers = 1;
+  Server server(options);
+  std::string response = server.handleLine(
+      analyzeRequest(1, ",\"failpoints\":\"pps.explore=crash\""));
+  EXPECT_TRUE(test::jsonWellFormed(response)) << response;
+  EXPECT_NE(response.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(response.find("\"code\":\"worker_crashed\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("worker crashed during pps"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("signal 6"), std::string::npos) << response;
+  EXPECT_NE(response.find("crash 1 for this input"), std::string::npos)
+      << response;
+  // The crash never reached the cache, and the daemon (this process) is
+  // fine: the same source analyzes fully on the respawned worker.
+  EXPECT_EQ(server.cache().stats().entries, 0u);
+  std::string full = server.handleLine(analyzeRequest(2));
+  EXPECT_NE(full.find("\"warnings\":1"), std::string::npos) << full;
+  std::string stats = server.handleLine("{\"op\":\"stats\",\"id\":3}");
+  EXPECT_NE(stats.find("\"workers\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"worker_crashes\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"workers_restarted\":1"), std::string::npos) << stats;
+}
+
+TEST(WorkerCrash, EveryAnalysisPhaseIsNamedOnAnInjectedCrash) {
+  const std::pair<const char*, const char*> sites[] = {
+      {"pipeline.parse", "parse"},
+      {"ccfg.build", "ccfg"},
+      {"pps.explore", "pps"},
+  };
+  ServerOptions options;
+  options.workers = 1;
+  options.quarantine_after = 100;  // phase attribution, not quarantine
+  Server server(options);
+  std::int64_t id = 0;
+  for (const auto& [site, phase] : sites) {
+    std::string response = server.handleLine(analyzeRequest(
+        ++id, ",\"failpoints\":\"" + std::string(site) + "=crash\""));
+    EXPECT_NE(response.find("\"code\":\"worker_crashed\""), std::string::npos)
+        << site << ": " << response;
+    EXPECT_NE(response.find("worker crashed during " + std::string(phase)),
+              std::string::npos)
+        << site << ": " << response;
+  }
+}
+
+TEST(WorkerCrash, WorkerResultsMatchInProcessResultsByteForByte) {
+  Server in_process;
+  ServerOptions options;
+  options.workers = 1;
+  Server isolated(options);
+  std::string a = in_process.handleLine(analyzeRequest(1));
+  std::string b = isolated.handleLine(analyzeRequest(1));
+  EXPECT_NE(a.find("\"warnings\":1"), std::string::npos) << a;
+  EXPECT_EQ(stripVolatile(a), stripVolatile(b));
+  // Warm hits land on the same cache entry either way.
+  std::string warm = isolated.handleLine(analyzeRequest(1));
+  EXPECT_NE(warm.find("\"cached\":true"), std::string::npos) << warm;
+  EXPECT_EQ(stripVolatile(a), stripVolatile(warm));
+}
+
+TEST(WorkerCrash, ExternalSigkillBetweenRequestsOnlyRestartsTheWorker) {
+  ServerOptions options;
+  options.workers = 1;
+  Server server(options);
+  std::string cold = server.handleLine(analyzeRequest(1));
+  EXPECT_NE(cold.find("\"warnings\":1"), std::string::npos) << cold;
+  std::vector<pid_t> pids = server.supervisor()->alivePids();
+  ASSERT_EQ(pids.size(), 1u);
+  ASSERT_EQ(::kill(pids[0], SIGKILL), 0);
+  awaitWorkerDeath(pids[0]);
+  // Death between requests is nobody's input's fault: the checkout probe
+  // respawns the worker and a never-seen source still analyzes cleanly.
+  std::string after = server.handleLine(analyzeNamed(2, "fig2.chpl",
+                                                     kFig2Source));
+  EXPECT_NE(after.find("\"warnings\":1"), std::string::npos) << after;
+  std::string stats = server.handleLine("{\"op\":\"stats\",\"id\":3}");
+  EXPECT_NE(stats.find("\"worker_crashes\":0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"workers_restarted\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"quarantine_entries\":0"), std::string::npos) << stats;
+  EXPECT_EQ(server.supervisor()->counters().crashes, 0u);
+}
+
+TEST(WorkerCrash, HungWorkerIsKilledPastDeadlineGrace) {
+  ServerOptions options;
+  options.workers = 1;
+  options.worker_grace_ms = 300;
+  Server server(options);
+  std::string response = server.handleLine(analyzeRequest(
+      1, ",\"deadline_ms\":100,\"failpoints\":\"pps.explore=hang\""));
+  EXPECT_NE(response.find("\"code\":\"worker_crashed\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("worker crashed during pps"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("hung past deadline grace (SIGKILL)"),
+            std::string::npos)
+      << response;
+  EXPECT_EQ(server.supervisor()->counters().hung_kills, 1u);
+  // Still serving: the same request without the fault completes.
+  std::string full = server.handleLine(analyzeRequest(2));
+  EXPECT_NE(full.find("\"warnings\":1"), std::string::npos) << full;
+}
+
+TEST(WorkerCrash, RepeatedCrashesQuarantineTheInputUntilCleared) {
+  ServerOptions options;
+  options.workers = 1;
+  options.quarantine_after = 2;
+  Server server(options);
+  std::string first = server.handleLine(
+      analyzeRequest(1, ",\"failpoints\":\"pps.explore=crash\""));
+  EXPECT_NE(first.find("crash 1 for this input"), std::string::npos) << first;
+  std::string second = server.handleLine(
+      analyzeRequest(2, ",\"failpoints\":\"pps.explore=crash\""));
+  EXPECT_NE(second.find("crash 2 for this input"), std::string::npos)
+      << second;
+  // Third request — even a clean one — is answered instantly with a
+  // structured quarantine error, and no worker is forked for it.
+  std::uint64_t forks_before = server.supervisor()->counters().forks;
+  std::string third = server.handleLine(analyzeRequest(3));
+  EXPECT_TRUE(test::jsonWellFormed(third)) << third;
+  EXPECT_NE(third.find("\"code\":\"quarantined\""), std::string::npos)
+      << third;
+  EXPECT_NE(third.find("use quarantine_clear to retry"), std::string::npos)
+      << third;
+  EXPECT_EQ(server.supervisor()->counters().forks, forks_before);
+  // The ledger is inspectable and clearable.
+  std::string list = server.handleLine("{\"op\":\"quarantine_list\",\"id\":4}");
+  EXPECT_TRUE(test::jsonWellFormed(list)) << list;
+  EXPECT_NE(list.find("\"count\":1"), std::string::npos) << list;
+  EXPECT_NE(list.find("\"crashes\":2"), std::string::npos) << list;
+  std::string clear =
+      server.handleLine("{\"op\":\"quarantine_clear\",\"id\":5}");
+  EXPECT_NE(clear.find("\"status\":\"ok\""), std::string::npos) << clear;
+  // After the clear the input analyzes fully (no failpoint this time).
+  std::string after = server.handleLine(analyzeRequest(6));
+  EXPECT_NE(after.find("\"warnings\":1"), std::string::npos) << after;
+  std::string stats = server.handleLine("{\"op\":\"stats\",\"id\":7}");
+  EXPECT_NE(stats.find("\"worker_crashes\":2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"quarantined\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"quarantine_entries\":0"), std::string::npos) << stats;
+}
+
+TEST(WorkerCrash, BatchItemsCrashIndependentlyAndTheBatchSucceeds) {
+  ServerOptions options;
+  options.workers = 2;
+  options.jobs = 2;
+  Server server(options);
+  // Distinct names, distinct keys: each item crashes its worker once, so
+  // nothing reaches the quarantine threshold of 2.
+  std::string request = "{\"op\":\"analyze_batch\",\"id\":1,\"items\":[";
+  for (int i = 0; i < 3; ++i) {
+    if (i) request += ',';
+    request += "{\"name\":\"fig1_" + std::to_string(i) +
+               ".chpl\",\"source\":\"" + std::string(kFig1Source) + "\"}";
+  }
+  request += "],\"failpoints\":\"pps.explore=crash\"}";
+  std::string response = server.handleLine(request);
+  EXPECT_TRUE(test::jsonWellFormed(response)) << response;
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"code\":\"worker_crashed\""), std::string::npos)
+      << response;
+  EXPECT_EQ(response.find("\"ok\":true"), std::string::npos) << response;
+  // The identical batch without the fault completes on respawned workers.
+  std::string clean = server.handleLine(
+      "{\"op\":\"analyze_batch\",\"id\":2,\"items\":[{\"name\":\"fig1_0"
+      ".chpl\",\"source\":\"" +
+      std::string(kFig1Source) +
+      "\"},{\"name\":\"fig1_1.chpl\",\"source\":\"" +
+      std::string(kFig1Source) + "\"}]}");
+  EXPECT_NE(clean.find("\"status\":\"ok\""), std::string::npos) << clean;
+  EXPECT_EQ(clean.find("\"ok\":false"), std::string::npos) << clean;
+  std::string stats = server.handleLine("{\"op\":\"stats\",\"id\":3}");
+  EXPECT_NE(stats.find("\"worker_crashes\":3"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"quarantine_entries\":0"), std::string::npos) << stats;
 }
 
 }  // namespace

@@ -3,6 +3,11 @@
 // deadline-zero, and batch requests. Every response must be a well-formed
 // single-line JSON document (status ok or a structured error), no request
 // may hang or crash the daemon, and the final counters must add up.
+// The crash-storm test repeats the discipline against a process-isolated
+// worker pool while poison inputs crash workers on purpose and a killer
+// thread SIGKILLs live workers at random: the daemon must survive and the
+// crash/quarantine/timeout counters must reconcile exactly against the
+// responses the clients observed.
 // Labeled `soak`: runs under the tsan preset to catch data races in the
 // cache, the admission counters, and the thread pool.
 #include "src/service/server.h"
@@ -10,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -154,6 +161,145 @@ TEST(Soak, MixedRequestStormNeverHangsOrCorruptsTheDaemon) {
   std::string after = server.handleLine(kFig1Request);
   EXPECT_NE(after.find("\"status\":\"ok\""), std::string::npos) << after;
   EXPECT_NE(after.find("\"cached\":true"), std::string::npos) << after;
+}
+
+/// Occurrences of `needle` in `haystack` — batch responses can carry several
+/// per-item error codes in one line, so presence alone is not enough for
+/// exact reconciliation.
+std::uint64_t countOccurrences(const std::string& haystack,
+                               const std::string& needle) {
+  std::uint64_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Soak, CrashStormWithWorkerPoolReconcilesExactly) {
+  constexpr std::size_t kStormThreads = 4;
+  constexpr std::size_t kStormIters = 150;
+  ServerOptions options;
+  options.jobs = 2;
+  options.workers = 2;
+  options.quarantine_after = 2;
+  Server server(options);
+
+  // Exact ledgers of what the clients saw, reconciled against the daemon's
+  // counters at the end: every worker_crashed / quarantined / timeout the
+  // daemon counted must correspond to a response some client received.
+  std::atomic<std::uint64_t> seen_crashed{0};
+  std::atomic<std::uint64_t> seen_quarantined{0};
+  std::atomic<std::uint64_t> seen_timeout{0};
+  std::atomic<bool> storm_done{false};
+
+  // Killer thread: SIGKILLs a random live worker every few milliseconds —
+  // external crashes landing at arbitrary points in the request cycle.
+  std::thread killer([&server, &storm_done] {
+    Rng rng(0xdeadu);
+    while (!storm_done.load(std::memory_order_relaxed)) {
+      std::vector<pid_t> pids = server.supervisor()->alivePids();
+      if (!pids.empty()) {
+        ::kill(pids[rng.below(pids.size())], SIGKILL);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    }
+  });
+
+  std::vector<std::thread> clients;
+  clients.reserve(kStormThreads);
+  for (std::size_t tid = 0; tid < kStormThreads; ++tid) {
+    clients.emplace_back([&, tid] {
+      Rng rng(0xc4a5u + tid);
+      corpus::ProgramGenerator generator(0xfeedu * (tid + 1));
+      // One dedicated poison program per thread: its crash failpoint drives
+      // it into quarantine, a periodic quarantine_clear lets it crash again.
+      std::string poison_name = "poison_" + std::to_string(tid) + ".chpl";
+      std::string poison_source =
+          "proc p" + std::to_string(tid) +
+          "() {\n  var x: int = 0;\n  begin with (ref x) { x += 1; }\n}\n";
+      for (std::size_t iter = 0; iter < kStormIters; ++iter) {
+        std::int64_t id =
+            static_cast<std::int64_t>(tid * kStormIters + iter);
+        std::string line;
+        std::uint64_t pick = rng.below(100);
+        if (pick < 30) {
+          corpus::GeneratedProgram p = generator.next();
+          line = analyzeRequest(id, p.name, p.source);
+        } else if (pick < 45) {
+          line = kFig1Request;  // warm hits survive worker churn
+        } else if (pick < 65) {
+          line = analyzeRequest(id, poison_name, poison_source,
+                                ",\"failpoints\":\"pps.explore=crash\"");
+        } else if (pick < 75) {
+          line = analyzeRequest(
+              id, "dz.chpl",
+              "proc p() { writeln(" +
+                  std::to_string(tid * 1000000 + iter) + "); }",
+              ",\"deadline_ms\":0");
+        } else if (pick < 83) {
+          line = "{\"op\":\"stats\",\"id\":" + std::to_string(id) + "}";
+        } else if (pick < 90) {
+          line = "{\"op\":\"quarantine_list\",\"id\":" + std::to_string(id) +
+                 "}";
+        } else if (pick < 97) {
+          corpus::GeneratedProgram a = generator.next();
+          corpus::GeneratedProgram b = generator.next();
+          line = "{\"op\":\"analyze_batch\",\"id\":" + std::to_string(id) +
+                 ",\"items\":[{\"name\":\"" + jsonEscape(a.name) +
+                 "\",\"source\":\"" + jsonEscape(a.source) +
+                 "\"},{\"name\":\"" + jsonEscape(b.name) + "\",\"source\":\"" +
+                 jsonEscape(b.source) + "\"}]}";
+        } else {
+          line = "{\"op\":\"quarantine_clear\",\"id\":" + std::to_string(id) +
+                 "}";
+        }
+
+        std::string response = server.handleLine(line);
+        ASSERT_FALSE(response.empty());
+        ASSERT_TRUE(test::jsonWellFormed(response))
+            << "tid " << tid << " iter " << iter << ": " << response;
+        seen_crashed.fetch_add(
+            countOccurrences(response, "\"code\":\"worker_crashed\""),
+            std::memory_order_relaxed);
+        seen_quarantined.fetch_add(
+            countOccurrences(response, "\"code\":\"quarantined\""),
+            std::memory_order_relaxed);
+        seen_timeout.fetch_add(
+            countOccurrences(response, "\"code\":\"timeout\"") +
+                countOccurrences(response, "\"code\":\"cancelled\""),
+            std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  storm_done.store(true, std::memory_order_relaxed);
+  killer.join();
+
+  // The daemon survived; every counter reconciles against what was seen.
+  std::string stats = server.handleLine("{\"op\":\"stats\",\"id\":999999}");
+  ASSERT_TRUE(test::jsonWellFormed(stats)) << stats;
+  EXPECT_NE(stats.find("\"status\":\"ok\""), std::string::npos) << stats;
+  EXPECT_EQ(counter(stats, "requests"), kStormThreads * kStormIters + 1);
+  EXPECT_EQ(counter(stats, "worker_crashes"),
+            seen_crashed.load(std::memory_order_relaxed));
+  EXPECT_EQ(counter(stats, "quarantined"),
+            seen_quarantined.load(std::memory_order_relaxed));
+  EXPECT_EQ(counter(stats, "timeouts"),
+            seen_timeout.load(std::memory_order_relaxed));
+  // The poison inputs crash at least until their first quarantine, so some
+  // crashes and quarantined answers are guaranteed.
+  EXPECT_GE(seen_crashed.load(std::memory_order_relaxed), 2u);
+  EXPECT_GT(seen_quarantined.load(std::memory_order_relaxed), 0u);
+  // Every input-blamed death respawns its slot eagerly or at the next
+  // checkout; at most `workers` slots can still be awaiting a respawn when
+  // the storm ends. (External kills add restarts but never crashes.)
+  EXPECT_GE(counter(stats, "workers_restarted") + options.workers,
+            seen_crashed.load(std::memory_order_relaxed));
+
+  // Still serving: a fresh analyze round-trips fine after the storm.
+  std::string after = server.handleLine(kFig1Request);
+  EXPECT_NE(after.find("\"status\":\"ok\""), std::string::npos) << after;
 }
 
 }  // namespace
