@@ -1,0 +1,154 @@
+// PPS engine bench: state interning + dense bitsets + partial-order
+// reduction (docs/PPS_ENGINE.md).
+//
+// Two measurements over an adversarial wide-fanout set (N independent
+// fire-and-forget tasks, each signalling its own sync variable — the shape
+// whose interleaving diamond is 2^N states):
+//   1. explored-state reduction: POR on vs off on the same graphs. The
+//      criterion, enforced by exit code, is a >= 10x reduction at the
+//      widest shape with bit-identical warning sets everywhere;
+//   2. raw representation speed: interned/bitset engine vs the retained
+//      reference engine, POR off (identical state counts by construction —
+//      pps_equivalence_test proves it — so the delta is pure
+//      representation).
+// Emits BENCH_pps.json; exit code 1 when a criterion fails.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/pipeline.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// N tasks, each accessing the outer var and then signalling its own sync
+/// variable; the parent never waits. Every interleaving of the N signals is
+/// warning-equivalent, which is exactly what POR exploits.
+std::string wideFanout(int tasks) {
+  std::string src = "proc p() {\n  var x: int = 0;\n";
+  for (int t = 0; t < tasks; ++t) {
+    const std::string d = "d" + std::to_string(t);
+    src += "  var " + d + "$: sync bool;\n";
+    src += "  begin with (ref x) {\n    x += " + std::to_string(t + 1) +
+           ";\n    " + d + "$ = true;\n  }\n";
+  }
+  src += "  writeln(x);\n}\n";
+  return src;
+}
+
+struct RunOutcome {
+  std::size_t states = 0;
+  std::size_t por_bunches = 0;
+  double ms = 0.0;
+  std::vector<std::pair<unsigned, unsigned>> warning_locs;
+};
+
+RunOutcome run(const std::string& src, bool por, bool reference) {
+  cuaf::AnalysisOptions opts;
+  opts.pps.por = por;
+  opts.pps.use_reference_engine = reference;
+  opts.keep_artifacts = true;
+  auto start = Clock::now();
+  cuaf::Pipeline pipeline(opts);
+  if (!pipeline.runSource("bench.chpl", src)) std::abort();
+  auto end = Clock::now();
+
+  RunOutcome out;
+  out.ms = std::chrono::duration<double, std::milli>(end - start).count();
+  for (const cuaf::ProcAnalysis& pa : pipeline.analysis().procs) {
+    out.states += pa.pps_states;
+    if (pa.pps_result) out.por_bunches += pa.pps_result->por_bunches;
+    for (const cuaf::UafWarning& w : pa.warnings) {
+      out.warning_locs.emplace_back(w.access_loc.line, w.access_loc.column);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int widths[] = {4, 6, 8, 10, 12};
+  bool warnings_identical = true;
+  double worst_ratio = 1e9;
+  std::size_t widest_on = 0;
+  std::size_t widest_off = 0;
+
+  std::cout << "=== POR: explored states, wide-fanout set ===\n";
+  std::cout << "tasks  por_on  por_off    ratio  bunches\n";
+  for (int n : widths) {
+    const std::string src = wideFanout(n);
+    RunOutcome on = run(src, /*por=*/true, /*reference=*/false);
+    RunOutcome off = run(src, /*por=*/false, /*reference=*/false);
+    warnings_identical &= on.warning_locs == off.warning_locs;
+    const double ratio =
+        on.states == 0 ? 0.0
+                       : static_cast<double>(off.states) /
+                             static_cast<double>(on.states);
+    if (n == widths[sizeof(widths) / sizeof(widths[0]) - 1]) {
+      worst_ratio = ratio;
+      widest_on = on.states;
+      widest_off = off.states;
+    }
+    std::printf("%5d  %6zu  %7zu  %6.1fx  %7zu\n", n, on.states, off.states,
+                ratio, on.por_bunches);
+  }
+
+  // Representation speed: both engines, POR off, widest shape, best of 3.
+  const std::string widest_src = wideFanout(widths[4]);
+  double interned_ms = 1e18;
+  double reference_ms = 1e18;
+  std::size_t interned_states = 0;
+  std::size_t reference_states = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    RunOutcome a = run(widest_src, /*por=*/false, /*reference=*/false);
+    RunOutcome b = run(widest_src, /*por=*/false, /*reference=*/true);
+    warnings_identical &= a.warning_locs == b.warning_locs;
+    if (a.ms < interned_ms) interned_ms = a.ms;
+    if (b.ms < reference_ms) reference_ms = b.ms;
+    interned_states = a.states;
+    reference_states = b.states;
+  }
+  const double speedup = interned_ms == 0.0 ? 0.0 : reference_ms / interned_ms;
+
+  std::cout << "\n=== representation: interned/bitset vs reference, POR off "
+               "===\n";
+  std::printf("%-28s %10.2f ms  (%zu states)\n", "interned/bitset engine",
+              interned_ms, interned_states);
+  std::printf("%-28s %10.2f ms  (%zu states)\n", "reference engine",
+              reference_ms, reference_states);
+  std::printf("%-28s %10.2fx\n", "speedup", speedup);
+
+  const bool reduction_ok = worst_ratio >= 10.0;
+  const bool states_match = interned_states == reference_states;
+  const bool ok = reduction_ok && warnings_identical && states_match;
+
+  std::ofstream json("BENCH_pps.json");
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n  \"bench\": \"pps_engine\",\n"
+                "  \"widest_tasks\": %d,\n"
+                "  \"states_por_on\": %zu,\n  \"states_por_off\": %zu,\n"
+                "  \"reduction\": %.1f,\n"
+                "  \"interned_ms\": %.2f,\n  \"reference_ms\": %.2f,\n"
+                "  \"speedup\": %.2f,\n"
+                "  \"warnings_identical\": %s,\n  \"reduction_ok\": %s\n}\n",
+                widths[4], widest_on, widest_off, worst_ratio, interned_ms,
+                reference_ms, speedup, warnings_identical ? "true" : "false",
+                reduction_ok ? "true" : "false");
+  json << buf;
+  std::cout << "wrote BENCH_pps.json\n";
+
+  if (!ok) {
+    std::cout << "FAIL: expected >=10x state reduction at the widest shape "
+                 "with bit-identical warnings (reduction "
+              << worst_ratio << "x, warnings "
+              << (warnings_identical ? "identical" : "DIFFER") << ")\n";
+    return 1;
+  }
+  return 0;
+}

@@ -101,7 +101,11 @@ AnalysisSnapshot analyzeToSnapshot(const std::string& name,
 }
 
 std::uint64_t optionsFingerprint(const AnalysisOptions& options) {
-  std::uint64_t h = fnv1a64("cuaf-options-v1");
+  // v2: the PPS engine grew partial-order reduction (pps.por) and a
+  // reference-engine escape hatch (pps.use_reference_engine); both join the
+  // fingerprint, and the seed bump invalidates v1 snapshots wholesale so a
+  // cache written before those options existed can never alias.
+  std::uint64_t h = fnv1a64("cuaf-options-v2");
   auto mix = [&h](std::uint64_t v) { h = hashCombine(h, v); };
   mix(options.build.prune);
   mix(options.build.synced_scope_root);
@@ -110,6 +114,8 @@ std::uint64_t optionsFingerprint(const AnalysisOptions& options) {
   mix(options.build.unroll_loops);
   mix(options.build.max_unroll_iterations);
   mix(options.pps.merge_equivalent);
+  mix(options.pps.por);
+  mix(options.pps.use_reference_engine);
   mix(options.pps.max_states);
   mix(options.pps.record_trace);
   mix(options.pps.report_deadlocks);

@@ -45,6 +45,9 @@ class Builder {
       graph_->stats().pruned_tasks = pruneGraph(*graph_);
     }
     computeParallelFrontiers(*graph_);
+    // Pruning has marked every pre_safe access by now; freeze the dense
+    // live-access numbering the PPS engine keys its bitsets by.
+    graph_->finalizeAccessIndex();
     return std::move(graph_);
   }
 

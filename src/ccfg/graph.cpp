@@ -56,6 +56,17 @@ SyncVarInfo& Graph::syncVar(VarId v) {
   return it->second;
 }
 
+void Graph::finalizeAccessIndex() {
+  live_accesses_.clear();
+  dense_access_index_.assign(accesses_.size(), kNoDenseIndex);
+  for (const OvUse& a : accesses_) {
+    if (a.pre_safe) continue;
+    dense_access_index_[a.id.index()] =
+        static_cast<std::uint32_t>(live_accesses_.size());
+    live_accesses_.push_back(a.id);
+  }
+}
+
 void Graph::computePreds() {
   for (Node& n : nodes_) n.preds.clear();
   for (const Node& n : nodes_) {

@@ -191,6 +191,28 @@ class Graph {
     return sync_regions_;
   }
 
+  // -- dense live-access index ------------------------------------------------
+  /// Sentinel returned by denseAccessIndex() for pre-safe accesses, which
+  /// never participate in the PPS engine's OV/SV bitsets.
+  static constexpr std::uint32_t kNoDenseIndex = 0xffffffffu;
+
+  /// Assigns a dense index 0..liveAccessCount()-1 to every live (non
+  /// pre-safe) access, in AccessId order. Called by the builder once
+  /// construction and pruning are final; the PPS engine keys its OV/SV/tail
+  /// bitsets by this index, so union/intersect are word-parallel.
+  void finalizeAccessIndex();
+  [[nodiscard]] std::size_t liveAccessCount() const {
+    return live_accesses_.size();
+  }
+  /// Dense index of `a`, or kNoDenseIndex when the access is pre-safe.
+  [[nodiscard]] std::uint32_t denseAccessIndex(AccessId a) const {
+    return dense_access_index_.at(a.index());
+  }
+  /// Inverse mapping: the AccessId occupying a dense slot.
+  [[nodiscard]] AccessId liveAccess(std::uint32_t dense) const {
+    return live_accesses_.at(dense);
+  }
+
   // -- misc ------------------------------------------------------------------
   [[nodiscard]] ProcId rootProc() const { return root_proc_; }
   void setRootProc(ProcId p) { root_proc_ = p; }
@@ -226,6 +248,8 @@ class Graph {
   std::vector<Task> tasks_;
   std::vector<OvUse> accesses_;
   std::vector<VarId> clone_origin_;  ///< clone index -> original VarId
+  std::vector<AccessId> live_accesses_;          ///< dense slot -> access
+  std::vector<std::uint32_t> dense_access_index_;  ///< access -> dense slot
   std::unordered_map<VarId, SyncVarInfo> sync_vars_;
   std::unordered_map<VarId, VarScopeInfo> var_scopes_;
   std::unordered_map<VarId, std::vector<NodeId>> parallel_frontier_;

@@ -46,6 +46,9 @@ std::string Table1Stats::render() const {
     out += row("Warnings tail-delayable", "-", std::to_string(warnings_tail));
     out += row("Replay-confirmed rate", "-", replay_pct);
   }
+  // Exploration-cost extension row (no paper counterpart): distinct PPS
+  // states generated across every analyzed procedure.
+  out += row("PPS states explored", "-", std::to_string(pps_states_explored));
   return out;
 }
 
@@ -70,6 +73,7 @@ ProgramOutcome runProgram(const std::string& name, const std::string& source,
   for (const ProcAnalysis& pa : analysis.procs) {
     outcome.skipped_unsupported |= pa.skipped_unsupported;
     outcome.warnings += pa.warnings.size();
+    outcome.pps_states += pa.pps_states;
     for (const witness::Witness& w : pa.witnesses) {
       switch (w.verdict) {
         case witness::Verdict::Confirmed: ++outcome.warnings_confirmed; break;
@@ -161,6 +165,7 @@ CorpusRunResult runCorpusDetailed(
     stats.warnings_confirmed += o.warnings_confirmed;
     stats.warnings_unconfirmed += o.warnings_unconfirmed;
     stats.warnings_tail += o.warnings_tail;
+    stats.pps_states_explored += o.pps_states;
   }
   return result;
 }

@@ -40,6 +40,11 @@ struct Table1Stats {
   std::size_t warnings_confirmed = 0;    ///< replay reproduced the UAF
   std::size_t warnings_unconfirmed = 0;  ///< replay found no feasible schedule
   std::size_t warnings_tail = 0;         ///< tail-delayable, not reproduced
+  /// Sum over all analyzed procedures of the PPS engine's generated-state
+  /// count (post-merge, i.e. distinct (ASN, ST) states explored). The cost
+  /// side of Table I: warnings measure what the exploration found, this
+  /// measures what it had to visit to find them.
+  std::size_t pps_states_explored = 0;
 
   /// Share of replayed warnings whose counterexample concretely reproduced.
   [[nodiscard]] double replayConfirmedPct() const {
@@ -70,7 +75,8 @@ struct Table1Stats {
            a.cases_skipped == b.cases_skipped &&
            a.warnings_confirmed == b.warnings_confirmed &&
            a.warnings_unconfirmed == b.warnings_unconfirmed &&
-           a.warnings_tail == b.warnings_tail;
+           a.warnings_tail == b.warnings_tail &&
+           a.pps_states_explored == b.pps_states_explored;
   }
 
   /// Renders the table with the paper's reference column next to ours.
@@ -111,6 +117,8 @@ struct ProgramOutcome {
   std::size_t warnings_confirmed = 0;
   std::size_t warnings_unconfirmed = 0;
   std::size_t warnings_tail = 0;
+  /// PPS states generated across this program's procedures.
+  std::size_t pps_states = 0;
 
   friend bool operator==(const ProgramOutcome& a, const ProgramOutcome& b) {
     return a.name == b.name && a.parse_ok == b.parse_ok &&
@@ -120,7 +128,8 @@ struct ProgramOutcome {
            a.warnings_classified == b.warnings_classified &&
            a.warnings_confirmed == b.warnings_confirmed &&
            a.warnings_unconfirmed == b.warnings_unconfirmed &&
-           a.warnings_tail == b.warnings_tail;
+           a.warnings_tail == b.warnings_tail &&
+           a.pps_states == b.pps_states;
   }
 };
 

@@ -1,100 +1,116 @@
+// Default PPS engine: hash-consed states, dense bitsets, and partial-order
+// reduction (docs/PPS_ENGINE.md).
+//
+// Representation: the merge-immutable half of a PPS — the sorted ASN node
+// ids and the sync-variable state table — is interned once into a
+// StateInterner and carried as a 32-bit id; the merge-mutable half (OV, SV,
+// tails, per-strand pendings) lives in a StatePayload of DenseBitsets keyed
+// by the CCFG's live-access index. The merge rule's lookup is an
+// open-addressed probe, and its set algebra is word-parallel.
+//
+// Semantics: with Options::por off, the output Result (warnings, counters,
+// traces, report sites) is bit-identical to exploreReference() — the
+// retained pre-interning engine in pps_reference.cpp. pps_equivalence_test
+// enforces this over generated corpora; read that file before changing
+// anything order-sensitive here (worklist discipline, iteration orders, the
+// position of the max_states check).
 #include "src/pps/pps.h"
 
 #include <algorithm>
 #include <cassert>
 #include <deque>
 #include <unordered_map>
-#include <unordered_set>
 
-#include "src/ccfg/printer.h"
+#include "src/pps/state_store.h"
+#include "src/support/dense_bitset.h"
 
 namespace cuaf::pps {
 
 namespace {
 
-// Sorted-vector set helpers (access sets are small).
-bool setContains(const std::vector<AccessId>& set, AccessId id) {
-  return std::binary_search(set.begin(), set.end(), id);
-}
-void setInsert(std::vector<AccessId>& set, AccessId id) {
-  auto it = std::lower_bound(set.begin(), set.end(), id);
-  if (it == set.end() || *it != id) set.insert(it, id);
-}
-std::vector<AccessId> setUnion(const std::vector<AccessId>& a,
-                               const std::vector<AccessId>& b) {
-  std::vector<AccessId> out;
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
-                 std::back_inserter(out));
-  return out;
-}
-std::vector<AccessId> setIntersect(const std::vector<AccessId>& a,
-                                   const std::vector<AccessId>& b) {
-  std::vector<AccessId> out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
-}
-std::vector<AccessId> setMinus(const std::vector<AccessId>& a,
-                               const std::vector<AccessId>& b) {
-  std::vector<AccessId> out;
-  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                      std::back_inserter(out));
-  return out;
-}
-
-struct Pps {
-  std::vector<StrandHead> asn;  ///< sorted by sync_node id
-  std::vector<VarState> state;
-  std::vector<AccessId> ov;
-  std::vector<AccessId> sv;
-  std::vector<AccessId> tails;
-  std::uint32_t trace_id = 0;
+/// A strand head inside a cached advance() alternative. `pending` excludes
+/// pre-safe accesses but is deliberately NOT filtered by the reported set:
+/// the reference engine filters at advance() call time, so the cache stores
+/// the unfiltered union and the caller subtracts the current reported mask
+/// at materialization — the same moment the reference would filter.
+struct CachedHead {
+  NodeId sync_node;
+  DenseBitset pending;
 };
 
-/// One outcome of advancing strands through non-sync nodes: new strand heads
-/// plus tail accesses (strand suffixes with no further sync event).
-struct Alternative {
-  std::vector<StrandHead> heads;
-  std::vector<AccessId> tails;
+/// One outcome of advancing strands through non-sync nodes from a start
+/// node: new heads plus tail accesses (strand suffixes with no further sync
+/// event, minus accesses whose strand owns the variable's scope).
+struct CachedAlt {
+  std::vector<CachedHead> heads;
+  DenseBitset tails;
+};
+
+/// A candidate state mid-construction inside execute(): decoded heads with
+/// materialized pendings, the mutated state table, and the payload sets.
+struct Proto {
+  std::vector<CachedHead> heads;
+  std::vector<VarState> state;
+  DenseBitset ov;
+  DenseBitset sv;
+  DenseBitset tails;
 };
 
 class Engine {
  public:
   Engine(const ccfg::Graph& graph, const Options& options)
-      : g_(graph), opt_(options) {
-    // Dense sync-variable indexing.
+      : g_(graph), opt_(options), nbits_(graph.liveAccessCount()) {
+    // Dense sync-variable indexing. Iterates the graph's syncVars() map in
+    // the same order as the reference engine (same map instance, no
+    // intervening mutation), so sync_var_order matches bit-for-bit.
     for (const auto& [var, info] : g_.syncVars()) {
-      var_index_[var] = static_cast<std::uint32_t>(result_.sync_var_order.size());
+      var_index_[var] =
+          static_cast<std::uint32_t>(result_.sync_var_order.size());
       result_.sync_var_order.push_back(var);
     }
-    // Per-variable access lists and PF lookup. Sorted once here: the
-    // parallel-frontier flush intersects against them on every executed
-    // state, so sorting there would be a per-state hot-path cost.
+
+    reported_ = DenseBitset(nbits_);
+    owner_excluded_ = DenseBitset(nbits_);
+    node_is_pf_.assign(g_.nodeCount(), 0);
+
+    // Per-variable live-access bitsets feed the parallel-frontier flush;
+    // accesses whose strand owns the variable's scope never become tails.
+    std::unordered_map<VarId, DenseBitset> var_accesses;
     for (const ccfg::OvUse& a : g_.accesses()) {
-      if (!a.pre_safe) var_accesses_[a.var].push_back(a.id);
+      if (a.pre_safe) continue;
+      const std::uint32_t dense = g_.denseAccessIndex(a.id);
+      auto [it, inserted] = var_accesses.try_emplace(a.var, nbits_);
+      it->second.set(dense);
+      const auto* scope = g_.varScope(a.var);
+      if (scope != nullptr && scope->owner_task == a.task) {
+        owner_excluded_.set(dense);
+      }
     }
-    for (auto& [var, accesses] : var_accesses_) {
-      std::sort(accesses.begin(), accesses.end());
+    for (auto& [var, accesses] : var_accesses) {
+      const std::vector<NodeId>* pf = g_.parallelFrontier(var);
+      if (pf == nullptr || pf->empty()) continue;
+      for (NodeId n : *pf) node_is_pf_[n.index()] = 1;
+      flush_vars_.push_back(FlushVar{pf, std::move(accesses)});
     }
   }
 
   Result run() {
-    std::vector<Alternative> init =
-        advance(g_.task(g_.rootTask()).entry, {});
-    for (Alternative& alt : init) {
-      Pps pps;
-      pps.state.resize(result_.sync_var_order.size(), VarState::Empty);
+    const std::vector<CachedAlt>& init =
+        cachedAdvance(g_.task(g_.rootTask()).entry);
+    for (const CachedAlt& alt : init) {
+      Proto p;
+      p.state.resize(result_.sync_var_order.size(), VarState::Empty);
       for (std::size_t i = 0; i < result_.sync_var_order.size(); ++i) {
-        const ccfg::SyncVarInfo* info = nullptr;
         auto it = g_.syncVars().find(result_.sync_var_order[i]);
-        if (it != g_.syncVars().end()) info = &it->second;
-        if (info != nullptr && info->initially_full) pps.state[i] = VarState::Full;
+        if (it != g_.syncVars().end() && it->second.initially_full) {
+          p.state[i] = VarState::Full;
+        }
       }
-      pps.asn = std::move(alt.heads);
-      sortAsn(pps.asn);
-      pps.tails = std::move(alt.tails);
-      std::sort(pps.tails.begin(), pps.tails.end());
-      pushPps(std::move(pps), 0, Rule::Initial, {});
+      p.ov = DenseBitset(nbits_);
+      p.sv = DenseBitset(nbits_);
+      materializeAlt(alt, p);
+      sortHeads(p.heads);
+      pushProto(std::move(p), 0, Rule::Initial, {});
     }
 
     while (!worklist_.empty() && !result_.state_limit_hit) {
@@ -103,10 +119,10 @@ class Engine {
         result_.stopped = stop;
         break;
       }
-      Pps pps = std::move(worklist_.front());
+      WorkItem item = std::move(worklist_.front());
       worklist_.pop_front();
       ++result_.states_processed;
-      step(pps);
+      step(item);
     }
 
     std::sort(result_.unsafe.begin(), result_.unsafe.end());
@@ -121,94 +137,124 @@ class Engine {
   }
 
  private:
-  static void sortAsn(std::vector<StrandHead>& asn) {
-    std::sort(asn.begin(), asn.end(),
-              [](const StrandHead& a, const StrandHead& b) {
+  struct WorkItem {
+    StateInterner::StateId id = 0;
+    StatePayload payload;
+  };
+
+  struct FlushVar {
+    const std::vector<NodeId>* pf = nullptr;
+    DenseBitset accesses;
+  };
+
+  static void sortHeads(std::vector<CachedHead>& heads) {
+    std::sort(heads.begin(), heads.end(),
+              [](const CachedHead& a, const CachedHead& b) {
                 return a.sync_node < b.sync_node;
               });
   }
 
-  [[nodiscard]] VarState state(const Pps& pps, VarId var) const {
-    return pps.state[var_index_.at(var)];
+  [[nodiscard]] VarState state(const std::vector<VarState>& st,
+                               VarId var) const {
+    return st[var_index_.at(var)];
   }
 
-  [[nodiscard]] bool executable(const Pps& pps, const StrandHead& head) const {
-    const ccfg::Node& n = g_.node(head.sync_node);
+  [[nodiscard]] bool executable(const std::vector<VarState>& st,
+                                NodeId node) const {
+    const ccfg::Node& n = g_.node(node);
     switch (n.sync->op) {
       case ccfg::SyncOp::ReadFE:
       case ccfg::SyncOp::ReadFF:
       case ccfg::SyncOp::AtomicWait:
-        return state(pps, n.sync->var) == VarState::Full;
+        return state(st, n.sync->var) == VarState::Full;
       case ccfg::SyncOp::WriteEF:
-        return state(pps, n.sync->var) == VarState::Empty;
+        return state(st, n.sync->var) == VarState::Empty;
       case ccfg::SyncOp::AtomicFill:
         return true;  // non-blocking fill event
     }
     return false;
   }
 
-  /// Non-blocking events are applied "as a bunch" before the blocking rules
-  /// (paper: SINGLE-READ; extension: atomic fills and waits).
   [[nodiscard]] static bool isNonBlockingOp(ccfg::SyncOp op) {
     return op == ccfg::SyncOp::ReadFF || op == ccfg::SyncOp::AtomicFill ||
            op == ccfg::SyncOp::AtomicWait;
   }
 
-  /// Walks strands forward from `start` through non-sync nodes, collecting
-  /// pending accesses, forking at branches, and recursing into spawned
-  /// (unpruned) task strands.
-  std::vector<Alternative> advance(NodeId start,
-                                   std::vector<AccessId> pending) {
+  /// Appends an alternative's heads and tails to `p`, applying the current
+  /// reported mask (see CachedHead).
+  void materializeAlt(const CachedAlt& alt, Proto& p) {
+    for (const CachedHead& h : alt.heads) {
+      CachedHead mat;
+      mat.sync_node = h.sync_node;
+      mat.pending = h.pending;
+      mat.pending.subtract(reported_);
+      p.heads.push_back(std::move(mat));
+    }
+    if (p.tails.size() != nbits_) p.tails = DenseBitset(nbits_);
+    DenseBitset tails = alt.tails;
+    tails.subtract(reported_);
+    p.tails.unionWith(tails);
+  }
+
+  /// Memoized advance() from a node entered with no accumulated pendings
+  /// (task entries, sync-node successors, the root). Mirrors the reference
+  /// engine's recursion exactly, including alternative ordering.
+  const std::vector<CachedAlt>& cachedAdvance(NodeId start) {
+    auto it = advance_cache_.find(start.index());
+    if (it != advance_cache_.end()) return it->second;
+    std::vector<CachedAlt> alts = computeAdvance(start, DenseBitset(nbits_));
+    return advance_cache_.emplace(start.index(), std::move(alts))
+        .first->second;
+  }
+
+  std::vector<CachedAlt> computeAdvance(NodeId start, DenseBitset pending) {
     const ccfg::Node& n = g_.node(start);
 
     // Accesses inside this node become pending on the strand's next sync.
     for (AccessId a : n.accesses) {
-      const ccfg::OvUse& use = g_.access(a);
-      if (!use.pre_safe && !reported_.contains(a)) setInsert(pending, a);
+      const std::uint32_t dense = g_.denseAccessIndex(a);
+      if (dense != ccfg::Graph::kNoDenseIndex) pending.set(dense);
     }
 
-    // Spawned strands contribute their own alternatives.
-    std::vector<std::vector<Alternative>> spawn_alts;
+    // Spawned strands contribute their own alternatives (cacheable: they
+    // always start with an empty pending set).
+    std::vector<const std::vector<CachedAlt>*> spawn_alts;
     for (TaskId t : n.spawns) {
       if (g_.task(t).pruned) continue;
-      spawn_alts.push_back(advance(g_.task(t).entry, {}));
+      spawn_alts.push_back(&cachedAdvance(g_.task(t).entry));
     }
 
-    std::vector<Alternative> mine;
+    std::vector<CachedAlt> mine;
     if (n.sync) {
-      Alternative alt;
-      alt.heads.push_back(StrandHead{start, std::move(pending)});
+      CachedAlt alt;
+      alt.heads.push_back(CachedHead{start, std::move(pending)});
+      alt.tails = DenseBitset(nbits_);
       mine.push_back(std::move(alt));
     } else if (n.succs.empty()) {
-      // Strand end: pending accesses have no later sync event in this strand.
-      // They are tail-unsafe unless the strand owns the variable's scope
-      // (the owner cannot outlive itself).
-      Alternative alt;
-      for (AccessId a : pending) {
-        const ccfg::OvUse& use = g_.access(a);
-        const auto* scope = g_.varScope(use.var);
-        if (scope != nullptr && scope->owner_task == use.task) continue;
-        alt.tails.push_back(a);
-      }
+      // Strand end: pending accesses with no later sync event are
+      // tail-unsafe unless the strand owns the variable's scope.
+      CachedAlt alt;
+      alt.tails = std::move(pending);
+      alt.tails.subtract(owner_excluded_);
       mine.push_back(std::move(alt));
     } else if (n.succs.size() == 1) {
-      mine = advance(n.succs[0], std::move(pending));
+      mine = computeAdvance(n.succs[0], std::move(pending));
     } else {
       for (NodeId s : n.succs) {
-        std::vector<Alternative> branch = advance(s, pending);
-        for (Alternative& alt : branch) mine.push_back(std::move(alt));
+        std::vector<CachedAlt> branch = computeAdvance(s, pending);
+        for (CachedAlt& alt : branch) mine.push_back(std::move(alt));
       }
     }
 
     // Cartesian-combine with spawned strands' alternatives.
-    for (const auto& alts : spawn_alts) {
-      std::vector<Alternative> combined;
-      combined.reserve(mine.size() * alts.size());
-      for (const Alternative& a : mine) {
-        for (const Alternative& b : alts) {
-          Alternative c = a;
+    for (const auto* alts : spawn_alts) {
+      std::vector<CachedAlt> combined;
+      combined.reserve(mine.size() * alts->size());
+      for (const CachedAlt& a : mine) {
+        for (const CachedAlt& b : *alts) {
+          CachedAlt c = a;
           c.heads.insert(c.heads.end(), b.heads.begin(), b.heads.end());
-          c.tails.insert(c.tails.end(), b.tails.begin(), b.tails.end());
+          c.tails.unionWith(b.tails);
           combined.push_back(std::move(c));
         }
       }
@@ -217,22 +263,53 @@ class Engine {
     return mine;
   }
 
-  void step(const Pps& pps) {
-    if (pps.asn.empty()) {
+  void step(const WorkItem& item) {
+    // Decode the interned (ASN, ST) key before executing: interning inside
+    // pushProto can grow the arena and invalidate the key pointer.
+    auto [words, nwords] = interner_.key(item.id);
+    asn_scratch_.clear();
+    st_scratch_.clear();
+    std::size_t w = 0;
+    for (; w < nwords && words[w] != 0xffffffffu; ++w) {
+      asn_scratch_.push_back(NodeId(words[w]));
+    }
+    for (++w; w < nwords; ++w) {
+      st_scratch_.push_back(static_cast<VarState>(words[w]));
+    }
+    const std::vector<NodeId> asn = asn_scratch_;
+    const std::vector<VarState> st = st_scratch_;
+    const StatePayload& payload = item.payload;
+
+    if (asn.empty()) {
       ++result_.sink_count;
-      std::vector<AccessId> bad = setUnion(pps.ov, pps.tails);
-      for (AccessId a : bad) {
-        if (reported_.insert(a).second) {
-          result_.unsafe.push_back(a);
-          if (opt_.record_trace) {
-            result_.report_sites.push_back(
-                ReportSite{a, pps.trace_id, setContains(pps.tails, a)});
-          }
+      DenseBitset bad = payload.ov;
+      bad.unionWith(payload.tails);
+      bad.forEach([&](std::size_t dense) {
+        if (reported_.test(dense)) return;
+        reported_.set(dense);
+        const AccessId a = g_.liveAccess(static_cast<std::uint32_t>(dense));
+        result_.unsafe.push_back(a);
+        if (opt_.record_trace) {
+          result_.report_sites.push_back(
+              ReportSite{a, payload.trace_id, payload.tails.test(dense)});
         }
+      });
+      if (opt_.record_trace && payload.trace_id < result_.trace.size()) {
+        result_.trace[payload.trace_id].is_sink = true;
       }
-      if (opt_.record_trace && pps.trace_id < result_.trace.size()) {
-        result_.trace[pps.trace_id].is_sink = true;
-      }
+      return;
+    }
+
+    // Partial-order reduction: when the whole ASN is enabled blocking heads
+    // on pairwise-distinct sync variables, every continuation ends its
+    // strand, and no head is a parallel-frontier node, all interleavings of
+    // the heads commute into the same sink — execute them as one bunch.
+    // See docs/PPS_ENGINE.md for why each conjunct is load-bearing.
+    if (porBunchApplies(asn, st)) {
+      std::vector<std::size_t> all(asn.size());
+      for (std::size_t i = 0; i < asn.size(); ++i) all[i] = i;
+      execute(item, asn, st, all, Rule::Write);
+      ++result_.por_bunches;
       return;
     }
 
@@ -241,62 +318,99 @@ class Engine {
     // SINGLE-READ (and, with the atomics extension, atomic fills/waits):
     // executable non-blocking heads run as one bunch.
     std::vector<std::size_t> bunch;
-    for (std::size_t i = 0; i < pps.asn.size(); ++i) {
-      const ccfg::Node& n = g_.node(pps.asn[i].sync_node);
-      if (isNonBlockingOp(n.sync->op) && executable(pps, pps.asn[i])) {
+    for (std::size_t i = 0; i < asn.size(); ++i) {
+      const ccfg::Node& n = g_.node(asn[i]);
+      if (isNonBlockingOp(n.sync->op) && executable(st, asn[i])) {
         bunch.push_back(i);
       }
     }
     if (!bunch.empty()) {
-      execute(pps, bunch, Rule::SingleRead);
+      execute(item, asn, st, bunch, Rule::SingleRead);
       produced = true;
     }
 
-    for (std::size_t i = 0; i < pps.asn.size(); ++i) {
-      const ccfg::Node& n = g_.node(pps.asn[i].sync_node);
+    for (std::size_t i = 0; i < asn.size(); ++i) {
+      const ccfg::Node& n = g_.node(asn[i]);
       if (isNonBlockingOp(n.sync->op)) continue;  // handled above
-      if (!executable(pps, pps.asn[i])) continue;
-      execute(pps, {i}, n.sync->op == ccfg::SyncOp::ReadFE ? Rule::Read
-                                                           : Rule::Write);
+      if (!executable(st, asn[i])) continue;
+      execute(item, asn, st, {i},
+              n.sync->op == ccfg::SyncOp::ReadFE ? Rule::Read : Rule::Write);
       produced = true;
     }
 
     if (!produced) {
       ++result_.deadlock_count;
-      if (opt_.record_trace && pps.trace_id < result_.trace.size()) {
-        result_.trace[pps.trace_id].is_deadlock = true;
+      if (opt_.record_trace && payload.trace_id < result_.trace.size()) {
+        result_.trace[payload.trace_id].is_deadlock = true;
       }
       if (opt_.report_deadlocks) {
-        for (const StrandHead& h : pps.asn) {
-          result_.deadlocked_nodes.push_back(h.sync_node);
-        }
+        for (NodeId n : asn) result_.deadlocked_nodes.push_back(n);
       }
     }
   }
 
-  /// Executes the heads at `indices` of `pps` (one node for READ/WRITE, the
-  /// whole bunch for SINGLE-READ) and enqueues every resulting PPS.
-  void execute(const Pps& pps, const std::vector<std::size_t>& indices,
-               Rule rule) {
-    Pps base;
-    base.state = pps.state;
-    base.ov = pps.ov;
-    base.sv = pps.sv;
-    base.tails = pps.tails;
-    for (std::size_t i = 0; i < pps.asn.size(); ++i) {
+  [[nodiscard]] bool porBunchApplies(const std::vector<NodeId>& asn,
+                                     const std::vector<VarState>& st) {
+    if (!opt_.por || !opt_.merge_equivalent || opt_.record_trace ||
+        opt_.report_deadlocks || asn.size() < 2) {
+      return false;
+    }
+    por_var_seen_.assign(result_.sync_var_order.size(), 0);
+    for (NodeId node : asn) {
+      const ccfg::Node& n = g_.node(node);
+      if (isNonBlockingOp(n.sync->op)) return false;
+      if (!executable(st, node)) return false;
+      std::uint32_t vi = var_index_.at(n.sync->var);
+      if (por_var_seen_[vi]) return false;  // two heads on one variable
+      por_var_seen_[vi] = 1;
+      if (node_is_pf_[node.index()]) return false;  // head could flush
+      if (!continuationHeadless(node)) return false;
+    }
+    return true;
+  }
+
+  /// True when every advance() alternative after `node` (a sync node) has
+  /// no further strand heads — i.e. executing the node ends its strand.
+  bool continuationHeadless(NodeId node) {
+    auto it = cont_headless_.find(node.index());
+    if (it != cont_headless_.end()) return it->second;
+    const ccfg::Node& n = g_.node(node);
+    assert(n.succs.size() == 1);
+    bool headless = true;
+    for (const CachedAlt& alt : cachedAdvance(n.succs[0])) {
+      if (!alt.heads.empty()) {
+        headless = false;
+        break;
+      }
+    }
+    return cont_headless_.emplace(node.index(), headless).first->second;
+  }
+
+  /// Executes the heads at `indices` (one node for READ/WRITE, the whole
+  /// bunch for SINGLE-READ or a POR bunch) and enqueues every resulting
+  /// state.
+  void execute(const WorkItem& item, const std::vector<NodeId>& asn,
+               const std::vector<VarState>& st,
+               const std::vector<std::size_t>& indices, Rule rule) {
+    const StatePayload& payload = item.payload;
+
+    Proto base;
+    base.state = st;
+    base.ov = payload.ov;
+    base.sv = payload.sv;
+    base.tails = payload.tails;
+    for (std::size_t i = 0; i < asn.size(); ++i) {
       if (std::find(indices.begin(), indices.end(), i) == indices.end()) {
-        base.asn.push_back(pps.asn[i]);
+        base.heads.push_back(CachedHead{asn[i], payload.pending[i]});
       }
     }
 
-    // Executed-node lists exist only for the trace; without tracing they
-    // would be allocated and copied per generated state for nothing.
     std::vector<NodeId> executed;
-    std::vector<std::vector<Alternative>> conts;
+    std::vector<const std::vector<CachedAlt>*> conts;
     for (std::size_t i : indices) {
-      const StrandHead& head = pps.asn[i];
-      const ccfg::Node& n = g_.node(head.sync_node);
-      if (opt_.record_trace) executed.push_back(head.sync_node);
+      const NodeId node = asn[i];
+      const ccfg::Node& n = g_.node(node);
+      if (opt_.record_trace) executed.push_back(node);
 
       // State change.
       std::uint32_t vi = var_index_.at(n.sync->var);
@@ -313,170 +427,174 @@ class Engine {
           break;
       }
 
-      // OV update: pending accesses of the executed strand segment.
-      for (AccessId a : head.pending) {
-        if (reported_.contains(a)) continue;
-        if (setContains(base.sv, a) || setContains(base.ov, a)) continue;
-        setInsert(base.ov, a);
-      }
+      // OV update: the executed strand segment's pendings, minus accesses
+      // already reported or already proven safe on this path.
+      DenseBitset add = payload.pending[i];
+      add.subtract(reported_);
+      add.subtract(base.sv);
+      base.ov.unionWith(add);
 
       // Strand continuation: sync nodes have exactly one control successor.
       assert(n.succs.size() == 1);
-      conts.push_back(advance(n.succs[0], {}));
+      conts.push_back(&cachedAdvance(n.succs[0]));
     }
 
     // Cartesian product over continuations (branches downstream fork).
-    std::vector<Pps> results{std::move(base)};
-    for (const auto& alts : conts) {
-      std::vector<Pps> next;
-      next.reserve(results.size() * alts.size());
-      for (const Pps& r : results) {
-        for (const Alternative& alt : alts) {
-          Pps c = r;
-          for (const StrandHead& h : alt.heads) c.asn.push_back(h);
-          for (AccessId t : alt.tails) setInsert(c.tails, t);
+    std::vector<Proto> results;
+    results.push_back(std::move(base));
+    for (const auto* alts : conts) {
+      std::vector<Proto> next;
+      next.reserve(results.size() * alts->size());
+      for (const Proto& r : results) {
+        for (const CachedAlt& alt : *alts) {
+          Proto c = r;
+          materializeAlt(alt, c);
           next.push_back(std::move(c));
         }
       }
       results = std::move(next);
     }
 
-    for (Pps& out : results) {
-      sortAsn(out.asn);
+    for (Proto& out : results) {
+      sortHeads(out.heads);
       flushParallelFrontiers(out);
-      pushPps(std::move(out), pps.trace_id, rule, executed);
+      pushProto(std::move(out), payload.trace_id, rule, executed);
     }
   }
 
   /// When a PF(x) node is in the candidate set, every access of x currently
   /// in OV is proven safe on this path (§III.B).
-  void flushParallelFrontiers(Pps& pps) {
-    if (pps.ov.empty()) return;
-    for (const auto& [var, accesses] : var_accesses_) {
-      const std::vector<NodeId>* pf = g_.parallelFrontier(var);
-      if (pf == nullptr || pf->empty()) continue;
+  void flushParallelFrontiers(Proto& p) {
+    if (p.ov.empty()) return;
+    for (const FlushVar& fv : flush_vars_) {
       bool pf_candidate = false;
-      for (const StrandHead& h : pps.asn) {
-        if (std::binary_search(pf->begin(), pf->end(), h.sync_node) &&
-            executable(pps, h)) {
+      for (const CachedHead& h : p.heads) {
+        if (std::binary_search(fv.pf->begin(), fv.pf->end(), h.sync_node) &&
+            executable(p.state, h.sync_node)) {
           pf_candidate = true;
           break;
         }
       }
       if (!pf_candidate) continue;
-      std::vector<AccessId> moved = setIntersect(pps.ov, accesses);
-      if (moved.empty()) continue;
-      pps.ov = setMinus(pps.ov, moved);
-      pps.sv = setUnion(pps.sv, moved);
+      if (!p.ov.intersects(fv.accesses)) continue;
+      DenseBitset moved = p.ov;
+      moved.intersectWith(fv.accesses);
+      p.ov.subtract(moved);
+      p.sv.unionWith(moved);
     }
   }
 
-  /// Dedup key over the merge-relevant state: the sorted ASN sync nodes and
-  /// the sync-variable state vector (ST). The hash is computed once at
-  /// construction — the worklist probes this index for every generated
-  /// state, so rehashing on each probe would dominate the merge path.
-  struct MergeKey {
-    std::vector<std::uint32_t> words;  ///< ASN node ids, sentinel, ST values
-    std::size_t hash = 0;
-
-    MergeKey(const Pps& pps) {
-      words.reserve(pps.asn.size() + 1 + pps.state.size());
-      for (const StrandHead& h : pps.asn) words.push_back(h.sync_node.index());
-      words.push_back(0xffffffffu);  // ASN/ST boundary
-      for (VarState s : pps.state) {
-        words.push_back(static_cast<std::uint32_t>(s));
-      }
-      std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the words
-      for (std::uint32_t w : words) h = (h ^ w) * 0x100000001b3ull;
-      hash = static_cast<std::size_t>(h);
-    }
-
-    friend bool operator==(const MergeKey& a, const MergeKey& b) {
-      return a.hash == b.hash && a.words == b.words;
-    }
-  };
-  struct MergeKeyHash {
-    std::size_t operator()(const MergeKey& k) const noexcept { return k.hash; }
-  };
-
-  void pushPps(Pps pps, std::uint32_t parent_trace, Rule rule,
-               std::vector<NodeId> executed) {
+  void pushProto(Proto p, std::uint32_t parent_trace, Rule rule,
+                 const std::vector<NodeId>& executed) {
     if (result_.states_generated >= opt_.max_states) {
       result_.state_limit_hit = true;
       return;
     }
 
+    // Flat (ASN, ST) key: sorted head nodes, sentinel, state table.
+    key_scratch_.clear();
+    key_scratch_.reserve(p.heads.size() + 1 + p.state.size());
+    for (const CachedHead& h : p.heads) {
+      key_scratch_.push_back(h.sync_node.index());
+    }
+    key_scratch_.push_back(0xffffffffu);  // ASN/ST boundary
+    for (VarState s : p.state) {
+      key_scratch_.push_back(static_cast<std::uint32_t>(s));
+    }
+
+    StatePayload payload;
+    payload.pending.reserve(p.heads.size());
+    for (CachedHead& h : p.heads) payload.pending.push_back(std::move(h.pending));
+    payload.ov = std::move(p.ov);
+    payload.sv = std::move(p.sv);
+    payload.tails = std::move(p.tails);
+
+    auto [id, inserted] =
+        interner_.intern(key_scratch_.data(), key_scratch_.size());
+
     if (opt_.merge_equivalent) {
-      MergeKey key(pps);
-      auto it = merged_.find(key);
-      if (it != merged_.end()) {
-        Pps& stored = it->second;
-        // Merge: OV unions, SV intersects, pendings/tails union.
-        std::vector<AccessId> ov = setUnion(stored.ov, pps.ov);
-        std::vector<AccessId> sv = setIntersect(stored.sv, pps.sv);
-        sv = setMinus(sv, ov);
-        std::vector<AccessId> tails = setUnion(stored.tails, pps.tails);
-        bool changed = ov != stored.ov || sv != stored.sv ||
-                       tails != stored.tails;
-        for (std::size_t i = 0; i < stored.asn.size(); ++i) {
-          std::vector<AccessId> merged_pending =
-              setUnion(stored.asn[i].pending, pps.asn[i].pending);
-          if (merged_pending != stored.asn[i].pending) {
-            stored.asn[i].pending = std::move(merged_pending);
-            changed = true;
-          }
-        }
-        stored.ov = std::move(ov);
-        stored.sv = std::move(sv);
-        stored.tails = std::move(tails);
+      if (canonical_.size() < interner_.size()) {
+        canonical_.resize(interner_.size());
+      }
+      if (!inserted) {
+        StatePayload& stored = canonical_[id];
+        bool changed = mergePayload(stored, payload);
         ++result_.states_merged;
         if (changed) {
-          worklist_.push_back(stored);  // reprocess with widened sets
+          // Reprocess with widened sets; the worklist holds a snapshot so a
+          // later merge into the canonical copy cannot mutate it in flight.
+          worklist_.push_back(WorkItem{id, stored});
         }
         return;
       }
-      // First occurrence: remember the canonical copy.
       ++result_.states_generated;
-      recordTrace(pps, parent_trace, rule, std::move(executed));
-      merged_.emplace(std::move(key), pps);
-      worklist_.push_back(std::move(pps));
+      recordTrace(asnOf(id), p.state, payload, parent_trace, rule, executed);
+      canonical_[id] = payload;
+      worklist_.push_back(WorkItem{id, std::move(payload)});
       return;
     }
 
     ++result_.states_generated;
-    recordTrace(pps, parent_trace, rule, std::move(executed));
-    worklist_.push_back(std::move(pps));
+    recordTrace(asnOf(id), p.state, payload, parent_trace, rule, executed);
+    worklist_.push_back(WorkItem{id, std::move(payload)});
   }
 
-  void recordTrace(Pps& pps, std::uint32_t parent, Rule rule,
-                   std::vector<NodeId> executed) {
+  /// The ASN node list of an interned state (prefix of the key words).
+  [[nodiscard]] std::vector<NodeId> asnOf(StateInterner::StateId id) const {
+    auto [words, nwords] = interner_.key(id);
+    std::vector<NodeId> asn;
+    for (std::size_t i = 0; i < nwords && words[i] != 0xffffffffu; ++i) {
+      asn.push_back(NodeId(words[i]));
+    }
+    return asn;
+  }
+
+  void recordTrace(const std::vector<NodeId>& asn,
+                   const std::vector<VarState>& st, StatePayload& payload,
+                   std::uint32_t parent, Rule rule,
+                   const std::vector<NodeId>& executed) {
     if (!opt_.record_trace) return;
     TraceEntry e;
     e.id = static_cast<std::uint32_t>(result_.trace.size());
     e.parent = parent;
     e.rule = rule;
-    e.executed = std::move(executed);
-    for (const StrandHead& h : pps.asn) e.asn.push_back(h.sync_node);
-    e.ov = pps.ov;
-    e.sv = pps.sv;
-    e.state = pps.state;
-    pps.trace_id = e.id;
+    e.executed = executed;
+    e.asn = asn;
+    payload.ov.forEach([&](std::size_t dense) {
+      e.ov.push_back(g_.liveAccess(static_cast<std::uint32_t>(dense)));
+    });
+    payload.sv.forEach([&](std::size_t dense) {
+      e.sv.push_back(g_.liveAccess(static_cast<std::uint32_t>(dense)));
+    });
+    e.state = st;
+    payload.trace_id = e.id;
     result_.trace.push_back(std::move(e));
   }
 
   const ccfg::Graph& g_;
   Options opt_;
   Result result_;
-  std::deque<Pps> worklist_;
+  std::size_t nbits_;
   std::unordered_map<VarId, std::uint32_t> var_index_;
-  std::unordered_map<VarId, std::vector<AccessId>> var_accesses_;
-  std::unordered_map<MergeKey, Pps, MergeKeyHash> merged_;
-  std::unordered_set<AccessId> reported_;
+  StateInterner interner_;
+  std::vector<StatePayload> canonical_;  ///< by StateId (merge mode only)
+  std::deque<WorkItem> worklist_;
+  DenseBitset reported_;
+  DenseBitset owner_excluded_;
+  std::vector<FlushVar> flush_vars_;
+  std::vector<std::uint8_t> node_is_pf_;
+  std::unordered_map<std::uint32_t, std::vector<CachedAlt>> advance_cache_;
+  std::unordered_map<std::uint32_t, bool> cont_headless_;
+  std::vector<std::uint32_t> key_scratch_;
+  std::vector<NodeId> asn_scratch_;
+  std::vector<VarState> st_scratch_;
+  std::vector<std::uint8_t> por_var_seen_;
 };
 
 }  // namespace
 
 Result explore(const ccfg::Graph& graph, const Options& options) {
+  if (options.use_reference_engine) return exploreReference(graph, options);
   Engine engine(graph, options);
   return engine.run();
 }

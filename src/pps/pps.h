@@ -61,6 +61,23 @@ struct Options {
   /// Merge PPS-es with identical (ASN, state table) — the paper's
   /// optimization. Disable for the ablation bench.
   bool merge_equivalent = true;
+  /// Partial-order reduction: when every enabled blocking transition acts on
+  /// a distinct sync variable and no parallel-frontier node can become a
+  /// flush candidate while they run (see docs/PPS_ENGINE.md for the exact
+  /// independence rule), the engine executes them as one bunch — a single
+  /// representative of all their commuting interleavings. Warning sets are
+  /// unchanged; explored-state counts drop by orders of magnitude on
+  /// wide-fanout programs (bench_pps). Applied only by the default engine
+  /// when merge_equivalent is on and neither record_trace nor
+  /// report_deadlocks is set: trace artifacts (Figure 3/7 tables, witness
+  /// schedules) and deadlock enumeration need the full interleaving set.
+  bool por = true;
+  /// Route exploration through the retained reference engine (the
+  /// pre-interning implementation: deep-copied states, sorted-vector OV/SV,
+  /// structural merge keys, no POR). The differential harness
+  /// (pps_equivalence_test) compares it bit-for-bit against the default
+  /// interned/bitset engine.
+  bool use_reference_engine = false;
   /// Hard cap on generated states (safety valve for the corpus runner).
   std::size_t max_states = 200000;
   /// Record the full exploration trace (Figure 3 / Figure 7 artifacts).
@@ -96,6 +113,9 @@ struct Result {
   std::size_t states_processed = 0;
   std::size_t sink_count = 0;
   std::size_t deadlock_count = 0;
+  /// Number of POR bunch applications (0 when Options::por is off or never
+  /// applicable); each one collapsed >= 2 commuting transitions into one step.
+  std::size_t por_bunches = 0;
   bool state_limit_hit = false;
   /// Why exploration stopped early, if it did (partial `unsafe` set).
   StopReason stopped = StopReason::None;
@@ -108,8 +128,15 @@ struct Result {
 };
 
 /// Runs the PPS exploration over a built CCFG. The graph must not be marked
-/// unsupported().
+/// unsupported(). Dispatches to the interned/bitset engine unless
+/// Options::use_reference_engine routes it through the reference path.
 Result explore(const ccfg::Graph& graph, const Options& options = {});
+
+/// The retained reference implementation (pre-interning representation, no
+/// POR). With Options::por ignored, its Result — counters, traces, report
+/// sites and all — is bit-identical to the default engine's POR-off output;
+/// pps_equivalence_test enforces exactly that.
+Result exploreReference(const ccfg::Graph& graph, const Options& options = {});
 
 /// Renders a trace as a table resembling the paper's Figure 3 / Figure 7.
 [[nodiscard]] std::string renderTrace(const ccfg::Graph& graph,

@@ -1,0 +1,494 @@
+// Reference PPS engine: the retained pre-interning implementation.
+//
+// This is the original exploration core, kept verbatim as the oracle half
+// of the differential harness (pps_equivalence_test): deep-copied PPS
+// states, sorted-vector OV/SV sets, a structural (ASN, ST) hash key per
+// merge probe, and no partial-order reduction. Options::por and
+// Options::use_reference_engine are ignored here. Any change to the
+// default engine in pps.cpp must keep its POR-off output bit-identical
+// to this file (counters, traces, and report sites included);
+// pps_equivalence_test enforces that.
+#include "src/pps/pps.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/ccfg/printer.h"
+
+namespace cuaf::pps {
+
+namespace {
+
+// Sorted-vector set helpers (access sets are small).
+bool setContains(const std::vector<AccessId>& set, AccessId id) {
+  return std::binary_search(set.begin(), set.end(), id);
+}
+void setInsert(std::vector<AccessId>& set, AccessId id) {
+  auto it = std::lower_bound(set.begin(), set.end(), id);
+  if (it == set.end() || *it != id) set.insert(it, id);
+}
+std::vector<AccessId> setUnion(const std::vector<AccessId>& a,
+                               const std::vector<AccessId>& b) {
+  std::vector<AccessId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+std::vector<AccessId> setIntersect(const std::vector<AccessId>& a,
+                                   const std::vector<AccessId>& b) {
+  std::vector<AccessId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+std::vector<AccessId> setMinus(const std::vector<AccessId>& a,
+                               const std::vector<AccessId>& b) {
+  std::vector<AccessId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+struct Pps {
+  std::vector<StrandHead> asn;  ///< sorted by sync_node id
+  std::vector<VarState> state;
+  std::vector<AccessId> ov;
+  std::vector<AccessId> sv;
+  std::vector<AccessId> tails;
+  std::uint32_t trace_id = 0;
+};
+
+/// One outcome of advancing strands through non-sync nodes: new strand heads
+/// plus tail accesses (strand suffixes with no further sync event).
+struct Alternative {
+  std::vector<StrandHead> heads;
+  std::vector<AccessId> tails;
+};
+
+class ReferenceEngine {
+ public:
+  ReferenceEngine(const ccfg::Graph& graph, const Options& options)
+      : g_(graph), opt_(options) {
+    // Dense sync-variable indexing.
+    for (const auto& [var, info] : g_.syncVars()) {
+      var_index_[var] = static_cast<std::uint32_t>(result_.sync_var_order.size());
+      result_.sync_var_order.push_back(var);
+    }
+    // Per-variable access lists and PF lookup. Sorted once here: the
+    // parallel-frontier flush intersects against them on every executed
+    // state, so sorting there would be a per-state hot-path cost.
+    for (const ccfg::OvUse& a : g_.accesses()) {
+      if (!a.pre_safe) var_accesses_[a.var].push_back(a.id);
+    }
+    for (auto& [var, accesses] : var_accesses_) {
+      std::sort(accesses.begin(), accesses.end());
+    }
+  }
+
+  Result run() {
+    std::vector<Alternative> init =
+        advance(g_.task(g_.rootTask()).entry, {});
+    for (Alternative& alt : init) {
+      Pps pps;
+      pps.state.resize(result_.sync_var_order.size(), VarState::Empty);
+      for (std::size_t i = 0; i < result_.sync_var_order.size(); ++i) {
+        const ccfg::SyncVarInfo* info = nullptr;
+        auto it = g_.syncVars().find(result_.sync_var_order[i]);
+        if (it != g_.syncVars().end()) info = &it->second;
+        if (info != nullptr && info->initially_full) pps.state[i] = VarState::Full;
+      }
+      pps.asn = std::move(alt.heads);
+      sortAsn(pps.asn);
+      pps.tails = std::move(alt.tails);
+      std::sort(pps.tails.begin(), pps.tails.end());
+      pushPps(std::move(pps), 0, Rule::Initial, {});
+    }
+
+    while (!worklist_.empty() && !result_.state_limit_hit) {
+      if (StopReason stop = opt_.deadline.check("pps.explore");
+          stop != StopReason::None) {
+        result_.stopped = stop;
+        break;
+      }
+      Pps pps = std::move(worklist_.front());
+      worklist_.pop_front();
+      ++result_.states_processed;
+      step(pps);
+    }
+
+    std::sort(result_.unsafe.begin(), result_.unsafe.end());
+    result_.unsafe.erase(
+        std::unique(result_.unsafe.begin(), result_.unsafe.end()),
+        result_.unsafe.end());
+    std::sort(result_.deadlocked_nodes.begin(), result_.deadlocked_nodes.end());
+    result_.deadlocked_nodes.erase(std::unique(result_.deadlocked_nodes.begin(),
+                                               result_.deadlocked_nodes.end()),
+                                   result_.deadlocked_nodes.end());
+    return std::move(result_);
+  }
+
+ private:
+  static void sortAsn(std::vector<StrandHead>& asn) {
+    std::sort(asn.begin(), asn.end(),
+              [](const StrandHead& a, const StrandHead& b) {
+                return a.sync_node < b.sync_node;
+              });
+  }
+
+  [[nodiscard]] VarState state(const Pps& pps, VarId var) const {
+    return pps.state[var_index_.at(var)];
+  }
+
+  [[nodiscard]] bool executable(const Pps& pps, const StrandHead& head) const {
+    const ccfg::Node& n = g_.node(head.sync_node);
+    switch (n.sync->op) {
+      case ccfg::SyncOp::ReadFE:
+      case ccfg::SyncOp::ReadFF:
+      case ccfg::SyncOp::AtomicWait:
+        return state(pps, n.sync->var) == VarState::Full;
+      case ccfg::SyncOp::WriteEF:
+        return state(pps, n.sync->var) == VarState::Empty;
+      case ccfg::SyncOp::AtomicFill:
+        return true;  // non-blocking fill event
+    }
+    return false;
+  }
+
+  /// Non-blocking events are applied "as a bunch" before the blocking rules
+  /// (paper: SINGLE-READ; extension: atomic fills and waits).
+  [[nodiscard]] static bool isNonBlockingOp(ccfg::SyncOp op) {
+    return op == ccfg::SyncOp::ReadFF || op == ccfg::SyncOp::AtomicFill ||
+           op == ccfg::SyncOp::AtomicWait;
+  }
+
+  /// Walks strands forward from `start` through non-sync nodes, collecting
+  /// pending accesses, forking at branches, and recursing into spawned
+  /// (unpruned) task strands.
+  std::vector<Alternative> advance(NodeId start,
+                                   std::vector<AccessId> pending) {
+    const ccfg::Node& n = g_.node(start);
+
+    // Accesses inside this node become pending on the strand's next sync.
+    for (AccessId a : n.accesses) {
+      const ccfg::OvUse& use = g_.access(a);
+      if (!use.pre_safe && !reported_.contains(a)) setInsert(pending, a);
+    }
+
+    // Spawned strands contribute their own alternatives.
+    std::vector<std::vector<Alternative>> spawn_alts;
+    for (TaskId t : n.spawns) {
+      if (g_.task(t).pruned) continue;
+      spawn_alts.push_back(advance(g_.task(t).entry, {}));
+    }
+
+    std::vector<Alternative> mine;
+    if (n.sync) {
+      Alternative alt;
+      alt.heads.push_back(StrandHead{start, std::move(pending)});
+      mine.push_back(std::move(alt));
+    } else if (n.succs.empty()) {
+      // Strand end: pending accesses have no later sync event in this strand.
+      // They are tail-unsafe unless the strand owns the variable's scope
+      // (the owner cannot outlive itself).
+      Alternative alt;
+      for (AccessId a : pending) {
+        const ccfg::OvUse& use = g_.access(a);
+        const auto* scope = g_.varScope(use.var);
+        if (scope != nullptr && scope->owner_task == use.task) continue;
+        alt.tails.push_back(a);
+      }
+      mine.push_back(std::move(alt));
+    } else if (n.succs.size() == 1) {
+      mine = advance(n.succs[0], std::move(pending));
+    } else {
+      for (NodeId s : n.succs) {
+        std::vector<Alternative> branch = advance(s, pending);
+        for (Alternative& alt : branch) mine.push_back(std::move(alt));
+      }
+    }
+
+    // Cartesian-combine with spawned strands' alternatives.
+    for (const auto& alts : spawn_alts) {
+      std::vector<Alternative> combined;
+      combined.reserve(mine.size() * alts.size());
+      for (const Alternative& a : mine) {
+        for (const Alternative& b : alts) {
+          Alternative c = a;
+          c.heads.insert(c.heads.end(), b.heads.begin(), b.heads.end());
+          c.tails.insert(c.tails.end(), b.tails.begin(), b.tails.end());
+          combined.push_back(std::move(c));
+        }
+      }
+      mine = std::move(combined);
+    }
+    return mine;
+  }
+
+  void step(const Pps& pps) {
+    if (pps.asn.empty()) {
+      ++result_.sink_count;
+      std::vector<AccessId> bad = setUnion(pps.ov, pps.tails);
+      for (AccessId a : bad) {
+        if (reported_.insert(a).second) {
+          result_.unsafe.push_back(a);
+          if (opt_.record_trace) {
+            result_.report_sites.push_back(
+                ReportSite{a, pps.trace_id, setContains(pps.tails, a)});
+          }
+        }
+      }
+      if (opt_.record_trace && pps.trace_id < result_.trace.size()) {
+        result_.trace[pps.trace_id].is_sink = true;
+      }
+      return;
+    }
+
+    bool produced = false;
+
+    // SINGLE-READ (and, with the atomics extension, atomic fills/waits):
+    // executable non-blocking heads run as one bunch.
+    std::vector<std::size_t> bunch;
+    for (std::size_t i = 0; i < pps.asn.size(); ++i) {
+      const ccfg::Node& n = g_.node(pps.asn[i].sync_node);
+      if (isNonBlockingOp(n.sync->op) && executable(pps, pps.asn[i])) {
+        bunch.push_back(i);
+      }
+    }
+    if (!bunch.empty()) {
+      execute(pps, bunch, Rule::SingleRead);
+      produced = true;
+    }
+
+    for (std::size_t i = 0; i < pps.asn.size(); ++i) {
+      const ccfg::Node& n = g_.node(pps.asn[i].sync_node);
+      if (isNonBlockingOp(n.sync->op)) continue;  // handled above
+      if (!executable(pps, pps.asn[i])) continue;
+      execute(pps, {i}, n.sync->op == ccfg::SyncOp::ReadFE ? Rule::Read
+                                                           : Rule::Write);
+      produced = true;
+    }
+
+    if (!produced) {
+      ++result_.deadlock_count;
+      if (opt_.record_trace && pps.trace_id < result_.trace.size()) {
+        result_.trace[pps.trace_id].is_deadlock = true;
+      }
+      if (opt_.report_deadlocks) {
+        for (const StrandHead& h : pps.asn) {
+          result_.deadlocked_nodes.push_back(h.sync_node);
+        }
+      }
+    }
+  }
+
+  /// Executes the heads at `indices` of `pps` (one node for READ/WRITE, the
+  /// whole bunch for SINGLE-READ) and enqueues every resulting PPS.
+  void execute(const Pps& pps, const std::vector<std::size_t>& indices,
+               Rule rule) {
+    Pps base;
+    base.state = pps.state;
+    base.ov = pps.ov;
+    base.sv = pps.sv;
+    base.tails = pps.tails;
+    for (std::size_t i = 0; i < pps.asn.size(); ++i) {
+      if (std::find(indices.begin(), indices.end(), i) == indices.end()) {
+        base.asn.push_back(pps.asn[i]);
+      }
+    }
+
+    // Executed-node lists exist only for the trace; without tracing they
+    // would be allocated and copied per generated state for nothing.
+    std::vector<NodeId> executed;
+    std::vector<std::vector<Alternative>> conts;
+    for (std::size_t i : indices) {
+      const StrandHead& head = pps.asn[i];
+      const ccfg::Node& n = g_.node(head.sync_node);
+      if (opt_.record_trace) executed.push_back(head.sync_node);
+
+      // State change.
+      std::uint32_t vi = var_index_.at(n.sync->var);
+      switch (n.sync->op) {
+        case ccfg::SyncOp::ReadFE:
+          base.state[vi] = VarState::Empty;
+          break;
+        case ccfg::SyncOp::ReadFF:
+        case ccfg::SyncOp::AtomicWait:
+          break;  // non-consuming reads retain the full state
+        case ccfg::SyncOp::WriteEF:
+        case ccfg::SyncOp::AtomicFill:
+          base.state[vi] = VarState::Full;
+          break;
+      }
+
+      // OV update: pending accesses of the executed strand segment.
+      for (AccessId a : head.pending) {
+        if (reported_.contains(a)) continue;
+        if (setContains(base.sv, a) || setContains(base.ov, a)) continue;
+        setInsert(base.ov, a);
+      }
+
+      // Strand continuation: sync nodes have exactly one control successor.
+      assert(n.succs.size() == 1);
+      conts.push_back(advance(n.succs[0], {}));
+    }
+
+    // Cartesian product over continuations (branches downstream fork).
+    std::vector<Pps> results{std::move(base)};
+    for (const auto& alts : conts) {
+      std::vector<Pps> next;
+      next.reserve(results.size() * alts.size());
+      for (const Pps& r : results) {
+        for (const Alternative& alt : alts) {
+          Pps c = r;
+          for (const StrandHead& h : alt.heads) c.asn.push_back(h);
+          for (AccessId t : alt.tails) setInsert(c.tails, t);
+          next.push_back(std::move(c));
+        }
+      }
+      results = std::move(next);
+    }
+
+    for (Pps& out : results) {
+      sortAsn(out.asn);
+      flushParallelFrontiers(out);
+      pushPps(std::move(out), pps.trace_id, rule, executed);
+    }
+  }
+
+  /// When a PF(x) node is in the candidate set, every access of x currently
+  /// in OV is proven safe on this path (§III.B).
+  void flushParallelFrontiers(Pps& pps) {
+    if (pps.ov.empty()) return;
+    for (const auto& [var, accesses] : var_accesses_) {
+      const std::vector<NodeId>* pf = g_.parallelFrontier(var);
+      if (pf == nullptr || pf->empty()) continue;
+      bool pf_candidate = false;
+      for (const StrandHead& h : pps.asn) {
+        if (std::binary_search(pf->begin(), pf->end(), h.sync_node) &&
+            executable(pps, h)) {
+          pf_candidate = true;
+          break;
+        }
+      }
+      if (!pf_candidate) continue;
+      std::vector<AccessId> moved = setIntersect(pps.ov, accesses);
+      if (moved.empty()) continue;
+      pps.ov = setMinus(pps.ov, moved);
+      pps.sv = setUnion(pps.sv, moved);
+    }
+  }
+
+  /// Dedup key over the merge-relevant state: the sorted ASN sync nodes and
+  /// the sync-variable state vector (ST). The hash is computed once at
+  /// construction — the worklist probes this index for every generated
+  /// state, so rehashing on each probe would dominate the merge path.
+  struct MergeKey {
+    std::vector<std::uint32_t> words;  ///< ASN node ids, sentinel, ST values
+    std::size_t hash = 0;
+
+    MergeKey(const Pps& pps) {
+      words.reserve(pps.asn.size() + 1 + pps.state.size());
+      for (const StrandHead& h : pps.asn) words.push_back(h.sync_node.index());
+      words.push_back(0xffffffffu);  // ASN/ST boundary
+      for (VarState s : pps.state) {
+        words.push_back(static_cast<std::uint32_t>(s));
+      }
+      std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the words
+      for (std::uint32_t w : words) h = (h ^ w) * 0x100000001b3ull;
+      hash = static_cast<std::size_t>(h);
+    }
+
+    friend bool operator==(const MergeKey& a, const MergeKey& b) {
+      return a.hash == b.hash && a.words == b.words;
+    }
+  };
+  struct MergeKeyHash {
+    std::size_t operator()(const MergeKey& k) const noexcept { return k.hash; }
+  };
+
+  void pushPps(Pps pps, std::uint32_t parent_trace, Rule rule,
+               std::vector<NodeId> executed) {
+    if (result_.states_generated >= opt_.max_states) {
+      result_.state_limit_hit = true;
+      return;
+    }
+
+    if (opt_.merge_equivalent) {
+      MergeKey key(pps);
+      auto it = merged_.find(key);
+      if (it != merged_.end()) {
+        Pps& stored = it->second;
+        // Merge: OV unions, SV intersects, pendings/tails union.
+        std::vector<AccessId> ov = setUnion(stored.ov, pps.ov);
+        std::vector<AccessId> sv = setIntersect(stored.sv, pps.sv);
+        sv = setMinus(sv, ov);
+        std::vector<AccessId> tails = setUnion(stored.tails, pps.tails);
+        bool changed = ov != stored.ov || sv != stored.sv ||
+                       tails != stored.tails;
+        for (std::size_t i = 0; i < stored.asn.size(); ++i) {
+          std::vector<AccessId> merged_pending =
+              setUnion(stored.asn[i].pending, pps.asn[i].pending);
+          if (merged_pending != stored.asn[i].pending) {
+            stored.asn[i].pending = std::move(merged_pending);
+            changed = true;
+          }
+        }
+        stored.ov = std::move(ov);
+        stored.sv = std::move(sv);
+        stored.tails = std::move(tails);
+        ++result_.states_merged;
+        if (changed) {
+          worklist_.push_back(stored);  // reprocess with widened sets
+        }
+        return;
+      }
+      // First occurrence: remember the canonical copy.
+      ++result_.states_generated;
+      recordTrace(pps, parent_trace, rule, std::move(executed));
+      merged_.emplace(std::move(key), pps);
+      worklist_.push_back(std::move(pps));
+      return;
+    }
+
+    ++result_.states_generated;
+    recordTrace(pps, parent_trace, rule, std::move(executed));
+    worklist_.push_back(std::move(pps));
+  }
+
+  void recordTrace(Pps& pps, std::uint32_t parent, Rule rule,
+                   std::vector<NodeId> executed) {
+    if (!opt_.record_trace) return;
+    TraceEntry e;
+    e.id = static_cast<std::uint32_t>(result_.trace.size());
+    e.parent = parent;
+    e.rule = rule;
+    e.executed = std::move(executed);
+    for (const StrandHead& h : pps.asn) e.asn.push_back(h.sync_node);
+    e.ov = pps.ov;
+    e.sv = pps.sv;
+    e.state = pps.state;
+    pps.trace_id = e.id;
+    result_.trace.push_back(std::move(e));
+  }
+
+  const ccfg::Graph& g_;
+  Options opt_;
+  Result result_;
+  std::deque<Pps> worklist_;
+  std::unordered_map<VarId, std::uint32_t> var_index_;
+  std::unordered_map<VarId, std::vector<AccessId>> var_accesses_;
+  std::unordered_map<MergeKey, Pps, MergeKeyHash> merged_;
+  std::unordered_set<AccessId> reported_;
+};
+
+}  // namespace
+
+Result exploreReference(const ccfg::Graph& graph, const Options& options) {
+  ReferenceEngine engine(graph, options);
+  return engine.run();
+}
+
+}  // namespace cuaf::pps

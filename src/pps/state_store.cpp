@@ -1,0 +1,84 @@
+#include "src/pps/state_store.h"
+
+namespace cuaf::pps {
+namespace {
+
+std::uint64_t hashWords(const std::uint32_t* words, std::size_t n) {
+  // FNV-1a, same constants as the reference engine's MergeKey hash.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= words[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::pair<StateInterner::StateId, bool> StateInterner::intern(
+    const std::uint32_t* words, std::size_t n) {
+  if (table_.empty()) rehash(64);
+  const std::uint64_t h = hashWords(words, n);
+  const std::size_t mask = table_.size() - 1;
+  std::size_t bucket = static_cast<std::size_t>(h) & mask;
+  while (table_[bucket] != 0) {
+    const StateId candidate = table_[bucket] - 1;
+    const Slot& s = slots_[candidate];
+    if (s.hash == h && s.size == n) {
+      const std::uint32_t* stored = arena_.data() + s.offset;
+      bool equal = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (stored[i] != words[i]) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return {candidate, false};
+    }
+    bucket = (bucket + 1) & mask;
+  }
+
+  const StateId id = static_cast<StateId>(slots_.size());
+  Slot slot;
+  slot.offset = static_cast<std::uint32_t>(arena_.size());
+  slot.size = static_cast<std::uint32_t>(n);
+  slot.hash = h;
+  arena_.insert(arena_.end(), words, words + n);
+  slots_.push_back(slot);
+  table_[bucket] = id + 1;
+  // Grow at 70% load so probe chains stay short.
+  if (slots_.size() * 10 >= table_.size() * 7) rehash(table_.size() * 2);
+  return {id, true};
+}
+
+void StateInterner::rehash(std::size_t buckets) {
+  table_.assign(buckets, 0);
+  const std::size_t mask = buckets - 1;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    std::size_t bucket = static_cast<std::size_t>(slots_[i].hash) & mask;
+    while (table_[bucket] != 0) bucket = (bucket + 1) & mask;
+    table_[bucket] = static_cast<std::uint32_t>(i) + 1;
+  }
+}
+
+bool mergePayload(StatePayload& into, const StatePayload& from) {
+  bool changed = false;
+  // OV unions; anything newly owed also leaves SV (OV wins the overlap, as
+  // in the reference engine's ov-union-then-sv-minus-ov sequence).
+  changed |= into.ov.unionWith(from.ov);
+  // SV intersects across the merged paths, then stays disjoint from OV.
+  changed |= into.sv.intersectWith(from.sv);
+  changed |= into.sv.subtract(into.ov);
+  changed |= into.tails.unionWith(from.tails);
+  for (std::size_t i = 0; i < into.pending.size(); ++i) {
+    changed |= into.pending[i].unionWith(from.pending[i]);
+  }
+  return changed;
+}
+
+void transferSafe(StatePayload& payload, const DenseBitset& moved) {
+  payload.ov.subtract(moved);
+  payload.sv.unionWith(moved);
+}
+
+}  // namespace cuaf::pps

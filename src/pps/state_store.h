@@ -1,0 +1,88 @@
+// Hash-consed PPS state storage for the interned/bitset exploration engine.
+//
+// Layout (docs/PPS_ENGINE.md):
+//   * StateInterner — an arena of flat (ASN, ST) keys: the sorted ASN sync
+//     node ids, a 0xffffffff sentinel, then one word per sync variable's
+//     full/empty state. Interning returns a dense 32-bit StateId; equal
+//     keys always intern to the same id, so the merge rule's "have we seen
+//     this (ASN, ST)?" probe is an open-addressed table hit keyed by a hash
+//     computed exactly once per candidate state.
+//   * StatePayload — the merge-mutable half of a PPS (OV, SV, tails, and
+//     the per-strand pending sets), all dense bitsets keyed by the CCFG's
+//     live-access index (ccfg::Graph::denseAccessIndex).
+//   * mergePayload — the paper's merge rule over payloads: OV unions, SV
+//     intersects (and stays disjoint from OV), tails and pendings union.
+//
+// Exposed as a standalone header so pps_invariant_test can check interning
+// soundness and merge idempotence on randomized states without going
+// through a full exploration.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/support/dense_bitset.h"
+
+namespace cuaf::pps {
+
+class StateInterner {
+ public:
+  using StateId = std::uint32_t;
+  static constexpr StateId kNoState = 0xffffffffu;
+
+  /// Interns the key `words[0..n)`. Returns the id plus whether the key was
+  /// newly inserted (false = an equal key was interned before).
+  std::pair<StateId, bool> intern(const std::uint32_t* words, std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  /// The flat words of an interned key (valid until the next intern call).
+  [[nodiscard]] std::pair<const std::uint32_t*, std::size_t> key(
+      StateId id) const {
+    const Slot& s = slots_[id];
+    return {arena_.data() + s.offset, s.size};
+  }
+
+ private:
+  struct Slot {
+    std::uint32_t offset = 0;
+    std::uint32_t size = 0;
+    std::uint64_t hash = 0;
+  };
+
+  void rehash(std::size_t buckets);
+
+  std::vector<std::uint32_t> arena_;  ///< concatenated key words
+  std::vector<Slot> slots_;           ///< by StateId
+  std::vector<std::uint32_t> table_;  ///< open addressing; StateId + 1, 0 = empty
+};
+
+/// The merge-mutable half of one PPS. Bitset widths are the graph's
+/// live-access count; `pending` runs parallel to the interned key's ASN.
+struct StatePayload {
+  std::vector<DenseBitset> pending;
+  DenseBitset ov;
+  DenseBitset sv;
+  DenseBitset tails;
+  std::uint32_t trace_id = 0;
+
+  friend bool operator==(const StatePayload& a, const StatePayload& b) {
+    return a.pending == b.pending && a.ov == b.ov && a.sv == b.sv &&
+           a.tails == b.tails;
+  }
+};
+
+/// Merges `from` into `into` per the paper's rule (OV union, SV intersect
+/// minus OV, tails and per-head pendings union). The two payloads must
+/// belong to the same interned (ASN, ST) key. Returns true iff `into`
+/// changed — the engine requeues the state for reprocessing exactly then.
+/// Merging a payload with itself is always a no-op (idempotence).
+bool mergePayload(StatePayload& into, const StatePayload& from);
+
+/// The parallel-frontier transfer: accesses in `moved` are proven safe on
+/// this path, so they leave OV and enter SV. Keeps OV and SV disjoint by
+/// construction.
+void transferSafe(StatePayload& payload, const DenseBitset& moved);
+
+}  // namespace cuaf::pps

@@ -324,6 +324,7 @@ bool applyOptions(const JsonValue& object, AnalysisOptions& out,
     }
     if (key == "prune") out.build.prune = value.boolean;
     else if (key == "merge") out.pps.merge_equivalent = value.boolean;
+    else if (key == "por") out.pps.por = value.boolean;
     else if (key == "deadlocks") out.pps.report_deadlocks = value.boolean;
     else if (key == "model_atomics") out.build.model_atomics = value.boolean;
     else if (key == "unroll_loops") out.build.unroll_loops = value.boolean;

@@ -78,6 +78,7 @@ std::string renderWorkerRequest(const SourceItem& item, const Request& request,
   out += ",\"options\":{";
   out += std::string("\"prune\":") + flag(o.build.prune);
   out += std::string(",\"merge\":") + flag(o.pps.merge_equivalent);
+  out += std::string(",\"por\":") + flag(o.pps.por);
   out += std::string(",\"deadlocks\":") + flag(o.pps.report_deadlocks);
   out += std::string(",\"model_atomics\":") + flag(o.build.model_atomics);
   out += std::string(",\"unroll_loops\":") + flag(o.build.unroll_loops);

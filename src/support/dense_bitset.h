@@ -1,0 +1,122 @@
+// Dense bitset over a fixed universe of small integer keys.
+//
+// The PPS engine keys its OV/SV/tail/pending sets by the CCFG's dense
+// live-access index (ccfg::Graph::denseAccessIndex), so set union /
+// intersection / difference — the merge rule's inner loop — become
+// word-parallel operations over a handful of 64-bit words instead of
+// per-element probes of an unordered_set.
+//
+// The width is fixed at construction (or first resize); all binary
+// operations require equal widths, which the engine guarantees by sizing
+// every set to the graph's live-access count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cuaf {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+  [[nodiscard]] bool empty() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(popcount(w));
+    return n;
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void reset(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  void clear() {
+    for (std::uint64_t& w : words_) w = 0;
+  }
+
+  // -- word-parallel set algebra (equal widths required) --------------------
+  // Each mutator returns whether the set changed; the merge rule requeues a
+  // state exactly when one of these reports a change.
+  bool unionWith(const DenseBitset& o) {
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t next = words_[i] | o.words_[i];
+      changed |= next != words_[i];
+      words_[i] = next;
+    }
+    return changed;
+  }
+  bool intersectWith(const DenseBitset& o) {
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t next = words_[i] & o.words_[i];
+      changed |= next != words_[i];
+      words_[i] = next;
+    }
+    return changed;
+  }
+  bool subtract(const DenseBitset& o) {
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t next = words_[i] & ~o.words_[i];
+      changed |= next != words_[i];
+      words_[i] = next;
+    }
+    return changed;
+  }
+  [[nodiscard]] bool intersects(const DenseBitset& o) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & o.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool isSubsetOf(const DenseBitset& o) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~o.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Calls `fn(index)` for every set bit, in increasing index order.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        unsigned bit = countrZero(w);
+        fn(wi * 64 + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const DenseBitset& a, const DenseBitset& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  static unsigned popcount(std::uint64_t w) {
+    return static_cast<unsigned>(__builtin_popcountll(w));
+  }
+  static unsigned countrZero(std::uint64_t w) {
+    return static_cast<unsigned>(__builtin_ctzll(w));
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cuaf

@@ -13,6 +13,7 @@
 //     --baseline     also run the sync-block-only MHP baseline
 //     --no-prune     disable pruning rules A-D
 //     --no-merge     disable the PPS merge optimization
+//     --no-por       disable partial-order reduction in the PPS engine
 //     --deadlocks    report potential deadlock points (extension)
 //     --jobs N       worker threads for the dynamic oracle (deterministic:
 //                    results are identical for any N)
@@ -432,6 +433,8 @@ int main(int argc, char** argv) {
       cli.analysis.build.prune = false;
     } else if (arg == "--no-merge") {
       cli.analysis.pps.merge_equivalent = false;
+    } else if (arg == "--no-por") {
+      cli.analysis.pps.por = false;
     } else if (arg == "--deadlocks") {
       cli.analysis.pps.report_deadlocks = true;
     } else if (arg == "--model-atomics") {
@@ -484,7 +487,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: chpl-uaf [--dump-ast|--dump-ir|--dump-ccfg|--dot|"
                    "--trace-pps|--witness|--witness=replay|--baseline|"
-                   "--oracle|--no-prune|--no-merge|"
+                   "--oracle|--no-prune|--no-merge|--no-por|"
                    "--deadlocks|--model-atomics|--unroll-loops|--json|"
                    "--json-out FILE|--suggest-fixes|--fix|--jobs N|"
                    "--deadline-ms N|--cache-dir DIR] "

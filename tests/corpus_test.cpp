@@ -222,6 +222,131 @@ TEST(Runner, CorpusStatsCountSkippedToggleConsistent) {
   EXPECT_GE(a.stats.cases_with_begin, b.stats.cases_with_begin);
 }
 
+// ---------------------------------------------------------------------------
+// Bitset boundary fuzz seam (docs/PPS_ENGINE.md): the interned engine keys
+// OV/SV/tails by the dense live-access index, packed 64 per word. Programs
+// whose access counts straddle the 64-bit word boundary and the
+// multi-hundred range shake out word-indexing bugs that small corpora never
+// reach; the reference engine is the oracle.
+
+/// A program with `tasks` fire-and-forget tasks of `accesses_per_task`
+/// distinct outer-variable accesses each, plus a safe handshake task so the
+/// state table is non-trivial.
+std::string wideAccessProgram(unsigned tasks, unsigned accesses_per_task) {
+  std::string out = "proc p() {\n  var x0: int = 1;\n  var x1: int = 2;\n";
+  out += "  var done$: sync bool;\n";
+  for (unsigned t = 0; t < tasks; ++t) {
+    out += "  begin with (ref x0, ref x1) {\n";
+    for (unsigned a = 0; a < accesses_per_task; ++a) {
+      out += (a % 2 == 0) ? "    writeln(x0);\n" : "    x1 += 1;\n";
+    }
+    out += "  }\n";
+  }
+  out += "  begin with (ref x0) {\n    writeln(x0);\n    done$ = true;\n  }\n";
+  out += "  done$;\n  writeln(x0 + x1);\n}\n";
+  return out;
+}
+
+TEST(PpsBitsetBoundaries, EnginesAgreeAcrossWordBoundaries) {
+  // 60..68 accesses cross the one-word boundary; 1030+ crosses sixteen
+  // words and forces multi-block iteration in every set operation.
+  struct Shape { unsigned tasks; unsigned per_task; };
+  const Shape shapes[] = {
+      {1, 60}, {1, 63}, {1, 64}, {1, 65}, {2, 34},  // ~word edge
+      {2, 520}, {1, 1040},                          // >1024 live accesses
+  };
+  for (const Shape& s : shapes) {
+    const std::string src = wideAccessProgram(s.tasks, s.per_task);
+    Pipeline pipeline{AnalysisOptions{}};
+    ASSERT_TRUE(pipeline.runSource("wide", src));
+
+    AnalysisOptions ref_opts;
+    ref_opts.pps.use_reference_engine = true;
+    Pipeline ref_pipeline{ref_opts};
+    ASSERT_TRUE(ref_pipeline.runSource("wide", src));
+
+    const auto& a = pipeline.analysis().procs;
+    const auto& b = ref_pipeline.analysis().procs;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].warnings.size(), b[i].warnings.size())
+          << s.tasks << "x" << s.per_task;
+      for (std::size_t w = 0; w < a[i].warnings.size(); ++w) {
+        EXPECT_EQ(a[i].warnings[w].access_loc.line,
+                  b[i].warnings[w].access_loc.line);
+        EXPECT_EQ(a[i].warnings[w].access_loc.column,
+                  b[i].warnings[w].access_loc.column);
+      }
+      EXPECT_EQ(a[i].pps_states, b[i].pps_states)
+          << s.tasks << "x" << s.per_task;
+    }
+  }
+}
+
+TEST(PpsBitsetBoundaries, ZeroSyncVarProgramKeepsWarningsUnderPor) {
+  // No sync variables at all: the ASN is empty from the initial state, so
+  // exploration is a single sink regardless of POR. The warnings (all
+  // tails) must survive the POR fast path untouched.
+  std::string src = "proc p() {\n  var x0: int = 1;\n";
+  src += "  begin with (ref x0) {\n    writeln(x0);\n    x0 += 1;\n  }\n";
+  src += "  begin with (ref x0) {\n    writeln(x0);\n  }\n";
+  src += "  writeln(x0);\n}\n";
+
+  auto run = [&](bool por) {
+    AnalysisOptions opts;
+    opts.pps.por = por;
+    Pipeline pipeline{opts};
+    EXPECT_TRUE(pipeline.runSource("zerosync", src));
+    std::vector<std::pair<unsigned, unsigned>> locs;
+    std::size_t states = 0;
+    for (const ProcAnalysis& pa : pipeline.analysis().procs) {
+      states += pa.pps_states;
+      for (const UafWarning& w : pa.warnings) {
+        locs.emplace_back(w.access_loc.line, w.access_loc.column);
+      }
+    }
+    return std::make_pair(locs, states);
+  };
+
+  auto [with_por, states_por] = run(true);
+  auto [without_por, states_off] = run(false);
+  EXPECT_FALSE(with_por.empty());
+  EXPECT_EQ(with_por, without_por);
+  EXPECT_EQ(states_por, states_off);  // nothing to reduce: counts identical
+}
+
+TEST(Table1StateCounter, ExactOnCuratedFigures) {
+  // Pins the explored-state counts for the paper's figure programs so the
+  // "PPS states explored" Table I row is exact, not merely monotone. The
+  // expected values are the POR-off interleaving counts; each program also
+  // checks that the default engine (POR on) never reports more.
+  struct Expected {
+    const char* name;
+    std::size_t states;
+  };
+  const Expected expected[] = {
+      {"paper_fig1", 8},
+      {"paper_fig1_swapped", 5},
+      {"paper_fig6", 9},
+  };
+  for (const Expected& e : expected) {
+    const corpus::CuratedProgram* p = corpus::findCurated(e.name);
+    ASSERT_NE(p, nullptr) << e.name;
+
+    corpus::RunnerOptions opts;
+    opts.classify_with_oracle = false;
+    opts.analysis.pps.por = false;
+    corpus::ProgramOutcome off =
+        corpus::runProgram(p->name, p->source, opts);
+    EXPECT_EQ(off.pps_states, e.states) << e.name;
+
+    opts.analysis.pps.por = true;
+    corpus::ProgramOutcome on = corpus::runProgram(p->name, p->source, opts);
+    EXPECT_LE(on.pps_states, off.pps_states) << e.name;
+    EXPECT_EQ(on.warnings, off.warnings) << e.name;
+  }
+}
+
 TEST(Runner, ProgressCallbackInvoked) {
   corpus::GeneratorOptions gen;
   corpus::RunnerOptions run;

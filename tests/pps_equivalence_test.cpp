@@ -1,0 +1,275 @@
+// Differential harness for the PPS engine rewrite (docs/PPS_ENGINE.md).
+//
+// The repo carries two exploration engines:
+//   * exploreReference() — the retained pre-interning implementation
+//     (pps_reference.cpp): deep-copied states, sorted-vector sets, no POR;
+//   * explore()           — the default interned/bitset engine (pps.cpp)
+//     with partial-order reduction.
+//
+// Over seeded generator programs covering every TaskDiscipline this test
+// asserts, per program:
+//   1. with POR off, the two engines' Results are bit-identical — warning
+//      sets, every counter, sink/deadlock counts, traces, report sites;
+//   2. with POR on, the warning set is unchanged (POR prunes interleavings,
+//      never verdicts);
+//   3. through the full checker, witness verdicts and Table I rows agree
+//      between the engines.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/corpus/generator.h"
+#include "src/corpus/runner.h"
+#include "src/pps/pps.h"
+#include "src/support/rng.h"
+#include "tests/test_util.h"
+
+namespace cuaf {
+namespace {
+
+using corpus::TaskDiscipline;
+using test::Fixture;
+
+constexpr TaskDiscipline kAllDisciplines[] = {
+    TaskDiscipline::NoSync,       TaskDiscipline::SyncVarSafe,
+    TaskDiscipline::SyncVarLate,  TaskDiscipline::SyncBlock,
+    TaskDiscipline::AtomicSynced, TaskDiscipline::SingleVar,
+    TaskDiscipline::NestedFn,     TaskDiscipline::InIntent,
+};
+
+void emitAccesses(std::string& out, Rng& rng, unsigned count) {
+  for (unsigned i = 0; i < count; ++i) {
+    switch (rng.below(4)) {
+      case 0: out += "    writeln(x0);\n"; break;
+      case 1: out += "    writeln(x0 + x1);\n"; break;
+      case 2: out += "    x1 += " + std::to_string(rng.range(1, 5)) + ";\n"; break;
+      default: out += "    x0 = x0 + x1;\n"; break;
+    }
+  }
+}
+
+/// One task of the given discipline; `tag` uniqifies per-task declarations.
+/// Returns the parent-side epilogue (the wait, if the discipline has one).
+std::string emitTask(std::string& out, TaskDiscipline d, Rng& rng,
+                     unsigned tag) {
+  const std::string t = std::to_string(tag);
+  const unsigned accesses = static_cast<unsigned>(rng.range(1, 4));
+  std::string epilogue;
+  switch (d) {
+    case TaskDiscipline::NoSync:
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "  }\n";
+      break;
+    case TaskDiscipline::SyncVarSafe:
+      out += "  var done" + t + "$: sync bool;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    done" + t + "$ = true;\n  }\n";
+      epilogue = "  done" + t + "$;\n";
+      break;
+    case TaskDiscipline::SyncVarLate:
+      out += "  var done" + t + "$: sync bool;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    done" + t + "$ = true;\n";
+      emitAccesses(out, rng, 2);  // after the signal: unsafe
+      out += "  }\n";
+      epilogue = "  done" + t + "$;\n";
+      break;
+    case TaskDiscipline::SyncBlock:
+      out += "  sync {\n    begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    }\n  }\n";
+      break;
+    case TaskDiscipline::AtomicSynced:
+      out += "  var count" + t + ": atomic int;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    count" + t + ".add(1);\n  }\n";
+      epilogue = "  count" + t + ".waitFor(1);\n";
+      break;
+    case TaskDiscipline::SingleVar:
+      out += "  var ready" + t + "$: single bool;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    ready" + t + "$ = true;\n  }\n";
+      epilogue = "  ready" + t + "$;\n";
+      break;
+    case TaskDiscipline::NestedFn:
+      out += "  proc helper" + t + "() {\n    writeln(x0 + x1);\n";
+      out += "    x1 += 1;\n  }\n";
+      out += "  begin {\n    helper" + t + "();\n  }\n";
+      break;
+    case TaskDiscipline::InIntent:
+      out += "  begin with (in x0, in x1) {\n    writeln(x0 + x1);\n  }\n";
+      break;
+  }
+  return epilogue;
+}
+
+/// A program exercising one discipline: 1-3 tasks of that discipline, with
+/// an occasional extra NoSync or SyncVarSafe task and an occasional branch,
+/// so the exploration sees multi-strand interleavings, branch-forked
+/// alternatives, and mixed full/empty state tables — the paths where a
+/// representation bug would hide.
+std::string buildProgram(TaskDiscipline d, Rng& rng) {
+  std::string out = "proc p() {\n";
+  out += "  var x0: int = " + std::to_string(rng.range(1, 50)) + ";\n";
+  out += "  var x1: int = " + std::to_string(rng.range(1, 50)) + ";\n";
+  std::string epilogue;
+  unsigned tag = 0;
+
+  const unsigned tasks = static_cast<unsigned>(rng.range(1, 3));
+  for (unsigned i = 0; i < tasks; ++i) {
+    epilogue = emitTask(out, d, rng, tag++) + epilogue;
+  }
+  if (rng.below(3) == 0) {
+    // Mix in a second discipline so state tables carry several variables.
+    TaskDiscipline extra = rng.below(2) == 0 ? TaskDiscipline::NoSync
+                                             : TaskDiscipline::SyncVarSafe;
+    epilogue = emitTask(out, d == extra ? TaskDiscipline::SyncVarSafe : extra,
+                        rng, tag++) +
+               epilogue;
+  }
+  if (rng.below(4) == 0) {
+    out += "  if (x0 > 10) {\n    begin with (ref x0) {\n";
+    out += "      writeln(x0);\n    }\n  }\n";
+  }
+
+  out += epilogue;
+  out += "  writeln(x0 + x1);\n}\n";
+  return out;
+}
+
+void expectSameResult(const pps::Result& a, const pps::Result& b,
+                      const std::string& src) {
+  EXPECT_EQ(a.unsafe, b.unsafe) << src;
+  EXPECT_EQ(a.deadlocked_nodes, b.deadlocked_nodes) << src;
+  EXPECT_EQ(a.states_generated, b.states_generated) << src;
+  EXPECT_EQ(a.states_merged, b.states_merged) << src;
+  EXPECT_EQ(a.states_processed, b.states_processed) << src;
+  EXPECT_EQ(a.sink_count, b.sink_count) << src;
+  EXPECT_EQ(a.deadlock_count, b.deadlock_count) << src;
+  EXPECT_EQ(a.state_limit_hit, b.state_limit_hit) << src;
+  EXPECT_EQ(a.stopped, b.stopped) << src;
+  EXPECT_EQ(a.sync_var_order, b.sync_var_order) << src;
+  ASSERT_EQ(a.report_sites.size(), b.report_sites.size()) << src;
+  for (std::size_t i = 0; i < a.report_sites.size(); ++i) {
+    EXPECT_EQ(a.report_sites[i].access, b.report_sites[i].access) << src;
+    EXPECT_EQ(a.report_sites[i].sink_trace, b.report_sites[i].sink_trace)
+        << src;
+    EXPECT_EQ(a.report_sites[i].from_tail, b.report_sites[i].from_tail) << src;
+  }
+  ASSERT_EQ(a.trace.size(), b.trace.size()) << src;
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    const pps::TraceEntry& x = a.trace[i];
+    const pps::TraceEntry& y = b.trace[i];
+    EXPECT_EQ(x.id, y.id) << src;
+    EXPECT_EQ(x.parent, y.parent) << src;
+    EXPECT_EQ(x.rule, y.rule) << src;
+    EXPECT_EQ(x.executed, y.executed) << src;
+    EXPECT_EQ(x.asn, y.asn) << src;
+    EXPECT_EQ(x.ov, y.ov) << src;
+    EXPECT_EQ(x.sv, y.sv) << src;
+    EXPECT_EQ(x.state, y.state) << src;
+    EXPECT_EQ(x.is_sink, y.is_sink) << src;
+    EXPECT_EQ(x.is_deadlock, y.is_deadlock) << src;
+  }
+}
+
+class PpsEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+// 4 seeds x 125 variants = 500 programs per discipline, 4000 programs
+// total across the suite. Each program runs: reference, interned (POR
+// off), interned (POR on), and — every eighth variant — both engines
+// again with full trace recording.
+TEST_P(PpsEquivalence, EnginesBitIdenticalPerDiscipline) {
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ull + 1);
+  const int variants = 125;
+
+  for (TaskDiscipline d : kAllDisciplines) {
+    for (int v = 0; v < variants; ++v) {
+      const std::string src = buildProgram(d, rng);
+      auto f = Fixture::lower(src);
+      ASSERT_FALSE(f.diags.hasErrors()) << src << f.diagText();
+      auto g = f.buildCcfg();
+      if (g->unsupported()) continue;
+
+      pps::Options off;
+      off.por = false;
+      pps::Result ref = pps::exploreReference(*g, off);
+      pps::Result neu = pps::explore(*g, off);
+      expectSameResult(ref, neu, src);
+
+      pps::Options on;  // por defaults to true
+      pps::Result reduced = pps::explore(*g, on);
+      EXPECT_EQ(reduced.unsafe, ref.unsafe)
+          << "POR changed the warning set:\n" << src;
+      EXPECT_LE(reduced.states_generated, ref.states_generated) << src;
+
+      if (v % 8 == 0) {
+        pps::Options traced;
+        traced.record_trace = true;  // por stays on: engine must ignore it
+        pps::Result tref = pps::exploreReference(*g, traced);
+        pps::Result tneu = pps::explore(*g, traced);
+        expectSameResult(tref, tneu, src);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PpsEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// Through the full checker: warning locations and witness replay verdicts
+// must not depend on which engine explored the state space.
+TEST(PpsEquivalenceChecker, WitnessVerdictsMatch) {
+  Rng rng(77);
+  corpus::RunnerOptions base;
+  base.classify_with_oracle = false;
+  base.classify_with_witness = true;
+  corpus::RunnerOptions reference = base;
+  reference.analysis.pps.use_reference_engine = true;
+
+  for (TaskDiscipline d : kAllDisciplines) {
+    for (int v = 0; v < 8; ++v) {
+      Rng program_rng(rng.next());
+      Rng program_rng_copy = program_rng;
+      const std::string src = buildProgram(d, program_rng);
+      const std::string src_again = buildProgram(d, program_rng_copy);
+      ASSERT_EQ(src, src_again);
+
+      corpus::ProgramOutcome with_new = corpus::runProgram("eq", src, base);
+      corpus::ProgramOutcome with_ref =
+          corpus::runProgram("eq", src, reference);
+      EXPECT_EQ(with_new, with_ref) << src;
+    }
+  }
+}
+
+// Table I rows must be bit-identical between the engines, pps_states_explored
+// included (witness classification forces trace recording, which pins POR
+// off, so even the exploration cost matches exactly).
+TEST(PpsEquivalenceChecker, Table1RowsMatch) {
+  corpus::GeneratorOptions gen;
+  gen.begin_pm = 500;  // densely concurrent corpus: exercise the engine
+  corpus::RunnerOptions with_new;
+  with_new.classify_with_oracle = false;
+  with_new.classify_with_witness = true;
+  corpus::RunnerOptions with_ref = with_new;
+  with_ref.analysis.pps.use_reference_engine = true;
+
+  corpus::CorpusRunResult a = corpus::runCorpusDetailed(99, 60, gen, with_new);
+  corpus::CorpusRunResult b = corpus::runCorpusDetailed(99, 60, gen, with_ref);
+  EXPECT_EQ(a.stats, b.stats) << a.stats.render() << "\nvs\n"
+                              << b.stats.render();
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i], b.outcomes[i]) << a.outcomes[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace cuaf

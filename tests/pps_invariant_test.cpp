@@ -15,6 +15,9 @@
 
 #include "src/corpus/generator.h"
 #include "src/pps/pps.h"
+#include "src/pps/state_store.h"
+#include "src/support/dense_bitset.h"
+#include "src/support/rng.h"
 #include "tests/test_util.h"
 
 namespace cuaf {
@@ -146,6 +149,139 @@ TEST(PpsInvariants, MergedStateCountNeverExceedsUnmerged) {
     EXPECT_LE(a.states_generated, b.states_generated) << p.source;
   }
 }
+
+// ---------------------------------------------------------------------------
+// Representation invariants of the interned/bitset engine's state store
+// (src/pps/state_store.h), on randomized payloads: the merge rule is
+// idempotent, keeps OV and SV disjoint, and only widens monotonically; the
+// parallel-frontier transfer preserves OV/SV disjointness; interning is
+// sound (equal (ASN, ST) key words <=> same StateId).
+
+pps::StatePayload randomPayload(Rng& rng, std::size_t bits,
+                                std::size_t heads) {
+  pps::StatePayload p;
+  p.ov = DenseBitset(bits);
+  p.sv = DenseBitset(bits);
+  p.tails = DenseBitset(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    // Keep the invariant every engine-made payload has: OV and SV disjoint.
+    switch (rng.below(4)) {
+      case 0: p.ov.set(i); break;
+      case 1: p.sv.set(i); break;
+      case 2: p.tails.set(i); break;
+      default: break;
+    }
+  }
+  for (std::size_t h = 0; h < heads; ++h) {
+    DenseBitset pending(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (rng.below(3) == 0) pending.set(i);
+    }
+    p.pending.push_back(std::move(pending));
+  }
+  return p;
+}
+
+class StateStoreInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StateStoreInvariants, MergeIdempotentDisjointAndMonotone) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    // Cross bitset word boundaries: widths from sub-word to multi-word.
+    const std::size_t bits = static_cast<std::size_t>(rng.range(1, 200));
+    const std::size_t heads = static_cast<std::size_t>(rng.range(0, 3));
+    pps::StatePayload a = randomPayload(rng, bits, heads);
+    pps::StatePayload b = randomPayload(rng, bits, heads);
+
+    // Merging a payload with itself changes nothing.
+    pps::StatePayload a_copy = a;
+    EXPECT_FALSE(pps::mergePayload(a_copy, a));
+    EXPECT_TRUE(a_copy == a);
+
+    pps::StatePayload merged = a;
+    pps::mergePayload(merged, b);
+    // OV unions; SV stays disjoint from OV; tails union.
+    EXPECT_FALSE(merged.ov.intersects(merged.sv));
+    EXPECT_TRUE(a.ov.isSubsetOf(merged.ov));
+    EXPECT_TRUE(b.ov.isSubsetOf(merged.ov));
+    EXPECT_TRUE(merged.sv.isSubsetOf(a.sv));
+    EXPECT_TRUE(merged.sv.isSubsetOf(b.sv));
+    EXPECT_TRUE(a.tails.isSubsetOf(merged.tails));
+    for (std::size_t h = 0; h < heads; ++h) {
+      EXPECT_TRUE(a.pending[h].isSubsetOf(merged.pending[h]));
+      EXPECT_TRUE(b.pending[h].isSubsetOf(merged.pending[h]));
+    }
+
+    // Merging is idempotent once absorbed: a second merge of `b` reports no
+    // change (the worklist would not requeue).
+    pps::StatePayload merged_again = merged;
+    EXPECT_FALSE(pps::mergePayload(merged_again, b));
+    EXPECT_TRUE(merged_again == merged);
+  }
+}
+
+TEST_P(StateStoreInvariants, TransferSafeKeepsOvSvDisjoint) {
+  Rng rng(GetParam() + 17);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t bits = static_cast<std::size_t>(rng.range(1, 130));
+    pps::StatePayload p = randomPayload(rng, bits, 0);
+    DenseBitset moved(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (rng.below(3) == 0) moved.set(i);
+    }
+    DenseBitset ov_before = p.ov;
+    pps::transferSafe(p, moved);
+    EXPECT_FALSE(p.ov.intersects(p.sv));
+    EXPECT_FALSE(p.ov.intersects(moved));   // everything moved left OV
+    EXPECT_TRUE(moved.isSubsetOf(p.sv));    // ...and entered SV
+    EXPECT_TRUE(p.ov.isSubsetOf(ov_before));
+  }
+}
+
+TEST_P(StateStoreInvariants, InterningSound) {
+  Rng rng(GetParam() + 41);
+  pps::StateInterner interner;
+  std::vector<std::vector<std::uint32_t>> keys;
+  std::vector<pps::StateInterner::StateId> ids;
+
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint32_t> key;
+    if (!keys.empty() && rng.below(3) == 0) {
+      key = keys[rng.below(keys.size())];  // resubmit a known key
+    } else {
+      const std::size_t n = static_cast<std::size_t>(rng.range(1, 12));
+      for (std::size_t i = 0; i < n; ++i) {
+        key.push_back(static_cast<std::uint32_t>(rng.below(6)));
+      }
+    }
+    auto [id, inserted] = interner.intern(key.data(), key.size());
+
+    // Equal key words <=> same id, in both directions.
+    bool seen = false;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == key) {
+        seen = true;
+        EXPECT_EQ(ids[i], id);
+      } else {
+        EXPECT_NE(ids[i], id);
+      }
+    }
+    EXPECT_EQ(inserted, !seen);
+    if (!seen) {
+      keys.push_back(key);
+      ids.push_back(id);
+    }
+
+    // The stored words round-trip.
+    auto [words, nwords] = interner.key(id);
+    ASSERT_EQ(nwords, key.size());
+    for (std::size_t i = 0; i < nwords; ++i) EXPECT_EQ(words[i], key[i]);
+  }
+  EXPECT_EQ(interner.size(), keys.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateStoreInvariants,
+                         ::testing::Values(11u, 12u, 13u));
 
 TEST(PpsInvariants, SinkCountStableAcrossRuns) {
   Fixture f = Fixture::lower(R"(proc p() {

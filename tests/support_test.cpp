@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "src/support/deadline.h"
+#include "src/support/dense_bitset.h"
 #include "src/support/diagnostics.h"
 #include "src/support/failpoint.h"
 #include "src/support/interner.h"
@@ -250,6 +254,82 @@ TEST(Failpoint, DeadlineCheckConsultsFailpoints) {
   EXPECT_EQ(d.check("c.site"), StopReason::Cancelled);
   EXPECT_THROW((void)d.check("a.site"), std::bad_alloc);
   EXPECT_EQ(d.check("quiet.site"), StopReason::None);
+}
+
+TEST(DenseBitset, SetTestResetAcrossWordBoundary) {
+  DenseBitset b(130);  // three words, last one partial
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.empty());
+  for (std::size_t i : {std::size_t{0}, std::size_t{63}, std::size_t{64},
+                        std::size_t{127}, std::size_t{129}}) {
+    EXPECT_FALSE(b.test(i));
+    b.set(i);
+    EXPECT_TRUE(b.test(i));
+  }
+  EXPECT_EQ(b.count(), 5u);
+  EXPECT_FALSE(b.empty());
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 4u);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(DenseBitset, MutatorsReportChangeExactly) {
+  // The PPS merge rule requeues a state exactly when one of these returns
+  // true, so "changed" must mean "some word differs", no more and no less.
+  DenseBitset a(100);
+  DenseBitset b(100);
+  a.set(3);
+  a.set(70);
+  b.set(70);
+  b.set(99);
+
+  EXPECT_TRUE(a.unionWith(b));    // gains 99
+  EXPECT_FALSE(a.unionWith(b));   // already a superset
+  EXPECT_TRUE(a.test(99));
+
+  DenseBitset c = a;
+  EXPECT_FALSE(c.intersectWith(a));  // self-intersection: no change
+  EXPECT_TRUE(c.intersectWith(b));   // drops 3
+  EXPECT_FALSE(c.test(3));
+
+  EXPECT_TRUE(a.subtract(b));     // drops 70 and 99
+  EXPECT_FALSE(a.subtract(b));    // already disjoint from b
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_TRUE(a.test(3));
+}
+
+TEST(DenseBitset, QueriesAndEquality) {
+  DenseBitset a(70);
+  DenseBitset b(70);
+  a.set(1);
+  a.set(65);
+  b.set(65);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.isSubsetOf(a));
+  EXPECT_FALSE(a.isSubsetOf(b));
+  EXPECT_FALSE(a == b);
+  b.set(1);
+  EXPECT_TRUE(a == b);
+
+  DenseBitset widthless(64);
+  widthless.set(1);
+  widthless.set(63);
+  EXPECT_FALSE(a == widthless);  // equal words but different width
+}
+
+TEST(DenseBitset, ForEachAscendingOrder) {
+  // Report/trace ordering relies on forEach visiting bits in increasing
+  // index order (== increasing AccessId under the dense index).
+  DenseBitset b(200);
+  const std::set<std::size_t> want = {0, 5, 63, 64, 65, 128, 199};
+  for (std::size_t i : want) b.set(i);
+  std::vector<std::size_t> got;
+  b.forEach([&](std::size_t i) { got.push_back(i); });
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(got, std::vector<std::size_t>(want.begin(), want.end()));
 }
 
 }  // namespace
