@@ -1,0 +1,167 @@
+// Happens-before oracle bench (docs/HB_ORACLE.md).
+//
+// The enumerating oracle must *visit* a bad interleaving to produce a racy
+// verdict, so its cost on wide-fanout programs is the size of the schedule
+// space (capped by max_schedules). The HB oracle extracts a definitive
+// per-schedule verdict from each run, so a fixed small sample (default run
+// + delay-victim sweep + random schedules) suffices. This bench measures
+// verdict throughput of both oracles over curated wide-fanout programs —
+// N fire-and-forget tasks (racy) and N-way handshakes (safe), the shapes
+// whose interleaving diamond is exponential in N.
+//
+// Criteria, enforced by exit code:
+//   1. identical safe/racy verdicts per program,
+//   2. aggregate HB verdict throughput >= 10x enumeration's.
+// Emits BENCH_hb.json.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/hb/hb.h"
+#include "src/ir/lower.h"
+#include "src/parser/parser.h"
+#include "src/runtime/explore.h"
+#include "src/sema/sema.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Front {
+  cuaf::SourceManager sm;
+  cuaf::StringInterner interner;
+  cuaf::DiagnosticEngine diags;
+  std::unique_ptr<cuaf::Program> program;
+  std::unique_ptr<cuaf::SemaModule> sema;
+  std::unique_ptr<cuaf::ir::Module> module;
+};
+
+std::unique_ptr<Front> lower(const std::string& source) {
+  auto f = std::make_unique<Front>();
+  f->program = cuaf::parseString(f->sm, f->interner, f->diags, "bench.chpl",
+                                 source);
+  if (f->diags.hasErrors()) std::abort();
+  f->sema = cuaf::analyze(*f->program, f->interner, f->diags);
+  f->module = cuaf::ir::lower(*f->program, *f->sema, f->diags);
+  if (f->diags.hasErrors()) std::abort();
+  return f;
+}
+
+double ms(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+struct Row {
+  std::string name;
+  double enum_ms = 0.0;
+  double hb_ms = 0.0;
+  std::size_t enum_schedules = 0;
+  std::size_t hb_schedules = 0;
+  bool enum_racy = false;
+  bool hb_racy = false;
+
+  [[nodiscard]] double speedup() const {
+    return hb_ms > 0.0 ? enum_ms / hb_ms : 0.0;
+  }
+};
+
+Row measure(const std::string& name, const std::string& source) {
+  std::unique_ptr<Front> f = lower(source);
+  Row row;
+  row.name = name;
+
+  // Best-of-3 wall time for each oracle: one full enumeration pass vs one
+  // full HB sample — each produces one verdict for the program.
+  constexpr int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto t0 = Clock::now();
+    cuaf::rt::ExploreResult full =
+        cuaf::rt::exploreAll(*f->module, *f->program);
+    auto t1 = Clock::now();
+    if (full.unsupported) std::abort();
+    double elapsed = ms(t0, t1);
+    if (rep == 0 || elapsed < row.enum_ms) row.enum_ms = elapsed;
+    row.enum_schedules = full.schedules_run;
+    row.enum_racy = !full.uaf_sites.empty();
+  }
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto t0 = Clock::now();
+    cuaf::hb::Result sample = cuaf::hb::checkAll(*f->module, *f->program);
+    auto t1 = Clock::now();
+    if (sample.unsupported) std::abort();
+    double elapsed = ms(t0, t1);
+    if (rep == 0 || elapsed < row.hb_ms) row.hb_ms = elapsed;
+    row.hb_schedules = sample.schedules_run;
+    row.hb_racy = !sample.sites.empty();
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  struct Case {
+    const char* name;
+    std::string source;
+  };
+  const Case cases[] = {
+      {"fanout4_unsafe", cuaf::bench::unsafeProgram(4)},
+      {"fanout5_unsafe", cuaf::bench::unsafeProgram(5)},
+      {"fanout6_unsafe", cuaf::bench::unsafeProgram(6)},
+      {"fanout4_handshake", cuaf::bench::handshakeProgram(4)},
+      {"fanout5_handshake", cuaf::bench::handshakeProgram(5)},
+      {"fanout6_handshake", cuaf::bench::handshakeProgram(6)},
+  };
+
+  std::vector<Row> rows;
+  double total_enum_ms = 0.0;
+  double total_hb_ms = 0.0;
+  bool verdicts_agree = true;
+
+  std::cout << "=== HB oracle vs schedule enumeration (wide fanout) ===\n";
+  for (const Case& c : cases) {
+    Row row = measure(c.name, c.source);
+    total_enum_ms += row.enum_ms;
+    total_hb_ms += row.hb_ms;
+    if (row.enum_racy != row.hb_racy) verdicts_agree = false;
+    std::printf(
+        "%-20s enum %8.2f ms (%5zu runs)  hb %7.2f ms (%4zu runs)  "
+        "%6.1fx  verdict %s%s\n",
+        row.name.c_str(), row.enum_ms, row.enum_schedules, row.hb_ms,
+        row.hb_schedules, row.speedup(), row.hb_racy ? "racy" : "safe",
+        row.enum_racy == row.hb_racy ? "" : "  ** DISAGREE **");
+    rows.push_back(row);
+  }
+
+  double aggregate = total_hb_ms > 0.0 ? total_enum_ms / total_hb_ms : 0.0;
+  bool fast_enough = aggregate >= 10.0;
+  std::printf("\naggregate verdict-throughput ratio: %.1fx (need >= 10x)\n",
+              aggregate);
+  if (!verdicts_agree) std::printf("FAIL: oracle verdicts disagree\n");
+  if (!fast_enough) std::printf("FAIL: speedup below 10x\n");
+
+  std::ofstream json("BENCH_hb.json");
+  json << "{\n  \"bench\": \"hb_oracle\",\n  \"programs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"name\": \"" << r.name << "\", \"enum_ms\": " << r.enum_ms
+         << ", \"hb_ms\": " << r.hb_ms
+         << ", \"enum_schedules\": " << r.enum_schedules
+         << ", \"hb_schedules\": " << r.hb_schedules
+         << ", \"speedup\": " << r.speedup() << ", \"racy\": "
+         << (r.hb_racy ? "true" : "false") << "}"
+         << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"aggregate_speedup\": " << aggregate
+       << ",\n  \"verdicts_agree\": " << (verdicts_agree ? "true" : "false")
+       << ",\n  \"pass\": "
+       << (verdicts_agree && fast_enough ? "true" : "false") << "\n}\n";
+  json.close();
+  std::cout << "wrote BENCH_hb.json\n";
+
+  return verdicts_agree && fast_enough ? 0 : 1;
+}

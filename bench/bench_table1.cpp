@@ -4,13 +4,17 @@
 // witness engine replays every warning, so the table also carries
 // replay-backed confirmed/unconfirmed/tail rows (docs/WITNESS.md).
 //
-//   Usage: bench_table1 [count] [seed] [jobs]
+//   Usage: bench_table1 [count] [seed] [jobs] [oracle]
 //     count  number of generated programs (default 5127 minus the curated
 //            suite, so the total matches the paper's 5127)
 //     seed   generator seed (default 20170529)
 //     jobs   worker threads (default 1; statistics are identical for any
 //            value — see docs/PARALLELISM.md)
+//     oracle "enumerate" (default), "hb", or "both" — which dynamic oracle
+//            classifies warnings; "both" adds HB/enumeration agreement rows
+//            (docs/HB_ORACLE.md)
 #include <chrono>
+#include <cstring>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -30,6 +34,17 @@ int main(int argc, char** argv) {
   run.classify_with_witness = true;
   if (argc > 3) {
     run.jobs = static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
+  }
+  if (argc > 4) {
+    if (std::strcmp(argv[4], "hb") == 0) {
+      run.oracle_mode = cuaf::corpus::OracleMode::Hb;
+    } else if (std::strcmp(argv[4], "both") == 0) {
+      run.oracle_mode = cuaf::corpus::OracleMode::Both;
+    } else if (std::strcmp(argv[4], "enumerate") != 0) {
+      std::fprintf(stderr, "unknown oracle '%s' (enumerate|hb|both)\n",
+                   argv[4]);
+      return 2;
+    }
   }
 
   auto t0 = std::chrono::steady_clock::now();

@@ -44,6 +44,15 @@ void emitWarnings(const ProcAnalysis& pa, DiagnosticEngine& diags) {
 
 }  // namespace
 
+const char* oracleVerdictName(OracleVerdict v) {
+  switch (v) {
+    case OracleVerdict::Unclassified: return "unclassified";
+    case OracleVerdict::Safe: return "safe";
+    case OracleVerdict::Uaf: return "uaf";
+  }
+  return "?";
+}
+
 std::string UafWarning::message() const {
   std::string out = "potential use-after-free: outer variable '";
   out += var_name;

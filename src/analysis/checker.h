@@ -23,12 +23,30 @@
 
 namespace cuaf {
 
+/// Dynamic oracle the Pipeline runs after the checker on warned programs.
+enum class OracleKind : std::uint8_t {
+  None,       ///< static analysis only (default)
+  Enumerate,  ///< exhaustive schedule enumeration (rt::exploreAll)
+  Hb,         ///< happens-before detector over a schedule sample (src/hb/)
+};
+
+/// Per-warning dynamic-oracle verdict.
+enum class OracleVerdict : std::uint8_t {
+  Unclassified,  ///< oracle disabled, interrupted, or program unsupported
+  Safe,          ///< no explored/sampled schedule exhibited the UAF
+  Uaf,           ///< the oracle reproduced the use-after-free
+};
+
 struct AnalysisOptions {
   ccfg::BuildOptions build;
   pps::Options pps;
   /// Witness extraction/replay per warning (forces pps trace recording for
   /// the exploration when enabled; see src/witness/witness.h).
   witness::Options witness;
+  /// Dynamic oracle classifying each warning (Pipeline only: it needs the
+  /// parsed program to drive the interpreter). Verdicts land in
+  /// UafWarning::oracle_verdict and the JSON report's "oracle" field.
+  OracleKind oracle = OracleKind::None;
   /// Keep the built CCFGs and PPS results in the AnalysisResult (tools,
   /// tests and benches want them; the corpus runner does not).
   bool keep_artifacts = false;
@@ -46,10 +64,15 @@ struct UafWarning {
   SourceLoc decl_loc;
   SourceLoc task_loc;  ///< the begin statement of the accessing task
   bool is_write = false;
+  /// Dynamic classification (populated when AnalysisOptions::oracle ran).
+  OracleVerdict oracle_verdict = OracleVerdict::Unclassified;
 
   /// Renders "potential use-after-free of 'x' ..." for user display.
   [[nodiscard]] std::string message() const;
 };
+
+/// "unclassified" / "safe" / "uaf" (JSON report "oracle" field values).
+[[nodiscard]] const char* oracleVerdictName(OracleVerdict v);
 
 struct ProcAnalysis {
   ProcId proc;

@@ -36,6 +36,13 @@ std::string toJson(const AnalysisResult& analysis, const SourceManager& sm) {
       out += ",\"declLine\":" + std::to_string(w.decl_loc.line);
       out += ",\"taskLine\":" + std::to_string(w.task_loc.line);
       out += ",\"message\":\"" + jsonEscape(w.message()) + "\"";
+      if (w.oracle_verdict != OracleVerdict::Unclassified) {
+        // Emitted only when an oracle classified the warning, so reports
+        // from oracle-free runs keep their exact historical bytes.
+        out += ",\"oracle\":\"";
+        out += oracleVerdictName(w.oracle_verdict);
+        out += "\"";
+      }
       if (has_witnesses) {
         out += ",\"witness\":" + witness::toJson(pa.witnesses[i]);
       }
@@ -75,6 +82,19 @@ std::string toJson(const AnalysisResult& analysis, const SourceManager& sm) {
     out += '}';
   }
   out += first ? "]" : "\n  ]";
+
+  // Hard error: a replay confirmed a warning concretely but the HB detector
+  // riding the same run missed it. Emitted only when non-zero so existing
+  // reports stay byte-identical.
+  std::size_t hb_disagreements = 0;
+  for (const ProcAnalysis& pa : analysis.procs) {
+    for (const witness::Witness& w : pa.witnesses) {
+      if (!w.hb_agrees) ++hb_disagreements;
+    }
+  }
+  if (hb_disagreements > 0) {
+    out += ",\n  \"hbDisagreements\": " + std::to_string(hb_disagreements);
+  }
   out += "\n}\n";
   return out;
 }

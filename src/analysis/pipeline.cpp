@@ -1,6 +1,53 @@
 #include "src/analysis/pipeline.h"
 
+#include "src/hb/hb.h"
+#include "src/runtime/explore.h"
+
 namespace cuaf {
+
+namespace {
+
+/// Classifies every warning with the configured dynamic oracle. Verdicts
+/// stay Unclassified when the interpreter hit an unsupported feature (the
+/// oracle saw only a prefix of the behaviors) or the deadline tripped.
+void runOracle(const AnalysisOptions& options, const ir::Module& module,
+               const Program& program, AnalysisResult& analysis) {
+  bool unsupported = false;
+  StopReason stopped = StopReason::None;
+  auto classify = [&](auto sawUafAt) {
+    for (ProcAnalysis& pa : analysis.procs) {
+      for (UafWarning& w : pa.warnings) {
+        w.oracle_verdict = sawUafAt(w.access_loc) ? OracleVerdict::Uaf
+                                                  : OracleVerdict::Safe;
+      }
+    }
+  };
+  if (options.oracle == OracleKind::Enumerate) {
+    rt::ExploreOptions eo;
+    eo.deadline = options.deadline;
+    rt::ExploreResult oracle = rt::exploreAll(module, program, eo);
+    unsupported = oracle.unsupported;
+    stopped = oracle.stopped;
+    if (!unsupported && stopped == StopReason::None) {
+      classify([&](SourceLoc loc) { return oracle.sawUafAt(loc); });
+    }
+  } else if (options.oracle == OracleKind::Hb) {
+    hb::Options ho;
+    ho.deadline = options.deadline;
+    hb::Result oracle = hb::checkAll(module, program, ho);
+    unsupported = oracle.unsupported;
+    stopped = oracle.stopped;
+    if (!unsupported && stopped == StopReason::None) {
+      classify([&](SourceLoc loc) { return oracle.sawUafAt(loc); });
+    }
+  }
+  if (stopped != StopReason::None) {
+    analysis.stopped = stopped;
+    analysis.stop_phase = "oracle";
+  }
+}
+
+}  // namespace
 
 Pipeline::Pipeline(AnalysisOptions options) : options_(std::move(options)) {}
 
@@ -33,6 +80,15 @@ bool Pipeline::runSource(std::string name, std::string source) {
     stop_ = analysis_.stopped;
     stop_phase_ = analysis_.stop_phase;
     return false;
+  }
+  if (options_.oracle != OracleKind::None && analysis_.warningCount() > 0) {
+    if (stopAt("pipeline.oracle", "oracle")) return false;
+    runOracle(options_, *module_, *program_, analysis_);
+    if (analysis_.stopped != StopReason::None) {
+      stop_ = analysis_.stopped;
+      stop_phase_ = analysis_.stop_phase;
+      return false;
+    }
   }
   return true;
 }

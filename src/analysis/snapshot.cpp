@@ -101,11 +101,11 @@ AnalysisSnapshot analyzeToSnapshot(const std::string& name,
 }
 
 std::uint64_t optionsFingerprint(const AnalysisOptions& options) {
-  // v2: the PPS engine grew partial-order reduction (pps.por) and a
-  // reference-engine escape hatch (pps.use_reference_engine); both join the
-  // fingerprint, and the seed bump invalidates v1 snapshots wholesale so a
-  // cache written before those options existed can never alias.
-  std::uint64_t h = fnv1a64("cuaf-options-v2");
+  // v3: the analysis grew a dynamic-oracle phase (AnalysisOptions::oracle);
+  // it joins the fingerprint, and the seed bump invalidates v2 snapshots
+  // wholesale so a cache written before the option existed can never alias.
+  // (v2 added pps.por and pps.use_reference_engine the same way.)
+  std::uint64_t h = fnv1a64("cuaf-options-v3");
   auto mix = [&h](std::uint64_t v) { h = hashCombine(h, v); };
   mix(options.build.prune);
   mix(options.build.synced_scope_root);
@@ -124,6 +124,7 @@ std::uint64_t optionsFingerprint(const AnalysisOptions& options) {
   mix(options.witness.max_replay_steps);
   mix(options.witness.max_config_combos);
   mix(options.witness.max_total_replay_steps);
+  mix(static_cast<std::uint64_t>(options.oracle));
   mix(options.keep_artifacts);
   // options.deadline is deliberately excluded: a deadline bounds whether an
   // analysis completes, never what a completed analysis contains, so equal

@@ -1,9 +1,12 @@
 #include "src/corpus/runner.h"
 
-#include <atomic>
+#include <map>
 #include <mutex>
+#include <unordered_set>
 
 #include "src/analysis/pipeline.h"
+#include "src/corpus/shape.h"
+#include "src/hb/hb.h"
 #include "src/runtime/explore.h"
 #include "src/support/thread_pool.h"
 
@@ -46,6 +49,21 @@ std::string Table1Stats::render() const {
     out += row("Warnings tail-delayable", "-", std::to_string(warnings_tail));
     out += row("Replay-confirmed rate", "-", replay_pct);
   }
+  if (hb_agreements + hb_disagreements > 0) {
+    // Oracle cross-validation rows (OracleMode::Both): per-warning verdict
+    // agreement between the HB sample and full enumeration.
+    char agree_pct[32];
+    std::snprintf(agree_pct, sizeof(agree_pct), "%.1f%%", hbAgreementPct());
+    out += row("HB/enumeration oracle agreements", "-",
+               std::to_string(hb_agreements));
+    out += row("HB/enumeration oracle disagreements", "-",
+               std::to_string(hb_disagreements));
+    out += row("HB oracle agreement rate", "-", agree_pct);
+  }
+  if (programs_deduped > 0) {
+    out += row("Generated near-duplicates replaced", "-",
+               std::to_string(programs_deduped));
+  }
   // Exploration-cost extension row (no paper counterpart): distinct PPS
   // states generated across every analyzed procedure.
   out += row("PPS states explored", "-", std::to_string(pps_states_explored));
@@ -86,18 +104,40 @@ ProgramOutcome runProgram(const std::string& name, const std::string& source,
   }
 
   if (outcome.warnings > 0 && options.classify_with_oracle) {
-    rt::ExploreOptions eo;
-    eo.max_schedules = options.oracle_max_schedules;
-    eo.random_schedules = options.oracle_random_schedules;
-    rt::ExploreResult oracle =
-        rt::exploreAll(*pipeline.module(), *pipeline.program(), eo);
+    const bool want_enum = options.oracle_mode != OracleMode::Hb;
+    const bool want_hb = options.oracle_mode != OracleMode::Enumerate;
+    rt::ExploreResult oracle;
+    if (want_enum) {
+      rt::ExploreOptions eo;
+      eo.max_schedules = options.oracle_max_schedules;
+      eo.random_schedules = options.oracle_random_schedules;
+      oracle = rt::exploreAll(*pipeline.module(), *pipeline.program(), eo);
+    }
+    hb::Result hb_result;
+    if (want_hb) {
+      hb::Options ho;
+      ho.random_schedules = options.hb_random_schedules;
+      hb_result = hb::checkAll(*pipeline.module(), *pipeline.program(), ho);
+    }
     // A verdict from an interpreter that bailed on an unsupported feature
     // classifies nothing; leave those warnings out of the TP denominator.
-    if (!oracle.unsupported) {
+    const bool supported = (!want_enum || !oracle.unsupported) &&
+                           (!want_hb || !hb_result.unsupported);
+    if (supported) {
       outcome.warnings_classified = outcome.warnings;
       for (const ProcAnalysis& pa : analysis.procs) {
         for (const UafWarning& w : pa.warnings) {
-          if (oracle.sawUafAt(w.access_loc)) ++outcome.true_positives;
+          bool enum_verdict = want_enum && oracle.sawUafAt(w.access_loc);
+          bool hb_verdict = want_hb && hb_result.sawUafAt(w.access_loc);
+          // Enumeration stays authoritative for TP counts when it ran.
+          if (want_enum ? enum_verdict : hb_verdict) ++outcome.true_positives;
+          if (want_enum && want_hb) {
+            if (enum_verdict == hb_verdict) {
+              ++outcome.hb_agreements;
+            } else {
+              ++outcome.hb_disagreements;
+            }
+          }
         }
       }
     }
@@ -105,76 +145,143 @@ ProgramOutcome runProgram(const std::string& name, const std::string& source,
   return outcome;
 }
 
+namespace {
+
+struct Job {
+  std::string name;
+  std::string source;
+};
+
+/// Materializes the corpus serially: the generator is a sequential seeded
+/// stream, so sources must not depend on execution interleaving. With dedup
+/// enabled, generated programs whose AST shape duplicates an earlier program
+/// (curated included) are skipped and replaced by further draws, so the
+/// corpus still holds `count` generated programs — unless the generator runs
+/// dry of fresh shapes within the attempt budget.
+std::vector<Job> materializeCorpus(std::uint64_t seed, std::size_t count,
+                                   const GeneratorOptions& gen_options,
+                                   const RunnerOptions& options,
+                                   std::size_t& deduped) {
+  std::vector<Job> jobs_list;
+  const auto& curated = curatedPrograms();
+  jobs_list.reserve(curated.size() + count);
+  std::unordered_set<std::uint64_t> shapes;
+  for (const CuratedProgram& p : curated) {
+    if (options.dedup_generated) shapes.insert(shapeHash(p.source));
+    jobs_list.push_back({p.name, p.source});
+  }
+  ProgramGenerator gen(seed, gen_options);
+  // Replacement draws are bounded so a low-diversity generator configuration
+  // terminates; any shortfall shows up as a smaller total_cases.
+  std::size_t attempts = 2 * count + 64;
+  for (std::size_t kept = 0; kept < count && attempts > 0; --attempts) {
+    GeneratedProgram p = gen.next();
+    if (options.dedup_generated &&
+        !shapes.insert(shapeHash(p.source)).second) {
+      ++deduped;
+      continue;
+    }
+    ++kept;
+    jobs_list.push_back({std::move(p.name), std::move(p.source)});
+  }
+  return jobs_list;
+}
+
+/// Runs every job and hands each ProgramOutcome to `sink` in program order,
+/// exactly once, as soon as its ordinal turn comes up: jobs that complete
+/// out of order park in a reorder buffer until the gap closes. Returns the
+/// buffer's high-water mark. `sink` runs under the fold lock.
+std::size_t runJobsStreaming(
+    std::vector<Job>& jobs_list, const RunnerOptions& options,
+    const std::function<void(std::size_t, std::size_t)>& progress,
+    const std::function<void(ProgramOutcome&&)>& sink) {
+  const std::size_t total = jobs_list.size();
+  std::mutex fold_mutex;
+  std::map<std::size_t, ProgramOutcome> parked;
+  std::size_t next_to_fold = 0;
+  std::size_t peak_retained = 0;
+  std::size_t done = 0;
+
+  ThreadPool pool(ThreadPool::workersForJobs(options.jobs));
+  pool.parallelFor(total, [&](std::size_t i) {
+    ProgramOutcome outcome =
+        runProgram(jobs_list[i].name, jobs_list[i].source, options);
+    std::lock_guard<std::mutex> lock(fold_mutex);
+    // The source is dead once analyzed; free it so resident memory tracks
+    // the reorder buffer, not the corpus.
+    jobs_list[i].source.clear();
+    jobs_list[i].source.shrink_to_fit();
+    parked.emplace(i, std::move(outcome));
+    peak_retained = std::max(peak_retained, parked.size());
+    while (!parked.empty() && parked.begin()->first == next_to_fold) {
+      sink(std::move(parked.begin()->second));
+      parked.erase(parked.begin());
+      ++next_to_fold;
+    }
+    ++done;
+    if (progress && (done % 256) == 0) progress(done, total);
+  });
+  return peak_retained;
+}
+
+/// Folds one outcome into the running Table I statistics (program order).
+void foldOutcome(Table1Stats& stats, const ProgramOutcome& o,
+                 const RunnerOptions& options) {
+  if (!o.parse_ok) return;
+  // Unconfirmed replays flag a case for manual review just like skipped
+  // constructs do (the warning has no feasible runtime schedule).
+  if (o.skipped_unsupported || o.warnings_unconfirmed > 0) {
+    ++stats.cases_skipped;
+  }
+  if (o.skipped_unsupported && !options.count_skipped) return;
+  ++stats.total_cases;
+  if (o.has_begin) ++stats.cases_with_begin;
+  if (o.warnings > 0) ++stats.cases_with_warnings;
+  stats.warnings_reported += o.warnings;
+  stats.true_positives += o.true_positives;
+  stats.warnings_classified += o.warnings_classified;
+  stats.warnings_confirmed += o.warnings_confirmed;
+  stats.warnings_unconfirmed += o.warnings_unconfirmed;
+  stats.warnings_tail += o.warnings_tail;
+  stats.pps_states_explored += o.pps_states;
+  stats.hb_agreements += o.hb_agreements;
+  stats.hb_disagreements += o.hb_disagreements;
+}
+
+}  // namespace
+
 CorpusRunResult runCorpusDetailed(
     std::uint64_t seed, std::size_t count, const GeneratorOptions& gen_options,
     const RunnerOptions& options,
     const std::function<void(std::size_t, std::size_t)>& progress) {
-  // Materialize the corpus serially: the generator is a sequential seeded
-  // stream, so sources must not depend on execution interleaving.
-  struct Job {
-    std::string name;
-    std::string source;
-  };
-  std::vector<Job> jobs_list;
-  const auto& curated = curatedPrograms();
-  jobs_list.reserve(curated.size() + count);
-  for (const CuratedProgram& p : curated) {
-    jobs_list.push_back({p.name, p.source});
-  }
-  ProgramGenerator gen(seed, gen_options);
-  for (std::size_t i = 0; i < count; ++i) {
-    GeneratedProgram p = gen.next();
-    jobs_list.push_back({std::move(p.name), std::move(p.source)});
-  }
-
   CorpusRunResult result;
-  std::size_t total = jobs_list.size();
-  result.outcomes.resize(total);
-
-  std::atomic<std::size_t> done{0};
-  std::mutex progress_mutex;
-
-  ThreadPool pool(ThreadPool::workersForJobs(options.jobs));
-  pool.parallelFor(total, [&](std::size_t i) {
-    result.outcomes[i] =
-        runProgram(jobs_list[i].name, jobs_list[i].source, options);
-    std::size_t d = done.fetch_add(1) + 1;
-    if (progress && (d % 256) == 0) {
-      std::lock_guard<std::mutex> lock(progress_mutex);
-      progress(d, total);
-    }
+  std::size_t deduped = 0;
+  std::vector<Job> jobs_list =
+      materializeCorpus(seed, count, gen_options, options, deduped);
+  result.stats.programs_deduped = deduped;
+  result.outcomes.reserve(jobs_list.size());
+  runJobsStreaming(jobs_list, options, progress, [&](ProgramOutcome&& o) {
+    foldOutcome(result.stats, o, options);
+    result.outcomes.push_back(std::move(o));
   });
-
-  // Deterministic aggregation: merge in program order, independent of the
-  // order jobs finished in.
-  Table1Stats& stats = result.stats;
-  for (const ProgramOutcome& o : result.outcomes) {
-    if (!o.parse_ok) continue;
-    // Unconfirmed replays flag a case for manual review just like skipped
-    // constructs do (the warning has no feasible runtime schedule).
-    if (o.skipped_unsupported || o.warnings_unconfirmed > 0) {
-      ++stats.cases_skipped;
-    }
-    if (o.skipped_unsupported && !options.count_skipped) continue;
-    ++stats.total_cases;
-    if (o.has_begin) ++stats.cases_with_begin;
-    if (o.warnings > 0) ++stats.cases_with_warnings;
-    stats.warnings_reported += o.warnings;
-    stats.true_positives += o.true_positives;
-    stats.warnings_classified += o.warnings_classified;
-    stats.warnings_confirmed += o.warnings_confirmed;
-    stats.warnings_unconfirmed += o.warnings_unconfirmed;
-    stats.warnings_tail += o.warnings_tail;
-    stats.pps_states_explored += o.pps_states;
-  }
   return result;
 }
 
 Table1Stats runCorpus(
     std::uint64_t seed, std::size_t count, const GeneratorOptions& gen_options,
     const RunnerOptions& options,
-    const std::function<void(std::size_t, std::size_t)>& progress) {
-  return runCorpusDetailed(seed, count, gen_options, options, progress).stats;
+    const std::function<void(std::size_t, std::size_t)>& progress,
+    StreamMetrics* metrics) {
+  Table1Stats stats;
+  std::size_t deduped = 0;
+  std::vector<Job> jobs_list =
+      materializeCorpus(seed, count, gen_options, options, deduped);
+  stats.programs_deduped = deduped;
+  std::size_t peak = runJobsStreaming(
+      jobs_list, options, progress,
+      [&](ProgramOutcome&& o) { foldOutcome(stats, o, options); });
+  if (metrics != nullptr) metrics->peak_retained = peak;
+  return stats;
 }
 
 }  // namespace cuaf::corpus

@@ -45,6 +45,21 @@ struct Table1Stats {
   /// side of Table I: warnings measure what the exploration found, this
   /// measures what it had to visit to find them.
   std::size_t pps_states_explored = 0;
+  /// Generated programs skipped as near-duplicates (same AST shape as an
+  /// earlier program, see src/corpus/shape.h) and regenerated, so
+  /// total_cases still reaches the requested count.
+  std::size_t programs_deduped = 0;
+  // Oracle cross-validation accounting (zero unless OracleMode::Both ran).
+  std::size_t hb_agreements = 0;     ///< warnings where HB == enumeration
+  std::size_t hb_disagreements = 0;  ///< warnings where the verdicts differ
+
+  /// Share of oracle-compared warnings where HB and enumeration agreed.
+  [[nodiscard]] double hbAgreementPct() const {
+    std::size_t denom = hb_agreements + hb_disagreements;
+    return denom == 0 ? 0.0
+                      : 100.0 * static_cast<double>(hb_agreements) /
+                            static_cast<double>(denom);
+  }
 
   /// Share of replayed warnings whose counterexample concretely reproduced.
   [[nodiscard]] double replayConfirmedPct() const {
@@ -76,11 +91,21 @@ struct Table1Stats {
            a.warnings_confirmed == b.warnings_confirmed &&
            a.warnings_unconfirmed == b.warnings_unconfirmed &&
            a.warnings_tail == b.warnings_tail &&
-           a.pps_states_explored == b.pps_states_explored;
+           a.pps_states_explored == b.pps_states_explored &&
+           a.programs_deduped == b.programs_deduped &&
+           a.hb_agreements == b.hb_agreements &&
+           a.hb_disagreements == b.hb_disagreements;
   }
 
   /// Renders the table with the paper's reference column next to ours.
   [[nodiscard]] std::string render() const;
+};
+
+/// Which dynamic oracle classifies warned programs (docs/HB_ORACLE.md).
+enum class OracleMode : std::uint8_t {
+  Enumerate,  ///< exhaustive schedule enumeration (rt::exploreAll)
+  Hb,         ///< happens-before detector over a schedule sample (hb::checkAll)
+  Both,       ///< run both; count per-warning verdict agreement
 };
 
 struct RunnerOptions {
@@ -89,12 +114,25 @@ struct RunnerOptions {
   AnalysisOptions analysis;
   /// Run the dynamic oracle on warned programs to classify true positives.
   bool classify_with_oracle = true;
+  /// Oracle used for classification. Both keeps enumeration authoritative
+  /// for true_positives and adds hb_agreements/hb_disagreements counts.
+  OracleMode oracle_mode = OracleMode::Enumerate;
   /// Additionally run the witness engine with replay on warned programs so
   /// Table I carries replay-backed confirmed/unconfirmed/tail counts.
   bool classify_with_witness = false;
   /// Schedule budget for the oracle (per warned program).
   std::size_t oracle_max_schedules = 400;
   std::size_t oracle_random_schedules = 32;
+  /// Random-schedule sample size for the HB oracle (per warned program).
+  std::size_t hb_random_schedules = 32;
+  /// Skip generated programs whose AST shape duplicates an earlier one,
+  /// drawing replacements so the corpus still has `count` programs — until
+  /// the bounded replacement budget runs dry, after which the corpus stays
+  /// smaller (the generator's structural space is narrow: ~200 distinct
+  /// shapes in 5000 draws). Off by default so the Table I reproduction
+  /// keeps the paper's 5127-case framing; programs_deduped records what a
+  /// dedup run skipped.
+  bool dedup_generated = false;
   /// Also count programs the analysis skips (unsupported loops).
   bool count_skipped = true;
   /// Worker threads for the corpus sweep (<=1 = serial inline execution).
@@ -119,6 +157,9 @@ struct ProgramOutcome {
   std::size_t warnings_tail = 0;
   /// PPS states generated across this program's procedures.
   std::size_t pps_states = 0;
+  // Oracle cross-validation counts (zero unless OracleMode::Both ran).
+  std::size_t hb_agreements = 0;
+  std::size_t hb_disagreements = 0;
 
   friend bool operator==(const ProgramOutcome& a, const ProgramOutcome& b) {
     return a.name == b.name && a.parse_ok == b.parse_ok &&
@@ -129,7 +170,9 @@ struct ProgramOutcome {
            a.warnings_confirmed == b.warnings_confirmed &&
            a.warnings_unconfirmed == b.warnings_unconfirmed &&
            a.warnings_tail == b.warnings_tail &&
-           a.pps_states == b.pps_states;
+           a.pps_states == b.pps_states &&
+           a.hb_agreements == b.hb_agreements &&
+           a.hb_disagreements == b.hb_disagreements;
   }
 };
 
@@ -138,6 +181,15 @@ struct ProgramOutcome {
 struct CorpusRunResult {
   Table1Stats stats;
   std::vector<ProgramOutcome> outcomes;
+};
+
+/// Accounting of the streaming aggregation path (runCorpus).
+struct StreamMetrics {
+  /// High-water mark of outcomes parked in the reorder buffer while waiting
+  /// for an earlier program to finish. 1 on the serial path; bounded by
+  /// worker completion skew (not corpus size) with jobs > 1 — the streaming
+  /// regression test pins this.
+  std::size_t peak_retained = 0;
 };
 
 /// Runs one program source through parse→sema→IR→checker (and oracle).
@@ -153,11 +205,16 @@ CorpusRunResult runCorpusDetailed(
     const RunnerOptions& options,
     const std::function<void(std::size_t, std::size_t)>& progress = nullptr);
 
-/// Stats-only convenience wrapper around runCorpusDetailed().
+/// Stats-only streaming variant: each ProgramOutcome is folded into the
+/// Table I statistics in program order as its job completes and then
+/// discarded, so memory stays flat in corpus size (outcomes briefly park in
+/// a reorder buffer when jobs finish out of order; see StreamMetrics).
+/// Produces bit-identical stats to runCorpusDetailed().stats.
 Table1Stats runCorpus(std::uint64_t seed, std::size_t count,
                       const GeneratorOptions& gen_options,
                       const RunnerOptions& options,
                       const std::function<void(std::size_t, std::size_t)>&
-                          progress = nullptr);
+                          progress = nullptr,
+                      StreamMetrics* metrics = nullptr);
 
 }  // namespace cuaf::corpus

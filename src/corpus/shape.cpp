@@ -1,0 +1,54 @@
+#include "src/corpus/shape.h"
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lexer/lexer.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source_manager.h"
+
+namespace cuaf::corpus {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h = (h ^ v) * kFnvPrime;
+}
+
+}  // namespace
+
+std::uint64_t shapeHash(const std::string& source) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  FileId file = sm.addBuffer("<shape>", source);
+  Lexer lexer(sm, file, diags);
+
+  std::unordered_map<std::string_view, std::uint64_t> names;
+  std::uint64_t h = kFnvOffset;
+  for (Token tok = lexer.next(); !tok.is(TokKind::Eof); tok = lexer.next()) {
+    mix(h, static_cast<std::uint64_t>(tok.kind));
+    switch (tok.kind) {
+      case TokKind::Identifier: {
+        // First-occurrence numbering: `x` and `y` are interchangeable, but
+        // the aliasing pattern (which sites name the *same* variable) is
+        // structure and stays in the hash.
+        auto [it, inserted] = names.try_emplace(tok.text, names.size());
+        mix(h, it->second);
+        break;
+      }
+      case TokKind::IntLit:
+      case TokKind::RealLit:
+      case TokKind::StringLit:
+        break;  // value canonicalized away; the kind was already mixed
+      default:
+        break;  // keywords/punctuation carry no payload beyond the kind
+    }
+  }
+  return h;
+}
+
+}  // namespace cuaf::corpus

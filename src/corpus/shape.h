@@ -1,0 +1,24 @@
+// Canonical AST-shape hash for corpus deduplication.
+//
+// The generator draws identifier names and literal values independently of
+// program structure, so two draws frequently differ only in spelling: same
+// statements, same sync discipline, same warning profile. Analyzing both
+// wastes corpus budget without adding coverage. shapeHash() canonicalizes a
+// program to its token *shape* — identifiers renamed to their first-
+// occurrence index, literal values collapsed to their kind — and hashes
+// that, so such near-duplicates collide and the runner can skip them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cuaf::corpus {
+
+/// FNV-1a hash of the canonicalized token stream of `source`. Programs that
+/// differ only in identifier spellings or literal values hash equal; any
+/// structural difference (operators, keywords, nesting, statement order, or
+/// the identifier *aliasing pattern*) changes the hash. Sources that fail to
+/// lex still hash deterministically over the tokens produced.
+[[nodiscard]] std::uint64_t shapeHash(const std::string& source);
+
+}  // namespace cuaf::corpus

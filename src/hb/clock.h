@@ -1,0 +1,94 @@
+// Vector clocks for the happens-before UAF oracle (docs/HB_ORACLE.md).
+//
+// A VectorClock maps task indices to event counters; clock C happened
+// before clock D when C <= D componentwise. Clocks grow on demand (task
+// indices are dense, assigned by the interpreter in spawn order), so a
+// fresh clock is the bottom element.
+//
+// ClockMap owns every clock the detector needs:
+//  * one per task (born with its own component at 1 — the first epoch),
+//  * one per sync/atomic cell (the release-acquire channel of
+//    readFE/writeEF/atomic ops),
+//  * one per `sync { }` region (finished tasks join in; the closing task
+//    acquires the union at the fence).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace cuaf::hb {
+
+class VectorClock {
+ public:
+  /// Component for task t (0 when never touched).
+  [[nodiscard]] std::uint32_t of(std::size_t t) const {
+    return t < c_.size() ? c_[t] : 0;
+  }
+
+  /// Advances task t's component (a new epoch for t's next events).
+  void bump(std::size_t t) {
+    grow(t + 1);
+    ++c_[t];
+  }
+
+  /// Sets component t to at least `v`.
+  void raise(std::size_t t, std::uint32_t v) {
+    grow(t + 1);
+    if (c_[t] < v) c_[t] = v;
+  }
+
+  /// Componentwise maximum (this := this ⊔ o).
+  void join(const VectorClock& o) {
+    grow(o.c_.size());
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      if (c_[i] < o.c_[i]) c_[i] = o.c_[i];
+    }
+  }
+
+  /// Componentwise <=; `a.leq(b)` means every event a knows, b knows.
+  [[nodiscard]] bool leq(const VectorClock& o) const {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > o.of(i)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return c_.size(); }
+
+ private:
+  void grow(std::size_t n) {
+    if (c_.size() < n) c_.resize(n, 0);
+  }
+
+  std::vector<std::uint32_t> c_;
+};
+
+class ClockMap {
+ public:
+  /// Task t's clock; created on first touch with C[t][t] = 1 so an epoch of
+  /// 0 always means "before every event of t". The reference is invalidated
+  /// by a later task() call with a larger index (dense storage regrows) —
+  /// materialize every needed clock before holding references.
+  [[nodiscard]] VectorClock& task(std::size_t t) {
+    if (tasks_.size() <= t) tasks_.resize(t + 1);
+    VectorClock& c = tasks_[t];
+    if (c.of(t) == 0) c.bump(t);
+    return c;
+  }
+
+  /// Release-acquire clock of sync/atomic cell `uid` (bottom-initialized).
+  [[nodiscard]] VectorClock& cell(std::uint32_t uid) { return cells_[uid]; }
+
+  /// Join clock of `sync { }` region `id` (bottom-initialized).
+  [[nodiscard]] VectorClock& region(std::uint32_t id) { return regions_[id]; }
+
+  [[nodiscard]] std::size_t taskCount() const { return tasks_.size(); }
+
+ private:
+  std::vector<VectorClock> tasks_;
+  std::unordered_map<std::uint32_t, VectorClock> cells_;
+  std::unordered_map<std::uint32_t, VectorClock> regions_;
+};
+
+}  // namespace cuaf::hb

@@ -1,0 +1,102 @@
+#include "src/hb/detector.h"
+
+#include <algorithm>
+
+namespace cuaf::hb {
+
+void Detector::onTaskSpawn(std::size_t parent, std::size_t child) {
+  // Materialize both clocks before taking references: task() may grow the
+  // dense task vector and would invalidate a reference held across it.
+  (void)clocks_.task(parent);
+  (void)clocks_.task(child);
+  // Child inherits everything the parent did before the spawn; the parent
+  // then advances so its post-spawn events are concurrent with the child.
+  VectorClock& pc = clocks_.task(parent);
+  clocks_.task(child).join(pc);
+  pc.bump(parent);
+}
+
+void Detector::onTaskEnd(std::size_t task,
+                         const std::vector<std::uint32_t>& regions) {
+  for (std::uint32_t r : regions) {
+    clocks_.region(r).join(clocks_.task(task));
+  }
+}
+
+void Detector::onRegionClose(std::size_t task, std::uint32_t region) {
+  // The fence: the closing task has waited for every task spawned inside
+  // the region, so it acquires the union of their final clocks.
+  VectorClock& tc = clocks_.task(task);
+  tc.join(clocks_.region(region));
+  tc.bump(task);
+}
+
+void Detector::onSyncOp(std::size_t task, std::uint32_t cell_uid,
+                        SourceLoc /*loc*/) {
+  // Release + acquire in both directions: the op is ordered after every
+  // earlier op on this cell and before every later one (full/empty and
+  // wait-until blocking serialize ops on one cell in the observed order
+  // for the handshake protocols the corpus uses).
+  VectorClock& tc = clocks_.task(task);
+  VectorClock& cc = clocks_.cell(cell_uid);
+  cc.join(tc);
+  tc.join(cc);
+  tc.bump(task);
+}
+
+void Detector::onAccess(std::size_t task, std::uint32_t cell_uid, VarId var,
+                        SourceLoc loc, bool is_write, bool alive) {
+  CellState& cell = cells_[cell_uid];
+  cell.var = var;
+  if (!alive || cell.freed) {
+    // Concrete use-after-free under this schedule: the free already
+    // executed, so "access happens-before free" is impossible.
+    flag(loc, var, is_write);
+    return;
+  }
+  std::uint32_t epoch = clocks_.task(task).of(task);
+  for (AccessRecord& rec : cell.accesses) {
+    if (rec.task == task && rec.loc == loc && rec.is_write == is_write) {
+      rec.epoch = std::max(rec.epoch, epoch);
+      return;
+    }
+  }
+  cell.accesses.push_back(AccessRecord{task, loc, is_write, epoch});
+}
+
+void Detector::onFree(std::size_t task, std::uint32_t cell_uid) {
+  auto it = cells_.find(cell_uid);
+  if (it == cells_.end()) {
+    // Never accessed: remember the free so later accesses flag.
+    cells_[cell_uid].freed = true;
+    return;
+  }
+  CellState& cell = it->second;
+  cell.freed = true;
+  const VectorClock& free_clock = clocks_.task(task);
+  for (const AccessRecord& rec : cell.accesses) {
+    // rec happens-before the free iff the freeing task's view covers the
+    // access epoch (FastTrack: one component comparison per record).
+    if (rec.epoch > free_clock.of(rec.task)) {
+      flag(rec.loc, cell.var, rec.is_write);
+    }
+  }
+  cell.accesses.clear();
+}
+
+bool Detector::flaggedAt(SourceLoc loc) const {
+  return std::any_of(sites_.begin(), sites_.end(),
+                     [&](const rt::UafEvent& e) { return e.loc == loc; });
+}
+
+void Detector::flag(SourceLoc loc, VarId var, bool is_write) {
+  for (rt::UafEvent& e : sites_) {
+    if (e.loc == loc && e.var == var) {
+      e.is_write = e.is_write || is_write;
+      return;
+    }
+  }
+  sites_.push_back(rt::UafEvent{loc, var, is_write});
+}
+
+}  // namespace cuaf::hb

@@ -1,0 +1,78 @@
+// Vector-clock happens-before use-after-free detector: an ExecObserver that
+// watches one interpreter run and flags every access site whose access is
+// not ordered happens-before the owning scope's exit (docs/HB_ORACLE.md).
+//
+// Edge rules (all conservative — extra edges can only hide *predictive*
+// flags, never the concrete ones, so the verdict stays sound):
+//  * program order within a task;
+//  * spawn: the child's clock starts as a copy of the parent's;
+//  * task end -> `sync { }` fence: a finishing task joins its clock into
+//    every enclosing region's clock, and the task closing the region
+//    acquires that union;
+//  * every completed sync/atomic operation on a cell is both a release
+//    (task clock joins the cell clock) and an acquire (cell clock joins the
+//    task clock) — full/empty blocking makes the observed op order on one
+//    cell the only feasible order for single-producer/single-consumer
+//    protocols, which is what the mini-Chapel disciplines use.
+//
+// Epoch storage: per cell the detector keeps the *last* access epoch per
+// (task, site, kind) — the clock component only grows, so checking the last
+// epoch against the free-time clock subsumes all earlier ones (FastTrack's
+// epoch argument). At scope exit every recorded epoch not <= the freeing
+// task's component view is flagged; accesses after the free always flag.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hb/clock.h"
+#include "src/runtime/observer.h"
+
+namespace cuaf::hb {
+
+class Detector final : public rt::ExecObserver {
+ public:
+  void onTaskSpawn(std::size_t parent, std::size_t child) override;
+  void onTaskEnd(std::size_t task,
+                 const std::vector<std::uint32_t>& regions) override;
+  void onRegionClose(std::size_t task, std::uint32_t region) override;
+  void onSyncOp(std::size_t task, std::uint32_t cell_uid,
+                SourceLoc loc) override;
+  void onAccess(std::size_t task, std::uint32_t cell_uid, VarId var,
+                SourceLoc loc, bool is_write, bool alive) override;
+  void onFree(std::size_t task, std::uint32_t cell_uid) override;
+
+  /// Flagged (site, variable) pairs in discovery order: every access the
+  /// run's happens-before relation fails to order before its cell's free.
+  [[nodiscard]] std::vector<rt::UafEvent> flaggedSites() const override {
+    return sites_;
+  }
+
+  [[nodiscard]] bool flaggedAt(SourceLoc loc) const;
+  [[nodiscard]] bool flaggedAny() const { return !sites_.empty(); }
+
+  /// Introspection for tests.
+  [[nodiscard]] const ClockMap& clocks() const { return clocks_; }
+
+ private:
+  struct AccessRecord {
+    std::size_t task = 0;
+    SourceLoc loc;
+    bool is_write = false;
+    std::uint32_t epoch = 0;  ///< accessing task's own component at access
+  };
+  struct CellState {
+    VarId var;
+    bool freed = false;
+    std::vector<AccessRecord> accesses;  ///< small: sites per cell are few
+  };
+
+  void flag(SourceLoc loc, VarId var, bool is_write);
+
+  ClockMap clocks_;
+  std::unordered_map<std::uint32_t, CellState> cells_;
+  std::vector<rt::UafEvent> sites_;
+};
+
+}  // namespace cuaf::hb

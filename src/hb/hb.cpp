@@ -1,0 +1,160 @@
+#include "src/hb/hb.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "src/hb/detector.h"
+#include "src/support/rng.h"
+
+namespace cuaf::hb {
+
+namespace {
+
+/// splitmix64 finalizer, matching the explorer's per-stream derivation so HB
+/// sampling seeds stay decorrelated across config combos.
+std::uint64_t deriveSeed(std::uint64_t seed, std::size_t combo) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (combo + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Ordered site set with (loc, var) dedup: first sighting fixes the slot,
+/// later ones OR in is_write — same discipline as the explorer's SiteIndex,
+/// so results are deterministic in run order.
+class SiteSet {
+ public:
+  void addAll(const std::vector<rt::UafEvent>& events) {
+    for (const rt::UafEvent& e : events) {
+      Key k{e.loc, e.var};
+      auto [it, inserted] = index_.try_emplace(k, sites_.size());
+      if (inserted) {
+        sites_.push_back(e);
+      } else {
+        sites_[it->second].is_write = sites_[it->second].is_write || e.is_write;
+      }
+    }
+  }
+  [[nodiscard]] std::vector<rt::UafEvent> take() { return std::move(sites_); }
+
+ private:
+  struct Key {
+    SourceLoc loc;
+    VarId var;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t h = k.loc.file.index();
+      h = h * 0x100000001b3ull ^ k.loc.line;
+      h = h * 0x100000001b3ull ^ k.loc.column;
+      h = h * 0x100000001b3ull ^ k.var.index();
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::vector<rt::UafEvent> sites_;
+  std::unordered_map<Key, std::size_t, KeyHash> index_;
+};
+
+/// One sampled schedule: a full interpreter run with the detector attached.
+/// `rng` picks among ready tasks when set; otherwise `victim` is delayed as
+/// long as possible (matching the explorer's adversarial runs), and with
+/// neither the first ready task wins (the default schedule).
+void sampleOnce(const ir::Module& module, const Program& program, ProcId entry,
+                const rt::ConfigAssignment& configs, Rng* rng,
+                std::size_t victim, const Options& options, SiteSet& sites,
+                Result& result) {
+  rt::Interp interp(module, program, &configs);
+  Detector detector;
+  interp.setObserver(&detector);
+  interp.start(entry);
+
+  auto pick = [&](rt::Interp&, const std::vector<std::size_t>& ready,
+                  std::size_t) -> std::size_t {
+    if (ready.size() <= 1) return 0;
+    if (rng != nullptr) return static_cast<std::size_t>(rng->below(ready.size()));
+    if (victim != static_cast<std::size_t>(-1)) {
+      for (std::size_t i = 0; i < ready.size(); ++i) {
+        if (ready[i] != victim) return i;
+      }
+    }
+    return 0;
+  };
+  rt::DriveOutcome drive =
+      rt::driveSchedule(interp, options.max_steps_per_run, pick);
+
+  ++result.schedules_run;
+  if (drive.deadlocked) ++result.deadlock_schedules;
+  if (interp.unsupportedFeature()) result.unsupported = true;
+  sites.addAll(detector.flaggedSites());
+}
+
+void checkEntry(const ir::Module& module, const Program& program, ProcId entry,
+                const Options& options, SiteSet& sites, Result& result) {
+  const std::vector<rt::ConfigAssignment> combos =
+      rt::enumerateConfigAssignments(module, options.max_config_combos);
+  constexpr std::size_t kNoVictim = static_cast<std::size_t>(-1);
+  for (std::size_t combo = 0; combo < combos.size(); ++combo) {
+    if (StopReason stop = options.deadline.check("hb.sample");
+        stop != StopReason::None) {
+      result.stopped = stop;
+      return;
+    }
+    // Default schedule, then the adversarial delay-victim sweep (task 0 is
+    // the root and never a useful victim).
+    sampleOnce(module, program, entry, combos[combo], nullptr, kNoVictim,
+               options, sites, result);
+    for (std::size_t victim = 1; victim <= options.victim_sweep; ++victim) {
+      if (StopReason stop = options.deadline.check("hb.sample");
+          stop != StopReason::None) {
+        result.stopped = stop;
+        return;
+      }
+      sampleOnce(module, program, entry, combos[combo], nullptr, victim,
+                 options, sites, result);
+    }
+    Rng rng(deriveSeed(options.seed, combo));
+    for (std::size_t run = 0; run < options.random_schedules; ++run) {
+      if (StopReason stop = options.deadline.check("hb.sample");
+          stop != StopReason::None) {
+        result.stopped = stop;
+        return;
+      }
+      sampleOnce(module, program, entry, combos[combo], &rng, kNoVictim,
+                 options, sites, result);
+    }
+  }
+}
+
+}  // namespace
+
+bool Result::sawUafAt(SourceLoc loc) const {
+  return std::any_of(sites.begin(), sites.end(),
+                     [&](const rt::UafEvent& e) { return e.loc == loc; });
+}
+
+Result check(const ir::Module& module, const Program& program, ProcId entry,
+             const Options& options) {
+  Result result;
+  SiteSet sites;
+  checkEntry(module, program, entry, options, sites, result);
+  result.sites = sites.take();
+  return result;
+}
+
+Result checkAll(const ir::Module& module, const Program& program,
+                const Options& options) {
+  Result result;
+  SiteSet sites;
+  for (const auto& proc : module.procs) {
+    if (proc->is_nested) continue;
+    if (!proc->decl->params.empty()) continue;  // needs caller context
+    checkEntry(module, program, proc->id, options, sites, result);
+    if (result.stopped != StopReason::None) break;
+  }
+  result.sites = sites.take();
+  return result;
+}
+
+}  // namespace cuaf::hb

@@ -1,0 +1,56 @@
+// Public entry point of the happens-before UAF oracle (docs/HB_ORACLE.md).
+//
+// Unlike the enumerating oracle (src/runtime/explore.h), which must visit
+// many interleavings to witness a bad one, the HB oracle extracts a
+// definitive per-schedule verdict from *each* execution: a vector-clock
+// detector rides along as an ExecObserver and flags every access site the
+// run's happens-before relation fails to order before its cell's free. A
+// small schedule sample (default run + delay-victim sweep + random runs)
+// then substitutes for full enumeration at a fraction of the cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/explore.h"
+#include "src/support/deadline.h"
+
+namespace cuaf::hb {
+
+struct Options {
+  /// Random schedules sampled per config combo (each yields a full verdict).
+  std::size_t random_schedules = 64;
+  /// Delay-victim schedules per combo (victims 1..victim_sweep).
+  std::size_t victim_sweep = 16;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  std::size_t max_steps_per_run = 50000;
+  /// Upper bound on enumerated config-value combinations.
+  std::size_t max_config_combos = 8;
+  /// Checked between schedules (site "hb.sample").
+  Deadline deadline;
+};
+
+struct Result {
+  /// Distinct (location, variable) sites flagged by the detector in at
+  /// least one sampled schedule, in deterministic discovery order.
+  std::vector<rt::UafEvent> sites;
+  std::size_t schedules_run = 0;
+  std::size_t deadlock_schedules = 0;
+  /// A run used a feature the interpreter cannot model.
+  bool unsupported = false;
+  /// Non-None when the deadline cut sampling short.
+  StopReason stopped = StopReason::None;
+
+  [[nodiscard]] bool sawUafAt(SourceLoc loc) const;
+};
+
+/// Samples schedules of `entry` under every enumerated config combo, running
+/// the vector-clock detector on each; returns the union of flagged sites.
+Result check(const ir::Module& module, const Program& program, ProcId entry,
+             const Options& options = {});
+
+/// Checks every top-level zero-parameter procedure and unions the results.
+Result checkAll(const ir::Module& module, const Program& program,
+                const Options& options = {});
+
+}  // namespace cuaf::hb

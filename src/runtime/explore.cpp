@@ -8,50 +8,22 @@
 
 namespace cuaf::rt {
 
-namespace {
-
-/// splitmix64 finalizer: decorrelates per-shard RNG streams derived from
-/// (seed, combo, shard) so shard count — not thread count — fixes the
-/// random schedules explored.
-std::uint64_t deriveSeed(std::uint64_t seed, std::size_t combo,
-                         std::size_t shard) {
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (combo + 1) +
-                    0xbf58476d1ce4e5b9ull * (shard + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
-struct RunOutcome {
-  std::vector<UafEvent> events;
-  std::size_t choice_points = 0;
-  /// Fan-out at each choice point along this run (for DFS successor
-  /// enumeration).
-  std::vector<std::size_t> fanout;
-  bool deadlocked = false;
-  bool step_limited = false;
-  bool unsupported = false;
-};
-
-/// Runs one schedule: choices[i] selects among the ready tasks at the i-th
-/// choice point; beyond the prefix, `rng` (if any) picks randomly, else the
-/// first ready task is chosen — unless `victim` is set, in which case the
-/// victim task is delayed as long as possible (adversarial schedule that
-/// maximizes the window between a parent's scope exit and the victim's
-/// remaining accesses).
-RunOutcome runSchedule(const ir::Module& module, const Program& program,
-                       ProcId entry, const ConfigAssignment& configs,
-                       const std::vector<std::size_t>& choices, Rng* rng,
-                       std::size_t max_steps,
-                       std::size_t victim = static_cast<std::size_t>(-1)) {
-  RunOutcome out;
-  Interp interp(module, program, &configs);
-  interp.start(entry);
-
+DriveOutcome driveSchedule(Interp& interp, std::size_t max_steps,
+                           const SchedulePicker& pick,
+                           const Deadline& deadline,
+                           const char* deadline_site) {
+  DriveOutcome out;
   while (!interp.allFinished()) {
     if (interp.stepsExecuted() > max_steps) {
       out.step_limited = true;
       break;
+    }
+    if (deadline_site != nullptr) {
+      if (StopReason stop = deadline.check(deadline_site);
+          stop != StopReason::None) {
+        out.stopped = stop;
+        break;
+      }
     }
 
     // Eagerly run tasks whose next step is invisible (they commute).
@@ -84,30 +56,85 @@ RunOutcome runSchedule(const ir::Module& module, const Program& program,
       continue;  // invisible progress may have unblocked someone next round
     }
 
-    std::size_t pick = 0;
+    std::size_t picked = pick(interp, ready, out.choice_points);
+    if (picked >= ready.size()) picked = ready.size() - 1;
     if (ready.size() > 1) {
       out.fanout.push_back(ready.size());
-      if (out.choice_points < choices.size()) {
-        pick = choices[out.choice_points];
-        if (pick >= ready.size()) pick = ready.size() - 1;
-      } else if (rng != nullptr) {
-        pick = static_cast<std::size_t>(rng->below(ready.size()));
-      } else if (victim != static_cast<std::size_t>(-1)) {
-        // Delay the victim: pick the first ready non-victim task.
-        for (std::size_t i = 0; i < ready.size(); ++i) {
-          if (ready[i] != victim) {
-            pick = i;
-            break;
-          }
-        }
-      }
       ++out.choice_points;
     }
-    interp.step(ready[pick]);
+    interp.step(ready[picked]);
   }
+  return out;
+}
 
+namespace {
+
+/// splitmix64 finalizer: decorrelates per-shard RNG streams derived from
+/// (seed, combo, shard) so shard count — not thread count — fixes the
+/// random schedules explored.
+std::uint64_t deriveSeed(std::uint64_t seed, std::size_t combo,
+                         std::size_t shard) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (combo + 1) +
+                    0xbf58476d1ce4e5b9ull * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct RunOutcome {
+  std::vector<UafEvent> events;
+  std::vector<UafEvent> observer_events;
+  std::size_t choice_points = 0;
+  /// Fan-out at each choice point along this run (for DFS successor
+  /// enumeration).
+  std::vector<std::size_t> fanout;
+  bool deadlocked = false;
+  bool step_limited = false;
+  bool unsupported = false;
+};
+
+/// Runs one schedule: choices[i] selects among the ready tasks at the i-th
+/// choice point; beyond the prefix, `rng` (if any) picks randomly, else the
+/// first ready task is chosen — unless `victim` is set, in which case the
+/// victim task is delayed as long as possible (adversarial schedule that
+/// maximizes the window between a parent's scope exit and the victim's
+/// remaining accesses).
+RunOutcome runSchedule(const ir::Module& module, const Program& program,
+                       ProcId entry, const ConfigAssignment& configs,
+                       const std::vector<std::size_t>& choices, Rng* rng,
+                       std::size_t max_steps, const ExploreOptions& opt,
+                       std::size_t victim = static_cast<std::size_t>(-1)) {
+  RunOutcome out;
+  Interp interp(module, program, &configs);
+  std::unique_ptr<ExecObserver> observer;
+  if (opt.observer_factory) {
+    observer = opt.observer_factory();
+    interp.setObserver(observer.get());
+  }
+  interp.start(entry);
+
+  auto pick = [&](Interp&, const std::vector<std::size_t>& ready,
+                  std::size_t choice_point) -> std::size_t {
+    if (ready.size() <= 1) return 0;
+    if (choice_point < choices.size()) return choices[choice_point];
+    if (rng != nullptr) return static_cast<std::size_t>(rng->below(ready.size()));
+    if (victim != static_cast<std::size_t>(-1)) {
+      // Delay the victim: pick the first ready non-victim task.
+      for (std::size_t i = 0; i < ready.size(); ++i) {
+        if (ready[i] != victim) return i;
+      }
+    }
+    return 0;
+  };
+  DriveOutcome drive = driveSchedule(interp, max_steps, pick);
+
+  out.choice_points = drive.choice_points;
+  out.fanout = std::move(drive.fanout);
+  out.deadlocked = drive.deadlocked;
+  out.step_limited = drive.step_limited;
   out.events = interp.events();
   out.unsupported = interp.unsupportedFeature();
+  if (observer != nullptr) out.observer_events = observer->flaggedSites();
   return out;
 }
 
@@ -153,6 +180,7 @@ class SiteIndex {
 /// order, independent of which thread ran it.
 struct ShardOutcome {
   SiteIndex sites;
+  SiteIndex observer_sites;
   std::size_t schedules = 0;
   std::size_t deadlocks = 0;
   bool truncated = false;
@@ -161,6 +189,7 @@ struct ShardOutcome {
 
   void accumulate(const RunOutcome& run) {
     sites.addAll(run.events);
+    observer_sites.addAll(run.observer_events);
     if (run.deadlocked) ++deadlocks;
     if (run.step_limited || run.unsupported) truncated = true;
     unsupported = unsupported || run.unsupported;
@@ -233,6 +262,8 @@ void exploreEntry(const ir::Module& module, const Program& program,
 
   SiteIndex merged;
   merged.addAll(result.uaf_sites);  // exploreAll accumulates across entries
+  SiteIndex merged_observer;
+  merged_observer.addAll(result.observer_sites);
 
   for (std::size_t combo_idx = 0; combo_idx < combos.size(); ++combo_idx) {
     const ConfigAssignment& configs = combos[combo_idx];
@@ -244,8 +275,9 @@ void exploreEntry(const ir::Module& module, const Program& program,
       result.exhaustive = false;
     } else {
       RunOutcome root = runSchedule(module, program, entry, configs, {},
-                                    nullptr, opt.max_steps_per_run);
+                                    nullptr, opt.max_steps_per_run, opt);
       merged.addAll(root.events);
+      merged_observer.addAll(root.observer_events);
       if (root.deadlocked) ++result.deadlock_schedules;
       if (root.step_limited || root.unsupported) {
         result.exhaustive = false;
@@ -286,7 +318,7 @@ void exploreEntry(const ir::Module& module, const Program& program,
         stack.pop_back();
         ++runs;
         RunOutcome run = runSchedule(module, program, entry, configs, prefix,
-                                     nullptr, opt.max_steps_per_run);
+                                     nullptr, opt.max_steps_per_run, opt);
         out.accumulate(run);
         pushDeviations(prefix, run, stack);
       }
@@ -303,7 +335,8 @@ void exploreEntry(const ir::Module& module, const Program& program,
           break;
         }
         RunOutcome run = runSchedule(module, program, entry, configs, {},
-                                     nullptr, opt.max_steps_per_run, victim);
+                                     nullptr, opt.max_steps_per_run, opt,
+                                     victim);
         out.accumulate(run);
       }
     });
@@ -311,6 +344,7 @@ void exploreEntry(const ir::Module& module, const Program& program,
     // Deterministic aggregation: shard order, not completion order.
     for (ShardOutcome& out : outcomes) {
       merged.addAll(out.sites.take());
+      merged_observer.addAll(out.observer_sites.take());
       result.schedules_run += out.schedules;
       result.deadlock_schedules += out.deadlocks;
       if (out.truncated) result.exhaustive = false;
@@ -337,12 +371,13 @@ void exploreEntry(const ir::Module& module, const Program& program,
             break;
           }
           RunOutcome run = runSchedule(module, program, entry, configs, {},
-                                       &rng, opt.max_steps_per_run);
+                                       &rng, opt.max_steps_per_run, opt);
           out.accumulate(run);
         }
       });
       for (ShardOutcome& out : random_outcomes) {
         merged.addAll(out.sites.take());
+        merged_observer.addAll(out.observer_sites.take());
         result.schedules_run += out.schedules;
         result.deadlock_schedules += out.deadlocks;
         result.unsupported = result.unsupported || out.unsupported;
@@ -356,12 +391,18 @@ void exploreEntry(const ir::Module& module, const Program& program,
   }
 
   result.uaf_sites = merged.take();
+  result.observer_sites = merged_observer.take();
 }
 
 }  // namespace
 
 bool ExploreResult::sawUafAt(SourceLoc loc) const {
   return std::any_of(uaf_sites.begin(), uaf_sites.end(),
+                     [&](const UafEvent& e) { return e.loc == loc; });
+}
+
+bool ExploreResult::observerFlaggedAt(SourceLoc loc) const {
+  return std::any_of(observer_sites.begin(), observer_sites.end(),
                      [&](const UafEvent& e) { return e.loc == loc; });
 }
 

@@ -20,12 +20,47 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/runtime/interp.h"
 #include "src/support/deadline.h"
 
 namespace cuaf::rt {
+
+/// Outcome of driving one complete schedule (see driveSchedule).
+struct DriveOutcome {
+  std::size_t choice_points = 0;
+  /// Fan-out at each multi-way choice point along this run (DFS successor
+  /// enumeration derives deviating prefixes from it).
+  std::vector<std::size_t> fanout;
+  bool deadlocked = false;
+  bool step_limited = false;
+  /// Non-None when `deadline` tripped mid-run (only checked when a
+  /// deadline site was supplied).
+  StopReason stopped = StopReason::None;
+};
+
+/// Scheduling policy for driveSchedule: returns an index into `ready`
+/// (non-empty; out-of-range picks clamp to the last entry). `choice_point`
+/// counts the multi-way decisions made so far — it only advances when
+/// ready.size() > 1, so choice-prefix replays stay aligned with DFS fanout
+/// recording. The picker is consulted for singleton ready sets too (guided
+/// replay advances its guide cursor on forced steps).
+using SchedulePicker = std::function<std::size_t(
+    Interp&, const std::vector<std::size_t>& ready, std::size_t choice_point)>;
+
+/// Drives `interp` (already started) to completion under `pick`: invisible
+/// steps run eagerly (they commute), then one visible step of the picked
+/// ready task per round. This is the single scheduling loop shared by the
+/// exhaustive/random explorer, the witness replayer, and the HB sampler —
+/// their runs interleave tasks identically by construction. When
+/// `deadline_site` is non-null the deadline is checked once per round.
+DriveOutcome driveSchedule(Interp& interp, std::size_t max_steps,
+                           const SchedulePicker& pick,
+                           const Deadline& deadline = Deadline{},
+                           const char* deadline_site = nullptr);
 
 struct ExploreOptions {
   /// Max schedules explored by the exhaustive DFS (per config combo).
@@ -47,6 +82,11 @@ struct ExploreOptions {
   /// tripped deadline stops the shard; the merged result is then marked
   /// stopped and non-exhaustive.
   Deadline deadline;
+  /// Optional per-run observer factory (e.g. the HB detector, src/hb/).
+  /// Called once per schedule; must be thread-safe — shards run
+  /// concurrently. Each observer's flaggedSites() merge deterministically
+  /// (shard order) into ExploreResult::observer_sites.
+  std::function<std::unique_ptr<ExecObserver>()> observer_factory;
 };
 
 struct ExploreResult {
@@ -63,8 +103,14 @@ struct ExploreResult {
   bool unsupported = false;
   /// Non-None when the deadline cut exploration short (implies !exhaustive).
   StopReason stopped = StopReason::None;
+  /// Union of observer-flagged sites across all runs (empty unless
+  /// ExploreOptions::observer_factory was set). Same deterministic ordering
+  /// guarantees as uaf_sites.
+  std::vector<UafEvent> observer_sites;
 
   [[nodiscard]] bool sawUafAt(SourceLoc loc) const;
+  /// True when some observer flagged an event at `loc`.
+  [[nodiscard]] bool observerFlaggedAt(SourceLoc loc) const;
 };
 
 /// Enumerates config-value combinations (bool configs take both values up to

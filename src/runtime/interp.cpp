@@ -90,6 +90,7 @@ CellPtr Interp::makeCell(VarId var, Value v, TaskId creator, bool is_sync) {
   cell->var = var;
   cell->creator = creator;
   cell->is_sync = is_sync;
+  cell->uid = next_cell_uid_++;
   return cell;
 }
 
@@ -102,22 +103,34 @@ CellPtr Interp::lookup(TaskCtx& task, VarId var) {
   return task.env ? task.env->lookup(var) : nullptr;
 }
 
-void Interp::recordAccess(const CellPtr& cell, SourceLoc loc, bool is_write) {
-  if (cell == nullptr || cell->alive || cell->is_sync) return;
+void Interp::recordAccess(TaskCtx& task, const CellPtr& cell, SourceLoc loc,
+                          bool is_write) {
+  if (cell == nullptr || cell->is_sync) return;
+  if (observer_ != nullptr) {
+    observer_->onAccess(task.id.index(), cell->uid, cell->var, loc, is_write,
+                        cell->alive);
+  }
+  if (cell->alive) return;
   events_.push_back(UafEvent{loc, cell->var, is_write});
+}
+
+void Interp::notifySyncOp(TaskCtx& task, const CellPtr& cell, SourceLoc loc) {
+  if (observer_ != nullptr && cell != nullptr) {
+    observer_->onSyncOp(task.id.index(), cell->uid, loc);
+  }
 }
 
 Value Interp::readCell(TaskCtx& task, VarId var, SourceLoc loc) {
   CellPtr cell = lookup(task, var);
   if (cell == nullptr) return std::int64_t{0};
-  recordAccess(cell, loc, false);
+  recordAccess(task, cell, loc, false);
   return cell->value;
 }
 
 void Interp::writeCell(TaskCtx& task, VarId var, Value v, SourceLoc loc) {
   CellPtr cell = lookup(task, var);
   if (cell == nullptr) return;
-  recordAccess(cell, loc, true);
+  recordAccess(task, cell, loc, true);
   cell->value = std::move(v);
 }
 
@@ -170,16 +183,26 @@ Value Interp::eval(TaskCtx& task, const Expr& expr) {
       CellPtr cell = lookup(task, e.resolved_receiver);
       std::string_view m = sema_.interner().text(e.method);
       if (cell == nullptr) return std::int64_t{0};
-      if (m == "isFull") return cell->sync_state == SyncState::Full;
+      // Sync/atomic method calls are ordering operations for observers
+      // (conservative: every touch of a concurrency-typed cell both
+      // releases and acquires; see src/hb/detector.h).
+      bool conc = cell->is_sync ||
+                  (e.resolved_receiver.valid() &&
+                   sema_.var(e.resolved_receiver).type.isAtomic());
+      if (m == "isFull") {
+        if (conc) notifySyncOp(task, cell, e.loc);
+        return cell->sync_state == SyncState::Full;
+      }
       if (m == "read") {
-        recordAccess(cell, e.loc, false);
+        recordAccess(task, cell, e.loc, false);
+        if (conc) notifySyncOp(task, cell, e.loc);
         return cell->value;
       }
       if (m == "fetchAdd" || m == "add" || m == "sub" || m == "exchange" ||
           m == "write") {
         Value arg = e.args.empty() ? Value{std::int64_t{0}}
                                    : eval(task, *e.args[0]);
-        recordAccess(cell, e.loc, true);
+        recordAccess(task, cell, e.loc, true);
         Value old = cell->value;
         if (m == "write" || m == "exchange") {
           cell->value = arg;
@@ -188,11 +211,13 @@ Value Interp::eval(TaskCtx& task, const Expr& expr) {
         } else {
           cell->value = asInt(old) + asInt(arg);
         }
+        if (conc) notifySyncOp(task, cell, e.loc);
         return old;
       }
       // waitFor/readFE/readFF in expression position: the blocking part is
       // handled at statement level; read the current value.
-      recordAccess(cell, e.loc, false);
+      recordAccess(task, cell, e.loc, false);
+      if (conc) notifySyncOp(task, cell, e.loc);
       return cell->value;
     }
   }
@@ -431,7 +456,7 @@ void Interp::runInlineStmt(TaskCtx& task, const ir::Stmt& stmt, bool& returned,
       if (cell == nullptr) break;
       Value arg = stmt.value != nullptr ? eval(task, *stmt.value)
                                         : Value{std::int64_t{0}};
-      recordAccess(cell, stmt.loc,
+      recordAccess(task, cell, stmt.loc,
                    stmt.atomic_op != ir::AtomicOpKind::Read &&
                        stmt.atomic_op != ir::AtomicOpKind::WaitFor);
       switch (stmt.atomic_op) {
@@ -454,6 +479,7 @@ void Interp::runInlineStmt(TaskCtx& task, const ir::Stmt& stmt, bool& returned,
         case ir::AtomicOpKind::Read:
           break;
       }
+      notifySyncOp(task, cell, stmt.loc);
       break;
     }
   }
@@ -470,12 +496,12 @@ bool Interp::allFinished() const {
   return true;
 }
 
-std::vector<std::shared_ptr<int>> Interp::activeRegions(
+std::vector<Interp::RegionPtr> Interp::activeRegions(
     const TaskCtx& task) const {
-  std::vector<std::shared_ptr<int>> regions = task.inherited_regions;
+  std::vector<RegionPtr> regions = task.inherited_regions;
   for (const ExecFrame& f : task.frames) {
-    if (f.kind == ExecFrame::Kind::SyncRegion && f.sync_counter) {
-      regions.push_back(f.sync_counter);
+    if (f.kind == ExecFrame::Kind::SyncRegion && f.sync_region) {
+      regions.push_back(f.sync_region);
     }
   }
   return regions;
@@ -495,17 +521,29 @@ void Interp::pushBody(TaskCtx& task, const std::vector<ir::StmtPtr>& stmts,
   task.frames.push_back(std::move(f));
 }
 
-void Interp::killOwned(ExecFrame& frame) {
+void Interp::killOwned(TaskCtx& task, ExecFrame& frame) {
   for (const CellPtr& cell : frame.owned) {
-    if (!cell->is_sync) cell->alive = false;
+    if (cell->is_sync) continue;
+    if (cell->alive) {
+      cell->alive = false;
+      if (observer_ != nullptr) observer_->onFree(task.id.index(), cell->uid);
+    }
   }
   frame.owned.clear();
 }
 
 void Interp::finishTask(TaskCtx& task) {
   task.finished = true;
-  for (const auto& counter : task.inherited_regions) {
-    if (counter) --*counter;
+  if (observer_ != nullptr) {
+    std::vector<std::uint32_t> region_ids;
+    region_ids.reserve(task.inherited_regions.size());
+    for (const RegionPtr& region : task.inherited_regions) {
+      if (region) region_ids.push_back(region->id);
+    }
+    observer_->onTaskEnd(task.id.index(), region_ids);
+  }
+  for (const RegionPtr& region : task.inherited_regions) {
+    if (region) --region->outstanding;
   }
 }
 
@@ -515,7 +553,7 @@ StepResult Interp::popFrame(TaskCtx& task) {
     case ExecFrame::Kind::LoopWhile: {
       if (!task.returning && top.loop->expr != nullptr &&
           asBool(eval(task, *top.loop->expr))) {
-        killOwned(top);  // per-iteration locals die each iteration
+        killOwned(task, top);  // per-iteration locals die each iteration
         top.index = 0;
         return StepResult::Progressed;
       }
@@ -525,15 +563,18 @@ StepResult Interp::popFrame(TaskCtx& task) {
       if (!task.returning && top.for_i < top.for_hi) {
         ++top.for_i;
         if (top.for_cell) top.for_cell->value = top.for_i;
-        killOwned(top);
+        killOwned(task, top);
         top.index = 0;
         return StepResult::Progressed;
       }
       break;
     }
     case ExecFrame::Kind::SyncRegion: {
-      if (top.sync_counter && *top.sync_counter > 0) {
+      if (top.sync_region && top.sync_region->outstanding > 0) {
         return StepResult::Blocked;  // fence: wait for child tasks
+      }
+      if (top.sync_region && observer_ != nullptr) {
+        observer_->onRegionClose(task.id.index(), top.sync_region->id);
       }
       break;
     }
@@ -541,7 +582,7 @@ StepResult Interp::popFrame(TaskCtx& task) {
       break;
   }
 
-  killOwned(top);
+  killOwned(task, top);
   task.env = top.saved_env;
   bool was_call = top.kind == ExecFrame::Kind::CallBoundary;
   task.frames.pop_back();
@@ -619,7 +660,7 @@ bool Interp::canStep(std::size_t t) {
   ExecFrame& top = task.frames.back();
   if (task.returning || top.index >= top.stmts->size()) {
     if (!task.returning && top.kind == ExecFrame::Kind::SyncRegion &&
-        top.sync_counter && *top.sync_counter > 0) {
+        top.sync_region && top.sync_region->outstanding > 0) {
       return false;
     }
     return true;
@@ -674,10 +715,14 @@ void Interp::spawnTask(TaskCtx& parent, const ir::Stmt& stmt) {
   child->frames.push_back(std::move(body));
 
   child->inherited_regions = activeRegions(parent);
-  for (const auto& counter : child->inherited_regions) {
-    if (counter) ++*counter;
+  for (const RegionPtr& region : child->inherited_regions) {
+    if (region) ++region->outstanding;
   }
+  std::size_t child_index = child->id.index();
   tasks_.push_back(std::move(child));
+  if (observer_ != nullptr) {
+    observer_->onTaskSpawn(parent.id.index(), child_index);
+  }
 }
 
 StepResult Interp::execStmt(TaskCtx& task, const ir::Stmt& stmt) {
@@ -734,6 +779,7 @@ StepResult Interp::execStmt(TaskCtx& task, const ir::Stmt& stmt) {
       if (stmt.sync_op == ir::SyncOpKind::ReadFE) {
         cell->sync_state = SyncState::Empty;
       }
+      notifySyncOp(task, cell, stmt.loc);
       return StepResult::Progressed;
     }
     case ir::StmtKind::SyncWrite: {
@@ -744,6 +790,7 @@ StepResult Interp::execStmt(TaskCtx& task, const ir::Stmt& stmt) {
                                       : Value{true};
       cell->value = std::move(v);
       cell->sync_state = SyncState::Full;
+      notifySyncOp(task, cell, stmt.loc);
       return StepResult::Progressed;
     }
     case ir::StmtKind::AtomicOp: {
@@ -753,25 +800,30 @@ StepResult Interp::execStmt(TaskCtx& task, const ir::Stmt& stmt) {
                                         : Value{std::int64_t{0}};
       switch (stmt.atomic_op) {
         case ir::AtomicOpKind::WaitFor:
-          recordAccess(cell, stmt.loc, false);
+          recordAccess(task, cell, stmt.loc, false);
           if (asInt(cell->value) != asInt(arg)) return StepResult::Blocked;
+          notifySyncOp(task, cell, stmt.loc);
           return StepResult::Progressed;
         case ir::AtomicOpKind::Write:
         case ir::AtomicOpKind::Exchange:
-          recordAccess(cell, stmt.loc, true);
+          recordAccess(task, cell, stmt.loc, true);
           cell->value = arg;
+          notifySyncOp(task, cell, stmt.loc);
           return StepResult::Progressed;
         case ir::AtomicOpKind::FetchAdd:
         case ir::AtomicOpKind::Add:
-          recordAccess(cell, stmt.loc, true);
+          recordAccess(task, cell, stmt.loc, true);
           cell->value = asInt(cell->value) + asInt(arg);
+          notifySyncOp(task, cell, stmt.loc);
           return StepResult::Progressed;
         case ir::AtomicOpKind::Sub:
-          recordAccess(cell, stmt.loc, true);
+          recordAccess(task, cell, stmt.loc, true);
           cell->value = asInt(cell->value) - asInt(arg);
+          notifySyncOp(task, cell, stmt.loc);
           return StepResult::Progressed;
         case ir::AtomicOpKind::Read:
-          recordAccess(cell, stmt.loc, false);
+          recordAccess(task, cell, stmt.loc, false);
+          notifySyncOp(task, cell, stmt.loc);
           return StepResult::Progressed;
       }
       return StepResult::Progressed;
@@ -785,7 +837,11 @@ StepResult Interp::execStmt(TaskCtx& task, const ir::Stmt& stmt) {
       f.kind = ExecFrame::Kind::SyncRegion;
       f.stmts = &stmt.body;
       f.saved_env = task.env;
-      f.sync_counter = std::make_shared<int>(0);
+      f.sync_region = std::make_shared<SyncRegionState>();
+      f.sync_region->id = next_region_id_++;
+      if (observer_ != nullptr) {
+        observer_->onRegionOpen(task.id.index(), f.sync_region->id);
+      }
       task.frames.push_back(std::move(f));
       return StepResult::Progressed;
     }
@@ -883,7 +939,7 @@ StepResult Interp::step(std::size_t t) {
   if (task.returning || top.index >= top.stmts->size()) {
     if (task.returning && top.kind != ExecFrame::Kind::CallBoundary) {
       // Unwind through non-call frames.
-      killOwned(top);
+      killOwned(task, top);
       task.env = top.saved_env;
       task.frames.pop_back();
       if (task.frames.empty()) {

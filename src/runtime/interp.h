@@ -24,19 +24,10 @@
 #include <vector>
 
 #include "src/ir/ir.h"
+#include "src/runtime/observer.h"
 #include "src/runtime/value.h"
 
 namespace cuaf::rt {
-
-struct UafEvent {
-  SourceLoc loc;
-  VarId var;
-  bool is_write = false;
-
-  friend bool operator==(const UafEvent& a, const UafEvent& b) {
-    return a.loc == b.loc && a.var == b.var;
-  }
-};
 
 /// Fixed values for module-level config variables (oracle enumerates these).
 using ConfigAssignment = std::unordered_map<VarId, Value>;
@@ -47,6 +38,10 @@ class Interp {
  public:
   Interp(const ir::Module& module, const Program& program,
          const ConfigAssignment* configs = nullptr);
+
+  /// Attaches a passive instrumentation observer (may be null). Set before
+  /// start(); the interpreter does not own it.
+  void setObserver(ExecObserver* observer) { observer_ = observer; }
 
   /// Prepares execution of `entry` (top-level procedure). Parameters get
   /// default values (ref parameters get fresh caller-owned cells that die
@@ -83,6 +78,14 @@ class Interp {
   [[nodiscard]] std::size_t writelnCount() const { return writeln_count_; }
 
  private:
+  /// Shared state of one dynamic `sync { }` region: the count of outstanding
+  /// tasks plus a stable id observers key region clocks on.
+  struct SyncRegionState {
+    int outstanding = 0;
+    std::uint32_t id = 0;
+  };
+  using RegionPtr = std::shared_ptr<SyncRegionState>;
+
   struct ExecFrame {
     enum class Kind { Body, Block, LoopWhile, LoopFor, CallBoundary, SyncRegion };
     Kind kind = Kind::Body;
@@ -94,7 +97,7 @@ class Interp {
     std::int64_t for_i = 0;
     std::int64_t for_hi = 0;
     CellPtr for_cell;
-    std::shared_ptr<int> sync_counter;  ///< SyncRegion: outstanding tasks
+    RegionPtr sync_region;  ///< SyncRegion: outstanding-task counter + id
   };
 
   struct TaskCtx {
@@ -104,7 +107,7 @@ class Interp {
     std::vector<ExecFrame> frames;
     /// Sync-region counters to decrement when this task finishes
     /// (dynamically enclosing regions at spawn time).
-    std::vector<std::shared_ptr<int>> inherited_regions;
+    std::vector<RegionPtr> inherited_regions;
     bool finished = false;
     bool returning = false;  ///< unwinding to the nearest CallBoundary
   };
@@ -115,7 +118,10 @@ class Interp {
   void bind(TaskCtx& task, VarId var, CellPtr cell);
   CellPtr lookup(TaskCtx& task, VarId var);
 
-  void recordAccess(const CellPtr& cell, SourceLoc loc, bool is_write);
+  void recordAccess(TaskCtx& task, const CellPtr& cell, SourceLoc loc,
+                    bool is_write);
+  /// Observer hook for a completed (non-blocked) sync/atomic operation.
+  void notifySyncOp(TaskCtx& task, const CellPtr& cell, SourceLoc loc);
   Value readCell(TaskCtx& task, VarId var, SourceLoc loc);
   void writeCell(TaskCtx& task, VarId var, Value v, SourceLoc loc);
 
@@ -130,12 +136,12 @@ class Interp {
   void pushBody(TaskCtx& task, const std::vector<ir::StmtPtr>& stmts,
                 ExecFrame::Kind kind);
   StepResult popFrame(TaskCtx& task);
-  void killOwned(ExecFrame& frame);
+  void killOwned(TaskCtx& task, ExecFrame& frame);
   void finishTask(TaskCtx& task);
   StepResult execStmt(TaskCtx& task, const ir::Stmt& stmt);
   void spawnTask(TaskCtx& parent, const ir::Stmt& stmt);
   /// Collects the counters of enclosing sync regions (inherited + open).
-  std::vector<std::shared_ptr<int>> activeRegions(const TaskCtx& task) const;
+  std::vector<RegionPtr> activeRegions(const TaskCtx& task) const;
 
   [[nodiscard]] bool stmtVisible(TaskCtx& task, const ir::Stmt& stmt);
   [[nodiscard]] bool usesCrossTask(TaskCtx& task,
@@ -152,6 +158,9 @@ class Interp {
   std::size_t writeln_count_ = 0;
   bool unsupported_ = false;
   TaskId next_task_id_{0};
+  ExecObserver* observer_ = nullptr;
+  std::uint32_t next_cell_uid_ = 0;
+  std::uint32_t next_region_id_ = 0;
 };
 
 }  // namespace cuaf::rt

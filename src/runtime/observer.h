@@ -1,0 +1,83 @@
+// Passive instrumentation interface for the step-wise interpreter.
+//
+// An ExecObserver receives one callback per semantically interesting runtime
+// event — task spawn/end, sync-region open/close, completed sync/atomic
+// operations, data-cell accesses, and scope-exit frees — in the exact order
+// the interpreter executes them under the driven schedule. Observers never
+// influence execution; they exist so dynamic analyses (the vector-clock
+// happens-before UAF detector in src/hb/) can derive per-run verdicts
+// without re-implementing the interpreter's semantics.
+//
+// Identifiers:
+//  * tasks are named by their index into the interpreter's task vector
+//    (equal to TaskId::index(); root is 0),
+//  * cells by Cell::uid (unique per interpreter instance, assigned at
+//    allocation — tombstoned cells keep their uid),
+//  * sync regions by the id assigned when the `sync { }` frame is pushed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace cuaf::rt {
+
+struct UafEvent {
+  SourceLoc loc;
+  VarId var;
+  bool is_write = false;
+
+  friend bool operator==(const UafEvent& a, const UafEvent& b) {
+    return a.loc == b.loc && a.var == b.var;
+  }
+};
+
+class ExecObserver {
+ public:
+  virtual ~ExecObserver() = default;
+
+  /// `child` was spawned by `parent` (a begin statement). Fires after the
+  /// in-intent capture copies, which are reads in the parent strand.
+  virtual void onTaskSpawn(std::size_t /*parent*/, std::size_t /*child*/) {}
+
+  /// `task` executed its last step. `regions` are the ids of the sync
+  /// regions whose completion counters the task decrements (the regions
+  /// dynamically enclosing its spawn).
+  virtual void onTaskEnd(std::size_t /*task*/,
+                         const std::vector<std::uint32_t>& /*regions*/) {}
+
+  /// `task` entered a `sync { }` block.
+  virtual void onRegionOpen(std::size_t /*task*/, std::uint32_t /*region*/) {}
+
+  /// `task` passed the closing fence of `region`: every task spawned inside
+  /// it has finished (their onTaskEnd callbacks already fired).
+  virtual void onRegionClose(std::size_t /*task*/, std::uint32_t /*region*/) {}
+
+  /// `task` completed (did not block on) a sync/atomic operation touching
+  /// `cell_uid`: readFE/readFF/writeEF, atomic read/write/add/sub/
+  /// fetchAdd/exchange, or a satisfied waitFor.
+  virtual void onSyncOp(std::size_t /*task*/, std::uint32_t /*cell_uid*/,
+                        SourceLoc /*loc*/) {}
+
+  /// `task` read or wrote a data/atomic cell (sync/single cells are exempt
+  /// from scope death and not reported). `alive` is false when the access
+  /// hit a tombstone — a concrete use-after-free under this schedule.
+  virtual void onAccess(std::size_t /*task*/, std::uint32_t /*cell_uid*/,
+                        VarId /*var*/, SourceLoc /*loc*/, bool /*is_write*/,
+                        bool /*alive*/) {}
+
+  /// Scope exit killed data/atomic cell `cell_uid`; `task` is the task whose
+  /// frame pop performed the kill.
+  virtual void onFree(std::size_t /*task*/, std::uint32_t /*cell_uid*/) {}
+
+  /// Sites the observer flags once the run completes. The schedule explorer
+  /// unions these across runs (deterministically, in shard order) into
+  /// ExploreResult::observer_sites; the HB detector reports sites whose
+  /// access is not ordered before the cell's free.
+  [[nodiscard]] virtual std::vector<UafEvent> flaggedSites() const {
+    return {};
+  }
+};
+
+}  // namespace cuaf::rt

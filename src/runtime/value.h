@@ -30,6 +30,8 @@ struct Cell {
   SyncState sync_state = SyncState::Empty;
   VarId var;                  ///< declaring variable (for reporting)
   TaskId creator;             ///< task that allocated the cell
+  std::uint32_t uid = 0;      ///< unique per interpreter instance (observers
+                              ///< key per-cell state on it; survives death)
 };
 
 using CellPtr = std::shared_ptr<Cell>;

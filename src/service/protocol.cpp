@@ -312,12 +312,28 @@ ProtocolError makeError(std::string code, std::string message,
   return e;
 }
 
-/// Applies the "options" object; unknown keys or non-bool values are
+/// Applies the "options" object; unknown keys or mistyped values are
 /// rejected so client typos surface instead of silently analyzing with
 /// defaults (the cache key would otherwise hide the mistake forever).
 bool applyOptions(const JsonValue& object, AnalysisOptions& out,
                   std::string& error) {
   for (const auto& [key, value] : object.object) {
+    if (key == "oracle") {
+      // The one non-boolean option: which dynamic oracle classifies the
+      // warnings ("none" | "enumerate" | "hb").
+      if (value.kind != JsonValue::Kind::String) {
+        error = "option 'oracle' must be a string";
+        return false;
+      }
+      if (value.string == "none") out.oracle = OracleKind::None;
+      else if (value.string == "enumerate") out.oracle = OracleKind::Enumerate;
+      else if (value.string == "hb") out.oracle = OracleKind::Hb;
+      else {
+        error = "option 'oracle' must be \"none\", \"enumerate\" or \"hb\"";
+        return false;
+      }
+      continue;
+    }
     if (value.kind != JsonValue::Kind::Bool) {
       error = "option '" + key + "' must be a boolean";
       return false;

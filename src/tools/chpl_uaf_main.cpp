@@ -10,6 +10,12 @@
 //     --witness      extract an interleaving counterexample per warning
 //     --witness=replay  additionally confirm each witness by replaying it
 //                    on the runtime interpreter (confirmed/unconfirmed/tail)
+//     --oracle       run the enumerating dynamic oracle and print its sites
+//     --oracle=enumerate | --oracle=hb
+//                    classify each warning through the Pipeline's oracle
+//                    phase (exhaustive enumeration vs the vector-clock
+//                    happens-before sampler, docs/HB_ORACLE.md); verdicts
+//                    print per warning and join the JSON report
 //     --baseline     also run the sync-block-only MHP baseline
 //     --no-prune     disable pruning rules A-D
 //     --no-merge     disable the PPS merge optimization
@@ -321,6 +327,18 @@ int runFile(const CliOptions& cli, const std::string& path) {
     }
   }
 
+  if (cli.analysis.oracle != cuaf::OracleKind::None) {
+    const char* which =
+        cli.analysis.oracle == cuaf::OracleKind::Hb ? "hb" : "enumerate";
+    for (const cuaf::ProcAnalysis& pa : pipeline.analysis().procs) {
+      for (const cuaf::UafWarning& w : pa.warnings) {
+        std::cout << "oracle[" << which << "] '" << w.var_name << "' at line "
+                  << w.access_loc.line << ": "
+                  << cuaf::oracleVerdictName(w.oracle_verdict) << '\n';
+      }
+    }
+  }
+
   if (cli.baseline) {
     cuaf::DiagnosticEngine baseline_diags;
     cuaf::AnalysisResult baseline =
@@ -429,6 +447,10 @@ int main(int argc, char** argv) {
       cli.baseline = true;
     } else if (arg == "--oracle") {
       cli.oracle = true;
+    } else if (arg == "--oracle=enumerate") {
+      cli.analysis.oracle = cuaf::OracleKind::Enumerate;
+    } else if (arg == "--oracle=hb") {
+      cli.analysis.oracle = cuaf::OracleKind::Hb;
     } else if (arg == "--no-prune") {
       cli.analysis.build.prune = false;
     } else if (arg == "--no-merge") {
@@ -487,7 +509,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: chpl-uaf [--dump-ast|--dump-ir|--dump-ccfg|--dot|"
                    "--trace-pps|--witness|--witness=replay|--baseline|"
-                   "--oracle|--no-prune|--no-merge|--no-por|"
+                   "--oracle|--oracle=enumerate|--oracle=hb|"
+                   "--no-prune|--no-merge|--no-por|"
                    "--deadlocks|--model-atomics|--unroll-loops|--json|"
                    "--json-out FILE|--suggest-fixes|--fix|--jobs N|"
                    "--deadline-ms N|--cache-dir DIR] "
@@ -502,6 +525,8 @@ int main(int argc, char** argv) {
                    "warning (docs/WITNESS.md)\n"
                    "  --witness=replay confirm witnesses on the runtime "
                    "interpreter (confirmed/unconfirmed/tail)\n"
+                   "  --oracle=enumerate|hb  classify each warning with the "
+                   "chosen dynamic oracle (docs/HB_ORACLE.md)\n"
                    "  --jobs N  worker threads for the dynamic oracle "
                    "(results are identical for any N)\n";
       return 0;

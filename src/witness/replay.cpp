@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/hb/detector.h"
 #include "src/runtime/explore.h"
 #include "src/runtime/interp.h"
 
@@ -17,6 +18,8 @@ constexpr std::size_t kMaxFallbackVictims = 16;
 struct RunResult {
   bool confirmed = false;
   bool unsupported = false;
+  /// The happens-before detector flagged the warned access site in this run.
+  bool hb_flagged = false;
   std::size_t steps = 0;
   StopReason stopped = StopReason::None;
 };
@@ -36,6 +39,8 @@ RunResult runOnce(const ir::Module& module, const Program& program,
                   const Deadline& deadline) {
   RunResult out;
   rt::Interp interp(module, program, &configs);
+  hb::Detector detector;  // cross-checks the replay verdict (docs/HB_ORACLE.md)
+  interp.setObserver(&detector);
   interp.start(entry);
   std::size_t guide_cursor = 0;
 
@@ -44,67 +49,38 @@ RunResult runOnce(const ir::Module& module, const Program& program,
     return task_loc.valid() && interp.taskSpawnLoc(t) == task_loc;
   };
 
-  while (!interp.allFinished()) {
-    if (interp.stepsExecuted() > max_steps) break;
-    if (StopReason stop = deadline.check("witness.replay");
-        stop != StopReason::None) {
-      out.stopped = stop;
-      break;
-    }
-
-    // Eagerly run invisible steps (they commute; same as the explorer).
-    bool advanced = false;
-    bool limited = false;
-    for (std::size_t t = 0; t < interp.taskCount(); ++t) {
-      while (!interp.taskFinished(t) && !interp.nextStepVisible(t) &&
-             interp.canStep(t)) {
-        if (interp.step(t) == rt::StepResult::Blocked) break;
-        advanced = true;
-        if (interp.stepsExecuted() > max_steps) {
-          limited = true;
-          break;
-        }
-      }
-      if (limited) break;
-    }
-    if (limited) break;
-    if (interp.allFinished()) break;
-
-    std::vector<std::size_t> ready;
-    for (std::size_t t = 0; t < interp.taskCount(); ++t) {
-      if (!interp.taskFinished(t) && interp.canStep(t)) ready.push_back(t);
-    }
-    if (ready.empty()) {
-      if (!advanced) break;  // deadlock: the schedule is infeasible here
-      continue;
-    }
-
+  // Non-victims run first (victims only when nothing else is ready); among
+  // them, a task whose pending statement is the next unconsumed guide sync
+  // event is preferred, steering execution along the witness serialization.
+  auto pick = [&](rt::Interp&, const std::vector<std::size_t>& ready,
+                  std::size_t) -> std::size_t {
     std::vector<std::size_t> pool;
-    for (std::size_t t : ready) {
-      if (!isVictim(t)) pool.push_back(t);
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      if (!isVictim(ready[i])) pool.push_back(i);
     }
-    if (pool.empty()) pool = ready;  // only victims left: they must run
-
-    std::size_t pick = pool.front();
-    bool matched = false;
+    if (pool.empty()) {  // only victims left: they must run
+      for (std::size_t i = 0; i < ready.size(); ++i) pool.push_back(i);
+    }
     if (guides != nullptr && guide_cursor < guides->size()) {
-      for (std::size_t t : pool) {
-        if (interp.nextSyncLoc(t) == (*guides)[guide_cursor]) {
-          pick = t;
-          matched = true;
-          break;
+      for (std::size_t i : pool) {
+        if (interp.nextSyncLoc(ready[i]) == (*guides)[guide_cursor]) {
+          ++guide_cursor;
+          return i;
         }
       }
     }
-    interp.step(pick);
-    if (matched) ++guide_cursor;
-  }
+    return pool.front();
+  };
+  rt::DriveOutcome drive =
+      rt::driveSchedule(interp, max_steps, pick, deadline, "witness.replay");
 
+  out.stopped = drive.stopped;
   out.steps = interp.stepsExecuted();
   out.unsupported = interp.unsupportedFeature();
   out.confirmed = std::any_of(
       interp.events().begin(), interp.events().end(),
       [&](const rt::UafEvent& e) { return e.loc == access_loc; });
+  out.hb_flagged = detector.flaggedAt(access_loc);
   return out;
 }
 
@@ -142,6 +118,10 @@ ReplayOutcome replaySchedule(const ccfg::Graph& graph, const Program& program,
     out.steps += run.steps;
     out.unsupported = out.unsupported || run.unsupported;
     out.confirmed = out.confirmed || run.confirmed;
+    // Soundness cross-check: a concrete use-after-free in a run means the
+    // free executed before the access, so the HB detector riding the same
+    // run must have flagged the site. A miss is a detector bug.
+    if (run.confirmed && !run.hb_flagged) out.hb_disagrees = true;
     if (run.stopped != StopReason::None) {
       out.stopped = run.stopped;
       return true;

@@ -18,6 +18,11 @@ struct ReplayOutcome {
   bool unsupported = false;
   std::size_t steps = 0;  ///< interpreter steps across all runs
   std::size_t runs = 0;
+  /// A run confirmed the warning concretely but the happens-before detector
+  /// riding the same run did not flag the access site. The HB verdict is
+  /// sound per schedule, so this can only mean a detector bug; surfaced as
+  /// hbAgrees:false in the witness JSON (hard error in the report).
+  bool hb_disagrees = false;
   /// Non-None when the deadline interrupted replay mid-schedule.
   StopReason stopped = StopReason::None;
 };

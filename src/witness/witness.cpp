@@ -100,6 +100,7 @@ std::vector<Witness> buildWitnesses(const ccfg::Graph& graph,
       w.replayed = true;
       w.replay_steps = replay.steps;
       w.replay_runs = replay.runs;
+      w.hb_agrees = !replay.hb_disagrees;
       w.stopped = replay.stopped;
       if (replay.confirmed) {
         w.verdict = Verdict::Confirmed;
@@ -133,6 +134,8 @@ std::string toJson(const Witness& w) {
   out += w.replayed ? "true" : "false";
   out += ",\"replaySteps\":" + std::to_string(w.replay_steps);
   out += ",\"replayRuns\":" + std::to_string(w.replay_runs);
+  out += ",\"hbAgrees\":";
+  out += w.hb_agrees ? "true" : "false";
   out += ",\"variable\":\"" + jsonEscape(w.var_name) + "\"";
   out += ",\"line\":" + std::to_string(w.access_loc.line);
   out += ",\"column\":" + std::to_string(w.access_loc.column);

@@ -87,6 +87,11 @@ struct Witness {
   std::size_t replay_steps = 0;
   /// Replay runs attempted (guided + fallback, across config combos).
   std::size_t replay_runs = 0;
+  /// The happens-before oracle (src/hb/) agreed with every replay run's
+  /// verdict: each confirming run's detector also flagged the access site.
+  /// False is a hard error (a detector soundness bug), surfaced as
+  /// hbAgrees:false here and counted in the report's hbDisagreements.
+  bool hb_agrees = true;
   /// The extracted counterexample serialization, initial state omitted.
   std::vector<ScheduleStep> schedule;
   SourceLoc access_loc;
@@ -109,7 +114,7 @@ struct Witness {
 
 /// Stable single-line JSON form (schema documented in docs/WITNESS.md):
 /// {"verdict":...,"fromTail":...,"replayed":...,"replaySteps":N,
-///  "replayRuns":N,"variable":...,"line":N,"column":N,
+///  "replayRuns":N,"hbAgrees":...,"variable":...,"line":N,"column":N,
 ///  "schedule":[{"rule":...,"syncs":[{"var","op","line","column"}...]}...]}
 /// Deliberately carries no file name so cached witnesses are byte-identical
 /// across CLI paths and service item names.

@@ -2,6 +2,7 @@
 
 #include "src/analysis/pipeline.h"
 #include "src/corpus/runner.h"
+#include "src/corpus/shape.h"
 
 namespace cuaf {
 namespace {
@@ -355,6 +356,86 @@ TEST(Runner, ProgressCallbackInvoked) {
   corpus::runCorpus(1, 600, gen, run,
                     [&](std::size_t, std::size_t) { ++calls; });
   EXPECT_GT(calls, 0u);
+}
+
+TEST(Shape, HashIgnoresNamesAndLiteralValues) {
+  // Renaming every identifier and changing literal values preserves the
+  // canonical token shape.
+  std::uint64_t a = corpus::shapeHash(
+      "proc p() {\n  var x: int = 3;\n  writeln(x);\n}\n");
+  std::uint64_t b = corpus::shapeHash(
+      "proc q() {\n  var y: int = 77;\n  writeln(y);\n}\n");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Shape, HashSeesStructureAndAliasing) {
+  std::uint64_t base =
+      corpus::shapeHash("proc p() {\n  var x = 1;\n  var y = 2;\n  writeln(x + y);\n}\n");
+  // Different statement structure.
+  std::uint64_t extra =
+      corpus::shapeHash("proc p() {\n  var x = 1;\n  var y = 2;\n  writeln(x + y);\n  writeln(x);\n}\n");
+  EXPECT_NE(base, extra);
+  // Same token count but a different aliasing pattern (x + x vs x + y):
+  // first-occurrence indexing keeps them distinct.
+  std::uint64_t aliased =
+      corpus::shapeHash("proc p() {\n  var x = 1;\n  var y = 2;\n  writeln(x + x);\n}\n");
+  EXPECT_NE(base, aliased);
+}
+
+TEST(Runner, DedupSkipsNearDuplicateShapes) {
+  // The generator's structural space is narrow, so a few hundred draws
+  // already collide; with dedup on, replacements are drawn and the skips
+  // are accounted.
+  corpus::GeneratorOptions gen;
+  corpus::RunnerOptions run;
+  run.classify_with_oracle = false;
+  run.dedup_generated = true;
+  corpus::CorpusRunResult r = corpus::runCorpusDetailed(5, 300, gen, run);
+  EXPECT_GT(r.stats.programs_deduped, 0u);
+  // The generator cannot supply 300 distinct shapes before the bounded
+  // replacement budget runs dry, so the deduped corpus stays smaller.
+  EXPECT_LT(r.stats.total_cases, corpus::curatedPrograms().size() + 300);
+
+  // Dedup accounting is identical across job counts.
+  run.jobs = 3;
+  corpus::Table1Stats parallel = corpus::runCorpus(5, 300, gen, run);
+  EXPECT_TRUE(parallel == r.stats);
+}
+
+TEST(Runner, StreamingFoldRetainsOneOutcomeSerially) {
+  // The streaming aggregation satellite: a 10k-program sweep must fold each
+  // outcome as it completes — on the serial path the reorder buffer never
+  // holds more than the one outcome being folded.
+  corpus::GeneratorOptions gen;
+  corpus::RunnerOptions run;
+  run.classify_with_oracle = false;  // keep the 10k sweep fast
+  corpus::StreamMetrics metrics;
+  corpus::Table1Stats stats =
+      corpus::runCorpus(42, 10000, gen, run, nullptr, &metrics);
+  EXPECT_EQ(metrics.peak_retained, 1u);
+  EXPECT_EQ(stats.total_cases, 10000 + corpus::curatedPrograms().size());
+
+  // Bit-identical to the retained-outcomes path.
+  corpus::CorpusRunResult detailed =
+      corpus::runCorpusDetailed(42, 10000, gen, run);
+  EXPECT_TRUE(stats == detailed.stats);
+}
+
+TEST(Runner, StreamingFoldMatchesAcrossJobCounts) {
+  corpus::GeneratorOptions gen;
+  corpus::RunnerOptions run;
+  run.classify_with_oracle = false;
+  corpus::StreamMetrics serial_metrics;
+  corpus::Table1Stats serial =
+      corpus::runCorpus(9, 2000, gen, run, nullptr, &serial_metrics);
+
+  run.jobs = 4;
+  corpus::StreamMetrics parallel_metrics;
+  corpus::Table1Stats parallel =
+      corpus::runCorpus(9, 2000, gen, run, nullptr, &parallel_metrics);
+  EXPECT_TRUE(serial == parallel);
+  EXPECT_EQ(serial_metrics.peak_retained, 1u);
+  EXPECT_GE(parallel_metrics.peak_retained, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,514 @@
+// Tests for the vector-clock happens-before UAF oracle (src/hb/,
+// docs/HB_ORACLE.md):
+//  * clock algebra units (join monotonicity, leq, epochs),
+//  * detector edge rules driven by hand-crafted event sequences
+//    (fork precision, region join, full/empty sync-cell ordering),
+//  * no-false-positive guarantee on fully synchronized programs across
+//    every enumerated schedule,
+//  * the hb::check sampling API,
+//  * the differential suite: HB over all enumerated schedules must flag
+//    exactly the (site, variable) set the enumerating oracle confirms —
+//    200 programs per task discipline, 800 total.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "src/corpus/generator.h"
+#include "src/hb/detector.h"
+#include "src/hb/hb.h"
+#include "src/runtime/explore.h"
+#include "src/support/rng.h"
+#include "tests/test_util.h"
+
+namespace cuaf {
+namespace {
+
+using corpus::TaskDiscipline;
+using test::Fixture;
+
+// ---------------------------------------------------------------------------
+// VectorClock algebra
+
+TEST(VectorClock, BottomIsZeroEverywhere) {
+  hb::VectorClock c;
+  EXPECT_EQ(c.of(0), 0u);
+  EXPECT_EQ(c.of(17), 0u);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(VectorClock, BumpAdvancesOneComponent) {
+  hb::VectorClock c;
+  c.bump(2);
+  c.bump(2);
+  EXPECT_EQ(c.of(2), 2u);
+  EXPECT_EQ(c.of(0), 0u);
+  EXPECT_EQ(c.of(1), 0u);
+}
+
+TEST(VectorClock, RaiseNeverLowers) {
+  hb::VectorClock c;
+  c.raise(1, 5);
+  EXPECT_EQ(c.of(1), 5u);
+  c.raise(1, 3);
+  EXPECT_EQ(c.of(1), 5u);
+}
+
+TEST(VectorClock, JoinIsComponentwiseMax) {
+  hb::VectorClock a, b;
+  a.raise(0, 3);
+  a.raise(2, 1);
+  b.raise(0, 1);
+  b.raise(1, 4);
+  a.join(b);
+  EXPECT_EQ(a.of(0), 3u);
+  EXPECT_EQ(a.of(1), 4u);
+  EXPECT_EQ(a.of(2), 1u);
+}
+
+TEST(VectorClock, JoinIsMonotone) {
+  // a ⊑ a ⊔ b and b ⊑ a ⊔ b for assorted clocks: the join only adds
+  // knowledge, never forgets it.
+  for (std::uint32_t va = 0; va < 4; ++va) {
+    for (std::uint32_t vb = 0; vb < 4; ++vb) {
+      hb::VectorClock a, b;
+      a.raise(0, va);
+      a.raise(3, 2);
+      b.raise(1, vb);
+      b.raise(3, va + vb);
+      hb::VectorClock j = a;
+      j.join(b);
+      EXPECT_TRUE(a.leq(j));
+      EXPECT_TRUE(b.leq(j));
+    }
+  }
+}
+
+TEST(VectorClock, LeqDetectsConcurrency) {
+  hb::VectorClock a, b;
+  a.bump(0);
+  b.bump(1);
+  // Neither ordered: concurrent clocks.
+  EXPECT_FALSE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  b.join(a);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+}
+
+TEST(ClockMap, TaskClockBornAtEpochOne) {
+  hb::ClockMap m;
+  EXPECT_EQ(m.task(3).of(3), 1u);
+  // Earlier indices materialized by the resize stay lazily initialized.
+  EXPECT_EQ(m.task(0).of(0), 1u);
+  EXPECT_EQ(m.taskCount(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Detector edge rules (hand-driven event sequences)
+
+SourceLoc loc(std::uint32_t line, std::uint32_t col = 1) {
+  SourceLoc l;
+  l.file = FileId{0};
+  l.line = line;
+  l.column = col;
+  return l;
+}
+
+constexpr VarId kVar{7};
+
+TEST(Detector, UnjoinedChildAccessIsConcurrentWithFree) {
+  hb::Detector d;
+  d.onTaskSpawn(0, 1);
+  d.onAccess(1, 10, kVar, loc(3), /*is_write=*/false, /*alive=*/true);
+  d.onFree(0, 10);  // parent never synchronized with the child
+  ASSERT_EQ(d.flaggedSites().size(), 1u);
+  EXPECT_TRUE(d.flaggedAt(loc(3)));
+}
+
+TEST(Detector, ParentOwnAccessOrderedBeforeItsFree) {
+  hb::Detector d;
+  d.onTaskSpawn(0, 1);
+  d.onAccess(0, 10, kVar, loc(2), /*is_write=*/true, /*alive=*/true);
+  d.onFree(0, 10);  // program order covers the parent's own access
+  EXPECT_TRUE(d.flaggedSites().empty());
+}
+
+TEST(Detector, SpawnEdgeOrdersPreSpawnParentWork) {
+  // The child inherits the parent's pre-spawn clock, so a *child* free is
+  // ordered after the parent's earlier access.
+  hb::Detector d;
+  d.onAccess(0, 10, kVar, loc(2), false, true);
+  d.onTaskSpawn(0, 1);
+  d.onFree(1, 10);
+  EXPECT_TRUE(d.flaggedSites().empty());
+}
+
+TEST(Detector, RegionJoinOrdersChildBeforeClosingFree) {
+  // sync { begin { access } }  — the closing fence acquires the child's
+  // final clock via the region clock, ordering the access before the free.
+  hb::Detector d;
+  d.onTaskSpawn(0, 1);
+  d.onAccess(1, 10, kVar, loc(4), false, true);
+  d.onTaskEnd(1, {/*region*/ 0});
+  d.onRegionClose(0, 0);
+  d.onFree(0, 10);
+  EXPECT_TRUE(d.flaggedSites().empty());
+}
+
+TEST(Detector, FullEmptyHandshakeOrdersAccessBeforeFree) {
+  // Child: access x; writeEF(done).  Parent: readFE(done); free x.
+  // The completed ops on the sync cell form a release-acquire chain.
+  hb::Detector d;
+  d.onTaskSpawn(0, 1);
+  d.onAccess(1, 10, kVar, loc(4), false, true);
+  d.onSyncOp(1, /*cell*/ 20, loc(5));  // writeEF
+  d.onSyncOp(0, 20, loc(8));           // readFE (completed after the write)
+  d.onFree(0, 10);
+  EXPECT_TRUE(d.flaggedSites().empty());
+}
+
+TEST(Detector, AccessAfterSignalStaysConcurrent) {
+  // SyncVarLate shape: the access *after* the signalling writeEF is not
+  // covered by the parent's readFE acquisition.
+  hb::Detector d;
+  d.onTaskSpawn(0, 1);
+  d.onAccess(1, 10, kVar, loc(4), false, true);  // before the signal: safe
+  d.onSyncOp(1, 20, loc(5));
+  d.onAccess(1, 10, kVar, loc(6), true, true);  // after the signal: racy
+  d.onSyncOp(0, 20, loc(8));
+  d.onFree(0, 10);
+  ASSERT_EQ(d.flaggedSites().size(), 1u);
+  EXPECT_FALSE(d.flaggedAt(loc(4)));
+  EXPECT_TRUE(d.flaggedAt(loc(6)));
+  EXPECT_TRUE(d.flaggedSites().front().is_write);
+}
+
+TEST(Detector, SyncChainThroughThirdTaskOrders) {
+  // t1: access; writeEF(a).  t2: readFE(a); writeEF(b).  t0: readFE(b); free.
+  hb::Detector d;
+  d.onTaskSpawn(0, 1);
+  d.onTaskSpawn(0, 2);
+  d.onAccess(1, 10, kVar, loc(3), false, true);
+  d.onSyncOp(1, 20, loc(4));
+  d.onSyncOp(2, 20, loc(6));
+  d.onSyncOp(2, 21, loc(7));
+  d.onSyncOp(0, 21, loc(9));
+  d.onFree(0, 10);
+  EXPECT_TRUE(d.flaggedSites().empty());
+}
+
+TEST(Detector, TombstoneAccessAlwaysFlags) {
+  // A concrete use-after-free (the interpreter reports alive == false) must
+  // flag regardless of any sync edges — the HB verdict is a superset of the
+  // concrete one, which the witness cross-check relies on.
+  hb::Detector d;
+  d.onTaskSpawn(0, 1);
+  d.onSyncOp(1, 20, loc(4));
+  d.onSyncOp(0, 20, loc(8));
+  d.onFree(0, 10);
+  d.onAccess(1, 10, kVar, loc(9), false, /*alive=*/false);
+  EXPECT_TRUE(d.flaggedAt(loc(9)));
+}
+
+TEST(Detector, FlagDedupsBySiteAndMergesWriteBit) {
+  hb::Detector d;
+  d.onTaskSpawn(0, 1);
+  d.onAccess(1, 10, kVar, loc(3), /*is_write=*/false, true);
+  d.onAccess(1, 10, kVar, loc(3), /*is_write=*/true, true);
+  d.onFree(0, 10);
+  ASSERT_EQ(d.flaggedSites().size(), 1u);
+  EXPECT_TRUE(d.flaggedSites().front().is_write);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: detector riding every enumerated schedule
+
+/// Explores all schedules of `src` with an HB detector attached per run.
+rt::ExploreResult exploreWithDetector(const std::string& src) {
+  Fixture f = Fixture::lower(src);
+  EXPECT_FALSE(f.diags.hasErrors()) << f.diagText();
+  rt::ExploreOptions eo;
+  eo.observer_factory = [] { return std::make_unique<hb::Detector>(); };
+  return rt::exploreAll(*f.module, *f.program, eo);
+}
+
+hb::Result hbCheck(const std::string& src) {
+  Fixture f = Fixture::lower(src);
+  EXPECT_FALSE(f.diags.hasErrors()) << f.diagText();
+  return hb::checkAll(*f.module, *f.program);
+}
+
+const char kUnsafeFireAndForget[] = R"(proc p() {
+  var x: int = 1;
+  begin with (ref x) {
+    writeln(x);
+  }
+  writeln(x);
+})";
+
+const char kSafeHandshake[] = R"(proc p() {
+  var x: int = 1;
+  var done$: sync bool;
+  begin with (ref x) {
+    writeln(x);
+    done$ = true;
+  }
+  done$;
+  writeln(x);
+})";
+
+TEST(HbEndToEnd, FlagsFireAndForgetAccess) {
+  rt::ExploreResult r = exploreWithDetector(kUnsafeFireAndForget);
+  ASSERT_TRUE(r.exhaustive);
+  EXPECT_FALSE(r.observer_sites.empty());
+  // The flagged set matches the enumerating oracle's concrete set.
+  EXPECT_EQ(r.observer_sites.size(), r.uaf_sites.size());
+}
+
+TEST(HbEndToEnd, NoFalsePositiveOnSynchronizedPrograms) {
+  // Fully synchronized programs must come back clean from *every* enumerated
+  // schedule — the per-schedule HB verdict has no false positives here.
+  const char* programs[] = {
+      kSafeHandshake,
+      R"(proc p() {
+  var x: int = 1;
+  sync {
+    begin with (ref x) {
+      writeln(x);
+      x = x + 1;
+    }
+  }
+  writeln(x);
+})",
+      R"(proc p() {
+  var x: int = 1;
+  var ready$: single bool;
+  begin with (ref x) {
+    x = x + 2;
+    ready$ = true;
+  }
+  ready$;
+  writeln(x);
+})",
+      R"(proc p() {
+  var x: int = 1;
+  begin with (in x) {
+    writeln(x);
+  }
+  writeln(x);
+})",
+  };
+  for (const char* src : programs) {
+    rt::ExploreResult r = exploreWithDetector(src);
+    ASSERT_TRUE(r.exhaustive) << src;
+    EXPECT_TRUE(r.uaf_sites.empty()) << src;
+    EXPECT_TRUE(r.observer_sites.empty())
+        << "HB false positive on synchronized program:\n"
+        << src;
+  }
+}
+
+TEST(HbCheckApi, SamplerFindsFireAndForgetRace) {
+  hb::Result r = hbCheck(kUnsafeFireAndForget);
+  EXPECT_FALSE(r.unsupported);
+  EXPECT_GT(r.schedules_run, 0u);
+  EXPECT_FALSE(r.sites.empty());
+}
+
+TEST(HbCheckApi, SamplerCleanOnSafeHandshake) {
+  hb::Result r = hbCheck(kSafeHandshake);
+  EXPECT_FALSE(r.unsupported);
+  EXPECT_TRUE(r.sites.empty());
+}
+
+TEST(HbCheckApi, DeterministicAcrossCalls) {
+  hb::Result a = hbCheck(kUnsafeFireAndForget);
+  hb::Result b = hbCheck(kUnsafeFireAndForget);
+  EXPECT_EQ(a.schedules_run, b.schedules_run);
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_EQ(a.sites[i].loc, b.sites[i].loc);
+    EXPECT_EQ(a.sites[i].var, b.sites[i].var);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential suite: HB over all schedules vs the enumerating oracle
+
+/// Mirrors the corpus generator's access shapes (tests/differential_test.cpp).
+void emitAccesses(std::string& out, Rng& rng, unsigned count) {
+  for (unsigned i = 0; i < count; ++i) {
+    switch (rng.below(4)) {
+      case 0: out += "  writeln(x0);\n"; break;
+      case 1: out += "  writeln(x0 + x1);\n"; break;
+      case 2: out += "  x1 += " + std::to_string(rng.range(1, 5)) + ";\n"; break;
+      default: out += "  x0 = x0 + x1;\n"; break;
+    }
+  }
+}
+
+/// One program with one task of the given discipline, seeded body variation.
+std::string buildProgram(TaskDiscipline d, Rng& rng) {
+  unsigned accesses = static_cast<unsigned>(rng.range(2, 5));
+  std::string out = "proc p() {\n";
+  out += "  var x0: int = " + std::to_string(rng.range(1, 50)) + ";\n";
+  out += "  var x1: int = " + std::to_string(rng.range(1, 50)) + ";\n";
+  std::string epilogue;
+
+  switch (d) {
+    case TaskDiscipline::NoSync:
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "  }\n";
+      break;
+    case TaskDiscipline::SyncVarSafe:
+      out += "  var done$: sync bool;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    done$ = true;\n  }\n";
+      epilogue = "  done$;\n";
+      break;
+    case TaskDiscipline::SyncVarLate:
+      out += "  var done$: sync bool;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    done$ = true;\n";
+      emitAccesses(out, rng, 2);  // after the signal: unsafe
+      out += "  }\n";
+      epilogue = "  done$;\n";
+      break;
+    case TaskDiscipline::SyncBlock:
+      out += "  sync {\n    begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    }\n  }\n";
+      break;
+    case TaskDiscipline::AtomicSynced:
+      out += "  var count: atomic int;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    count.add(1);\n  }\n";
+      epilogue = "  count.waitFor(1);\n";
+      break;
+    case TaskDiscipline::SingleVar:
+      out += "  var ready$: single bool;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    ready$ = true;\n  }\n";
+      epilogue = "  ready$;\n";
+      break;
+    case TaskDiscipline::NestedFn:
+      out += "  proc helper() {\n    writeln(x0 + x1);\n    x1 += 1;\n  }\n";
+      out += "  begin {\n    helper();\n  }\n";
+      break;
+    case TaskDiscipline::InIntent:
+      out += "  begin with (in x0, in x1) {\n    writeln(x0 + x1);\n  }\n";
+      break;
+  }
+
+  out += epilogue;
+  out += "  writeln(x0 + x1);\n}\n";
+  return out;
+}
+
+const char* disciplineName(TaskDiscipline d) {
+  switch (d) {
+    case TaskDiscipline::NoSync: return "NoSync";
+    case TaskDiscipline::SyncVarSafe: return "SyncVarSafe";
+    case TaskDiscipline::SyncVarLate: return "SyncVarLate";
+    case TaskDiscipline::SyncBlock: return "SyncBlock";
+    case TaskDiscipline::AtomicSynced: return "AtomicSynced";
+    case TaskDiscipline::SingleVar: return "SingleVar";
+    case TaskDiscipline::NestedFn: return "NestedFn";
+    case TaskDiscipline::InIntent: return "InIntent";
+  }
+  return "?";
+}
+
+using SiteKey = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+
+std::set<SiteKey> siteKeys(const std::vector<rt::UafEvent>& events) {
+  std::set<SiteKey> keys;
+  for (const rt::UafEvent& e : events) {
+    keys.insert(SiteKey{e.loc.line, e.loc.column, e.var.index()});
+  }
+  return keys;
+}
+
+class HbDifferential : public ::testing::TestWithParam<TaskDiscipline> {};
+
+TEST_P(HbDifferential, HbAgreesWithEnumerationOnEverySite) {
+  // 200 seeded variants per discipline (x 8 disciplines = 800 programs).
+  // The detector rides every enumerated schedule; its union of flagged
+  // sites must equal the concrete UAF site set the enumeration witnessed.
+  // Any difference — a missed concrete race or a predictive flag no real
+  // schedule confirms — is a detector bug.
+  const TaskDiscipline d = GetParam();
+  constexpr std::uint64_t kSeed = 20170529;
+  constexpr int kVariants = 200;
+  Rng rng(kSeed ^ (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(d) + 1)));
+
+  for (int variant = 0; variant < kVariants; ++variant) {
+    const std::string source = buildProgram(d, rng);
+    const std::string where = std::string("discipline=") + disciplineName(d) +
+                              " variant=" + std::to_string(variant) +
+                              " seed=" + std::to_string(kSeed);
+
+    Fixture f = Fixture::lower(source);
+    ASSERT_FALSE(f.diags.hasErrors()) << where << "\n" << source;
+
+    rt::ExploreOptions eo;
+    eo.observer_factory = [] { return std::make_unique<hb::Detector>(); };
+    rt::ExploreResult r = rt::exploreAll(*f.module, *f.program, eo);
+
+    ASSERT_FALSE(r.unsupported) << where << "\n" << source;
+    ASSERT_TRUE(r.exhaustive) << where << "\n" << source;
+    EXPECT_EQ(siteKeys(r.observer_sites), siteKeys(r.uaf_sites))
+        << "HB/enumeration disagreement: " << where << "\n"
+        << source;
+  }
+}
+
+TEST_P(HbDifferential, SamplerVerdictMatchesEnumerationVerdict) {
+  // The production HB oracle (hb::checkAll over the default schedule
+  // sample) must reach the same safe/racy verdict as full enumeration on
+  // these single-task programs: the delay-victim sweep alone covers the
+  // "free wins the race" schedule.
+  const TaskDiscipline d = GetParam();
+  constexpr std::uint64_t kSeed = 11;
+  constexpr int kVariants = 25;
+  Rng rng(kSeed ^ (0x2545f4914f6cdd1dull * (static_cast<std::uint64_t>(d) + 1)));
+
+  for (int variant = 0; variant < kVariants; ++variant) {
+    const std::string source = buildProgram(d, rng);
+    const std::string where = std::string("discipline=") + disciplineName(d) +
+                              " variant=" + std::to_string(variant) +
+                              " seed=" + std::to_string(kSeed);
+
+    Fixture f = Fixture::lower(source);
+    ASSERT_FALSE(f.diags.hasErrors()) << where << "\n" << source;
+
+    rt::ExploreResult full = rt::exploreAll(*f.module, *f.program);
+    hb::Result sample = hb::checkAll(*f.module, *f.program);
+    ASSERT_FALSE(full.unsupported) << where;
+    ASSERT_FALSE(sample.unsupported) << where;
+    EXPECT_EQ(sample.sites.empty(), full.uaf_sites.empty())
+        << "sampling verdict differs from enumeration: " << where << "\n"
+        << source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Disciplines, HbDifferential,
+    ::testing::Values(TaskDiscipline::NoSync, TaskDiscipline::SyncVarSafe,
+                      TaskDiscipline::SyncVarLate, TaskDiscipline::SyncBlock,
+                      TaskDiscipline::AtomicSynced, TaskDiscipline::SingleVar,
+                      TaskDiscipline::NestedFn, TaskDiscipline::InIntent),
+    [](const ::testing::TestParamInfo<TaskDiscipline>& info) {
+      return disciplineName(info.param);
+    });
+
+}  // namespace
+}  // namespace cuaf

@@ -98,6 +98,28 @@ TEST(ParseRequest, AnalyzeCarriesSourceNameAndOptions) {
   EXPECT_FALSE(r.options.build.prune);
 }
 
+TEST(ParseRequest, OracleOptionSelectsOracleKind) {
+  auto parsed = parseRequest(
+      "{\"op\":\"analyze\",\"source\":\"proc p() {}\","
+      "\"options\":{\"oracle\":\"hb\"}}",
+      kMaxBytes);
+  ASSERT_TRUE(std::holds_alternative<Request>(parsed));
+  EXPECT_EQ(std::get<Request>(parsed).options.oracle, OracleKind::Hb);
+
+  parsed = parseRequest(
+      "{\"op\":\"analyze\",\"source\":\"\","
+      "\"options\":{\"oracle\":\"enumerate\"}}",
+      kMaxBytes);
+  ASSERT_TRUE(std::holds_alternative<Request>(parsed));
+  EXPECT_EQ(std::get<Request>(parsed).options.oracle, OracleKind::Enumerate);
+
+  parsed = parseRequest(
+      "{\"op\":\"analyze\",\"source\":\"\",\"options\":{\"oracle\":\"none\"}}",
+      kMaxBytes);
+  ASSERT_TRUE(std::holds_alternative<Request>(parsed));
+  EXPECT_EQ(std::get<Request>(parsed).options.oracle, OracleKind::None);
+}
+
 TEST(ParseRequest, BatchItemsDefaultTheirNames) {
   auto parsed = parseRequest(
       "{\"op\":\"analyze_batch\",\"items\":[{\"source\":\"a\"},"
@@ -179,6 +201,12 @@ INSTANTIATE_TEST_SUITE_P(
                        "invalid_request"},
         BadRequestCase{"{\"op\":\"analyze\",\"source\":\"\","
                        "\"options\":{\"prune\":1}}",
+                       "invalid_request"},
+        BadRequestCase{"{\"op\":\"analyze\",\"source\":\"\","
+                       "\"options\":{\"oracle\":\"bogus\"}}",
+                       "invalid_request"},
+        BadRequestCase{"{\"op\":\"analyze\",\"source\":\"\","
+                       "\"options\":{\"oracle\":true}}",
                        "invalid_request"},
         BadRequestCase{"{\"op\":\"analyze_batch\",\"items\":[{}]}",
                        "invalid_request"},
