@@ -1,0 +1,240 @@
+#include "src/net/conn.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace cuaf::net {
+
+Conn::Conn(EventLoop& loop, int fd, ConnOptions options, Handler handler)
+    : loop_(loop),
+      fd_(fd),
+      options_(options),
+      handler_(std::move(handler)),
+      interest_(EPOLLIN) {
+  loop_.add(fd_, interest_, [this](std::uint32_t events) { onEvent(events); });
+}
+
+Conn::~Conn() {
+  if (!closed_) {
+    loop_.del(fd_);
+    ::close(fd_);
+    closed_ = true;
+  }
+}
+
+std::size_t Conn::pendingWriteBytes() const {
+  std::size_t bytes = out_.size() - out_pos_;
+  for (const auto& [seq, response] : reorder_) bytes += response.size();
+  return bytes;
+}
+
+bool Conn::readPaused() const {
+  return !closed_ && (in_flight_ >= options_.max_in_flight ||
+                      pendingWriteBytes() >= options_.write_high_water);
+}
+
+void Conn::onEvent(std::uint32_t events) {
+  if (events & EPOLLERR) {
+    closeNow();
+    return;
+  }
+  // EPOLLHUP without prior EOF still means "read until 0": drain whatever
+  // the peer wrote before half-closing.
+  if (events & (EPOLLIN | EPOLLHUP)) readSome();
+  if (closed_) return;
+  // Flush before extracting: a write drain can lift backpressure, and the
+  // paused bytes already sit in read_buf_ — no future EPOLLIN will
+  // re-announce them, so extraction must run with the drained budget.
+  if (events & EPOLLOUT) flushWrites();
+  if (closed_) return;
+  extractFrames();
+  if (closed_) return;
+  maybeClose();
+  if (!closed_) updateInterest();
+}
+
+void Conn::readSome() {
+  if (read_closed_) return;
+  std::size_t old_size = read_buf_.size();
+  read_buf_.resize(old_size + options_.read_chunk);
+  for (;;) {
+    ssize_t n = ::read(fd_, read_buf_.data() + old_size, options_.read_chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      read_buf_.resize(old_size);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      closeNow();  // reset mid-request: the client's problem, close quietly
+      return;
+    }
+    read_buf_.resize(old_size + static_cast<std::size_t>(n));
+    if (n == 0) read_closed_ = true;
+    return;
+  }
+}
+
+void Conn::extractFrames() {
+  if (in_extract_) return;  // a synchronous completion inside on_frame
+  in_extract_ = true;
+  std::size_t start = 0;
+  while (!closed_) {
+    if (discarding_) {
+      std::size_t nl = read_buf_.find('\n', start);
+      if (nl == std::string::npos) {
+        read_buf_.erase(start);  // still inside the oversized line: drop it
+        break;
+      }
+      start = nl + 1;
+      discarding_ = false;
+      continue;
+    }
+    if (readPaused()) break;  // backpressure: leave unparsed bytes buffered
+    std::size_t nl = read_buf_.find('\n', start);
+    if (nl == std::string::npos) {
+      std::size_t tail = read_buf_.size() - start;
+      if (tail > options_.max_line_bytes) {
+        // The partial line can only grow past the limit: answer once, then
+        // skip the remainder so the stream never desynchronizes.
+        queueOversized();
+        discarding_ = true;
+        read_buf_.erase(start);
+      } else if (read_closed_ && tail > 0) {
+        // Final request without a trailing newline.
+        std::string line = read_buf_.substr(start);
+        read_buf_.erase(start);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (!line.empty()) deliverFrame(std::move(line));
+      }
+      break;
+    }
+    std::string line = read_buf_.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line.size() > options_.max_line_bytes) {
+      queueOversized();
+      continue;
+    }
+    deliverFrame(std::move(line));
+  }
+  if (!closed_ && start > 0) read_buf_.erase(0, start);
+  in_extract_ = false;
+}
+
+void Conn::deliverFrame(std::string&& line) {
+  std::uint64_t seq = next_seq_++;
+  ++in_flight_;
+  handler_.on_frame(*this, seq, std::move(line));
+}
+
+void Conn::queueOversized() {
+  std::uint64_t seq = next_seq_++;
+  ++in_flight_;
+  completeRequest(seq, handler_.on_oversized(*this));
+}
+
+void Conn::completeRequest(std::uint64_t seq, std::string response) {
+  if (closed_) return;
+  response += '\n';
+  if (seq == next_flush_) {
+    out_ += response;
+    ++next_flush_;
+    // Drain any consecutively buffered out-of-order completions.
+    auto it = reorder_.begin();
+    while (it != reorder_.end() && it->first == next_flush_) {
+      out_ += it->second;
+      ++next_flush_;
+      it = reorder_.erase(it);
+    }
+  } else {
+    reorder_.emplace(seq, std::move(response));
+  }
+  --in_flight_;
+  // Flush eagerly only when the pipeline is empty (ping-pong latency).
+  // While more completions are in flight the bytes stay buffered and the
+  // level-triggered EPOLLOUT coalesces the whole batch into one send —
+  // under pipelined load this collapses per-response write syscalls.
+  if (in_flight_ == 0 && reorder_.empty()) {
+    flushWrites();
+    if (closed_) return;
+  }
+  // Completing a frame may lift backpressure: consume any buffered input
+  // (no new EPOLLIN will fire for bytes already read off the socket).
+  if (!read_buf_.empty()) extractFrames();
+  if (closed_) return;
+  maybeClose();
+  if (!closed_) updateInterest();
+}
+
+void Conn::flushWrites() {
+  while (out_pos_ < out_.size()) {
+    ssize_t n = ::send(fd_, out_.data() + out_pos_, out_.size() - out_pos_,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      // The client vanished mid-response. That is its prerogative, not a
+      // daemon error: close this connection and keep serving the rest.
+      closeNow();
+      return;
+    }
+    out_pos_ += static_cast<std::size_t>(n);
+  }
+  if (out_pos_ == out_.size()) {
+    out_.clear();
+    out_pos_ = 0;
+  } else if (out_pos_ >= (1u << 20)) {
+    out_.erase(0, out_pos_);
+    out_pos_ = 0;
+  }
+}
+
+void Conn::beginDrain() {
+  if (closed_) return;
+  draining_ = true;
+  maybeClose();
+  if (!closed_) updateInterest();
+}
+
+void Conn::abort() { closeNow(); }
+
+void Conn::maybeClose() {
+  if (closed_) return;
+  // Graceful half-close: after client EOF (or a server-initiated drain),
+  // every delivered frame still gets its answer and the write buffer is
+  // flushed before the fd goes away.
+  if ((read_closed_ || draining_) && in_flight_ == 0 && reorder_.empty() &&
+      out_pos_ == out_.size()) {
+    closeNow();
+  }
+}
+
+void Conn::updateInterest() {
+  if (closed_) return;
+  std::uint32_t want = 0;
+  if (!read_closed_ && !draining_ && !readPaused()) want |= EPOLLIN;
+  if (out_pos_ < out_.size()) want |= EPOLLOUT;
+  if (want != interest_) {
+    interest_ = want;
+    loop_.mod(fd_, want);
+  }
+}
+
+void Conn::closeNow() {
+  if (closed_) return;
+  closed_ = true;
+  loop_.del(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  read_buf_.clear();
+  out_.clear();
+  out_pos_ = 0;
+  reorder_.clear();
+  in_flight_ = 0;
+  if (handler_.on_close) handler_.on_close(*this);
+}
+
+}  // namespace cuaf::net

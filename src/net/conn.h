@@ -1,0 +1,128 @@
+// One nonblocking client connection on an EventLoop: incremental NDJSON
+// frame extraction, pipelined request sequencing with in-order response
+// delivery, bounded buffering with slow-client backpressure, and graceful
+// half-close (docs/SERVICE.md "Event loop & sharding").
+//
+// Frame/response contract: every complete input line (and every oversized
+// line, answered structurally) consumes one sequence number, assigned in
+// arrival order. The owner answers each frame with completeRequest(seq,
+// response) — in any order, from the loop thread — and the connection
+// writes responses strictly in sequence order, so pipelined clients read
+// answers in the order they asked even though the daemon completes them
+// out of order internally.
+//
+// All methods run on the loop thread; cross-thread completion goes through
+// EventLoop::post.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/net/event_loop.h"
+
+namespace cuaf::net {
+
+struct ConnOptions {
+  /// A line longer than this is answered with the handler's oversized
+  /// response and the rest of the line is discarded — the stream stays in
+  /// sync and subsequent lines are served normally.
+  std::size_t max_line_bytes = 8u << 20;
+  /// Pending response bytes above which reading pauses (slow-client
+  /// backpressure); reading resumes once the write buffer drains below
+  /// half this mark.
+  std::size_t write_high_water = 4u << 20;
+  /// Frames in flight (delivered, not yet completed) above which reading
+  /// and frame extraction pause. Bounds per-connection dispatch memory.
+  std::size_t max_in_flight = 128;
+  /// Bytes read per EPOLLIN wakeup (one read keeps the loop fair across
+  /// connections; level-triggered epoll re-arms instantly).
+  std::size_t read_chunk = 64u << 10;
+};
+
+class Conn {
+ public:
+  struct Handler {
+    /// A complete frame: CR stripped, never empty. Answer (possibly later,
+    /// possibly out of order) with completeRequest(seq, ...).
+    std::function<void(Conn&, std::uint64_t seq, std::string&& line)> on_frame;
+    /// A line exceeded max_line_bytes; return the one-line structured
+    /// error response to emit in the oversized frame's sequence slot.
+    std::function<std::string(Conn&)> on_oversized;
+    /// The fd has been closed (client EOF + drained, write failure, or
+    /// drain completion). Destroying the Conn here is not safe — defer via
+    /// EventLoop::post.
+    std::function<void(Conn&)> on_close;
+  };
+
+  /// Takes ownership of `fd` (must already be nonblocking) and registers
+  /// it with the loop.
+  Conn(EventLoop& loop, int fd, ConnOptions options, Handler handler);
+  ~Conn();
+
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  /// Queues the response for frame `seq` (one line, no trailing newline —
+  /// it is appended). Responses are written to the socket in sequence
+  /// order regardless of completion order. No-op once closed.
+  void completeRequest(std::uint64_t seq, std::string response);
+
+  /// Stops reading new requests; the connection closes once every
+  /// delivered frame is answered and flushed (server shutdown drain).
+  void beginDrain();
+
+  /// Closes immediately, dropping buffered data (e.g. simulated send
+  /// fault). Fires on_close.
+  void abort();
+
+  [[nodiscard]] bool closed() const { return closed_; }
+  /// Frames delivered but not yet answered.
+  [[nodiscard]] std::size_t inFlight() const { return in_flight_; }
+  /// Response bytes accepted but not yet written to the socket (includes
+  /// out-of-order responses parked in the reorder buffer).
+  [[nodiscard]] std::size_t pendingWriteBytes() const;
+  /// True while backpressure (write buffer or in-flight bound) has paused
+  /// request intake.
+  [[nodiscard]] bool readPaused() const;
+
+ private:
+  void onEvent(std::uint32_t events);
+  void readSome();
+  /// Extracts complete frames from the read buffer until exhausted or
+  /// paused; handles oversized lines and the discard state.
+  void extractFrames();
+  void deliverFrame(std::string&& line);
+  void queueOversized();
+  /// Appends newly in-order responses to the write buffer and writes what
+  /// the socket accepts.
+  void flushWrites();
+  void maybeClose();
+  void updateInterest();
+  void closeNow();
+
+  EventLoop& loop_;
+  int fd_;
+  ConnOptions options_;
+  Handler handler_;
+
+  std::string read_buf_;
+  bool discarding_ = false;   ///< inside an oversized line, skip to '\n'
+  bool in_extract_ = false;   ///< reentrancy guard for extractFrames()
+
+  std::uint64_t next_seq_ = 0;    ///< next frame sequence to assign
+  std::uint64_t next_flush_ = 0;  ///< next sequence to write out
+  std::size_t in_flight_ = 0;
+  std::map<std::uint64_t, std::string> reorder_;  ///< completed out of order
+
+  std::string out_;
+  std::size_t out_pos_ = 0;
+
+  bool read_closed_ = false;  ///< client half-closed (EOF seen)
+  bool draining_ = false;
+  bool closed_ = false;
+  std::uint32_t interest_ = 0;  ///< current epoll interest set
+};
+
+}  // namespace cuaf::net

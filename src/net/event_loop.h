@@ -1,0 +1,72 @@
+// Single-threaded epoll event loop: the reactor under the analysis
+// daemon's multi-client socket front end (docs/SERVICE.md "Event loop &
+// sharding").
+//
+// Threading contract: run(), add(), mod(), del() and every registered
+// handler execute on the loop thread. The only cross-thread entry points
+// are post() and stop(): they enqueue work under a mutex and wake the loop
+// through an eventfd, so dispatcher threads can hand completed responses
+// back to the loop without touching any fd state themselves.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace cuaf::net {
+
+class EventLoop {
+ public:
+  /// Invoked with the EPOLLIN/EPOLLOUT/EPOLLHUP/EPOLLERR bits that fired.
+  using IoHandler = std::function<void(std::uint32_t events)>;
+
+  /// Throws std::runtime_error when epoll/eventfd creation fails.
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (level-triggered). Loop thread only.
+  void add(int fd, std::uint32_t events, IoHandler handler);
+  /// Changes the interest set of a registered fd. Loop thread only.
+  void mod(int fd, std::uint32_t events);
+  /// Unregisters `fd` (the caller still owns and closes it). Safe on an fd
+  /// that was never registered. Loop thread only.
+  void del(int fd);
+
+  /// Enqueues `fn` to run on the loop thread after the current event batch.
+  /// Thread-safe; wakes a blocked epoll_wait. Functions post()ed after
+  /// stop() may never run.
+  void post(std::function<void()> fn);
+
+  /// Dispatches events until stop(). EINTR is retried, never fatal.
+  void run();
+
+  /// Requests run() to return once the current batch finishes. Thread-safe.
+  void stop();
+
+  [[nodiscard]] bool stopped() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void drainWake();
+  void runPosted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  /// Handlers are held by shared_ptr so a handler that del()s its own fd
+  /// (the normal close path) cannot free the std::function it is executing
+  /// from under itself.
+  std::unordered_map<int, std::shared_ptr<IoHandler>> handlers_;
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace cuaf::net

@@ -1,0 +1,70 @@
+#include "src/net/hash_ring.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/support/hash.h"
+
+namespace cuaf::net {
+
+std::string shardSocketPath(const std::string& base, std::size_t shard,
+                            std::size_t shard_count) {
+  if (shard_count <= 1) return base;
+  return base + "." + std::to_string(shard);
+}
+
+namespace {
+// Stable seed for point placement; bump only with a coordinated client
+// rollout, since every client must agree on the ring layout.
+constexpr std::uint64_t kRingSeed = fnv1a64("cuaf-shard-ring-v1");
+}  // namespace
+
+HashRing::HashRing(std::size_t shards, std::size_t replicas)
+    : alive_(shards == 0 ? 1 : shards, true) {
+  std::size_t n = alive_.size();
+  points_.reserve(n * replicas);
+  for (std::size_t shard = 0; shard < n; ++shard) {
+    std::uint64_t shard_seed = hashCombine(kRingSeed, shard);
+    for (std::size_t replica = 0; replica < replicas; ++replica) {
+      points_.push_back(
+          {hashCombine(shard_seed, replica), static_cast<std::uint32_t>(shard)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash < b.hash || (a.hash == b.hash && a.shard < b.shard);
+            });
+}
+
+std::size_t HashRing::route(std::uint64_t key) const {
+  assert(aliveCount() > 0);
+  // Diffuse the key (cache keys are already digests, but routing must not
+  // depend on that) and walk clockwise from its ring position to the first
+  // point owned by an alive shard.
+  std::uint64_t h = splitmix64(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t value) { return p.hash < value; });
+  for (std::size_t step = 0; step < points_.size(); ++step) {
+    if (it == points_.end()) it = points_.begin();
+    if (alive_[it->shard]) return it->shard;
+    ++it;
+  }
+  return points_.front().shard;  // unreachable with aliveCount() > 0
+}
+
+void HashRing::markDead(std::size_t shard) {
+  if (shard < alive_.size()) alive_[shard] = false;
+}
+
+void HashRing::markAlive(std::size_t shard) {
+  if (shard < alive_.size()) alive_[shard] = true;
+}
+
+std::size_t HashRing::aliveCount() const {
+  std::size_t n = 0;
+  for (bool a : alive_) n += a;
+  return n;
+}
+
+}  // namespace cuaf::net

@@ -1,0 +1,54 @@
+// Consistent-hash router for the sharded analysis service: maps 64-bit
+// analysis cache keys (cuaf::analysisCacheKey) onto shard indices through
+// a ring of virtual points, so each shard owns a stable slice of key space
+// and removing a dead shard remaps only the keys that shard owned —
+// every other key keeps routing to its warm cache (docs/SERVICE.md
+// "Event loop & sharding").
+//
+// Deterministic by construction: point placement uses the repo's stable
+// splitmix64/hashCombine primitives, never std::hash, so every client
+// process routes a given key to the same shard.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuaf::net {
+
+/// The socket path shard `shard` of `shard_count` listens on: the base
+/// path unsharded, "<base>.<shard>" otherwise. Shared by chpl-uaf-serve
+/// (binding) and chpl-uaf-client (routing) so they can never disagree.
+[[nodiscard]] std::string shardSocketPath(const std::string& base,
+                                          std::size_t shard,
+                                          std::size_t shard_count);
+
+class HashRing {
+ public:
+  /// Builds a ring over shards [0, shards) with `replicas` virtual points
+  /// per shard. All shards start alive.
+  explicit HashRing(std::size_t shards, std::size_t replicas = 64);
+
+  /// Shard owning `key` among the currently-alive shards. Precondition:
+  /// aliveCount() > 0.
+  [[nodiscard]] std::size_t route(std::uint64_t key) const;
+
+  /// Marks a shard dead: its keys re-route to the next alive points on
+  /// the ring (no other key moves). Idempotent.
+  void markDead(std::size_t shard);
+  void markAlive(std::size_t shard);
+
+  [[nodiscard]] bool alive(std::size_t shard) const { return alive_[shard]; }
+  [[nodiscard]] std::size_t aliveCount() const;
+  [[nodiscard]] std::size_t shardCount() const { return alive_.size(); }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t shard;
+  };
+  std::vector<Point> points_;  ///< sorted by hash
+  std::vector<bool> alive_;
+};
+
+}  // namespace cuaf::net

@@ -1,0 +1,71 @@
+#include "src/net/listener.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace cuaf::net {
+
+Listener::Listener(EventLoop& loop, const std::string& path, int backlog,
+                   AcceptFn on_accept)
+    : loop_(loop), path_(path), on_accept_(std::move(on_accept)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("cannot create socket: ") +
+                             std::strerror(errno));
+  }
+  ::unlink(path.c_str());
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd_, backlog) < 0) {
+    int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot bind/listen on " + path + ": " +
+                             std::strerror(err));
+  }
+  loop_.add(fd_, EPOLLIN, [this](std::uint32_t) { onReadable(); });
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_ < 0) return;
+  loop_.del(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  ::unlink(path_.c_str());
+}
+
+void Listener::onReadable() {
+  // Accept everything pending: one readable event may cover a burst of
+  // connections when the backlog filled while the loop was busy.
+  while (fd_ >= 0) {
+    int client = ::accept4(fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // ECONNABORTED (client gave up while queued), EMFILE/ENFILE (fd
+      // pressure): skip this connection attempt; the daemon keeps serving.
+      return;
+    }
+    ++accepted_;
+    on_accept_(client);
+  }
+}
+
+}  // namespace cuaf::net

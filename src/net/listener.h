@@ -1,0 +1,46 @@
+// Nonblocking AF_UNIX listening socket on an EventLoop: binds (unlinking
+// any stale socket file), listens with a configurable backlog, and accepts
+// every pending client per readable event — retrying EINTR and treating
+// per-connection accept failures (ECONNABORTED, fd exhaustion) as events
+// to skip, never daemon errors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/net/event_loop.h"
+
+namespace cuaf::net {
+
+class Listener {
+ public:
+  /// Receives ownership of a freshly accepted nonblocking client fd.
+  using AcceptFn = std::function<void(int fd)>;
+
+  /// Binds and listens at `path`; throws std::runtime_error on failure
+  /// (path too long, bind/listen refused).
+  Listener(EventLoop& loop, const std::string& path, int backlog,
+           AcceptFn on_accept);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Stops accepting: unregisters and closes the listening fd and unlinks
+  /// the socket path. Idempotent.
+  void close();
+
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  void onReadable();
+
+  EventLoop& loop_;
+  std::string path_;
+  AcceptFn on_accept_;
+  int fd_ = -1;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace cuaf::net

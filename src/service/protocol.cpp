@@ -640,6 +640,17 @@ std::string renderStatsResponse(std::int64_t id,
   out += ",\"disk_records_skipped\":" +
          std::to_string(counters.disk_records_skipped);
   out += ",\"disk_appends\":" + std::to_string(counters.disk_appends);
+  out += ",\"connections_accepted\":" +
+         std::to_string(counters.connections_accepted);
+  out += ",\"connections_closed\":" +
+         std::to_string(counters.connections_closed);
+  out += ",\"connections_live\":" + std::to_string(counters.connections_live);
+  out += ",\"pipeline_depth_hwm\":" +
+         std::to_string(counters.pipeline_depth_hwm);
+  if (counters.shard_count > 0) {
+    out += ",\"shard\":{\"id\":" + std::to_string(counters.shard_id) +
+           ",\"count\":" + std::to_string(counters.shard_count) + "}";
+  }
   out += "}}";
   return out;
 }

@@ -164,6 +164,17 @@ struct CacheCounters {
   std::uint64_t disk_records_loaded = 0;   ///< records recovered at startup
   std::uint64_t disk_records_skipped = 0;  ///< damaged records skipped
   std::uint64_t disk_appends = 0;          ///< records appended this run
+  // Event-loop socket front end (zero when serving stdio). Load tests
+  // reconcile these exactly: live == accepted - closed at all times.
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connections_live = 0;
+  /// Deepest pipelined-request backlog any single connection reached.
+  std::uint64_t pipeline_depth_hwm = 0;
+  // Shard identity under --shards; shard_count == 0 means unsharded and
+  // suppresses the "shard" stats object entirely.
+  std::uint64_t shard_id = 0;
+  std::uint64_t shard_count = 0;
 };
 
 [[nodiscard]] std::string renderAnalyzeResponse(std::int64_t id,

@@ -6,14 +6,22 @@
 
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <istream>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/analysis/json_report.h"
+#include "src/net/conn.h"
+#include "src/net/event_loop.h"
+#include "src/net/listener.h"
 #include "src/support/failpoint.h"
 
 namespace cuaf::service {
@@ -360,6 +368,15 @@ std::string Server::handleStats(const Request& request) {
     counters.disk_records_skipped = disk_stats.records_skipped;
     counters.disk_appends = disk_stats.appends;
   }
+  counters.connections_accepted =
+      conns_accepted_.load(std::memory_order_relaxed);
+  counters.connections_closed = conns_closed_.load(std::memory_order_relaxed);
+  counters.connections_live =
+      counters.connections_accepted - counters.connections_closed;
+  counters.pipeline_depth_hwm =
+      pipeline_depth_hwm_.load(std::memory_order_relaxed);
+  counters.shard_id = options_.shard_id;
+  counters.shard_count = options_.shard_count;
   return renderStatsResponse(request.id, counters);
 }
 
@@ -434,110 +451,169 @@ std::size_t Server::serveStream(std::istream& in, std::ostream& out) {
   return answered;
 }
 
-namespace {
-
-/// Sends the whole buffer, suppressing SIGPIPE; false when the client went
-/// away (the daemon must outlive any client). The "server.send" failpoint
-/// simulates exactly that: a socket error mid-response.
-bool sendAll(int fd, std::string_view data) {
-  if (failpoint::anyActive() &&
-      failpoint::fire("server.send") == failpoint::Action::IoError) {
-    return false;
-  }
-  while (!data.empty()) {
-    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-  return true;
-}
-
-}  // namespace
-
 std::size_t Server::serveSocket(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("socket path too long: " + path);
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  net::EventLoop loop;
 
-  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    throw std::runtime_error("cannot create socket: " +
-                             std::string(std::strerror(errno)));
-  }
-  ::unlink(path.c_str());
-  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) < 0 ||
-      ::listen(listen_fd, 8) < 0) {
-    int err = errno;
-    ::close(listen_fd);
-    throw std::runtime_error("cannot bind/listen on " + path + ": " +
-                             std::strerror(err));
-  }
+  // One parsed frame waiting for a dispatcher thread. The loop thread
+  // extracts frames and assigns per-connection sequence numbers; the
+  // dispatchers run handleLine (batch items may fan out further onto
+  // pool_); completions come back through loop.post and are written in
+  // sequence order by the Conn, so pipelined requests complete out of
+  // order internally while every client reads answers in request order.
+  struct Job {
+    std::uint64_t conn_id;
+    std::uint64_t seq;
+    std::string line;
+  };
+  std::mutex job_mutex;
+  std::condition_variable job_cv;
+  std::deque<Job> jobs;
+  bool job_stop = false;
+  const std::size_t dispatcher_count = options_.jobs > 1 ? options_.jobs : 1;
 
+  // Loop-thread-owned state (dispatchers touch it only via loop.post).
+  std::unordered_map<std::uint64_t, std::unique_ptr<net::Conn>> conns;
+  std::uint64_t next_conn_id = 1;
+  std::size_t dispatch_in_flight = 0;
   std::size_t answered = 0;
-  while (!shutdown_) {
-    int client = ::accept(listen_fd, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR) continue;
-      break;
+  std::unique_ptr<net::Listener> listener;
+  bool draining = false;
+
+  // After a shutdown request: stop accepting, let every already-parsed
+  // frame get its answer, flush, and exit once the last connection closes.
+  auto maybeFinish = [&] {
+    if (!shutdown_) return;
+    if (!draining) {
+      draining = true;
+      if (listener) listener->close();
+      for (auto& [id, conn] : conns) conn->beginDrain();
     }
-    std::string pending;
-    char buf[65536];
-    bool client_alive = true;
-    while (client_alive && !shutdown_) {
-      ssize_t n = ::read(client, buf, sizeof(buf));
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        break;
+    if (dispatch_in_flight == 0 && conns.empty()) loop.stop();
+  };
+
+  auto onAccept = [&](int fd) {
+    std::uint64_t id = next_conn_id++;
+    conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    net::ConnOptions conn_options;
+    conn_options.max_line_bytes = options_.max_request_bytes;
+
+    net::Conn::Handler handler;
+    handler.on_frame = [&, id](net::Conn& conn, std::uint64_t seq,
+                               std::string&& line) {
+      std::uint64_t depth = conn.inFlight();
+      std::uint64_t prev = pipeline_depth_hwm_.load(std::memory_order_relaxed);
+      while (depth > prev && !pipeline_depth_hwm_.compare_exchange_weak(
+                                 prev, depth, std::memory_order_relaxed)) {
       }
-      bool eof = n == 0;
-      pending.append(buf, static_cast<std::size_t>(n));
-      std::size_t start = 0;
-      std::size_t nl;
-      while ((nl = pending.find('\n', start)) != std::string::npos) {
-        std::string_view line(pending.data() + start, nl - start);
-        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-        if (!line.empty()) {
-          std::string response = handleLine(line);
-          response += '\n';
-          ++answered;
-          if (!sendAll(client, response)) client_alive = false;
+      ++dispatch_in_flight;
+      bool notify;
+      {
+        std::lock_guard<std::mutex> lock(job_mutex);
+        jobs.push_back({id, seq, std::move(line)});
+        // Deeper queues mean every dispatcher is already awake (they
+        // re-check the predicate before sleeping): skipping the redundant
+        // futex wake cuts a syscall per frame in pipelined bursts.
+        notify = jobs.size() <= dispatcher_count;
+      }
+      if (notify) job_cv.notify_one();
+    };
+    handler.on_oversized = [&](net::Conn&) {
+      ++answered;
+      ProtocolError error;
+      error.code = "oversized_request";
+      error.message = "request line exceeds " +
+                      std::to_string(options_.max_request_bytes) + " bytes";
+      return renderErrorResponse(error);
+    };
+    handler.on_close = [&, id](net::Conn&) {
+      conns_closed_.fetch_add(1, std::memory_order_relaxed);
+      // The Conn is still executing a member function: destroy it only
+      // after the current event finishes.
+      loop.post([&, id] {
+        conns.erase(id);
+        maybeFinish();
+      });
+    };
+    conns.emplace(id, std::make_unique<net::Conn>(loop, fd, conn_options,
+                                                  std::move(handler)));
+  };
+
+  listener =
+      std::make_unique<net::Listener>(loop, path, options_.backlog, onAccept);
+
+  auto dispatcherLoop = [&] {
+    struct Done {
+      std::uint64_t conn_id;
+      std::uint64_t seq;
+      std::string response;
+      bool drop_client;
+    };
+    std::vector<Job> batch;
+    for (;;) {
+      batch.clear();
+      {
+        std::unique_lock<std::mutex> lock(job_mutex);
+        job_cv.wait(lock, [&] { return job_stop || !jobs.empty(); });
+        if (job_stop || jobs.empty()) return;
+        // Drain a fair share of the queue (at least 1, at most 32) per
+        // wake: a pipelined burst costs one wake and one completion post
+        // instead of one of each per request, while several dispatchers
+        // still split a deep queue between them.
+        std::size_t share =
+            (jobs.size() + dispatcher_count - 1) / dispatcher_count;
+        std::size_t take = std::min({share, jobs.size(), std::size_t{32}});
+        for (std::size_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(jobs.front()));
+          jobs.pop_front();
         }
-        start = nl + 1;
       }
-      pending.erase(0, start);
-      if (pending.size() > options_.max_request_bytes) {
-        // A line that will only ever grow past the limit: answer once and
-        // drop the connection rather than buffering without bound.
-        ProtocolError error;
-        error.code = "oversized_request";
-        error.message = "request line exceeds " +
-                        std::to_string(options_.max_request_bytes) + " bytes";
-        sendAll(client, renderErrorResponse(error) + "\n");
-        ++answered;
-        break;
+      std::vector<Done> done;
+      done.reserve(batch.size());
+      for (Job& job : batch) {
+        std::string response = handleLine(job.line);
+        // The "server.send" failpoint simulates a client that vanished
+        // mid-response: the connection is dropped, the daemon keeps
+        // serving.
+        bool drop_client =
+            failpoint::anyActive() &&
+            failpoint::fire("server.send") == failpoint::Action::IoError;
+        done.push_back({job.conn_id, job.seq, std::move(response),
+                        drop_client});
       }
-      if (eof) {
-        if (!pending.empty()) {
-          // Final request without a trailing newline.
-          std::string response = handleLine(pending);
-          response += '\n';
+      loop.post([&, done = std::move(done)]() mutable {
+        for (Done& d : done) {
+          --dispatch_in_flight;
           ++answered;
-          sendAll(client, response);
+          auto it = conns.find(d.conn_id);
+          if (it != conns.end()) {
+            if (d.drop_client) {
+              it->second->abort();
+            } else {
+              it->second->completeRequest(d.seq, std::move(d.response));
+            }
+          }
         }
-        break;
-      }
+        maybeFinish();
+      });
     }
-    ::close(client);
+  };
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(dispatcher_count);
+  for (std::size_t i = 0; i < dispatcher_count; ++i) {
+    dispatchers.emplace_back(dispatcherLoop);
   }
-  ::close(listen_fd);
-  ::unlink(path.c_str());
+
+  loop.run();
+
+  {
+    std::lock_guard<std::mutex> lock(job_mutex);
+    job_stop = true;
+  }
+  job_cv.notify_all();
+  for (std::thread& t : dispatchers) t.join();
+  conns.clear();
+  listener.reset();
   return answered;
 }
 

@@ -53,6 +53,14 @@ struct ServerOptions {
   /// analyses are appended there and recovered into the in-memory cache at
   /// construction; empty disables persistence.
   std::string cache_dir;
+  /// listen(2) backlog for the socket front end (was hardcoded to 8).
+  int backlog = 64;
+  /// Identity under `chpl-uaf-serve --shards N`: this daemon is shard
+  /// `shard_id` of `shard_count`. 0 shard_count = unsharded; identity is
+  /// reported through `stats` so load tests can reconcile per-shard
+  /// counters (docs/SERVICE.md "Event loop & sharding").
+  std::size_t shard_id = 0;
+  std::size_t shard_count = 0;
 };
 
 class Server {
@@ -77,9 +85,15 @@ class Server {
   std::size_t serveStream(std::istream& in, std::ostream& out);
 
   /// Binds a Unix domain socket at `path` (unlinking any stale file) and
-  /// serves clients sequentially until a shutdown request. Returns the
-  /// number of requests answered, or throws std::runtime_error when the
-  /// socket cannot be created.
+  /// serves every connected client concurrently on an epoll event loop
+  /// (src/net/): nonblocking sockets, incremental NDJSON framing,
+  /// slow-client backpressure, graceful half-close. Requests are
+  /// dispatched to a small dispatcher-thread pool and may complete out of
+  /// order internally, but each connection's responses are written in
+  /// request order — so responses are byte-identical to the serial
+  /// one-line-at-a-time loop for any concurrency level. Returns the number
+  /// of requests answered (after a shutdown request drains), or throws
+  /// std::runtime_error when the socket cannot be created.
   std::size_t serveSocket(const std::string& path);
 
   /// True once a shutdown request has been handled.
@@ -138,6 +152,13 @@ class Server {
   std::atomic<std::uint64_t> worker_crashes_{0};  ///< input-blamed deaths
   std::atomic<std::uint64_t> quarantined_{0};     ///< items answered as such
   std::atomic<std::size_t> in_flight_items_{0};
+  // Socket front-end counters (zero when serving stdio): maintained by the
+  // event loop, read by `stats` from dispatcher threads.
+  std::atomic<std::uint64_t> conns_accepted_{0};
+  std::atomic<std::uint64_t> conns_closed_{0};
+  /// High-water mark of any single connection's pipelined-request depth
+  /// (frames read but not yet answered).
+  std::atomic<std::uint64_t> pipeline_depth_hwm_{0};
   std::atomic<bool> shutdown_{false};
 };
 

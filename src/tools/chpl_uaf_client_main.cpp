@@ -3,21 +3,35 @@
 // Usage:
 //   chpl-uaf-client --socket PATH [commands]
 //     --analyze FILE...  send one analyze request per file ("-" = stdin)
+//     --batch            send every --analyze file in one analyze_batch
+//                        request (split per shard and reassembled when
+//                        sharded; one combined response line)
 //     --deadline-ms N    attach a per-request analysis deadline to every
 //                        analyze request (timeouts come back as structured
 //                        errors, not hangs)
 //     --stats            request daemon/cache statistics
 //     --cache-clear      drop every cached result
 //     --shutdown         stop the daemon
+//     --shards N         the daemon was started with --shards N: shard k
+//                        listens on PATH.k, and analyze requests route by
+//                        cuaf::analysisCacheKey over a consistent-hash
+//                        ring, so a given source always lands on the same
+//                        shard's warm cache. stats/cache_clear/shutdown
+//                        broadcast to every alive shard (one response line
+//                        per shard, ascending).
 //     --retries N        retry a failed round-trip up to N times with
 //                        exponential backoff (50ms, 100ms, ... capped at
 //                        2s). Retried failures: connection errors (the
 //                        client reconnects) and the transient response
 //                        codes "overloaded" and "worker_crashed" — a
 //                        crash-contained daemon restarts its worker, so the
-//                        same request usually succeeds moments later.
+//                        same request usually succeeds moments later. With
+//                        shards, a shard that stays unreachable through its
+//                        retries is marked dead and its keys re-route to
+//                        the next shard on the ring.
 //   With no command, raw request lines are forwarded from stdin and the
-//   responses printed — a newline-delimited JSON pass-through.
+//   responses printed — a newline-delimited JSON pass-through (single
+//   shard only: raw lines carry no routable key).
 //
 // Exit code: 0 when every response has status "ok", 1 when any response
 // reports an error, 2 on connection/file problems.
@@ -37,7 +51,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/analysis/checker.h"
 #include "src/analysis/json_report.h"
+#include "src/analysis/snapshot.h"
+#include "src/net/hash_ring.h"
 
 namespace {
 
@@ -122,15 +139,183 @@ void backoffSleep(unsigned attempt) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
+/// One analysis input: its request fields plus the routing key the sharded
+/// daemon's cache uses for this (name, source) pair. The client never sends
+/// an "options" field, so default AnalysisOptions are exactly what the
+/// daemon fingerprints (deadlines are excluded from the fingerprint).
+struct AnalyzeItem {
+  std::string name;
+  std::string source;
+  std::uint64_t key = 0;
+};
+
+/// Routes requests across the daemon's shards. Shard k's socket is
+/// shardSocketPath(base, k); connections are cached per shard. A shard
+/// whose connection attempts exhaust the retry budget is marked dead on
+/// the ring, and subsequent routed requests move to the next alive shard.
+class Router {
+ public:
+  Router(std::string base, std::size_t shards, unsigned retries)
+      : base_(std::move(base)),
+        ring_(shards),
+        conns_(ring_.shardCount()),
+        retries_(retries) {}
+
+  [[nodiscard]] std::size_t shardCount() const { return ring_.shardCount(); }
+
+  [[nodiscard]] std::size_t route(std::uint64_t key) const {
+    return ring_.route(key);
+  }
+
+  [[nodiscard]] std::vector<std::size_t> aliveShards() const {
+    std::vector<std::size_t> out;
+    for (std::size_t k = 0; k < ring_.shardCount(); ++k) {
+      if (ring_.alive(k)) out.push_back(k);
+    }
+    return out;
+  }
+
+  /// Round-trips on one shard with the retry/backoff policy. Throws after
+  /// the retry budget is spent (connection-level failure).
+  std::string issueOn(std::size_t shard, const std::string& request) {
+    std::string response;
+    for (unsigned attempt = 0;; ++attempt) {
+      try {
+        if (!conns_[shard]) {
+          conns_[shard] = std::make_unique<Connection>(
+              cuaf::net::shardSocketPath(base_, shard, ring_.shardCount()));
+        }
+        response = conns_[shard]->roundTrip(request);
+      } catch (const std::exception&) {
+        // Dead socket: reconnect on the next attempt.
+        conns_[shard].reset();
+        if (attempt >= retries_) throw;
+        backoffSleep(attempt);
+        continue;
+      }
+      if (attempt < retries_ && !responseOk(response) &&
+          responseRetryable(response)) {
+        backoffSleep(attempt);
+        continue;
+      }
+      return response;
+    }
+  }
+
+  /// Round-trips on the shard owning `key`. A shard that stays unreachable
+  /// is marked dead and the request re-routes; throws only when every
+  /// shard is dead.
+  std::string issueRouted(std::uint64_t key, const std::string& request) {
+    for (;;) {
+      std::size_t shard = ring_.route(key);
+      try {
+        return issueOn(shard, request);
+      } catch (const std::exception&) {
+        ring_.markDead(shard);
+        if (ring_.aliveCount() == 0) throw;
+      }
+    }
+  }
+
+  void markDead(std::size_t shard) { ring_.markDead(shard); }
+  [[nodiscard]] std::size_t aliveCount() const { return ring_.aliveCount(); }
+
+ private:
+  std::string base_;
+  cuaf::net::HashRing ring_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  unsigned retries_;
+};
+
+/// Splits the top-level elements of the "results":[...] array of a batch
+/// response. String- and depth-aware, so commas and brackets inside
+/// reports or diagnostics never split. Returns false on a malformed
+/// response.
+bool splitBatchResults(const std::string& response,
+                       std::vector<std::string>& out) {
+  static constexpr std::string_view kMarker = "\"results\":[";
+  std::size_t start = response.find(kMarker);
+  if (start == std::string::npos) return false;
+  std::size_t i = start + kMarker.size();
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  std::size_t elem_begin = i;
+  for (; i < response.size(); ++i) {
+    char c = response[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (depth == 0) {
+        // Closing ']' of the results array.
+        if (c != ']') return false;
+        if (i > elem_begin) {
+          out.push_back(response.substr(elem_begin, i - elem_begin));
+        }
+        return true;
+      }
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      out.push_back(response.substr(elem_begin, i - elem_begin));
+      elem_begin = i + 1;
+    }
+  }
+  return false;
+}
+
+/// Extracts a non-negative integer field ("elapsed_us":N) from the
+/// top of a response line. Returns 0 when absent.
+std::uint64_t extractElapsedUs(const std::string& response) {
+  static constexpr std::string_view kMarker = "\"elapsed_us\":";
+  std::size_t pos = response.find(kMarker);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(response.c_str() + pos + kMarker.size(), nullptr, 10);
+}
+
+std::string batchRequestFor(std::int64_t id,
+                            const std::vector<AnalyzeItem>& items,
+                            const std::vector<std::size_t>& indices,
+                            bool has_deadline,
+                            unsigned long long deadline_ms) {
+  std::string request =
+      "{\"op\":\"analyze_batch\",\"id\":" + std::to_string(id) +
+      ",\"items\":[";
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const AnalyzeItem& item = items[indices[j]];
+    if (j) request += ',';
+    request += "{\"name\":\"" + cuaf::jsonEscape(item.name) +
+               "\",\"source\":\"" + cuaf::jsonEscape(item.source) + "\"}";
+  }
+  request += "]";
+  if (has_deadline) {
+    request += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  request += "}";
+  return request;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
   std::vector<std::string> analyze_files;
+  bool batch = false;
   bool stats = false, cache_clear = false, shutdown = false;
   bool has_deadline = false;
   unsigned long long deadline_ms = 0;
   unsigned retries = 0;
+  std::size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--socket") {
@@ -150,6 +335,8 @@ int main(int argc, char** argv) {
         std::cerr << "--analyze needs at least one file\n";
         return 2;
       }
+    } else if (arg == "--batch") {
+      batch = true;
     } else if (arg == "--deadline-ms") {
       if (i + 1 >= argc) {
         std::cerr << "--deadline-ms needs a millisecond budget\n";
@@ -163,6 +350,16 @@ int main(int argc, char** argv) {
       cache_clear = true;
     } else if (arg == "--shutdown") {
       shutdown = true;
+    } else if (arg == "--shards") {
+      if (i + 1 >= argc) {
+        std::cerr << "--shards needs a count\n";
+        return 2;
+      }
+      shards = std::strtoull(argv[++i], nullptr, 10);
+      if (shards == 0 || shards > 256) {
+        std::cerr << "--shards must be in [1, 256]\n";
+        return 2;
+      }
     } else if (arg == "--retries") {
       if (i + 1 >= argc) {
         std::cerr << "--retries needs a count\n";
@@ -172,13 +369,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: chpl-uaf-client --socket PATH "
                    "[--analyze FILE...|--deadline-ms N|--stats|--cache-clear|"
-                   "--shutdown] [--retries N]\n"
-                   "with no command, forwards raw request lines from stdin\n"
+                   "--shutdown] [--batch]\n"
+                   "       [--shards N] [--retries N]\n"
+                   "with no command, forwards raw request lines from stdin "
+                   "(single shard only)\n"
+                   "  --batch          one analyze_batch request over all "
+                   "--analyze files (split per\n"
+                   "                   shard and reassembled in input order)\n"
                    "  --deadline-ms N  per-request analysis budget for "
                    "--analyze (structured timeout errors)\n"
+                   "  --shards N       route by analysis cache key across a "
+                   "--shards N daemon\n"
                    "  --retries N      retry connection errors and transient "
                    "overloaded/worker_crashed\n"
-                   "                   responses with exponential backoff\n";
+                   "                   responses with exponential backoff; "
+                   "with shards, unreachable\n"
+                   "                   shards are marked dead and their keys "
+                   "re-route\n";
       return 0;
     } else {
       std::cerr << "unknown option: " << arg << '\n';
@@ -189,41 +396,27 @@ int main(int argc, char** argv) {
     std::cerr << "--socket is required (see --help)\n";
     return 2;
   }
+  if (batch && analyze_files.empty()) {
+    std::cerr << "--batch needs --analyze FILE...\n";
+    return 2;
+  }
 
   try {
-    auto conn = std::make_unique<Connection>(socket_path);
+    Router router(socket_path, shards, retries);
     bool all_ok = true;
     std::int64_t id = 0;
-    auto issue = [&](const std::string& request) {
-      std::string response;
-      for (unsigned attempt = 0;; ++attempt) {
-        try {
-          if (!conn) conn = std::make_unique<Connection>(socket_path);
-          response = conn->roundTrip(request);
-        } catch (const std::exception&) {
-          // Dead socket: reconnect on the next attempt.
-          conn.reset();
-          if (attempt >= retries) throw;
-          backoffSleep(attempt);
-          continue;
-        }
-        if (attempt < retries && !responseOk(response) &&
-            responseRetryable(response)) {
-          backoffSleep(attempt);
-          continue;
-        }
-        break;
-      }
-      all_ok &= responseOk(response);
-      std::cout << response << '\n';
-    };
 
+    // Load the analysis inputs and compute each one's routing key up
+    // front, so a read failure exits before any request is sent.
+    std::vector<AnalyzeItem> items;
+    items.reserve(analyze_files.size());
     for (const std::string& file : analyze_files) {
-      std::string source;
+      AnalyzeItem item;
       if (file == "-") {
         std::ostringstream ss;
         ss << std::cin.rdbuf();
-        source = ss.str();
+        item.source = ss.str();
+        item.name = "<stdin>";
       } else {
         std::ifstream in(file, std::ios::binary);
         if (!in) {
@@ -232,33 +425,126 @@ int main(int argc, char** argv) {
         }
         std::ostringstream ss;
         ss << in.rdbuf();
-        source = ss.str();
+        item.source = ss.str();
+        item.name = file;
       }
-      std::string name = file == "-" ? "<stdin>" : file;
-      std::string request = "{\"op\":\"analyze\",\"id\":" +
-                            std::to_string(++id) + ",\"name\":\"" +
-                            cuaf::jsonEscape(name) + "\",\"source\":\"" +
-                            cuaf::jsonEscape(source) + "\"";
-      if (has_deadline) {
-        request += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+      item.key =
+          cuaf::analysisCacheKey(item.name, item.source, cuaf::AnalysisOptions{});
+      items.push_back(std::move(item));
+    }
+
+    auto emit = [&](const std::string& response) {
+      all_ok &= responseOk(response);
+      std::cout << response << '\n';
+    };
+
+    /// Broadcast ops go to every alive shard, lowest shard first, one
+    /// response line per shard.
+    auto broadcast = [&](const std::string& op) {
+      for (std::size_t shard : router.aliveShards()) {
+        std::string request =
+            "{\"op\":\"" + op + "\",\"id\":" + std::to_string(++id) + "}";
+        try {
+          emit(router.issueOn(shard, request));
+        } catch (const std::exception& e) {
+          router.markDead(shard);
+          if (router.aliveCount() == 0) throw;
+          std::cerr << "chpl-uaf-client: shard " << shard << ": " << e.what()
+                    << '\n';
+          all_ok = false;
+        }
       }
-      request += "}";
-      issue(request);
+    };
+
+    if (batch) {
+      // One combined analyze_batch: split the items per shard (grouped by
+      // routing key, input order preserved within each group), then
+      // reassemble the per-shard results index-addressed so the combined
+      // "results" array matches the input order exactly. When a shard
+      // dies mid-batch, its unanswered items re-group onto the survivors.
+      std::int64_t batch_id = ++id;
+      std::vector<std::string> results(items.size());
+      std::vector<bool> answered(items.size(), false);
+      std::uint64_t elapsed_us = 0;
+      bool done = false;
+      while (!done) {
+        std::vector<std::vector<std::size_t>> groups(router.shardCount());
+        for (std::size_t i2 = 0; i2 < items.size(); ++i2) {
+          if (!answered[i2]) groups[router.route(items[i2].key)].push_back(i2);
+        }
+        done = true;
+        for (std::size_t shard = 0; shard < groups.size(); ++shard) {
+          if (groups[shard].empty()) continue;
+          std::string request = batchRequestFor(batch_id, items, groups[shard],
+                                                has_deadline, deadline_ms);
+          std::string response;
+          try {
+            response = router.issueOn(shard, request);
+          } catch (const std::exception&) {
+            router.markDead(shard);
+            if (router.aliveCount() == 0) throw;
+            done = false;  // re-group this shard's items onto survivors
+            continue;
+          }
+          if (!responseOk(response)) {
+            // A structured whole-batch error (e.g. overloaded past the
+            // retry budget) cannot be split per item; surface it verbatim.
+            emit(response);
+            return 1;
+          }
+          std::vector<std::string> shard_results;
+          if (!splitBatchResults(response, shard_results) ||
+              shard_results.size() != groups[shard].size()) {
+            throw std::runtime_error("malformed analyze_batch response from "
+                                     "shard " +
+                                     std::to_string(shard));
+          }
+          for (std::size_t j = 0; j < shard_results.size(); ++j) {
+            results[groups[shard][j]] = std::move(shard_results[j]);
+            answered[groups[shard][j]] = true;
+          }
+          elapsed_us = std::max(elapsed_us, extractElapsedUs(response));
+        }
+      }
+      std::string combined =
+          "{\"id\":" + std::to_string(batch_id) +
+          ",\"op\":\"analyze_batch\",\"status\":\"ok\",\"elapsed_us\":" +
+          std::to_string(elapsed_us) +
+          ",\"count\":" + std::to_string(results.size()) + ",\"results\":[";
+      for (std::size_t i2 = 0; i2 < results.size(); ++i2) {
+        if (i2) combined += ',';
+        combined += results[i2];
+      }
+      combined += "]}";
+      emit(combined);
+    } else {
+      for (const AnalyzeItem& item : items) {
+        std::string request = "{\"op\":\"analyze\",\"id\":" +
+                              std::to_string(++id) + ",\"name\":\"" +
+                              cuaf::jsonEscape(item.name) + "\",\"source\":\"" +
+                              cuaf::jsonEscape(item.source) + "\"";
+        if (has_deadline) {
+          request += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+        }
+        request += "}";
+        emit(router.issueRouted(item.key, request));
+      }
     }
-    if (stats) {
-      issue("{\"op\":\"stats\",\"id\":" + std::to_string(++id) + "}");
-    }
-    if (cache_clear) {
-      issue("{\"op\":\"cache_clear\",\"id\":" + std::to_string(++id) + "}");
-    }
-    if (shutdown) {
-      issue("{\"op\":\"shutdown\",\"id\":" + std::to_string(++id) + "}");
-    }
+
+    if (stats) broadcast("stats");
+    if (cache_clear) broadcast("cache_clear");
+    if (shutdown) broadcast("shutdown");
+
     if (analyze_files.empty() && !stats && !cache_clear && !shutdown) {
+      if (shards > 1) {
+        std::cerr << "raw stdin pass-through cannot be routed; use --analyze "
+                     "or --shards 1\n";
+        return 2;
+      }
       std::string line;
       while (std::getline(std::cin, line)) {
         if (line.empty()) continue;
-        issue(line);
+        emit(router.issueOn(0, line));
       }
     }
     return all_ok ? 0 : 1;

@@ -20,6 +20,15 @@
 //     --cache-dir PATH durable result cache: completed analyses are
 //                      appended to checksummed segment files and recovered
 //                      on restart (docs/SERVICE.md)
+//     --backlog N      listen(2) backlog for --socket (default 64)
+//     --shards N       spawn N independent daemons: shard k listens on
+//                      <socket>.k with its own cache (and, with
+//                      --cache-dir, its own shard-k segment directory).
+//                      Shards share nothing — no cross-shard locks; the
+//                      client routes by cache key (docs/SERVICE.md).
+//                      Requires --socket. The parent supervises: it
+//                      forwards SIGINT/SIGTERM and exits after every
+//                      shard does.
 //     --fsck           verify the --cache-dir segments, compact the valid
 //                      records, print a report and exit (0 = healthy repair,
 //                      2 = repair failed)
@@ -31,18 +40,62 @@
 // Speaks newline-delimited JSON: analyze, analyze_batch, stats,
 // cache_clear, quarantine_list, quarantine_clear, shutdown. Exit code: 0 on
 // clean shutdown/EOF, 2 on setup errors.
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "src/net/hash_ring.h"
 #include "src/service/disk_cache.h"
 #include "src/service/server.h"
 #include "src/support/failpoint.h"
 
+namespace {
+
+// Shard pids for the supervising parent; the forwarding handler must be
+// async-signal-safe, so a fixed-size table and kill(2) only.
+volatile pid_t g_shard_pids[256];
+volatile std::size_t g_shard_count = 0;
+
+void forwardSignal(int sig) {
+  for (std::size_t i = 0; i < g_shard_count; ++i) {
+    pid_t pid = g_shard_pids[i];
+    if (pid > 0) ::kill(pid, sig);
+  }
+}
+
+/// Runs one daemon over `options`; returns its exit code.
+int runServer(const cuaf::service::ServerOptions& options,
+              const std::string& socket_path) {
+  cuaf::failpoint::configureFromEnv();
+  cuaf::service::Server server(options);
+  try {
+    if (socket_path.empty()) {
+      server.serveStream(std::cin, std::cout);
+    } else {
+      std::cerr << "chpl-uaf-serve: listening on " << socket_path << '\n';
+      server.serveSocket(socket_path);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "chpl-uaf-serve: " << e.what() << '\n';
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   cuaf::service::ServerOptions options;
   std::string socket_path;
+  std::size_t shards = 1;
   bool fsck = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -92,13 +145,29 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.cache_dir = argv[++i];
+    } else if (arg == "--backlog") {
+      std::size_t backlog = numeric("a connection count");
+      if (backlog == 0 || backlog > 65535) {
+        std::cerr << "--backlog must be in [1, 65535]\n";
+        return 2;
+      }
+      options.backlog = static_cast<int>(backlog);
+    } else if (arg == "--shards") {
+      shards = numeric("a shard count");
+      if (shards == 0 || shards > 256) {
+        std::cerr << "--shards must be in [1, 256]\n";
+        return 2;
+      }
     } else if (arg == "--fsck") {
       fsck = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: chpl-uaf-serve [--socket PATH] [--jobs N] "
                    "[--cache-mb N] [--max-request-mb N] [--max-queue N]\n"
                    "       [--workers N] [--quarantine-after N] "
-                   "[--worker-grace-ms N] [--cache-dir PATH] [--fsck]\n"
+                   "[--worker-grace-ms N] [--cache-dir PATH]\n"
+                   "       [--backlog N] [--shards N] [--fsck]\n"
+                   "--shards N forks N share-nothing daemons, shard k on "
+                   "<socket>.k (requires --socket)\n"
                    "newline-delimited JSON protocol: analyze, analyze_batch, "
                    "stats, cache_clear,\n"
                    "quarantine_list, quarantine_clear, shutdown "
@@ -128,18 +197,60 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  cuaf::failpoint::configureFromEnv();
-  cuaf::service::Server server(options);
-  try {
-    if (socket_path.empty()) {
-      server.serveStream(std::cin, std::cout);
-    } else {
-      std::cerr << "chpl-uaf-serve: listening on " << socket_path << '\n';
-      server.serveSocket(socket_path);
-    }
-  } catch (const std::exception& e) {
-    std::cerr << "chpl-uaf-serve: " << e.what() << '\n';
+  if (shards <= 1) return runServer(options, socket_path);
+
+  if (socket_path.empty()) {
+    std::cerr << "--shards needs --socket (stdio cannot be sharded)\n";
     return 2;
   }
-  return 0;
+
+  // Fork one share-nothing daemon per shard. Each gets its own socket,
+  // in-memory cache, durable-cache directory and quarantine; the only
+  // coordination is the parent's signal forwarding and final wait.
+  if (!options.cache_dir.empty()) {
+    // DiskCache mkdirs one level; pre-create the base so every shard's
+    // <cache-dir>/shard-k can be created by its own daemon.
+    ::mkdir(options.cache_dir.c_str(), 0755);
+  }
+  for (std::size_t k = 0; k < shards; ++k) {
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      std::cerr << "chpl-uaf-serve: fork failed: " << std::strerror(errno)
+                << '\n';
+      forwardSignal(SIGTERM);
+      return 2;
+    }
+    if (pid == 0) {
+      cuaf::service::ServerOptions shard_options = options;
+      shard_options.shard_id = k;
+      shard_options.shard_count = shards;
+      if (!options.cache_dir.empty()) {
+        shard_options.cache_dir =
+            options.cache_dir + "/shard-" + std::to_string(k);
+      }
+      std::_Exit(runServer(shard_options,
+                           cuaf::net::shardSocketPath(socket_path, k, shards)));
+    }
+    g_shard_pids[k] = pid;
+    g_shard_count = k + 1;
+  }
+
+  struct sigaction sa {};
+  sa.sa_handler = forwardSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  int worst = 0;
+  for (std::size_t k = 0; k < shards; ++k) {
+    int status = 0;
+    pid_t pid;
+    while ((pid = ::waitpid(g_shard_pids[k], &status, 0)) < 0 &&
+           errno == EINTR) {
+    }
+    g_shard_pids[k] = 0;
+    if (pid < 0) continue;
+    int code = WIFEXITED(status) ? WEXITSTATUS(status) : 2;
+    if (code > worst) worst = code;
+  }
+  return worst;
 }

@@ -1,0 +1,436 @@
+// Unit tests for the src/net/ layer: EventLoop wake/post semantics, Conn
+// framing (partial reads, coalesced frames, oversized lines, half-close,
+// slow-writer backpressure, out-of-order completion), and the consistent-
+// hash shard router. Labeled `net`: runs under the tsan preset, since the
+// loop-thread/post contract is exactly what TSan should see.
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/net/conn.h"
+#include "src/net/event_loop.h"
+#include "src/net/hash_ring.h"
+
+namespace cuaf::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventLoop basics.
+
+TEST(EventLoop, PostFromAnotherThreadRunsOnTheLoop) {
+  EventLoop loop;
+  std::atomic<int> ran{0};
+  std::thread runner([&loop] { loop.run(); });
+  std::thread poster([&] {
+    for (int i = 0; i < 100; ++i) {
+      loop.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    loop.post([&loop] { loop.stop(); });
+  });
+  poster.join();
+  runner.join();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(EventLoop, StopWakesABlockedLoop) {
+  EventLoop loop;
+  std::thread runner([&loop] { loop.run(); });
+  // No fds, no posts: the loop is parked in epoll_wait. stop() must wake it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  loop.stop();
+  runner.join();
+  EXPECT_TRUE(loop.stopped());
+}
+
+// ---------------------------------------------------------------------------
+// Conn harness: a live loop thread, a Conn over one end of a socketpair,
+// and the test thread playing the client over the blocking other end.
+// Handler state (frames_, auto echo) lives on the loop thread; the test
+// thread touches it only through onLoop()/waitOnLoop(), which synchronize
+// through EventLoop::post.
+
+void setNonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ASSERT_GE(flags, 0);
+  ASSERT_EQ(::fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+}
+
+class ConnHarness {
+ public:
+  explicit ConnHarness(ConnOptions options = {}) {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    client_fd_ = fds[0];
+    server_fd_ = fds[1];
+    setNonblocking(server_fd_);
+    thread_ = std::thread([this] { loop_.run(); });
+    onLoop([this, options] {
+      Conn::Handler handler;
+      handler.on_frame = [this](Conn& conn, std::uint64_t seq,
+                                std::string&& line) {
+        frames_.emplace_back(seq, line);
+        if (auto_echo_) conn.completeRequest(seq, echo_prefix_ + line);
+      };
+      handler.on_oversized = [this](Conn&) {
+        ++oversized_count_;
+        return std::string("{\"error\":\"oversized\"}");
+      };
+      handler.on_close = [this](Conn&) {
+        closed_.store(true, std::memory_order_release);
+        // Destroying the Conn from inside its own callback is not safe;
+        // defer exactly like the daemon does.
+        loop_.post([this] { conn_.reset(); });
+      };
+      conn_ = std::make_unique<Conn>(loop_, server_fd_, options,
+                                     std::move(handler));
+    });
+  }
+
+  ~ConnHarness() {
+    onLoop([this] { conn_.reset(); });
+    loop_.stop();
+    thread_.join();
+    if (client_fd_ >= 0) ::close(client_fd_);
+  }
+
+  /// Runs `fn` on the loop thread and waits for it to finish.
+  template <typename Fn>
+  void onLoop(Fn&& fn) {
+    std::promise<void> done;
+    loop_.post([&] {
+      fn();
+      done.set_value();
+    });
+    done.get_future().wait();
+  }
+
+  /// Polls `pred` on the loop thread until it holds (or times out).
+  template <typename Pred>
+  bool waitOnLoop(Pred&& pred, int timeout_ms = 10000) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      bool ok = false;
+      onLoop([&] { ok = pred(); });
+      if (ok) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+  }
+
+  void setAutoEcho(bool on, std::string prefix = "echo:") {
+    onLoop([this, on, prefix = std::move(prefix)] {
+      auto_echo_ = on;
+      echo_prefix_ = prefix;
+    });
+  }
+
+  void clientSend(std::string_view bytes) {
+    while (!bytes.empty()) {
+      ssize_t n = ::send(client_fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      bytes.remove_prefix(static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Blocking read of one '\n'-terminated line (newline stripped). Empty
+  /// string means EOF.
+  std::string clientReadLine() {
+    std::string line;
+    char c;
+    while (true) {
+      ssize_t n = ::read(client_fd_, &c, 1);
+      if (n <= 0) return {};
+      if (c == '\n') return line;
+      line += c;
+    }
+  }
+
+  void clientShutdownWrite() { ::shutdown(client_fd_, SHUT_WR); }
+  void clientClose() {
+    ::close(client_fd_);
+    client_fd_ = -1;
+  }
+
+  [[nodiscard]] int clientFd() const { return client_fd_; }
+  EventLoop& loop() { return loop_; }
+  Conn* conn() { return conn_.get(); }  // loop thread only
+  [[nodiscard]] bool closedFlag() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  // Loop-thread state; access via onLoop/waitOnLoop.
+  std::vector<std::pair<std::uint64_t, std::string>> frames_;
+  int oversized_count_ = 0;
+  bool auto_echo_ = true;
+  std::string echo_prefix_ = "echo:";
+
+ private:
+  EventLoop loop_;
+  std::thread thread_;
+  std::unique_ptr<Conn> conn_;
+  int client_fd_ = -1;
+  int server_fd_ = -1;
+  std::atomic<bool> closed_{false};
+};
+
+TEST(Conn, PartialReadsAssembleOneFrame) {
+  ConnHarness h;
+  const std::string request = "{\"op\":\"ping\"}";
+  // Dribble the line one byte at a time; no frame until the newline lands.
+  for (char c : request) {
+    h.clientSend(std::string_view(&c, 1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  h.onLoop([&] { EXPECT_TRUE(h.frames_.empty()); });
+  h.clientSend("\n");
+  EXPECT_EQ(h.clientReadLine(), "echo:" + request);
+  h.onLoop([&] {
+    ASSERT_EQ(h.frames_.size(), 1u);
+    EXPECT_EQ(h.frames_[0].second, request);
+  });
+}
+
+TEST(Conn, CoalescedFramesAreEachAnsweredInOrder) {
+  ConnHarness h;
+  std::string blob;
+  for (int i = 0; i < 16; ++i) {
+    blob += "req" + std::to_string(i) + "\n";
+  }
+  h.clientSend(blob);  // one send carries 16 frames
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(h.clientReadLine(), "echo:req" + std::to_string(i));
+  }
+}
+
+TEST(Conn, CrLfAndBlankLinesAreSkippedWithoutConsumingSequence) {
+  ConnHarness h;
+  h.clientSend("\r\n\nfirst\r\nsecond\n");
+  EXPECT_EQ(h.clientReadLine(), "echo:first");
+  EXPECT_EQ(h.clientReadLine(), "echo:second");
+  h.onLoop([&] {
+    ASSERT_EQ(h.frames_.size(), 2u);
+    EXPECT_EQ(h.frames_[0].first, 0u);  // blank lines consumed no seq
+    EXPECT_EQ(h.frames_[1].first, 1u);
+  });
+}
+
+TEST(Conn, OutOfOrderCompletionWritesResponsesInRequestOrder) {
+  ConnHarness h;
+  h.setAutoEcho(false);
+  h.clientSend("a\nb\nc\nd\n");
+  ASSERT_TRUE(h.waitOnLoop([&] { return h.frames_.size() == 4; }));
+  // Complete in reverse: the client must still read a, b, c, d order.
+  h.onLoop([&] {
+    for (int i = 3; i >= 0; --i) {
+      auto& [seq, line] = h.frames_[static_cast<std::size_t>(i)];
+      h.conn()->completeRequest(seq, "ans:" + line);
+    }
+  });
+  EXPECT_EQ(h.clientReadLine(), "ans:a");
+  EXPECT_EQ(h.clientReadLine(), "ans:b");
+  EXPECT_EQ(h.clientReadLine(), "ans:c");
+  EXPECT_EQ(h.clientReadLine(), "ans:d");
+}
+
+TEST(Conn, OversizedLineGetsStructuredErrorWithoutDesync) {
+  ConnOptions options;
+  options.max_line_bytes = 32;
+  ConnHarness h(options);
+  // An oversized line split across sends, then a normal request: the
+  // oversized line is answered once in its slot and the stream stays in
+  // sync for everything after it.
+  std::string big(100, 'x');
+  h.clientSend(big.substr(0, 50));
+  h.clientSend(big.substr(50) + "\nafter\n");
+  EXPECT_EQ(h.clientReadLine(), "{\"error\":\"oversized\"}");
+  EXPECT_EQ(h.clientReadLine(), "echo:after");
+  h.onLoop([&] {
+    EXPECT_EQ(h.oversized_count_, 1);  // answered once, not per chunk
+    ASSERT_EQ(h.frames_.size(), 1u);
+    EXPECT_EQ(h.frames_[0].second, "after");
+    EXPECT_EQ(h.frames_[0].first, 1u);  // the oversized line took seq 0
+  });
+}
+
+TEST(Conn, EofFinalFrameWithoutNewlineIsDelivered) {
+  ConnHarness h;
+  h.clientSend("complete\nfinal-without-newline");
+  h.clientShutdownWrite();
+  EXPECT_EQ(h.clientReadLine(), "echo:complete");
+  EXPECT_EQ(h.clientReadLine(), "echo:final-without-newline");
+  // Graceful half-close: all frames answered, then the server closes.
+  EXPECT_EQ(h.clientReadLine(), "");  // EOF
+  ASSERT_TRUE(h.waitOnLoop([&] { return h.conn() == nullptr; }));
+  EXPECT_TRUE(h.closedFlag());
+}
+
+TEST(Conn, HalfCloseWaitsForPendingCompletions) {
+  ConnHarness h;
+  h.setAutoEcho(false);
+  h.clientSend("slow\n");
+  h.clientShutdownWrite();
+  ASSERT_TRUE(h.waitOnLoop([&] { return h.frames_.size() == 1; }));
+  // The client already half-closed, but its delivered frame is still in
+  // flight: the connection must stay open until the answer is flushed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  h.onLoop([&] {
+    ASSERT_NE(h.conn(), nullptr);
+    EXPECT_FALSE(h.conn()->closed());
+    h.conn()->completeRequest(h.frames_[0].first, "late-answer");
+  });
+  EXPECT_EQ(h.clientReadLine(), "late-answer");
+  EXPECT_EQ(h.clientReadLine(), "");  // then EOF
+  ASSERT_TRUE(h.waitOnLoop([&] { return h.conn() == nullptr; }));
+}
+
+TEST(Conn, SlowWriterBackpressurePausesAndResumesReading) {
+  ConnOptions options;
+  options.write_high_water = 2048;
+  ConnHarness h(options);
+  // Each request is answered with ~32 KiB. The client pipelines 64
+  // requests without reading a byte, so pending responses overflow the
+  // kernel socket buffer, cross the high-water mark, and pause intake
+  // instead of buffering without bound.
+  const std::string payload(32 << 10, 'p');
+  h.setAutoEcho(true, payload + ":");
+  std::string blob;
+  for (int i = 0; i < 64; ++i) {
+    blob += "r" + std::to_string(i) + "\n";
+  }
+  h.clientSend(blob);
+  ASSERT_TRUE(h.waitOnLoop([&] {
+    return h.conn() != nullptr && h.conn()->readPaused() &&
+           h.conn()->pendingWriteBytes() > options.write_high_water;
+  }));
+  // While paused, some requests are still unread: not every frame has
+  // been delivered yet, which is exactly the bounded-memory guarantee.
+  bool some_undelivered = false;
+  h.onLoop([&] { some_undelivered = h.frames_.size() < 64; });
+  EXPECT_TRUE(some_undelivered);
+  // Drain as the client: every response arrives intact and in order, and
+  // intake resumes to serve the tail.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(h.clientReadLine(), payload + ":r" + std::to_string(i));
+  }
+  ASSERT_TRUE(h.waitOnLoop([&] {
+    return h.frames_.size() == 64 && !h.conn()->readPaused();
+  }));
+}
+
+TEST(Conn, ClientDisconnectWithUnreadResponsesClosesQuietly) {
+  ConnHarness h;
+  h.setAutoEcho(false);
+  h.clientSend("q1\nq2\n");
+  ASSERT_TRUE(h.waitOnLoop([&] { return h.frames_.size() == 2; }));
+  h.clientClose();  // vanish before reading anything
+  h.onLoop([&] {
+    h.conn()->completeRequest(h.frames_[0].first, std::string(1 << 20, 'z'));
+    if (h.conn() != nullptr) {
+      h.conn()->completeRequest(h.frames_[1].first, "tail");
+    }
+  });
+  // The write fails (EPIPE/ECONNRESET); the connection closes without
+  // taking the loop down — that is the daemon-survival contract.
+  ASSERT_TRUE(h.waitOnLoop([&] { return h.conn() == nullptr; }));
+  EXPECT_TRUE(h.closedFlag());
+  // The loop is still serviceable after the failed connection.
+  bool alive = false;
+  h.onLoop([&] { alive = true; });
+  EXPECT_TRUE(alive);
+}
+
+TEST(Conn, AbortDropsBufferedDataAndFiresOnClose) {
+  ConnHarness h;
+  h.setAutoEcho(false);
+  h.clientSend("x\n");
+  ASSERT_TRUE(h.waitOnLoop([&] { return h.frames_.size() == 1; }));
+  h.onLoop([&] { h.conn()->abort(); });
+  ASSERT_TRUE(h.waitOnLoop([&] { return h.conn() == nullptr; }));
+  EXPECT_TRUE(h.closedFlag());
+  EXPECT_EQ(h.clientReadLine(), "");  // client sees EOF, no partial bytes
+}
+
+// ---------------------------------------------------------------------------
+// HashRing.
+
+TEST(HashRing, RoutingIsDeterministicAcrossInstances) {
+  HashRing a(8), b(8);
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    EXPECT_EQ(a.route(key * 0x9e3779b97f4a7c15ull),
+              b.route(key * 0x9e3779b97f4a7c15ull));
+  }
+}
+
+TEST(HashRing, EveryShardOwnsAReasonableSlice) {
+  constexpr std::size_t kShards = 8;
+  constexpr std::size_t kKeys = 20000;
+  HashRing ring(kShards);
+  std::vector<std::size_t> counts(kShards, 0);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    ++counts[ring.route(0xabcdef12345ull + i * 7919)];
+  }
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    // Perfect balance would be 12.5%; virtual points keep every shard
+    // above a few percent (no starved or runaway shard).
+    EXPECT_GT(counts[shard], kKeys / 33) << "shard " << shard;
+    EXPECT_LT(counts[shard], kKeys / 3) << "shard " << shard;
+  }
+}
+
+TEST(HashRing, DeadShardRemapsOnlyItsOwnKeys) {
+  constexpr std::size_t kShards = 5;
+  constexpr std::size_t kKeys = 8000;
+  HashRing ring(kShards);
+  std::vector<std::size_t> before(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    before[i] = ring.route(i * 0x100000001b3ull);
+  }
+  const std::size_t victim = 2;
+  ring.markDead(victim);
+  EXPECT_EQ(ring.aliveCount(), kShards - 1);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    std::size_t now = ring.route(i * 0x100000001b3ull);
+    if (before[i] == victim) {
+      EXPECT_NE(now, victim);  // re-homed somewhere alive
+    } else {
+      // Consistency: keys not owned by the dead shard never move.
+      EXPECT_EQ(now, before[i]) << "key index " << i;
+    }
+  }
+  ring.markAlive(victim);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    EXPECT_EQ(ring.route(i * 0x100000001b3ull), before[i]);
+  }
+}
+
+TEST(HashRing, SurvivesAllButOneShardDead) {
+  HashRing ring(4);
+  ring.markDead(0);
+  ring.markDead(2);
+  ring.markDead(3);
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    EXPECT_EQ(ring.route(key), 1u);
+  }
+}
+
+TEST(HashRing, ShardSocketPathFormats) {
+  EXPECT_EQ(shardSocketPath("/tmp/a.sock", 0, 1), "/tmp/a.sock");
+  EXPECT_EQ(shardSocketPath("/tmp/a.sock", 0, 0), "/tmp/a.sock");
+  EXPECT_EQ(shardSocketPath("/tmp/a.sock", 0, 3), "/tmp/a.sock.0");
+  EXPECT_EQ(shardSocketPath("/tmp/a.sock", 2, 3), "/tmp/a.sock.2");
+}
+
+}  // namespace
+}  // namespace cuaf::net

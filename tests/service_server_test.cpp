@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -337,20 +339,58 @@ class SocketClient {
 
   [[nodiscard]] bool connected() const { return connected_; }
 
-  std::string roundTrip(const std::string& request) {
-    std::string line = request + "\n";
-    EXPECT_EQ(::send(fd_, line.data(), line.size(), MSG_NOSIGNAL),
-              static_cast<ssize_t>(line.size()));
+  void sendRaw(const std::string& bytes) {
+    std::string_view rest = bytes;
+    while (!rest.empty()) {
+      ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      rest.remove_prefix(static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string readLine() {
     std::string response;
     char c;
     while (::read(fd_, &c, 1) == 1 && c != '\n') response += c;
     return response;
   }
 
+  std::string roundTrip(const std::string& request) {
+    sendRaw(request + "\n");
+    return readLine();
+  }
+
  private:
   int fd_ = -1;
   bool connected_ = false;
 };
+
+/// Reads the integer value of `"field":N` from a stats response.
+std::uint64_t statsCounter(const std::string& stats, const std::string& field) {
+  std::string marker = "\"" + field + "\":";
+  std::size_t pos = stats.find(marker);
+  if (pos == std::string::npos) return ~0ull;
+  return std::strtoull(stats.c_str() + pos + marker.size(), nullptr, 10);
+}
+
+TEST(Server, StatsCarryConnectionCountersAndShardIdentity) {
+  ServerOptions options;
+  options.shard_id = 2;
+  options.shard_count = 4;
+  Server sharded(options);
+  std::string stats = sharded.handleLine("{\"op\":\"stats\",\"id\":1}");
+  EXPECT_NE(stats.find("\"shard\":{\"id\":2,\"count\":4}"), std::string::npos)
+      << stats;
+  EXPECT_EQ(statsCounter(stats, "connections_accepted"), 0u);
+  EXPECT_EQ(statsCounter(stats, "connections_live"), 0u);
+  EXPECT_EQ(statsCounter(stats, "pipeline_depth_hwm"), 0u);
+
+  // An unsharded daemon reports connection counters but no shard object.
+  Server plain;
+  std::string unsharded = plain.handleLine("{\"op\":\"stats\",\"id\":2}");
+  EXPECT_EQ(unsharded.find("\"shard\""), std::string::npos) << unsharded;
+  EXPECT_NE(unsharded.find("\"connections_accepted\":0"), std::string::npos);
+}
 
 TEST(Server, ServesAnalyzeStatsShutdownOverUnixSocket) {
   std::string path = testing::TempDir() + "cuaf_service_test.sock";
@@ -382,6 +422,114 @@ TEST(Server, ServesAnalyzeStatsShutdownOverUnixSocket) {
   }
   daemon.join();
   EXPECT_TRUE(server.shutdownRequested());
+}
+
+// ---------------------------------------------------------------------------
+// The event-loop front end: one daemon, many concurrent pipelined clients.
+
+/// A unique analyze request for (client, i): the name alone guarantees a
+/// distinct cache key, so no request's "cached" flag depends on scheduling.
+std::string uniqueAnalyzeRequest(int client, int i) {
+  std::string name =
+      "c" + std::to_string(client) + "-r" + std::to_string(i) + ".chpl";
+  std::string source;
+  if (i % 3 == 2) {
+    // Every third request exercises the full checker (one UAF warning).
+    source = "proc p() {\\n  var u" + std::to_string(client) + "x" +
+             std::to_string(i) +
+             ": int = 0;\\n  begin { writeln(u" + std::to_string(client) +
+             "x" + std::to_string(i) + "); }\\n}\\n";
+  } else {
+    source = "proc p() { writeln(" +
+             std::to_string(client * 1000 + i) + "); }";
+  }
+  return "{\"op\":\"analyze\",\"id\":" + std::to_string(i + 1) +
+         ",\"name\":\"" + name + "\",\"source\":\"" + source + "\"}";
+}
+
+// Acceptance criterion: >=64 concurrent clients, each pipelining its whole
+// request burst before reading a byte; the daemon completes requests out of
+// order internally (jobs > 1) yet every client's responses come back in
+// request order, byte-identical (modulo volatile fields) to a serial
+// single-stream loop over the same lines.
+TEST(Server, SixtyFourConcurrentPipelinedClientsMatchTheSerialLoop) {
+  constexpr int kClients = 64;
+  constexpr int kRequests = 5;
+  ServerOptions options;
+  options.jobs = 4;
+  std::string path = testing::TempDir() + "cuaf_concurrent_test.sock";
+
+  // Reference: the same request lines through the serial in-process loop.
+  std::vector<std::vector<std::string>> expected(kClients);
+  {
+    Server reference(options);
+    for (int c = 0; c < kClients; ++c) {
+      for (int i = 0; i < kRequests; ++i) {
+        expected[c].push_back(
+            stripVolatile(reference.handleLine(uniqueAnalyzeRequest(c, i))));
+      }
+    }
+  }
+
+  Server server(options);
+  std::thread daemon([&server, &path] { server.serveSocket(path); });
+
+  std::vector<std::vector<std::string>> got(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([c, &path, &got] {
+        SocketClient client(path);
+        ASSERT_TRUE(client.connected()) << "client " << c;
+        // Pipeline: write the entire burst, then read all responses.
+        std::string blob;
+        for (int i = 0; i < kRequests; ++i) {
+          blob += uniqueAnalyzeRequest(c, i) + "\n";
+        }
+        client.sendRaw(blob);
+        for (int i = 0; i < kRequests; ++i) {
+          got[c].push_back(client.readLine());
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(got[c].size(), static_cast<std::size_t>(kRequests));
+    for (int i = 0; i < kRequests; ++i) {
+      EXPECT_EQ(stripVolatile(got[c][i]), expected[c][i])
+          << "client " << c << " request " << i;
+    }
+  }
+
+  // Stats reconciliation: every client connection was accepted and (after
+  // the daemon notices the disconnects) closed again; live is what's left.
+  {
+    SocketClient client(path);
+    ASSERT_TRUE(client.connected());
+    std::string stats;
+    for (int attempt = 0; attempt < 500; ++attempt) {
+      stats = client.roundTrip("{\"op\":\"stats\",\"id\":900}");
+      if (statsCounter(stats, "connections_closed") >= kClients) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::uint64_t accepted = statsCounter(stats, "connections_accepted");
+    std::uint64_t closed = statsCounter(stats, "connections_closed");
+    std::uint64_t live = statsCounter(stats, "connections_live");
+    std::uint64_t hwm = statsCounter(stats, "pipeline_depth_hwm");
+    EXPECT_EQ(accepted, static_cast<std::uint64_t>(kClients) + 1) << stats;
+    EXPECT_EQ(closed, static_cast<std::uint64_t>(kClients)) << stats;
+    EXPECT_EQ(accepted, closed + live) << stats;
+    EXPECT_GE(hwm, 1u) << stats;
+    EXPECT_LE(hwm, static_cast<std::uint64_t>(kRequests)) << stats;
+
+    std::string response = client.roundTrip("{\"op\":\"shutdown\",\"id\":901}");
+    EXPECT_NE(response.find("\"op\":\"shutdown\",\"status\":\"ok\""),
+              std::string::npos);
+  }
+  daemon.join();
 }
 
 }  // namespace
