@@ -21,7 +21,9 @@ int main(int argc, char** argv) {
 
   cuaf::corpus::GeneratorOptions gen;
 
+  // Modeled atomics are the default now; the faithful arm opts out.
   cuaf::corpus::RunnerOptions faithful;
+  faithful.analysis.build.model_atomics = false;
   cuaf::corpus::Table1Stats base =
       cuaf::corpus::runCorpus(seed, count, gen, faithful);
 

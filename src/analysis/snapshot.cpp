@@ -101,11 +101,13 @@ AnalysisSnapshot analyzeToSnapshot(const std::string& name,
 }
 
 std::uint64_t optionsFingerprint(const AnalysisOptions& options) {
-  // v3: the analysis grew a dynamic-oracle phase (AnalysisOptions::oracle);
-  // it joins the fingerprint, and the seed bump invalidates v2 snapshots
-  // wholesale so a cache written before the option existed can never alias.
-  // (v2 added pps.por and pps.use_reference_engine the same way.)
-  std::uint64_t h = fnv1a64("cuaf-options-v3");
+  // v4: the sync-construct extensions (modeled atomics on by default,
+  // widened sync-carrying loops behind build.model_sync_loops/loop_bound,
+  // barrier rendezvous) change analysis output for unchanged sources, so
+  // the seed bump invalidates v3 snapshots wholesale.
+  // (v3 added the dynamic-oracle phase; v2 pps.por and
+  // pps.use_reference_engine.)
+  std::uint64_t h = fnv1a64("cuaf-options-v4");
   auto mix = [&h](std::uint64_t v) { h = hashCombine(h, v); };
   mix(options.build.prune);
   mix(options.build.synced_scope_root);
@@ -113,6 +115,8 @@ std::uint64_t optionsFingerprint(const AnalysisOptions& options) {
   mix(options.build.model_atomics);
   mix(options.build.unroll_loops);
   mix(options.build.max_unroll_iterations);
+  mix(options.build.model_sync_loops);
+  mix(options.build.loop_bound);
   mix(options.pps.merge_equivalent);
   mix(options.pps.por);
   mix(options.pps.use_reference_engine);

@@ -20,6 +20,7 @@ std::string typeName(const Type& t) {
     case ConcKind::Sync: out += "sync "; break;
     case ConcKind::Single: out += "single "; break;
     case ConcKind::Atomic: out += "atomic "; break;
+    case ConcKind::Barrier: return "barrier";
   }
   out += baseTypeName(t.base);
   return out;

@@ -16,6 +16,7 @@ enum class ConcKind {
   Sync,    ///< `sync T`  — readFE empties, writeEF fills
   Single,  ///< `single T` — readFF leaves full, single write
   Atomic,  ///< `atomic T` — not modeled by the static analysis (paper §IV-A)
+  Barrier, ///< `barrier` — phaser-style rendezvous (arXiv:1708.02801)
 };
 
 struct Type {
@@ -26,6 +27,7 @@ struct Type {
     return conc == ConcKind::Sync || conc == ConcKind::Single;
   }
   [[nodiscard]] bool isAtomic() const { return conc == ConcKind::Atomic; }
+  [[nodiscard]] bool isBarrier() const { return conc == ConcKind::Barrier; }
 
   friend bool operator==(const Type&, const Type&) = default;
 };

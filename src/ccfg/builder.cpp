@@ -35,8 +35,10 @@ class Builder {
       root_params_.insert(p.resolved);
     }
     walkStmt(*proc->body);
+    spliceChaosStrands();
 
     graph_->computePreds();
+    graph_->computeBarrierReachability();
     graph_->stats().nodes_before_pruning = graph_->nodeCount();
     graph_->stats().tasks_before_pruning = graph_->taskCount();
 
@@ -111,6 +113,7 @@ class Builder {
       VarId v = resolve(use.var);
       const VarInfo& info = graph_->varInfo(v);
       if (info.type.isSyncLike()) continue;  // universally visible
+      if (info.type.isBarrier()) continue;   // no data payload
       auto decl = decl_task_.find(v);
       if (decl == decl_task_.end()) continue;  // module/config scope: no UAF
       if (decl->second == cur_task_) continue;  // own-strand access: not outer
@@ -173,7 +176,20 @@ class Builder {
           pushSubst(stmt.var, v);
         }
         declareVarHere(v);
-        graph_->syncVar(v);
+        // Barrier variables never join the full/empty state table; their
+        // wait nodes are registered separately (addBarrierWait).
+        if (!graph_->varInfo(v).type.isBarrier()) graph_->syncVar(v);
+        break;
+      }
+      case ir::StmtKind::BarrierWait: {
+        VarId v = resolve(stmt.var);
+        SyncEvent ev;
+        ev.var = v;
+        ev.op = SyncOp::BarrierWait;
+        ev.loc = stmt.loc;
+        graph_->node(cur_).sync = ev;
+        graph_->addBarrierWait(v, cur_);
+        closeNode();
         break;
       }
       case ir::StmtKind::Assign:
@@ -282,7 +298,17 @@ class Builder {
       }
       case ir::StmtKind::Loop: {
         if (stmt.loop_has_sync_or_begin) {
-          if (options_.unroll_loops && tryUnrollLoop(stmt)) return;
+          unsigned unroll_cap = options_.unroll_loops
+                                    ? options_.max_unroll_iterations
+                                    : options_.loop_bound;
+          if ((options_.unroll_loops || options_.model_sync_loops) &&
+              tryUnrollLoop(stmt, unroll_cap)) {
+            return;
+          }
+          if (options_.model_sync_loops) {
+            walkWidenedLoop(stmt);
+            return;
+          }
           diags_.warning(stmt.loc, "unsupported-loop",
                          "loop contains a sync operation or begin task; the "
                          "analysis does not support such loops (paper §IV-A)");
@@ -311,7 +337,7 @@ class Builder {
   /// runs in a clone context so loop-local declarations (including sync
   /// variables and task shadows) stay distinct. Returns false when the loop
   /// is not eligible (non-for, non-constant bounds, too many iterations).
-  bool tryUnrollLoop(const ir::Stmt& stmt) {
+  bool tryUnrollLoop(const ir::Stmt& stmt, unsigned max_trips) {
     if (!stmt.loop_is_for) return false;
     const auto* lo = stmt.loop_lo != nullptr
                          ? stmt.loop_lo->as<IntLitExpr>()
@@ -322,7 +348,7 @@ class Builder {
     if (lo == nullptr || hi == nullptr) return false;
     if (hi->value < lo->value) return true;  // zero-trip loop: nothing to do
     std::int64_t trips = hi->value - lo->value + 1;
-    if (trips > static_cast<std::int64_t>(options_.max_unroll_iterations)) {
+    if (trips > static_cast<std::int64_t>(max_trips)) {
       return false;
     }
     diags_.note(stmt.loc, "loop-unrolled",
@@ -338,6 +364,137 @@ class Builder {
       --inline_depth_;
     }
     return true;
+  }
+
+  /// Extension: models a sync-carrying loop that cannot be exactly unrolled.
+  /// k = loop_bound guarded iterations are laid out explicitly — each guard
+  /// node branches to its iteration body and to the common exit join, so
+  /// every trip count 0..k is a path. The widening has two parts:
+  ///   1. every outer access recorded by the first iteration is marked
+  ///      loop_residue (iterations beyond k may repeat it, so it is
+  ///      conservatively reported unless proven pre_safe), and
+  ///   2. the sync variables the body touches get a concurrent chaos strand
+  ///      (spliced after the walk) that nondeterministically fills/drains
+  ///      them, so post-loop code is analyzed against every release order
+  ///      the dropped residue iterations could produce.
+  /// Both parts only add behaviors/reports, never remove them — sound
+  /// over-approximation (docs/EXTENSIONS_SYNC.md).
+  void walkWidenedLoop(const ir::Stmt& stmt) {
+    ++graph_->stats().widened_loops;
+    diags_.note(stmt.loc, "loop-widened",
+                "sync-carrying loop modeled with " +
+                    std::to_string(options_.loop_bound) +
+                    " guarded iterations plus widened residue (extension)");
+    if (stmt.loop_index.valid()) declareVarHere(stmt.loop_index);
+    // Chaos spawn point: a dedicated node just before the first guard, shaped
+    // exactly like a begin spawn (spawns at node end, then a control edge).
+    NodeId spawn_node = cur_;
+    closeNode();
+    unsigned k = std::max(1u, options_.loop_bound);
+    std::size_t residue_access_begin = 0;
+    std::size_t residue_access_end = 0;
+    std::size_t first_node_begin = 0;
+    std::size_t first_node_end = 0;
+    std::size_t clone_watermark = graph_->cloneVarCount();
+    std::vector<NodeId> exit_branches;
+    for (unsigned i = 0; i < k; ++i) {
+      if (graph_->stopped() != StopReason::None) return;
+      if (i == 0) residue_access_begin = graph_->accessCount();
+      processUses(stmt.uses);  // the loop guard, evaluated every iteration
+      NodeId branch = cur_;
+      exit_branches.push_back(branch);
+      NodeId body_entry = graph_->addNode(cur_task_);
+      graph_->node(branch).succs.push_back(body_entry);
+      cur_ = body_entry;
+      if (i == 0) first_node_begin = body_entry.index();
+      // Per-iteration clone context: loop-local declarations (including sync
+      // vars and task shadows) stay distinct across iterations.
+      ++inline_depth_;
+      walkStmts(stmt.body);
+      --inline_depth_;
+      if (i == 0) {
+        residue_access_end = graph_->accessCount();
+        first_node_end = graph_->nodeCount();
+      }
+    }
+    NodeId join = graph_->addNode(cur_task_);
+    graph_->node(cur_).succs.push_back(join);  // k-th body falls through
+    for (NodeId b : exit_branches) graph_->node(b).succs.push_back(join);
+    cur_ = join;
+
+    // Part 1: first-iteration accesses stand in for every residue iteration.
+    for (std::size_t i = residue_access_begin; i < residue_access_end; ++i) {
+      graph_->access(AccessId(static_cast<AccessId::value_type>(i)))
+          .loop_residue = true;
+    }
+    // Part 2: collect the sync variables that outlive the loop (per-iteration
+    // clones cannot cross iterations and need no residue modeling).
+    std::vector<VarId> vars;
+    for (std::size_t n = first_node_begin; n < first_node_end; ++n) {
+      const Node& node = graph_->node(NodeId(static_cast<NodeId::value_type>(n)));
+      if (!node.sync) continue;
+      if (node.sync->op == SyncOp::BarrierWait) continue;
+      VarId v = node.sync->var;
+      if (v.index() >= sema_.varCount() + clone_watermark) continue;
+      if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+        vars.push_back(v);
+      }
+    }
+    std::sort(vars.begin(), vars.end());
+    if (!vars.empty()) {
+      pending_chaos_.push_back(
+          PendingChaos{spawn_node, stmt.loc, open_sync_blocks_, std::move(vars)});
+    }
+  }
+
+  /// Materializes the chaos strands recorded by walkWidenedLoop. Runs after
+  /// the full walk so per-variable reader/writer node counts are final: the
+  /// strand repeats fill/drain rounds up to the widest real usage (capped) so
+  /// every real waiter has a chaos release available, in any order.
+  void spliceChaosStrands() {
+    for (const PendingChaos& pc : pending_chaos_) {
+      TaskId parent = graph_->node(pc.spawn_node).task;
+      TaskId chaos = graph_->addTask(parent, pc.loc);
+      graph_->task(chaos).chaos = true;
+      graph_->task(chaos).enclosing_sync_blocks = pc.sync_blocks;
+      NodeId entry = graph_->addNode(chaos);
+      graph_->task(chaos).entry = entry;
+      graph_->node(pc.spawn_node).spawns.push_back(chaos);
+
+      std::size_t rounds = 1;
+      for (VarId v : pc.vars) {
+        const SyncVarInfo& svi = graph_->syncVar(v);
+        rounds = std::max(rounds, std::max(svi.read_nodes.size(),
+                                           svi.write_nodes.size()));
+      }
+      rounds = std::min<std::size_t>(rounds, 4);
+
+      NodeId cur = entry;
+      auto emit = [&](VarId v, SyncOp op) {
+        SyncEvent ev;
+        ev.var = v;
+        ev.op = op;
+        ev.loc = pc.loc;
+        graph_->node(cur).sync = ev;
+        NodeId next = graph_->addNode(chaos);
+        graph_->node(cur).succs.push_back(next);
+        cur = next;
+      };
+      for (std::size_t r = 0; r < rounds; ++r) {
+        for (VarId v : pc.vars) {
+          // Only `sync` state can return to EMPTY; single/atomic fills are
+          // idempotent, so one fill covers every residue behavior.
+          bool drainable = graph_->varInfo(v).type.conc == ConcKind::Sync;
+          if (drainable) {
+            emit(v, SyncOp::ChaosFill);
+            emit(v, SyncOp::ChaosDrain);
+          } else if (r == 0) {
+            emit(v, SyncOp::ChaosFill);
+          }
+        }
+      }
+      // The trailing `cur` node is empty with no successors: the strand end.
+    }
   }
 
   void collectSubsumedUses(const std::vector<ir::StmtPtr>& body) {
@@ -487,6 +644,14 @@ class Builder {
   std::vector<ProcId> call_stack_;
   std::unordered_map<VarId, std::vector<VarId>> subst_;
   int inline_depth_ = 0;
+
+  struct PendingChaos {
+    NodeId spawn_node;
+    SourceLoc loc;
+    std::vector<std::uint32_t> sync_blocks;
+    std::vector<VarId> vars;  ///< sorted; all with live sync-var entries
+  };
+  std::vector<PendingChaos> pending_chaos_;
 };
 
 }  // namespace
@@ -572,6 +737,9 @@ std::size_t pruneGraph(Graph& graph) {
       if (safe[idx]) continue;
       TaskId t(static_cast<TaskId::value_type>(idx));
       const Task& task = graph.task(t);
+      // Chaos strands model widened-loop residue effects; pruning one would
+      // drop release orders the dropped iterations could produce.
+      if (task.chaos) continue;
       const TaskFacts& f = facts[idx];
 
       bool children_safe = std::all_of(

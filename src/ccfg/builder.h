@@ -26,14 +26,25 @@ struct BuildOptions {
   bool inline_nested = true;
   /// Extension (paper future work, sketched in §IV-A): model atomic-integer
   /// operations as synchronization events — writes/adds as non-blocking fill
-  /// events, waitFor as a SINGLE-READ-like wait. Off by default to stay
-  /// faithful to the paper's implementation (its main false-positive source).
-  bool model_atomics = false;
+  /// events, waitFor as a SINGLE-READ-like wait. On by default since the
+  /// modeled transitions were validated against the HB oracle; disable to
+  /// reproduce the paper's unmodeled-atomics false positives
+  /// (docs/EXTENSIONS_SYNC.md).
+  bool model_atomics = true;
   /// Extension (paper future work): unroll constant-bound for-loops that
   /// contain sync operations or begin tasks instead of rejecting them.
   bool unroll_loops = false;
   /// Maximum trip count eligible for unrolling.
   unsigned max_unroll_iterations = 8;
+  /// Extension: instead of rejecting loops containing sync ops or begins,
+  /// model them with a bounded unroll — constant-bound for-loops with at
+  /// most loop_bound trips unroll exactly; other sync-carrying loops are
+  /// widened: loop_bound guarded iterations, a chaos strand supplying the
+  /// residue iterations' sync effects, and conservative reporting of every
+  /// in-loop outer access (docs/EXTENSIONS_SYNC.md).
+  bool model_sync_loops = true;
+  /// Iteration bound k for modeled sync-carrying loops (--loop-bound).
+  unsigned loop_bound = 4;
   /// Checked per statement walk (site "ccfg.build"); an expired deadline
   /// stops construction and marks the graph stopped().
   Deadline deadline;

@@ -67,6 +67,32 @@ void Graph::finalizeAccessIndex() {
   }
 }
 
+void Graph::computeBarrierReachability() {
+  if (barrier_waits_.empty()) return;
+  // Spawn edge inversion: entry node of a spawned task -> spawning node.
+  std::unordered_map<std::uint32_t, std::vector<NodeId>> spawn_preds;
+  for (const Node& n : nodes_) {
+    for (TaskId t : n.spawns) {
+      spawn_preds[tasks_[t.index()].entry.index()].push_back(n.id);
+    }
+  }
+  for (const auto& [var, waits] : barrier_waits_) {
+    std::vector<char> reach(nodes_.size(), 0);
+    std::vector<NodeId> stack(waits.begin(), waits.end());
+    while (!stack.empty()) {
+      NodeId nid = stack.back();
+      stack.pop_back();
+      if (reach[nid.index()] != 0) continue;
+      reach[nid.index()] = 1;
+      for (NodeId p : nodes_[nid.index()].preds) stack.push_back(p);
+      if (auto it = spawn_preds.find(nid.index()); it != spawn_preds.end()) {
+        for (NodeId p : it->second) stack.push_back(p);
+      }
+    }
+    barrier_reach_[var] = std::move(reach);
+  }
+}
+
 void Graph::computePreds() {
   for (Node& n : nodes_) n.preds.clear();
   for (const Node& n : nodes_) {

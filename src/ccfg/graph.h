@@ -36,6 +36,17 @@ enum class SyncOp {
   /// Extension: `waitFor` modeled like SINGLE-READ — executable when FULL,
   /// leaves the state FULL.
   AtomicWait,
+  /// Extension: phaser-style barrier rendezvous (`b.wait()`). Barrier
+  /// variables carry no full/empty state; executability is a group condition
+  /// over the whole ASN (docs/EXTENSIONS_SYNC.md).
+  BarrierWait,
+  /// Widened-loop residue modeling: a chaos strand nondeterministically
+  /// fills a sync variable touched by loop iterations beyond the bound.
+  /// Always executable; sets the state to FULL.
+  ChaosFill,
+  /// Chaos counterpart that empties the variable (emitted only for `sync`
+  /// vars — single/atomic state can never return to EMPTY).
+  ChaosDrain,
 };
 
 struct SyncEvent {
@@ -56,6 +67,9 @@ struct OvUse {
   bool is_write = false;
   bool pre_safe = false;  ///< accesses proven safe up front (synced-scope root
                           ///< params, pruned tasks)
+  /// Access sits inside a widened loop: iterations beyond the bound may
+  /// repeat it, so it is conservatively reported unless pre_safe.
+  bool loop_residue = false;
 };
 
 struct Node {
@@ -78,6 +92,9 @@ struct Task {
   SourceLoc loc;    ///< location of the begin (or proc for the root)
   bool pruned = false;
   char prune_rule = 0;  ///< 'A'..'D' when pruned
+  /// Widened-loop chaos strand: models residue-iteration sync effects.
+  /// Never pruned; its nodes carry ChaosFill/ChaosDrain events only.
+  bool chaos = false;
   /// Sync blocks (by open-index) enclosing this task's spawn point,
   /// transitively inherited from the spawning strand.
   std::vector<std::uint32_t> enclosing_sync_blocks;
@@ -112,6 +129,7 @@ struct GraphStats {
   std::size_t recursion_cutoffs = 0;
   std::size_t subsumed_loops = 0;
   std::size_t unrolled_loops = 0;  ///< extension: see BuildOptions
+  std::size_t widened_loops = 0;   ///< sync-carrying loops widened at k
 };
 
 class Graph {
@@ -142,6 +160,9 @@ class Graph {
   // -- variables -----------------------------------------------------------
   /// Allocates a clone variable for an inlined local/param.
   VarId addCloneVar(VarId original);
+  [[nodiscard]] std::size_t cloneVarCount() const {
+    return clone_origin_.size();
+  }
   /// Maps a (possibly clone) id back to the sema variable it instantiates.
   [[nodiscard]] VarId underlying(VarId v) const;
   [[nodiscard]] const VarInfo& varInfo(VarId v) const {
@@ -184,6 +205,25 @@ class Graph {
   parallelFrontiers() const {
     return parallel_frontier_;
   }
+
+  // -- barriers --------------------------------------------------------------
+  /// Registers a BarrierWait node for barrier variable `v`.
+  void addBarrierWait(VarId v, NodeId n) { barrier_waits_[v].push_back(n); }
+  [[nodiscard]] const std::unordered_map<VarId, std::vector<NodeId>>&
+  barrierWaits() const {
+    return barrier_waits_;
+  }
+  /// True when execution starting at `n` (in its strand, or any strand it
+  /// transitively spawns) can still reach a wait on barrier `v`. Computed by
+  /// computeBarrierReachability(); over-approximate (branches included), so
+  /// barriers may release early in the static model — more behaviors, sound.
+  [[nodiscard]] bool canReachBarrierWait(VarId v, NodeId n) const {
+    auto it = barrier_reach_.find(v);
+    return it != barrier_reach_.end() && it->second[n.index()] != 0;
+  }
+  /// Backward BFS from every wait node over control preds and spawn edges.
+  /// Call after computePreds().
+  void computeBarrierReachability();
 
   // -- sync regions ----------------------------------------------------------
   std::vector<SyncRegion>& syncRegions() { return sync_regions_; }
@@ -251,6 +291,8 @@ class Graph {
   std::vector<AccessId> live_accesses_;          ///< dense slot -> access
   std::vector<std::uint32_t> dense_access_index_;  ///< access -> dense slot
   std::unordered_map<VarId, SyncVarInfo> sync_vars_;
+  std::unordered_map<VarId, std::vector<NodeId>> barrier_waits_;
+  std::unordered_map<VarId, std::vector<char>> barrier_reach_;
   std::unordered_map<VarId, VarScopeInfo> var_scopes_;
   std::unordered_map<VarId, std::vector<NodeId>> parallel_frontier_;
   std::vector<SyncRegion> sync_regions_;

@@ -11,6 +11,9 @@ std::string_view syncOpName(SyncOp op) {
     case SyncOp::WriteEF: return "writeEF";
     case SyncOp::AtomicFill: return "atomic.fill";
     case SyncOp::AtomicWait: return "atomic.wait";
+    case SyncOp::BarrierWait: return "barrier.wait";
+    case SyncOp::ChaosFill: return "chaos.fill";
+    case SyncOp::ChaosDrain: return "chaos.drain";
   }
   return "?";
 }

@@ -169,8 +169,10 @@ proc multipleUse() {
 )",
       0, 0, true, false});
 
-  // --- Atomic handshake: dynamically safe, statically invisible (§IV-A):
-  // the accesses (incl. the atomic add) are reported — false positives.
+  // --- Atomic handshake: dynamically safe and — since the sync-construct
+  // extensions model atomics as AtomicFill/AtomicWait transitions — also
+  // statically clean. This used to be the paper's §IV-A dominant
+  // false-positive source (2 warnings); the zero here pins the fix.
   v.push_back(CuratedProgram{
       "atomic_handshake_fp",
       R"(proc atomicHandshake() {
@@ -184,7 +186,7 @@ proc multipleUse() {
   writeln(x);
 }
 )",
-      2, 0, true, false});
+      0, 0, true, false});
 
   // --- Hidden access through a nested procedure called from a begin task.
   v.push_back(CuratedProgram{
@@ -312,7 +314,9 @@ proc branchNoWait() {
 )",
       0, 0, false, false});
 
-  // --- Paper §IV-A limitation: begin inside a loop is unsupported.
+  // --- Paper §IV-A limitation, lifted: begin inside a const-bound loop is
+  // unrolled exactly (3 trips <= the default loop bound), exposing three
+  // fire-and-forget tasks whose accesses are genuine use-after-frees.
   v.push_back(CuratedProgram{
       "loop_with_begin_unsupported",
       R"(proc loopWithBegin() {
@@ -324,7 +328,7 @@ proc branchNoWait() {
   }
 }
 )",
-      0, 0, true, true});
+      3, 3, true, false});
 
   // --- Loop with only outer accesses: subsumed into one node (supported).
   v.push_back(CuratedProgram{
@@ -645,8 +649,9 @@ proc nestedBranch() {
 )",
       0, 0, true, false});
 
-  // --- coforall (extension): fenced per-iteration tasks. Unsupported under
-  // the paper-faithful analysis (begin inside a loop), so no warnings.
+  // --- coforall (extension): fenced per-iteration tasks. The const-bound
+  // loop unrolls exactly, so the fenced tasks analyze clean instead of
+  // tripping the paper's begin-inside-loop skip.
   v.push_back(CuratedProgram{
       "coforall_reduction",
       R"(proc coforallReduction() {
@@ -657,7 +662,7 @@ proc nestedBranch() {
   writeln(total);
 }
 )",
-      0, 0, true, true});
+      0, 0, true, false});
 
   // --- Deep sequential program exercising the front end only.
   v.push_back(CuratedProgram{
@@ -682,6 +687,86 @@ proc nestedBranch() {
 }
 )",
       0, 0, false, false});
+
+  // --- Barrier rendezvous: the child arrives after its accesses and the
+  // parent cannot pass its own wait until then, so everything is ordered
+  // before scope exit (statically via the barrier group rule, dynamically
+  // via the phaser protocol).
+  v.push_back(CuratedProgram{
+      "barrier_rendezvous_safe",
+      R"(proc barrierRendezvous() {
+  var x: int = 4;
+  barrier b;
+  begin with (ref x) {
+    writeln(x);
+    x += 1;
+    b.wait();
+  }
+  b.wait();
+  writeln(x);
+}
+)",
+      0, 0, true, false});
+
+  // --- Barrier tail access: the child touches x only after the rendezvous
+  // released the parent, which may reach scope exit first. A true positive
+  // the barrier rules must NOT suppress.
+  v.push_back(CuratedProgram{
+      "barrier_tail_access",
+      R"(proc barrierTail() {
+  var x: int = 4;
+  barrier b;
+  begin with (ref x) {
+    b.wait();
+    writeln(x);
+  }
+  b.wait();
+}
+)",
+      1, 1, true, false});
+
+  // --- Widened-loop wait: dynamically the while loop runs once and
+  // consumes the child's fill (safe), but the bound is not a constant, so
+  // the widened loop guard admits a zero-wait path to the sink and the
+  // child's access is reported — the intended false positive that replaces
+  // the atomic handshake as the dominant FP source.
+  v.push_back(CuratedProgram{
+      "loop_wait_widened_fp",
+      R"(proc loopWaitWidened() {
+  var x: int = 6;
+  var done$: sync bool;
+  var n: int = 1;
+  begin with (ref x) {
+    writeln(x);
+    done$ = true;
+  }
+  var j: int = 0;
+  while (j < n) {
+    done$;
+    j += 1;
+  }
+  writeln(x);
+}
+)",
+      1, 0, true, false});
+
+  // --- Fenced task in a const-bound loop: unrolled exactly, each clone is
+  // pruned by rule B. The safe counterpart of loop_with_begin_unsupported.
+  v.push_back(CuratedProgram{
+      "loop_fenced_unrolled_safe",
+      R"(proc loopFencedUnrolled() {
+  var x: int = 0;
+  for i in 1..2 {
+    sync {
+      begin with (ref x) {
+        x += i;
+      }
+    }
+  }
+  writeln(x);
+}
+)",
+      0, 0, true, false});
 
   return v;
 }

@@ -11,18 +11,33 @@ void ind(std::string& out, int indent) {
 TaskDiscipline ProgramGenerator::pickDiscipline(bool warned_program) {
   if (warned_program) {
     // Warned programs draw tasks from the warning-producing pool; the FP/TP
-    // split mirrors Table I's 85.6% FP rate.
-    if (rng_.chance(options_.fp_pm)) return TaskDiscipline::AtomicSynced;
-    switch (rng_.below(3)) {
+    // split mirrors Table I's 85.6% FP rate. Since atomic handshakes are
+    // modeled, the FP pool is the widened-loop wait idiom.
+    if (rng_.chance(options_.fp_pm)) return TaskDiscipline::LoopSyncWidened;
+    switch (rng_.below(4)) {
       case 0: return TaskDiscipline::NoSync;
       case 1: return TaskDiscipline::SyncVarLate;
+      case 2:
+        if (!barrier_emitted_) {
+          barrier_emitted_ = true;
+          return TaskDiscipline::BarrierLate;
+        }
+        return TaskDiscipline::NoSync;
       default: return TaskDiscipline::NestedFn;
     }
   }
-  switch (rng_.below(4)) {
+  switch (rng_.below(7)) {
     case 0: return TaskDiscipline::SyncVarSafe;
     case 1: return TaskDiscipline::SyncBlock;
     case 2: return TaskDiscipline::SingleVar;
+    case 3: return TaskDiscipline::AtomicSynced;
+    case 4: return TaskDiscipline::LoopSyncSafe;
+    case 5:
+      if (!barrier_emitted_) {
+        barrier_emitted_ = true;
+        return TaskDiscipline::BarrierSafe;
+      }
+      return TaskDiscipline::SyncVarSafe;
     default: return TaskDiscipline::InIntent;
   }
 }
@@ -174,7 +189,8 @@ void ProgramGenerator::emitTask(std::string& out, GeneratedProgram& meta,
       break;
     }
     case TaskDiscipline::AtomicSynced: {
-      ++meta.intended_fp_tasks;
+      // Modeled since the sync-construct extensions: AtomicFill/AtomicWait
+      // transitions make the handshake visible, so this is plain safe.
       ind(out, indent);
       out += "var count" + id + ": atomic int;\n";
       ind(out, indent);
@@ -227,6 +243,82 @@ void ProgramGenerator::emitTask(std::string& out, GeneratedProgram& meta,
       out += "}\n";
       break;
     }
+    case TaskDiscipline::LoopSyncSafe: {
+      // Const-bound loop within the unroll cap: each iteration's task is
+      // fenced, the builder unrolls exactly, everything stays safe.
+      unsigned trips = static_cast<unsigned>(rng_.range(2, 3));
+      ind(out, indent);
+      out += "for i" + id + " in 1.." + std::to_string(trips) + " {\n";
+      ind(out, indent + 1);
+      out += "sync {\n";
+      ind(out, indent + 2);
+      out += "begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, indent + 3, accesses);
+      ind(out, indent + 2);
+      out += "}\n";
+      ind(out, indent + 1);
+      out += "}\n";
+      ind(out, indent);
+      out += "}\n";
+      break;
+    }
+    case TaskDiscipline::LoopSyncWidened: {
+      // Dynamically the while loop runs exactly once and consumes the
+      // child's fill, so every access is covered. Statically the bound is
+      // not a constant, the loop is widened, and the guarded exit admits a
+      // zero-wait path to the sink: the child's accesses stay in the
+      // parallel frontier -> false positives, by design.
+      ++meta.intended_fp_tasks;
+      ind(out, indent);
+      out += "var done" + id + "$: sync bool;\n";
+      ind(out, indent);
+      out += "var n" + id + ": int = 1;\n";
+      ind(out, indent);
+      out += "begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, indent + 1, accesses);
+      ind(out, indent + 1);
+      out += "done" + id + "$ = true;\n";
+      ind(out, indent);
+      out += "}\n";
+      pending_epilogue_ += "  var j" + id + ": int = 0;\n";
+      pending_epilogue_ += "  while (j" + id + " < n" + id + ") {\n";
+      pending_epilogue_ += "    done" + id + "$;\n";
+      pending_epilogue_ += "    j" + id + " += 1;\n";
+      pending_epilogue_ += "  }\n";
+      break;
+    }
+    case TaskDiscipline::BarrierSafe: {
+      // Child arrives after its accesses; the parent cannot pass its own
+      // wait until the child has arrived, so the accesses are ordered
+      // before scope exit both statically and dynamically.
+      ind(out, indent);
+      out += "barrier b" + id + ";\n";
+      ind(out, indent);
+      out += "begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, indent + 1, accesses);
+      ind(out, indent + 1);
+      out += "b" + id + ".wait();\n";
+      ind(out, indent);
+      out += "}\n";
+      pending_epilogue_ += "  b" + id + ".wait();\n";
+      break;
+    }
+    case TaskDiscipline::BarrierLate: {
+      // Child accesses only after the rendezvous released the parent, which
+      // may reach scope exit first: a genuine use-after-free.
+      ++meta.intended_unsafe_tasks;
+      ind(out, indent);
+      out += "barrier b" + id + ";\n";
+      ind(out, indent);
+      out += "begin with (ref x0, ref x1) {\n";
+      ind(out, indent + 1);
+      out += "b" + id + ".wait();\n";
+      emitAccesses(out, indent + 1, accesses);
+      ind(out, indent);
+      out += "}\n";
+      pending_epilogue_ += "  b" + id + ".wait();\n";
+      break;
+    }
   }
 }
 
@@ -249,6 +341,7 @@ GeneratedProgram ProgramGenerator::next() {
   if (rng_.chance(options_.filler_pm)) emitSequentialFiller(out, 1);
 
   pending_epilogue_.clear();
+  barrier_emitted_ = false;
   if (with_begin) {
     unsigned tasks = static_cast<unsigned>(rng_.range(1, options_.max_tasks));
     bool any_bad = false;

@@ -5,9 +5,12 @@
 // the idioms that drive the paper's numbers — most programs sequential, a
 // small fraction using begin tasks, and the begin programs split between
 // correctly synchronized patterns (sync variables, single variables, sync
-// blocks, `in` intents) and the patterns that produce warnings: missing
-// synchronization (true positives) and atomic-based synchronization, which
-// the analysis does not model (the paper's dominant false-positive source).
+// blocks, `in` intents, atomic handshakes, barrier rendezvous, unrollable
+// sync-carrying loops) and the patterns that produce warnings: missing
+// synchronization (true positives, including post-barrier tail accesses)
+// and dynamically-safe waits buried in widened loops, which the bounded
+// fixpoint over-approximates (the false-positive source that remains now
+// that atomic handshakes are modeled; see docs/EXTENSIONS_SYNC.md).
 #pragma once
 
 #include <cstdint>
@@ -23,11 +26,20 @@ enum class TaskDiscipline {
   SyncVarSafe,   ///< writeEF after accesses, parent readFE at scope end: safe
   SyncVarLate,   ///< accesses continue after the signalling writeEF: unsafe
   SyncBlock,     ///< begin inside sync { }: pruned safe (rule B)
-  AtomicSynced,  ///< atomic add/waitFor handshake: dynamically safe, the
-                 ///< analysis cannot see it -> false positive
+  AtomicSynced,  ///< atomic add/waitFor handshake: modeled (AtomicFill /
+                 ///< AtomicWait transitions), safe
   SingleVar,     ///< single variable + readFF: modeled, safe
   NestedFn,      ///< hidden outer access via nested procedure: true positive
   InIntent,      ///< `in` copies only: safe (rule A prunes)
+  LoopSyncSafe,  ///< begin in a const-bound loop <= the unroll cap, fenced
+                 ///< per iteration: unrolled exactly, safe
+  LoopSyncWidened,  ///< parent wait inside a non-const-bound loop: dynamically
+                    ///< safe, but the widened loop guard admits a zero-wait
+                    ///< path -> false positive
+  BarrierSafe,   ///< child accesses before its barrier wait, parent joins the
+                 ///< rendezvous: safe
+  BarrierLate,   ///< child accesses after the barrier rendezvous released the
+                 ///< parent: true positive
 };
 
 struct GeneratorOptions {
@@ -36,10 +48,12 @@ struct GeneratorOptions {
   unsigned begin_pm = 43;
   /// Among begin programs, per-mille that at least one task is warned
   /// (38/218 ≈ 17.4%). Warned programs draw their bad tasks from
-  /// {NoSync, SyncVarLate, NestedFn, AtomicSynced}.
+  /// {NoSync, SyncVarLate, NestedFn, BarrierLate, LoopSyncWidened}.
   unsigned warned_pm = 125;
   /// Among warning-producing tasks, per-mille that the warning is a *false
-  /// positive* (atomic-synced). Table I: 374/437 ≈ 85.6%.
+  /// positive* (a dynamically-safe wait widened away inside a loop; the
+  /// atomic handshake that used to fill this pool is modeled now).
+  /// Table I: 374/437 ≈ 85.6%.
   unsigned fp_pm = 790;
   /// Maximum begin tasks per program.
   unsigned max_tasks = 5;
@@ -61,8 +75,8 @@ struct GeneratedProgram {
   /// Number of generated tasks whose accesses are dynamically unsafe
   /// (ground-truth intent; the oracle independently verifies).
   unsigned intended_unsafe_tasks = 0;
-  /// Number of generated tasks that are dynamically safe but invisible to
-  /// the analysis (atomic handshakes).
+  /// Number of generated tasks that are dynamically safe but still flagged
+  /// by the analysis (waits the widened-loop over-approximation discards).
   unsigned intended_fp_tasks = 0;
 };
 
@@ -88,6 +102,10 @@ class ProgramGenerator {
   GeneratorOptions options_;
   unsigned counter_ = 0;
   std::string pending_epilogue_;
+  /// At most one barrier per program: every child spawned after the
+  /// declaration registers on the phaser, so a second barrier whose task
+  /// parks at it before arriving at the first would deadlock at runtime.
+  bool barrier_emitted_ = false;
 };
 
 }  // namespace cuaf::corpus

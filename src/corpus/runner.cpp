@@ -64,6 +64,14 @@ std::string Table1Stats::render() const {
     out += row("Generated near-duplicates replaced", "-",
                std::to_string(programs_deduped));
   }
+  if (fp_atomics_removed + fp_loops_removed > 0) {
+    // FP-reduction extension rows (measure_fp_reduction): what the modeled
+    // atomics and widened loops buy over the paper-faithful baseline.
+    out += row("FP warnings removed by modeled atomics", "-",
+               std::to_string(fp_atomics_removed));
+    out += row("Loop programs analyzed (baseline skipped)", "-",
+               std::to_string(fp_loops_removed));
+  }
   // Exploration-cost extension row (no paper counterpart): distinct PPS
   // states generated across every analyzed procedure.
   out += row("PPS states explored", "-", std::to_string(pps_states_explored));
@@ -99,6 +107,45 @@ ProgramOutcome runProgram(const std::string& name, const std::string& source,
           ++outcome.warnings_unconfirmed;
           break;
         case witness::Verdict::Tail: ++outcome.warnings_tail; break;
+      }
+    }
+  }
+
+  if (options.measure_fp_reduction && outcome.has_begin) {
+    // Static-only ablation reruns isolating what each extension buys. The
+    // baselines drop the oracle/witness knobs: only warning counts and the
+    // skipped-unsupported bit matter here.
+    AnalysisOptions ablation = options.analysis;
+    ablation.witness.enabled = false;
+    ablation.witness.replay = false;
+
+    AnalysisOptions no_atomics = ablation;
+    no_atomics.build.model_atomics = false;
+    Pipeline base_atomics(no_atomics);
+    if (base_atomics.runSource(name, source)) {
+      std::size_t base_warnings = 0;
+      bool base_skipped = false;
+      for (const ProcAnalysis& pa : base_atomics.analysis().procs) {
+        base_warnings += pa.warnings.size();
+        base_skipped |= pa.skipped_unsupported;
+      }
+      // Only comparable when both runs analyzed the whole program.
+      if (!base_skipped && !outcome.skipped_unsupported &&
+          base_warnings > outcome.warnings) {
+        outcome.fp_atomics_removed = base_warnings - outcome.warnings;
+      }
+    }
+
+    AnalysisOptions no_loops = ablation;
+    no_loops.build.model_sync_loops = false;
+    Pipeline base_loops(no_loops);
+    if (base_loops.runSource(name, source)) {
+      bool base_skipped = false;
+      for (const ProcAnalysis& pa : base_loops.analysis().procs) {
+        base_skipped |= pa.skipped_unsupported;
+      }
+      if (base_skipped && !outcome.skipped_unsupported) {
+        outcome.fp_loops_removed = 1;
       }
     }
   }
@@ -246,6 +293,8 @@ void foldOutcome(Table1Stats& stats, const ProgramOutcome& o,
   stats.pps_states_explored += o.pps_states;
   stats.hb_agreements += o.hb_agreements;
   stats.hb_disagreements += o.hb_disagreements;
+  stats.fp_atomics_removed += o.fp_atomics_removed;
+  stats.fp_loops_removed += o.fp_loops_removed;
 }
 
 }  // namespace

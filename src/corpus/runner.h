@@ -52,6 +52,14 @@ struct Table1Stats {
   // Oracle cross-validation accounting (zero unless OracleMode::Both ran).
   std::size_t hb_agreements = 0;     ///< warnings where HB == enumeration
   std::size_t hb_disagreements = 0;  ///< warnings where the verdicts differ
+  // FP-reduction accounting (zero unless measure_fp_reduction ran): the two
+  // new Table I columns quantifying what the sync-construct extensions buy.
+  /// Sum over programs of warnings the unmodeled-atomics baseline reports
+  /// beyond the modeled run (per-program delta, clamped at zero).
+  std::size_t fp_atomics_removed = 0;
+  /// Programs the paper-faithful baseline (no widened loops) skips as
+  /// unsupported that the widened analysis fully analyzes.
+  std::size_t fp_loops_removed = 0;
 
   /// Share of oracle-compared warnings where HB and enumeration agreed.
   [[nodiscard]] double hbAgreementPct() const {
@@ -94,7 +102,9 @@ struct Table1Stats {
            a.pps_states_explored == b.pps_states_explored &&
            a.programs_deduped == b.programs_deduped &&
            a.hb_agreements == b.hb_agreements &&
-           a.hb_disagreements == b.hb_disagreements;
+           a.hb_disagreements == b.hb_disagreements &&
+           a.fp_atomics_removed == b.fp_atomics_removed &&
+           a.fp_loops_removed == b.fp_loops_removed;
   }
 
   /// Renders the table with the paper's reference column next to ours.
@@ -135,6 +145,11 @@ struct RunnerOptions {
   bool dedup_generated = false;
   /// Also count programs the analysis skips (unsupported loops).
   bool count_skipped = true;
+  /// Re-run each begin program against two static-only ablation baselines
+  /// (model_atomics off; model_sync_loops off) and record the FP-reduction
+  /// columns fp_atomics_removed / fp_loops_removed. Off by default: it
+  /// triples the static analysis cost per begin program.
+  bool measure_fp_reduction = false;
   /// Worker threads for the corpus sweep (<=1 = serial inline execution).
   /// The oracle stays serial inside each job: program-level parallelism
   /// already saturates the pool and nested submission is rejected.
@@ -160,6 +175,9 @@ struct ProgramOutcome {
   // Oracle cross-validation counts (zero unless OracleMode::Both ran).
   std::size_t hb_agreements = 0;
   std::size_t hb_disagreements = 0;
+  // FP-reduction counts (zero unless measure_fp_reduction ran).
+  std::size_t fp_atomics_removed = 0;
+  std::size_t fp_loops_removed = 0;
 
   friend bool operator==(const ProgramOutcome& a, const ProgramOutcome& b) {
     return a.name == b.name && a.parse_ok == b.parse_ok &&
@@ -172,7 +190,9 @@ struct ProgramOutcome {
            a.warnings_tail == b.warnings_tail &&
            a.pps_states == b.pps_states &&
            a.hb_agreements == b.hb_agreements &&
-           a.hb_disagreements == b.hb_disagreements;
+           a.hb_disagreements == b.hb_disagreements &&
+           a.fp_atomics_removed == b.fp_atomics_removed &&
+           a.fp_loops_removed == b.fp_loops_removed;
   }
 };
 

@@ -44,6 +44,25 @@ void Detector::onSyncOp(std::size_t task, std::uint32_t cell_uid,
   tc.bump(task);
 }
 
+void Detector::onBarrierRelease(std::uint32_t cell_uid,
+                                const std::vector<std::size_t>& tasks,
+                                SourceLoc /*loc*/) {
+  // All-to-all rendezvous: every waiter's pre-wait work happens before
+  // every waiter's post-wait work. This must be atomic over the whole
+  // release set — joining waiters into the cell clock one at a time while
+  // releasing them would leave early releasers without later arrivers'
+  // clocks and over-order the run. So: union all waiter clocks into the
+  // cell clock first, then hand the union to each waiter.
+  for (std::size_t t : tasks) (void)clocks_.task(t);
+  VectorClock& cc = clocks_.cell(cell_uid);
+  for (std::size_t t : tasks) cc.join(clocks_.task(t));
+  for (std::size_t t : tasks) {
+    VectorClock& tc = clocks_.task(t);
+    tc.join(cc);
+    tc.bump(t);
+  }
+}
+
 void Detector::onAccess(std::size_t task, std::uint32_t cell_uid, VarId var,
                         SourceLoc loc, bool is_write, bool alive) {
   CellState& cell = cells_[cell_uid];

@@ -39,6 +39,9 @@ class Detector final : public rt::ExecObserver {
   void onRegionClose(std::size_t task, std::uint32_t region) override;
   void onSyncOp(std::size_t task, std::uint32_t cell_uid,
                 SourceLoc loc) override;
+  void onBarrierRelease(std::uint32_t cell_uid,
+                        const std::vector<std::size_t>& tasks,
+                        SourceLoc loc) override;
   void onAccess(std::size_t task, std::uint32_t cell_uid, VarId var,
                 SourceLoc loc, bool is_write, bool alive) override;
   void onFree(std::size_t task, std::uint32_t cell_uid) override;

@@ -6,6 +6,7 @@ bool containsConcurrencyEvent(const Stmt& stmt, const SemaModule& sema) {
   switch (stmt.kind) {
     case StmtKind::SyncRead:
     case StmtKind::SyncWrite:
+    case StmtKind::BarrierWait:
     case StmtKind::Begin:
       return true;
     case StmtKind::Call:

@@ -28,7 +28,8 @@ enum class StmtKind {
   Eval,       ///< expression evaluated for effect (writeln, calls, x++)
   SyncRead,   ///< readFE (sync) or readFF (single)
   SyncWrite,  ///< writeEF
-  AtomicOp,   ///< atomic method; *not* a sync event for the static analysis
+  AtomicOp,   ///< atomic method; a sync event only under model_atomics
+  BarrierWait,  ///< barrier rendezvous: b.wait()
   Begin,      ///< task creation (fire-and-forget)
   SyncBlock,  ///< sync { ... } fence
   If,

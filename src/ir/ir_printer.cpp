@@ -79,6 +79,9 @@ void printInto(const Stmt& stmt, const SemaModule& sema, int indent,
         out += ']';
       }
       break;
+    case StmtKind::BarrierWait:
+      out += "barrier.wait " + varName(stmt.var);
+      break;
     case StmtKind::SyncBlock:
       out += "sync.block";
       break;

@@ -36,6 +36,9 @@ class Lowerer {
   [[nodiscard]] bool isAtomicVar(VarId id) const {
     return id.valid() && sema_.var(id).type.isAtomic();
   }
+  [[nodiscard]] bool isBarrierVar(VarId id) const {
+    return id.valid() && sema_.var(id).type.isBarrier();
+  }
 
   /// Emits SyncRead ops for every sync/single read nested in `expr`, in
   /// evaluation order (mirrors Chapel's lowering of sync reads to temps).
@@ -113,6 +116,12 @@ class Lowerer {
             hoistSyncReads(*s.init, out);
             collectUses(*s.init, sema_, node->uses);
           }
+          out.push_back(std::move(node));
+        } else if (info.type.isBarrier()) {
+          // A barrier is a concurrency cell with no data payload: lower as
+          // DeclSync so the runtime creates a sync cell, never initialized.
+          auto node = std::make_unique<Stmt>(StmtKind::DeclSync, s.loc);
+          node->var = s.resolved;
           out.push_back(std::move(node));
         } else {
           if (s.init) hoistSyncReads(*s.init, out);
@@ -319,6 +328,13 @@ class Lowerer {
         out.push_back(std::move(node));
         return;
       }
+      if (isBarrierVar(mc->resolved_receiver)) {
+        // b.wait(): a pure synchronization event — no data access.
+        auto node = std::make_unique<Stmt>(StmtKind::BarrierWait, mc->loc);
+        node->var = mc->resolved_receiver;
+        out.push_back(std::move(node));
+        return;
+      }
       if (isAtomicVar(mc->resolved_receiver)) {
         for (const auto& a : mc->args) hoistSyncReads(*a, out);
         auto node = std::make_unique<Stmt>(StmtKind::AtomicOp, mc->loc);
@@ -386,7 +402,9 @@ void collectUses(const Expr& expr, const SemaModule& sema,
     case ExprKind::Ident: {
       const auto& e = static_cast<const IdentExpr&>(expr);
       if (!e.resolved.valid()) return;
-      if (sema.var(e.resolved).type.isSyncLike()) return;  // hoisted
+      const Type& t = sema.var(e.resolved).type;
+      if (t.isSyncLike()) return;  // hoisted
+      if (t.isBarrier()) return;   // barriers carry no data
       out.push_back(VarUse{e.resolved, false, e.loc});
       break;
     }

@@ -19,6 +19,7 @@ std::string_view tokKindName(TokKind kind) {
     case TokKind::KwSync: return "'sync'";
     case TokKind::KwSingle: return "'single'";
     case TokKind::KwAtomic: return "'atomic'";
+    case TokKind::KwBarrier: return "'barrier'";
     case TokKind::KwWith: return "'with'";
     case TokKind::KwRef: return "'ref'";
     case TokKind::KwIn: return "'in'";
@@ -75,6 +76,7 @@ TokKind keywordKind(std::string_view text) {
       {"const", TokKind::KwConst},   {"config", TokKind::KwConfig},
       {"begin", TokKind::KwBegin},   {"sync", TokKind::KwSync},
       {"single", TokKind::KwSingle}, {"atomic", TokKind::KwAtomic},
+      {"barrier", TokKind::KwBarrier},
       {"with", TokKind::KwWith},     {"ref", TokKind::KwRef},
       {"in", TokKind::KwIn},         {"if", TokKind::KwIf},
       {"then", TokKind::KwThen},     {"else", TokKind::KwElse},

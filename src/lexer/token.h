@@ -14,6 +14,7 @@ enum class TokKind : std::uint8_t {
   Eof, Identifier, IntLit, RealLit, StringLit,
   // keywords
   KwProc, KwVar, KwConst, KwConfig, KwBegin, KwSync, KwSingle, KwAtomic,
+  KwBarrier,
   KwWith, KwRef, KwIn, KwIf, KwThen, KwElse, KwWhile, KwDo, KwFor,
   KwReturn, KwTrue, KwFalse,
   KwInt, KwBool, KwReal, KwString, KwVoid,

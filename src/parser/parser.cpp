@@ -160,6 +160,12 @@ Param Parser::parseParam() {
 
 Type Parser::parseType() {
   Type t;
+  if (accept(TokKind::KwBarrier)) {
+    // `barrier` is a complete type: no base scalar follows.
+    t.conc = ConcKind::Barrier;
+    t.base = BaseType::Int;
+    return t;
+  }
   if (accept(TokKind::KwSync)) {
     t.conc = ConcKind::Sync;
   } else if (accept(TokKind::KwSingle)) {
@@ -228,6 +234,17 @@ StmtPtr Parser::parseStmt() {
         expect(TokKind::KwConst, "config declaration");
       }
       return parseVarDecl(qual, loc);
+    }
+    case TokKind::KwBarrier: {
+      // `barrier b;` — declaration sugar for `var b: barrier;`.
+      bump();
+      if (!at(TokKind::Identifier)) fail("expected barrier name");
+      auto decl = std::make_unique<VarDeclStmt>(internTok(cur_), loc);
+      decl->qual = DeclQual::Var;
+      decl->declared_type = Type{BaseType::Int, ConcKind::Barrier};
+      bump();
+      expect(TokKind::Semi, "barrier declaration");
+      return decl;
     }
     case TokKind::KwBegin:
       bump();

@@ -171,6 +171,11 @@ class Engine {
         return state(st, n.sync->var) == VarState::Empty;
       case ccfg::SyncOp::AtomicFill:
         return true;  // non-blocking fill event
+      case ccfg::SyncOp::ChaosFill:
+      case ccfg::SyncOp::ChaosDrain:
+        return true;  // state-enabled; step() gates on demand/retirement
+      case ccfg::SyncOp::BarrierWait:
+        return false;  // group rule only; see barrier handling in step()
     }
     return false;
   }
@@ -315,6 +320,37 @@ class Engine {
 
     bool produced = false;
 
+    // Chaos discipline (docs/EXTENSIONS_SYNC.md): a residue event advances
+    // only when it can service a blocked real head on its variable —
+    // undemanded toggles are invisible to OV/SV/warnings and only multiply
+    // interleavings across strands. Once no real head remains the strands
+    // retire in lockstep as one deterministic bunch, keeping the sink
+    // (empty ASN) reachable.
+    bool any_real_head = false;
+    for (NodeId node : asn) {
+      const ccfg::SyncOp op = g_.node(node).sync->op;
+      if (op != ccfg::SyncOp::ChaosFill && op != ccfg::SyncOp::ChaosDrain) {
+        any_real_head = true;
+        break;
+      }
+    }
+    auto chaosDemand = [&](VarId v) {
+      for (NodeId node : asn) {
+        const ccfg::Node& n = g_.node(node);
+        switch (n.sync->op) {
+          case ccfg::SyncOp::ReadFE:
+          case ccfg::SyncOp::ReadFF:
+          case ccfg::SyncOp::AtomicWait:
+          case ccfg::SyncOp::WriteEF:
+            if (n.sync->var == v && !executable(st, node)) return true;
+            break;
+          default:
+            break;
+        }
+      }
+      return false;
+    };
+
     // SINGLE-READ (and, with the atomics extension, atomic fills/waits):
     // executable non-blocking heads run as one bunch.
     std::vector<std::size_t> bunch;
@@ -332,9 +368,57 @@ class Engine {
     for (std::size_t i = 0; i < asn.size(); ++i) {
       const ccfg::Node& n = g_.node(asn[i]);
       if (isNonBlockingOp(n.sync->op)) continue;  // handled above
+      if (n.sync->op == ccfg::SyncOp::BarrierWait) continue;  // group rule
       if (!executable(st, asn[i])) continue;
-      execute(item, asn, st, {i},
-              n.sync->op == ccfg::SyncOp::ReadFE ? Rule::Read : Rule::Write);
+      Rule rule = Rule::Write;
+      if (n.sync->op == ccfg::SyncOp::ReadFE) {
+        rule = Rule::Read;
+      } else if (n.sync->op == ccfg::SyncOp::ChaosFill ||
+                 n.sync->op == ccfg::SyncOp::ChaosDrain) {
+        if (!chaosDemand(n.sync->var)) continue;
+        rule = Rule::Chaos;
+      }
+      execute(item, asn, st, {i}, rule);
+      produced = true;
+    }
+
+    // Chaos retirement: only residue heads remain, so no real op will ever
+    // demand another release; drain every strand one node per transition,
+    // all strands together.
+    if (!any_real_head && !asn.empty()) {
+      std::vector<std::size_t> all(asn.size());
+      for (std::size_t i = 0; i < asn.size(); ++i) all[i] = i;
+      execute(item, asn, st, all, Rule::Chaos);
+      produced = true;
+    }
+
+    // BARRIER: the heads waiting on barrier b form a rendezvous group. The
+    // group fires once every head NOT in the group is past its last chance
+    // to reach a wait on b (static reachability over-approximates runtime
+    // registration, releasing waiters earlier — a superset of behaviors).
+    std::vector<VarId> barrier_vars;
+    for (NodeId node : asn) {
+      const ccfg::Node& n = g_.node(node);
+      if (n.sync->op != ccfg::SyncOp::BarrierWait) continue;
+      if (std::find(barrier_vars.begin(), barrier_vars.end(), n.sync->var) ==
+          barrier_vars.end()) {
+        barrier_vars.push_back(n.sync->var);
+      }
+    }
+    for (VarId b : barrier_vars) {
+      std::vector<std::size_t> group;
+      bool releasable = true;
+      for (std::size_t i = 0; i < asn.size(); ++i) {
+        const ccfg::Node& n = g_.node(asn[i]);
+        if (n.sync->op == ccfg::SyncOp::BarrierWait && n.sync->var == b) {
+          group.push_back(i);
+        } else if (g_.canReachBarrierWait(b, asn[i])) {
+          releasable = false;
+          break;
+        }
+      }
+      if (!releasable) continue;
+      execute(item, asn, st, group, Rule::Barrier);
       produced = true;
     }
 
@@ -358,7 +442,12 @@ class Engine {
     por_var_seen_.assign(result_.sync_var_order.size(), 0);
     for (NodeId node : asn) {
       const ccfg::Node& n = g_.node(node);
-      if (isNonBlockingOp(n.sync->op)) return false;
+      // Only the paper's blocking pair commutes under this rule; barrier
+      // groups and chaos events have their own execution disciplines.
+      if (n.sync->op != ccfg::SyncOp::ReadFE &&
+          n.sync->op != ccfg::SyncOp::WriteEF) {
+        return false;
+      }
       if (!executable(st, node)) return false;
       std::uint32_t vi = var_index_.at(n.sync->var);
       if (por_var_seen_[vi]) return false;  // two heads on one variable
@@ -412,19 +501,27 @@ class Engine {
       const ccfg::Node& n = g_.node(node);
       if (opt_.record_trace) executed.push_back(node);
 
-      // State change.
-      std::uint32_t vi = var_index_.at(n.sync->var);
-      switch (n.sync->op) {
-        case ccfg::SyncOp::ReadFE:
-          base.state[vi] = VarState::Empty;
-          break;
-        case ccfg::SyncOp::ReadFF:
-        case ccfg::SyncOp::AtomicWait:
-          break;  // non-consuming reads retain the full state
-        case ccfg::SyncOp::WriteEF:
-        case ccfg::SyncOp::AtomicFill:
-          base.state[vi] = VarState::Full;
-          break;
+      // State change. Barrier variables carry no state-table entry: a
+      // rendezvous is stateless here (its ordering power lives entirely in
+      // the group executability rule).
+      if (n.sync->op != ccfg::SyncOp::BarrierWait) {
+        std::uint32_t vi = var_index_.at(n.sync->var);
+        switch (n.sync->op) {
+          case ccfg::SyncOp::ReadFE:
+          case ccfg::SyncOp::ChaosDrain:
+            base.state[vi] = VarState::Empty;
+            break;
+          case ccfg::SyncOp::ReadFF:
+          case ccfg::SyncOp::AtomicWait:
+            break;  // non-consuming reads retain the full state
+          case ccfg::SyncOp::WriteEF:
+          case ccfg::SyncOp::AtomicFill:
+          case ccfg::SyncOp::ChaosFill:
+            base.state[vi] = VarState::Full;
+            break;
+          case ccfg::SyncOp::BarrierWait:
+            break;  // unreachable (guarded above)
+        }
       }
 
       // OV update: the executed strand segment's pendings, minus accesses
@@ -437,6 +534,29 @@ class Engine {
       // Strand continuation: sync nodes have exactly one control successor.
       assert(n.succs.size() == 1);
       conts.push_back(&cachedAdvance(n.succs[0]));
+    }
+
+    // BARRIER executes a PF node and the accesses it anchors in one step:
+    // every waiter's pending accesses enter OV in the same transition that
+    // runs the scope strand's wait, so the usual candidate-head flush (which
+    // sees BarrierWait as never executable) cannot fire. Flush against the
+    // executed waits instead — accesses in OV happened before the
+    // rendezvous, which is the last sync event on its path to the scope end.
+    if (rule == Rule::Barrier) {
+      for (const FlushVar& fv : flush_vars_) {
+        bool executed_pf = false;
+        for (std::size_t i : indices) {
+          if (std::binary_search(fv.pf->begin(), fv.pf->end(), asn[i])) {
+            executed_pf = true;
+            break;
+          }
+        }
+        if (!executed_pf || !base.ov.intersects(fv.accesses)) continue;
+        DenseBitset moved = base.ov;
+        moved.intersectWith(fv.accesses);
+        base.ov.subtract(moved);
+        base.sv.unionWith(moved);
+      }
     }
 
     // Cartesian product over continuations (branches downstream fork).
@@ -534,6 +654,28 @@ class Engine {
       return;
     }
 
+    // No-merge ablation: byte-identical full states (ASN, ST, OV, SV,
+    // tails, per-head pendings) still dedupe — re-expanding one can only
+    // re-derive reports already made. Without this the exploration is a
+    // tree, and reconverging widened-loop/chaos paths re-enqueue
+    // exponentially.
+    full_key_scratch_ = key_scratch_;
+    auto appendBits = [&](const DenseBitset& bs) {
+      full_key_scratch_.push_back(0xffffffffu);
+      for (std::uint64_t w : bs.words()) {
+        full_key_scratch_.push_back(static_cast<std::uint32_t>(w));
+        full_key_scratch_.push_back(static_cast<std::uint32_t>(w >> 32));
+      }
+    };
+    appendBits(payload.ov);
+    appendBits(payload.sv);
+    appendBits(payload.tails);
+    for (const DenseBitset& pending : payload.pending) appendBits(pending);
+    auto [full_id, full_inserted] = full_interner_.intern(
+        full_key_scratch_.data(), full_key_scratch_.size());
+    (void)full_id;
+    if (!full_inserted) return;
+
     ++result_.states_generated;
     recordTrace(asnOf(id), p.state, payload, parent_trace, rule, executed);
     worklist_.push_back(WorkItem{id, std::move(payload)});
@@ -577,6 +719,7 @@ class Engine {
   std::size_t nbits_;
   std::unordered_map<VarId, std::uint32_t> var_index_;
   StateInterner interner_;
+  StateInterner full_interner_;  ///< full-state seen set (no-merge mode only)
   std::vector<StatePayload> canonical_;  ///< by StateId (merge mode only)
   std::deque<WorkItem> worklist_;
   DenseBitset reported_;
@@ -586,6 +729,7 @@ class Engine {
   std::unordered_map<std::uint32_t, std::vector<CachedAlt>> advance_cache_;
   std::unordered_map<std::uint32_t, bool> cont_headless_;
   std::vector<std::uint32_t> key_scratch_;
+  std::vector<std::uint32_t> full_key_scratch_;
   std::vector<NodeId> asn_scratch_;
   std::vector<VarState> st_scratch_;
   std::vector<std::uint8_t> por_var_seen_;
@@ -594,9 +738,41 @@ class Engine {
 }  // namespace
 
 Result explore(const ccfg::Graph& graph, const Options& options) {
-  if (options.use_reference_engine) return exploreReference(graph, options);
-  Engine engine(graph, options);
-  return engine.run();
+  Result result;
+  if (options.use_reference_engine) {
+    result = exploreReference(graph, options);
+  } else {
+    Engine engine(graph, options);
+    result = engine.run();
+  }
+
+  // Widening residue: an access inside the first modeled iteration of a
+  // widened loop stands in for the unbounded residue iterations, so it is
+  // reported unconditionally — exploration can prove the modeled copies
+  // safe, never the residue (docs/EXTENSIONS_SYNC.md). Applied after both
+  // engines so the differential harness sees identical output.
+  const auto sorted_end =
+      static_cast<std::ptrdiff_t>(result.unsafe.size());
+  bool appended = false;
+  for (const ccfg::OvUse& a : graph.accesses()) {
+    if (!a.loop_residue || a.pre_safe) continue;
+    if (std::binary_search(result.unsafe.begin(),
+                           result.unsafe.begin() + sorted_end, a.id)) {
+      continue;
+    }
+    result.unsafe.push_back(a.id);
+    appended = true;
+    if (options.record_trace) {
+      result.report_sites.push_back(ReportSite{a.id, 0, true});
+    }
+  }
+  if (appended) {
+    std::sort(result.unsafe.begin(), result.unsafe.end());
+    result.unsafe.erase(
+        std::unique(result.unsafe.begin(), result.unsafe.end()),
+        result.unsafe.end());
+  }
+  return result;
 }
 
 std::string renderTrace(const ccfg::Graph& graph, const Result& result) {
@@ -607,6 +783,8 @@ std::string renderTrace(const ccfg::Graph& graph, const Result& result) {
       case Rule::SingleRead: return "single-read";
       case Rule::Read: return "read";
       case Rule::Write: return "write";
+      case Rule::Barrier: return "barrier";
+      case Rule::Chaos: return "chaos";
     }
     return "?";
   };

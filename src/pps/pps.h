@@ -18,6 +18,13 @@
 //   SINGLE-READ  readFF with variable FULL; non-blocking, applied as a bunch.
 //   READ         readFE with variable FULL  -> EMPTY.
 //   WRITE        writeEF with variable EMPTY -> FULL.
+// Extension transitions (docs/EXTENSIONS_SYNC.md):
+//   BARRIER      all heads waiting on barrier b execute as one rendezvous
+//                bunch once no other head can still reach a wait on b.
+//   CHAOS        a widened loop's residue fill/drain event; demand-driven —
+//                it advances as an interleaving single while a blocked real
+//                head needs its variable, and retires in lockstep with the
+//                other residue strands once only chaos heads remain.
 //
 // A sink PPS (empty ASN) reports everything still in OV plus the path's tail
 // accesses. PPS-es with identical (ASN, ST) merge: OV unions, SV intersects.
@@ -42,7 +49,19 @@ struct StrandHead {
 };
 
 /// Which rule produced a PPS (for traces; mirrors Figure 3/7 remarks).
-enum class Rule : std::uint8_t { Initial, SingleRead, Read, Write };
+/// Barrier and Chaos are extension rules (docs/EXTENSIONS_SYNC.md): Barrier
+/// executes a phaser rendezvous group as one bunch; Chaos executes residue
+/// events of widened-loop chaos strands — singles while a blocked real head
+/// demands the variable, a lockstep retirement bunch once only chaos heads
+/// remain.
+enum class Rule : std::uint8_t {
+  Initial,
+  SingleRead,
+  Read,
+  Write,
+  Barrier,
+  Chaos
+};
 
 struct TraceEntry {
   std::uint32_t id = 0;

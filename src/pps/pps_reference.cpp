@@ -153,6 +153,11 @@ class ReferenceEngine {
         return state(pps, n.sync->var) == VarState::Empty;
       case ccfg::SyncOp::AtomicFill:
         return true;  // non-blocking fill event
+      case ccfg::SyncOp::ChaosFill:
+      case ccfg::SyncOp::ChaosDrain:
+        return true;  // state-enabled; step() gates on demand/retirement
+      case ccfg::SyncOp::BarrierWait:
+        return false;  // group rule only; see barrier handling in step()
     }
     return false;
   }
@@ -248,6 +253,37 @@ class ReferenceEngine {
 
     bool produced = false;
 
+    // Chaos discipline (docs/EXTENSIONS_SYNC.md): a residue event advances
+    // only when it can service a blocked real head on its variable —
+    // undemanded toggles are invisible to OV/SV/warnings and only multiply
+    // interleavings across strands. Once no real head remains the strands
+    // retire in lockstep as one deterministic bunch, keeping the sink
+    // (empty ASN) reachable.
+    bool any_real_head = false;
+    for (const StrandHead& h : pps.asn) {
+      const ccfg::SyncOp op = g_.node(h.sync_node).sync->op;
+      if (op != ccfg::SyncOp::ChaosFill && op != ccfg::SyncOp::ChaosDrain) {
+        any_real_head = true;
+        break;
+      }
+    }
+    auto chaosDemand = [&](VarId v) {
+      for (const StrandHead& h : pps.asn) {
+        const ccfg::Node& n = g_.node(h.sync_node);
+        switch (n.sync->op) {
+          case ccfg::SyncOp::ReadFE:
+          case ccfg::SyncOp::ReadFF:
+          case ccfg::SyncOp::AtomicWait:
+          case ccfg::SyncOp::WriteEF:
+            if (n.sync->var == v && !executable(pps, h)) return true;
+            break;
+          default:
+            break;
+        }
+      }
+      return false;
+    };
+
     // SINGLE-READ (and, with the atomics extension, atomic fills/waits):
     // executable non-blocking heads run as one bunch.
     std::vector<std::size_t> bunch;
@@ -265,9 +301,57 @@ class ReferenceEngine {
     for (std::size_t i = 0; i < pps.asn.size(); ++i) {
       const ccfg::Node& n = g_.node(pps.asn[i].sync_node);
       if (isNonBlockingOp(n.sync->op)) continue;  // handled above
+      if (n.sync->op == ccfg::SyncOp::BarrierWait) continue;  // group rule
       if (!executable(pps, pps.asn[i])) continue;
-      execute(pps, {i}, n.sync->op == ccfg::SyncOp::ReadFE ? Rule::Read
-                                                           : Rule::Write);
+      Rule rule = Rule::Write;
+      if (n.sync->op == ccfg::SyncOp::ReadFE) {
+        rule = Rule::Read;
+      } else if (n.sync->op == ccfg::SyncOp::ChaosFill ||
+                 n.sync->op == ccfg::SyncOp::ChaosDrain) {
+        if (!chaosDemand(n.sync->var)) continue;
+        rule = Rule::Chaos;
+      }
+      execute(pps, {i}, rule);
+      produced = true;
+    }
+
+    // Chaos retirement: only residue heads remain, so no real op will ever
+    // demand another release; drain every strand one node per transition,
+    // all strands together.
+    if (!any_real_head && !pps.asn.empty()) {
+      std::vector<std::size_t> all(pps.asn.size());
+      for (std::size_t i = 0; i < pps.asn.size(); ++i) all[i] = i;
+      execute(pps, all, Rule::Chaos);
+      produced = true;
+    }
+
+    // BARRIER: the heads waiting on barrier b form a rendezvous group. The
+    // group fires once every head NOT in the group is past its last chance
+    // to reach a wait on b (static reachability over-approximates runtime
+    // registration, releasing waiters earlier — a superset of behaviors).
+    std::vector<VarId> barrier_vars;
+    for (const StrandHead& h : pps.asn) {
+      const ccfg::Node& n = g_.node(h.sync_node);
+      if (n.sync->op != ccfg::SyncOp::BarrierWait) continue;
+      if (std::find(barrier_vars.begin(), barrier_vars.end(), n.sync->var) ==
+          barrier_vars.end()) {
+        barrier_vars.push_back(n.sync->var);
+      }
+    }
+    for (VarId b : barrier_vars) {
+      std::vector<std::size_t> group;
+      bool releasable = true;
+      for (std::size_t i = 0; i < pps.asn.size(); ++i) {
+        const ccfg::Node& n = g_.node(pps.asn[i].sync_node);
+        if (n.sync->op == ccfg::SyncOp::BarrierWait && n.sync->var == b) {
+          group.push_back(i);
+        } else if (g_.canReachBarrierWait(b, pps.asn[i].sync_node)) {
+          releasable = false;
+          break;
+        }
+      }
+      if (!releasable) continue;
+      execute(pps, group, Rule::Barrier);
       produced = true;
     }
 
@@ -308,19 +392,27 @@ class ReferenceEngine {
       const ccfg::Node& n = g_.node(head.sync_node);
       if (opt_.record_trace) executed.push_back(head.sync_node);
 
-      // State change.
-      std::uint32_t vi = var_index_.at(n.sync->var);
-      switch (n.sync->op) {
-        case ccfg::SyncOp::ReadFE:
-          base.state[vi] = VarState::Empty;
-          break;
-        case ccfg::SyncOp::ReadFF:
-        case ccfg::SyncOp::AtomicWait:
-          break;  // non-consuming reads retain the full state
-        case ccfg::SyncOp::WriteEF:
-        case ccfg::SyncOp::AtomicFill:
-          base.state[vi] = VarState::Full;
-          break;
+      // State change. Barrier variables carry no state-table entry: a
+      // rendezvous is stateless here (its ordering power lives entirely in
+      // the group executability rule).
+      if (n.sync->op != ccfg::SyncOp::BarrierWait) {
+        std::uint32_t vi = var_index_.at(n.sync->var);
+        switch (n.sync->op) {
+          case ccfg::SyncOp::ReadFE:
+          case ccfg::SyncOp::ChaosDrain:
+            base.state[vi] = VarState::Empty;
+            break;
+          case ccfg::SyncOp::ReadFF:
+          case ccfg::SyncOp::AtomicWait:
+            break;  // non-consuming reads retain the full state
+          case ccfg::SyncOp::WriteEF:
+          case ccfg::SyncOp::AtomicFill:
+          case ccfg::SyncOp::ChaosFill:
+            base.state[vi] = VarState::Full;
+            break;
+          case ccfg::SyncOp::BarrierWait:
+            break;  // unreachable (guarded above)
+        }
       }
 
       // OV update: pending accesses of the executed strand segment.
@@ -333,6 +425,32 @@ class ReferenceEngine {
       // Strand continuation: sync nodes have exactly one control successor.
       assert(n.succs.size() == 1);
       conts.push_back(advance(n.succs[0], {}));
+    }
+
+    // BARRIER executes a PF node and the accesses it anchors in one step:
+    // every waiter's pending accesses enter OV in the same transition that
+    // runs the scope strand's wait, so the usual candidate-head flush (which
+    // sees BarrierWait as never executable) cannot fire. Flush against the
+    // executed waits instead — accesses in OV happened before the
+    // rendezvous, which is the last sync event on its path to the scope end.
+    if (rule == Rule::Barrier) {
+      for (const auto& [var, accesses] : var_accesses_) {
+        const std::vector<NodeId>* pf = g_.parallelFrontier(var);
+        if (pf == nullptr || pf->empty()) continue;
+        bool executed_pf = false;
+        for (std::size_t i : indices) {
+          if (std::binary_search(pf->begin(), pf->end(),
+                                 pps.asn[i].sync_node)) {
+            executed_pf = true;
+            break;
+          }
+        }
+        if (!executed_pf) continue;
+        std::vector<AccessId> moved = setIntersect(base.ov, accesses);
+        if (moved.empty()) continue;
+        base.ov = setMinus(base.ov, moved);
+        base.sv = setUnion(base.sv, moved);
+      }
     }
 
     // Cartesian product over continuations (branches downstream fork).
@@ -401,6 +519,23 @@ class ReferenceEngine {
       hash = static_cast<std::size_t>(h);
     }
 
+    /// Tag-dispatched full-state key (no-merge dedup): additionally folds
+    /// OV, SV, tails, and every head's pendings into the words.
+    struct FullTag {};
+    MergeKey(const Pps& pps, FullTag) : MergeKey(pps) {
+      auto append = [&](const std::vector<AccessId>& set) {
+        words.push_back(0xffffffffu);
+        for (AccessId a : set) words.push_back(a.index());
+      };
+      append(pps.ov);
+      append(pps.sv);
+      append(pps.tails);
+      for (const StrandHead& h : pps.asn) append(h.pending);
+      std::uint64_t h = 0xcbf29ce484222325ull;
+      for (std::uint32_t w : words) h = (h ^ w) * 0x100000001b3ull;
+      hash = static_cast<std::size_t>(h);
+    }
+
     friend bool operator==(const MergeKey& a, const MergeKey& b) {
       return a.hash == b.hash && a.words == b.words;
     }
@@ -453,6 +588,15 @@ class ReferenceEngine {
       return;
     }
 
+    // No-merge ablation: byte-identical full states (ASN, ST, OV, SV,
+    // tails, per-head pendings) still dedupe — re-expanding one can only
+    // re-derive reports already made. Without this the exploration is a
+    // tree, and reconverging widened-loop/chaos paths re-enqueue
+    // exponentially.
+    if (!seen_full_.insert(MergeKey(pps, MergeKey::FullTag{})).second) {
+      return;
+    }
+
     ++result_.states_generated;
     recordTrace(pps, parent_trace, rule, std::move(executed));
     worklist_.push_back(std::move(pps));
@@ -481,6 +625,7 @@ class ReferenceEngine {
   std::unordered_map<VarId, std::uint32_t> var_index_;
   std::unordered_map<VarId, std::vector<AccessId>> var_accesses_;
   std::unordered_map<MergeKey, Pps, MergeKeyHash> merged_;
+  std::unordered_set<MergeKey, MergeKeyHash> seen_full_;  ///< no-merge dedup
   std::unordered_set<AccessId> reported_;
 };
 

@@ -68,7 +68,12 @@ void Interp::start(ProcId entry) {
     const VarInfo& info = sema_.var(p.resolved);
     CellPtr cell =
         makeCell(p.resolved, defaultValue(info.type), root->id,
-                 info.type.isSyncLike());
+                 info.type.isSyncLike() || info.type.isBarrier());
+    if (info.type.isBarrier()) {
+      cell->barrier = std::make_shared<BarrierState>();
+      cell->barrier->registered.push_back(root->id.index());
+      root->barrier_cells.push_back(cell);
+    }
     env->bindings.emplace_back(p.resolved, cell);
     call.owned.push_back(cell);
   }
@@ -449,6 +454,7 @@ void Interp::runInlineStmt(TaskCtx& task, const ir::Stmt& stmt, bool& returned,
     case ir::StmtKind::SyncWrite:
     case ir::StmtKind::Begin:
     case ir::StmtKind::SyncBlock:
+    case ir::StmtKind::BarrierWait:
       unsupported_ = true;  // concurrency inside expression-position calls
       break;
     case ir::StmtKind::AtomicOp: {
@@ -594,6 +600,104 @@ StepResult Interp::popFrame(TaskCtx& task) {
   return StepResult::Progressed;
 }
 
+bool Interp::barrierOthersArrived(const BarrierState& b,
+                                  std::size_t self) const {
+  for (std::size_t r : b.registered) {
+    if (r == self) continue;
+    if (r < tasks_.size() && tasks_[r]->finished) continue;
+    if (std::find(b.arrived.begin(), b.arrived.end(), r) != b.arrived.end()) {
+      continue;
+    }
+    // A task whose next step is its own wait on this barrier counts as
+    // arrived: `arrived` is only recorded inside step(), and the scheduler
+    // only steps a wait once the rendezvous is ready — without this, two
+    // parked waiters would each wait for the other's arrival record and
+    // every schedule would deadlock at the barrier. A task still carrying a
+    // release marker from the previous rendezvous has not re-arrived.
+    if (std::find(b.passed.begin(), b.passed.end(), r) == b.passed.end() &&
+        taskAtBarrierWait(r, b)) {
+      continue;
+    }
+    // A registered task that can no longer execute a wait on this barrier
+    // is not a rendezvous participant (the static rule's "every non-group
+    // head cannot reach a BarrierWait" release condition) — e.g. a sibling
+    // task that inherited the barrier at spawn but never waits must not
+    // hold the rendezvous hostage until it finishes.
+    if (r < tasks_.size() && !taskMayReachBarrierWait(*tasks_[r], b)) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool Interp::taskAtBarrierWait(std::size_t t, const BarrierState& b) const {
+  if (t >= tasks_.size()) return false;
+  const TaskCtx& task = *tasks_[t];
+  if (task.finished || task.frames.empty()) return false;
+  const ExecFrame& top = task.frames.back();
+  if (task.returning || top.index >= top.stmts->size()) return false;
+  const ir::Stmt& stmt = *top.stmts->at(top.index);
+  if (stmt.kind != ir::StmtKind::BarrierWait) return false;
+  CellPtr cell = task.env ? task.env->lookup(stmt.var) : nullptr;
+  return cell != nullptr && cell->barrier.get() == &b;
+}
+
+bool Interp::taskMayReachBarrierWait(const TaskCtx& task,
+                                     const BarrierState& b) const {
+  for (const ExecFrame& f : task.frames) {
+    if (f.stmts == nullptr) continue;
+    // Loop frames may re-run their whole body on the back-edge.
+    const bool loops = f.kind == ExecFrame::Kind::LoopFor ||
+                       f.kind == ExecFrame::Kind::LoopWhile;
+    if (stmtsMayWaitOn(*f.stmts, loops ? 0 : f.index, task, b, 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Interp::stmtsMayWaitOn(const std::vector<ir::StmtPtr>& stmts,
+                            std::size_t from, const TaskCtx& task,
+                            const BarrierState& b, int depth) const {
+  if (depth > 16) return true;  // recursion guard: over-approximate
+  for (std::size_t i = from; i < stmts.size(); ++i) {
+    const ir::Stmt& s = *stmts[i];
+    switch (s.kind) {
+      case ir::StmtKind::BarrierWait: {
+        CellPtr cell = task.env ? task.env->lookup(s.var) : nullptr;
+        if (cell != nullptr && cell->barrier.get() == &b) return true;
+        break;
+      }
+      case ir::StmtKind::Block:
+      case ir::StmtKind::SyncBlock:
+      case ir::StmtKind::Loop:
+      // A nested begin's waits belong to the spawned task, but until the
+      // spawn happens this task is the only handle on that future
+      // participant — counting it keeps the rendezvous from firing before
+      // the waiter exists.
+      case ir::StmtKind::Begin:
+        if (stmtsMayWaitOn(s.body, 0, task, b, depth + 1)) return true;
+        break;
+      case ir::StmtKind::If:
+        if (stmtsMayWaitOn(s.body, 0, task, b, depth + 1)) return true;
+        if (stmtsMayWaitOn(s.else_body, 0, task, b, depth + 1)) return true;
+        break;
+      case ir::StmtKind::Call: {
+        const ir::Proc* callee = module_.proc(s.callee);
+        if (callee != nullptr && callee->body != nullptr &&
+            stmtsMayWaitOn(callee->body->body, 0, task, b, depth + 1)) {
+          return true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
 bool Interp::usesCrossTask(TaskCtx& task,
                            const std::vector<ir::VarUse>& uses) {
   for (const ir::VarUse& u : uses) {
@@ -611,6 +715,7 @@ bool Interp::stmtVisible(TaskCtx& task, const ir::Stmt& stmt) {
     case ir::StmtKind::SyncWrite:
     case ir::StmtKind::AtomicOp:
     case ir::StmtKind::Begin:
+    case ir::StmtKind::BarrierWait:
       return true;
     default:
       return usesCrossTask(task, stmt.uses);
@@ -648,6 +753,7 @@ SourceLoc Interp::nextSyncLoc(std::size_t t) const {
     case ir::StmtKind::SyncRead:
     case ir::StmtKind::SyncWrite:
     case ir::StmtKind::AtomicOp:
+    case ir::StmtKind::BarrierWait:
       return stmt.loc;
     default:
       return SourceLoc{};
@@ -683,6 +789,17 @@ bool Interp::canStep(std::size_t t) {
         return asInt(cell->value) == expect;
       }
       return true;
+    case ir::StmtKind::BarrierWait: {
+      cell = lookup(task, stmt.var);
+      if (cell == nullptr || cell->barrier == nullptr) return true;
+      const BarrierState& b = *cell->barrier;
+      const std::size_t self = task.id.index();
+      if (std::find(b.passed.begin(), b.passed.end(), self) !=
+          b.passed.end()) {
+        return true;  // released; the step consumes the marker
+      }
+      return barrierOthersArrived(b, self);
+    }
     default:
       return true;
   }
@@ -718,6 +835,16 @@ void Interp::spawnTask(TaskCtx& parent, const ir::Stmt& stmt) {
   for (const RegionPtr& region : child->inherited_regions) {
     if (region) ++region->outstanding;
   }
+  // Phaser registration is inherited: the child joins every barrier its
+  // parent is registered on and stays registered until it finishes
+  // (finished tasks are skipped by the arrival check, so a child that never
+  // waits cannot wedge a rendezvous forever).
+  child->barrier_cells = parent.barrier_cells;
+  for (const CellPtr& cell : child->barrier_cells) {
+    if (cell->barrier != nullptr) {
+      cell->barrier->registered.push_back(child->id.index());
+    }
+  }
   std::size_t child_index = child->id.index();
   tasks_.push_back(std::move(child));
   if (observer_ != nullptr) {
@@ -736,10 +863,15 @@ StepResult Interp::execStmt(TaskCtx& task, const ir::Stmt& stmt) {
       const VarInfo& info = sema_.var(stmt.var);
       Value v = stmt.value != nullptr ? eval(task, *stmt.value)
                                       : defaultValue(info.type);
-      CellPtr cell =
-          makeCell(stmt.var, std::move(v), task.id, info.type.isSyncLike());
+      CellPtr cell = makeCell(stmt.var, std::move(v), task.id,
+                              info.type.isSyncLike() || info.type.isBarrier());
       if (stmt.kind == ir::StmtKind::DeclSync && stmt.sync_init_full) {
         cell->sync_state = SyncState::Full;
+      }
+      if (info.type.isBarrier()) {
+        cell->barrier = std::make_shared<BarrierState>();
+        cell->barrier->registered.push_back(task.id.index());
+        task.barrier_cells.push_back(cell);
       }
       bind(task, stmt.var, cell);
       // Attach to the nearest enclosing scope-owning frame.
@@ -825,6 +957,51 @@ StepResult Interp::execStmt(TaskCtx& task, const ir::Stmt& stmt) {
           recordAccess(task, cell, stmt.loc, false);
           notifySyncOp(task, cell, stmt.loc);
           return StepResult::Progressed;
+      }
+      return StepResult::Progressed;
+    }
+    case ir::StmtKind::BarrierWait: {
+      CellPtr cell = lookup(task, stmt.var);
+      if (cell == nullptr || cell->barrier == nullptr) {
+        return StepResult::Progressed;
+      }
+      BarrierState& b = *cell->barrier;
+      const std::size_t self = task.id.index();
+      if (auto it = std::find(b.passed.begin(), b.passed.end(), self);
+          it != b.passed.end()) {
+        // Released by a rendezvous another task completed; consume it.
+        b.passed.erase(it);
+        return StepResult::Progressed;
+      }
+      if (std::find(b.arrived.begin(), b.arrived.end(), self) ==
+          b.arrived.end()) {
+        b.arrived.push_back(self);
+      }
+      if (!barrierOthersArrived(b, self)) return StepResult::Blocked;
+      // Rendezvous: everyone at the barrier — recorded in `arrived` or
+      // parked at their wait — is released. This task passes now, the rest
+      // consume their release marker at their own wait sites. Registered
+      // tasks that cannot reach a wait are not participants.
+      std::vector<std::size_t> released;
+      for (std::size_t r : b.registered) {
+        if (r != self) {
+          if (r >= tasks_.size() || tasks_[r]->finished) continue;
+          const bool arrived = std::find(b.arrived.begin(), b.arrived.end(),
+                                         r) != b.arrived.end();
+          const bool parked =
+              std::find(b.passed.begin(), b.passed.end(), r) ==
+                  b.passed.end() &&
+              taskAtBarrierWait(r, b);
+          if (!arrived && !parked) continue;
+        }
+        released.push_back(r);
+      }
+      b.passed = released;
+      b.passed.erase(std::find(b.passed.begin(), b.passed.end(), self));
+      b.arrived.clear();
+      ++b.generation;
+      if (observer_ != nullptr) {
+        observer_->onBarrierRelease(cell->uid, released, stmt.loc);
       }
       return StepResult::Progressed;
     }

@@ -108,6 +108,9 @@ class Interp {
     /// Sync-region counters to decrement when this task finishes
     /// (dynamically enclosing regions at spawn time).
     std::vector<RegionPtr> inherited_regions;
+    /// Barrier cells this task is registered on (declared by it or inherited
+    /// at spawn); children copy the list and register themselves.
+    std::vector<CellPtr> barrier_cells;
     bool finished = false;
     bool returning = false;  ///< unwinding to the nearest CallBoundary
   };
@@ -142,6 +145,25 @@ class Interp {
   void spawnTask(TaskCtx& parent, const ir::Stmt& stmt);
   /// Collects the counters of enclosing sync regions (inherited + open).
   std::vector<RegionPtr> activeRegions(const TaskCtx& task) const;
+
+  /// True when every live registered task other than `self` is either at the
+  /// barrier (recorded in `arrived`, or parked with its next step at a wait
+  /// on it) or can no longer reach a wait on it — the runtime mirror of the
+  /// static release rule (release iff every non-group head cannot reach a
+  /// BarrierWait): the rendezvous `self` joins would complete immediately.
+  [[nodiscard]] bool barrierOthersArrived(const BarrierState& b,
+                                          std::size_t self) const;
+  /// True when task `t`'s next step is a BarrierWait resolving to `b`.
+  [[nodiscard]] bool taskAtBarrierWait(std::size_t t,
+                                       const BarrierState& b) const;
+  /// Over-approximate "task may still execute a wait on `b`": scans the
+  /// task's remaining continuation (pending statements of every frame, loop
+  /// frames from their head) for a BarrierWait resolving to `b`.
+  [[nodiscard]] bool taskMayReachBarrierWait(const TaskCtx& task,
+                                             const BarrierState& b) const;
+  [[nodiscard]] bool stmtsMayWaitOn(const std::vector<ir::StmtPtr>& stmts,
+                                    std::size_t from, const TaskCtx& task,
+                                    const BarrierState& b, int depth) const;
 
   [[nodiscard]] bool stmtVisible(TaskCtx& task, const ir::Stmt& stmt);
   [[nodiscard]] bool usesCrossTask(TaskCtx& task,

@@ -60,6 +60,16 @@ class ExecObserver {
   virtual void onSyncOp(std::size_t /*task*/, std::uint32_t /*cell_uid*/,
                         SourceLoc /*loc*/) {}
 
+  /// A barrier rendezvous on cell `cell_uid` released `tasks` (every task
+  /// waiting at this generation, including the arriver that completed it).
+  /// Fires once per rendezvous, from the completing task's step; the
+  /// released tasks consume the release at their own wait sites without a
+  /// further callback. Semantically an all-to-all ordering point: every
+  /// waiter's pre-wait work happens before every waiter's post-wait work.
+  virtual void onBarrierRelease(std::uint32_t /*cell_uid*/,
+                                const std::vector<std::size_t>& /*tasks*/,
+                                SourceLoc /*loc*/) {}
+
   /// `task` read or wrote a data/atomic cell (sync/single cells are exempt
   /// from scope death and not reported). `alive` is false when the access
   /// hit a tombstone — a concrete use-after-free under this schedule.

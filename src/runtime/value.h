@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "src/support/id_types.h"
 
@@ -19,6 +20,19 @@ using Value = std::variant<std::int64_t, double, bool, std::string>;
 
 enum class SyncState : std::uint8_t { Empty, Full };
 
+/// Phaser-style rendezvous state of a `barrier` cell (extension,
+/// docs/EXTENSIONS_SYNC.md). Tasks register at declaration or at spawn
+/// (children inherit every barrier their parent is registered on) and stay
+/// registered until they finish; a rendezvous fires when every live
+/// registered task has arrived. `passed` holds tasks released by the last
+/// rendezvous that have not yet consumed the release at their wait site.
+struct BarrierState {
+  std::vector<std::size_t> registered;
+  std::vector<std::size_t> arrived;
+  std::vector<std::size_t> passed;
+  std::uint32_t generation = 0;
+};
+
 /// One memory location. Scope exit marks the cell dead but the storage
 /// remains (a tombstone), so late accesses are detectable instead of UB —
 /// this is the oracle's "use after free" signal.
@@ -28,6 +42,8 @@ struct Cell {
   bool is_sync = false;       ///< sync/single: exempt from scope death
                               ///< ("universally visible", paper §II)
   SyncState sync_state = SyncState::Empty;
+  /// Rendezvous bookkeeping; non-null exactly for barrier cells.
+  std::shared_ptr<BarrierState> barrier;
   VarId var;                  ///< declaring variable (for reporting)
   TaskId creator;             ///< task that allocated the cell
   std::uint32_t uid = 0;      ///< unique per interpreter instance (observers

@@ -254,6 +254,10 @@ void Sema::visitStmt(Stmt& stmt) {
       if (t.isSyncLike() && s.init) {
         module_->vars_[s.resolved.index()].sync_init_full = true;
       }
+      if (t.isBarrier() && s.init) {
+        diags_.error(s.loc, "sema",
+                     "barrier variables cannot take an initializer");
+      }
       break;
     }
     case StmtKind::Assign: {
@@ -276,6 +280,9 @@ void Sema::visitStmt(Stmt& stmt) {
       if (info.type.isAtomic()) {
         diags_.error(s.loc, "sema",
                      "atomic variables are assigned via .write(), not '='");
+      }
+      if (info.type.isBarrier()) {
+        diags_.error(s.loc, "sema", "cannot assign to a barrier variable");
       }
       break;
     }
@@ -495,6 +502,11 @@ void Sema::visitExpr(Expr& expr) {
         if (m != "readFF" && m != "writeEF" && m != "isFull") {
           diags_.error(e.loc, "sema",
                        "unknown single method '" + std::string(m) + "'");
+        }
+      } else if (info.type.conc == ConcKind::Barrier) {
+        if (m != "wait") {
+          diags_.error(e.loc, "sema",
+                       "unknown barrier method '" + std::string(m) + "'");
         }
       } else {
         diags_.error(e.loc, "sema",

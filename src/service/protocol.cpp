@@ -334,6 +334,19 @@ bool applyOptions(const JsonValue& object, AnalysisOptions& out,
       }
       continue;
     }
+    if (key == "loop_bound") {
+      // Iteration bound for modeled sync-carrying loops (a number, not a
+      // flag; 0 is clamped to 1 so a widened loop always has one modeled
+      // iteration).
+      if (value.kind != JsonValue::Kind::Number) {
+        error = "option 'loop_bound' must be a number";
+        return false;
+      }
+      double n = value.number;
+      if (n < 1.0) n = 1.0;
+      out.build.loop_bound = static_cast<unsigned>(n);
+      continue;
+    }
     if (value.kind != JsonValue::Kind::Bool) {
       error = "option '" + key + "' must be a boolean";
       return false;
@@ -343,6 +356,7 @@ bool applyOptions(const JsonValue& object, AnalysisOptions& out,
     else if (key == "por") out.pps.por = value.boolean;
     else if (key == "deadlocks") out.pps.report_deadlocks = value.boolean;
     else if (key == "model_atomics") out.build.model_atomics = value.boolean;
+    else if (key == "model_sync_loops") out.build.model_sync_loops = value.boolean;
     else if (key == "unroll_loops") out.build.unroll_loops = value.boolean;
     else if (key == "witness") out.witness.enabled = value.boolean;
     else if (key == "witness_replay") {

@@ -89,6 +89,8 @@ std::string renderWorkerRequest(const SourceItem& item, const Request& request,
   out += std::string(",\"por\":") + flag(o.pps.por);
   out += std::string(",\"deadlocks\":") + flag(o.pps.report_deadlocks);
   out += std::string(",\"model_atomics\":") + flag(o.build.model_atomics);
+  out += std::string(",\"model_sync_loops\":") + flag(o.build.model_sync_loops);
+  out += ",\"loop_bound\":" + std::to_string(o.build.loop_bound);
   out += std::string(",\"unroll_loops\":") + flag(o.build.unroll_loops);
   out += std::string(",\"witness\":") + flag(o.witness.enabled);
   out += std::string(",\"witness_replay\":") + flag(o.witness.replay);

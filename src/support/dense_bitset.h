@@ -39,6 +39,10 @@ class DenseBitset {
   [[nodiscard]] bool test(std::size_t i) const {
     return (words_[i >> 6] >> (i & 63)) & 1u;
   }
+  /// Raw word storage (for hashing/interning a set as part of a state key).
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
   void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
   void reset(std::size_t i) {
     words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));

@@ -18,6 +18,9 @@
 //                    print per warning and join the JSON report
 //     --baseline     also run the sync-block-only MHP baseline
 //     --no-prune     disable pruning rules A-D
+//     --no-model-atomics  treat atomics as opaque (the paper's FP source)
+//     --no-model-sync-loops  reject sync-carrying loops instead of widening
+//     --loop-bound K modeled iterations for widened sync-carrying loops
 //     --no-merge     disable the PPS merge optimization
 //     --no-por       disable partial-order reduction in the PPS engine
 //     --deadlocks    report potential deadlock points (extension)
@@ -461,6 +464,20 @@ int main(int argc, char** argv) {
       cli.analysis.pps.report_deadlocks = true;
     } else if (arg == "--model-atomics") {
       cli.analysis.build.model_atomics = true;
+    } else if (arg == "--no-model-atomics") {
+      cli.analysis.build.model_atomics = false;
+    } else if (arg == "--no-model-sync-loops") {
+      cli.analysis.build.model_sync_loops = false;
+    } else if (arg == "--loop-bound") {
+      if (i + 1 >= argc) {
+        std::cerr << "--loop-bound needs an iteration count\n";
+        return 2;
+      }
+      cli.analysis.build.loop_bound = static_cast<unsigned>(
+          std::strtoul(argv[++i], nullptr, 10));
+      if (cli.analysis.build.loop_bound == 0) {
+        cli.analysis.build.loop_bound = 1;
+      }
     } else if (arg == "--unroll-loops") {
       cli.analysis.build.unroll_loops = true;
     } else if (arg == "--jobs") {
@@ -511,7 +528,8 @@ int main(int argc, char** argv) {
                    "--trace-pps|--witness|--witness=replay|--baseline|"
                    "--oracle|--oracle=enumerate|--oracle=hb|"
                    "--no-prune|--no-merge|--no-por|"
-                   "--deadlocks|--model-atomics|--unroll-loops|--json|"
+                   "--deadlocks|--model-atomics|--no-model-atomics|"
+                   "--no-model-sync-loops|--loop-bound K|--unroll-loops|--json|"
                    "--json-out FILE|--suggest-fixes|--fix|--jobs N|"
                    "--deadline-ms N|--cache-dir DIR] "
                    "file.chpl... | -\n"

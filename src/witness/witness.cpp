@@ -13,6 +13,8 @@ const char* ruleName(pps::Rule r) {
     case pps::Rule::SingleRead: return "single-read";
     case pps::Rule::Read: return "read";
     case pps::Rule::Write: return "write";
+    case pps::Rule::Barrier: return "barrier";
+    case pps::Rule::Chaos: return "chaos";
   }
   return "?";
 }
@@ -24,6 +26,9 @@ const char* opName(ccfg::SyncOp op) {
     case ccfg::SyncOp::WriteEF: return "writeEF";
     case ccfg::SyncOp::AtomicFill: return "atomicFill";
     case ccfg::SyncOp::AtomicWait: return "atomicWait";
+    case ccfg::SyncOp::BarrierWait: return "barrierWait";
+    case ccfg::SyncOp::ChaosFill: return "chaosFill";
+    case ccfg::SyncOp::ChaosDrain: return "chaosDrain";
   }
   return "?";
 }

@@ -1,5 +1,6 @@
-/* Atomic-based synchronization: dynamically safe, but the paper-faithful
-   analysis cannot model it (run with --model-atomics to discharge). */
+/* Atomic-based synchronization: dynamically safe. Modeled by default
+   (docs/EXTENSIONS_SYNC.md); --no-model-atomics restores the paper
+   baseline, which flags both accesses. */
 proc atomicHandshake() {
   var data: int = 0;
   var ready: atomic int;

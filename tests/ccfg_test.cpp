@@ -269,7 +269,23 @@ TEST(Ccfg, InlineRefParamsSubstituteActual) {
   EXPECT_TRUE(found_write_to_x);
 }
 
-TEST(Ccfg, UnsupportedLoopMarksGraph) {
+TEST(Ccfg, UnsupportedLoopMarksGraphWithoutSyncLoopModel) {
+  // The paper-baseline behavior (§IV-A): with the sync-loop extension off,
+  // a loop that spawns tasks is out of scope.
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 1;
+  for i in 1..3 {
+    begin with (ref x) { writeln(x); }
+  }
+})");
+  ccfg::BuildOptions opts;
+  opts.model_sync_loops = false;
+  auto g = f.buildCcfg(opts);
+  EXPECT_TRUE(g->unsupported());
+  EXPECT_EQ(f.diags.countWithCode("unsupported-loop"), 1u);
+}
+
+TEST(Ccfg, SyncLoopModelUnrollsBeginLoopByDefault) {
   auto f = Fixture::lower(R"(proc p() {
   var x = 1;
   for i in 1..3 {
@@ -277,8 +293,9 @@ TEST(Ccfg, UnsupportedLoopMarksGraph) {
   }
 })");
   auto g = f.buildCcfg();
-  EXPECT_TRUE(g->unsupported());
-  EXPECT_EQ(f.diags.countWithCode("unsupported-loop"), 1u);
+  EXPECT_FALSE(g->unsupported());
+  EXPECT_EQ(g->stats().unrolled_loops, 1u);
+  EXPECT_EQ(f.diags.countWithCode("unsupported-loop"), 0u);
 }
 
 TEST(Ccfg, SubsumedLoopAccessesLandInOneNode) {

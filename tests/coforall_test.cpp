@@ -84,12 +84,28 @@ TEST(Coforall, LowersToFencedLoopOfTasks) {
 }
 
 TEST(Coforall, UnsupportedWithoutUnrolling) {
-  Pipeline pipeline;
+  // Paper-baseline arm: with both loop extensions off the desugared
+  // task-loop is out of scope. (The default sync-loop model analyzes it —
+  // see SyncLoopModelAnalyzesByDefault.)
+  AnalysisOptions opts;
+  opts.build.model_sync_loops = false;
+  Pipeline pipeline(opts);
   ASSERT_TRUE(pipeline.runSource("t", R"(proc p() {
   var t = 0;
   coforall i in 1..4 with (ref t) { t += i; }
 })"));
   EXPECT_TRUE(pipeline.analysis().procs[0].skipped_unsupported);
+}
+
+TEST(Coforall, SyncLoopModelAnalyzesByDefault) {
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.runSource("t", R"(proc p() {
+  var t = 0;
+  coforall i in 1..4 with (ref t) { t += i; }
+  writeln(t);
+})"));
+  EXPECT_FALSE(pipeline.analysis().procs[0].skipped_unsupported);
+  EXPECT_EQ(pipeline.analysis().warningCount(), 0u);
 }
 
 TEST(Coforall, UnrolledAnalysisProvesSafe) {

@@ -1,10 +1,13 @@
 // Differential test: the static checker's warning set versus the dynamic
-// schedule-exploring oracle, per task discipline. For ~200 seeded programs
-// the two must agree with the paper's classification:
-//   NoSync / SyncVarLate / NestedFn  -> warned AND dynamically confirmed (TP)
-//   AtomicSynced                     -> warned but dynamically safe (FP; the
-//                                       analysis does not model atomics)
-//   SyncVarSafe / SyncBlock / SingleVar / InIntent -> unwarned
+// schedule-exploring oracle, per task discipline. For ~300 seeded programs
+// per seed the two must agree with the classification:
+//   NoSync / SyncVarLate / NestedFn / BarrierLate
+//                     -> warned AND dynamically confirmed (TP)
+//   LoopSyncWidened   -> warned but dynamically safe (FP; the widened loop
+//                        guard discards the wait)
+//   SyncVarSafe / SyncBlock / SingleVar / InIntent / AtomicSynced /
+//   LoopSyncSafe / BarrierSafe -> unwarned (atomics and barriers are modeled,
+//                        const-bound loops unroll exactly)
 #include <gtest/gtest.h>
 
 #include <string>
@@ -87,6 +90,36 @@ std::string buildProgram(TaskDiscipline d, Rng& rng) {
     case TaskDiscipline::InIntent:
       out += "  begin with (in x0, in x1) {\n    writeln(x0 + x1);\n  }\n";
       break;
+    case TaskDiscipline::LoopSyncSafe:
+      out += "  for i in 1..2 {\n    sync {\n";
+      out += "      begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "      }\n    }\n  }\n";
+      break;
+    case TaskDiscipline::LoopSyncWidened:
+      out += "  var done$: sync bool;\n";
+      out += "  var n: int = 1;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    done$ = true;\n  }\n";
+      epilogue = "  var j: int = 0;\n  while (j < n) {\n";
+      epilogue += "    done$;\n    j += 1;\n  }\n";
+      break;
+    case TaskDiscipline::BarrierSafe:
+      out += "  barrier b;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    b.wait();\n  }\n";
+      epilogue = "  b.wait();\n";
+      break;
+    case TaskDiscipline::BarrierLate:
+      out += "  barrier b;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      out += "    b.wait();\n";
+      emitAccesses(out, rng, accesses);
+      out += "  }\n";
+      epilogue = "  b.wait();\n";
+      break;
   }
 
   out += epilogue;
@@ -101,13 +134,17 @@ Expected expectedFor(TaskDiscipline d) {
     case TaskDiscipline::NoSync:
     case TaskDiscipline::SyncVarLate:
     case TaskDiscipline::NestedFn:
+    case TaskDiscipline::BarrierLate:
       return Expected::TruePositive;
-    case TaskDiscipline::AtomicSynced:
+    case TaskDiscipline::LoopSyncWidened:
       return Expected::FalsePositive;
+    case TaskDiscipline::AtomicSynced:  // modeled: the handshake is visible
     case TaskDiscipline::SyncVarSafe:
     case TaskDiscipline::SyncBlock:
     case TaskDiscipline::SingleVar:
     case TaskDiscipline::InIntent:
+    case TaskDiscipline::LoopSyncSafe:
+    case TaskDiscipline::BarrierSafe:
       return Expected::Unwarned;
   }
   return Expected::Unwarned;
@@ -118,6 +155,8 @@ constexpr TaskDiscipline kAllDisciplines[] = {
     TaskDiscipline::SyncVarLate,  TaskDiscipline::SyncBlock,
     TaskDiscipline::AtomicSynced, TaskDiscipline::SingleVar,
     TaskDiscipline::NestedFn,     TaskDiscipline::InIntent,
+    TaskDiscipline::LoopSyncSafe, TaskDiscipline::LoopSyncWidened,
+    TaskDiscipline::BarrierSafe,  TaskDiscipline::BarrierLate,
 };
 
 class Differential : public ::testing::TestWithParam<std::uint64_t> {};
@@ -125,7 +164,7 @@ class Differential : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(Differential, CheckerAndOracleAgreePerDiscipline) {
   Rng rng(GetParam());
   corpus::RunnerOptions opts;  // oracle classification on
-  const int variants_per_discipline = 25;  // 8 * 25 = 200 programs per seed
+  const int variants_per_discipline = 25;  // 12 * 25 = 300 programs per seed
 
   for (TaskDiscipline d : kAllDisciplines) {
     for (int v = 0; v < variants_per_discipline; ++v) {
@@ -142,7 +181,7 @@ TEST_P(Differential, CheckerAndOracleAgreePerDiscipline) {
         case Expected::FalsePositive:
           EXPECT_GT(o.warnings, 0u) << src;
           EXPECT_EQ(o.true_positives, 0u)
-              << "atomic handshake is dynamically safe, oracle disagrees:\n"
+              << "widened-loop wait is dynamically safe, oracle disagrees:\n"
               << src;
           break;
         case Expected::Unwarned:

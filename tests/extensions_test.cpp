@@ -19,10 +19,21 @@ AnalysisOptions atomicOpts() {
   return opts;
 }
 
+/// The paper baseline: no atomic modeling, no sync-loop handling.
+AnalysisOptions faithfulOpts() {
+  AnalysisOptions opts;
+  opts.build.model_atomics = false;
+  opts.build.model_sync_loops = false;
+  return opts;
+}
+
 AnalysisOptions unrollOpts(unsigned max = 8) {
   AnalysisOptions opts;
   opts.build.unroll_loops = true;
   opts.build.max_unroll_iterations = max;
+  // Isolate the bounded-unroll extension: without this, loops beyond the
+  // unroll limit fall back to widening instead of the unsupported skip.
+  opts.build.model_sync_loops = false;
   return opts;
 }
 
@@ -43,7 +54,7 @@ const char* kAtomicHandshake = R"(proc p() {
 })";
 
 TEST(AtomicModeling, EliminatesHandshakeFalsePositives) {
-  Pipeline faithful;
+  Pipeline faithful(faithfulOpts());
   ASSERT_TRUE(faithful.runSource("t", kAtomicHandshake));
   EXPECT_EQ(faithful.analysis().warningCount(), 2u);  // paper behaviour
 
@@ -145,7 +156,9 @@ TEST(AtomicModeling, ReducesWarningsOnCorpusSlice) {
   for (int i = 0; i < 60; ++i) {
     corpus::GeneratedProgram pa = gen_a.next();
     corpus::GeneratedProgram pb = gen_b.next();
-    Pipeline faithful;
+    AnalysisOptions no_atomics;
+    no_atomics.build.model_atomics = false;
+    Pipeline faithful(no_atomics);
     ASSERT_TRUE(faithful.runSource(pa.name, pa.source));
     faithful_warnings += faithful.analysis().warningCount();
     Pipeline extended(atomicOpts());
@@ -166,7 +179,7 @@ TEST(LoopUnrolling, AnalyzesBeginInLoop) {
     begin with (ref x) { writeln(x); }
   }
 })";
-  Pipeline faithful;
+  Pipeline faithful(faithfulOpts());
   ASSERT_TRUE(faithful.runSource("t", src));
   EXPECT_TRUE(faithful.analysis().procs[0].skipped_unsupported);
 

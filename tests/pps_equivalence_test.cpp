@@ -36,6 +36,8 @@ constexpr TaskDiscipline kAllDisciplines[] = {
     TaskDiscipline::SyncVarLate,  TaskDiscipline::SyncBlock,
     TaskDiscipline::AtomicSynced, TaskDiscipline::SingleVar,
     TaskDiscipline::NestedFn,     TaskDiscipline::InIntent,
+    TaskDiscipline::LoopSyncSafe, TaskDiscipline::LoopSyncWidened,
+    TaskDiscipline::BarrierSafe,  TaskDiscipline::BarrierLate,
 };
 
 void emitAccesses(std::string& out, Rng& rng, unsigned count) {
@@ -104,6 +106,42 @@ std::string emitTask(std::string& out, TaskDiscipline d, Rng& rng,
       break;
     case TaskDiscipline::InIntent:
       out += "  begin with (in x0, in x1) {\n    writeln(x0 + x1);\n  }\n";
+      break;
+    case TaskDiscipline::LoopSyncSafe:
+      out += "  for i" + t + " in 1..2 {\n    sync {\n";
+      out += "      begin with (ref x0, ref x1) {\n  ";
+      emitAccesses(out, rng, accesses);
+      out += "      }\n    }\n  }\n";
+      break;
+    case TaskDiscipline::LoopSyncWidened:
+      out += "  var done" + t + "$: sync bool;\n";
+      out += "  var n" + t + ": int = 1;\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    done" + t + "$ = true;\n  }\n";
+      epilogue = "  var j" + t + ": int = 0;\n";
+      epilogue += "  while (j" + t + " < n" + t + ") {\n";
+      epilogue += "    done" + t + "$;\n    j" + t + " += 1;\n  }\n";
+      break;
+    case TaskDiscipline::BarrierSafe:
+      // One barrier per program: later tags fall back to a sync handshake
+      // (every spawned child registers on the phaser, so a second barrier
+      // could deadlock the witness replay).
+      if (tag > 0) return emitTask(out, TaskDiscipline::SyncVarSafe, rng, tag);
+      out += "  barrier b" + t + ";\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      emitAccesses(out, rng, accesses);
+      out += "    b" + t + ".wait();\n  }\n";
+      epilogue = "  b" + t + ".wait();\n";
+      break;
+    case TaskDiscipline::BarrierLate:
+      if (tag > 0) return emitTask(out, TaskDiscipline::NoSync, rng, tag);
+      out += "  barrier b" + t + ";\n";
+      out += "  begin with (ref x0, ref x1) {\n";
+      out += "    b" + t + ".wait();\n";
+      emitAccesses(out, rng, accesses);
+      out += "  }\n";
+      epilogue = "  b" + t + ".wait();\n";
       break;
   }
   return epilogue;
@@ -181,10 +219,11 @@ void expectSameResult(const pps::Result& a, const pps::Result& b,
 
 class PpsEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
 
-// 4 seeds x 125 variants = 500 programs per discipline, 4000 programs
-// total across the suite. Each program runs: reference, interned (POR
-// off), interned (POR on), and — every eighth variant — both engines
-// again with full trace recording.
+// 4 seeds x 125 variants = 500 programs per discipline, 6000 programs
+// total across the suite (the new sync-construct idioms — unrolled and
+// widened loops, barriers — included). Each program runs: reference,
+// interned (POR off), interned (POR on), and — every eighth variant —
+// both engines again with full trace recording.
 TEST_P(PpsEquivalence, EnginesBitIdenticalPerDiscipline) {
   Rng rng(GetParam() * 0x9e3779b97f4a7c15ull + 1);
   const int variants = 125;

@@ -186,8 +186,8 @@ TEST_P(SeededProperty, IntendedUnsafeTasksProduceWarnings) {
 bool isBuiltinName(std::string_view name) {
   static const std::set<std::string_view> kBuiltins = {
       "add",    "exchange", "fetchAdd", "isFull", "read",
-      "readFE", "readFF",   "reset",    "sub",    "waitFor",
-      "write",  "writeEF",  "writeln"};
+      "readFE", "readFF",   "reset",    "sub",    "wait",
+      "waitFor", "write",   "writeEF",  "writeln"};
   return kBuiltins.contains(name);
 }
 

@@ -403,8 +403,14 @@ TEST(Fingerprint, CacheKeySeparatesNameSourceAndOptions) {
   EXPECT_NE(analysisCacheKey("b.chpl", "proc p() {}", options), key);
   EXPECT_NE(analysisCacheKey("a.chpl", "proc q() {}", options), key);
   AnalysisOptions other;
-  other.build.model_atomics = true;
+  other.build.model_atomics = false;  // defaults are on; toggling must rekey
   EXPECT_NE(analysisCacheKey("a.chpl", "proc p() {}", other), key);
+  AnalysisOptions no_loops;
+  no_loops.build.model_sync_loops = false;
+  EXPECT_NE(analysisCacheKey("a.chpl", "proc p() {}", no_loops), key);
+  AnalysisOptions bound;
+  bound.build.loop_bound = 7;
+  EXPECT_NE(analysisCacheKey("a.chpl", "proc p() {}", bound), key);
   EXPECT_EQ(analysisCacheKey("a.chpl", "proc p() {}", options), key);
 }
 

@@ -1,0 +1,416 @@
+// Hand-driven PPS transition units for the synchronization extensions
+// (docs/EXTENSIONS_SYNC.md): modeled atomics, sync-carrying loops with
+// bounded unroll/widening, and phaser-style barriers. Each test pins the
+// engine against a hand-computed CCFG shape, rule sequence, or state set —
+// no generated programs here; the differential walls (hb_test,
+// differential_test, pps_equivalence_test) cover breadth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/pps/pps.h"
+#include "tests/test_util.h"
+
+namespace cuaf {
+namespace {
+
+using test::Fixture;
+
+/// Sorted variable names of the unsafe accesses.
+std::vector<std::string> unsafeVarNames(const ccfg::Graph& g,
+                                        const pps::Result& r) {
+  std::vector<std::string> names;
+  for (AccessId a : r.unsafe) names.push_back(g.varName(g.access(a).var));
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// Rule sequence of all non-initial trace entries, in id order.
+std::vector<pps::Rule> ruleSequence(const pps::Result& r) {
+  std::vector<pps::Rule> rules;
+  for (const pps::TraceEntry& e : r.trace) {
+    if (e.rule != pps::Rule::Initial) rules.push_back(e.rule);
+  }
+  return rules;
+}
+
+/// State of sync variable `name` in a trace entry, via sync_var_order.
+pps::VarState stateOf(const ccfg::Graph& g, const pps::Result& r,
+                      const pps::TraceEntry& e, const std::string& name) {
+  for (std::size_t i = 0; i < r.sync_var_order.size(); ++i) {
+    if (g.varName(r.sync_var_order[i]) == name) return e.state.at(i);
+  }
+  ADD_FAILURE() << "no sync var named " << name;
+  return pps::VarState::Empty;
+}
+
+/// Collects the SyncOps of all sync nodes, sorted by node id.
+std::vector<ccfg::SyncOp> syncOps(const ccfg::Graph& g) {
+  std::vector<ccfg::SyncOp> ops;
+  for (const ccfg::Node& n : g.nodes()) {
+    if (n.sync) ops.push_back(n.sync->op);
+  }
+  return ops;
+}
+
+// ---------------------------------------------------------------------------
+// Atomics: write/add/fetch-add lower to AtomicFill (non-blocking, -> FULL),
+// waitFor to AtomicWait (needs FULL, stays FULL), read stays opaque.
+
+TEST(SyncExtAtomic, WriteAddFetchAddLowerToAtomicFill) {
+  auto f = Fixture::lower(R"(proc p() {
+  var c: atomic int;
+  c.write(1);
+  c.add(1);
+  c.fetchAdd(1);
+  c.waitFor(3);
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  ASSERT_FALSE(g->unsupported());
+  // Hand-computed: three fill events then one wait, in program order.
+  EXPECT_EQ(syncOps(*g),
+            (std::vector<ccfg::SyncOp>{
+                ccfg::SyncOp::AtomicFill, ccfg::SyncOp::AtomicFill,
+                ccfg::SyncOp::AtomicFill, ccfg::SyncOp::AtomicWait}));
+}
+
+TEST(SyncExtAtomic, ReadStaysOpaque) {
+  auto f = Fixture::lower(R"(proc p() {
+  var c: atomic int;
+  c.write(1);
+  c.read();
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  // Hand-computed: the read contributes no sync event — only the fill.
+  EXPECT_EQ(syncOps(*g), (std::vector<ccfg::SyncOp>{ccfg::SyncOp::AtomicFill}));
+}
+
+TEST(SyncExtAtomic, FillThenWaitStateSequence) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 3;
+  var c: atomic int;
+  begin with (ref x) { writeln(x); c.add(1); }
+  c.waitFor(1);
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  pps::Options opts;
+  opts.record_trace = true;
+  pps::Result r = pps::explore(*g, opts);
+
+  // Hand-computed serialization: the wait head is blocked while c is EMPTY,
+  // so the only enabled event is the child's fill (non-blocking bunch), then
+  // the wait (non-blocking once FULL), then the sink.
+  EXPECT_TRUE(r.unsafe.empty());
+  EXPECT_EQ(r.sink_count, 1u);
+  EXPECT_EQ(ruleSequence(r),
+            (std::vector<pps::Rule>{pps::Rule::SingleRead,
+                                    pps::Rule::SingleRead}));
+  ASSERT_EQ(r.trace.size(), 3u);
+  EXPECT_EQ(stateOf(*g, r, r.trace[0], "c"), pps::VarState::Empty);
+  EXPECT_EQ(stateOf(*g, r, r.trace[1], "c"), pps::VarState::Full);
+  // AtomicWait keeps the variable FULL (SINGLE-READ-like).
+  EXPECT_EQ(stateOf(*g, r, r.trace[2], "c"), pps::VarState::Full);
+  EXPECT_TRUE(r.trace[2].is_sink);
+}
+
+TEST(SyncExtAtomic, UnmodeledBaselineReproducesPaperFalsePositives) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 3;
+  var c: atomic int;
+  begin with (ref x) { writeln(x); c.add(1); }
+  c.waitFor(1);
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  ccfg::BuildOptions build;
+  build.model_atomics = false;
+  auto g = f.buildCcfg(build);
+  pps::Result r = pps::explore(*g);
+  // Paper §IV-A baseline: the handshake is invisible, both the data access
+  // and the (opaque) atomic add are flagged.
+  EXPECT_EQ(unsafeVarNames(*g, r), (std::vector<std::string>{"c", "x"}));
+}
+
+// ---------------------------------------------------------------------------
+// Loops: const-bound for-loops within the bound unroll exactly; everything
+// else widens (k guarded iterations + a chaos residue strand).
+
+TEST(SyncExtLoop, ConstBoundLoopWithinBoundUnrollsExactly) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  for i in 1..3 {
+    var d$: sync bool;
+    begin with (ref x) { x += 1; d$ = true; }
+    d$;
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  ASSERT_FALSE(g->unsupported());
+  EXPECT_EQ(g->stats().unrolled_loops, 1u);
+  EXPECT_EQ(g->stats().widened_loops, 0u);
+  // Hand-computed: root + one child per unrolled iteration, no chaos strand.
+  EXPECT_EQ(g->taskCount(), 4u);
+  pps::Result r = pps::explore(*g);
+  EXPECT_TRUE(r.unsafe.empty());
+}
+
+TEST(SyncExtLoop, TripCountBeyondBoundTriggersWidening) {
+  const char* src = R"(proc p() {
+  var x = 0;
+  for i in 1..6 {
+    var d$: sync bool;
+    begin with (ref x) { x += 1; d$ = true; }
+    d$;
+  }
+})";
+  // At the default bound (4 < 6) the loop widens...
+  {
+    auto f = Fixture::lower(src);
+    ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+    auto g = f.buildCcfg();
+    ASSERT_FALSE(g->unsupported());
+    EXPECT_EQ(g->stats().unrolled_loops, 0u);
+    EXPECT_EQ(g->stats().widened_loops, 1u);
+  }
+  // ...while raising k past the trip count restores the exact unroll. The
+  // bound alone decides exact-vs-widened.
+  {
+    auto f = Fixture::lower(src);
+    ccfg::BuildOptions build;
+    build.loop_bound = 6;
+    auto g = f.buildCcfg(build);
+    ASSERT_FALSE(g->unsupported());
+    EXPECT_EQ(g->stats().unrolled_loops, 1u);
+    EXPECT_EQ(g->stats().widened_loops, 0u);
+    pps::Result r = pps::explore(*g);
+    EXPECT_TRUE(r.unsafe.empty());
+  }
+}
+
+TEST(SyncExtLoop, WidenedWaitLoopFlagsChildAccess) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  var n: int = 1;
+  var d$: sync bool;
+  begin with (ref x) { writeln(x); d$ = true; }
+  var j: int = 0;
+  while (j < n) {
+    d$;
+    j += 1;
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  ASSERT_FALSE(g->unsupported());
+  EXPECT_EQ(g->stats().widened_loops, 1u);
+  // A chaos strand supplies the residue iterations' sync effects on d$.
+  bool has_chaos_task = false;
+  for (const ccfg::Task& t : g->tasks()) has_chaos_task |= t.chaos;
+  EXPECT_TRUE(has_chaos_task);
+  std::vector<ccfg::SyncOp> ops = syncOps(*g);
+  EXPECT_NE(std::count(ops.begin(), ops.end(), ccfg::SyncOp::ChaosFill), 0);
+
+  // Hand-computed verdict: the widened guard admits a zero-wait exit path,
+  // so the child's access never gains a happens-before anchor — the
+  // intended (and conservative) false positive of this idiom.
+  pps::Result r = pps::explore(*g);
+  EXPECT_EQ(unsafeVarNames(*g, r), (std::vector<std::string>{"x"}));
+}
+
+TEST(SyncExtLoop, ChaosResidueEventsUseChaosRule) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  var n: int = 1;
+  var d$: sync bool;
+  begin with (ref x) { writeln(x); d$ = true; }
+  var j: int = 0;
+  while (j < n) {
+    d$;
+    j += 1;
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  pps::Options opts;
+  opts.record_trace = true;
+  pps::Result r = pps::explore(*g, opts);
+  // Residue events are always enabled, so at least one explored path fires
+  // them under the CHAOS rule; after a ChaosFill the variable reads FULL in
+  // every successor state that executed it.
+  bool saw_chaos = false;
+  for (const pps::TraceEntry& e : r.trace) {
+    if (e.rule != pps::Rule::Chaos) continue;
+    saw_chaos = true;
+    ASSERT_EQ(e.executed.size(), 1u);
+    const ccfg::Node& n = g->node(e.executed[0]);
+    ASSERT_TRUE(n.sync.has_value());
+    if (n.sync->op == ccfg::SyncOp::ChaosFill) {
+      EXPECT_EQ(stateOf(*g, r, e, g->varName(n.sync->var)),
+                pps::VarState::Full);
+    }
+  }
+  EXPECT_TRUE(saw_chaos);
+}
+
+TEST(SyncExtLoop, DisablingSyncLoopModelRestoresPaperSkip) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  var n: int = 1;
+  var d$: sync bool;
+  begin with (ref x) { writeln(x); d$ = true; }
+  var j: int = 0;
+  while (j < n) {
+    d$;
+    j += 1;
+  }
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  ccfg::BuildOptions build;
+  build.model_sync_loops = false;
+  auto g = f.buildCcfg(build);
+  // Paper §IV-A: sync-carrying loops are out of scope for the baseline.
+  EXPECT_TRUE(g->unsupported());
+}
+
+// ---------------------------------------------------------------------------
+// Barriers: wait nodes register on the graph; heads waiting on a barrier
+// release as one rendezvous bunch once no other head can reach a wait.
+
+TEST(SyncExtBarrier, WaitNodesRegisterOnGraph) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  barrier b;
+  begin with (ref x) { writeln(x); b.wait(); }
+  b.wait();
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  ASSERT_FALSE(g->unsupported());
+  ASSERT_EQ(g->barrierWaits().size(), 1u);
+  const auto& [var, waits] = *g->barrierWaits().begin();
+  EXPECT_EQ(g->varName(var), "b");
+  ASSERT_EQ(waits.size(), 2u);
+  for (NodeId n : waits) {
+    ASSERT_TRUE(g->node(n).sync.has_value());
+    EXPECT_EQ(g->node(n).sync->op, ccfg::SyncOp::BarrierWait);
+  }
+  // The two waits sit on distinct strands (child and root).
+  EXPECT_NE(g->node(waits[0]).task, g->node(waits[1]).task);
+}
+
+TEST(SyncExtBarrier, RendezvousExecutesAsOneBunch) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  barrier b;
+  begin with (ref x) { writeln(x); b.wait(); }
+  b.wait();
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  pps::Options opts;
+  opts.record_trace = true;
+  pps::Result r = pps::explore(*g, opts);
+  // Hand-computed: both strand heads are waits on b, nothing else can reach
+  // a wait, so the single transition is one BARRIER bunch straight to the
+  // sink. The child's access is anchored by the rendezvous: safe.
+  EXPECT_TRUE(r.unsafe.empty());
+  EXPECT_EQ(r.sink_count, 1u);
+  EXPECT_EQ(ruleSequence(r), (std::vector<pps::Rule>{pps::Rule::Barrier}));
+  ASSERT_EQ(r.trace.size(), 2u);
+  EXPECT_EQ(r.trace[1].executed.size(), 2u);
+  EXPECT_TRUE(r.trace[1].is_sink);
+}
+
+TEST(SyncExtBarrier, AccessAfterRendezvousReported) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  barrier b;
+  begin with (ref x) { b.wait(); writeln(x); }
+  b.wait();
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  pps::Result r = pps::explore(*g);
+  // Hand-computed: the access follows the child's last sync event — a tail
+  // that can outlive the scope. Exactly one unsafe site, on x.
+  EXPECT_EQ(unsafeVarNames(*g, r), (std::vector<std::string>{"x"}));
+}
+
+TEST(SyncExtBarrier, GroupWaitsForReachableHeads) {
+  auto f = Fixture::lower(R"(proc p() {
+  var x = 0;
+  barrier b;
+  var d$: sync bool;
+  begin with (ref x) { writeln(x); d$ = true; b.wait(); }
+  d$;
+  b.wait();
+})");
+  ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+  auto g = f.buildCcfg();
+  pps::Options opts;
+  opts.record_trace = true;
+  pps::Result r = pps::explore(*g, opts);
+  // Hand-computed serialization, fully deterministic:
+  //   1. WRITE  — the child's d$ = true (the parent's readFE is blocked);
+  //   2. READ   — the parent's d$ (the barrier group is NOT releasable yet:
+  //               the parent head can still reach its own b.wait());
+  //   3. BARRIER — both waits rendezvous; sink.
+  EXPECT_TRUE(r.unsafe.empty());
+  EXPECT_EQ(ruleSequence(r),
+            (std::vector<pps::Rule>{pps::Rule::Write, pps::Rule::Read,
+                                    pps::Rule::Barrier}));
+  ASSERT_EQ(r.trace.size(), 4u);
+  EXPECT_EQ(stateOf(*g, r, r.trace[1], "d$"), pps::VarState::Full);
+  EXPECT_EQ(stateOf(*g, r, r.trace[2], "d$"), pps::VarState::Empty);
+  EXPECT_TRUE(r.trace[3].is_sink);
+}
+
+TEST(SyncExtBarrier, ReferenceEngineMatchesOnExtensionOps)
+{
+  const char* programs[] = {
+      R"(proc p() {
+  var x = 3;
+  var c: atomic int;
+  begin with (ref x) { writeln(x); c.add(1); }
+  c.waitFor(1);
+})",
+      R"(proc p() {
+  var x = 0;
+  var n: int = 1;
+  var d$: sync bool;
+  begin with (ref x) { writeln(x); d$ = true; }
+  var j: int = 0;
+  while (j < n) {
+    d$;
+    j += 1;
+  }
+})",
+      R"(proc p() {
+  var x = 0;
+  barrier b;
+  begin with (ref x) { b.wait(); writeln(x); }
+  b.wait();
+})",
+  };
+  for (const char* src : programs) {
+    auto f = Fixture::lower(src);
+    ASSERT_FALSE(f.diags.hasErrors()) << f.diagText();
+    auto g = f.buildCcfg();
+    ASSERT_FALSE(g->unsupported());
+    pps::Options no_por;
+    no_por.por = false;
+    pps::Result fast = pps::explore(*g, no_por);
+    pps::Result ref = pps::exploreReference(*g, no_por);
+    EXPECT_EQ(fast.unsafe, ref.unsafe) << src;
+    EXPECT_EQ(fast.sink_count, ref.sink_count) << src;
+    EXPECT_EQ(fast.states_generated, ref.states_generated) << src;
+  }
+}
+
+}  // namespace
+}  // namespace cuaf
