@@ -1,0 +1,426 @@
+// Chaos harness for the self-healing shard cluster (docs/SERVICE.md
+// "Cluster supervision & multi-host"): a live 3-shard supervised cluster
+// under an 8-client request storm while a killer thread SIGKILLs random
+// shards every ~50ms. Exit-enforced criteria:
+//
+//   * zero failed requests — every request eventually succeeds through
+//     retries, circuit-breaker failover and respawns;
+//   * responses byte-identical (modulo stripVolatile) to a serial
+//     single-process reference run;
+//   * exact reconciliation: every issued request is accounted for as a
+//     success, and the supervisor reports >= as many respawns as kills
+//     landed, with no shard given up on;
+//   * respawned shards come back disk-warm: after recovery, a settle pass
+//     plus a verify pass over the whole corpus adds zero pipeline runs
+//     (sum of per-shard `analyzed` is unchanged) and answers cached;
+//   * post-storm throughput >= 0.8x the pre-storm baseline (0.5x under
+//     sanitizers, where respawn/recovery overhead is inflated).
+//
+// Emits BENCH_cluster.json. Exit code 1 when any criterion fails.
+//
+//   Usage: bench_cluster [programs] [seed]
+//     programs  distinct corpus programs (default 24)
+//     seed      corpus generator seed (default 20170529)
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/corpus/generator.h"
+#include "src/net/address.h"
+#include "src/net/shard_client.h"
+#include "src/service/protocol.h"
+#include "src/service/server.h"
+#include "src/service/shard_supervisor.h"
+#include "src/support/json.h"
+#include "src/support/rng.h"
+
+namespace {
+
+constexpr std::size_t kShards = 3;
+constexpr std::size_t kClients = 8;
+constexpr std::uint64_t kKillEveryMs = 50;
+constexpr std::uint64_t kStormMs = 2000;
+constexpr std::uint64_t kPhaseMs = 800;  // baseline / recovered measurement
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr double kRecoveryFloor = 0.5;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr double kRecoveryFloor = 0.5;
+#else
+constexpr double kRecoveryFloor = 0.8;
+#endif
+#else
+constexpr double kRecoveryFloor = 0.8;
+#endif
+
+using cuaf::net::ShardClient;
+using cuaf::net::ShardClientOptions;
+
+struct Criterion {
+  std::string name;
+  bool pass;
+};
+
+std::string analyzeRequest(std::size_t program, const std::string& name,
+                           const std::string& source) {
+  // id == program index so repeats are byte-identical requests.
+  return "{\"op\":\"analyze\",\"id\":" + std::to_string(program) +
+         ",\"name\":\"" + cuaf::jsonEscape(name) + "\",\"source\":\"" +
+         cuaf::jsonEscape(source) + "\"}";
+}
+
+std::uint64_t jsonField(const std::string& json, const std::string& name) {
+  std::size_t pos = json.find("\"" + name + "\":");
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + name.size() + 3, nullptr, 10);
+}
+
+std::vector<pid_t> shardPids(const std::string& status) {
+  std::vector<pid_t> pids;
+  std::size_t pos = 0;
+  while ((pos = status.find("\"pid\":", pos)) != std::string::npos) {
+    pos += 6;
+    pids.push_back(
+        static_cast<pid_t>(std::strtol(status.c_str() + pos, nullptr, 10)));
+  }
+  return pids;
+}
+
+std::string readFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+ShardClientOptions clientOptions(std::uint64_t seed) {
+  ShardClientOptions options;
+  options.retries = 8;
+  options.backoff_base_ms = 2;
+  options.backoff_cap_ms = 40;
+  options.backoff_seed = seed;
+  options.route_budget_ms = 60000;
+  return options;
+}
+
+/// Sum of the `analyzed` counter over every shard (pipeline runs since
+/// that shard generation started).
+std::uint64_t totalAnalyzed(ShardClient& client) {
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < client.shardCount(); ++k) {
+    total += jsonField(client.issueOn(k, "{\"op\":\"stats\",\"id\":90}"),
+                       "analyzed");
+  }
+  return total;
+}
+
+/// Timed request storm: `kClients` threads issue routed analyze requests
+/// for `duration_ms`; returns achieved requests/s. Failures and response
+/// mismatches against `reference` are counted into the totals.
+double storm(const std::string& sock,
+             const std::vector<std::string>& requests,
+             const std::vector<std::string>& reference,
+             std::uint64_t duration_ms, std::uint64_t seed_base,
+             std::atomic<std::uint64_t>& issued,
+             std::atomic<std::uint64_t>& succeeded,
+             std::atomic<std::uint64_t>& mismatched) {
+  auto start = std::chrono::steady_clock::now();
+  auto deadline = start + std::chrono::milliseconds(duration_ms);
+  std::vector<std::thread> threads;
+  for (std::size_t tid = 0; tid < kClients; ++tid) {
+    threads.emplace_back([&, tid] {
+      ShardClient client(ShardClient::addressesFor(sock, kShards),
+                         clientOptions(seed_base + tid));
+      cuaf::Rng rng(0xc4a0 + seed_base * 131 + tid);
+      while (std::chrono::steady_clock::now() < deadline) {
+        std::size_t program = rng.below(requests.size());
+        issued.fetch_add(1, std::memory_order_relaxed);
+        try {
+          std::string response =
+              client.issueRouted(program, requests[program]);
+          if (!ShardClient::responseOk(response) ||
+              cuaf::service::stripVolatile(response) != reference[program]) {
+            mismatched.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            succeeded.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const std::exception&) {
+          // counted: issued - succeeded - mismatched = hard failures
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+  return secs > 0 ? static_cast<double>(succeeded.load()) / secs : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t programs = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 24;
+  std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                : 20170529ull;
+  if (programs == 0) programs = 24;
+
+  std::string tmpl = "/tmp/cuaf-bench-cluster-XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  if (!made) {
+    std::cerr << "bench_cluster: mkdtemp failed\n";
+    return 1;
+  }
+  const std::string dir = made;
+  const std::string sock = dir + "/d.sock";
+  const std::string status_path = dir + "/status.json";
+  const std::string cache = dir + "/cache";
+  ::mkdir(cache.c_str(), 0755);
+
+  // Corpus + requests.
+  std::vector<std::string> requests;
+  {
+    cuaf::corpus::ProgramGenerator generator(seed);
+    for (std::size_t i = 0; i < programs; ++i) {
+      cuaf::corpus::GeneratedProgram p = generator.next();
+      requests.push_back(analyzeRequest(i, p.name, p.source));
+    }
+  }
+
+  // Serial reference: one in-process server answers the whole corpus.
+  // Scoped so its threads are joined before the fork below (TSan-safe
+  // fork discipline: children that make threads fork from single-threaded
+  // parents only).
+  std::vector<std::string> reference;
+  {
+    cuaf::service::Server server;
+    for (const std::string& request : requests) {
+      reference.push_back(
+          cuaf::service::stripVolatile(server.handleLine(request)));
+    }
+  }
+
+  // The supervised cluster.
+  cuaf::service::ShardSupervisorOptions sup;
+  sup.shards = kShards;
+  sup.listen_base = sock;
+  sup.cluster_status_path = status_path;
+  sup.health_interval_ms = 50;
+  sup.health_timeout_ms = 2000;
+  sup.backoff_initial_ms = 5;
+  sup.backoff_max_ms = 50;
+  sup.max_respawns = 1u << 20;  // the storm must never exhaust a slot
+  sup.stable_ms = 100;
+  pid_t sup_pid = ::fork();
+  if (sup_pid == 0) {
+    ::setpgid(0, 0);
+    cuaf::service::ShardSupervisor supervisor(sup, [&](std::size_t k) -> int {
+      cuaf::service::ServerOptions options;
+      options.shard_id = k;
+      options.shard_count = kShards;
+      options.cluster_status_path = status_path;
+      options.cache_dir = cache + "/shard-" + std::to_string(k);
+      try {
+        cuaf::service::Server server(options);
+        server.serveSocket(cuaf::net::shardAddress(
+                               cuaf::net::parseAddress(sock), k, kShards)
+                               .str());
+      } catch (...) {
+        return 2;
+      }
+      return 0;
+    });
+    std::_Exit(supervisor.run());
+  }
+  if (sup_pid < 0) {
+    std::cerr << "bench_cluster: fork failed\n";
+    return 1;
+  }
+
+  auto clusterReady = [&](std::uint64_t budget_ms) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(budget_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      bool up = true;
+      for (std::size_t k = 0; k < kShards; ++k) {
+        if (!cuaf::net::probeAddress(
+                cuaf::net::shardAddress(cuaf::net::parseAddress(sock), k,
+                                        kShards),
+                200)) {
+          up = false;
+          break;
+        }
+      }
+      if (up && jsonField(readFileOrEmpty(status_path), "running") == kShards)
+        return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  };
+
+  std::vector<Criterion> criteria;
+  int exit_code = 0;
+  auto require = [&](const std::string& name, bool pass) {
+    criteria.push_back({name, pass});
+    std::cout << (pass ? "  [pass] " : "  [FAIL] ") << name << "\n";
+    if (!pass) exit_code = 1;
+  };
+
+  if (!clusterReady(60000)) {
+    std::cerr << "bench_cluster: cluster never came up\n";
+    ::kill(-sup_pid, SIGKILL);
+    return 1;
+  }
+
+  // Warm every shard's cache through the ring, checking the reference.
+  {
+    ShardClient client(ShardClient::addressesFor(sock, kShards),
+                       clientOptions(1));
+    bool warm_identical = true;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      warm_identical &= cuaf::service::stripVolatile(client.issueRouted(
+                            i, requests[i])) == reference[i];
+    }
+    require("cold cluster responses byte-identical to serial reference",
+            warm_identical);
+  }
+
+  // Pre-storm baseline throughput on the warm cluster.
+  std::atomic<std::uint64_t> base_issued{0}, base_ok{0}, base_bad{0};
+  double baseline_rps = storm(sock, requests, reference, kPhaseMs, 100,
+                              base_issued, base_ok, base_bad);
+  std::cout << "baseline: " << baseline_rps << " req/s\n";
+
+  // The kill storm: random shard SIGKILLed every ~50ms while 8 clients
+  // keep requesting.
+  std::atomic<std::uint64_t> kills{0};
+  std::atomic<bool> stop_killer{false};
+  std::thread killer([&] {
+    cuaf::Rng rng(0xdead ^ seed);
+    while (!stop_killer.load(std::memory_order_relaxed)) {
+      std::vector<pid_t> pids = shardPids(readFileOrEmpty(status_path));
+      if (!pids.empty()) {
+        pid_t victim = pids[rng.below(pids.size())];
+        if (victim > 0 && ::kill(victim, SIGKILL) == 0) {
+          kills.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(kKillEveryMs));
+    }
+  });
+  std::atomic<std::uint64_t> storm_issued{0}, storm_ok{0}, storm_bad{0};
+  double storm_rps = storm(sock, requests, reference, kStormMs, 200,
+                           storm_issued, storm_ok, storm_bad);
+  stop_killer.store(true);
+  killer.join();
+  std::cout << "storm: " << storm_rps << " req/s under " << kills.load()
+            << " SIGKILLs\n";
+
+  require("kill storm landed at least one SIGKILL", kills.load() >= 1);
+  require("zero failed requests during the kill storm",
+          storm_ok.load() == storm_issued.load() && storm_bad.load() == 0);
+  require("storm responses byte-identical to serial reference",
+          storm_bad.load() == 0);
+
+  // Recovery: every slot respawned, none given up.
+  bool recovered = clusterReady(60000);
+  require("cluster fully respawned after the storm", recovered);
+  std::string status = readFileOrEmpty(status_path);
+  require("supervisor reconciles >= one respawn per landed SIGKILL",
+          jsonField(status, "total_respawns") >= kills.load());
+  require("no shard given up on", jsonField(status, "gave_up") == 0);
+
+  // Disk-warm: a settle pass re-homes every key; the verify pass must add
+  // zero pipeline runs and answer cached + byte-identical.
+  {
+    ShardClient client(ShardClient::addressesFor(sock, kShards),
+                       clientOptions(2));
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      (void)client.issueRouted(i, requests[i]);  // settle
+    }
+    std::uint64_t analyzed_before = totalAnalyzed(client);
+    bool verify_identical = true;
+    bool verify_cached = true;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      std::string response = client.issueRouted(i, requests[i]);
+      verify_identical &=
+          cuaf::service::stripVolatile(response) == reference[i];
+      verify_cached &=
+          response.find("\"cached\":true") != std::string::npos;
+    }
+    std::uint64_t analyzed_after = totalAnalyzed(client);
+    require("respawned shards serve disk-warm (zero new pipeline runs)",
+            analyzed_after == analyzed_before);
+    require("post-recovery responses cached and byte-identical",
+            verify_identical && verify_cached);
+  }
+
+  // Post-storm throughput must recover.
+  std::atomic<std::uint64_t> rec_issued{0}, rec_ok{0}, rec_bad{0};
+  double recovered_rps = storm(sock, requests, reference, kPhaseMs, 300,
+                               rec_issued, rec_ok, rec_bad);
+  double ratio = baseline_rps > 0 ? recovered_rps / baseline_rps : 0.0;
+  std::cout << "recovered: " << recovered_rps << " req/s (" << ratio
+            << "x baseline, floor " << kRecoveryFloor << "x)\n";
+  require("post-storm throughput >= floor x baseline",
+          ratio >= kRecoveryFloor);
+
+  // Clean shutdown: broadcast, then the supervisor exits 0.
+  {
+    ShardClient client(ShardClient::addressesFor(sock, kShards),
+                       clientOptions(3));
+    for (std::size_t shard : client.reachableShards()) {
+      try {
+        (void)client.issueOn(shard, "{\"op\":\"shutdown\",\"id\":99}");
+      } catch (const std::exception&) {
+      }
+    }
+  }
+  int sup_status = 0;
+  int sup_exit = -1;
+  if (::waitpid(sup_pid, &sup_status, 0) == sup_pid && WIFEXITED(sup_status)) {
+    sup_exit = WEXITSTATUS(sup_status);
+  }
+  require("supervisor exits 0 after broadcast shutdown", sup_exit == 0);
+  if (sup_exit != 0) ::kill(-sup_pid, SIGKILL);
+
+  std::ofstream json("BENCH_cluster.json");
+  json << "{\n  \"programs\": " << programs << ",\n  \"shards\": " << kShards
+       << ",\n  \"clients\": " << kClients << ",\n  \"kills\": "
+       << kills.load() << ",\n  \"total_respawns\": "
+       << jsonField(status, "total_respawns") << ",\n  \"storm_requests\": "
+       << storm_issued.load() << ",\n  \"storm_failures\": "
+       << storm_issued.load() - storm_ok.load() << ",\n  \"baseline_rps\": "
+       << baseline_rps << ",\n  \"storm_rps\": " << storm_rps
+       << ",\n  \"recovered_rps\": " << recovered_rps
+       << ",\n  \"recovery_ratio\": " << ratio << ",\n  \"criteria\": [";
+  for (std::size_t i = 0; i < criteria.size(); ++i) {
+    json << (i ? "," : "") << "\n    {\"name\": \""
+         << cuaf::jsonEscape(criteria[i].name)
+         << "\", \"pass\": " << (criteria[i].pass ? "true" : "false") << "}";
+  }
+  json << "\n  ]\n}\n";
+  std::cout << "wrote BENCH_cluster.json\n";
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return exit_code;
+}

@@ -1,0 +1,202 @@
+#include "src/net/address.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace cuaf::net {
+
+namespace {
+
+void setNodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+[[noreturn]] void throwErrno(const std::string& what, int err) {
+  throw std::runtime_error(what + ": " + std::strerror(err));
+}
+
+/// Resolves host:port into a single AF_INET sockaddr. Numeric hosts
+/// (the common case: 127.0.0.1, 0.0.0.0) never touch the resolver.
+sockaddr_in resolveTcp(const Address& address) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* result = nullptr;
+  std::string port = std::to_string(address.port);
+  int rc = ::getaddrinfo(address.host.c_str(), port.c_str(), &hints, &result);
+  if (rc != 0 || result == nullptr) {
+    throw std::runtime_error("cannot resolve " + address.str() + ": " +
+                             ::gai_strerror(rc));
+  }
+  sockaddr_in out{};
+  std::memcpy(&out, result->ai_addr, sizeof(out));
+  ::freeaddrinfo(result);
+  return out;
+}
+
+sockaddr_un unixSockaddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Address Address::makeUnix(std::string socket_path) {
+  Address a;
+  a.kind = Kind::Unix;
+  a.path = std::move(socket_path);
+  return a;
+}
+
+Address Address::makeTcp(std::string host, std::uint16_t port) {
+  Address a;
+  a.kind = Kind::Tcp;
+  a.host = std::move(host);
+  a.port = port;
+  return a;
+}
+
+std::string Address::str() const {
+  if (kind == Kind::Unix) return path;
+  return host + ":" + std::to_string(port);
+}
+
+Address parseAddress(const std::string& text) {
+  std::size_t colon = text.rfind(':');
+  if (colon != std::string::npos && colon + 1 < text.size() &&
+      text.find('/') == std::string::npos) {
+    std::string digits = text.substr(colon + 1);
+    bool numeric = true;
+    unsigned long value = 0;
+    for (char c : digits) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      value = value * 10 + static_cast<unsigned long>(c - '0');
+      if (value > 65535) {
+        throw std::runtime_error("port out of range in address: " + text);
+      }
+    }
+    if (numeric) {
+      std::string host = text.substr(0, colon);
+      if (host.empty()) host = "0.0.0.0";
+      return Address::makeTcp(std::move(host),
+                              static_cast<std::uint16_t>(value));
+    }
+  }
+  return Address::makeUnix(text);
+}
+
+Address shardAddress(const Address& base, std::size_t shard,
+                     std::size_t shard_count) {
+  if (shard_count <= 1) return base;
+  if (base.kind == Address::Kind::Unix) {
+    return Address::makeUnix(base.path + "." + std::to_string(shard));
+  }
+  unsigned long port = static_cast<unsigned long>(base.port) + shard;
+  if (port > 65535) {
+    throw std::runtime_error("shard port overflows 65535: " + base.str() +
+                             " shard " + std::to_string(shard));
+  }
+  return Address::makeTcp(base.host, static_cast<std::uint16_t>(port));
+}
+
+std::vector<Address> splitAddressList(const std::string& text) {
+  std::vector<Address> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    std::size_t end = comma == std::string::npos ? text.size() : comma;
+    std::string piece = text.substr(start, end - start);
+    if (piece.empty()) {
+      throw std::runtime_error("empty element in address list: " + text);
+    }
+    out.push_back(parseAddress(piece));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int dialAddress(const Address& address) {
+  if (address.kind == Address::Kind::Unix) {
+    sockaddr_un addr = unixSockaddr(address.path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throwErrno("cannot create socket", errno);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      int err = errno;
+      ::close(fd);
+      throwErrno("cannot connect to " + address.path, err);
+    }
+    return fd;
+  }
+  sockaddr_in addr = resolveTcp(address);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throwErrno("cannot create socket", errno);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    int err = errno;
+    ::close(fd);
+    throwErrno("cannot connect to " + address.str(), err);
+  }
+  setNodelay(fd);
+  return fd;
+}
+
+int bindListenAddress(const Address& address, int backlog,
+                      std::uint16_t* bound_port) {
+  if (bound_port != nullptr) *bound_port = 0;
+  if (address.kind == Address::Kind::Unix) {
+    sockaddr_un addr = unixSockaddr(address.path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) throwErrno("cannot create socket", errno);
+    ::unlink(address.path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(fd, backlog) < 0) {
+      int err = errno;
+      ::close(fd);
+      throwErrno("cannot bind/listen on " + address.path, err);
+    }
+    return fd;
+  }
+  sockaddr_in addr = resolveTcp(address);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throwErrno("cannot create socket", errno);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    int err = errno;
+    ::close(fd);
+    throwErrno("cannot bind/listen on " + address.str(), err);
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+      *bound_port = ntohs(actual.sin_port);
+    }
+  }
+  return fd;
+}
+
+}  // namespace cuaf::net

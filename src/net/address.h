@@ -1,0 +1,67 @@
+// Shard addressing for the analysis service: one `Address` type covering
+// both AF_UNIX socket paths and AF_INET host:port endpoints, so the ring,
+// the tools, and the supervisor can span hosts without caring about the
+// transport (docs/SERVICE.md "Cluster supervision & multi-host").
+//
+// Syntax: a string containing a ':' whose suffix is a decimal port and
+// which contains no '/' parses as TCP ("127.0.0.1:7000"); anything else
+// is a unix socket path. Shard k of a TCP base address listens on
+// port+k, mirroring shardSocketPath's "<base>.<k>" convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuaf::net {
+
+struct Address {
+  enum class Kind { Unix, Tcp };
+
+  Kind kind = Kind::Unix;
+  std::string path;        ///< Unix: socket path
+  std::string host;        ///< Tcp: numeric or resolvable host
+  std::uint16_t port = 0;  ///< Tcp: port (0 = kernel-assigned, Listener only)
+
+  // Named makeUnix/makeTcp: `unix` is a predefined macro under GNU modes.
+  [[nodiscard]] static Address makeUnix(std::string socket_path);
+  [[nodiscard]] static Address makeTcp(std::string host, std::uint16_t port);
+
+  /// Canonical printable form ("path" or "host:port").
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] bool operator==(const Address& other) const {
+    return kind == other.kind && path == other.path && host == other.host &&
+           port == other.port;
+  }
+};
+
+/// Parses "host:port" (no '/', numeric port) as Tcp, anything else as a
+/// Unix path. Throws std::runtime_error on malformed TCP-looking input
+/// such as ":0x50" only when the suffix is not numeric — those fall back
+/// to Unix, keeping every historical --socket value valid.
+[[nodiscard]] Address parseAddress(const std::string& text);
+
+/// The address shard `shard` of `shard_count` serves: Unix bases get the
+/// "<base>.<shard>" suffix (shardSocketPath), TCP bases get port+shard.
+/// Shared by serve (binding), the supervisor (health checks) and clients
+/// (routing) so they can never disagree.
+[[nodiscard]] Address shardAddress(const Address& base, std::size_t shard,
+                                   std::size_t shard_count);
+
+/// Splits a comma-separated `--connect` list into addresses. Throws on an
+/// empty element.
+[[nodiscard]] std::vector<Address> splitAddressList(const std::string& text);
+
+/// Blocking connect to `address`; returns an owned blocking fd with
+/// TCP_NODELAY set for Tcp. Throws std::runtime_error on failure.
+[[nodiscard]] int dialAddress(const Address& address);
+
+/// Creates a nonblocking+cloexec listening socket bound to `address`
+/// (SO_REUSEADDR for Tcp; unlinks a stale Unix path). Returns the fd;
+/// throws std::runtime_error on failure. `bound_port`, when non-null,
+/// receives the actual TCP port (meaningful with port 0).
+[[nodiscard]] int bindListenAddress(const Address& address, int backlog,
+                                    std::uint16_t* bound_port);
+
+}  // namespace cuaf::net

@@ -1,0 +1,51 @@
+// Decorrelated-jitter retry backoff (the AWS "decorrelated jitter"
+// schedule): each delay is drawn uniformly from [base, min(cap, 3*prev)],
+// so concurrent clients hammering a recovering shard spread out instead
+// of retrying in lockstep the way plain exponential backoff does.
+//
+// Deterministic by construction: the uniform draws come from a splitmix64
+// walk seeded explicitly, never std::random_device, so tests can pin the
+// schedule and two clients with different seeds decorrelate.
+#pragma once
+
+#include <cstdint>
+
+#include "src/support/hash.h"
+
+namespace cuaf::net {
+
+class DecorrelatedJitter {
+ public:
+  DecorrelatedJitter(std::uint64_t base_ms, std::uint64_t cap_ms,
+                     std::uint64_t seed)
+      : base_(base_ms == 0 ? 1 : base_ms),
+        cap_(cap_ms < base_ ? base_ : cap_ms),
+        prev_(base_),
+        state_(splitmix64(seed ^ fnv1a64("cuaf-decorrelated-jitter-v1"))) {}
+
+  /// Next delay in ms: uniform in [base, min(cap, 3*prev)]. The first
+  /// call returns a value in [base, min(cap, 3*base)].
+  [[nodiscard]] std::uint64_t nextDelayMs() {
+    std::uint64_t hi = prev_ > cap_ / 3 ? cap_ : prev_ * 3;
+    if (hi > cap_) hi = cap_;
+    std::uint64_t span = hi >= base_ ? hi - base_ + 1 : 1;
+    state_ = splitmix64(state_);
+    prev_ = base_ + state_ % span;
+    return prev_;
+  }
+
+  /// Forgets the ramp: the next delay draws from the initial window
+  /// again. Call after a success so the next failure starts small.
+  void reset() { prev_ = base_; }
+
+  [[nodiscard]] std::uint64_t baseMs() const { return base_; }
+  [[nodiscard]] std::uint64_t capMs() const { return cap_; }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t cap_;
+  std::uint64_t prev_;
+  std::uint64_t state_;
+};
+
+}  // namespace cuaf::net

@@ -1,0 +1,83 @@
+// Per-shard circuit breaker for the sharded analysis client
+// (docs/SERVICE.md "Cluster supervision & multi-host"):
+//
+//   Closed    — requests flow; a connection-level failure trips to Open.
+//   Open      — requests skip this shard (the ring fails them over);
+//               after a decorrelated-jitter window the breaker admits one
+//               probe, i.e. transitions to HalfOpen.
+//   HalfOpen  — exactly one probe request is allowed through; success
+//               closes the breaker (shard un-marked, keys re-route home),
+//               failure re-opens it with a longer window.
+//
+// Time is injected into every method so unit tests drive the state
+// machine with a fake clock; callers pass std::chrono::steady_clock::now().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/net/backoff.h"
+
+namespace cuaf::net {
+
+class CircuitBreaker {
+ public:
+  enum class State { Closed, Open, HalfOpen };
+
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  CircuitBreaker(std::uint64_t open_base_ms, std::uint64_t open_cap_ms,
+                 std::uint64_t jitter_seed)
+      : window_(open_base_ms, open_cap_ms, jitter_seed) {}
+
+  /// Current state at `now`. An Open breaker whose window elapsed reads
+  /// as HalfOpen (probe not yet claimed).
+  [[nodiscard]] State state(TimePoint now) const {
+    if (state_ == State::Open && now >= reopen_at_) return State::HalfOpen;
+    return state_;
+  }
+
+  /// Claims the single HalfOpen probe slot. Returns true exactly once per
+  /// open window; the caller must follow up with recordSuccess or
+  /// recordFailure.
+  [[nodiscard]] bool allowProbe(TimePoint now) {
+    if (state(now) != State::HalfOpen || probe_claimed_) return false;
+    state_ = State::HalfOpen;
+    probe_claimed_ = true;
+    return true;
+  }
+
+  void recordSuccess() {
+    state_ = State::Closed;
+    probe_claimed_ = false;
+    window_.reset();
+  }
+
+  void recordFailure(TimePoint now) {
+    state_ = State::Open;
+    probe_claimed_ = false;
+    reopen_at_ = now + std::chrono::milliseconds(window_.nextDelayMs());
+    ++opens_;
+  }
+
+  /// Times a closed→closed caller can sleep until the breaker is worth
+  /// re-checking; zero when not Open.
+  [[nodiscard]] std::uint64_t msUntilProbe(TimePoint now) const {
+    if (state(now) != State::Open) return 0;
+    auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(
+        reopen_at_ - now);
+    return delta.count() <= 0 ? 0
+                              : static_cast<std::uint64_t>(delta.count());
+  }
+
+  [[nodiscard]] std::uint64_t opens() const { return opens_; }
+
+ private:
+  DecorrelatedJitter window_;
+  State state_ = State::Closed;
+  bool probe_claimed_ = false;
+  TimePoint reopen_at_{};
+  std::uint64_t opens_ = 0;
+};
+
+}  // namespace cuaf::net

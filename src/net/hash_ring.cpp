@@ -53,6 +53,20 @@ std::size_t HashRing::route(std::uint64_t key) const {
   return points_.front().shard;  // unreachable with aliveCount() > 0
 }
 
+std::size_t HashRing::routeExcluding(std::uint64_t key,
+                                     std::size_t exclude) const {
+  std::uint64_t h = splitmix64(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t value) { return p.hash < value; });
+  for (std::size_t step = 0; step < points_.size(); ++step) {
+    if (it == points_.end()) it = points_.begin();
+    if (alive_[it->shard] && it->shard != exclude) return it->shard;
+    ++it;
+  }
+  return shardCount();
+}
+
 void HashRing::markDead(std::size_t shard) {
   if (shard < alive_.size()) alive_[shard] = false;
 }

@@ -33,6 +33,12 @@ class HashRing {
   /// aliveCount() > 0.
   [[nodiscard]] std::size_t route(std::uint64_t key) const;
 
+  /// Shard owning `key` when `exclude` is ignored — the hedging target:
+  /// where the key would land if its owner died. Returns shardCount()
+  /// when no other shard is alive.
+  [[nodiscard]] std::size_t routeExcluding(std::uint64_t key,
+                                           std::size_t exclude) const;
+
   /// Marks a shard dead: its keys re-route to the next alive points on
   /// the ring (no other key moves). Idempotent.
   void markDead(std::size_t shard);

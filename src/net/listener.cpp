@@ -1,44 +1,27 @@
 #include "src/net/listener.h"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
-#include <stdexcept>
 #include <utility>
 
 namespace cuaf::net {
 
-Listener::Listener(EventLoop& loop, const std::string& path, int backlog,
+Listener::Listener(EventLoop& loop, const Address& address, int backlog,
                    AcceptFn on_accept)
-    : loop_(loop), path_(path), on_accept_(std::move(on_accept)) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("socket path too long: " + path);
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error(std::string("cannot create socket: ") +
-                             std::strerror(errno));
-  }
-  ::unlink(path.c_str());
-  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(fd_, backlog) < 0) {
-    int err = errno;
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("cannot bind/listen on " + path + ": " +
-                             std::strerror(err));
-  }
+    : loop_(loop), address_(address), on_accept_(std::move(on_accept)) {
+  fd_ = bindListenAddress(address_, backlog, &bound_port_);
   loop_.add(fd_, EPOLLIN, [this](std::uint32_t) { onReadable(); });
 }
+
+Listener::Listener(EventLoop& loop, const std::string& path_or_addr,
+                   int backlog, AcceptFn on_accept)
+    : Listener(loop, parseAddress(path_or_addr), backlog,
+               std::move(on_accept)) {}
 
 Listener::~Listener() { close(); }
 
@@ -47,7 +30,9 @@ void Listener::close() {
   loop_.del(fd_);
   ::close(fd_);
   fd_ = -1;
-  ::unlink(path_.c_str());
+  if (address_.kind == Address::Kind::Unix) {
+    ::unlink(address_.path.c_str());
+  }
 }
 
 void Listener::onReadable() {
@@ -62,6 +47,10 @@ void Listener::onReadable() {
       // ECONNABORTED (client gave up while queued), EMFILE/ENFILE (fd
       // pressure): skip this connection attempt; the daemon keeps serving.
       return;
+    }
+    if (address_.kind == Address::Kind::Tcp) {
+      int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     }
     ++accepted_;
     on_accept_(client);

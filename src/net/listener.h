@@ -1,14 +1,16 @@
-// Nonblocking AF_UNIX listening socket on an EventLoop: binds (unlinking
-// any stale socket file), listens with a configurable backlog, and accepts
-// every pending client per readable event — retrying EINTR and treating
-// per-connection accept failures (ECONNABORTED, fd exhaustion) as events
-// to skip, never daemon errors.
+// Nonblocking listening socket on an EventLoop: binds an AF_UNIX path
+// (unlinking any stale socket file) or an AF_INET host:port (SO_REUSEADDR,
+// TCP_NODELAY on accepted fds), listens with a configurable backlog, and
+// accepts every pending client per readable event — retrying EINTR and
+// treating per-connection accept failures (ECONNABORTED, fd exhaustion)
+// as events to skip, never daemon errors.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
 
+#include "src/net/address.h"
 #include "src/net/event_loop.h"
 
 namespace cuaf::net {
@@ -18,9 +20,13 @@ class Listener {
   /// Receives ownership of a freshly accepted nonblocking client fd.
   using AcceptFn = std::function<void(int fd)>;
 
-  /// Binds and listens at `path`; throws std::runtime_error on failure
-  /// (path too long, bind/listen refused).
-  Listener(EventLoop& loop, const std::string& path, int backlog,
+  /// Binds and listens at `address`; throws std::runtime_error on failure
+  /// (path too long, bind/listen refused, unresolvable host).
+  Listener(EventLoop& loop, const Address& address, int backlog,
+           AcceptFn on_accept);
+
+  /// Convenience: parses `path_or_addr` (unix path or host:port).
+  Listener(EventLoop& loop, const std::string& path_or_addr, int backlog,
            AcceptFn on_accept);
   ~Listener();
 
@@ -28,18 +34,22 @@ class Listener {
   Listener& operator=(const Listener&) = delete;
 
   /// Stops accepting: unregisters and closes the listening fd and unlinks
-  /// the socket path. Idempotent.
+  /// the socket path (unix only). Idempotent.
   void close();
 
   [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+
+  /// The actual TCP port bound (meaningful with port 0); 0 for unix.
+  [[nodiscard]] std::uint16_t boundPort() const { return bound_port_; }
 
  private:
   void onReadable();
 
   EventLoop& loop_;
-  std::string path_;
+  Address address_;
   AcceptFn on_accept_;
   int fd_ = -1;
+  std::uint16_t bound_port_ = 0;
   std::uint64_t accepted_ = 0;
 };
 

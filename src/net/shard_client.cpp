@@ -1,0 +1,368 @@
+#include "src/net/shard_client.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/support/hash.h"
+
+namespace cuaf::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t msSince(Clock::time_point start, Clock::time_point now) {
+  auto d = std::chrono::duration_cast<std::chrono::milliseconds>(now - start);
+  return d.count() <= 0 ? 0 : static_cast<std::uint64_t>(d.count());
+}
+
+/// poll() one fd for POLLIN, EINTR-safe. timeout_ms capped to int range.
+bool pollIn(int fd, std::uint64_t timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  for (;;) {
+    int timeout = timeout_ms > 60'000 ? 60'000 : static_cast<int>(timeout_ms);
+    int rc = ::poll(&p, 1, timeout);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc > 0;
+  }
+}
+
+}  // namespace
+
+ShardConnection::ShardConnection(const Address& address)
+    : fd_(dialAddress(address)) {}
+
+ShardConnection::~ShardConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ShardConnection::sendLine(const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::string_view rest = framed;
+  while (!rest.empty()) {
+    ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("send failed: ") +
+                               std::strerror(errno));
+    }
+    rest.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+bool ShardConnection::hasLine() const {
+  return buffer_.find('\n') != std::string::npos;
+}
+
+void ShardConnection::fillOnce() {
+  char buf[65536];
+  for (;;) {
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("read failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) throw std::runtime_error("daemon closed the connection");
+    buffer_.append(buf, static_cast<std::size_t>(n));
+    return;
+  }
+}
+
+std::string ShardConnection::readLine() {
+  std::size_t nl;
+  while ((nl = buffer_.find('\n')) == std::string::npos) fillOnce();
+  std::string response = buffer_.substr(0, nl);
+  buffer_.erase(0, nl + 1);
+  return response;
+}
+
+bool ShardConnection::waitReadable(std::uint64_t timeout_ms) {
+  if (hasLine()) return true;
+  Clock::time_point start = Clock::now();
+  for (;;) {
+    std::uint64_t spent = msSince(start, Clock::now());
+    if (spent >= timeout_ms) return hasLine();
+    if (!pollIn(fd_, timeout_ms - spent)) continue;  // re-check the budget
+    fillOnce();  // poll said readable: one read() will not block
+    if (hasLine()) return true;
+  }
+}
+
+bool probeAddress(const Address& address, std::uint64_t timeout_ms) {
+  // The connect itself is blocking but resolves immediately for unix and
+  // localhost TCP sockets (the kernel completes the handshake even when
+  // the listener process is stopped — which is exactly why the read below
+  // is poll-bounded: a SIGSTOPped shard accepts but never answers).
+  try {
+    ShardConnection conn(address);
+    conn.sendLine("{\"op\":\"ping\",\"id\":0}");
+    if (!conn.waitReadable(timeout_ms)) return false;
+    std::string response = conn.readLine();
+    return response.find("\"status\":\"ok\"") != std::string::npos &&
+           response.find("\"op\":\"ping\"") != std::string::npos;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+ShardClient::ShardClient(std::vector<Address> shards,
+                         ShardClientOptions options)
+    : addresses_(std::move(shards)),
+      options_(options),
+      ring_(addresses_.empty() ? 1 : addresses_.size()),
+      conns_(ring_.shardCount()),
+      retry_jitter_(options.backoff_base_ms, options.backoff_cap_ms,
+                    options.backoff_seed) {
+  if (addresses_.empty()) {
+    throw std::runtime_error("ShardClient needs at least one address");
+  }
+  breakers_.reserve(ring_.shardCount());
+  for (std::size_t k = 0; k < ring_.shardCount(); ++k) {
+    breakers_.emplace_back(
+        options_.breaker_open_base_ms, options_.breaker_open_cap_ms,
+        hashCombine(splitmix64(options_.backoff_seed), k));
+  }
+}
+
+std::vector<Address> ShardClient::addressesFor(const std::string& base_addr,
+                                               std::size_t shards) {
+  Address base = parseAddress(base_addr);
+  std::vector<Address> out;
+  std::size_t n = shards == 0 ? 1 : shards;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.push_back(shardAddress(base, k, n));
+  }
+  return out;
+}
+
+bool ShardClient::responseOk(const std::string& response) {
+  return response.find("\"status\":\"ok\"") != std::string::npos;
+}
+
+bool ShardClient::responseRetryable(const std::string& response) {
+  return response.find("\"code\":\"overloaded\"") != std::string::npos ||
+         response.find("\"code\":\"worker_crashed\"") != std::string::npos;
+}
+
+void ShardClient::refreshRing(TimePoint now) {
+  for (std::size_t k = 0; k < breakers_.size(); ++k) {
+    if (breakers_[k].state(now) == CircuitBreaker::State::Open) {
+      ring_.markDead(k);
+    } else {
+      ring_.markAlive(k);
+    }
+  }
+}
+
+std::size_t ShardClient::route(std::uint64_t key) {
+  refreshRing(Clock::now());
+  if (ring_.aliveCount() == 0) {
+    // Every breaker open: route on the full ring so callers that only
+    // group (e.g. batch splitting) still get the canonical owner.
+    for (std::size_t k = 0; k < ring_.shardCount(); ++k) ring_.markAlive(k);
+    std::size_t shard = ring_.route(key);
+    refreshRing(Clock::now());
+    return shard;
+  }
+  return ring_.route(key);
+}
+
+std::vector<std::size_t> ShardClient::reachableShards() {
+  refreshRing(Clock::now());
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < ring_.shardCount(); ++k) {
+    if (ring_.alive(k)) out.push_back(k);
+  }
+  return out;
+}
+
+void ShardClient::ensureConn(std::size_t shard) {
+  if (!conns_[shard]) {
+    conns_[shard] = std::make_unique<ShardConnection>(addresses_[shard]);
+  }
+}
+
+void ShardClient::dropConn(std::size_t shard) { conns_[shard].reset(); }
+
+std::string ShardClient::attemptOnce(std::size_t shard,
+                                     const std::string& request) {
+  ensureConn(shard);
+  ++counters_.requests;
+  return conns_[shard]->roundTrip(request);
+}
+
+std::string ShardClient::issueOn(std::size_t shard,
+                                 const std::string& request) {
+  retry_jitter_.reset();
+  for (unsigned attempt = 0;; ++attempt) {
+    std::string response;
+    try {
+      response = attemptOnce(shard, request);
+    } catch (const std::exception&) {
+      // Dead socket: reconnect on the next attempt.
+      dropConn(shard);
+      if (attempt >= options_.retries) {
+        breakers_[shard].recordFailure(Clock::now());
+        ++counters_.breaker_opens;
+        throw;
+      }
+      ++counters_.retries;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry_jitter_.nextDelayMs()));
+      continue;
+    }
+    if (attempt < options_.retries && !responseOk(response) &&
+        responseRetryable(response)) {
+      ++counters_.retries;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry_jitter_.nextDelayMs()));
+      continue;
+    }
+    breakers_[shard].recordSuccess();
+    return response;
+  }
+}
+
+std::string ShardClient::issueRouted(std::uint64_t key,
+                                     const std::string& request) {
+  TimePoint start = Clock::now();
+  bool failed_over = false;
+  for (;;) {
+    TimePoint now = Clock::now();
+    refreshRing(now);
+    if (ring_.aliveCount() == 0) {
+      // Every breaker open: wait for the soonest probe window if the
+      // routing budget allows, otherwise give up.
+      std::uint64_t soonest = UINT64_MAX;
+      for (auto& b : breakers_) {
+        std::uint64_t wait = b.msUntilProbe(now);
+        if (wait < soonest) soonest = wait;
+      }
+      std::uint64_t spent = msSince(start, now);
+      if (spent >= options_.route_budget_ms) {
+        throw std::runtime_error(
+            "all shard breakers open; routed request failed");
+      }
+      std::uint64_t budget_left = options_.route_budget_ms - spent;
+      std::uint64_t sleep = soonest == UINT64_MAX ? 1 : soonest + 1;
+      if (sleep > budget_left) sleep = budget_left;
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep));
+      continue;
+    }
+    std::size_t shard = ring_.route(key);
+    if (breakers_[shard].allowProbe(now)) ++counters_.probes;
+    try {
+      std::string response =
+          options_.hedge_ms > 0 ? issueHedged(shard, key, request)
+                                : issueOn(shard, request);
+      if (failed_over) ++counters_.failovers;
+      return response;
+    } catch (const std::exception&) {
+      // Breaker recorded the failure; the next refreshRing re-routes.
+      failed_over = true;
+      if (ring_.shardCount() == 1 && options_.route_budget_ms == 0) throw;
+    }
+  }
+}
+
+std::string ShardClient::issueHedged(std::size_t primary, std::uint64_t key,
+                                     const std::string& request) {
+  // Fast path: the primary answers within the hedge window.
+  try {
+    ensureConn(primary);
+    ++counters_.requests;
+    conns_[primary]->sendLine(request);
+    if (conns_[primary]->waitReadable(options_.hedge_ms)) {
+      std::string response = conns_[primary]->readLine();
+      breakers_[primary].recordSuccess();
+      return response;
+    }
+  } catch (const std::exception&) {
+    dropConn(primary);
+    breakers_[primary].recordFailure(Clock::now());
+    ++counters_.breaker_opens;
+    throw;
+  }
+
+  refreshRing(Clock::now());
+  std::size_t backup = ring_.routeExcluding(key, primary);
+  if (backup >= ring_.shardCount()) {
+    // Nowhere to hedge: block on the primary like an unhedged request.
+    try {
+      std::string response = conns_[primary]->readLine();
+      breakers_[primary].recordSuccess();
+      return response;
+    } catch (const std::exception&) {
+      dropConn(primary);
+      breakers_[primary].recordFailure(Clock::now());
+      ++counters_.breaker_opens;
+      throw;
+    }
+  }
+
+  // Hedge: duplicate the request to the backup and race the two
+  // connections. The loser's connection is dropped — it still owes us a
+  // response line, and reusing it would desynchronize request/response
+  // pairing. The duplicated work lands in the loser's content-addressed
+  // cache, so nothing is double-counted into any response.
+  ++counters_.hedges;
+  try {
+    ensureConn(backup);
+    ++counters_.requests;
+    conns_[backup]->sendLine(request);
+    std::size_t winner = primary;
+    for (;;) {
+      if (conns_[primary]->hasLine()) {
+        winner = primary;
+        break;
+      }
+      if (conns_[backup]->hasLine()) {
+        winner = backup;
+        break;
+      }
+      pollfd fds[2] = {{conns_[primary]->fd(), POLLIN, 0},
+                       {conns_[backup]->fd(), POLLIN, 0}};
+      int rc = ::poll(fds, 2, 60'000);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("poll failed: ") +
+                                 std::strerror(errno));
+      }
+      if (rc == 0) {
+        throw std::runtime_error("hedged request timed out on both shards");
+      }
+      if (fds[0].revents != 0) conns_[primary]->fillOnce();
+      if (fds[1].revents != 0 && !conns_[primary]->hasLine()) {
+        conns_[backup]->fillOnce();
+      }
+    }
+    std::string response = conns_[winner]->readLine();
+    breakers_[winner].recordSuccess();
+    std::size_t loser = winner == primary ? backup : primary;
+    dropConn(loser);
+    if (winner == backup) ++counters_.hedge_wins;
+    return response;
+  } catch (const std::exception&) {
+    // Either side failing mid-race leaves unknown bytes in flight on both:
+    // reset them. Blame the primary (it already blew the hedge window) so
+    // routing moves on.
+    dropConn(primary);
+    dropConn(backup);
+    breakers_[primary].recordFailure(Clock::now());
+    ++counters_.breaker_opens;
+    throw;
+  }
+}
+
+}  // namespace cuaf::net

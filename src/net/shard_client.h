@@ -1,0 +1,158 @@
+// Resilient blocking client for the sharded analysis service
+// (docs/SERVICE.md "Cluster supervision & multi-host"): routes requests
+// over the consistent-hash ring with a per-shard circuit breaker
+// (closed/open/half-open probes), decorrelated-jitter retry backoff,
+// automatic failover to the next ring shard when a breaker opens — and
+// automatic un-mark when the shard's probe succeeds, so keys re-route
+// home to their warm cache — plus optional tail-latency hedging for
+// idempotent requests (first response wins; the duplicate lands on the
+// loser's content-addressed cache, so no work is ever double-counted
+// into a response).
+//
+// Not thread-safe: one ShardClient per client thread. Used by
+// chpl-uaf-client, the cluster chaos tests, and bench_cluster.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/address.h"
+#include "src/net/backoff.h"
+#include "src/net/breaker.h"
+#include "src/net/hash_ring.h"
+
+namespace cuaf::net {
+
+/// One blocking NDJSON connection to a shard. Line-buffered reads so a
+/// hedged race can poll two connections without losing bytes.
+class ShardConnection {
+ public:
+  explicit ShardConnection(const Address& address);
+  ~ShardConnection();
+
+  ShardConnection(const ShardConnection&) = delete;
+  ShardConnection& operator=(const ShardConnection&) = delete;
+
+  /// Sends `line` plus the trailing newline (MSG_NOSIGNAL; EINTR-safe).
+  void sendLine(const std::string& line);
+
+  /// Blocks until one full response line is buffered and returns it
+  /// (without the newline). Throws on EOF or read error.
+  std::string readLine();
+
+  /// True once a full line is buffered; waits up to `timeout_ms` for
+  /// bytes, reading as they arrive. Never consumes the line.
+  [[nodiscard]] bool waitReadable(std::uint64_t timeout_ms);
+
+  [[nodiscard]] bool hasLine() const;
+
+  /// One blocking read() appended to the buffer. Throws on EOF/error.
+  void fillOnce();
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+  std::string roundTrip(const std::string& request) {
+    sendLine(request);
+    return readLine();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// One blocking health probe: connect, send `{"op":"ping"}`, await the
+/// ack — all within `timeout_ms`. Never throws; false on any failure.
+[[nodiscard]] bool probeAddress(const Address& address,
+                                std::uint64_t timeout_ms);
+
+struct ShardClientOptions {
+  unsigned retries = 0;               ///< extra attempts per shard
+  std::uint64_t backoff_base_ms = 50;
+  std::uint64_t backoff_cap_ms = 2000;
+  std::uint64_t backoff_seed = 0;     ///< decorrelates concurrent clients
+  std::uint64_t breaker_open_base_ms = 100;
+  std::uint64_t breaker_open_cap_ms = 2000;
+  std::uint64_t hedge_ms = 0;         ///< 0 disables hedging
+  /// issueRouted keeps waiting for an open breaker's probe window up to
+  /// this long when every shard is open, instead of failing immediately.
+  /// 0 = fail as soon as all breakers are open (one pass).
+  std::uint64_t route_budget_ms = 0;
+};
+
+class ShardClient {
+ public:
+  struct Counters {
+    std::uint64_t requests = 0;      ///< round-trip attempts sent
+    std::uint64_t retries = 0;       ///< same-shard retry attempts
+    std::uint64_t failovers = 0;     ///< routed requests moved to another shard
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t probes = 0;        ///< half-open probe attempts
+    std::uint64_t hedges = 0;        ///< duplicate requests sent
+    std::uint64_t hedge_wins = 0;    ///< races won by the backup shard
+  };
+
+  ShardClient(std::vector<Address> shards, ShardClientOptions options);
+
+  /// Shards of `base_addr` ("path" or "host:port"): shardAddress(k) for
+  /// k in [0, shards).
+  [[nodiscard]] static std::vector<Address> addressesFor(
+      const std::string& base_addr, std::size_t shards);
+
+  [[nodiscard]] std::size_t shardCount() const { return ring_.shardCount(); }
+
+  /// Shard currently owning `key` (breaker states refreshed first).
+  [[nodiscard]] std::size_t route(std::uint64_t key);
+
+  /// Shards whose breaker is not open right now, ascending.
+  [[nodiscard]] std::vector<std::size_t> reachableShards();
+
+  /// Round-trips on one specific shard with the retry/backoff policy:
+  /// connection errors reconnect and, once the budget is spent, open the
+  /// breaker and throw; transient "overloaded"/"worker_crashed" responses
+  /// retry without tripping the breaker (the daemon is alive).
+  std::string issueOn(std::size_t shard, const std::string& request);
+
+  /// Round-trips on the shard owning `key`, failing over along the ring
+  /// when breakers open and hedging after hedge_ms when enabled. Throws
+  /// only when every shard's breaker is open past route_budget_ms.
+  std::string issueRouted(std::uint64_t key, const std::string& request);
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] CircuitBreaker::State breakerState(std::size_t shard) const {
+    return breakers_[shard].state(std::chrono::steady_clock::now());
+  }
+
+  /// "status":"ok" never appears inside a response string literal
+  /// (quotes are escaped there), so a substring probe is reliable.
+  [[nodiscard]] static bool responseOk(const std::string& response);
+
+  /// Error codes worth retrying in place: the condition is transient by
+  /// design (admission control sheds load; the daemon respawns a crashed
+  /// worker).
+  [[nodiscard]] static bool responseRetryable(const std::string& response);
+
+ private:
+  using TimePoint = CircuitBreaker::TimePoint;
+
+  /// Re-marks ring liveness from breaker states: open = dead.
+  void refreshRing(TimePoint now);
+  std::string attemptOnce(std::size_t shard, const std::string& request);
+  std::string issueHedged(std::size_t primary, std::uint64_t key,
+                          const std::string& request);
+  void ensureConn(std::size_t shard);
+  void dropConn(std::size_t shard);
+
+  std::vector<Address> addresses_;
+  ShardClientOptions options_;
+  HashRing ring_;
+  std::vector<CircuitBreaker> breakers_;
+  std::vector<std::unique_ptr<ShardConnection>> conns_;
+  DecorrelatedJitter retry_jitter_;
+  Counters counters_;
+};
+
+}  // namespace cuaf::net

@@ -2,6 +2,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -118,11 +119,30 @@ void fsyncDir(const std::string& dir) {
 
 DiskCache::DiskCache(std::string dir) : dir_(std::move(dir)) {
   ::mkdir(dir_.c_str(), 0755);  // EEXIST is the common, fine case
+  // Advisory exclusive lock on the directory: a second daemon started on
+  // the same --cache-dir would interleave O_APPEND records into the same
+  // segments. flock is per open file description, so forked workers
+  // sharing this fd share the lock; only a distinct process taking its
+  // own open() is refused.
+  std::string lock_path = dir_ + "/.lock";
+  lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lock_fd_ >= 0 && ::flock(lock_fd_, LOCK_EX | LOCK_NB) < 0) {
+    int err = errno;
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    if (err == EWOULDBLOCK) throw CacheDirLockedError(dir_);
+    // Filesystems without flock support: proceed unlocked, best-effort —
+    // exactly the pre-lock behavior.
+  }
 }
 
 DiskCache::~DiskCache() {
   std::lock_guard<std::mutex> lock(mutex_);
   closeAppendLocked();
+  if (lock_fd_ >= 0) {
+    ::close(lock_fd_);  // closing releases the flock
+    lock_fd_ = -1;
+  }
 }
 
 std::vector<std::string> DiskCache::segmentsLocked() const {

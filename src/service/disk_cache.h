@@ -40,11 +40,21 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace cuaf::service {
+
+/// Thrown when another live process holds the cache directory's advisory
+/// lock: two daemons appending to the same segment files would interleave
+/// records. Surfaces as the structured "cache_dir_locked" error.
+class CacheDirLockedError : public std::runtime_error {
+ public:
+  explicit CacheDirLockedError(const std::string& dir)
+      : std::runtime_error("cache dir is locked by another process: " + dir) {}
+};
 
 class DiskCache {
  public:
@@ -62,7 +72,12 @@ class DiskCache {
   /// Append target rolls to a fresh segment past this size.
   static constexpr std::uint64_t kSegmentRollBytes = 64ull << 20;
 
-  /// `dir` is created if missing. No I/O beyond that until load()/append().
+  /// `dir` is created if missing, and an advisory flock is taken on
+  /// `<dir>/.lock` so two daemons can never interleave appends into the
+  /// same segments; throws CacheDirLockedError when another process holds
+  /// it. No I/O beyond that until load()/append(). Forked workers inherit
+  /// the lock's open file description, which is the same lock, not a
+  /// conflict.
   explicit DiskCache(std::string dir);
 
   DiskCache(const DiskCache&) = delete;
@@ -117,6 +132,7 @@ class DiskCache {
   void closeAppendLocked();
 
   std::string dir_;
+  int lock_fd_ = -1;  ///< advisory flock on <dir>/.lock; -1 = best-effort off
   bool fsync_appends_ = true;
   mutable std::mutex mutex_;
   int append_fd_ = -1;

@@ -534,6 +534,10 @@ std::variant<Request, ProtocolError> parseRequest(std::string_view line,
     request.op = Op::Shutdown;
     return request;
   }
+  if (op->string == "ping") {
+    request.op = Op::Ping;
+    return request;
+  }
   return makeError("unknown_op", "unknown op \"" + op->string + "\"", id);
 }
 
@@ -664,6 +668,9 @@ std::string renderStatsResponse(std::int64_t id,
   if (counters.shard_count > 0) {
     out += ",\"shard\":{\"id\":" + std::to_string(counters.shard_id) +
            ",\"count\":" + std::to_string(counters.shard_count) + "}";
+  }
+  if (!counters.cluster_json.empty()) {
+    out += ",\"cluster\":" + counters.cluster_json;
   }
   out += "}}";
   return out;

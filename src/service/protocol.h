@@ -14,6 +14,12 @@
 //   {"op":"quarantine_list","id":6}
 //   {"op":"quarantine_clear","id":7}
 //   {"op":"shutdown","id":8}
+//   {"op":"ping","id":9}
+//
+// `ping` is the liveness probe the shard supervisor's health checker and
+// the client's circuit-breaker half-open probes use: it acks immediately
+// on the event-loop thread without touching the pipeline or the cache
+// (docs/SERVICE.md "Cluster supervision & multi-host").
 //
 // `explain` looks up a cached analysis by the "key" echoed in analyze
 // results and returns the stored witness for one warning index ("warning"
@@ -79,6 +85,7 @@ enum class Op {
   QuarantineList,
   QuarantineClear,
   Shutdown,
+  Ping,
 };
 
 struct SourceItem {
@@ -106,7 +113,7 @@ struct ProtocolError {
   std::string code;     ///< parse_error | invalid_request | oversized_request
                         ///< | unknown_op | unknown_key | witness_unavailable
                         ///< | timeout | cancelled | overloaded | internal_error
-                        ///< | worker_crashed | quarantined
+                        ///< | worker_crashed | quarantined | cache_dir_locked
   std::string message;
   std::int64_t id = 0;  ///< echoed when the request id was recoverable
 };
@@ -175,6 +182,11 @@ struct CacheCounters {
   // suppresses the "shard" stats object entirely.
   std::uint64_t shard_id = 0;
   std::uint64_t shard_count = 0;
+  /// Supervisor-written cluster status, embedded verbatim as "cluster"
+  /// when non-empty (already a JSON object; docs/SERVICE.md "Cluster
+  /// supervision & multi-host"). Carries degraded-cluster state: per-shard
+  /// pid/state/respawn counts and a top-level "degraded" flag.
+  std::string cluster_json;
 };
 
 [[nodiscard]] std::string renderAnalyzeResponse(std::int64_t id,

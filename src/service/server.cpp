@@ -9,10 +9,12 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <istream>
 #include <mutex>
 #include <optional>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -379,7 +381,28 @@ std::string Server::handleStats(const Request& request) {
       pipeline_depth_hwm_.load(std::memory_order_relaxed);
   counters.shard_id = options_.shard_id;
   counters.shard_count = options_.shard_count;
+  counters.cluster_json = readClusterStatus();
   return renderStatsResponse(request.id, counters);
+}
+
+std::string Server::readClusterStatus() const {
+  if (options_.cluster_status_path.empty()) return {};
+  std::ifstream in(options_.cluster_status_path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string blob = ss.str();
+  while (!blob.empty() && (blob.back() == '\n' || blob.back() == '\r')) {
+    blob.pop_back();
+  }
+  // Embedded verbatim into the stats response — validate it really is one
+  // JSON object so a torn write can never corrupt the response line.
+  JsonValue doc;
+  std::string error;
+  if (!parseJson(blob, doc, error) || doc.kind != JsonValue::Kind::Object) {
+    return {};
+  }
+  return blob;
 }
 
 std::string Server::handleLine(std::string_view line) {
@@ -425,6 +448,11 @@ std::string Server::handleLine(std::string_view line) {
       case Op::Shutdown:
         shutdown_ = true;
         return renderAckResponse(request.id, "shutdown");
+      case Op::Ping:
+        // Liveness probe for the shard supervisor's health checker and
+        // circuit-breaker half-open probes: ack without touching the
+        // pipeline or cache.
+        return renderAckResponse(request.id, "ping");
     }
   } catch (const std::exception& e) {
     ProtocolError error;

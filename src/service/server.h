@@ -61,6 +61,11 @@ struct ServerOptions {
   /// counters (docs/SERVICE.md "Event loop & sharding").
   std::size_t shard_id = 0;
   std::size_t shard_count = 0;
+  /// Path of the shard supervisor's cluster status file; when set, `stats`
+  /// embeds its contents as the "cluster" object (degraded-cluster state,
+  /// per-shard pid/state/respawns; src/service/shard_supervisor.h). Empty
+  /// disables the field.
+  std::string cluster_status_path;
 };
 
 class Server {
@@ -94,6 +99,7 @@ class Server {
   /// one-line-at-a-time loop for any concurrency level. Returns the number
   /// of requests answered (after a shutdown request drains), or throws
   /// std::runtime_error when the socket cannot be created.
+  /// `path` may also be a "host:port" TCP address (src/net/address.h).
   std::size_t serveSocket(const std::string& path);
 
   /// True once a shutdown request has been handled.
@@ -113,6 +119,9 @@ class Server {
   [[nodiscard]] std::string handleBatch(const Request& request);
   [[nodiscard]] std::string handleExplain(const Request& request);
   [[nodiscard]] std::string handleStats(const Request& request);
+  /// Reads and validates the supervisor's cluster status file; "" when
+  /// unconfigured, unreadable, or not one JSON object (torn write).
+  [[nodiscard]] std::string readClusterStatus() const;
   /// Analyzes one item through the cache; snapshot render is shared by the
   /// single and batch paths. Never throws: analysis faults become item
   /// errors. Items that hit the deadline are reported but never cached.

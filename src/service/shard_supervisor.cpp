@@ -1,0 +1,386 @@
+#include "src/service/shard_supervisor.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "src/net/address.h"
+#include "src/net/shard_client.h"
+
+namespace cuaf::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The live instance signal handlers forward to. A plain pointer written
+/// before handlers are installed and cleared in the destructor; handlers
+/// only ever read it and call async-signal-safe operations.
+ShardSupervisor* g_instance = nullptr;
+int g_wake_fd = -1;
+
+extern "C" void shardSigchld(int) {
+  // Reaping here would race the run() loop's final drain (the classic
+  // SIGCHLD-vs-waitpid race this supervisor fixes): the handler only
+  // wakes the loop, which owns every waitpid call.
+  int saved = errno;
+  if (g_wake_fd >= 0) {
+    char byte = 'c';
+    [[maybe_unused]] ssize_t n = ::write(g_wake_fd, &byte, 1);
+  }
+  errno = saved;
+}
+
+extern "C" void shardShutdownSig(int sig) {
+  int saved = errno;
+  if (g_instance != nullptr) g_instance->requestShutdown(sig);
+  errno = saved;
+}
+
+std::uint64_t msSince(Clock::time_point start, Clock::time_point now) {
+  auto d = std::chrono::duration_cast<std::chrono::milliseconds>(now - start);
+  return d.count() <= 0 ? 0 : static_cast<std::uint64_t>(d.count());
+}
+
+const char* stateName(int state) {
+  switch (state) {
+    case 0: return "running";
+    case 1: return "backoff";
+    case 2: return "gave_up";
+    default: return "stopped";
+  }
+}
+
+}  // namespace
+
+ShardSupervisor::ShardSupervisor(ShardSupervisorOptions options,
+                                 ChildMain child_main)
+    : options_(std::move(options)), child_main_(std::move(child_main)) {
+  if (options_.shards == 0) options_.shards = 1;
+  shards_.resize(options_.shards);
+  g_instance = this;
+}
+
+ShardSupervisor::~ShardSupervisor() {
+  if (g_instance == this) g_instance = nullptr;
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  g_wake_fd = -1;
+}
+
+void ShardSupervisor::requestShutdown(int sig) {
+  shutdown_sig_.store(sig, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    char byte = 's';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void ShardSupervisor::installShutdownHandlers() {
+  struct sigaction sa{};
+  sa.sa_handler = shardShutdownSig;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // interrupt poll() so shutdown is prompt
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool ShardSupervisor::spawn(std::size_t shard) {
+  Shard& s = shards_[shard];
+  pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    // The child is a shard daemon, not a supervisor: restore default
+    // dispositions so a client-forwarded SIGTERM kills it, and drop the
+    // inherited self-pipe.
+    ::signal(SIGCHLD, SIG_DFL);
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
+    if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+    if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+    g_wake_fd = -1;
+    g_instance = nullptr;
+    std::_Exit(child_main_(shard));
+  }
+  s.pid = pid;
+  s.state = ShardState::Running;
+  s.health_failures = 0;
+  s.spawned_at = Clock::now();
+  return true;
+}
+
+void ShardSupervisor::reapDead() {
+  for (;;) {
+    int status = 0;
+    pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid <= 0) return;
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      if (shards_[k].pid == pid) {
+        handleDeath(k, status);
+        break;
+      }
+    }
+  }
+}
+
+void ShardSupervisor::handleDeath(std::size_t shard, int wait_status) {
+  Shard& s = shards_[shard];
+  Clock::time_point now = Clock::now();
+  s.pid = -1;
+  if (shutting_down_) {
+    // We forwarded the signal ourselves; a signal death here is the
+    // expected outcome, not a crash to count or respawn.
+    s.state = ShardState::Stopped;
+    s.last_exit = WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : 0;
+    return;
+  }
+  if (WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0) {
+    // Clean exit — a client shutdown op or EOF. Intentional: do not
+    // respawn, or a `--shutdown` broadcast would bring the shard back.
+    s.state = ShardState::Stopped;
+    s.last_exit = 0;
+    return;
+  }
+  s.last_exit = WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : 128;
+  // Fast death (died before stabilizing) grows the flap streak; a shard
+  // that served quietly for stable_ms starts a fresh streak.
+  if (msSince(s.spawned_at, now) >= options_.stable_ms) {
+    s.streak = 0;
+  }
+  ++s.streak;
+  if (s.streak > options_.max_respawns) {
+    s.state = ShardState::GaveUp;
+    return;
+  }
+  std::uint64_t backoff = options_.backoff_initial_ms;
+  for (std::uint64_t i = 1; i < s.streak && backoff < options_.backoff_max_ms;
+       ++i) {
+    backoff *= 2;
+  }
+  if (backoff > options_.backoff_max_ms) backoff = options_.backoff_max_ms;
+  s.state = ShardState::Backoff;
+  s.ready_at = now + std::chrono::milliseconds(backoff);
+}
+
+void ShardSupervisor::respawnDue() {
+  Clock::time_point now = Clock::now();
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& s = shards_[k];
+    if (s.state != ShardState::Backoff || now < s.ready_at) continue;
+    ++total_respawns_;
+    ++s.respawns;
+    if (!spawn(k)) {
+      // fork failure: retry after the max backoff rather than giving up —
+      // fd/process pressure is usually transient.
+      s.ready_at = now + std::chrono::milliseconds(options_.backoff_max_ms);
+    }
+  }
+}
+
+void ShardSupervisor::healthCheck() {
+  net::Address base = net::parseAddress(options_.listen_base);
+  Clock::time_point now = Clock::now();
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& s = shards_[k];
+    if (s.state != ShardState::Running) continue;
+    // Give a fresh shard one full interval to bind before probing it.
+    if (msSince(s.spawned_at, now) < options_.health_interval_ms) continue;
+    net::Address addr = net::shardAddress(base, k, shards_.size());
+    if (net::probeAddress(addr, options_.health_timeout_ms)) {
+      s.health_failures = 0;
+      continue;
+    }
+    if (++s.health_failures >= options_.health_failures_before_kill) {
+      // Accepts connections but does not answer (wedged loop) or cannot
+      // be reached at all: kill it and let the death path respawn it.
+      ++hung_kills_;
+      s.health_failures = 0;
+      if (s.pid > 0) ::kill(s.pid, SIGKILL);
+    }
+  }
+}
+
+std::string ShardSupervisor::statusJson() const {
+  std::size_t running = 0, gave_up = 0;
+  for (const Shard& s : shards_) {
+    running += s.state == ShardState::Running;
+    gave_up += s.state == ShardState::GaveUp;
+  }
+  std::string out = "{\"shards\":" + std::to_string(shards_.size());
+  out += ",\"running\":" + std::to_string(running);
+  out += ",\"gave_up\":" + std::to_string(gave_up);
+  out += std::string(",\"degraded\":") + (gave_up > 0 ? "true" : "false");
+  out += ",\"total_respawns\":" + std::to_string(total_respawns_);
+  out += ",\"hung_kills\":" + std::to_string(hung_kills_);
+  out += ",\"members\":[";
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const Shard& s = shards_[k];
+    if (k) out += ',';
+    out += "{\"shard\":" + std::to_string(k);
+    out += ",\"pid\":" + std::to_string(s.pid > 0 ? s.pid : 0);
+    out += std::string(",\"state\":\"") +
+           stateName(static_cast<int>(s.state)) + "\"";
+    out += ",\"respawns\":" + std::to_string(s.respawns);
+    out += ",\"streak\":" + std::to_string(s.streak) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void ShardSupervisor::writeStatus() {
+  if (options_.cluster_status_path.empty()) return;
+  std::string status = statusJson();
+  if (status == last_status_) return;
+  // tmp + rename so shard Servers reading the file mid-write can never
+  // see a torn object (they validate with parseJson anyway).
+  std::string tmp = options_.cluster_status_path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return;
+  std::string blob = status + "\n";
+  const char* data = blob.data();
+  std::size_t left = blob.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), options_.cluster_status_path.c_str()) == 0) {
+    last_status_ = std::move(status);
+  }
+}
+
+bool ShardSupervisor::anyGaveUp() const {
+  for (const Shard& s : shards_) {
+    if (s.state == ShardState::GaveUp) return true;
+  }
+  return false;
+}
+
+bool ShardSupervisor::allDone() const {
+  for (const Shard& s : shards_) {
+    if (s.state == ShardState::Running || s.state == ShardState::Backoff) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int ShardSupervisor::run() {
+  if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) < 0) return 2;
+  g_wake_fd = wake_pipe_[1];
+
+  struct sigaction sa{}, old_chld{};
+  sa.sa_handler = shardSigchld;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_NOCLDSTOP;  // SIGSTOPped shards are not deaths
+  ::sigaction(SIGCHLD, &sa, &old_chld);
+
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    if (!spawn(k)) {
+      // Could not even start the cluster: tear down what exists.
+      requestShutdown(SIGTERM);
+      shards_[k].state = ShardState::GaveUp;
+      break;
+    }
+  }
+  writeStatus();
+
+  Clock::time_point next_health =
+      Clock::now() + std::chrono::milliseconds(options_.health_interval_ms);
+  while (shutdown_sig_.load(std::memory_order_relaxed) == 0 && !allDone()) {
+    // Sleep until the next respawn gate or health tick, capped so status
+    // stays fresh; any SIGCHLD or shutdown request interrupts via the pipe.
+    Clock::time_point now = Clock::now();
+    std::uint64_t timeout = 100;
+    for (const Shard& s : shards_) {
+      if (s.state == ShardState::Backoff) {
+        std::uint64_t wait = msSince(now, s.ready_at) + 1;
+        if (wait < timeout) timeout = wait;
+      }
+    }
+    if (options_.health_interval_ms > 0) {
+      std::uint64_t wait = msSince(now, next_health) + 1;
+      if (wait < timeout) timeout = wait;
+    }
+    pollfd p{wake_pipe_[0], POLLIN, 0};
+    int rc = ::poll(&p, 1, static_cast<int>(timeout));
+    if (rc > 0) {
+      char drain[256];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    reapDead();
+    respawnDue();
+    if (options_.health_interval_ms > 0 && Clock::now() >= next_health) {
+      healthCheck();
+      next_health =
+          Clock::now() + std::chrono::milliseconds(options_.health_interval_ms);
+    }
+    writeStatus();
+  }
+
+  // Shutdown: forward the signal (SIGTERM unless SIGINT was requested) to
+  // every running shard, then drain with a grace window. The SIGCHLD
+  // handler never reaps, so this loop cannot lose a child status.
+  shutting_down_ = true;
+  int sig = shutdown_sig_.load(std::memory_order_relaxed);
+  int forward = sig == SIGINT ? SIGINT : SIGTERM;
+  for (Shard& s : shards_) {
+    if (s.state == ShardState::Running && s.pid > 0) ::kill(s.pid, forward);
+  }
+  Clock::time_point grace_end = Clock::now() + std::chrono::seconds(5);
+  bool killed = false;
+  for (;;) {
+    reapDead();
+    bool any_running = false;
+    for (const Shard& s : shards_) {
+      any_running |= s.state == ShardState::Running ||
+                     s.state == ShardState::Backoff;
+    }
+    // Backoff shards have no process; mark them stopped rather than
+    // respawning mid-shutdown.
+    for (Shard& s : shards_) {
+      if (s.state == ShardState::Backoff) s.state = ShardState::Stopped;
+    }
+    if (!any_running || allDone()) break;
+    if (!killed && Clock::now() >= grace_end) {
+      killed = true;
+      for (Shard& s : shards_) {
+        if (s.state == ShardState::Running && s.pid > 0) {
+          ::kill(s.pid, SIGKILL);
+        }
+      }
+    }
+    pollfd p{wake_pipe_[0], POLLIN, 0};
+    (void)::poll(&p, 1, 50);
+    char drain[256];
+    while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+    }
+  }
+  ::sigaction(SIGCHLD, &old_chld, nullptr);
+  writeStatus();
+
+  if (anyGaveUp()) return 1;
+  int worst = 0;
+  for (const Shard& s : shards_) {
+    if (s.last_exit > worst) worst = s.last_exit;
+  }
+  return worst;
+}
+
+}  // namespace cuaf::service

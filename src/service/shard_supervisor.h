@@ -1,0 +1,132 @@
+// Shard-cluster supervision for `chpl-uaf-serve --shards N`: promotes the
+// old fork-and-reap parent into a supervising process that keeps every
+// shard daemon alive (docs/SERVICE.md "Cluster supervision & multi-host").
+//
+// Per-shard lifecycle, mirroring the PR 5 worker-supervisor discipline
+// (src/service/supervisor.h) one level up:
+//   * spawned at run() start (fork, child resets signal handlers and
+//     enters `child_main(shard)` — typically Server::serveSocket on
+//     shardAddress(base, shard));
+//   * liveness is watched two ways: waitpid via a SIGCHLD self-pipe (the
+//     handler only writes one byte; ALL reaping happens in the run()
+//     loop, so the final drain can never race the handler), and a
+//     periodic `ping` health-check round-trip — a shard that accepts
+//     connections but stops answering (wedged event loop) is SIGKILLed
+//     after `health_failures_before_kill` consecutive probe failures and
+//     flows through the ordinary death path;
+//   * on death: respawn onto the same shard slot after an exponential
+//     backoff (initial << (streak-1), capped) keyed to the slot's
+//     consecutive-fast-death streak; living `stable_ms` resets the
+//     streak. The shard rebinds the same address and re-loads the same
+//     --cache-dir/shard-k segments, so it comes back disk-warm and
+//     byte-identical with zero pipeline runs;
+//   * flap detection: a shard whose streak exceeds `max_respawns` is
+//     given up on — the cluster keeps serving degraded (clients fail the
+//     ring over) and run() eventually exits non-zero;
+//   * a shard that exits cleanly (status 0 — e.g. a client `shutdown`
+//     op) is considered stopped on purpose and is NOT respawned; run()
+//     returns once every shard is stopped or given up.
+//
+// Cluster status is continuously rewritten (tmp+rename, single JSON
+// object) to `cluster_status_path`; each shard Server embeds that file
+// into its `stats` response as the "cluster" object, which is how a
+// degraded cluster is reported to clients. The file also carries live
+// shard pids — the chaos harness reads them to aim its SIGKILLs.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cuaf::service {
+
+struct ShardSupervisorOptions {
+  std::size_t shards = 1;
+  /// Base listen address (unix path or "host:port"); shard k serves
+  /// cuaf::net::shardAddress(base, k, shards). Used by health checks.
+  std::string listen_base;
+  /// Cluster status file path; empty disables the status file.
+  std::string cluster_status_path;
+  /// Health-check cadence; 0 disables health checks entirely (deaths are
+  /// still seen via SIGCHLD).
+  std::uint64_t health_interval_ms = 500;
+  /// Budget for one ping round-trip before it counts as a failure.
+  std::uint64_t health_timeout_ms = 1000;
+  /// Consecutive probe failures before an unresponsive shard is SIGKILLed.
+  unsigned health_failures_before_kill = 2;
+  /// Exponential respawn backoff: initial << (streak-1), capped at max.
+  std::uint64_t backoff_initial_ms = 20;
+  std::uint64_t backoff_max_ms = 2000;
+  /// Consecutive fast deaths before the supervisor gives up on a shard.
+  std::uint64_t max_respawns = 8;
+  /// Alive this long resets the consecutive-death streak.
+  std::uint64_t stable_ms = 5000;
+};
+
+class ShardSupervisor {
+ public:
+  /// Runs one shard daemon in the forked child; its return value is the
+  /// child's exit status. Must not return via exceptions.
+  using ChildMain = std::function<int(std::size_t shard)>;
+
+  ShardSupervisor(ShardSupervisorOptions options, ChildMain child_main);
+  ~ShardSupervisor();
+
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Supervises until every shard is stopped/given-up or a shutdown is
+  /// requested (then shards get SIGTERM, a grace period, SIGKILL).
+  /// Returns non-zero if any shard was in the gave-up (flapping) state at
+  /// shutdown, else the worst clean-exit status of the final generation.
+  int run();
+
+  /// Async-signal-safe shutdown request: records the signal and wakes the
+  /// run() loop through the self-pipe. Safe from signal handlers.
+  void requestShutdown(int sig);
+
+  /// Installs SIGINT/SIGTERM handlers forwarding to requestShutdown on
+  /// the most recently constructed instance. Call before run().
+  void installShutdownHandlers();
+
+ private:
+  enum class ShardState { Running, Backoff, GaveUp, Stopped };
+
+  struct Shard {
+    pid_t pid = -1;
+    ShardState state = ShardState::Backoff;
+    std::uint64_t respawns = 0;      ///< total respawns, ever
+    std::uint64_t streak = 0;        ///< consecutive fast deaths
+    unsigned health_failures = 0;    ///< consecutive failed probes
+    int last_exit = 0;               ///< last clean exit status
+    std::chrono::steady_clock::time_point spawned_at{};
+    std::chrono::steady_clock::time_point ready_at{};  ///< backoff gate
+  };
+
+  bool spawn(std::size_t shard);
+  void reapDead();
+  void handleDeath(std::size_t shard, int wait_status);
+  void respawnDue();
+  void healthCheck();
+  void writeStatus();
+  [[nodiscard]] bool anyGaveUp() const;
+  [[nodiscard]] bool allDone() const;  ///< every shard stopped or gave up
+  [[nodiscard]] std::string statusJson() const;
+
+  ShardSupervisorOptions options_;
+  ChildMain child_main_;
+  std::vector<Shard> shards_;
+  int wake_pipe_[2] = {-1, -1};  ///< SIGCHLD/shutdown self-pipe
+  std::atomic<int> shutdown_sig_{0};
+  bool shutting_down_ = false;  ///< drain phase: deaths are expected
+  std::uint64_t total_respawns_ = 0;
+  std::uint64_t hung_kills_ = 0;
+  std::string last_status_;  ///< last JSON written, to skip no-op rewrites
+};
+
+}  // namespace cuaf::service

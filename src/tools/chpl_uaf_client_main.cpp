@@ -2,6 +2,7 @@
 //
 // Usage:
 //   chpl-uaf-client --socket PATH [commands]
+//   chpl-uaf-client --connect ADDR[,ADDR...] [commands]
 //     --analyze FILE...  send one analyze request per file ("-" = stdin)
 //     --batch            send every --analyze file in one analyze_batch
 //                        request (split per shard and reassembled when
@@ -13,131 +14,58 @@
 //     --cache-clear      drop every cached result
 //     --shutdown         stop the daemon
 //     --shards N         the daemon was started with --shards N: shard k
-//                        listens on PATH.k, and analyze requests route by
+//                        listens on PATH.k (or port+k for a host:port
+//                        --socket), and analyze requests route by
 //                        cuaf::analysisCacheKey over a consistent-hash
 //                        ring, so a given source always lands on the same
 //                        shard's warm cache. stats/cache_clear/shutdown
-//                        broadcast to every alive shard (one response line
-//                        per shard, ascending).
+//                        broadcast to every reachable shard (one response
+//                        line per shard, ascending).
+//     --connect ADDRS    explicit comma-separated shard address list (unix
+//                        paths and/or host:port endpoints) — the ring spans
+//                        whatever the list names; replaces --socket/--shards
 //     --retries N        retry a failed round-trip up to N times with
-//                        exponential backoff (50ms, 100ms, ... capped at
-//                        2s). Retried failures: connection errors (the
-//                        client reconnects) and the transient response
-//                        codes "overloaded" and "worker_crashed" — a
-//                        crash-contained daemon restarts its worker, so the
-//                        same request usually succeeds moments later. With
-//                        shards, a shard that stays unreachable through its
-//                        retries is marked dead and its keys re-route to
-//                        the next shard on the ring.
+//                        decorrelated-jitter backoff (uniform in
+//                        [50ms, min(2s, 3*prev)] — concurrent clients
+//                        spread out instead of retrying in lockstep).
+//                        Retried failures: connection errors (the client
+//                        reconnects) and the transient response codes
+//                        "overloaded" and "worker_crashed". With shards, a
+//                        shard that exhausts its retries trips its circuit
+//                        breaker open and its keys fail over along the
+//                        ring; a later half-open probe un-marks the shard
+//                        the moment it answers again.
+//     --hedge-ms N       tail-latency hedging for routed analyze requests:
+//                        if the owning shard has not answered within N ms,
+//                        duplicate the (idempotent) request to the next
+//                        ring shard and take the first response
+//     --backoff-seed N   seeds the jitter schedule (deterministic; defaults
+//                        to a per-process value)
 //   With no command, raw request lines are forwarded from stdin and the
 //   responses printed — a newline-delimited JSON pass-through (single
 //   shard only: raw lines carry no routable key).
 //
 // Exit code: 0 when every response has status "ok", 1 when any response
 // reports an error, 2 on connection/file problems.
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <chrono>
 #include <cstdint>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "src/analysis/checker.h"
 #include "src/analysis/json_report.h"
 #include "src/analysis/snapshot.h"
 #include "src/net/hash_ring.h"
+#include "src/net/shard_client.h"
 
 namespace {
 
-class Connection {
- public:
-  explicit Connection(const std::string& path) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path)) {
-      throw std::runtime_error("socket path too long: " + path);
-    }
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0) {
-      throw std::runtime_error(std::string("cannot create socket: ") +
-                               std::strerror(errno));
-    }
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) < 0) {
-      int err = errno;
-      ::close(fd_);
-      throw std::runtime_error("cannot connect to " + path + ": " +
-                               std::strerror(err));
-    }
-  }
-  ~Connection() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-
-  /// Sends one request line and returns the daemon's one-line response.
-  std::string roundTrip(const std::string& request) {
-    std::string line = request;
-    line += '\n';
-    std::string_view rest = line;
-    while (!rest.empty()) {
-      ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        throw std::runtime_error(std::string("send failed: ") +
-                                 std::strerror(errno));
-      }
-      rest.remove_prefix(static_cast<std::size_t>(n));
-    }
-    std::size_t nl;
-    while ((nl = buffer_.find('\n')) == std::string::npos) {
-      char buf[65536];
-      ssize_t n = ::read(fd_, buf, sizeof(buf));
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        throw std::runtime_error(std::string("read failed: ") +
-                                 std::strerror(errno));
-      }
-      if (n == 0) throw std::runtime_error("daemon closed the connection");
-      buffer_.append(buf, static_cast<std::size_t>(n));
-    }
-    std::string response = buffer_.substr(0, nl);
-    buffer_.erase(0, nl + 1);
-    return response;
-  }
-
- private:
-  int fd_ = -1;
-  std::string buffer_;
-};
-
-/// "status":"ok" never appears inside a response string literal (quotes are
-/// escaped there), so a substring probe is reliable.
-bool responseOk(const std::string& response) {
-  return response.find("\"status\":\"ok\"") != std::string::npos;
-}
-
-/// Error codes worth retrying: the condition is transient by design
-/// (admission control sheds load; the daemon respawns a crashed worker).
-bool responseRetryable(const std::string& response) {
-  return response.find("\"code\":\"overloaded\"") != std::string::npos ||
-         response.find("\"code\":\"worker_crashed\"") != std::string::npos;
-}
-
-void backoffSleep(unsigned attempt) {
-  std::uint64_t ms = 50ull << (attempt < 6 ? attempt : 6);
-  if (ms > 2000) ms = 2000;
-  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
-}
+using cuaf::net::ShardClient;
 
 /// One analysis input: its request fields plus the routing key the sharded
 /// daemon's cache uses for this (name, source) pair. The client never sends
@@ -147,84 +75,6 @@ struct AnalyzeItem {
   std::string name;
   std::string source;
   std::uint64_t key = 0;
-};
-
-/// Routes requests across the daemon's shards. Shard k's socket is
-/// shardSocketPath(base, k); connections are cached per shard. A shard
-/// whose connection attempts exhaust the retry budget is marked dead on
-/// the ring, and subsequent routed requests move to the next alive shard.
-class Router {
- public:
-  Router(std::string base, std::size_t shards, unsigned retries)
-      : base_(std::move(base)),
-        ring_(shards),
-        conns_(ring_.shardCount()),
-        retries_(retries) {}
-
-  [[nodiscard]] std::size_t shardCount() const { return ring_.shardCount(); }
-
-  [[nodiscard]] std::size_t route(std::uint64_t key) const {
-    return ring_.route(key);
-  }
-
-  [[nodiscard]] std::vector<std::size_t> aliveShards() const {
-    std::vector<std::size_t> out;
-    for (std::size_t k = 0; k < ring_.shardCount(); ++k) {
-      if (ring_.alive(k)) out.push_back(k);
-    }
-    return out;
-  }
-
-  /// Round-trips on one shard with the retry/backoff policy. Throws after
-  /// the retry budget is spent (connection-level failure).
-  std::string issueOn(std::size_t shard, const std::string& request) {
-    std::string response;
-    for (unsigned attempt = 0;; ++attempt) {
-      try {
-        if (!conns_[shard]) {
-          conns_[shard] = std::make_unique<Connection>(
-              cuaf::net::shardSocketPath(base_, shard, ring_.shardCount()));
-        }
-        response = conns_[shard]->roundTrip(request);
-      } catch (const std::exception&) {
-        // Dead socket: reconnect on the next attempt.
-        conns_[shard].reset();
-        if (attempt >= retries_) throw;
-        backoffSleep(attempt);
-        continue;
-      }
-      if (attempt < retries_ && !responseOk(response) &&
-          responseRetryable(response)) {
-        backoffSleep(attempt);
-        continue;
-      }
-      return response;
-    }
-  }
-
-  /// Round-trips on the shard owning `key`. A shard that stays unreachable
-  /// is marked dead and the request re-routes; throws only when every
-  /// shard is dead.
-  std::string issueRouted(std::uint64_t key, const std::string& request) {
-    for (;;) {
-      std::size_t shard = ring_.route(key);
-      try {
-        return issueOn(shard, request);
-      } catch (const std::exception&) {
-        ring_.markDead(shard);
-        if (ring_.aliveCount() == 0) throw;
-      }
-    }
-  }
-
-  void markDead(std::size_t shard) { ring_.markDead(shard); }
-  [[nodiscard]] std::size_t aliveCount() const { return ring_.aliveCount(); }
-
- private:
-  std::string base_;
-  cuaf::net::HashRing ring_;
-  std::vector<std::unique_ptr<Connection>> conns_;
-  unsigned retries_;
 };
 
 /// Splits the top-level elements of the "results":[...] array of a batch
@@ -309,12 +159,14 @@ std::string batchRequestFor(std::int64_t id,
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  std::string connect_list;
   std::vector<std::string> analyze_files;
   bool batch = false;
   bool stats = false, cache_clear = false, shutdown = false;
   bool has_deadline = false;
   unsigned long long deadline_ms = 0;
-  unsigned retries = 0;
+  cuaf::net::ShardClientOptions client_options;
+  client_options.backoff_seed = static_cast<std::uint64_t>(::getpid());
   std::size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -324,6 +176,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       socket_path = argv[++i];
+    } else if (arg == "--connect") {
+      if (i + 1 >= argc) {
+        std::cerr << "--connect needs a comma-separated address list\n";
+        return 2;
+      }
+      connect_list = argv[++i];
     } else if (arg == "--analyze") {
       while (i + 1 < argc && argv[i + 1][0] != '-') {
         analyze_files.emplace_back(argv[++i]);
@@ -365,12 +223,26 @@ int main(int argc, char** argv) {
         std::cerr << "--retries needs a count\n";
         return 2;
       }
-      retries = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      client_options.retries =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--hedge-ms") {
+      if (i + 1 >= argc) {
+        std::cerr << "--hedge-ms needs a millisecond budget\n";
+        return 2;
+      }
+      client_options.hedge_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--backoff-seed") {
+      if (i + 1 >= argc) {
+        std::cerr << "--backoff-seed needs a number\n";
+        return 2;
+      }
+      client_options.backoff_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: chpl-uaf-client --socket PATH "
+      std::cout << "usage: chpl-uaf-client --socket PATH|--connect ADDRS "
                    "[--analyze FILE...|--deadline-ms N|--stats|--cache-clear|"
                    "--shutdown] [--batch]\n"
-                   "       [--shards N] [--retries N]\n"
+                   "       [--shards N] [--retries N] [--hedge-ms N] "
+                   "[--backoff-seed N]\n"
                    "with no command, forwards raw request lines from stdin "
                    "(single shard only)\n"
                    "  --batch          one analyze_batch request over all "
@@ -380,20 +252,31 @@ int main(int argc, char** argv) {
                    "--analyze (structured timeout errors)\n"
                    "  --shards N       route by analysis cache key across a "
                    "--shards N daemon\n"
+                   "  --connect ADDRS  explicit shard addresses (unix paths "
+                   "and/or host:port), comma-separated;\n"
+                   "                   a single address with --shards N is "
+                   "a base the N shard\n"
+                   "                   addresses are derived from (TCP: "
+                   "base port + k)\n"
                    "  --retries N      retry connection errors and transient "
                    "overloaded/worker_crashed\n"
-                   "                   responses with exponential backoff; "
-                   "with shards, unreachable\n"
-                   "                   shards are marked dead and their keys "
-                   "re-route\n";
+                   "                   responses with decorrelated-jitter "
+                   "backoff; with shards, an\n"
+                   "                   unreachable shard's circuit breaker "
+                   "opens and its keys fail over\n"
+                   "  --hedge-ms N     duplicate a routed analyze to the "
+                   "next shard after N ms; first\n"
+                   "                   response wins (idempotent requests "
+                   "only)\n"
+                   "  --backoff-seed N deterministic jitter schedule seed\n";
       return 0;
     } else {
       std::cerr << "unknown option: " << arg << '\n';
       return 2;
     }
   }
-  if (socket_path.empty()) {
-    std::cerr << "--socket is required (see --help)\n";
+  if (socket_path.empty() && connect_list.empty()) {
+    std::cerr << "--socket or --connect is required (see --help)\n";
     return 2;
   }
   if (batch && analyze_files.empty()) {
@@ -402,7 +285,20 @@ int main(int argc, char** argv) {
   }
 
   try {
-    Router router(socket_path, shards, retries);
+    std::vector<cuaf::net::Address> addresses;
+    if (connect_list.empty()) {
+      addresses = ShardClient::addressesFor(socket_path, shards);
+    } else {
+      addresses = cuaf::net::splitAddressList(connect_list);
+      // A single --connect address with --shards N names the cluster base:
+      // derive the sibling shard addresses the same way the server does
+      // (unix "<base>.<k>", TCP base-port + k). An explicit multi-address
+      // list is always taken verbatim.
+      if (addresses.size() == 1 && shards > 1) {
+        addresses = ShardClient::addressesFor(connect_list, shards);
+      }
+    }
+    ShardClient client(addresses, client_options);
     bool all_ok = true;
     std::int64_t id = 0;
 
@@ -434,21 +330,20 @@ int main(int argc, char** argv) {
     }
 
     auto emit = [&](const std::string& response) {
-      all_ok &= responseOk(response);
+      all_ok &= ShardClient::responseOk(response);
       std::cout << response << '\n';
     };
 
-    /// Broadcast ops go to every alive shard, lowest shard first, one
+    /// Broadcast ops go to every reachable shard, lowest shard first, one
     /// response line per shard.
     auto broadcast = [&](const std::string& op) {
-      for (std::size_t shard : router.aliveShards()) {
+      for (std::size_t shard : client.reachableShards()) {
         std::string request =
             "{\"op\":\"" + op + "\",\"id\":" + std::to_string(++id) + "}";
         try {
-          emit(router.issueOn(shard, request));
+          emit(client.issueOn(shard, request));
         } catch (const std::exception& e) {
-          router.markDead(shard);
-          if (router.aliveCount() == 0) throw;
+          // The breaker is open now; later broadcasts skip the shard.
           std::cerr << "chpl-uaf-client: shard " << shard << ": " << e.what()
                     << '\n';
           all_ok = false;
@@ -462,15 +357,21 @@ int main(int argc, char** argv) {
       // reassemble the per-shard results index-addressed so the combined
       // "results" array matches the input order exactly. When a shard
       // dies mid-batch, its unanswered items re-group onto the survivors.
+      // Grouping uses a command-local ring with permanent dead-marking so
+      // the regroup loop always terminates; the per-shard round-trips
+      // still get the full retry/backoff policy.
       std::int64_t batch_id = ++id;
+      cuaf::net::HashRing batch_ring(client.shardCount());
       std::vector<std::string> results(items.size());
       std::vector<bool> answered(items.size(), false);
       std::uint64_t elapsed_us = 0;
       bool done = false;
       while (!done) {
-        std::vector<std::vector<std::size_t>> groups(router.shardCount());
+        std::vector<std::vector<std::size_t>> groups(client.shardCount());
         for (std::size_t i2 = 0; i2 < items.size(); ++i2) {
-          if (!answered[i2]) groups[router.route(items[i2].key)].push_back(i2);
+          if (!answered[i2]) {
+            groups[batch_ring.route(items[i2].key)].push_back(i2);
+          }
         }
         done = true;
         for (std::size_t shard = 0; shard < groups.size(); ++shard) {
@@ -479,14 +380,14 @@ int main(int argc, char** argv) {
                                                 has_deadline, deadline_ms);
           std::string response;
           try {
-            response = router.issueOn(shard, request);
+            response = client.issueOn(shard, request);
           } catch (const std::exception&) {
-            router.markDead(shard);
-            if (router.aliveCount() == 0) throw;
+            batch_ring.markDead(shard);
+            if (batch_ring.aliveCount() == 0) throw;
             done = false;  // re-group this shard's items onto survivors
             continue;
           }
-          if (!responseOk(response)) {
+          if (!ShardClient::responseOk(response)) {
             // A structured whole-batch error (e.g. overloaded past the
             // retry budget) cannot be split per item; surface it verbatim.
             emit(response);
@@ -527,7 +428,7 @@ int main(int argc, char** argv) {
           request += ",\"deadline_ms\":" + std::to_string(deadline_ms);
         }
         request += "}";
-        emit(router.issueRouted(item.key, request));
+        emit(client.issueRouted(item.key, request));
       }
     }
 
@@ -536,15 +437,15 @@ int main(int argc, char** argv) {
     if (shutdown) broadcast("shutdown");
 
     if (analyze_files.empty() && !stats && !cache_clear && !shutdown) {
-      if (shards > 1) {
+      if (client.shardCount() > 1) {
         std::cerr << "raw stdin pass-through cannot be routed; use --analyze "
-                     "or --shards 1\n";
+                     "or a single shard\n";
         return 2;
       }
       std::string line;
       while (std::getline(std::cin, line)) {
         if (line.empty()) continue;
-        emit(router.issueOn(0, line));
+        emit(client.issueOn(0, line));
       }
     }
     return all_ok ? 0 : 1;

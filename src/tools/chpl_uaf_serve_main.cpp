@@ -3,6 +3,11 @@
 // Usage:
 //   chpl-uaf-serve [options]
 //     --socket PATH    listen on a Unix domain socket (default: stdio)
+//     --listen ADDR    alias of --socket that also accepts "host:port":
+//                      a TCP front end with the same NDJSON protocol and
+//                      backpressure rules; shard k of a TCP base listens
+//                      on port+k (docs/SERVICE.md "Cluster supervision &
+//                      multi-host")
 //     --jobs N         worker threads for analyze_batch fan-out (default 1;
 //                      responses are identical for any N)
 //     --cache-mb N     result-cache budget in MiB (default 64, 0 disables)
@@ -19,16 +24,34 @@
 //                      silent worker is SIGKILLed (default 2000)
 //     --cache-dir PATH durable result cache: completed analyses are
 //                      appended to checksummed segment files and recovered
-//                      on restart (docs/SERVICE.md)
+//                      on restart (docs/SERVICE.md). The directory is
+//                      flock-guarded: a second daemon started on the same
+//                      path exits with a structured "cache_dir_locked"
+//                      error instead of interleaving appends.
 //     --backlog N      listen(2) backlog for --socket (default 64)
 //     --shards N       spawn N independent daemons: shard k listens on
-//                      <socket>.k with its own cache (and, with
-//                      --cache-dir, its own shard-k segment directory).
-//                      Shards share nothing — no cross-shard locks; the
-//                      client routes by cache key (docs/SERVICE.md).
-//                      Requires --socket. The parent supervises: it
-//                      forwards SIGINT/SIGTERM and exits after every
-//                      shard does.
+//                      <socket>.k (or port+k for TCP) with its own cache
+//                      (and, with --cache-dir, its own shard-k segment
+//                      directory). Shards share nothing — no cross-shard
+//                      locks; the client routes by cache key. Requires
+//                      --socket/--listen. The parent is a supervisor
+//                      (src/service/shard_supervisor.h): it health-checks
+//                      every shard with `ping`, respawns dead shards onto
+//                      the same address and cache directory with
+//                      exponential backoff (a respawned shard comes back
+//                      disk-warm), gives up on a shard that flaps more
+//                      than --max-respawns times (the cluster keeps
+//                      serving degraded), and exits non-zero if any shard
+//                      was given up on.
+//     --max-respawns N consecutive fast deaths before the supervisor gives
+//                      up on a shard (default 8)
+//     --health-interval-ms N  health-check cadence (default 500; 0
+//                      disables probing — deaths are still seen instantly)
+//     --health-timeout-ms N  ping round-trip budget (default 1000)
+//     --cluster-status PATH  cluster status file the supervisor maintains
+//                      and every shard embeds into `stats` as "cluster"
+//                      (default: <socket>.cluster, or
+//                      <cache-dir>/cluster-status.json for TCP bases)
 //     --fsck           verify the --cache-dir segments, compact the valid
 //                      records, print a report and exit (0 = healthy repair,
 //                      2 = repair failed)
@@ -38,51 +61,44 @@
 // carry a per-request "failpoints" field. Forked workers inherit the table.
 //
 // Speaks newline-delimited JSON: analyze, analyze_batch, stats,
-// cache_clear, quarantine_list, quarantine_clear, shutdown. Exit code: 0 on
-// clean shutdown/EOF, 2 on setup errors.
+// cache_clear, quarantine_list, quarantine_clear, shutdown, ping. Exit
+// code: 0 on clean shutdown/EOF, 1 when a supervised shard was given up
+// on (flapping), 2 on setup errors.
 #include <sys/stat.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <csignal>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
-#include <vector>
 
-#include "src/net/hash_ring.h"
+#include "src/net/address.h"
 #include "src/service/disk_cache.h"
 #include "src/service/server.h"
+#include "src/service/shard_supervisor.h"
 #include "src/support/failpoint.h"
 
 namespace {
 
-// Shard pids for the supervising parent; the forwarding handler must be
-// async-signal-safe, so a fixed-size table and kill(2) only.
-volatile pid_t g_shard_pids[256];
-volatile std::size_t g_shard_count = 0;
-
-void forwardSignal(int sig) {
-  for (std::size_t i = 0; i < g_shard_count; ++i) {
-    pid_t pid = g_shard_pids[i];
-    if (pid > 0) ::kill(pid, sig);
-  }
-}
-
-/// Runs one daemon over `options`; returns its exit code.
+/// Runs one daemon over `options`; returns its exit code. A locked cache
+/// directory is a structured, scriptable failure: one "cache_dir_locked"
+/// error document on stdout, exit 2.
 int runServer(const cuaf::service::ServerOptions& options,
-              const std::string& socket_path) {
+              const std::string& listen_addr) {
   cuaf::failpoint::configureFromEnv();
-  cuaf::service::Server server(options);
   try {
-    if (socket_path.empty()) {
+    cuaf::service::Server server(options);
+    if (listen_addr.empty()) {
       server.serveStream(std::cin, std::cout);
     } else {
-      std::cerr << "chpl-uaf-serve: listening on " << socket_path << '\n';
-      server.serveSocket(socket_path);
+      std::cerr << "chpl-uaf-serve: listening on " << listen_addr << '\n';
+      server.serveSocket(listen_addr);
     }
+  } catch (const cuaf::service::CacheDirLockedError& e) {
+    std::cout << "{\"id\":0,\"status\":\"error\",\"code\":\"cache_dir_locked\""
+                 ",\"message\":\"another daemon holds "
+              << options.cache_dir << "\"}" << std::endl;
+    std::cerr << "chpl-uaf-serve: " << e.what() << '\n';
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "chpl-uaf-serve: " << e.what() << '\n';
     return 2;
@@ -94,7 +110,9 @@ int runServer(const cuaf::service::ServerOptions& options,
 
 int main(int argc, char** argv) {
   cuaf::service::ServerOptions options;
-  std::string socket_path;
+  cuaf::service::ShardSupervisorOptions supervisor_options;
+  std::string listen_addr;
+  std::string cluster_status;
   std::size_t shards = 1;
   bool fsck = false;
   for (int i = 1; i < argc; ++i) {
@@ -106,12 +124,12 @@ int main(int argc, char** argv) {
       }
       return static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     };
-    if (arg == "--socket") {
+    if (arg == "--socket" || arg == "--listen") {
       if (i + 1 >= argc) {
-        std::cerr << "--socket needs a path\n";
+        std::cerr << arg << " needs a path or host:port\n";
         return 2;
       }
-      socket_path = argv[++i];
+      listen_addr = argv[++i];
     } else if (arg == "--jobs") {
       options.jobs = numeric("a thread count");
       if (options.jobs == 0) options.jobs = 1;
@@ -158,20 +176,44 @@ int main(int argc, char** argv) {
         std::cerr << "--shards must be in [1, 256]\n";
         return 2;
       }
+    } else if (arg == "--max-respawns") {
+      supervisor_options.max_respawns = numeric("a respawn count");
+    } else if (arg == "--health-interval-ms") {
+      supervisor_options.health_interval_ms = numeric("a duration in ms");
+    } else if (arg == "--health-timeout-ms") {
+      supervisor_options.health_timeout_ms = numeric("a duration in ms");
+      if (supervisor_options.health_timeout_ms == 0) {
+        std::cerr << "--health-timeout-ms must be positive\n";
+        return 2;
+      }
+    } else if (arg == "--cluster-status") {
+      if (i + 1 >= argc) {
+        std::cerr << "--cluster-status needs a path\n";
+        return 2;
+      }
+      cluster_status = argv[++i];
     } else if (arg == "--fsck") {
       fsck = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: chpl-uaf-serve [--socket PATH] [--jobs N] "
-                   "[--cache-mb N] [--max-request-mb N] [--max-queue N]\n"
-                   "       [--workers N] [--quarantine-after N] "
-                   "[--worker-grace-ms N] [--cache-dir PATH]\n"
-                   "       [--backlog N] [--shards N] [--fsck]\n"
-                   "--shards N forks N share-nothing daemons, shard k on "
-                   "<socket>.k (requires --socket)\n"
+      std::cout << "usage: chpl-uaf-serve [--socket PATH | --listen ADDR] "
+                   "[--jobs N]\n"
+                   "       [--cache-mb N] [--max-request-mb N] [--max-queue N]"
+                   " [--workers N]\n"
+                   "       [--quarantine-after N] [--worker-grace-ms N] "
+                   "[--cache-dir PATH]\n"
+                   "       [--backlog N] [--shards N] [--max-respawns N]\n"
+                   "       [--health-interval-ms N] [--health-timeout-ms N] "
+                   "[--cluster-status PATH]\n"
+                   "       [--fsck]\n"
+                   "--listen accepts a unix path or host:port (TCP); "
+                   "--shards N supervises N\n"
+                   "share-nothing daemons, shard k on <socket>.k / port+k, "
+                   "health-checked with\n"
+                   "`ping` and respawned disk-warm with exponential backoff "
+                   "(docs/SERVICE.md)\n"
                    "newline-delimited JSON protocol: analyze, analyze_batch, "
                    "stats, cache_clear,\n"
-                   "quarantine_list, quarantine_clear, shutdown "
-                   "(docs/SERVICE.md)\n"
+                   "quarantine_list, quarantine_clear, shutdown, ping\n"
                    "CUAF_FAILPOINTS seeds fault injection at startup "
                    "(src/support/failpoint.h)\n";
       return 0;
@@ -186,71 +228,74 @@ int main(int argc, char** argv) {
       std::cerr << "--fsck needs --cache-dir\n";
       return 2;
     }
-    cuaf::service::DiskCache disk(options.cache_dir);
-    std::string report;
-    if (!disk.fsck(&report)) {
-      std::cerr << "chpl-uaf-serve: fsck of " << options.cache_dir
-                << " failed\n";
+    try {
+      cuaf::service::DiskCache disk(options.cache_dir);
+      std::string report;
+      if (!disk.fsck(&report)) {
+        std::cerr << "chpl-uaf-serve: fsck of " << options.cache_dir
+                  << " failed\n";
+        return 2;
+      }
+      std::cout << report << '\n';
+    } catch (const std::exception& e) {
+      std::cerr << "chpl-uaf-serve: " << e.what() << '\n';
       return 2;
     }
-    std::cout << report << '\n';
     return 0;
   }
 
-  if (shards <= 1) return runServer(options, socket_path);
+  if (shards <= 1) return runServer(options, listen_addr);
 
-  if (socket_path.empty()) {
-    std::cerr << "--shards needs --socket (stdio cannot be sharded)\n";
+  if (listen_addr.empty()) {
+    std::cerr << "--shards needs --socket/--listen (stdio cannot be "
+                 "sharded)\n";
+    return 2;
+  }
+  cuaf::net::Address base;
+  try {
+    base = cuaf::net::parseAddress(listen_addr);
+    // Validate the widest shard address up front (path length, port range).
+    (void)cuaf::net::shardAddress(base, shards - 1, shards);
+  } catch (const std::exception& e) {
+    std::cerr << "chpl-uaf-serve: " << e.what() << '\n';
     return 2;
   }
 
-  // Fork one share-nothing daemon per shard. Each gets its own socket,
+  // One share-nothing daemon per shard. Each gets its own address,
   // in-memory cache, durable-cache directory and quarantine; the only
-  // coordination is the parent's signal forwarding and final wait.
+  // coordination is the supervisor's health checks, respawns and final
+  // wait (src/service/shard_supervisor.h).
   if (!options.cache_dir.empty()) {
     // DiskCache mkdirs one level; pre-create the base so every shard's
     // <cache-dir>/shard-k can be created by its own daemon.
     ::mkdir(options.cache_dir.c_str(), 0755);
   }
-  for (std::size_t k = 0; k < shards; ++k) {
-    pid_t pid = ::fork();
-    if (pid < 0) {
-      std::cerr << "chpl-uaf-serve: fork failed: " << std::strerror(errno)
-                << '\n';
-      forwardSignal(SIGTERM);
-      return 2;
+  if (cluster_status.empty()) {
+    if (base.kind == cuaf::net::Address::Kind::Unix) {
+      cluster_status = base.path + ".cluster";
+    } else if (!options.cache_dir.empty()) {
+      cluster_status = options.cache_dir + "/cluster-status.json";
     }
-    if (pid == 0) {
-      cuaf::service::ServerOptions shard_options = options;
-      shard_options.shard_id = k;
-      shard_options.shard_count = shards;
-      if (!options.cache_dir.empty()) {
-        shard_options.cache_dir =
-            options.cache_dir + "/shard-" + std::to_string(k);
-      }
-      std::_Exit(runServer(shard_options,
-                           cuaf::net::shardSocketPath(socket_path, k, shards)));
-    }
-    g_shard_pids[k] = pid;
-    g_shard_count = k + 1;
   }
 
-  struct sigaction sa {};
-  sa.sa_handler = forwardSignal;
-  ::sigaction(SIGINT, &sa, nullptr);
-  ::sigaction(SIGTERM, &sa, nullptr);
+  supervisor_options.shards = shards;
+  supervisor_options.listen_base = listen_addr;
+  supervisor_options.cluster_status_path = cluster_status;
 
-  int worst = 0;
-  for (std::size_t k = 0; k < shards; ++k) {
-    int status = 0;
-    pid_t pid;
-    while ((pid = ::waitpid(g_shard_pids[k], &status, 0)) < 0 &&
-           errno == EINTR) {
-    }
-    g_shard_pids[k] = 0;
-    if (pid < 0) continue;
-    int code = WIFEXITED(status) ? WEXITSTATUS(status) : 2;
-    if (code > worst) worst = code;
-  }
-  return worst;
+  cuaf::service::ShardSupervisor supervisor(
+      supervisor_options, [&](std::size_t k) {
+        cuaf::service::ServerOptions shard_options = options;
+        shard_options.shard_id = k;
+        shard_options.shard_count = shards;
+        shard_options.cluster_status_path = cluster_status;
+        if (!options.cache_dir.empty()) {
+          shard_options.cache_dir =
+              options.cache_dir + "/shard-" + std::to_string(k);
+        }
+        return runServer(
+            shard_options,
+            cuaf::net::shardAddress(base, k, shards).str());
+      });
+  supervisor.installShutdownHandlers();
+  return supervisor.run();
 }

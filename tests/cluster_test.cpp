@@ -1,0 +1,511 @@
+// Self-healing shard-cluster tests (docs/SERVICE.md "Cluster supervision
+// & multi-host"): a real ShardSupervisor process forked from this test,
+// real shard daemons on real sockets, and a ShardClient exercising
+// failover, hedging and the cache-dir lock against them.
+//
+// TSan discipline: the supervisor is forked while this process is still
+// single-threaded in each test (client/killer threads start only after
+// the fork), and every process that creates threads — a shard daemon —
+// is forked from the single-threaded supervisor. Labeled `cluster`: runs
+// under the tsan preset.
+#include "src/service/shard_supervisor.h"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/address.h"
+#include "src/net/shard_client.h"
+#include "src/service/disk_cache.h"
+#include "src/service/protocol.h"
+#include "src/service/server.h"
+#include "src/support/json.h"
+#include "src/support/rng.h"
+
+namespace cuaf::service {
+namespace {
+
+using cuaf::net::Address;
+using cuaf::net::probeAddress;
+using cuaf::net::ShardClient;
+using cuaf::net::ShardClientOptions;
+
+constexpr const char* kFig1Source =
+    "proc p() {\n  var x: int = 0;\n  begin with (ref x) { x += 1; }\n}\n";
+
+std::string analyzeRequest(std::int64_t id, const std::string& name,
+                           const std::string& source) {
+  return "{\"op\":\"analyze\",\"id\":" + std::to_string(id) + ",\"name\":\"" +
+         jsonEscape(name) + "\",\"source\":\"" + jsonEscape(source) + "\"}";
+}
+
+std::string statsRequest(std::int64_t id) {
+  return "{\"op\":\"stats\",\"id\":" + std::to_string(id) + "}";
+}
+
+std::string shutdownRequest(std::int64_t id) {
+  return "{\"op\":\"shutdown\",\"id\":" + std::to_string(id) + "}";
+}
+
+/// Extracts the integer after "name": (first occurrence); 0 if missing.
+std::uint64_t jsonField(const std::string& json, const std::string& name) {
+  std::size_t pos = json.find("\"" + name + "\":");
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + name.size() + 3, nullptr, 10);
+}
+
+/// Every "pid":N in the status file, in members (= shard) order.
+std::vector<pid_t> shardPids(const std::string& status) {
+  std::vector<pid_t> pids;
+  std::size_t pos = 0;
+  while ((pos = status.find("\"pid\":", pos)) != std::string::npos) {
+    pos += 6;
+    pids.push_back(
+        static_cast<pid_t>(std::strtol(status.c_str() + pos, nullptr, 10)));
+  }
+  return pids;
+}
+
+std::string readFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Polls `pred` every 20ms up to `budget_ms`; true once it holds.
+bool waitFor(const std::function<bool()>& pred, std::uint64_t budget_ms) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string tmpl = "/tmp/cuaf-cluster-XXXXXX";
+    char* made = ::mkdtemp(tmpl.data());
+    EXPECT_NE(made, nullptr);
+    path = made ? made : "/tmp/cuaf-cluster-fallback";
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+/// The standard shard body: one Server per shard on shardAddress(base, k).
+ShardSupervisor::ChildMain serveMain(ServerOptions base_options,
+                                     std::string listen_base,
+                                     std::size_t shards,
+                                     std::string status_path,
+                                     std::string cache_base) {
+  return [=](std::size_t k) -> int {
+    ServerOptions options = base_options;
+    options.shard_id = k;
+    options.shard_count = shards;
+    options.cluster_status_path = status_path;
+    if (!cache_base.empty()) {
+      options.cache_dir = cache_base + "/shard-" + std::to_string(k);
+    }
+    try {
+      Server server(options);
+      server.serveSocket(
+          cuaf::net::shardAddress(cuaf::net::parseAddress(listen_base), k,
+                                  shards)
+              .str());
+    } catch (...) {
+      return 2;
+    }
+    return 0;
+  };
+}
+
+/// Forks a supervisor into its own process group so a failing test can
+/// nuke the whole cluster (supervisor + shards) in one kill(-pid).
+class SupervisorProcess {
+ public:
+  SupervisorProcess(ShardSupervisorOptions options,
+                    ShardSupervisor::ChildMain child_main) {
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::setpgid(0, 0);
+      ShardSupervisor supervisor(std::move(options), std::move(child_main));
+      std::_Exit(supervisor.run());
+    }
+    EXPECT_GT(pid_, 0);
+  }
+
+  ~SupervisorProcess() {
+    if (pid_ <= 0 || reaped_) return;
+    ::kill(-pid_, SIGKILL);
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+  }
+
+  /// Blocks for the supervisor's exit and returns its exit code (-1 for a
+  /// signal death).
+  int wait() {
+    int status = 0;
+    if (::waitpid(pid_, &status, 0) != pid_) return -1;
+    reaped_ = true;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  [[nodiscard]] pid_t pid() const { return pid_; }
+
+ private:
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+};
+
+/// True once every shard of `base` answers a ping.
+bool clusterUp(const std::string& base, std::size_t shards,
+               std::uint64_t budget_ms) {
+  return waitFor(
+      [&] {
+        for (std::size_t k = 0; k < shards; ++k) {
+          Address addr = cuaf::net::shardAddress(
+              cuaf::net::parseAddress(base), k, shards);
+          if (!probeAddress(addr, 200)) return false;
+        }
+        return true;
+      },
+      budget_ms);
+}
+
+void broadcastShutdown(ShardClient& client) {
+  for (std::size_t shard : client.reachableShards()) {
+    try {
+      (void)client.issueOn(shard, shutdownRequest(99));
+    } catch (const std::exception&) {
+      // A shard that died before the broadcast is fine: the supervisor
+      // sees the clean exits it needs from the others.
+    }
+  }
+}
+
+TEST(Cluster, RespawnedShardComesBackDiskWarmAndByteIdentical) {
+  TempDir tmp;
+  const std::string sock = tmp.path + "/d.sock";
+  const std::string status_path = tmp.path + "/status.json";
+  const std::string cache = tmp.path + "/cache";
+  std::filesystem::create_directory(cache);
+
+  ShardSupervisorOptions sup;
+  sup.shards = 2;
+  sup.listen_base = sock;
+  sup.cluster_status_path = status_path;
+  sup.health_interval_ms = 100;
+  sup.health_timeout_ms = 2000;
+  sup.backoff_initial_ms = 10;
+  sup.backoff_max_ms = 100;
+  sup.max_respawns = 20;
+  sup.stable_ms = 200;
+  SupervisorProcess proc(sup, serveMain({}, sock, 2, status_path, cache));
+  ASSERT_TRUE(clusterUp(sock, 2, 30000));
+
+  ShardClientOptions copts;
+  copts.retries = 10;
+  copts.backoff_base_ms = 5;
+  copts.backoff_cap_ms = 50;
+  ShardClient client(ShardClient::addressesFor(sock, 2), copts);
+
+  const std::string request = analyzeRequest(1, "fig1.chpl", kFig1Source);
+  std::string cold0 = client.issueOn(0, request);
+  std::string cold1 = client.issueOn(1, request);
+  ASSERT_TRUE(ShardClient::responseOk(cold0)) << cold0;
+  // Shards are share-nothing replicas of the same pipeline: identical
+  // responses modulo the volatile fields.
+  EXPECT_EQ(stripVolatile(cold0), stripVolatile(cold1));
+
+  ASSERT_TRUE(waitFor(
+      [&] {
+        std::string s = readFileOrEmpty(status_path);
+        return jsonField(s, "running") == 2 && shardPids(s).size() == 2;
+      },
+      30000));
+  pid_t victim = shardPids(readFileOrEmpty(status_path))[0];
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+  // The supervisor respawns shard 0 onto the same socket and cache dir.
+  ASSERT_TRUE(waitFor(
+      [&] {
+        std::string s = readFileOrEmpty(status_path);
+        std::vector<pid_t> pids = shardPids(s);
+        return pids.size() == 2 && pids[0] != victim && pids[0] > 0 &&
+               jsonField(s, "running") == 2 &&
+               probeAddress(cuaf::net::shardAddress(
+                                cuaf::net::parseAddress(sock), 0, 2),
+                            200);
+      },
+      30000));
+  EXPECT_GE(jsonField(readFileOrEmpty(status_path), "total_respawns"), 1u);
+
+  // Disk-warm: the replacement answers from the recovered segments —
+  // byte-identical, cached, zero pipeline runs.
+  std::string warm0 = client.issueOn(0, request);
+  EXPECT_EQ(stripVolatile(warm0), stripVolatile(cold0));
+  EXPECT_NE(warm0.find("\"cached\":true"), std::string::npos) << warm0;
+  std::string stats0 = client.issueOn(0, statsRequest(2));
+  EXPECT_EQ(jsonField(stats0, "analyzed"), 0u) << stats0;
+  // Every shard's stats embeds the supervisor's cluster status.
+  EXPECT_NE(stats0.find("\"cluster\":{"), std::string::npos) << stats0;
+  EXPECT_EQ(jsonField(stats0, "gave_up"), 0u);
+
+  broadcastShutdown(client);
+  EXPECT_EQ(proc.wait(), 0);
+}
+
+TEST(Cluster, FlappingShardIsGivenUpOnAndClusterServesDegraded) {
+  TempDir tmp;
+  const std::string sock = tmp.path + "/d.sock";
+  const std::string status_path = tmp.path + "/status.json";
+
+  ShardSupervisorOptions sup;
+  sup.shards = 2;
+  sup.listen_base = sock;
+  sup.cluster_status_path = status_path;
+  sup.health_interval_ms = 0;  // nothing must kill the healthy shard
+  sup.backoff_initial_ms = 1;
+  sup.backoff_max_ms = 5;
+  sup.max_respawns = 3;
+  sup.stable_ms = 60000;  // every death counts toward the streak
+  ShardSupervisor::ChildMain serve_one =
+      serveMain({}, sock, 2, status_path, "");
+  SupervisorProcess proc(sup, [serve_one](std::size_t k) -> int {
+    if (k == 0) return 3;  // shard 0 crash-loops instantly
+    return serve_one(k);
+  });
+
+  // Flap detection: shard 0 exceeds max_respawns and is given up on;
+  // the cluster keeps serving degraded on shard 1.
+  ASSERT_TRUE(waitFor(
+      [&] {
+        std::string s = readFileOrEmpty(status_path);
+        return jsonField(s, "gave_up") == 1 && s.find("\"degraded\":true") !=
+                                                   std::string::npos;
+      },
+      30000));
+  ASSERT_TRUE(waitFor(
+      [&] {
+        return probeAddress(cuaf::net::shardAddress(
+                                cuaf::net::parseAddress(sock), 1, 2),
+                            200);
+      },
+      30000));
+
+  ShardClientOptions copts;
+  copts.retries = 5;
+  copts.backoff_base_ms = 5;
+  copts.backoff_cap_ms = 50;
+  ShardClient client(ShardClient::addressesFor(sock, 2), copts);
+  std::string response =
+      client.issueOn(1, analyzeRequest(1, "fig1.chpl", kFig1Source));
+  EXPECT_TRUE(ShardClient::responseOk(response)) << response;
+  std::string stats = client.issueOn(1, statsRequest(2));
+  EXPECT_NE(stats.find("\"degraded\":true"), std::string::npos) << stats;
+  EXPECT_EQ(jsonField(stats, "gave_up"), 1u);
+
+  (void)client.issueOn(1, shutdownRequest(3));
+  // A given-up shard at shutdown makes the whole run non-zero.
+  EXPECT_EQ(proc.wait(), 1);
+}
+
+TEST(Cluster, KillStormLosesNoRequestsAndKeepsResponsesIdentical) {
+  constexpr std::size_t kShards = 3;
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kRequestsPerClient = 40;
+  constexpr std::size_t kPrograms = 12;
+
+  TempDir tmp;
+  const std::string sock = tmp.path + "/d.sock";
+  const std::string status_path = tmp.path + "/status.json";
+  const std::string cache = tmp.path + "/cache";
+  std::filesystem::create_directory(cache);
+
+  ShardSupervisorOptions sup;
+  sup.shards = kShards;
+  sup.listen_base = sock;
+  sup.cluster_status_path = status_path;
+  sup.health_interval_ms = 50;
+  sup.health_timeout_ms = 2000;
+  sup.backoff_initial_ms = 5;
+  sup.backoff_max_ms = 50;
+  sup.max_respawns = 100000;  // the storm must never exhaust a slot
+  sup.stable_ms = 100;
+  SupervisorProcess proc(sup,
+                         serveMain({}, sock, kShards, status_path, cache));
+  ASSERT_TRUE(clusterUp(sock, kShards, 30000));
+
+  std::vector<std::string> sources;
+  for (std::size_t i = 0; i < kPrograms; ++i) {
+    sources.push_back("proc p() { writeln(" + std::to_string(i) + "); }");
+  }
+
+  // Killer: SIGKILL a random running shard every ~50ms for ~1.5s, aimed
+  // via the pids the supervisor publishes in the status file.
+  std::atomic<std::uint64_t> kills{0};
+  std::thread killer([&] {
+    Rng rng(0x6b111u);
+    auto end =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(1500);
+    while (std::chrono::steady_clock::now() < end) {
+      std::vector<pid_t> pids = shardPids(readFileOrEmpty(status_path));
+      if (!pids.empty()) {
+        pid_t victim = pids[rng.below(pids.size())];
+        if (victim > 0 && ::kill(victim, SIGKILL) == 0) {
+          kills.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  // Clients: every request must eventually succeed (failover + breaker
+  // probes), and repeats of a program must answer byte-identically.
+  std::mutex seen_mu;
+  std::map<std::size_t, std::string> seen;
+  std::atomic<std::uint64_t> ok{0};
+  std::vector<std::thread> clients;
+  for (std::size_t tid = 0; tid < kClients; ++tid) {
+    clients.emplace_back([&, tid] {
+      ShardClientOptions copts;
+      copts.retries = 8;
+      copts.backoff_base_ms = 2;
+      copts.backoff_cap_ms = 40;
+      copts.backoff_seed = 0xc11e47 + tid;
+      copts.route_budget_ms = 30000;
+      ShardClient client(ShardClient::addressesFor(sock, kShards), copts);
+      Rng rng(0x5707 + tid);
+      for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+        std::size_t program = rng.below(kPrograms);
+        // id == program, so every repeat of a program is a byte-identical
+        // request — and must get a byte-identical response (mod volatile
+        // fields) no matter which shard generation served it.
+        std::string request = analyzeRequest(
+            static_cast<std::int64_t>(program),
+            "storm-" + std::to_string(program) + ".chpl", sources[program]);
+        std::string response;
+        ASSERT_NO_THROW(response = client.issueRouted(program, request))
+            << "program " << program;
+        ASSERT_TRUE(ShardClient::responseOk(response)) << response;
+        ok.fetch_add(1, std::memory_order_relaxed);
+        std::string canon = stripVolatile(response);
+        std::lock_guard<std::mutex> lock(seen_mu);
+        auto [it, inserted] = seen.emplace(program, canon);
+        if (!inserted) {
+          ASSERT_EQ(it->second, canon) << "program " << program;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  killer.join();
+
+  EXPECT_EQ(ok.load(), kClients * kRequestsPerClient);
+  EXPECT_GE(kills.load(), 1u);
+  ASSERT_TRUE(waitFor(
+      [&] {
+        return jsonField(readFileOrEmpty(status_path), "running") == kShards;
+      },
+      30000));
+  EXPECT_GE(jsonField(readFileOrEmpty(status_path), "total_respawns"),
+            kills.load());
+
+  ShardClientOptions copts;
+  copts.retries = 8;
+  copts.backoff_base_ms = 2;
+  copts.backoff_cap_ms = 40;
+  ShardClient closer(ShardClient::addressesFor(sock, kShards), copts);
+  broadcastShutdown(closer);
+  EXPECT_EQ(proc.wait(), 0);
+}
+
+TEST(Cluster, HedgedRequestWinsWhenThePrimaryStalls) {
+  TempDir tmp;
+  const std::string sock = tmp.path + "/d.sock";
+  const std::string status_path = tmp.path + "/status.json";
+
+  ShardSupervisorOptions sup;
+  sup.shards = 2;
+  sup.listen_base = sock;
+  sup.cluster_status_path = status_path;
+  sup.health_interval_ms = 0;  // a SIGSTOPped shard must not be SIGKILLed
+  SupervisorProcess proc(sup, serveMain({}, sock, 2, status_path, ""));
+  ASSERT_TRUE(clusterUp(sock, 2, 30000));
+
+  ShardClientOptions copts;
+  copts.retries = 5;
+  copts.backoff_base_ms = 5;
+  copts.backoff_cap_ms = 50;
+  copts.hedge_ms = 40;
+  copts.route_budget_ms = 10000;
+  ShardClient client(ShardClient::addressesFor(sock, 2), copts);
+
+  constexpr std::uint64_t kKey = 7;
+  const std::string request = analyzeRequest(1, "hedge.chpl", kFig1Source);
+  std::string reference = client.issueRouted(kKey, request);
+  ASSERT_TRUE(ShardClient::responseOk(reference)) << reference;
+  std::uint64_t hedges_before = client.counters().hedges;
+
+  std::size_t primary = client.route(kKey);
+  ASSERT_TRUE(waitFor(
+      [&] { return shardPids(readFileOrEmpty(status_path)).size() == 2; },
+      30000));
+  pid_t primary_pid = shardPids(readFileOrEmpty(status_path))[primary];
+  ASSERT_GT(primary_pid, 0);
+  ASSERT_EQ(::kill(primary_pid, SIGSTOP), 0);
+
+  // The primary accepts bytes but answers nothing; after hedge_ms the
+  // duplicate goes to the ring's backup shard and wins the race.
+  std::string hedged = client.issueRouted(kKey, request);
+  ::kill(primary_pid, SIGCONT);
+  EXPECT_TRUE(ShardClient::responseOk(hedged)) << hedged;
+  EXPECT_EQ(stripVolatile(hedged), stripVolatile(reference));
+  EXPECT_GE(client.counters().hedges, hedges_before + 1);
+  EXPECT_GE(client.counters().hedge_wins, 1u);
+
+  broadcastShutdown(client);
+  EXPECT_EQ(proc.wait(), 0);
+}
+
+TEST(Cluster, CacheDirLockIsExclusivePerDirectory) {
+  TempDir tmp;
+  const std::string dir = tmp.path + "/cache";
+  auto first = std::make_unique<DiskCache>(dir);
+  // Same dir, same process, different open file description: still locked.
+  EXPECT_THROW(DiskCache second(dir), CacheDirLockedError);
+  // A different directory is an unrelated lock.
+  DiskCache other(tmp.path + "/other");
+  // Releasing the first lock frees the directory.
+  first.reset();
+  DiskCache third(dir);
+  EXPECT_TRUE(third.append(1, "payload"));
+}
+
+}  // namespace
+}  // namespace cuaf::service

@@ -256,13 +256,17 @@ TEST(DiskCache, FsckCompactsSurvivorsAndDropsDamage) {
     std::ofstream foreign(segmentPath(dir, 1), std::ios::binary);
     foreign << "garbage";
   }
-  DiskCache cache(dir);
-  std::string report;
-  ASSERT_TRUE(cache.fsck(&report));
-  EXPECT_EQ(report,
-            "fsck: 2 record(s) kept, 2 skipped, compacted 2 segment(s) into 1");
-  EXPECT_EQ(cache.stats().segments, 1u);
-  // The compacted generation is fully healthy.
+  {
+    DiskCache cache(dir);
+    std::string report;
+    ASSERT_TRUE(cache.fsck(&report));
+    EXPECT_EQ(
+        report,
+        "fsck: 2 record(s) kept, 2 skipped, compacted 2 segment(s) into 1");
+    EXPECT_EQ(cache.stats().segments, 1u);
+  }
+  // The compacted generation is fully healthy. (Scoped above: the cache
+  // dir's advisory flock is exclusive per open directory.)
   DiskCache clean(dir);
   std::map<std::uint64_t, std::string> records = loadAll(clean);
   ASSERT_EQ(records.size(), 2u);

@@ -9,18 +9,25 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/net/address.h"
+#include "src/net/backoff.h"
+#include "src/net/breaker.h"
 #include "src/net/conn.h"
 #include "src/net/event_loop.h"
 #include "src/net/hash_ring.h"
+#include "src/net/listener.h"
+#include "src/net/shard_client.h"
 
 namespace cuaf::net {
 namespace {
@@ -430,6 +437,250 @@ TEST(HashRing, ShardSocketPathFormats) {
   EXPECT_EQ(shardSocketPath("/tmp/a.sock", 0, 0), "/tmp/a.sock");
   EXPECT_EQ(shardSocketPath("/tmp/a.sock", 0, 3), "/tmp/a.sock.0");
   EXPECT_EQ(shardSocketPath("/tmp/a.sock", 2, 3), "/tmp/a.sock.2");
+}
+
+TEST(HashRing, DoubleFailureRemapsBothAndOnlyBoth) {
+  constexpr std::size_t kShards = 5;
+  constexpr std::size_t kKeys = 8000;
+  HashRing ring(kShards);
+  std::vector<std::size_t> before(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    before[i] = ring.route(i * 0x100000001b3ull);
+  }
+  ring.markDead(1);
+  ring.markDead(3);
+  // Re-marking an already-dead shard is an idempotent no-op.
+  ring.markDead(1);
+  EXPECT_EQ(ring.aliveCount(), kShards - 2);
+  EXPECT_FALSE(ring.alive(1));
+  EXPECT_FALSE(ring.alive(3));
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    std::size_t now = ring.route(i * 0x100000001b3ull);
+    if (before[i] == 1 || before[i] == 3) {
+      EXPECT_NE(now, 1u);
+      EXPECT_NE(now, 3u);
+    } else {
+      // Keys owned by neither dead shard never move, even with two holes
+      // in the ring.
+      EXPECT_EQ(now, before[i]) << "key index " << i;
+    }
+  }
+}
+
+TEST(HashRing, UnmarkRestoresOriginalOwnershipBitIdentically) {
+  constexpr std::size_t kShards = 6;
+  constexpr std::size_t kKeys = 8000;
+  HashRing ring(kShards);
+  std::vector<std::size_t> before(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    before[i] = ring.route(i * 0x9e3779b97f4a7c15ull);
+  }
+  ring.markDead(0);
+  ring.markDead(4);
+  ring.markAlive(4);
+  ring.markAlive(0);
+  // Recovery from a double failure restores the exact original map —
+  // every key, not just statistically.
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    ASSERT_EQ(ring.route(i * 0x9e3779b97f4a7c15ull), before[i])
+        << "key index " << i;
+  }
+}
+
+TEST(HashRing, RouteExcludingSkipsTheOwner) {
+  HashRing ring(4);
+  for (std::uint64_t key = 0; key < 2048; ++key) {
+    std::size_t owner = ring.route(key);
+    std::size_t backup = ring.routeExcluding(key, owner);
+    ASSERT_LT(backup, ring.shardCount());
+    EXPECT_NE(backup, owner);
+    // The hedge target is exactly where the key would land if its owner
+    // died.
+    ring.markDead(owner);
+    EXPECT_EQ(ring.route(key), backup);
+    ring.markAlive(owner);
+  }
+  HashRing solo(1);
+  EXPECT_EQ(solo.routeExcluding(42, 0), solo.shardCount());
+}
+
+// ---------------------------------------------------------------------------
+// Address parsing and shard addressing.
+
+TEST(Address, ParsesTcpAndUnixForms) {
+  Address tcp = parseAddress("127.0.0.1:7000");
+  EXPECT_EQ(tcp.kind, Address::Kind::Tcp);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 7000);
+  EXPECT_EQ(tcp.str(), "127.0.0.1:7000");
+
+  Address bare = parseAddress(":9000");
+  EXPECT_EQ(bare.kind, Address::Kind::Tcp);
+  EXPECT_EQ(bare.host, "0.0.0.0");
+
+  // Anything with a '/' or a non-numeric suffix is a unix path — every
+  // historical --socket value keeps parsing as before.
+  EXPECT_EQ(parseAddress("/tmp/d.sock").kind, Address::Kind::Unix);
+  EXPECT_EQ(parseAddress("/tmp/d:1.sock/x").kind, Address::Kind::Unix);
+  EXPECT_EQ(parseAddress("relative.sock").kind, Address::Kind::Unix);
+  EXPECT_EQ(parseAddress("host:port").kind, Address::Kind::Unix);
+
+  EXPECT_THROW(parseAddress("h:70000"), std::runtime_error);
+}
+
+TEST(Address, ShardAddressingMatchesSocketPathConvention) {
+  Address base = Address::makeUnix("/tmp/d.sock");
+  EXPECT_EQ(shardAddress(base, 0, 1).str(), "/tmp/d.sock");
+  EXPECT_EQ(shardAddress(base, 2, 3).str(), "/tmp/d.sock.2");
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(shardAddress(base, k, 3).path, shardSocketPath("/tmp/d.sock", k, 3));
+  }
+  Address tcp = Address::makeTcp("10.0.0.1", 7000);
+  EXPECT_EQ(shardAddress(tcp, 0, 4).port, 7000);
+  EXPECT_EQ(shardAddress(tcp, 3, 4).port, 7003);
+  EXPECT_EQ(shardAddress(tcp, 3, 4).host, "10.0.0.1");
+  EXPECT_THROW(shardAddress(Address::makeTcp("h", 65535), 1, 2),
+               std::runtime_error);
+}
+
+TEST(Address, SplitAddressListMixesTransports) {
+  std::vector<Address> list =
+      splitAddressList("/tmp/a.sock,127.0.0.1:7000,/tmp/b.sock");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].kind, Address::Kind::Unix);
+  EXPECT_EQ(list[1].kind, Address::Kind::Tcp);
+  EXPECT_EQ(list[2].path, "/tmp/b.sock");
+  EXPECT_THROW(splitAddressList("a.sock,,b.sock"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// TCP listener + dialer: the same Conn framing over AF_INET.
+
+TEST(Listener, TcpEchoRoundTripWithEphemeralPort) {
+  EventLoop loop;
+  std::vector<std::unique_ptr<Conn>> conns;
+  auto listener = std::make_unique<Listener>(
+      loop, Address::makeTcp("127.0.0.1", 0), 8, [&](int fd) {
+        Conn::Handler handler;
+        handler.on_frame = [](Conn& conn, std::uint64_t seq,
+                              std::string&& frame) {
+          conn.completeRequest(seq, "echo:" + frame);
+        };
+        handler.on_close = [](Conn&) {};
+        conns.push_back(std::make_unique<Conn>(loop, fd, ConnOptions{},
+                                               std::move(handler)));
+      });
+  std::uint16_t port = listener->boundPort();
+  ASSERT_GT(port, 0);
+  std::thread runner([&loop] { loop.run(); });
+
+  {
+    ShardConnection client(Address::makeTcp("127.0.0.1", port));
+    client.sendLine("hello-tcp");
+    EXPECT_EQ(client.readLine(), "echo:hello-tcp");
+    client.sendLine("second");
+    EXPECT_EQ(client.readLine(), "echo:second");
+  }
+
+  loop.post([&] {
+    conns.clear();
+    listener->close();
+    loop.stop();
+  });
+  runner.join();
+  listener.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Decorrelated-jitter backoff (satellite: replaces plain exponential).
+
+TEST(DecorrelatedJitter, DeterministicPerSeedAndBounded) {
+  DecorrelatedJitter a(50, 2000, 7), b(50, 2000, 7), c(50, 2000, 8);
+  std::vector<std::uint64_t> seq_a, seq_c;
+  std::uint64_t prev = 50;
+  bool any_diff = false;
+  for (int i = 0; i < 64; ++i) {
+    std::uint64_t da = a.nextDelayMs();
+    seq_a.push_back(da);
+    EXPECT_EQ(da, b.nextDelayMs());  // same seed, same schedule
+    // Decorrelated-jitter envelope: uniform in [base, min(cap, 3*prev)].
+    EXPECT_GE(da, 50u);
+    EXPECT_LE(da, std::min<std::uint64_t>(2000, prev * 3));
+    prev = da;
+    std::uint64_t dc = c.nextDelayMs();
+    seq_c.push_back(dc);
+    any_diff |= da != dc;
+  }
+  EXPECT_TRUE(any_diff);  // different seeds decorrelate
+
+  // reset() forgets the ramp: the next draw is from the initial window.
+  a.reset();
+  EXPECT_LE(a.nextDelayMs(), 150u);
+}
+
+TEST(DecorrelatedJitter, RampsTowardCapAndStaysThere) {
+  DecorrelatedJitter j(10, 500, 3);
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 256; ++i) max_seen = std::max(max_seen, j.nextDelayMs());
+  EXPECT_GT(max_seen, 250u);   // the ramp actually reaches large delays
+  EXPECT_LE(max_seen, 500u);   // but never exceeds the cap
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker state machine (fake clock throughout).
+
+TEST(CircuitBreaker, ClosedOpensOnFailureThenProbesAndCloses) {
+  using State = CircuitBreaker::State;
+  CircuitBreaker b(100, 1000, 42);
+  auto t0 = std::chrono::steady_clock::time_point{};
+  EXPECT_EQ(b.state(t0), State::Closed);
+
+  b.recordFailure(t0);
+  EXPECT_EQ(b.state(t0), State::Open);
+  EXPECT_EQ(b.opens(), 1u);
+  EXPECT_FALSE(b.allowProbe(t0));
+  EXPECT_GT(b.msUntilProbe(t0), 0u);
+
+  // The open window is jittered within [base, 3*base] on the first trip.
+  auto t1 = t0 + std::chrono::milliseconds(301);
+  EXPECT_EQ(b.state(t1), State::HalfOpen);
+  EXPECT_TRUE(b.allowProbe(t1));
+  EXPECT_FALSE(b.allowProbe(t1));  // exactly one probe per window
+
+  b.recordSuccess();
+  EXPECT_EQ(b.state(t1), State::Closed);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensWithALongerWindow) {
+  using State = CircuitBreaker::State;
+  CircuitBreaker b(100, 10000, 9);
+  auto t0 = std::chrono::steady_clock::time_point{};
+  b.recordFailure(t0);
+  std::uint64_t first_window = b.msUntilProbe(t0);
+
+  auto t1 = t0 + std::chrono::milliseconds(first_window + 1);
+  ASSERT_EQ(b.state(t1), State::HalfOpen);
+  ASSERT_TRUE(b.allowProbe(t1));
+  b.recordFailure(t1);
+  EXPECT_EQ(b.state(t1), State::Open);
+  EXPECT_EQ(b.opens(), 2u);
+  // Windows ramp like the jitter schedule: eventually much longer than
+  // the first.
+  std::uint64_t max_window = b.msUntilProbe(t1);
+  auto t = t1;
+  for (int i = 0; i < 16; ++i) {
+    t += std::chrono::milliseconds(b.msUntilProbe(t) + 1);
+    ASSERT_TRUE(b.allowProbe(t));
+    b.recordFailure(t);
+    max_window = std::max(max_window, b.msUntilProbe(t));
+  }
+  EXPECT_GT(max_window, first_window);
+  EXPECT_LE(max_window, 10000u);
+
+  // A success anywhere resets the ramp.
+  b.recordSuccess();
+  b.recordFailure(t);
+  EXPECT_LE(b.msUntilProbe(t), 300u);
 }
 
 }  // namespace
